@@ -1,0 +1,61 @@
+//! Microbenchmarks: client brick cache and server subfile store.
+
+use bytes::Bytes;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dpfs_core::BrickCache;
+use dpfs_server::SubfileStore;
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("cache_hit_4k_brick", |b| {
+        let mut cache = BrickCache::new(64 << 20);
+        for brick in 0..1024u64 {
+            cache.insert(brick, Bytes::from(vec![0u8; 4096]));
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 1024;
+            cache.get(black_box(i)).unwrap().len()
+        })
+    });
+
+    c.bench_function("cache_insert_evict_4k", |b| {
+        let mut cache = BrickCache::new(256 * 4096); // 256-brick capacity
+        let mut brick = 0u64;
+        b.iter(|| {
+            brick += 1;
+            cache.insert(black_box(brick), Bytes::from(vec![0u8; 4096]));
+        })
+    });
+}
+
+fn bench_subfile(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("dpfs-bench-subfile-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = SubfileStore::open(&dir, 0).unwrap();
+    let payload = Bytes::from(vec![0xAAu8; 64 * 1024]);
+    store.write_ranges("/bench", &[(0, Bytes::from(vec![0u8; 1 << 20]))]).unwrap();
+
+    c.bench_function("subfile_write_64k", |b| {
+        let mut off = 0u64;
+        b.iter(|| {
+            off = (off + 64 * 1024) % (1 << 20);
+            store.write_ranges("/bench", &[(off, payload.clone())]).unwrap()
+        })
+    });
+
+    c.bench_function("subfile_read_64k", |b| {
+        let mut off = 0u64;
+        b.iter(|| {
+            off = (off + 64 * 1024) % (1 << 20);
+            store.read_ranges("/bench", &[(off, 64 * 1024)]).unwrap().len()
+        })
+    });
+
+    c.bench_function("subfile_scatter_read_16x4k", |b| {
+        let ranges: Vec<(u64, u64)> = (0..16u64).map(|i| (i * 65536, 4096)).collect();
+        b.iter(|| store.read_ranges("/bench", black_box(&ranges)).unwrap().len())
+    });
+}
+
+criterion_group!(benches, bench_cache, bench_subfile);
+criterion_main!(benches);

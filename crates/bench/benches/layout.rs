@@ -1,0 +1,37 @@
+//! Microbenchmarks: layout math (region -> brick runs) for the three file
+//! levels. These are the client-side CPU costs of the striping methods.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dpfs_core::{ArrayLayout, HpfPattern, LinearLayout, MultidimLayout, Region, Shape};
+
+fn bench_layouts(c: &mut Criterion) {
+    let shape = Shape::new(vec![2048, 2048]).unwrap();
+
+    let lin = LinearLayout::new(2048, 2048 * 2048).unwrap();
+    c.bench_function("linear_map_column_band", |b| {
+        b.iter(|| {
+            // 2048 strided row segments
+            let mut total = 0u64;
+            for row in 0..2048u64 {
+                for r in lin.map_bytes(black_box(row * 2048), 256, 0) {
+                    total += r.len;
+                }
+            }
+            total
+        })
+    });
+
+    let md = MultidimLayout::new(shape.clone(), Shape::new(vec![64, 64]).unwrap(), 1).unwrap();
+    let col_band = Region::new(vec![0, 0], vec![2048, 256]).unwrap();
+    c.bench_function("multidim_map_column_band", |b| {
+        b.iter(|| md.map_region(black_box(&col_band)).unwrap().len())
+    });
+
+    let ar = ArrayLayout::new(shape, HpfPattern::star_block(8, 2), 1).unwrap();
+    c.bench_function("array_map_chunk", |b| {
+        b.iter(|| ar.map_region(black_box(&ar.chunk_region(3).unwrap())).unwrap().len())
+    });
+}
+
+criterion_group!(benches, bench_layouts);
+criterion_main!(benches);

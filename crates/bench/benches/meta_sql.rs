@@ -1,0 +1,50 @@
+//! Microbenchmarks: the embedded SQL metadata engine.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dpfs_meta::Database;
+
+fn bench_sql(c: &mut Criterion) {
+    c.bench_function("sql_insert_row", |b| {
+        let db = Database::in_memory();
+        db.execute("CREATE TABLE t (k INT PRIMARY KEY, v TEXT, l INTLIST)")
+            .unwrap();
+        let mut k = 0i64;
+        b.iter(|| {
+            k += 1;
+            db.execute(&format!("INSERT INTO t VALUES ({k}, 'value', [1,2,3])"))
+                .unwrap()
+        })
+    });
+
+    c.bench_function("sql_select_filtered_1k_rows", |b| {
+        let db = Database::in_memory();
+        db.execute("CREATE TABLE t (k INT PRIMARY KEY, v INT)").unwrap();
+        for k in 0..1000 {
+            db.execute(&format!("INSERT INTO t VALUES ({k}, {})", k % 17)).unwrap();
+        }
+        b.iter(|| {
+            db.execute(black_box("SELECT k FROM t WHERE v = 3 ORDER BY k DESC LIMIT 10"))
+                .unwrap()
+                .rows
+                .len()
+        })
+    });
+
+    c.bench_function("sql_transaction_update", |b| {
+        let db = Database::in_memory();
+        db.execute("CREATE TABLE t (k INT PRIMARY KEY, v INT)").unwrap();
+        for k in 0..100 {
+            db.execute(&format!("INSERT INTO t VALUES ({k}, 0)")).unwrap();
+        }
+        b.iter(|| {
+            db.transaction(|txn| {
+                txn.execute("UPDATE t SET v = v + 1 WHERE k < 50")?;
+                Ok(())
+            })
+            .unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_sql);
+criterion_main!(benches);

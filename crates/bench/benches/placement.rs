@@ -1,0 +1,21 @@
+//! Microbenchmarks: striping algorithms (round-robin vs greedy) at scale.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dpfs_core::{greedy, round_robin, BrickMap};
+
+fn bench_placement(c: &mut Criterion) {
+    c.bench_function("round_robin_64k_bricks", |b| {
+        b.iter(|| round_robin(black_box(65536), 16).len())
+    });
+    let perf: Vec<i64> = (0..16).map(|i| 1 + (i % 3) as i64).collect();
+    c.bench_function("greedy_64k_bricks_16_servers", |b| {
+        b.iter(|| greedy(black_box(65536), &perf).len())
+    });
+    let assignment = greedy(65536, &perf);
+    c.bench_function("brickmap_build_64k", |b| {
+        b.iter(|| BrickMap::from_assignment(black_box(assignment.clone()), 16).num_bricks())
+    });
+}
+
+criterion_group!(benches, bench_placement);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! Figure 11: I/O bandwidth comparison of the three DPFS file levels,
+//! 8 compute nodes, 4 I/O nodes, storage classes 1-3.
+
+use dpfs_bench::{file_level_figure, print_file_level_table, FigScale};
+
+fn main() {
+    let scale = FigScale::from_env();
+    let rows = file_level_figure(8, 4, scale);
+    print_file_level_table(
+        "Figure 11: File Level Comparisons (8 compute nodes, 4 I/O nodes) — I/O bandwidth, MB/s, (*, BLOCK) read",
+        &rows,
+    );
+}

@@ -1,0 +1,13 @@
+//! Figure 12: I/O bandwidth comparison of the three DPFS file levels,
+//! 16 compute nodes, 8 I/O nodes, storage classes 1-3.
+
+use dpfs_bench::{file_level_figure, print_file_level_table, FigScale};
+
+fn main() {
+    let scale = FigScale::from_env();
+    let rows = file_level_figure(16, 8, scale);
+    print_file_level_table(
+        "Figure 12: File Level Comparisons (16 compute nodes, 8 I/O nodes) — I/O bandwidth, MB/s, (*, BLOCK) read",
+        &rows,
+    );
+}

@@ -1,0 +1,13 @@
+//! Figure 13: round-robin vs greedy striping, 8 compute nodes, 8 I/O nodes,
+//! half class-1 / half class-3 storage.
+
+use dpfs_bench::{print_striping_table, striping_figure, FigScale};
+
+fn main() {
+    let scale = FigScale::from_env();
+    let rows = striping_figure(8, 8, scale);
+    print_striping_table(
+        "Figure 13: Striping Algorithm Comparison (8 compute nodes, 8 I/O nodes, half class-1 / half class-3) — MB/s",
+        &rows,
+    );
+}

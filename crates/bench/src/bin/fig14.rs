@@ -1,0 +1,13 @@
+//! Figure 14: round-robin vs greedy striping, 16 compute nodes, 16 I/O
+//! nodes, half class-1 / half class-3 storage.
+
+use dpfs_bench::{print_striping_table, striping_figure, FigScale};
+
+fn main() {
+    let scale = FigScale::from_env();
+    let rows = striping_figure(16, 16, scale);
+    print_striping_table(
+        "Figure 14: Striping Algorithm Comparison (16 compute nodes, 16 I/O nodes, half class-1 / half class-3) — MB/s",
+        &rows,
+    );
+}

@@ -1,0 +1,25 @@
+//! Run all four evaluation figures in sequence.
+
+use dpfs_bench::{
+    file_level_figure, print_file_level_table, print_striping_table, striping_figure, FigScale,
+};
+
+fn main() {
+    let scale = FigScale::from_env();
+    print_file_level_table(
+        "Figure 11: File Level Comparisons (8 compute nodes, 4 I/O nodes) — MB/s",
+        &file_level_figure(8, 4, scale),
+    );
+    print_file_level_table(
+        "Figure 12: File Level Comparisons (16 compute nodes, 8 I/O nodes) — MB/s",
+        &file_level_figure(16, 8, scale),
+    );
+    print_striping_table(
+        "Figure 13: Striping Algorithm Comparison (8/8, class1+class3) — MB/s",
+        &striping_figure(8, 8, scale),
+    );
+    print_striping_table(
+        "Figure 14: Striping Algorithm Comparison (16/16, class1+class3) — MB/s",
+        &striping_figure(16, 16, scale),
+    );
+}

@@ -1,0 +1,294 @@
+//! Workloads reproducing the paper's Figures 11–14.
+
+use dpfs_cluster::{run_clients, Testbed};
+use dpfs_core::{Granularity, Hint, HpfPattern, Placement, Region, Shape};
+use dpfs_server::StorageClass;
+
+/// Workload scale. `Full` mirrors the paper's request-count structure
+/// (thousands of linear bricks); `Quick` shrinks everything for smoke
+/// tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FigScale {
+    Full,
+    Quick,
+}
+
+impl FigScale {
+    /// Read from `DPFS_BENCH_SCALE` (`quick` ⇒ Quick, anything else Full).
+    pub fn from_env() -> FigScale {
+        match std::env::var("DPFS_BENCH_SCALE").as_deref() {
+            Ok("quick") => FigScale::Quick,
+            _ => FigScale::Full,
+        }
+    }
+
+    /// Array side length `n` (the paper's 32K×32K array, scaled).
+    pub fn array_side(self) -> u64 {
+        match self {
+            FigScale::Full => 2048,
+            FigScale::Quick => 256,
+        }
+    }
+
+    /// Multidim brick side (the paper's 256×256 striping unit, scaled).
+    pub fn md_brick_side(self) -> u64 {
+        match self {
+            FigScale::Full => 64,
+            FigScale::Quick => 32,
+        }
+    }
+}
+
+/// One row of the Figure 11/12 table: bandwidth in MB/s per configuration
+/// for one storage class.
+#[derive(Debug, Clone)]
+pub struct LevelRow {
+    pub class: StorageClass,
+    pub linear: f64,
+    pub combined_linear: f64,
+    pub multidim: f64,
+    pub combined_multidim: f64,
+    pub array: f64,
+    pub combined_array: f64,
+}
+
+/// One row of the Figure 13/14 table.
+#[derive(Debug, Clone)]
+pub struct StripingRow {
+    pub algorithm: &'static str,
+    pub write: f64,
+    pub combined_write: f64,
+    pub read: f64,
+    pub combined_read: f64,
+}
+
+/// Populate a file of `level` for the figure workload and return its path.
+///
+/// The data file is an `n×n` byte array (the paper's 32K×32K array). For
+/// linear and multidim levels the writers fill row bands (the natural
+/// generation order, `(BLOCK, *)`); for the array level the file is
+/// chunked `(*, BLOCK(compute))` per the user's hint, each writer dumping
+/// its own chunk.
+fn create_level_file(
+    tb: &Testbed,
+    level: &str,
+    compute: usize,
+    scale: FigScale,
+    combine: bool,
+) -> String {
+    let n = scale.array_side();
+    let path = format!("/fig/{level}");
+    let shape = Shape::new(vec![n, n]).unwrap();
+    let hint = match level {
+        "linear" => Hint::linear(n, n * n), // brick = one row of bytes
+        "multidim" => Hint::multidim(
+            shape.clone(),
+            Shape::new(vec![scale.md_brick_side(), scale.md_brick_side()]).unwrap(),
+            1,
+        ),
+        "array" => Hint::array(shape.clone(), HpfPattern::star_block(compute as u64, 2), 1),
+        other => panic!("unknown level {other}"),
+    };
+    let creator = tb.client(0, combine);
+    if !creator.dir_exists("/fig").unwrap() {
+        creator.mkdir("/fig").unwrap();
+    }
+    if creator.exists(&path).unwrap() {
+        creator.unlink(&path).unwrap();
+    }
+    creator.create(&path, &hint).unwrap();
+
+    // parallel write
+    let rows_per = n / compute as u64;
+    run_clients(tb, compute, combine, Granularity::Brick, |rank, client| {
+        let mut f = client.open(&path).unwrap();
+        let data = vec![(rank % 251) as u8; (rows_per * n) as usize];
+        match level {
+            "linear" => {
+                f.write_bytes(rank as u64 * rows_per * n, &data).unwrap();
+            }
+            "multidim" => {
+                let region =
+                    Region::new(vec![rank as u64 * rows_per, 0], vec![rows_per, n]).unwrap();
+                f.write_region(&region, &data).unwrap();
+            }
+            "array" => {
+                // checkpoint dump: each processor writes its own chunk
+                let chunk = f.chunk_region(rank as u64).unwrap();
+                let data = vec![(rank % 251) as u8; (chunk.volume()) as usize];
+                f.write_chunk(rank as u64, &data).unwrap();
+            }
+            _ => unreachable!(),
+        }
+        data.len() as u64
+    });
+    path
+}
+
+/// Measure `(*, BLOCK)` read bandwidth over the populated file.
+/// Repetitions per measurement; the best (max bandwidth) is reported, which
+/// filters scheduler noise on a shared machine.
+const REPS: usize = 2;
+
+fn measure_star_block_read(
+    tb: &Testbed,
+    path: &str,
+    level: &str,
+    compute: usize,
+    scale: FigScale,
+    combine: bool,
+) -> f64 {
+    let n = scale.array_side();
+    let cols_per = n / compute as u64;
+    let mut best = 0f64;
+    for _ in 0..REPS {
+    let bw = run_clients(tb, compute, combine, Granularity::Brick, |rank, client| {
+        let mut f = client.open(path).unwrap();
+        match level {
+            "linear" => {
+                // a column band of a row-major byte array: one run per row
+                let dt = dpfs_core::Datatype::subarray(
+                    Shape::new(vec![n, n]).unwrap(),
+                    Region::new(vec![0, rank as u64 * cols_per], vec![n, cols_per]).unwrap(),
+                    1,
+                )
+                .unwrap();
+                let data = f.read_datatype(0, &dt).unwrap();
+                data.len() as u64
+            }
+            "multidim" | "array" => {
+                let region =
+                    Region::new(vec![0, rank as u64 * cols_per], vec![n, cols_per]).unwrap();
+                let data = f.read_region(&region).unwrap();
+                data.len() as u64
+            }
+            _ => unreachable!(),
+        }
+    });
+    best = best.max(bw.mbytes_per_sec());
+    }
+    best
+}
+
+/// Figure 11/12: file-level comparison on a single storage class.
+pub fn file_level_row(class: StorageClass, compute: usize, io: usize, scale: FigScale) -> LevelRow {
+    let mut values = [0f64; 6];
+    for (i, (level, combine)) in [
+        ("linear", false),
+        ("linear", true),
+        ("multidim", false),
+        ("multidim", true),
+        ("array", false),
+        ("array", true),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let tb = Testbed::homogeneous(io, class).unwrap();
+        let path = create_level_file(&tb, level, compute, scale, true);
+        values[i] = measure_star_block_read(&tb, &path, level, compute, scale, *combine);
+    }
+    LevelRow {
+        class,
+        linear: values[0],
+        combined_linear: values[1],
+        multidim: values[2],
+        combined_multidim: values[3],
+        array: values[4],
+        combined_array: values[5],
+    }
+}
+
+/// All three classes for Figure 11 (8/4) or Figure 12 (16/8).
+pub fn file_level_figure(compute: usize, io: usize, scale: FigScale) -> Vec<LevelRow> {
+    [StorageClass::Class1, StorageClass::Class2, StorageClass::Class3]
+        .into_iter()
+        .map(|c| file_level_row(c, compute, io, scale))
+        .collect()
+}
+
+/// Figure 13/14 workload: linear-level file over half class-1 / half
+/// class-3 storage; each client writes then reads a contiguous block.
+pub fn striping_figure(compute: usize, io: usize, scale: FigScale) -> Vec<StripingRow> {
+    let n = scale.array_side();
+    let file_bytes = n * n; // same volume as the level figure
+    let brick = n * 2; // paper-style fine-grained linear bricks
+    let block = file_bytes / compute as u64;
+
+    let mut rows = Vec::new();
+    for (algorithm, placement) in [
+        ("round-robin", Placement::RoundRobin),
+        ("greedy", Placement::Greedy),
+    ] {
+        let mut vals = [0f64; 4]; // write, comb write, read, comb read
+        for (i, combine) in [false, true].into_iter().enumerate() {
+            let tb = Testbed::mixed(io, &[StorageClass::Class1, StorageClass::Class3]).unwrap();
+            let path = "/fig/stripe";
+            let client0 = tb.client(0, combine);
+            client0.mkdir("/fig").unwrap();
+            let hint = Hint::linear(brick, file_bytes).with_placement(placement);
+            client0.create(path, &hint).unwrap();
+
+            // write phase (best of REPS)
+            for _ in 0..REPS {
+                let w = run_clients(&tb, compute, combine, Granularity::Brick, |rank, client| {
+                    let mut f = client.open(path).unwrap();
+                    let data = vec![rank as u8; block as usize];
+                    f.write_bytes(rank as u64 * block, &data).unwrap();
+                    block
+                });
+                vals[i] = vals[i].max(w.mbytes_per_sec());
+            }
+
+            // read phase (best of REPS)
+            for _ in 0..REPS {
+                let r = run_clients(&tb, compute, combine, Granularity::Brick, |rank, client| {
+                    let mut f = client.open(path).unwrap();
+                    let data = f.read_bytes(rank as u64 * block, block).unwrap();
+                    data.len() as u64
+                });
+                vals[i + 2] = vals[i + 2].max(r.mbytes_per_sec());
+            }
+        }
+        rows.push(StripingRow {
+            algorithm,
+            write: vals[0],
+            combined_write: vals[1],
+            read: vals[2],
+            combined_read: vals[3],
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Quick-scale smoke: the figure machinery runs end to end and the
+    /// headline shape holds (multidim beats linear on columnar reads).
+    #[test]
+    fn quick_scale_level_shape() {
+        let scale = FigScale::Quick;
+        let row = file_level_row(StorageClass::Class1, 4, 2, scale);
+        assert!(
+            row.multidim > row.linear,
+            "multidim {} must beat linear {}",
+            row.multidim,
+            row.linear
+        );
+        assert!(
+            row.array > row.linear,
+            "array {} must beat linear {}",
+            row.array,
+            row.linear
+        );
+    }
+
+    #[test]
+    fn quick_scale_striping_runs() {
+        let rows = striping_figure(4, 4, FigScale::Quick);
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|r| r.write > 0.0 && r.read > 0.0));
+    }
+}

@@ -1,0 +1,64 @@
+//! Table rendering for the figure binaries.
+
+use crate::figures::{LevelRow, StripingRow};
+
+/// Print a Figure 11/12-style table.
+pub fn print_file_level_table(title: &str, rows: &[LevelRow]) {
+    println!("{title}");
+    println!(
+        "{:<8} {:>8} {:>13} {:>9} {:>15} {:>8} {:>12}",
+        "class", "linear", "comb-linear", "multidim", "comb-multidim", "array", "comb-array"
+    );
+    for r in rows {
+        println!(
+            "{:<8} {:>8.2} {:>13.2} {:>9.2} {:>15.2} {:>8.2} {:>12.2}",
+            r.class.name(),
+            r.linear,
+            r.combined_linear,
+            r.multidim,
+            r.combined_multidim,
+            r.array,
+            r.combined_array
+        );
+    }
+    println!();
+    for r in rows {
+        println!(
+            "shape[{}]: multidim/linear = {:.1}x, array/multidim = {:.1}x, comb-linear/linear = {:.2}x, comb-multidim/multidim = {:.2}x, comb-array/array = {:.2}x",
+            r.class.name(),
+            r.multidim / r.linear,
+            r.array / r.multidim,
+            r.combined_linear / r.linear,
+            r.combined_multidim / r.multidim,
+            r.combined_array / r.array,
+        );
+    }
+    println!();
+}
+
+/// Print a Figure 13/14-style table.
+pub fn print_striping_table(title: &str, rows: &[StripingRow]) {
+    println!("{title}");
+    println!(
+        "{:<12} {:>8} {:>12} {:>8} {:>12}",
+        "algorithm", "write", "comb-write", "read", "comb-read"
+    );
+    for r in rows {
+        println!(
+            "{:<12} {:>8.2} {:>12.2} {:>8.2} {:>12.2}",
+            r.algorithm, r.write, r.combined_write, r.read, r.combined_read
+        );
+    }
+    if rows.len() == 2 {
+        let (rr, g) = (&rows[0], &rows[1]);
+        println!();
+        println!(
+            "shape: greedy/round-robin = write {:.2}x, comb-write {:.2}x, read {:.2}x, comb-read {:.2}x",
+            g.write / rr.write,
+            g.combined_write / rr.combined_write,
+            g.read / rr.read,
+            g.combined_read / rr.combined_read,
+        );
+    }
+    println!();
+}

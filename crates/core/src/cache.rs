@@ -1,0 +1,200 @@
+//! Client-side brick cache (extension).
+//!
+//! The paper's DPFS relies solely on the *server-side* local file system for
+//! caching (§2, footnote 1). A client-side brick cache is the natural next
+//! step the paper leaves open: repeated reads of hot bricks skip the network
+//! round trip entirely. The cache operates at brick granularity — the same
+//! unit the wire protocol moves — with LRU eviction under a byte budget.
+//!
+//! Writes invalidate affected bricks (write-invalidate, not write-update:
+//! partial-brick writes would otherwise require read-modify-write).
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+
+/// LRU brick cache keyed by brick number (one cache per open file).
+pub struct BrickCache {
+    capacity: u64,
+    used: u64,
+    entries: HashMap<u64, Entry>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+struct Entry {
+    data: Bytes,
+    last_used: u64,
+}
+
+impl BrickCache {
+    /// New cache holding at most `capacity` bytes (0 disables insertion).
+    pub fn new(capacity: u64) -> BrickCache {
+        BrickCache {
+            capacity,
+            used: 0,
+            entries: HashMap::new(),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Look up a brick; counts a hit or miss.
+    pub fn get(&mut self, brick: u64) -> Option<Bytes> {
+        self.clock += 1;
+        match self.entries.get_mut(&brick) {
+            Some(e) => {
+                e.last_used = self.clock;
+                self.hits += 1;
+                Some(e.data.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Peek without touching LRU order or statistics.
+    pub fn contains(&self, brick: u64) -> bool {
+        self.entries.contains_key(&brick)
+    }
+
+    /// Insert a brick, evicting least-recently-used entries to fit. Bricks
+    /// larger than the whole capacity are not cached.
+    pub fn insert(&mut self, brick: u64, data: Bytes) {
+        let len = data.len() as u64;
+        if len > self.capacity {
+            return;
+        }
+        self.invalidate(brick);
+        while self.used + len > self.capacity {
+            let Some((&victim, _)) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+            else {
+                break;
+            };
+            self.invalidate(victim);
+        }
+        self.clock += 1;
+        self.used += len;
+        self.entries.insert(
+            brick,
+            Entry {
+                data,
+                last_used: self.clock,
+            },
+        );
+    }
+
+    /// Drop a brick (called on writes covering it).
+    pub fn invalidate(&mut self, brick: u64) {
+        if let Some(e) = self.entries.remove(&brick) {
+            self.used -= e.data.len() as u64;
+        }
+    }
+
+    /// Drop everything.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.used = 0;
+    }
+
+    /// Bytes currently cached.
+    pub fn used_bytes(&self) -> u64 {
+        self.used
+    }
+
+    /// Number of cached bricks.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bytes(n: usize, fill: u8) -> Bytes {
+        Bytes::from(vec![fill; n])
+    }
+
+    #[test]
+    fn hit_and_miss() {
+        let mut c = BrickCache::new(1000);
+        assert!(c.get(0).is_none());
+        c.insert(0, bytes(100, 1));
+        assert_eq!(c.get(0).unwrap(), bytes(100, 1));
+        assert_eq!(c.stats(), (1, 1));
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = BrickCache::new(300);
+        c.insert(0, bytes(100, 0));
+        c.insert(1, bytes(100, 1));
+        c.insert(2, bytes(100, 2));
+        // touch 0 so 1 becomes LRU
+        assert!(c.get(0).is_some());
+        c.insert(3, bytes(100, 3));
+        assert!(c.contains(0));
+        assert!(!c.contains(1), "brick 1 was LRU and must be evicted");
+        assert!(c.contains(2));
+        assert!(c.contains(3));
+        assert_eq!(c.used_bytes(), 300);
+    }
+
+    #[test]
+    fn oversized_not_cached() {
+        let mut c = BrickCache::new(50);
+        c.insert(0, bytes(100, 0));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn reinsert_replaces() {
+        let mut c = BrickCache::new(200);
+        c.insert(0, bytes(100, 1));
+        c.insert(0, bytes(50, 2));
+        assert_eq!(c.used_bytes(), 50);
+        assert_eq!(c.get(0).unwrap(), bytes(50, 2));
+    }
+
+    #[test]
+    fn invalidate_and_clear() {
+        let mut c = BrickCache::new(500);
+        c.insert(0, bytes(100, 0));
+        c.insert(1, bytes(100, 1));
+        c.invalidate(0);
+        assert!(!c.contains(0));
+        assert_eq!(c.used_bytes(), 100);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.used_bytes(), 0);
+    }
+
+    #[test]
+    fn eviction_frees_enough_for_large_entry() {
+        let mut c = BrickCache::new(300);
+        c.insert(0, bytes(100, 0));
+        c.insert(1, bytes(100, 1));
+        c.insert(2, bytes(100, 2));
+        c.insert(3, bytes(250, 3)); // must evict several
+        assert!(c.contains(3));
+        assert!(c.used_bytes() <= 300);
+    }
+}

@@ -1,0 +1,315 @@
+//! Two-phase collective I/O (extension — the paper's stated future work,
+//! §10: "use DPFS as a low level system to service a high level interface
+//! such as MPI-IO").
+//!
+//! When N processes each access a small, interleaved piece of a file, the
+//! independent-I/O path sends N sets of fragmented requests. Collective
+//! I/O (ROMIO-style two-phase) fixes this: the accessed byte span is split
+//! into N contiguous *file domains*; in the exchange phase participants
+//! hand each other the fragments, and in the I/O phase each participant
+//! performs ONE large contiguous access against its own domain. DPFS's
+//! request combination then turns that into a single request per server.
+//!
+//! Participants are threads (matching this repo's compute-node model). A
+//! [`CollectiveGroup::split`] hands out one [`Collective`] handle per rank;
+//! handles synchronize internally with barriers.
+//!
+//! If any participant fails, every participant of that round returns an
+//! error — nobody deadlocks.
+
+use std::sync::{Arc, Barrier, Mutex};
+
+use crate::error::{DpfsError, Result};
+use crate::file::FileHandle;
+
+struct WritePost {
+    offset: u64,
+    data: Arc<Vec<u8>>,
+}
+
+struct ReadPost {
+    offset: u64,
+    len: u64,
+}
+
+#[derive(Default)]
+struct RoundState {
+    write_posts: Vec<Option<WritePost>>,
+    read_posts: Vec<Option<ReadPost>>,
+    /// Data each participant read for its file domain: `(domain_start, bytes)`.
+    domain_data: Vec<Option<(u64, Arc<Vec<u8>>)>>,
+    failed: bool,
+}
+
+struct GroupInner {
+    size: usize,
+    barrier: Barrier,
+    state: Mutex<RoundState>,
+}
+
+/// Factory for collective handles.
+pub struct CollectiveGroup;
+
+impl CollectiveGroup {
+    /// Create a group of `size` participants; returns one handle per rank.
+    pub fn split(size: usize) -> Vec<Collective> {
+        assert!(size > 0, "empty collective group");
+        let inner = Arc::new(GroupInner {
+            size,
+            barrier: Barrier::new(size),
+            state: Mutex::new(RoundState {
+                write_posts: (0..size).map(|_| None).collect(),
+                read_posts: (0..size).map(|_| None).collect(),
+                domain_data: (0..size).map(|_| None).collect(),
+                failed: false,
+            }),
+        });
+        (0..size)
+            .map(|rank| Collective {
+                rank,
+                inner: inner.clone(),
+            })
+            .collect()
+    }
+}
+
+/// One participant's handle into a collective group.
+pub struct Collective {
+    rank: usize,
+    inner: Arc<GroupInner>,
+}
+
+/// The contiguous file domain of `rank` within `[lo, hi)` split `size` ways.
+fn domain(lo: u64, hi: u64, size: usize, rank: usize) -> (u64, u64) {
+    let total = hi - lo;
+    let per = total.div_ceil(size as u64);
+    let start = (lo + per * rank as u64).min(hi);
+    let end = (start + per).min(hi);
+    (start, end)
+}
+
+impl Collective {
+    /// This handle's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Group size.
+    pub fn size(&self) -> usize {
+        self.inner.size
+    }
+
+    /// Collective write: every participant contributes `(offset, data)`;
+    /// the group exchanges fragments so each participant issues one large
+    /// contiguous write for its file domain. All participants must call
+    /// this the same number of times (like `MPI_File_write_all`).
+    pub fn write_collective(
+        &self,
+        file: &mut FileHandle,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<()> {
+        // exchange phase: post our piece
+        {
+            let mut st = self.inner.state.lock().unwrap();
+            st.write_posts[self.rank] = Some(WritePost {
+                offset,
+                data: Arc::new(data.to_vec()),
+            });
+        }
+        self.inner.barrier.wait();
+
+        // compute the global span and our domain; gather our bytes
+        let outcome = (|| -> Result<()> {
+            let st = self.inner.state.lock().unwrap();
+            let mut lo = u64::MAX;
+            let mut hi = 0u64;
+            for p in st.write_posts.iter().flatten() {
+                lo = lo.min(p.offset);
+                hi = hi.max(p.offset + p.data.len() as u64);
+            }
+            if lo >= hi {
+                return Ok(()); // everyone wrote zero bytes
+            }
+            let (dlo, dhi) = domain(lo, hi, self.inner.size, self.rank);
+            if dlo >= dhi {
+                return Ok(());
+            }
+            // assemble the domain buffer from everyone's pieces; the domain
+            // may have holes, so track coverage and write only covered runs
+            let dlen = (dhi - dlo) as usize;
+            let mut buf = vec![0u8; dlen];
+            let mut covered = vec![false; dlen];
+            for p in st.write_posts.iter().flatten() {
+                let p_lo = p.offset.max(dlo);
+                let p_hi = (p.offset + p.data.len() as u64).min(dhi);
+                if p_lo >= p_hi {
+                    continue;
+                }
+                let src = &p.data[(p_lo - p.offset) as usize..(p_hi - p.offset) as usize];
+                let dst = (p_lo - dlo) as usize;
+                buf[dst..dst + src.len()].copy_from_slice(src);
+                for c in &mut covered[dst..dst + src.len()] {
+                    *c = true;
+                }
+            }
+            drop(st);
+            // write each covered run contiguously
+            let mut i = 0usize;
+            while i < dlen {
+                if !covered[i] {
+                    i += 1;
+                    continue;
+                }
+                let start = i;
+                while i < dlen && covered[i] {
+                    i += 1;
+                }
+                file.write_bytes(dlo + start as u64, &buf[start..i])?;
+            }
+            Ok(())
+        })();
+
+        if outcome.is_err() {
+            self.inner.state.lock().unwrap().failed = true;
+        }
+        self.inner.barrier.wait();
+        // cleanup + failure propagation
+        let failed = {
+            let mut st = self.inner.state.lock().unwrap();
+            st.write_posts[self.rank] = None;
+            st.failed
+        };
+        self.inner.barrier.wait();
+        if self.rank == 0 {
+            self.inner.state.lock().unwrap().failed = false;
+        }
+        outcome?;
+        if failed {
+            return Err(DpfsError::InvalidArgument(
+                "a collective-write participant failed".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Collective read: every participant requests `(offset, len)`; each
+    /// participant reads one contiguous file domain and the group exchanges
+    /// fragments in memory (like `MPI_File_read_all`).
+    pub fn read_collective(
+        &self,
+        file: &mut FileHandle,
+        offset: u64,
+        len: u64,
+    ) -> Result<Vec<u8>> {
+        {
+            let mut st = self.inner.state.lock().unwrap();
+            st.read_posts[self.rank] = Some(ReadPost { offset, len });
+        }
+        self.inner.barrier.wait();
+
+        // I/O phase: read our domain
+        let (lo, hi) = {
+            let st = self.inner.state.lock().unwrap();
+            let mut lo = u64::MAX;
+            let mut hi = 0u64;
+            for p in st.read_posts.iter().flatten() {
+                if p.len > 0 {
+                    lo = lo.min(p.offset);
+                    hi = hi.max(p.offset + p.len);
+                }
+            }
+            (lo, hi)
+        };
+        let io_result: Result<()> = if lo < hi {
+            let (dlo, dhi) = domain(lo, hi, self.inner.size, self.rank);
+            if dlo < dhi {
+                match file.read_bytes(dlo, dhi - dlo) {
+                    Ok(bytes) => {
+                        self.inner.state.lock().unwrap().domain_data[self.rank] =
+                            Some((dlo, Arc::new(bytes)));
+                        Ok(())
+                    }
+                    Err(e) => Err(e),
+                }
+            } else {
+                Ok(())
+            }
+        } else {
+            Ok(())
+        };
+        if io_result.is_err() {
+            self.inner.state.lock().unwrap().failed = true;
+        }
+        self.inner.barrier.wait();
+
+        // exchange phase: extract our bytes from everyone's domains
+        let (mut out, failed) = {
+            let st = self.inner.state.lock().unwrap();
+            let mut out = vec![0u8; len as usize];
+            if !st.failed {
+                for (dlo, bytes) in st.domain_data.iter().flatten() {
+                    let d_hi = dlo + bytes.len() as u64;
+                    let p_lo = offset.max(*dlo);
+                    let p_hi = (offset + len).min(d_hi);
+                    if p_lo >= p_hi {
+                        continue;
+                    }
+                    let src = &bytes[(p_lo - dlo) as usize..(p_hi - dlo) as usize];
+                    let dst = (p_lo - offset) as usize;
+                    out[dst..dst + src.len()].copy_from_slice(src);
+                }
+            }
+            (out, st.failed)
+        };
+        self.inner.barrier.wait();
+        // cleanup
+        {
+            let mut st = self.inner.state.lock().unwrap();
+            st.read_posts[self.rank] = None;
+            st.domain_data[self.rank] = None;
+        }
+        self.inner.barrier.wait();
+        if self.rank == 0 {
+            self.inner.state.lock().unwrap().failed = false;
+        }
+        io_result?;
+        if failed {
+            out.clear();
+            return Err(DpfsError::InvalidArgument(
+                "a collective-read participant failed".into(),
+            ));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domains_partition_span() {
+        for (lo, hi, size) in [(0u64, 100u64, 4usize), (10, 1000, 7), (0, 5, 8), (3, 4, 2)] {
+            let mut covered = 0u64;
+            let mut prev_end = lo;
+            for rank in 0..size {
+                let (s, e) = domain(lo, hi, size, rank);
+                assert!(s >= prev_end || s == e, "domains must not overlap");
+                assert!(s <= e);
+                covered += e - s;
+                if s < e {
+                    assert_eq!(s, prev_end, "domains must be contiguous");
+                    prev_end = e;
+                }
+            }
+            assert_eq!(covered, hi - lo, "span {lo}..{hi} over {size}");
+            assert_eq!(prev_end, hi);
+        }
+    }
+
+    #[test]
+    fn single_rank_domain_is_everything() {
+        assert_eq!(domain(5, 50, 1, 0), (5, 50));
+    }
+}

@@ -1,0 +1,167 @@
+//! Client-side connections to I/O servers.
+//!
+//! The paper's DPFS-API "invokes system communication API such as socket on
+//! UNIX to send the request to the server" (§2). Each client holds one
+//! persistent TCP connection per server, opened lazily on first use.
+//! Server *names* are dial strings (`host:port`), optionally redirected
+//! through an alias map — the in-process testbed registers servers under
+//! stable display names aliased to their ephemeral localhost ports.
+
+use std::collections::HashMap;
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use dpfs_proto::{frame, ErrorCode, Request, Response};
+use parking_lot::Mutex;
+
+use crate::error::{DpfsError, Result};
+
+/// Maps server names to dial addresses. Empty = dial the name itself.
+#[derive(Debug, Clone, Default)]
+pub struct Resolver {
+    aliases: HashMap<String, String>,
+}
+
+impl Resolver {
+    /// Resolver that dials names directly.
+    pub fn direct() -> Resolver {
+        Resolver::default()
+    }
+
+    /// Add an alias: requests for `name` dial `addr`.
+    pub fn alias(&mut self, name: &str, addr: &str) {
+        self.aliases.insert(name.to_string(), addr.to_string());
+    }
+
+    /// The dial string for `name`.
+    pub fn resolve<'a>(&'a self, name: &'a str) -> &'a str {
+        self.aliases.get(name).map(|s| s.as_str()).unwrap_or(name)
+    }
+}
+
+/// A pool of lazily-opened server connections, owned by one client.
+pub struct ConnPool {
+    resolver: Arc<Resolver>,
+    conns: Mutex<HashMap<String, TcpStream>>,
+}
+
+impl ConnPool {
+    /// New pool using `resolver` for name resolution.
+    pub fn new(resolver: Arc<Resolver>) -> ConnPool {
+        ConnPool {
+            resolver,
+            conns: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Issue one request to `server` and await its response. Opens the
+    /// connection on first use; a transport error evicts the cached
+    /// connection so the next call redials.
+    pub fn rpc(&self, server: &str, req: &Request) -> Result<Response> {
+        let mut conns = self.conns.lock();
+        if !conns.contains_key(server) {
+            let addr = self.resolver.resolve(server);
+            let stream = TcpStream::connect(addr).map_err(|e| DpfsError::Connect {
+                server: server.to_string(),
+                source: e,
+            })?;
+            stream.set_nodelay(true).ok();
+            conns.insert(server.to_string(), stream);
+        }
+        let stream = conns.get_mut(server).expect("just inserted");
+        let outcome = frame::write_frame(stream, &req.encode())
+            .and_then(|()| frame::read_frame(stream))
+            .and_then(Response::decode);
+        match outcome {
+            Ok(resp) => Ok(resp),
+            Err(e) => {
+                conns.remove(server);
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Like [`ConnPool::rpc`] but converts server-side `Error` responses
+    /// into `DpfsError::Server`.
+    pub fn rpc_ok(&self, server: &str, req: &Request) -> Result<Response> {
+        match self.rpc(server, req)? {
+            Response::Error { code, message } => Err(DpfsError::Server { code, message }),
+            resp => Ok(resp),
+        }
+    }
+
+    /// Drop the cached connection to `server` (if any).
+    pub fn disconnect(&self, server: &str) {
+        self.conns.lock().remove(server);
+    }
+
+    /// Probe a server with `Ping`, returning round-trip success.
+    pub fn ping(&self, server: &str) -> bool {
+        matches!(self.rpc(server, &Request::Ping), Ok(Response::Pong))
+    }
+}
+
+/// Interpret a response to a read as data chunks.
+pub fn expect_data(resp: Response) -> Result<Vec<bytes::Bytes>> {
+    match resp {
+        Response::Data { chunks } => Ok(chunks),
+        Response::Error { code, message } => Err(DpfsError::Server { code, message }),
+        other => Err(DpfsError::Server {
+            code: ErrorCode::BadRequest,
+            message: format!("expected Data, got {other:?}"),
+        }),
+    }
+}
+
+/// Interpret a response to a write.
+pub fn expect_written(resp: Response) -> Result<u64> {
+    match resp {
+        Response::Written { bytes } => Ok(bytes),
+        Response::Error { code, message } => Err(DpfsError::Server { code, message }),
+        other => Err(DpfsError::Server {
+            code: ErrorCode::BadRequest,
+            message: format!("expected Written, got {other:?}"),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolver_aliases() {
+        let mut r = Resolver::direct();
+        assert_eq!(r.resolve("127.0.0.1:9999"), "127.0.0.1:9999");
+        r.alias("ccn60.mcs.anl.gov", "127.0.0.1:5001");
+        assert_eq!(r.resolve("ccn60.mcs.anl.gov"), "127.0.0.1:5001");
+        assert_eq!(r.resolve("other"), "other");
+    }
+
+    #[test]
+    fn connect_failure_is_typed() {
+        let pool = ConnPool::new(Arc::new(Resolver::direct()));
+        // port 1 on localhost: nothing listens there
+        let err = pool.rpc("127.0.0.1:1", &Request::Ping).unwrap_err();
+        assert!(matches!(err, DpfsError::Connect { .. }));
+        assert!(!pool.ping("127.0.0.1:1"));
+    }
+
+    #[test]
+    fn expect_helpers() {
+        assert!(expect_data(Response::Pong).is_err());
+        assert_eq!(expect_written(Response::Written { bytes: 9 }).unwrap(), 9);
+        let err = expect_written(Response::Error {
+            code: ErrorCode::NoSpace,
+            message: "full".into(),
+        })
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            DpfsError::Server {
+                code: ErrorCode::NoSpace,
+                ..
+            }
+        ));
+    }
+}

@@ -1,0 +1,87 @@
+//! Error type for the DPFS client library.
+
+use std::fmt;
+
+use dpfs_meta::MetaError;
+use dpfs_proto::{ErrorCode, FrameError};
+
+/// Errors surfaced by the DPFS API.
+#[derive(Debug)]
+pub enum DpfsError {
+    /// Metadata-database failure.
+    Meta(MetaError),
+    /// Wire-protocol failure talking to a server.
+    Frame(FrameError),
+    /// A server answered with a protocol-level error.
+    Server { code: ErrorCode, message: String },
+    /// Could not connect to a server.
+    Connect { server: String, source: std::io::Error },
+    /// The named file does not exist.
+    NoSuchFile(String),
+    /// The named file already exists.
+    FileExists(String),
+    /// The named directory does not exist.
+    NoSuchDirectory(String),
+    /// Invalid argument (shape mismatch, out-of-bounds region, bad hint...).
+    InvalidArgument(String),
+    /// The operation is not valid for the file's level.
+    WrongLevel { expected: &'static str, actual: String },
+    /// Local I/O error (import/export of sequential files).
+    Io(std::io::Error),
+}
+
+impl fmt::Display for DpfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DpfsError::Meta(e) => write!(f, "metadata error: {e}"),
+            DpfsError::Frame(e) => write!(f, "protocol error: {e}"),
+            DpfsError::Server { code, message } => {
+                write!(f, "server error ({code:?}): {message}")
+            }
+            DpfsError::Connect { server, source } => {
+                write!(f, "cannot connect to server {server}: {source}")
+            }
+            DpfsError::NoSuchFile(p) => write!(f, "no such file: {p}"),
+            DpfsError::FileExists(p) => write!(f, "file exists: {p}"),
+            DpfsError::NoSuchDirectory(p) => write!(f, "no such directory: {p}"),
+            DpfsError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            DpfsError::WrongLevel { expected, actual } => {
+                write!(f, "operation requires a {expected} file, found {actual}")
+            }
+            DpfsError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DpfsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DpfsError::Meta(e) => Some(e),
+            DpfsError::Frame(e) => Some(e),
+            DpfsError::Connect { source, .. } => Some(source),
+            DpfsError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MetaError> for DpfsError {
+    fn from(e: MetaError) -> Self {
+        DpfsError::Meta(e)
+    }
+}
+
+impl From<FrameError> for DpfsError {
+    fn from(e: FrameError) -> Self {
+        DpfsError::Frame(e)
+    }
+}
+
+impl From<std::io::Error> for DpfsError {
+    fn from(e: std::io::Error) -> Self {
+        DpfsError::Io(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, DpfsError>;

@@ -1,0 +1,615 @@
+//! Open-file handles: the read/write engine.
+//!
+//! A [`FileHandle`] owns everything needed to turn a user access into server
+//! requests: the file's layout, its brick map, the server name list, and the
+//! client's options (request combination on/off, stagger rank, read
+//! granularity). Requests are issued sequentially per client — the
+//! parallelism DPFS measures comes from many clients hitting many servers,
+//! as in the paper's evaluation.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use dpfs_meta::{Catalog, Distribution};
+use dpfs_proto::Request;
+
+use crate::cache::BrickCache;
+use crate::conn::{expect_data, expect_written, ConnPool};
+use crate::datatype::Datatype;
+use crate::error::{DpfsError, Result};
+use crate::geometry::Region;
+use crate::hints::{FileLevel, Placement};
+use crate::layout::{bricks_for, BrickRun, Layout};
+use crate::placement::BrickMap;
+use crate::plan::{plan_reads, plan_writes, Granularity};
+
+/// Per-client I/O options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientOptions {
+    /// Apply the paper's request-combination optimization (§4.2).
+    pub combine: bool,
+    /// Read transfer granularity (whole bricks by default, as in the paper).
+    pub granularity: Granularity,
+    /// This client's rank; sets the staggered schedule's starting server.
+    pub rank: usize,
+}
+
+impl Default for ClientOptions {
+    fn default() -> Self {
+        ClientOptions {
+            combine: true,
+            granularity: Granularity::Brick,
+            rank: 0,
+        }
+    }
+}
+
+/// Client-side I/O statistics for one file handle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Framed requests issued.
+    pub requests: u64,
+    /// Bytes received over the wire (including discarded brick padding).
+    pub wire_read: u64,
+    /// Bytes of received data actually used.
+    pub useful_read: u64,
+    /// Bytes sent over the wire.
+    pub wire_written: u64,
+}
+
+/// An open DPFS file.
+pub struct FileHandle {
+    path: String,
+    catalog: Catalog,
+    pool: Arc<ConnPool>,
+    /// Server names in catalog order; request `server` indices point here.
+    servers: Vec<String>,
+    /// Performance numbers of `servers` (greedy extension needs them).
+    perf: Vec<i64>,
+    layout: Layout,
+    map: BrickMap,
+    placement: Placement,
+    opts: ClientOptions,
+    /// Current logical size in bytes.
+    size: u64,
+    stats: ClientStats,
+    /// Optional client-side brick cache (extension; see [`crate::cache`]).
+    cache: Option<BrickCache>,
+    /// Bricks of sequential read-ahead (0 = off). Requires the cache.
+    prefetch_bricks: u64,
+    /// End offset of the last byte-API read (sequential-pattern detector).
+    last_read_end: u64,
+}
+
+impl FileHandle {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        path: String,
+        catalog: Catalog,
+        pool: Arc<ConnPool>,
+        servers: Vec<String>,
+        perf: Vec<i64>,
+        layout: Layout,
+        map: BrickMap,
+        placement: Placement,
+        opts: ClientOptions,
+        size: u64,
+    ) -> FileHandle {
+        FileHandle {
+            path,
+            catalog,
+            pool,
+            servers,
+            perf,
+            layout,
+            map,
+            placement,
+            opts,
+            size,
+            stats: ClientStats::default(),
+            cache: None,
+            prefetch_bricks: 0,
+            last_read_end: u64::MAX,
+        }
+    }
+
+    /// The file's DPFS path.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// The file's layout.
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// The file's level.
+    pub fn level(&self) -> FileLevel {
+        self.layout.level()
+    }
+
+    /// Current logical size in bytes.
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// The brick-to-server map.
+    pub fn brick_map(&self) -> &BrickMap {
+        &self.map
+    }
+
+    /// The server names this file is striped over.
+    pub fn servers(&self) -> &[String] {
+        &self.servers
+    }
+
+    /// I/O statistics accumulated on this handle.
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    /// Override client options (rank, combination) after open.
+    pub fn set_options(&mut self, opts: ClientOptions) {
+        self.opts = opts;
+    }
+
+    /// Enable a client-side brick cache of `capacity` bytes (0 disables).
+    /// Only effective with [`Granularity::Brick`] reads, where whole bricks
+    /// travel the wire anyway.
+    pub fn enable_cache(&mut self, capacity: u64) {
+        self.cache = if capacity == 0 {
+            None
+        } else {
+            Some(BrickCache::new(capacity))
+        };
+    }
+
+    /// `(hits, misses)` of the brick cache, if enabled.
+    pub fn cache_stats(&self) -> Option<(u64, u64)> {
+        self.cache.as_ref().map(|c| c.stats())
+    }
+
+    /// Enable sequential read-ahead: when a byte-API read continues where
+    /// the previous one ended, the next `bricks` bricks are fetched into
+    /// the cache alongside it (extension; the paper relies on the server's
+    /// local-FS prefetching only). Implies enabling the cache if it is off.
+    pub fn enable_prefetch(&mut self, bricks: u64, cache_capacity: u64) {
+        self.prefetch_bricks = bricks;
+        if bricks > 0 && self.cache.is_none() {
+            self.enable_cache(cache_capacity.max(1));
+        }
+    }
+
+    // ---------------------------------------------------------- byte API
+
+    /// Write `data` at byte `offset` (linear files only). Grows the file —
+    /// and its brick distribution — as needed.
+    pub fn write_bytes(&mut self, offset: u64, data: &[u8]) -> Result<()> {
+        let Layout::Linear(lin) = &self.layout else {
+            return Err(DpfsError::WrongLevel {
+                expected: "linear",
+                actual: self.level().as_str().into(),
+            });
+        };
+        if data.is_empty() {
+            return Ok(());
+        }
+        let end = offset + data.len() as u64;
+        let needed = bricks_for(end, lin.brick_bytes);
+        if needed > self.map.num_bricks() {
+            self.grow_to(needed)?;
+        }
+        let Layout::Linear(lin) = &self.layout else { unreachable!() };
+        let runs = lin.map_bytes(offset, data.len() as u64, 0);
+        self.execute_writes(&runs, data)?;
+        if end > self.size {
+            self.size = end;
+            self.catalog.set_file_size(&self.path, end as i64)?;
+        }
+        Ok(())
+    }
+
+    /// Read `len` bytes at `offset` (linear files only). Bytes past the
+    /// written extent come back zero-filled.
+    pub fn read_bytes(&mut self, offset: u64, len: u64) -> Result<Vec<u8>> {
+        let Layout::Linear(lin) = &self.layout else {
+            return Err(DpfsError::WrongLevel {
+                expected: "linear",
+                actual: self.level().as_str().into(),
+            });
+        };
+        let mut buf = vec![0u8; len as usize];
+        if len == 0 {
+            return Ok(buf);
+        }
+        let end = offset + len;
+        if bricks_for(end, lin.brick_bytes) > self.map.num_bricks() {
+            return Err(DpfsError::InvalidArgument(format!(
+                "read [{offset}, {end}) beyond file's {} bricks",
+                self.map.num_bricks()
+            )));
+        }
+        let runs = lin.map_bytes(offset, len, 0);
+        let sequential = offset == self.last_read_end;
+        self.last_read_end = end;
+        self.execute_reads(&runs, &mut buf)?;
+        if sequential && self.prefetch_bricks > 0 {
+            self.prefetch_after(end)?;
+        }
+        Ok(buf)
+    }
+
+    /// Fetch the next `prefetch_bricks` bricks after byte `end` into the
+    /// cache (best effort: stops at end of file; skips cached bricks).
+    fn prefetch_after(&mut self, end: u64) -> Result<()> {
+        let Layout::Linear(lin) = &self.layout else {
+            return Ok(());
+        };
+        let brick_bytes = lin.brick_bytes;
+        let first = end.div_ceil(brick_bytes);
+        let last = (first + self.prefetch_bricks).min(self.map.num_bricks());
+        let Some(cache) = &self.cache else {
+            return Ok(());
+        };
+        // Refill only when the window is exhausted (the very next brick is
+        // uncached); a sliding one-brick-at-a-time refill would defeat
+        // batching.
+        if first >= last || cache.contains(first) {
+            return Ok(());
+        }
+        let runs: Vec<BrickRun> = (first..last)
+            .filter(|b| !cache.contains(*b))
+            .map(|b| BrickRun {
+                brick: b,
+                brick_off: 0,
+                buf_off: (b - first) * brick_bytes,
+                len: brick_bytes,
+            })
+            .collect();
+        if runs.is_empty() {
+            return Ok(());
+        }
+        let total: u64 = runs.iter().map(|r| r.len).sum();
+        let mut scratch = vec![0u8; ((last - first) * brick_bytes) as usize];
+        let _ = total;
+        self.execute_reads(&runs, &mut scratch)
+    }
+
+    // -------------------------------------------------------- region API
+
+    /// Write a rectangular region of a multidim/array file. `data` holds
+    /// the region packed row-major (`region.volume() * elem_bytes` bytes).
+    pub fn write_region(&mut self, region: &Region, data: &[u8]) -> Result<()> {
+        let runs = self.region_runs(region)?;
+        let expect: u64 = runs.iter().map(|r| r.len).sum();
+        if data.len() as u64 != expect {
+            return Err(DpfsError::InvalidArgument(format!(
+                "buffer of {} bytes for region of {} bytes",
+                data.len(),
+                expect
+            )));
+        }
+        self.execute_writes(&runs, data)
+    }
+
+    /// Read a rectangular region of a multidim/array file, packed
+    /// row-major.
+    pub fn read_region(&mut self, region: &Region) -> Result<Vec<u8>> {
+        let runs = self.region_runs(region)?;
+        let len: u64 = runs.iter().map(|r| r.len).sum();
+        let mut buf = vec![0u8; len as usize];
+        self.execute_reads(&runs, &mut buf)?;
+        Ok(buf)
+    }
+
+    fn region_runs(&self, region: &Region) -> Result<Vec<BrickRun>> {
+        match &self.layout {
+            Layout::Multidim(md) => md.map_region(region),
+            Layout::Array(ar) => ar.map_region(region),
+            Layout::Linear(_) => Err(DpfsError::WrongLevel {
+                expected: "multidim or array",
+                actual: "linear".into(),
+            }),
+        }
+    }
+
+    // ------------------------------------------------------ datatype API
+
+    /// Write through a derived datatype anchored at byte `base` of a linear
+    /// file. `data` packs the datatype's runs contiguously.
+    pub fn write_datatype(&mut self, base: u64, dtype: &Datatype, data: &[u8]) -> Result<()> {
+        if data.len() as u64 != dtype.size() {
+            return Err(DpfsError::InvalidArgument(format!(
+                "buffer of {} bytes for datatype of {} bytes",
+                data.len(),
+                dtype.size()
+            )));
+        }
+        let mut buf_off = 0u64;
+        // materialize runs then write as one planned batch
+        let Layout::Linear(lin) = &self.layout else {
+            return Err(DpfsError::WrongLevel {
+                expected: "linear",
+                actual: self.level().as_str().into(),
+            });
+        };
+        let end = base + dtype.extent();
+        let needed = bricks_for(end.max(1), lin.brick_bytes);
+        if needed > self.map.num_bricks() {
+            self.grow_to(needed)?;
+        }
+        let Layout::Linear(lin) = &self.layout else { unreachable!() };
+        let mut runs = Vec::new();
+        for (off, len) in dtype.flatten() {
+            runs.extend(lin.map_bytes(base + off, len, buf_off));
+            buf_off += len;
+        }
+        self.execute_writes(&runs, data)?;
+        if end > self.size {
+            self.size = end;
+            self.catalog.set_file_size(&self.path, end as i64)?;
+        }
+        Ok(())
+    }
+
+    /// Read through a derived datatype anchored at byte `base` of a linear
+    /// file; returns the packed bytes.
+    pub fn read_datatype(&mut self, base: u64, dtype: &Datatype) -> Result<Vec<u8>> {
+        let Layout::Linear(lin) = &self.layout else {
+            return Err(DpfsError::WrongLevel {
+                expected: "linear",
+                actual: self.level().as_str().into(),
+            });
+        };
+        let end = base + dtype.extent();
+        if bricks_for(end.max(1), lin.brick_bytes) > self.map.num_bricks() {
+            return Err(DpfsError::InvalidArgument(
+                "datatype extends beyond file".into(),
+            ));
+        }
+        let mut buf = vec![0u8; dtype.size() as usize];
+        let mut runs = Vec::new();
+        let mut buf_off = 0u64;
+        for (off, len) in dtype.flatten() {
+            runs.extend(lin.map_bytes(base + off, len, buf_off));
+            buf_off += len;
+        }
+        self.execute_reads(&runs, &mut buf)?;
+        Ok(buf)
+    }
+
+    // --------------------------------------------------------- chunk API
+
+    /// The rectangular region of HPF chunk `rank` (array files with pure
+    /// BLOCK/`*` patterns; cyclic chunks have no bounding rectangle).
+    pub fn chunk_region(&self, rank: u64) -> Result<Region> {
+        match &self.layout {
+            Layout::Array(ar) => {
+                if rank >= ar.num_bricks() {
+                    return Err(DpfsError::InvalidArgument(format!(
+                        "chunk {rank} of {}",
+                        ar.num_bricks()
+                    )));
+                }
+                ar.chunk_region(rank).ok_or_else(|| {
+                    DpfsError::InvalidArgument(
+                        "cyclic chunks are not rectangular; use write_chunk/read_chunk".into(),
+                    )
+                })
+            }
+            other => Err(DpfsError::WrongLevel {
+                expected: "array",
+                actual: other.level().as_str().into(),
+            }),
+        }
+    }
+
+    /// Write processor `rank`'s whole chunk (array files): the checkpoint
+    /// pattern of paper §3.3 — one brick, one request. `data` is the
+    /// processor's HPF *local array*, packed row-major (for pure-BLOCK
+    /// patterns that equals the chunk's rectangular region).
+    pub fn write_chunk(&mut self, rank: u64, data: &[u8]) -> Result<()> {
+        let len = self.chunk_check(rank, data.len() as u64)?;
+        let runs = [BrickRun {
+            brick: rank,
+            brick_off: 0,
+            buf_off: 0,
+            len,
+        }];
+        self.execute_writes(&runs, data)
+    }
+
+    /// Read processor `rank`'s whole chunk back (the local array bytes).
+    pub fn read_chunk(&mut self, rank: u64) -> Result<Vec<u8>> {
+        let len = match &self.layout {
+            Layout::Array(ar) if rank < ar.num_bricks() => ar.chunk_len(rank),
+            Layout::Array(ar) => {
+                return Err(DpfsError::InvalidArgument(format!(
+                    "chunk {rank} of {}",
+                    ar.num_bricks()
+                )))
+            }
+            other => {
+                return Err(DpfsError::WrongLevel {
+                    expected: "array",
+                    actual: other.level().as_str().into(),
+                })
+            }
+        };
+        let mut buf = vec![0u8; len as usize];
+        let runs = [BrickRun {
+            brick: rank,
+            brick_off: 0,
+            buf_off: 0,
+            len,
+        }];
+        self.execute_reads(&runs, &mut buf)?;
+        Ok(buf)
+    }
+
+    fn chunk_check(&self, rank: u64, data_len: u64) -> Result<u64> {
+        let Layout::Array(ar) = &self.layout else {
+            return Err(DpfsError::WrongLevel {
+                expected: "array",
+                actual: self.level().as_str().into(),
+            });
+        };
+        if rank >= ar.num_bricks() {
+            return Err(DpfsError::InvalidArgument(format!(
+                "chunk {rank} of {}",
+                ar.num_bricks()
+            )));
+        }
+        let len = ar.chunk_len(rank);
+        if data_len != len {
+            return Err(DpfsError::InvalidArgument(format!(
+                "chunk {rank} is {len} bytes, buffer has {data_len}"
+            )));
+        }
+        Ok(len)
+    }
+
+    // -------------------------------------------------------- execution
+
+    fn execute_writes(&mut self, runs: &[BrickRun], data: &[u8]) -> Result<()> {
+        if let Some(cache) = &mut self.cache {
+            for r in runs {
+                cache.invalidate(r.brick);
+            }
+        }
+        let reqs = plan_writes(runs, &self.map, &self.layout, self.opts.combine, self.opts.rank);
+        for req in reqs {
+            let ranges: Vec<(u64, Bytes)> = req
+                .ranges
+                .iter()
+                .map(|&(sub_off, buf_off, len)| {
+                    (
+                        sub_off,
+                        Bytes::copy_from_slice(&data[buf_off as usize..(buf_off + len) as usize]),
+                    )
+                })
+                .collect();
+            let wire: u64 = req.wire_bytes();
+            let resp = self.pool.rpc_ok(
+                &self.servers[req.server],
+                &Request::Write {
+                    subfile: self.path.clone(),
+                    ranges,
+                },
+            )?;
+            expect_written(resp)?;
+            self.stats.requests += 1;
+            self.stats.wire_written += wire;
+        }
+        Ok(())
+    }
+
+    fn execute_reads(&mut self, runs: &[BrickRun], buf: &mut [u8]) -> Result<()> {
+        // Serve runs whose bricks are cached locally; fetch the rest.
+        let mut remaining: Vec<BrickRun> = Vec::with_capacity(runs.len());
+        if let (Some(cache), Granularity::Brick) = (&mut self.cache, self.opts.granularity) {
+            for r in runs {
+                match cache.get(r.brick) {
+                    Some(data) => {
+                        let src = &data[r.brick_off as usize..(r.brick_off + r.len) as usize];
+                        buf[r.buf_off as usize..(r.buf_off + r.len) as usize]
+                            .copy_from_slice(src);
+                        self.stats.useful_read += r.len;
+                    }
+                    None => remaining.push(*r),
+                }
+            }
+            if remaining.is_empty() {
+                return Ok(());
+            }
+        } else {
+            remaining.extend_from_slice(runs);
+        }
+        let runs = remaining.as_slice();
+        let reqs = plan_reads(
+            runs,
+            &self.map,
+            &self.layout,
+            self.opts.combine,
+            self.opts.granularity,
+            self.opts.rank,
+        );
+        for req in reqs {
+            let resp = self.pool.rpc_ok(
+                &self.servers[req.server],
+                &Request::Read {
+                    subfile: self.path.clone(),
+                    ranges: req.ranges.clone(),
+                },
+            )?;
+            let chunks = expect_data(resp)?;
+            if chunks.len() != req.ranges.len() {
+                return Err(DpfsError::InvalidArgument(format!(
+                    "server returned {} chunks for {} ranges",
+                    chunks.len(),
+                    req.ranges.len()
+                )));
+            }
+            self.stats.requests += 1;
+            self.stats.wire_read += req.wire_bytes();
+            for piece in &req.scatter {
+                let chunk = &chunks[piece.chunk];
+                let src = &chunk[piece.chunk_off as usize..(piece.chunk_off + piece.len) as usize];
+                buf[piece.buf_off as usize..(piece.buf_off + piece.len) as usize]
+                    .copy_from_slice(src);
+                self.stats.useful_read += piece.len;
+            }
+            if let Some(cache) = &mut self.cache {
+                for (i, &brick) in req.bricks.iter().enumerate() {
+                    cache.insert(brick, chunks[i].clone());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Grow a linear file's brick map to `needed` bricks, persisting the new
+    /// brick lists to the catalog.
+    fn grow_to(&mut self, needed: u64) -> Result<()> {
+        let extra = needed - self.map.num_bricks();
+        match self.placement {
+            Placement::RoundRobin => self.map.extend(extra, None),
+            Placement::Greedy => self.map.extend(extra, Some(&self.perf)),
+        }
+        if let Layout::Linear(lin) = &mut self.layout {
+            lin.file_bytes = lin.file_bytes.max(needed * lin.brick_bytes);
+        }
+        let dist: Vec<Distribution> = self
+            .servers
+            .iter()
+            .zip(self.map.bricklists())
+            .map(|(server, bricks)| Distribution {
+                server: server.clone(),
+                filename: self.path.clone(),
+                bricklist: bricks.iter().map(|&b| b as i64).collect(),
+            })
+            .collect();
+        self.catalog.update_distribution(&self.path, &dist)?;
+        Ok(())
+    }
+
+    /// Ask every server holding this file to flush its subfile.
+    pub fn sync(&mut self) -> Result<()> {
+        for server in &self.servers {
+            self.pool.rpc_ok(
+                server,
+                &Request::Sync {
+                    subfile: self.path.clone(),
+                },
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Close the handle, persisting the final size. (Dropping the handle
+    /// also works; `close` surfaces errors.)
+    pub fn close(self) -> Result<()> {
+        self.catalog.set_file_size(&self.path, self.size as i64)?;
+        Ok(())
+    }
+}

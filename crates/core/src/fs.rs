@@ -1,0 +1,361 @@
+//! The DPFS client: file-system operations over the metadata catalog and
+//! the I/O servers.
+
+use std::sync::Arc;
+
+use dpfs_meta::catalog::{base_name, normalize_path};
+use dpfs_meta::{Catalog, Database, Distribution, FileAttrRow, ServerInfo};
+use dpfs_proto::Request;
+
+use crate::conn::{ConnPool, Resolver};
+use crate::error::{DpfsError, Result};
+use crate::file::{ClientOptions, FileHandle};
+use crate::geometry::Shape;
+use crate::hints::{FileLevel, Hint, HpfPattern, Placement, Striping};
+use crate::layout::Layout;
+use crate::placement::{greedy, round_robin, BrickMap};
+
+/// A DPFS client instance. Cheap to create; each compute node (thread)
+/// makes its own, sharing the metadata database.
+pub struct Dpfs {
+    catalog: Catalog,
+    pool: Arc<ConnPool>,
+    opts: ClientOptions,
+}
+
+impl Dpfs {
+    /// Mount DPFS: wrap the metadata database and set up connections.
+    pub fn mount(db: Arc<Database>, resolver: Resolver, opts: ClientOptions) -> Result<Dpfs> {
+        Ok(Dpfs {
+            catalog: Catalog::new(db)?,
+            pool: Arc::new(ConnPool::new(Arc::new(resolver))),
+            opts,
+        })
+    }
+
+    /// Mount with default options and direct name resolution.
+    pub fn mount_simple(db: Arc<Database>) -> Result<Dpfs> {
+        Self::mount(db, Resolver::direct(), ClientOptions::default())
+    }
+
+    /// The metadata catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// This client's default options.
+    pub fn options(&self) -> ClientOptions {
+        self.opts
+    }
+
+    /// Register an I/O server in the catalog.
+    pub fn register_server(&self, info: &ServerInfo) -> Result<()> {
+        Ok(self.catalog.register_server(info)?)
+    }
+
+    // ------------------------------------------------------------ create
+
+    /// Create a DPFS file per the hint (paper: `DPFS-Open` for writing with
+    /// a hint structure). Returns an open handle.
+    pub fn create(&self, path: &str, hint: &Hint) -> Result<FileHandle> {
+        let path = normalize_path(path)?;
+        let all = self.catalog.list_servers()?;
+        if all.is_empty() {
+            return Err(DpfsError::InvalidArgument(
+                "no I/O servers registered".into(),
+            ));
+        }
+        let n = hint.io_nodes.unwrap_or(all.len()).clamp(1, all.len());
+        // Deterministic choice: first n servers in name order.
+        let chosen: Vec<ServerInfo> = all.into_iter().take(n).collect();
+        let names: Vec<String> = chosen.iter().map(|s| s.name.clone()).collect();
+        let perf: Vec<i64> = chosen.iter().map(|s| s.performance.max(1)).collect();
+
+        let layout = Layout::from_striping(&hint.striping)?;
+        let num_bricks = layout.num_bricks();
+        let assignment = match hint.placement {
+            Placement::RoundRobin => round_robin(num_bricks, n),
+            Placement::Greedy => greedy(num_bricks, &perf),
+        };
+        let map = BrickMap::from_assignment(assignment, n);
+
+        let attr = attr_for(&path, hint, &layout);
+        let dist: Vec<Distribution> = names
+            .iter()
+            .zip(map.bricklists())
+            .map(|(server, bricks)| Distribution {
+                server: server.clone(),
+                filename: path.clone(),
+                bricklist: bricks.iter().map(|&b| b as i64).collect(),
+            })
+            .collect();
+        self.catalog.create_file(&attr, &dist).map_err(|e| match e {
+            dpfs_meta::MetaError::DuplicateKey(_) => DpfsError::FileExists(path.clone()),
+            other => other.into(),
+        })?;
+
+        Ok(FileHandle::new(
+            path,
+            self.catalog.clone(),
+            self.pool.clone(),
+            names,
+            perf,
+            layout,
+            map,
+            hint.placement,
+            self.opts,
+            attr.size as u64,
+        ))
+    }
+
+    // -------------------------------------------------------------- open
+
+    /// Open an existing DPFS file (paper: `DPFS-Open` for reading).
+    pub fn open(&self, path: &str) -> Result<FileHandle> {
+        self.open_with(path, self.opts)
+    }
+
+    /// Open with explicit client options (rank, combination, granularity).
+    pub fn open_with(&self, path: &str, opts: ClientOptions) -> Result<FileHandle> {
+        let path = normalize_path(path)?;
+        let attr = self
+            .catalog
+            .get_file_attr(&path)?
+            .ok_or_else(|| DpfsError::NoSuchFile(path.clone()))?;
+        let striping = striping_from_attr(&attr)?;
+        let layout = Layout::from_striping(&striping)?;
+        let dist = self.catalog.get_distribution(&path)?;
+        if dist.is_empty() {
+            return Err(DpfsError::InvalidArgument(format!(
+                "file {path} has no distribution rows"
+            )));
+        }
+        let names: Vec<String> = dist.iter().map(|d| d.server.clone()).collect();
+        let lists: Vec<Vec<i64>> = dist.iter().map(|d| d.bricklist.clone()).collect();
+        let map = BrickMap::from_bricklists(&lists)?;
+        let mut perf = Vec::with_capacity(names.len());
+        for name in &names {
+            perf.push(
+                self.catalog
+                    .get_server(name)?
+                    .map(|s| s.performance.max(1))
+                    .unwrap_or(1),
+            );
+        }
+        let placement = match attr.placement.as_str() {
+            "greedy" => Placement::Greedy,
+            _ => Placement::RoundRobin,
+        };
+        Ok(FileHandle::new(
+            path,
+            self.catalog.clone(),
+            self.pool.clone(),
+            names,
+            perf,
+            layout,
+            map,
+            placement,
+            opts,
+            attr.size as u64,
+        ))
+    }
+
+    // --------------------------------------------------- namespace ops
+
+    /// Delete a file: metadata first (transactional), then each server's
+    /// subfile.
+    pub fn unlink(&self, path: &str) -> Result<()> {
+        let path = normalize_path(path)?;
+        let dist = self.catalog.delete_file(&path).map_err(|e| match e {
+            dpfs_meta::MetaError::NoSuchTable(_) => DpfsError::NoSuchFile(path.clone()),
+            other => other.into(),
+        })?;
+        for d in dist {
+            // best effort: a dead server must not strand the namespace
+            let _ = self.pool.rpc(
+                &d.server,
+                &Request::Delete {
+                    subfile: path.clone(),
+                },
+            );
+        }
+        Ok(())
+    }
+
+    /// Create a directory.
+    pub fn mkdir(&self, path: &str) -> Result<()> {
+        self.catalog.mkdir(path).map_err(|e| match e {
+            dpfs_meta::MetaError::NoSuchTable(m) => DpfsError::NoSuchDirectory(m),
+            other => other.into(),
+        })
+    }
+
+    /// Remove an empty directory.
+    pub fn rmdir(&self, path: &str) -> Result<()> {
+        Ok(self.catalog.rmdir(path)?)
+    }
+
+    /// List a directory: `(sub-directory names, file names)`, base names
+    /// only, sorted.
+    pub fn readdir(&self, path: &str) -> Result<(Vec<String>, Vec<String>)> {
+        let entry = self
+            .catalog
+            .get_dir(path)?
+            .ok_or_else(|| DpfsError::NoSuchDirectory(path.to_string()))?;
+        let mut dirs: Vec<String> = entry
+            .sub_dirs
+            .iter()
+            .map(|d| base_name(d).to_string())
+            .collect();
+        let mut files: Vec<String> = entry
+            .files
+            .iter()
+            .map(|f| base_name(f).to_string())
+            .collect();
+        dirs.sort();
+        files.sort();
+        Ok((dirs, files))
+    }
+
+    /// Stat a file.
+    pub fn stat(&self, path: &str) -> Result<FileAttrRow> {
+        let path = normalize_path(path)?;
+        self.catalog
+            .get_file_attr(&path)?
+            .ok_or(DpfsError::NoSuchFile(path))
+    }
+
+    /// True if the path names an existing file.
+    pub fn exists(&self, path: &str) -> Result<bool> {
+        Ok(self.catalog.get_file_attr(&normalize_path(path)?)?.is_some())
+    }
+
+    /// True if the path names an existing directory.
+    pub fn dir_exists(&self, path: &str) -> Result<bool> {
+        Ok(self.catalog.get_dir(path)?.is_some())
+    }
+
+    /// Rename a file. Metadata moves atomically in the catalog; since
+    /// subfiles are keyed by DPFS path, each server then copies its subfile
+    /// to the new name and deletes the old one.
+    pub fn rename(&self, from: &str, to: &str) -> Result<()> {
+        let from_n = normalize_path(from)?;
+        let to_n = normalize_path(to)?;
+        // Move the bytes: read whole subfiles server-side is overkill at
+        // this layer; instead we re-point metadata and copy per server.
+        let dist = self.catalog.get_distribution(&from_n)?;
+        self.catalog.rename_file(&from_n, &to_n)?;
+        for d in &dist {
+            // copy subfile content under the new name on the same server
+            let stat = self.pool.rpc_ok(
+                &d.server,
+                &Request::Stat {
+                    subfile: from_n.clone(),
+                },
+            );
+            let size = match stat {
+                Ok(dpfs_proto::Response::Stat { exists: true, size }) => size,
+                _ => continue, // nothing written yet on this server
+            };
+            let data = self.pool.rpc_ok(
+                &d.server,
+                &Request::Read {
+                    subfile: from_n.clone(),
+                    ranges: vec![(0, size)],
+                },
+            )?;
+            if let dpfs_proto::Response::Data { chunks } = data {
+                self.pool.rpc_ok(
+                    &d.server,
+                    &Request::Write {
+                        subfile: to_n.clone(),
+                        ranges: vec![(0, chunks[0].clone())],
+                    },
+                )?;
+            }
+            let _ = self.pool.rpc(
+                &d.server,
+                &Request::Delete {
+                    subfile: from_n.clone(),
+                },
+            );
+        }
+        Ok(())
+    }
+
+    /// Connection pool (the shell and tests reach through for pings).
+    pub fn pool(&self) -> &Arc<ConnPool> {
+        &self.pool
+    }
+}
+
+/// Build the catalog attribute row for a new file.
+fn attr_for(path: &str, hint: &Hint, layout: &Layout) -> FileAttrRow {
+    let (dims, dimsize, stripe_dims, stripe_size, pattern) = match &hint.striping {
+        Striping::Linear {
+            brick_bytes,
+            file_bytes: _,
+        } => (0i64, Vec::new(), Vec::new(), *brick_bytes as i64, String::new()),
+        Striping::Multidim {
+            array,
+            brick,
+            elem_bytes,
+        } => (
+            array.ndims() as i64,
+            array.0.iter().map(|&x| x as i64).collect(),
+            brick.0.iter().map(|&x| x as i64).collect(),
+            *elem_bytes as i64,
+            String::new(),
+        ),
+        Striping::Array {
+            array,
+            pattern,
+            elem_bytes,
+        } => (
+            array.ndims() as i64,
+            array.0.iter().map(|&x| x as i64).collect(),
+            pattern.grid().0.iter().map(|&x| x as i64).collect(),
+            *elem_bytes as i64,
+            pattern.to_pattern_string(),
+        ),
+    };
+    FileAttrRow {
+        filename: path.to_string(),
+        owner: hint.owner.clone(),
+        permission: hint.permission,
+        size: match &hint.striping {
+            Striping::Linear { file_bytes, .. } => *file_bytes as i64,
+            _ => layout.file_bytes() as i64,
+        },
+        filelevel: layout.level().as_str().to_string(),
+        dims,
+        dimsize,
+        stripe_dims,
+        stripe_size,
+        pattern,
+        placement: match hint.placement {
+            Placement::RoundRobin => "round_robin".to_string(),
+            Placement::Greedy => "greedy".to_string(),
+        },
+    }
+}
+
+/// Reconstruct striping geometry from a catalog attribute row.
+pub fn striping_from_attr(attr: &FileAttrRow) -> Result<Striping> {
+    match FileLevel::parse(&attr.filelevel)? {
+        FileLevel::Linear => Ok(Striping::Linear {
+            brick_bytes: attr.stripe_size as u64,
+            file_bytes: attr.size as u64,
+        }),
+        FileLevel::Multidim => Ok(Striping::Multidim {
+            array: Shape::new(attr.dimsize.iter().map(|&x| x as u64).collect())?,
+            brick: Shape::new(attr.stripe_dims.iter().map(|&x| x as u64).collect())?,
+            elem_bytes: attr.stripe_size as u64,
+        }),
+        FileLevel::Array => Ok(Striping::Array {
+            array: Shape::new(attr.dimsize.iter().map(|&x| x as u64).collect())?,
+            pattern: HpfPattern::from_catalog(&attr.pattern, &attr.stripe_dims)?,
+            elem_bytes: attr.stripe_size as u64,
+        }),
+    }
+}

@@ -1,0 +1,386 @@
+//! File levels, HPF distribution patterns, and the DPFS hint structure.
+//!
+//! "The hint structure provided by DPFS API is the tool to convey user's
+//! knowledge to the low level systems. The most important information in the
+//! hint structure is the file level when the file is created." (paper §6)
+
+use crate::error::{DpfsError, Result};
+use crate::geometry::Shape;
+
+/// The three DPFS file levels (paper §3). Each level names the striping
+/// method used when the file is created.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FileLevel {
+    /// Linear striping: the file is a stream of bytes cut into fixed-size
+    /// linear bricks (§3.1). Most general; poor for columnar access.
+    Linear,
+    /// Multidimensional striping: each brick is an N-d tile of the array
+    /// (§3.2). Solves the linear level's (*, BLOCK) problem.
+    Multidim,
+    /// Array striping: each brick is one coarse HPF-style chunk, stored
+    /// whole (§3.3). Best for checkpoint-style whole-chunk access.
+    Array,
+}
+
+impl FileLevel {
+    /// Catalog string for this level.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FileLevel::Linear => "linear",
+            FileLevel::Multidim => "multidim",
+            FileLevel::Array => "array",
+        }
+    }
+
+    /// Parse the catalog string.
+    pub fn parse(s: &str) -> Result<FileLevel> {
+        match s {
+            "linear" => Ok(FileLevel::Linear),
+            "multidim" => Ok(FileLevel::Multidim),
+            "array" => Ok(FileLevel::Array),
+            other => Err(DpfsError::InvalidArgument(format!(
+                "unknown file level {other:?}"
+            ))),
+        }
+    }
+}
+
+/// One dimension of an HPF data distribution (paper §3.3 uses BLOCK and
+/// `*`; CYCLIC and BLOCK-CYCLIC complete the HPF set as an extension).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dist {
+    /// `BLOCK`: the dimension is split into `procs` contiguous blocks.
+    Block(u64),
+    /// `CYCLIC`: elements deal round-robin to `procs` processors.
+    Cyclic(u64),
+    /// `CYCLIC(b)`: blocks of `b` elements deal round-robin to `procs`.
+    BlockCyclic { procs: u64, block: u64 },
+    /// `*`: the dimension is not distributed.
+    Star,
+}
+
+impl Dist {
+    /// Number of processors along this dimension (1 for `*`).
+    pub fn procs(self) -> u64 {
+        match self {
+            Dist::Block(p) | Dist::Cyclic(p) => p,
+            Dist::BlockCyclic { procs, .. } => procs,
+            Dist::Star => 1,
+        }
+    }
+}
+
+/// An HPF distribution pattern such as `(BLOCK, *)`, `(*, BLOCK)` or
+/// `(BLOCK, BLOCK)`, one [`Dist`] per array dimension.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct HpfPattern(pub Vec<Dist>);
+
+impl HpfPattern {
+    /// `(BLOCK, *, ...)` over `ndims` dims with `procs` processors on dim 0.
+    pub fn block_star(procs: u64, ndims: usize) -> HpfPattern {
+        let mut d = vec![Dist::Star; ndims];
+        d[0] = Dist::Block(procs);
+        HpfPattern(d)
+    }
+
+    /// `(*, ..., BLOCK)` with `procs` processors on the last dim.
+    pub fn star_block(procs: u64, ndims: usize) -> HpfPattern {
+        let mut d = vec![Dist::Star; ndims];
+        d[ndims - 1] = Dist::Block(procs);
+        HpfPattern(d)
+    }
+
+    /// `(BLOCK, BLOCK)` over a 2-d processor grid `p0 x p1`.
+    pub fn block_block(p0: u64, p1: u64) -> HpfPattern {
+        HpfPattern(vec![Dist::Block(p0), Dist::Block(p1)])
+    }
+
+    /// `(CYCLIC, *, ...)` with `procs` processors on dim 0.
+    pub fn cyclic_star(procs: u64, ndims: usize) -> HpfPattern {
+        let mut d = vec![Dist::Star; ndims];
+        d[0] = Dist::Cyclic(procs);
+        HpfPattern(d)
+    }
+
+    /// `(CYCLIC(b), *, ...)` with `procs` processors on dim 0.
+    pub fn block_cyclic_star(procs: u64, block: u64, ndims: usize) -> HpfPattern {
+        let mut d = vec![Dist::Star; ndims];
+        d[0] = Dist::BlockCyclic { procs, block };
+        HpfPattern(d)
+    }
+
+    /// Number of array dimensions.
+    pub fn ndims(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The processor-grid shape: distributed dims contribute their
+    /// processor count, `*` contributes 1.
+    pub fn grid(&self) -> Shape {
+        Shape(self.0.iter().map(|d| d.procs()).collect())
+    }
+
+    /// Total number of chunks (= processors = array bricks).
+    pub fn num_chunks(&self) -> u64 {
+        self.grid().volume()
+    }
+
+    /// Render in HPF notation, e.g. `BLOCK,*` or `CYCLIC(4),*`.
+    pub fn to_pattern_string(&self) -> String {
+        self.0
+            .iter()
+            .map(|d| match d {
+                Dist::Block(_) => "BLOCK".to_string(),
+                Dist::Cyclic(_) => "CYCLIC".to_string(),
+                Dist::BlockCyclic { block, .. } => format!("CYCLIC({block})"),
+                Dist::Star => "*".to_string(),
+            })
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    /// Reconstruct from the catalog's `(pattern, grid)` pair.
+    pub fn from_catalog(pattern: &str, grid: &[i64]) -> Result<HpfPattern> {
+        let parts: Vec<&str> = pattern.split(',').collect();
+        if parts.len() != grid.len() {
+            return Err(DpfsError::InvalidArgument(format!(
+                "pattern {pattern:?} rank != grid rank {}",
+                grid.len()
+            )));
+        }
+        let dists = parts
+            .iter()
+            .zip(grid)
+            .map(|(p, &g)| {
+                if *p == "BLOCK" {
+                    Ok(Dist::Block(g as u64))
+                } else if *p == "*" {
+                    Ok(Dist::Star)
+                } else if *p == "CYCLIC" {
+                    Ok(Dist::Cyclic(g as u64))
+                } else if let Some(rest) = p.strip_prefix("CYCLIC(") {
+                    let b: u64 = rest
+                        .strip_suffix(')')
+                        .and_then(|x| x.parse().ok())
+                        .ok_or_else(|| {
+                            DpfsError::InvalidArgument(format!("bad distribution {p:?}"))
+                        })?;
+                    Ok(Dist::BlockCyclic {
+                        procs: g as u64,
+                        block: b,
+                    })
+                } else {
+                    Err(DpfsError::InvalidArgument(format!(
+                        "bad distribution {p:?}"
+                    )))
+                }
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(HpfPattern(dists))
+    }
+}
+
+/// Placement (striping) algorithm choice (paper §4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Placement {
+    /// Classic round-robin brick assignment.
+    #[default]
+    RoundRobin,
+    /// The paper's greedy algorithm: weight servers by normalized
+    /// performance numbers so fast storage takes proportionally more bricks.
+    Greedy,
+}
+
+/// Striping geometry, one variant per file level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Striping {
+    /// Linear level: brick size in bytes, plus the declared file size in
+    /// bytes (bricks are assigned at creation; the file may grow later).
+    Linear { brick_bytes: u64, file_bytes: u64 },
+    /// Multidim level: global array shape, brick tile shape, element size
+    /// in bytes.
+    Multidim {
+        array: Shape,
+        brick: Shape,
+        elem_bytes: u64,
+    },
+    /// Array level: global array shape, HPF pattern, element size in bytes.
+    Array {
+        array: Shape,
+        pattern: HpfPattern,
+        elem_bytes: u64,
+    },
+}
+
+impl Striping {
+    /// The file level this striping corresponds to.
+    pub fn level(&self) -> FileLevel {
+        match self {
+            Striping::Linear { .. } => FileLevel::Linear,
+            Striping::Multidim { .. } => FileLevel::Multidim,
+            Striping::Array { .. } => FileLevel::Array,
+        }
+    }
+}
+
+/// The hint structure passed to `DPFS_Open` at file creation (paper §6).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hint {
+    /// Striping method and geometry — "the most important information".
+    pub striping: Striping,
+    /// Suggested number of I/O nodes; `None` = use every registered server.
+    pub io_nodes: Option<usize>,
+    /// Striping algorithm.
+    pub placement: Placement,
+    /// Owner recorded in the catalog.
+    pub owner: String,
+    /// Permission bits recorded in the catalog.
+    pub permission: i64,
+}
+
+impl Hint {
+    /// A linear-level hint with the given brick size and declared size.
+    pub fn linear(brick_bytes: u64, file_bytes: u64) -> Hint {
+        Hint {
+            striping: Striping::Linear {
+                brick_bytes,
+                file_bytes,
+            },
+            io_nodes: None,
+            placement: Placement::RoundRobin,
+            owner: "dpfs".into(),
+            permission: 0o644,
+        }
+    }
+
+    /// A multidim-level hint for `array` tiled by `brick` with `elem_bytes`
+    /// per element.
+    pub fn multidim(array: Shape, brick: Shape, elem_bytes: u64) -> Hint {
+        Hint {
+            striping: Striping::Multidim {
+                array,
+                brick,
+                elem_bytes,
+            },
+            io_nodes: None,
+            placement: Placement::RoundRobin,
+            owner: "dpfs".into(),
+            permission: 0o644,
+        }
+    }
+
+    /// An array-level hint for `array` distributed by `pattern`.
+    pub fn array(array: Shape, pattern: HpfPattern, elem_bytes: u64) -> Hint {
+        Hint {
+            striping: Striping::Array {
+                array,
+                pattern,
+                elem_bytes,
+            },
+            io_nodes: None,
+            placement: Placement::RoundRobin,
+            owner: "dpfs".into(),
+            permission: 0o644,
+        }
+    }
+
+    /// Set the suggested number of I/O nodes.
+    pub fn with_io_nodes(mut self, n: usize) -> Hint {
+        self.io_nodes = Some(n);
+        self
+    }
+
+    /// Set the placement algorithm.
+    pub fn with_placement(mut self, p: Placement) -> Hint {
+        self.placement = p;
+        self
+    }
+
+    /// Set the owner.
+    pub fn with_owner(mut self, owner: &str) -> Hint {
+        self.owner = owner.to_string();
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_round_trip() {
+        for l in [FileLevel::Linear, FileLevel::Multidim, FileLevel::Array] {
+            assert_eq!(FileLevel::parse(l.as_str()).unwrap(), l);
+        }
+        assert!(FileLevel::parse("nope").is_err());
+    }
+
+    #[test]
+    fn pattern_grids() {
+        assert_eq!(HpfPattern::block_star(4, 2).grid().0, vec![4, 1]);
+        assert_eq!(HpfPattern::star_block(4, 2).grid().0, vec![1, 4]);
+        assert_eq!(HpfPattern::block_block(2, 2).grid().0, vec![2, 2]);
+        assert_eq!(HpfPattern::block_block(2, 2).num_chunks(), 4);
+    }
+
+    #[test]
+    fn pattern_strings() {
+        assert_eq!(HpfPattern::block_star(4, 2).to_pattern_string(), "BLOCK,*");
+        assert_eq!(HpfPattern::star_block(8, 2).to_pattern_string(), "*,BLOCK");
+        assert_eq!(
+            HpfPattern::block_block(2, 4).to_pattern_string(),
+            "BLOCK,BLOCK"
+        );
+    }
+
+    #[test]
+    fn pattern_catalog_round_trip() {
+        let p = HpfPattern::block_block(2, 4);
+        let s = p.to_pattern_string();
+        let grid: Vec<i64> = p.grid().0.iter().map(|&x| x as i64).collect();
+        let back = HpfPattern::from_catalog(&s, &grid).unwrap();
+        assert_eq!(back, p);
+
+        let p = HpfPattern::star_block(8, 3);
+        let back =
+            HpfPattern::from_catalog(&p.to_pattern_string(), &[1, 1, 8]).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn from_catalog_rejects_bad_input() {
+        assert!(HpfPattern::from_catalog("BLOCK,*", &[4]).is_err());
+        assert!(HpfPattern::from_catalog("WEIRD", &[4]).is_err());
+        assert!(HpfPattern::from_catalog("CYCLIC(x)", &[4]).is_err());
+    }
+
+    #[test]
+    fn cyclic_patterns_round_trip_catalog() {
+        for p in [
+            HpfPattern::cyclic_star(4, 2),
+            HpfPattern::block_cyclic_star(3, 16, 2),
+            HpfPattern(vec![Dist::Cyclic(2), Dist::BlockCyclic { procs: 2, block: 8 }]),
+        ] {
+            let s = p.to_pattern_string();
+            let grid: Vec<i64> = p.grid().0.iter().map(|&x| x as i64).collect();
+            assert_eq!(HpfPattern::from_catalog(&s, &grid).unwrap(), p, "{s}");
+        }
+        assert_eq!(HpfPattern::cyclic_star(4, 2).to_pattern_string(), "CYCLIC,*");
+        assert_eq!(
+            HpfPattern::block_cyclic_star(3, 16, 2).to_pattern_string(),
+            "CYCLIC(16),*"
+        );
+    }
+
+    #[test]
+    fn hint_builders() {
+        let h = Hint::linear(65536, 1 << 20)
+            .with_io_nodes(4)
+            .with_placement(Placement::Greedy)
+            .with_owner("xhshen");
+        assert_eq!(h.io_nodes, Some(4));
+        assert_eq!(h.placement, Placement::Greedy);
+        assert_eq!(h.owner, "xhshen");
+        assert_eq!(h.striping.level(), FileLevel::Linear);
+    }
+}

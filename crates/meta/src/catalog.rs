@@ -1,0 +1,1035 @@
+//! The DPFS metadata catalog: the paper's four database tables
+//! (§5, Figure 10) with typed accessors, all implemented as SQL issued
+//! against the embedded engine — exactly how the paper's client library
+//! talks to POSTGRES.
+//!
+//! - `dpfs_server(server_name, capacity, performance)`
+//! - `dpfs_file_distribution(server, filename, bricklist)`
+//! - `dpfs_directory(main_dir, sub_dirs, files)`
+//! - `dpfs_file_attr(filename, owner, permission, size, filelevel, dims,
+//!    dimsize, stripe_dims, stripe_size, pattern)`
+//!
+//! Deviation from the paper: POSTGRES has native array/text-list columns; our
+//! engine has INTLIST but no TEXTLIST, so `sub_dirs` and `files` are stored
+//! as `\n`-joined TEXT. Brick lists use INTLIST, as in the paper.
+
+use std::sync::Arc;
+
+use crate::db::{Database, Txn};
+use crate::error::{MetaError, Result};
+use crate::value::Value;
+
+/// Escape a string for embedding in a single-quoted SQL literal.
+pub fn sql_quote(s: &str) -> String {
+    s.replace('\'', "''")
+}
+
+/// Row of `dpfs_server`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerInfo {
+    /// Server name, e.g. `ccn60.mcs.anl.gov`; unique.
+    pub name: String,
+    /// Available storage space in bytes.
+    pub capacity: i64,
+    /// Normalized performance number: 1 for the fastest server, larger
+    /// integers for slower ones (paper §4.1). Used by the greedy striping
+    /// algorithm.
+    pub performance: i64,
+}
+
+/// Row of `dpfs_file_distribution`: which bricks of `filename` live on
+/// `server`, forming one subfile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Distribution {
+    pub server: String,
+    pub filename: String,
+    /// Brick numbers held by this server, in subfile order: brick
+    /// `bricklist[i]` occupies slot `i` of the subfile.
+    pub bricklist: Vec<i64>,
+}
+
+/// Row of `dpfs_directory`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirEntry {
+    pub main_dir: String,
+    pub sub_dirs: Vec<String>,
+    pub files: Vec<String>,
+}
+
+/// Row of `dpfs_file_attr`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileAttrRow {
+    /// Absolute DPFS path; primary key.
+    pub filename: String,
+    pub owner: String,
+    /// UNIX-style permission bits, e.g. 0o744.
+    pub permission: i64,
+    /// Total file size in bytes.
+    pub size: i64,
+    /// File level: `"linear"`, `"multidim"` or `"array"`.
+    pub filelevel: String,
+    /// Number of array dimensions (0 for linear files).
+    pub dims: i64,
+    /// Global array extent per dimension (element counts).
+    pub dimsize: Vec<i64>,
+    /// Striping-unit extent per dimension (multidim level), or empty.
+    pub stripe_dims: Vec<i64>,
+    /// Striping-unit size in bytes (linear level) or element size (array
+    /// levels).
+    pub stripe_size: i64,
+    /// HPF distribution pattern for array-level files, e.g. `"BLOCK,*"`;
+    /// empty otherwise.
+    pub pattern: String,
+    /// Striping algorithm used at creation: `"round_robin"` or `"greedy"`.
+    pub placement: String,
+}
+
+/// Typed facade over the four DPFS metadata tables.
+#[derive(Clone)]
+pub struct Catalog {
+    db: Arc<Database>,
+}
+
+impl Catalog {
+    /// Wrap a database, creating the DPFS tables if they don't exist and
+    /// ensuring the root directory `/` is present.
+    pub fn new(db: Arc<Database>) -> Result<Catalog> {
+        db.execute(
+            "CREATE TABLE IF NOT EXISTS dpfs_server (
+                server_name TEXT PRIMARY KEY,
+                capacity INT NOT NULL,
+                performance INT NOT NULL)",
+        )?;
+        db.execute(
+            "CREATE TABLE IF NOT EXISTS dpfs_file_distribution (
+                dist_key TEXT PRIMARY KEY,
+                server TEXT NOT NULL,
+                filename TEXT NOT NULL,
+                bricklist INTLIST NOT NULL)",
+        )?;
+        db.execute(
+            "CREATE TABLE IF NOT EXISTS dpfs_directory (
+                main_dir TEXT PRIMARY KEY,
+                sub_dirs TEXT NOT NULL,
+                files TEXT NOT NULL)",
+        )?;
+        db.execute(
+            "CREATE TABLE IF NOT EXISTS dpfs_file_attr (
+                filename TEXT PRIMARY KEY,
+                owner TEXT NOT NULL,
+                permission INT NOT NULL,
+                size INT NOT NULL,
+                filelevel TEXT NOT NULL,
+                dims INT NOT NULL,
+                dimsize INTLIST NOT NULL,
+                stripe_dims INTLIST NOT NULL,
+                stripe_size INT NOT NULL,
+                pattern TEXT NOT NULL,
+                placement TEXT NOT NULL)",
+        )?;
+        db.execute(
+            "CREATE TABLE IF NOT EXISTS dpfs_file_tags (
+                tag_id TEXT PRIMARY KEY,
+                filename TEXT NOT NULL,
+                tag TEXT NOT NULL,
+                value TEXT NOT NULL)",
+        )?;
+        let cat = Catalog { db };
+        if cat.get_dir("/")?.is_none() {
+            cat.db
+                .execute("INSERT INTO dpfs_directory VALUES ('/', '', '')")?;
+        }
+        Ok(cat)
+    }
+
+    /// The underlying database (for raw SQL, checkpointing, inspection).
+    pub fn db(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    // ---- dpfs_server ----
+
+    /// Register an I/O server (or update its capacity/performance if it
+    /// already exists).
+    pub fn register_server(&self, info: &ServerInfo) -> Result<()> {
+        let name = sql_quote(&info.name);
+        let updated = self.db.execute(&format!(
+            "UPDATE dpfs_server SET capacity = {}, performance = {} WHERE server_name = '{}'",
+            info.capacity, info.performance, name
+        ))?;
+        if updated.scalar()?.as_int()? == 0 {
+            self.db.execute(&format!(
+                "INSERT INTO dpfs_server VALUES ('{}', {}, {})",
+                name, info.capacity, info.performance
+            ))?;
+        }
+        Ok(())
+    }
+
+    /// All registered servers ordered by name.
+    pub fn list_servers(&self) -> Result<Vec<ServerInfo>> {
+        let rs = self
+            .db
+            .execute("SELECT server_name, capacity, performance FROM dpfs_server ORDER BY server_name")?;
+        rs.rows
+            .iter()
+            .map(|r| {
+                Ok(ServerInfo {
+                    name: r[0].as_text()?.to_string(),
+                    capacity: r[1].as_int()?,
+                    performance: r[2].as_int()?,
+                })
+            })
+            .collect()
+    }
+
+    /// Look up one server.
+    pub fn get_server(&self, name: &str) -> Result<Option<ServerInfo>> {
+        let rs = self.db.execute(&format!(
+            "SELECT server_name, capacity, performance FROM dpfs_server WHERE server_name = '{}'",
+            sql_quote(name)
+        ))?;
+        match rs.rows.first() {
+            None => Ok(None),
+            Some(r) => Ok(Some(ServerInfo {
+                name: r[0].as_text()?.to_string(),
+                capacity: r[1].as_int()?,
+                performance: r[2].as_int()?,
+            })),
+        }
+    }
+
+    /// Remove a server from the pool.
+    pub fn remove_server(&self, name: &str) -> Result<bool> {
+        let rs = self.db.execute(&format!(
+            "DELETE FROM dpfs_server WHERE server_name = '{}'",
+            sql_quote(name)
+        ))?;
+        Ok(rs.scalar()?.as_int()? > 0)
+    }
+
+    // ---- file creation / deletion (transactional across all four tables) ----
+
+    /// Create a file: inserts its attributes, its per-server brick
+    /// distribution, and links it into its parent directory — atomically, in
+    /// one transaction (the consistency property the paper buys from the
+    /// database).
+    pub fn create_file(&self, attr: &FileAttrRow, dist: &[Distribution]) -> Result<()> {
+        let parent = parent_dir(&attr.filename)
+            .ok_or_else(|| MetaError::Txn(format!("file path {} has no parent", attr.filename)))?;
+        self.db.transaction(|txn| {
+            // parent directory must exist
+            let dir = get_dir_txn(txn, &parent)?
+                .ok_or_else(|| MetaError::NoSuchTable(format!("directory {parent}")))?;
+            if dir.files.iter().any(|f| f == &attr.filename) {
+                return Err(MetaError::DuplicateKey(format!(
+                    "file {} already exists",
+                    attr.filename
+                )));
+            }
+            insert_attr_txn(txn, attr)?;
+            for d in dist {
+                txn.execute(&format!(
+                    "INSERT INTO dpfs_file_distribution VALUES ('{}', '{}', '{}', {})",
+                    sql_quote(&dist_key(&d.server, &d.filename)),
+                    sql_quote(&d.server),
+                    sql_quote(&d.filename),
+                    int_list_literal(&d.bricklist)
+                ))?;
+            }
+            let mut files = dir.files;
+            files.push(attr.filename.clone());
+            set_dir_files_txn(txn, &parent, &files)?;
+            Ok(())
+        })
+    }
+
+    /// Delete a file: removes attributes, distribution rows, and the
+    /// directory link in one transaction. Returns the distribution that was
+    /// removed (callers use it to delete the subfiles on each server).
+    pub fn delete_file(&self, filename: &str) -> Result<Vec<Distribution>> {
+        let parent = parent_dir(filename)
+            .ok_or_else(|| MetaError::Txn(format!("file path {filename} has no parent")))?;
+        self.db.transaction(|txn| {
+            let dist = get_distribution_txn(txn, filename)?;
+            let removed = txn.execute(&format!(
+                "DELETE FROM dpfs_file_attr WHERE filename = '{}'",
+                sql_quote(filename)
+            ))?;
+            if removed.scalar()?.as_int()? == 0 {
+                return Err(MetaError::NoSuchTable(format!("file {filename}")));
+            }
+            txn.execute(&format!(
+                "DELETE FROM dpfs_file_distribution WHERE filename = '{}'",
+                sql_quote(filename)
+            ))?;
+            txn.execute(&format!(
+                "DELETE FROM dpfs_file_tags WHERE filename = '{}'",
+                sql_quote(filename)
+            ))?;
+            if let Some(dir) = get_dir_txn(txn, &parent)? {
+                let files: Vec<String> =
+                    dir.files.into_iter().filter(|f| f != filename).collect();
+                set_dir_files_txn(txn, &parent, &files)?;
+            }
+            Ok(dist)
+        })
+    }
+
+    /// Fetch a file's attribute row.
+    pub fn get_file_attr(&self, filename: &str) -> Result<Option<FileAttrRow>> {
+        let rs = self.db.execute(&format!(
+            "SELECT * FROM dpfs_file_attr WHERE filename = '{}'",
+            sql_quote(filename)
+        ))?;
+        match rs.rows.first() {
+            None => Ok(None),
+            Some(r) => Ok(Some(attr_from_row(r)?)),
+        }
+    }
+
+    /// Update a file's recorded size (grows on write).
+    pub fn set_file_size(&self, filename: &str, size: i64) -> Result<()> {
+        let rs = self.db.execute(&format!(
+            "UPDATE dpfs_file_attr SET size = {} WHERE filename = '{}'",
+            size,
+            sql_quote(filename)
+        ))?;
+        if rs.scalar()?.as_int()? == 0 {
+            return Err(MetaError::NoSuchTable(format!("file {filename}")));
+        }
+        Ok(())
+    }
+
+    /// Update a file's permission bits.
+    pub fn set_file_permission(&self, filename: &str, permission: i64) -> Result<()> {
+        let rs = self.db.execute(&format!(
+            "UPDATE dpfs_file_attr SET permission = {} WHERE filename = '{}'",
+            permission,
+            sql_quote(filename)
+        ))?;
+        if rs.scalar()?.as_int()? == 0 {
+            return Err(MetaError::NoSuchTable(format!("file {filename}")));
+        }
+        Ok(())
+    }
+
+    /// Update a file's owner.
+    pub fn set_file_owner(&self, filename: &str, owner: &str) -> Result<()> {
+        let rs = self.db.execute(&format!(
+            "UPDATE dpfs_file_attr SET owner = '{}' WHERE filename = '{}'",
+            sql_quote(owner),
+            sql_quote(filename)
+        ))?;
+        if rs.scalar()?.as_int()? == 0 {
+            return Err(MetaError::NoSuchTable(format!("file {filename}")));
+        }
+        Ok(())
+    }
+
+    // ---- dpfs_file_tags (MDMS-style dataset attributes; extension) ----
+
+    /// Attach (or replace) a user-defined tag on a file. Tags are the
+    /// MDMS-flavoured dataset attributes the paper's group layered over
+    /// databases (§9 group 4, §10): free-form key/value metadata that the
+    /// SQL engine can then query.
+    pub fn set_tag(&self, filename: &str, tag: &str, value: &str) -> Result<()> {
+        if self.get_file_attr(filename)?.is_none() {
+            return Err(MetaError::NoSuchTable(format!("file {filename}")));
+        }
+        let id = format!("{filename}\u{1}{tag}");
+        let updated = self.db.execute(&format!(
+            "UPDATE dpfs_file_tags SET value = '{}' WHERE tag_id = '{}'",
+            sql_quote(value),
+            sql_quote(&id)
+        ))?;
+        if updated.scalar()?.as_int()? == 0 {
+            self.db.execute(&format!(
+                "INSERT INTO dpfs_file_tags VALUES ('{}', '{}', '{}', '{}')",
+                sql_quote(&id),
+                sql_quote(filename),
+                sql_quote(tag),
+                sql_quote(value)
+            ))?;
+        }
+        Ok(())
+    }
+
+    /// Read one tag.
+    pub fn get_tag(&self, filename: &str, tag: &str) -> Result<Option<String>> {
+        let rs = self.db.execute(&format!(
+            "SELECT value FROM dpfs_file_tags WHERE filename = '{}' AND tag = '{}'",
+            sql_quote(filename),
+            sql_quote(tag)
+        ))?;
+        match rs.rows.first() {
+            None => Ok(None),
+            Some(r) => Ok(Some(r[0].as_text()?.to_string())),
+        }
+    }
+
+    /// All tags on a file, sorted by key.
+    pub fn list_tags(&self, filename: &str) -> Result<Vec<(String, String)>> {
+        let rs = self.db.execute(&format!(
+            "SELECT tag, value FROM dpfs_file_tags WHERE filename = '{}' ORDER BY tag",
+            sql_quote(filename)
+        ))?;
+        rs.rows
+            .iter()
+            .map(|r| Ok((r[0].as_text()?.to_string(), r[1].as_text()?.to_string())))
+            .collect()
+    }
+
+    /// Remove a tag; returns whether it existed.
+    pub fn remove_tag(&self, filename: &str, tag: &str) -> Result<bool> {
+        let rs = self.db.execute(&format!(
+            "DELETE FROM dpfs_file_tags WHERE filename = '{}' AND tag = '{}'",
+            sql_quote(filename),
+            sql_quote(tag)
+        ))?;
+        Ok(rs.scalar()?.as_int()? > 0)
+    }
+
+    /// Find files whose `tag` value matches a LIKE `pattern`; returns
+    /// `(filename, value, size)` via a join against the attribute table.
+    pub fn find_by_tag(&self, tag: &str, pattern: &str) -> Result<Vec<(String, String, i64)>> {
+        let rs = self.db.execute(&format!(
+            "SELECT dpfs_file_tags.filename, value, size FROM dpfs_file_tags \
+             JOIN dpfs_file_attr ON dpfs_file_tags.filename = dpfs_file_attr.filename \
+             WHERE tag = '{}' AND value LIKE '{}' ORDER BY dpfs_file_tags.filename",
+            sql_quote(tag),
+            sql_quote(pattern)
+        ))?;
+        rs.rows
+            .iter()
+            .map(|r| {
+                Ok((
+                    r[0].as_text()?.to_string(),
+                    r[1].as_text()?.to_string(),
+                    r[2].as_int()?,
+                ))
+            })
+            .collect()
+    }
+
+    /// The per-server brick distribution of a file, ordered by server name.
+    pub fn get_distribution(&self, filename: &str) -> Result<Vec<Distribution>> {
+        let rs = self.db.execute(&format!(
+            "SELECT server, filename, bricklist FROM dpfs_file_distribution \
+             WHERE filename = '{}' ORDER BY server",
+            sql_quote(filename)
+        ))?;
+        rs.rows
+            .iter()
+            .map(|r| {
+                Ok(Distribution {
+                    server: r[0].as_text()?.to_string(),
+                    filename: r[1].as_text()?.to_string(),
+                    bricklist: r[2].as_int_list()?.to_vec(),
+                })
+            })
+            .collect()
+    }
+
+    /// Replace a file's distribution rows atomically (used when a linear
+    /// file grows and its brick lists extend).
+    pub fn update_distribution(&self, filename: &str, dist: &[Distribution]) -> Result<()> {
+        self.db.transaction(|txn| {
+            txn.execute(&format!(
+                "DELETE FROM dpfs_file_distribution WHERE filename = '{}'",
+                sql_quote(filename)
+            ))?;
+            for d in dist {
+                txn.execute(&format!(
+                    "INSERT INTO dpfs_file_distribution VALUES ('{}', '{}', '{}', {})",
+                    sql_quote(&dist_key(&d.server, &d.filename)),
+                    sql_quote(&d.server),
+                    sql_quote(&d.filename),
+                    int_list_literal(&d.bricklist)
+                ))?;
+            }
+            Ok(())
+        })
+    }
+
+    // ---- dpfs_directory ----
+
+    /// Create a directory. Parent must exist; fails on duplicates.
+    pub fn mkdir(&self, path: &str) -> Result<()> {
+        let path = normalize_path(path)?;
+        if path == "/" {
+            return Err(MetaError::DuplicateKey("/ always exists".into()));
+        }
+        let parent = parent_dir(&path).expect("non-root path has a parent");
+        self.db.transaction(|txn| {
+            let dir = get_dir_txn(txn, &parent)?
+                .ok_or_else(|| MetaError::NoSuchTable(format!("directory {parent}")))?;
+            if dir.sub_dirs.iter().any(|d| d == &path) {
+                return Err(MetaError::DuplicateKey(format!("directory {path} exists")));
+            }
+            if get_dir_txn(txn, &path)?.is_some() {
+                return Err(MetaError::DuplicateKey(format!("directory {path} exists")));
+            }
+            let mut subs = dir.sub_dirs;
+            subs.push(path.clone());
+            txn.execute(&format!(
+                "UPDATE dpfs_directory SET sub_dirs = '{}' WHERE main_dir = '{}'",
+                sql_quote(&join_list(&subs)),
+                sql_quote(&parent)
+            ))?;
+            txn.execute(&format!(
+                "INSERT INTO dpfs_directory VALUES ('{}', '', '')",
+                sql_quote(&path)
+            ))?;
+            Ok(())
+        })
+    }
+
+    /// Remove an empty directory.
+    pub fn rmdir(&self, path: &str) -> Result<()> {
+        let path = normalize_path(path)?;
+        if path == "/" {
+            return Err(MetaError::Txn("cannot remove /".into()));
+        }
+        let parent = parent_dir(&path).expect("non-root path has a parent");
+        self.db.transaction(|txn| {
+            let dir = get_dir_txn(txn, &path)?
+                .ok_or_else(|| MetaError::NoSuchTable(format!("directory {path}")))?;
+            if !dir.sub_dirs.is_empty() || !dir.files.is_empty() {
+                return Err(MetaError::Txn(format!("directory {path} not empty")));
+            }
+            txn.execute(&format!(
+                "DELETE FROM dpfs_directory WHERE main_dir = '{}'",
+                sql_quote(&path)
+            ))?;
+            if let Some(p) = get_dir_txn(txn, &parent)? {
+                let subs: Vec<String> = p.sub_dirs.into_iter().filter(|d| d != &path).collect();
+                txn.execute(&format!(
+                    "UPDATE dpfs_directory SET sub_dirs = '{}' WHERE main_dir = '{}'",
+                    sql_quote(&join_list(&subs)),
+                    sql_quote(&parent)
+                ))?;
+            }
+            Ok(())
+        })
+    }
+
+    /// Fetch one directory entry.
+    pub fn get_dir(&self, path: &str) -> Result<Option<DirEntry>> {
+        let path = normalize_path(path)?;
+        let rs = self.db.execute(&format!(
+            "SELECT main_dir, sub_dirs, files FROM dpfs_directory WHERE main_dir = '{}'",
+            sql_quote(&path)
+        ))?;
+        match rs.rows.first() {
+            None => Ok(None),
+            Some(r) => Ok(Some(DirEntry {
+                main_dir: r[0].as_text()?.to_string(),
+                sub_dirs: split_list(r[1].as_text()?),
+                files: split_list(r[2].as_text()?),
+            })),
+        }
+    }
+
+    /// Rename a file within the same directory tree (metadata only).
+    pub fn rename_file(&self, from: &str, to: &str) -> Result<()> {
+        let from = normalize_path(from)?;
+        let to = normalize_path(to)?;
+        let from_parent = parent_dir(&from)
+            .ok_or_else(|| MetaError::Txn(format!("{from} has no parent")))?;
+        let to_parent =
+            parent_dir(&to).ok_or_else(|| MetaError::Txn(format!("{to} has no parent")))?;
+        self.db.transaction(|txn| {
+            if get_attr_txn(txn, &to)?.is_some() {
+                return Err(MetaError::DuplicateKey(format!("file {to} exists")));
+            }
+            let attr = get_attr_txn(txn, &from)?
+                .ok_or_else(|| MetaError::NoSuchTable(format!("file {from}")))?;
+            let _ = attr;
+            txn.execute(&format!(
+                "UPDATE dpfs_file_attr SET filename = '{}' WHERE filename = '{}'",
+                sql_quote(&to),
+                sql_quote(&from)
+            ))?;
+            // distribution rows: rewrite filename and dist keys
+            let dist = get_distribution_txn(txn, &from)?;
+            txn.execute(&format!(
+                "DELETE FROM dpfs_file_distribution WHERE filename = '{}'",
+                sql_quote(&from)
+            ))?;
+            for d in dist {
+                txn.execute(&format!(
+                    "INSERT INTO dpfs_file_distribution VALUES ('{}', '{}', '{}', {})",
+                    sql_quote(&dist_key(&d.server, &to)),
+                    sql_quote(&d.server),
+                    sql_quote(&to),
+                    int_list_literal(&d.bricklist)
+                ))?;
+            }
+            // move tags to the new name
+            let tags = txn.execute(&format!(
+                "SELECT tag, value FROM dpfs_file_tags WHERE filename = '{}'",
+                sql_quote(&from)
+            ))?;
+            txn.execute(&format!(
+                "DELETE FROM dpfs_file_tags WHERE filename = '{}'",
+                sql_quote(&from)
+            ))?;
+            for row in &tags.rows {
+                let tag = row[0].as_text()?;
+                let value = row[1].as_text()?;
+                txn.execute(&format!(
+                    "INSERT INTO dpfs_file_tags VALUES ('{}', '{}', '{}', '{}')",
+                    sql_quote(&format!("{to}\u{1}{tag}")),
+                    sql_quote(&to),
+                    sql_quote(tag),
+                    sql_quote(value)
+                ))?;
+            }
+            // directory links
+            let fdir = get_dir_txn(txn, &from_parent)?
+                .ok_or_else(|| MetaError::NoSuchTable(format!("directory {from_parent}")))?;
+            let files: Vec<String> = fdir.files.into_iter().filter(|f| f != &from).collect();
+            set_dir_files_txn(txn, &from_parent, &files)?;
+            let tdir = get_dir_txn(txn, &to_parent)?
+                .ok_or_else(|| MetaError::NoSuchTable(format!("directory {to_parent}")))?;
+            let mut files = tdir.files;
+            files.push(to.clone());
+            set_dir_files_txn(txn, &to_parent, &files)?;
+            Ok(())
+        })
+    }
+
+    /// Total and per-server brick counts for all files (for `df`-style
+    /// output).
+    pub fn server_brick_counts(&self) -> Result<Vec<(String, i64)>> {
+        let rs = self
+            .db
+            .execute("SELECT server, bricklist FROM dpfs_file_distribution ORDER BY server")?;
+        let mut counts: std::collections::BTreeMap<String, i64> = std::collections::BTreeMap::new();
+        for r in &rs.rows {
+            let server = r[0].as_text()?.to_string();
+            let n = r[1].as_int_list()?.len() as i64;
+            *counts.entry(server).or_insert(0) += n;
+        }
+        Ok(counts.into_iter().collect())
+    }
+}
+
+// ---- path helpers ----
+
+/// Normalize a DPFS path: must be absolute; collapses duplicate slashes,
+/// strips a trailing slash (except for `/`).
+pub fn normalize_path(p: &str) -> Result<String> {
+    if !p.starts_with('/') {
+        return Err(MetaError::Txn(format!("path {p} is not absolute")));
+    }
+    let mut parts: Vec<&str> = Vec::new();
+    for seg in p.split('/') {
+        match seg {
+            "" | "." => {}
+            ".." => {
+                parts.pop();
+            }
+            s => parts.push(s),
+        }
+    }
+    if parts.is_empty() {
+        Ok("/".to_string())
+    } else {
+        Ok(format!("/{}", parts.join("/")))
+    }
+}
+
+/// Parent directory of an absolute path (`None` for `/`).
+pub fn parent_dir(p: &str) -> Option<String> {
+    if p == "/" {
+        return None;
+    }
+    match p.rfind('/') {
+        Some(0) => Some("/".to_string()),
+        Some(i) => Some(p[..i].to_string()),
+        None => None,
+    }
+}
+
+/// Base name of an absolute path.
+pub fn base_name(p: &str) -> &str {
+    p.rsplit('/').next().unwrap_or(p)
+}
+
+fn dist_key(server: &str, filename: &str) -> String {
+    format!("{server}\u{1}{filename}")
+}
+
+fn int_list_literal(xs: &[i64]) -> String {
+    let mut s = String::from("[");
+    for (i, x) in xs.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&x.to_string());
+    }
+    s.push(']');
+    s
+}
+
+fn join_list(items: &[String]) -> String {
+    items.join("\n")
+}
+
+fn split_list(s: &str) -> Vec<String> {
+    if s.is_empty() {
+        Vec::new()
+    } else {
+        s.split('\n').map(|x| x.to_string()).collect()
+    }
+}
+
+fn attr_from_row(r: &[Value]) -> Result<FileAttrRow> {
+    Ok(FileAttrRow {
+        filename: r[0].as_text()?.to_string(),
+        owner: r[1].as_text()?.to_string(),
+        permission: r[2].as_int()?,
+        size: r[3].as_int()?,
+        filelevel: r[4].as_text()?.to_string(),
+        dims: r[5].as_int()?,
+        dimsize: r[6].as_int_list()?.to_vec(),
+        stripe_dims: r[7].as_int_list()?.to_vec(),
+        stripe_size: r[8].as_int()?,
+        pattern: r[9].as_text()?.to_string(),
+        placement: r[10].as_text()?.to_string(),
+    })
+}
+
+fn insert_attr_txn(txn: &Txn<'_>, attr: &FileAttrRow) -> Result<()> {
+    txn.execute(&format!(
+        "INSERT INTO dpfs_file_attr VALUES ('{}', '{}', {}, {}, '{}', {}, {}, {}, {}, '{}', '{}')",
+        sql_quote(&attr.filename),
+        sql_quote(&attr.owner),
+        attr.permission,
+        attr.size,
+        sql_quote(&attr.filelevel),
+        attr.dims,
+        int_list_literal(&attr.dimsize),
+        int_list_literal(&attr.stripe_dims),
+        attr.stripe_size,
+        sql_quote(&attr.pattern),
+        sql_quote(&attr.placement),
+    ))?;
+    Ok(())
+}
+
+fn get_attr_txn(txn: &Txn<'_>, filename: &str) -> Result<Option<FileAttrRow>> {
+    let rs = txn.execute(&format!(
+        "SELECT * FROM dpfs_file_attr WHERE filename = '{}'",
+        sql_quote(filename)
+    ))?;
+    match rs.rows.first() {
+        None => Ok(None),
+        Some(r) => Ok(Some(attr_from_row(r)?)),
+    }
+}
+
+fn get_dir_txn(txn: &Txn<'_>, path: &str) -> Result<Option<DirEntry>> {
+    let rs = txn.execute(&format!(
+        "SELECT main_dir, sub_dirs, files FROM dpfs_directory WHERE main_dir = '{}'",
+        sql_quote(path)
+    ))?;
+    match rs.rows.first() {
+        None => Ok(None),
+        Some(r) => Ok(Some(DirEntry {
+            main_dir: r[0].as_text()?.to_string(),
+            sub_dirs: split_list(r[1].as_text()?),
+            files: split_list(r[2].as_text()?),
+        })),
+    }
+}
+
+fn set_dir_files_txn(txn: &Txn<'_>, path: &str, files: &[String]) -> Result<()> {
+    txn.execute(&format!(
+        "UPDATE dpfs_directory SET files = '{}' WHERE main_dir = '{}'",
+        sql_quote(&join_list(files)),
+        sql_quote(path)
+    ))?;
+    Ok(())
+}
+
+fn get_distribution_txn(txn: &Txn<'_>, filename: &str) -> Result<Vec<Distribution>> {
+    let rs = txn.execute(&format!(
+        "SELECT server, filename, bricklist FROM dpfs_file_distribution \
+         WHERE filename = '{}' ORDER BY server",
+        sql_quote(filename)
+    ))?;
+    rs.rows
+        .iter()
+        .map(|r| {
+            Ok(Distribution {
+                server: r[0].as_text()?.to_string(),
+                filename: r[1].as_text()?.to_string(),
+                bricklist: r[2].as_int_list()?.to_vec(),
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog() -> Catalog {
+        Catalog::new(Arc::new(Database::in_memory())).unwrap()
+    }
+
+    fn sample_attr(name: &str) -> FileAttrRow {
+        FileAttrRow {
+            filename: name.to_string(),
+            owner: "xhshen".into(),
+            permission: 0o744,
+            size: 2_097_152,
+            filelevel: "multidim".into(),
+            dims: 2,
+            dimsize: vec![1024, 2048],
+            stripe_dims: vec![256, 256],
+            stripe_size: 65536,
+            pattern: String::new(),
+            placement: "round_robin".into(),
+        }
+    }
+
+    #[test]
+    fn path_normalization() {
+        assert_eq!(normalize_path("/a//b/").unwrap(), "/a/b");
+        assert_eq!(normalize_path("/").unwrap(), "/");
+        assert_eq!(normalize_path("/a/./b/../c").unwrap(), "/a/c");
+        assert!(normalize_path("relative").is_err());
+    }
+
+    #[test]
+    fn parent_and_base() {
+        assert_eq!(parent_dir("/a/b"), Some("/a".to_string()));
+        assert_eq!(parent_dir("/a"), Some("/".to_string()));
+        assert_eq!(parent_dir("/"), None);
+        assert_eq!(base_name("/a/b.dat"), "b.dat");
+    }
+
+    #[test]
+    fn server_registration_and_update() {
+        let c = catalog();
+        c.register_server(&ServerInfo {
+            name: "s0".into(),
+            capacity: 500,
+            performance: 1,
+        })
+        .unwrap();
+        c.register_server(&ServerInfo {
+            name: "s1".into(),
+            capacity: 400,
+            performance: 3,
+        })
+        .unwrap();
+        assert_eq!(c.list_servers().unwrap().len(), 2);
+        // re-register updates in place
+        c.register_server(&ServerInfo {
+            name: "s0".into(),
+            capacity: 900,
+            performance: 2,
+        })
+        .unwrap();
+        let s0 = c.get_server("s0").unwrap().unwrap();
+        assert_eq!(s0.capacity, 900);
+        assert_eq!(s0.performance, 2);
+        assert_eq!(c.list_servers().unwrap().len(), 2);
+        assert!(c.remove_server("s1").unwrap());
+        assert!(!c.remove_server("s1").unwrap());
+    }
+
+    #[test]
+    fn mkdir_tree_and_rmdir() {
+        let c = catalog();
+        c.mkdir("/home").unwrap();
+        c.mkdir("/home/xhshen").unwrap();
+        let root = c.get_dir("/").unwrap().unwrap();
+        assert_eq!(root.sub_dirs, vec!["/home"]);
+        let home = c.get_dir("/home").unwrap().unwrap();
+        assert_eq!(home.sub_dirs, vec!["/home/xhshen"]);
+        // duplicate rejected
+        assert!(c.mkdir("/home").is_err());
+        // missing parent rejected
+        assert!(c.mkdir("/no/such/parent").is_err());
+        // rmdir requires empty
+        assert!(c.rmdir("/home").is_err());
+        c.rmdir("/home/xhshen").unwrap();
+        c.rmdir("/home").unwrap();
+        assert!(c.get_dir("/home").unwrap().is_none());
+    }
+
+    #[test]
+    fn create_file_links_into_directory() {
+        let c = catalog();
+        c.mkdir("/home").unwrap();
+        let attr = sample_attr("/home/dpfs.test");
+        let dist = vec![
+            Distribution {
+                server: "s0".into(),
+                filename: attr.filename.clone(),
+                bricklist: vec![0, 2, 4],
+            },
+            Distribution {
+                server: "s1".into(),
+                filename: attr.filename.clone(),
+                bricklist: vec![1, 3],
+            },
+        ];
+        c.create_file(&attr, &dist).unwrap();
+        let got = c.get_file_attr("/home/dpfs.test").unwrap().unwrap();
+        assert_eq!(got, attr);
+        let d = c.get_distribution("/home/dpfs.test").unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].bricklist, vec![0, 2, 4]);
+        let home = c.get_dir("/home").unwrap().unwrap();
+        assert_eq!(home.files, vec!["/home/dpfs.test"]);
+    }
+
+    #[test]
+    fn duplicate_file_rolls_back_whole_txn() {
+        let c = catalog();
+        let attr = sample_attr("/f");
+        c.create_file(&attr, &[]).unwrap();
+        // second create fails...
+        let err = c.create_file(&attr, &[]).unwrap_err();
+        assert!(matches!(err, MetaError::DuplicateKey(_)));
+        // ...and left exactly one directory link behind
+        let root = c.get_dir("/").unwrap().unwrap();
+        assert_eq!(root.files.len(), 1);
+    }
+
+    #[test]
+    fn delete_file_cleans_all_tables() {
+        let c = catalog();
+        let attr = sample_attr("/f");
+        let dist = vec![Distribution {
+            server: "s0".into(),
+            filename: "/f".into(),
+            bricklist: vec![0, 1],
+        }];
+        c.create_file(&attr, &dist).unwrap();
+        let removed = c.delete_file("/f").unwrap();
+        assert_eq!(removed.len(), 1);
+        assert!(c.get_file_attr("/f").unwrap().is_none());
+        assert!(c.get_distribution("/f").unwrap().is_empty());
+        assert!(c.get_dir("/").unwrap().unwrap().files.is_empty());
+        assert!(c.delete_file("/f").is_err());
+    }
+
+    #[test]
+    fn rename_moves_links_and_distribution() {
+        let c = catalog();
+        c.mkdir("/a").unwrap();
+        c.mkdir("/b").unwrap();
+        let attr = sample_attr("/a/f");
+        c.create_file(
+            &attr,
+            &[Distribution {
+                server: "s0".into(),
+                filename: "/a/f".into(),
+                bricklist: vec![0],
+            }],
+        )
+        .unwrap();
+        c.rename_file("/a/f", "/b/g").unwrap();
+        assert!(c.get_file_attr("/a/f").unwrap().is_none());
+        assert!(c.get_file_attr("/b/g").unwrap().is_some());
+        assert_eq!(c.get_distribution("/b/g").unwrap().len(), 1);
+        assert!(c.get_distribution("/a/f").unwrap().is_empty());
+        assert!(c.get_dir("/a").unwrap().unwrap().files.is_empty());
+        assert_eq!(c.get_dir("/b").unwrap().unwrap().files, vec!["/b/g"]);
+    }
+
+    #[test]
+    fn set_file_size() {
+        let c = catalog();
+        c.create_file(&sample_attr("/f"), &[]).unwrap();
+        c.set_file_size("/f", 999).unwrap();
+        assert_eq!(c.get_file_attr("/f").unwrap().unwrap().size, 999);
+        assert!(c.set_file_size("/missing", 1).is_err());
+    }
+
+    #[test]
+    fn brick_counts() {
+        let c = catalog();
+        c.create_file(
+            &sample_attr("/f"),
+            &[
+                Distribution {
+                    server: "s0".into(),
+                    filename: "/f".into(),
+                    bricklist: vec![0, 2],
+                },
+                Distribution {
+                    server: "s1".into(),
+                    filename: "/f".into(),
+                    bricklist: vec![1],
+                },
+            ],
+        )
+        .unwrap();
+        let counts = c.server_brick_counts().unwrap();
+        assert_eq!(counts, vec![("s0".into(), 2), ("s1".into(), 1)]);
+    }
+
+    #[test]
+    fn tags_crud_and_find() {
+        let c = catalog();
+        c.create_file(&sample_attr("/data1"), &[]).unwrap();
+        c.create_file(&sample_attr("/data2"), &[]).unwrap();
+        // tagging a missing file fails
+        assert!(c.set_tag("/missing", "k", "v").is_err());
+        c.set_tag("/data1", "experiment", "astro-run-7").unwrap();
+        c.set_tag("/data1", "owner-group", "cosmology").unwrap();
+        c.set_tag("/data2", "experiment", "astro-run-8").unwrap();
+        assert_eq!(
+            c.get_tag("/data1", "experiment").unwrap().unwrap(),
+            "astro-run-7"
+        );
+        assert!(c.get_tag("/data1", "nope").unwrap().is_none());
+        // upsert replaces
+        c.set_tag("/data1", "experiment", "astro-run-9").unwrap();
+        assert_eq!(
+            c.get_tag("/data1", "experiment").unwrap().unwrap(),
+            "astro-run-9"
+        );
+        assert_eq!(c.list_tags("/data1").unwrap().len(), 2);
+        // find via LIKE joins against attrs (returns size)
+        let hits = c.find_by_tag("experiment", "astro-%").unwrap();
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].0, "/data1");
+        assert_eq!(hits[0].2, 2_097_152);
+        // remove
+        assert!(c.remove_tag("/data1", "owner-group").unwrap());
+        assert!(!c.remove_tag("/data1", "owner-group").unwrap());
+    }
+
+    #[test]
+    fn tags_follow_rename_and_die_with_file() {
+        let c = catalog();
+        c.create_file(&sample_attr("/t"), &[]).unwrap();
+        c.set_tag("/t", "k", "v").unwrap();
+        c.rename_file("/t", "/renamed").unwrap();
+        assert_eq!(c.get_tag("/renamed", "k").unwrap().unwrap(), "v");
+        assert!(c.get_tag("/t", "k").unwrap().is_none());
+        c.delete_file("/renamed").unwrap();
+        let rs = c.db().execute("SELECT COUNT(*) FROM dpfs_file_tags").unwrap();
+        assert_eq!(rs.rows[0][0], Value::Int(0));
+    }
+
+    #[test]
+    fn names_with_quotes_are_escaped() {
+        let c = catalog();
+        let mut attr = sample_attr("/it's a file");
+        attr.owner = "o'brien".into();
+        c.create_file(&attr, &[]).unwrap();
+        let got = c.get_file_attr("/it's a file").unwrap().unwrap();
+        assert_eq!(got.owner, "o'brien");
+    }
+}

@@ -1,0 +1,285 @@
+//! Binary encoding for values, rows and schemas, shared by the WAL and the
+//! snapshot file. Little-endian, length-prefixed, no external dependencies.
+
+use crate::error::{MetaError, Result};
+use crate::schema::{Column, Schema};
+use crate::value::{DataType, Value};
+
+/// Append a u32 little-endian.
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a u64 little-endian.
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append an i64 little-endian.
+pub fn put_i64(buf: &mut Vec<u8>, v: i64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a length-prefixed byte string.
+pub fn put_bytes(buf: &mut Vec<u8>, b: &[u8]) {
+    put_u32(buf, b.len() as u32);
+    buf.extend_from_slice(b);
+}
+
+/// Append a length-prefixed UTF-8 string.
+pub fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_bytes(buf, s.as_bytes());
+}
+
+/// Cursor for decoding.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// New reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Remaining unread bytes.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(MetaError::Storage(format!(
+                "short read: wanted {n} bytes, have {}",
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read a u8.
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a u32.
+    pub fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a u64.
+    pub fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read an i64.
+    pub fn i64(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a length-prefixed byte string.
+    pub fn bytes(&mut self) -> Result<&'a [u8]> {
+        let n = self.u32()? as usize;
+        self.take(n)
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn string(&mut self) -> Result<String> {
+        let b = self.bytes()?;
+        String::from_utf8(b.to_vec())
+            .map_err(|_| MetaError::Storage("invalid utf-8 in stored string".into()))
+    }
+}
+
+fn dtype_tag(d: DataType) -> u8 {
+    match d {
+        DataType::Int => 1,
+        DataType::Text => 2,
+        DataType::Blob => 3,
+        DataType::IntList => 4,
+    }
+}
+
+fn dtype_from_tag(t: u8) -> Result<DataType> {
+    match t {
+        1 => Ok(DataType::Int),
+        2 => Ok(DataType::Text),
+        3 => Ok(DataType::Blob),
+        4 => Ok(DataType::IntList),
+        other => Err(MetaError::Storage(format!("bad dtype tag {other}"))),
+    }
+}
+
+/// Encode one value.
+pub fn put_value(buf: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => buf.push(0),
+        Value::Int(i) => {
+            buf.push(1);
+            put_i64(buf, *i);
+        }
+        Value::Text(s) => {
+            buf.push(2);
+            put_str(buf, s);
+        }
+        Value::Blob(b) => {
+            buf.push(3);
+            put_bytes(buf, b);
+        }
+        Value::IntList(xs) => {
+            buf.push(4);
+            put_u32(buf, xs.len() as u32);
+            for x in xs {
+                put_i64(buf, *x);
+            }
+        }
+    }
+}
+
+/// Decode one value.
+pub fn get_value(r: &mut Reader<'_>) -> Result<Value> {
+    match r.u8()? {
+        0 => Ok(Value::Null),
+        1 => Ok(Value::Int(r.i64()?)),
+        2 => Ok(Value::Text(r.string()?)),
+        3 => Ok(Value::Blob(r.bytes()?.to_vec())),
+        4 => {
+            let n = r.u32()? as usize;
+            let mut xs = Vec::with_capacity(n);
+            for _ in 0..n {
+                xs.push(r.i64()?);
+            }
+            Ok(Value::IntList(xs))
+        }
+        other => Err(MetaError::Storage(format!("bad value tag {other}"))),
+    }
+}
+
+/// Encode a row (vector of values).
+pub fn put_row(buf: &mut Vec<u8>, row: &[Value]) {
+    put_u32(buf, row.len() as u32);
+    for v in row {
+        put_value(buf, v);
+    }
+}
+
+/// Decode a row.
+pub fn get_row(r: &mut Reader<'_>) -> Result<Vec<Value>> {
+    let n = r.u32()? as usize;
+    let mut row = Vec::with_capacity(n);
+    for _ in 0..n {
+        row.push(get_value(r)?);
+    }
+    Ok(row)
+}
+
+/// Encode a schema.
+pub fn put_schema(buf: &mut Vec<u8>, s: &Schema) {
+    put_u32(buf, s.columns().len() as u32);
+    for c in s.columns() {
+        put_str(buf, &c.name);
+        buf.push(dtype_tag(c.dtype));
+        buf.push(c.nullable as u8);
+        buf.push(c.primary_key as u8);
+    }
+}
+
+/// Decode a schema.
+pub fn get_schema(r: &mut Reader<'_>) -> Result<Schema> {
+    let n = r.u32()? as usize;
+    let mut cols = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = r.string()?;
+        let dtype = dtype_from_tag(r.u8()?)?;
+        let nullable = r.u8()? != 0;
+        let primary_key = r.u8()? != 0;
+        cols.push(Column {
+            name,
+            dtype,
+            nullable,
+            primary_key,
+        });
+    }
+    Schema::new(cols)
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) used to detect torn/corrupt
+/// records in the WAL and snapshot.
+pub fn crc32(data: &[u8]) -> u32 {
+    const POLY: u32 = 0xEDB8_8320;
+    let mut crc = u32::MAX;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (POLY & mask);
+        }
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_round_trip() {
+        let vals = vec![
+            Value::Null,
+            Value::Int(-42),
+            Value::Text("héllo".into()),
+            Value::Blob(vec![0, 1, 255]),
+            Value::IntList(vec![3, 1, 4, 1, 5]),
+        ];
+        let mut buf = Vec::new();
+        put_row(&mut buf, &vals);
+        let mut r = Reader::new(&buf);
+        let back = get_row(&mut r).unwrap();
+        assert_eq!(back, vals);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn schema_round_trip() {
+        let s = Schema::new(vec![
+            Column::new("k", DataType::Text).primary_key(),
+            Column::new("v", DataType::IntList),
+        ])
+        .unwrap();
+        let mut buf = Vec::new();
+        put_schema(&mut buf, &s);
+        let back = get_schema(&mut Reader::new(&buf)).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn short_read_is_error_not_panic() {
+        let mut buf = Vec::new();
+        put_value(&mut buf, &Value::Text("abcdef".into()));
+        buf.truncate(buf.len() - 2);
+        assert!(get_value(&mut Reader::new(&buf)).is_err());
+    }
+
+    #[test]
+    fn bad_tag_is_error() {
+        let buf = vec![9u8];
+        assert!(get_value(&mut Reader::new(&buf)).is_err());
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // CRC-32("123456789") = 0xCBF43926 (standard check value)
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc32_detects_flip() {
+        let a = crc32(b"hello world");
+        let b = crc32(b"hello worle");
+        assert_ne!(a, b);
+    }
+}

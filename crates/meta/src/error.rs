@@ -1,0 +1,66 @@
+//! Error type for the metadata engine.
+
+use std::fmt;
+
+/// Errors produced by the embedded metadata database.
+#[derive(Debug)]
+pub enum MetaError {
+    /// Lexical error in a SQL string (bad character, unterminated literal).
+    Lex(String),
+    /// Syntax error while parsing SQL.
+    Parse(String),
+    /// The named table does not exist.
+    NoSuchTable(String),
+    /// The named column does not exist in the table it was looked up in.
+    NoSuchColumn(String),
+    /// A table with this name already exists.
+    TableExists(String),
+    /// A row violates the table schema (arity or type mismatch).
+    SchemaViolation(String),
+    /// Uniqueness violation on the primary-key column.
+    DuplicateKey(String),
+    /// Type error while evaluating an expression.
+    TypeError(String),
+    /// Error in the write-ahead log or snapshot files (corruption, short read).
+    Storage(String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Transaction misuse (commit without begin, nested begin, ...).
+    Txn(String),
+}
+
+impl fmt::Display for MetaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetaError::Lex(m) => write!(f, "lex error: {m}"),
+            MetaError::Parse(m) => write!(f, "parse error: {m}"),
+            MetaError::NoSuchTable(t) => write!(f, "no such table: {t}"),
+            MetaError::NoSuchColumn(c) => write!(f, "no such column: {c}"),
+            MetaError::TableExists(t) => write!(f, "table already exists: {t}"),
+            MetaError::SchemaViolation(m) => write!(f, "schema violation: {m}"),
+            MetaError::DuplicateKey(m) => write!(f, "duplicate key: {m}"),
+            MetaError::TypeError(m) => write!(f, "type error: {m}"),
+            MetaError::Storage(m) => write!(f, "storage error: {m}"),
+            MetaError::Io(e) => write!(f, "io error: {e}"),
+            MetaError::Txn(m) => write!(f, "transaction error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MetaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MetaError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for MetaError {
+    fn from(e: std::io::Error) -> Self {
+        MetaError::Io(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, MetaError>;

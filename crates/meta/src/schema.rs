@@ -1,0 +1,192 @@
+//! Table schemas: column definitions and row validation.
+
+use crate::error::{MetaError, Result};
+use crate::value::{DataType, Value};
+
+/// A column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name (stored lower-cased; SQL identifiers are case-insensitive).
+    pub name: String,
+    /// Declared data type.
+    pub dtype: DataType,
+    /// Whether NULL is permitted.
+    pub nullable: bool,
+    /// Whether this column is the (single-column) primary key.
+    pub primary_key: bool,
+}
+
+impl Column {
+    /// New nullable, non-key column.
+    pub fn new(name: &str, dtype: DataType) -> Self {
+        Column {
+            name: name.to_ascii_lowercase(),
+            dtype,
+            nullable: true,
+            primary_key: false,
+        }
+    }
+
+    /// Mark as NOT NULL.
+    pub fn not_null(mut self) -> Self {
+        self.nullable = false;
+        self
+    }
+
+    /// Mark as PRIMARY KEY (implies NOT NULL).
+    pub fn primary_key(mut self) -> Self {
+        self.primary_key = true;
+        self.nullable = false;
+        self
+    }
+}
+
+/// An ordered set of columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    columns: Vec<Column>,
+    /// Index of the primary-key column, if any.
+    pk: Option<usize>,
+}
+
+impl Schema {
+    /// Build a schema; validates that at most one column is a primary key and
+    /// that column names are unique.
+    pub fn new(columns: Vec<Column>) -> Result<Self> {
+        let mut pk = None;
+        for (i, c) in columns.iter().enumerate() {
+            if c.primary_key {
+                if pk.is_some() {
+                    return Err(MetaError::SchemaViolation(
+                        "multiple primary-key columns".into(),
+                    ));
+                }
+                pk = Some(i);
+            }
+            if columns[..i].iter().any(|o| o.name == c.name) {
+                return Err(MetaError::SchemaViolation(format!(
+                    "duplicate column name {}",
+                    c.name
+                )));
+            }
+        }
+        if columns.is_empty() {
+            return Err(MetaError::SchemaViolation("table with no columns".into()));
+        }
+        Ok(Schema { columns, pk })
+    }
+
+    /// The columns in declaration order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Index of the primary-key column, if declared.
+    pub fn pk_index(&self) -> Option<usize> {
+        self.pk
+    }
+
+    /// Resolve a (case-insensitive) column name to its index.
+    pub fn column_index(&self, name: &str) -> Result<usize> {
+        let lower = name.to_ascii_lowercase();
+        self.columns
+            .iter()
+            .position(|c| c.name == lower)
+            .ok_or_else(|| MetaError::NoSuchColumn(name.to_string()))
+    }
+
+    /// Validate a row against this schema: arity, types, NOT NULL.
+    pub fn check_row(&self, values: &[Value]) -> Result<()> {
+        if values.len() != self.columns.len() {
+            return Err(MetaError::SchemaViolation(format!(
+                "expected {} values, got {}",
+                self.columns.len(),
+                values.len()
+            )));
+        }
+        for (c, v) in self.columns.iter().zip(values) {
+            if v.is_null() {
+                if !c.nullable {
+                    return Err(MetaError::SchemaViolation(format!(
+                        "column {} is NOT NULL",
+                        c.name
+                    )));
+                }
+            } else if !v.matches(c.dtype) {
+                return Err(MetaError::SchemaViolation(format!(
+                    "column {} expects {}, got {}",
+                    c.name, c.dtype, v
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema2() -> Schema {
+        Schema::new(vec![
+            Column::new("name", DataType::Text).primary_key(),
+            Column::new("size", DataType::Int),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn column_lookup_is_case_insensitive() {
+        let s = schema2();
+        assert_eq!(s.column_index("NAME").unwrap(), 0);
+        assert_eq!(s.column_index("Size").unwrap(), 1);
+        assert!(s.column_index("missing").is_err());
+    }
+
+    #[test]
+    fn pk_detected() {
+        assert_eq!(schema2().pk_index(), Some(0));
+    }
+
+    #[test]
+    fn rejects_two_pks() {
+        let r = Schema::new(vec![
+            Column::new("a", DataType::Int).primary_key(),
+            Column::new("b", DataType::Int).primary_key(),
+        ]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let r = Schema::new(vec![
+            Column::new("a", DataType::Int),
+            Column::new("A", DataType::Text),
+        ]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(Schema::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn row_validation() {
+        let s = schema2();
+        assert!(s.check_row(&[Value::Text("f".into()), Value::Int(1)]).is_ok());
+        // NULL in nullable column ok
+        assert!(s.check_row(&[Value::Text("f".into()), Value::Null]).is_ok());
+        // NULL in pk rejected
+        assert!(s.check_row(&[Value::Null, Value::Int(1)]).is_err());
+        // wrong type
+        assert!(s.check_row(&[Value::Int(3), Value::Int(1)]).is_err());
+        // wrong arity
+        assert!(s.check_row(&[Value::Text("f".into())]).is_err());
+    }
+}

@@ -1,0 +1,715 @@
+//! Statement execution against the engine, including expression evaluation
+//! and nested-loop inner joins.
+
+use std::cmp::Ordering;
+
+use crate::db::{Inner, ResultSet};
+use crate::error::{MetaError, Result};
+use crate::schema::{Column, Schema};
+use crate::table::RowId;
+use crate::value::Value;
+
+use super::ast::*;
+
+/// Column-name resolution over a (possibly joined) relation. Each column
+/// carries a table qualifier; lookups accept `col` (must be unambiguous)
+/// or `table.col`.
+pub(crate) struct Rel {
+    qualifiers: Vec<String>,
+    names: Vec<String>,
+}
+
+impl Rel {
+    fn from_schema(table: &str, schema: &Schema) -> Rel {
+        Rel {
+            qualifiers: vec![table.to_string(); schema.arity()],
+            names: schema.columns().iter().map(|c| c.name.clone()).collect(),
+        }
+    }
+
+    fn join(mut self, other: Rel) -> Rel {
+        self.qualifiers.extend(other.qualifiers);
+        self.names.extend(other.names);
+        self
+    }
+
+    fn arity(&self) -> usize {
+        self.names.len()
+    }
+
+    pub(crate) fn resolve(&self, name: &str) -> Result<usize> {
+        let lower = name.to_ascii_lowercase();
+        if let Some((q, c)) = lower.split_once('.') {
+            return self
+                .qualifiers
+                .iter()
+                .zip(&self.names)
+                .position(|(qq, nn)| qq == q && nn == c)
+                .ok_or_else(|| MetaError::NoSuchColumn(name.to_string()));
+        }
+        let mut found = None;
+        for (i, n) in self.names.iter().enumerate() {
+            if n == &lower {
+                if found.is_some() {
+                    return Err(MetaError::TypeError(format!(
+                        "ambiguous column {name}: qualify as table.{name}"
+                    )));
+                }
+                found = Some(i);
+            }
+        }
+        found.ok_or_else(|| MetaError::NoSuchColumn(name.to_string()))
+    }
+
+    /// Output name for column `i`: unqualified when unique, qualified
+    /// otherwise.
+    fn display_name(&self, i: usize) -> String {
+        let n = &self.names[i];
+        if self.names.iter().filter(|x| *x == n).count() > 1 {
+            format!("{}.{}", self.qualifiers[i], n)
+        } else {
+            n.clone()
+        }
+    }
+}
+
+/// Execute one (non-transaction-control) statement inside the open
+/// transaction of `inner`.
+pub(crate) fn execute(inner: &mut Inner, stmt: &Statement) -> Result<ResultSet> {
+    match stmt {
+        Statement::CreateTable {
+            name,
+            if_not_exists,
+            columns,
+        } => {
+            if *if_not_exists && inner.has_table(name) {
+                return Ok(ResultSet::empty());
+            }
+            let cols = columns
+                .iter()
+                .map(|c| {
+                    let mut col = Column::new(&c.name, c.dtype);
+                    if c.not_null {
+                        col = col.not_null();
+                    }
+                    if c.primary_key {
+                        col = col.primary_key();
+                    }
+                    col
+                })
+                .collect();
+            inner.create_table(name, Schema::new(cols)?)?;
+            Ok(ResultSet::empty())
+        }
+        Statement::DropTable { name, if_exists } => {
+            if *if_exists && !inner.has_table(name) {
+                return Ok(ResultSet::empty());
+            }
+            inner.drop_table(name)?;
+            Ok(ResultSet::empty())
+        }
+        Statement::Insert {
+            table,
+            columns,
+            rows,
+        } => {
+            let schema = inner.get_table(table)?.schema().clone();
+            let positions: Vec<usize> = match columns {
+                Some(cols) => cols
+                    .iter()
+                    .map(|c| schema.column_index(c))
+                    .collect::<Result<_>>()?,
+                None => (0..schema.arity()).collect(),
+            };
+            let mut count = 0usize;
+            for row_exprs in rows {
+                if row_exprs.len() != positions.len() {
+                    return Err(MetaError::SchemaViolation(format!(
+                        "INSERT expects {} values, got {}",
+                        positions.len(),
+                        row_exprs.len()
+                    )));
+                }
+                let mut values = vec![Value::Null; schema.arity()];
+                for (pos, e) in positions.iter().zip(row_exprs) {
+                    // INSERT expressions cannot reference columns
+                    values[*pos] = eval(e, None)?;
+                }
+                inner.insert_row(table, values)?;
+                count += 1;
+            }
+            Ok(ResultSet::affected(count))
+        }
+        Statement::Select(sel) => select(inner, sel),
+        Statement::Update {
+            table,
+            sets,
+            filter,
+        } => {
+            let t = inner.get_table(table)?;
+            let schema = t.schema().clone();
+            let rel = Rel::from_schema(table, &schema);
+            let set_idx: Vec<(usize, &Expr)> = sets
+                .iter()
+                .map(|(c, e)| Ok((rel.resolve(c)?, e)))
+                .collect::<Result<_>>()?;
+            let mut updates: Vec<(RowId, Vec<Value>)> = Vec::new();
+            for (id, row) in t.scan() {
+                if matches_filter(filter.as_ref(), &rel, row)? {
+                    let mut new_row = row.to_vec();
+                    for (idx, e) in &set_idx {
+                        new_row[*idx] = eval(e, Some((&rel, row)))?;
+                    }
+                    updates.push((id, new_row));
+                }
+            }
+            let n = updates.len();
+            for (id, new_row) in updates {
+                inner.update_row(table, id, new_row)?;
+            }
+            Ok(ResultSet::affected(n))
+        }
+        Statement::Delete { table, filter } => {
+            let t = inner.get_table(table)?;
+            let schema = t.schema().clone();
+            let rel = Rel::from_schema(table, &schema);
+            let mut doomed = Vec::new();
+            for (id, row) in t.scan() {
+                if matches_filter(filter.as_ref(), &rel, row)? {
+                    doomed.push(id);
+                }
+            }
+            let n = doomed.len();
+            for id in doomed {
+                inner.delete_row(table, id)?;
+            }
+            Ok(ResultSet::affected(n))
+        }
+        Statement::Begin | Statement::Commit | Statement::Rollback => {
+            unreachable!("transaction control handled by Database")
+        }
+    }
+}
+
+fn matches_filter(filter: Option<&Expr>, rel: &Rel, row: &[Value]) -> Result<bool> {
+    match filter {
+        None => Ok(true),
+        Some(e) => Ok(truthy(&eval(e, Some((rel, row)))?)),
+    }
+}
+
+fn select(inner: &mut Inner, sel: &Select) -> Result<ResultSet> {
+    // Build the source relation: the base table, nested-loop joined with
+    // the second table if requested.
+    let base = inner.get_table(&sel.table)?;
+    let base_schema = base.schema().clone();
+    let mut rel = Rel::from_schema(&sel.table, &base_schema);
+    let mut rows: Vec<Vec<Value>> = base.scan().map(|(_, r)| r.to_vec()).collect();
+
+    if let Some(join) = &sel.join {
+        let right = inner.get_table(&join.table)?;
+        let right_schema = right.schema().clone();
+        let right_rows: Vec<Vec<Value>> = right.scan().map(|(_, r)| r.to_vec()).collect();
+        rel = rel.join(Rel::from_schema(&join.table, &right_schema));
+        let mut joined = Vec::new();
+        for l in &rows {
+            for r in &right_rows {
+                let mut combined = l.clone();
+                combined.extend_from_slice(r);
+                if truthy(&eval(&join.on, Some((&rel, &combined)))?) {
+                    joined.push(combined);
+                }
+            }
+        }
+        rows = joined;
+    }
+
+    // WHERE
+    let mut filtered = Vec::with_capacity(rows.len());
+    for row in rows {
+        if matches_filter(sel.filter.as_ref(), &rel, &row)? {
+            filtered.push(row);
+        }
+    }
+    let mut rows = filtered;
+
+    // Aggregate query?
+    let has_agg = sel
+        .items
+        .iter()
+        .any(|i| matches!(i, SelectItem::CountStar | SelectItem::Aggregate(..)));
+    if has_agg {
+        if sel
+            .items
+            .iter()
+            .any(|i| !matches!(i, SelectItem::CountStar | SelectItem::Aggregate(..)))
+        {
+            return Err(MetaError::TypeError(
+                "cannot mix aggregates with plain columns (no GROUP BY support)".into(),
+            ));
+        }
+        let mut out_cols = Vec::new();
+        let mut out_row = Vec::new();
+        for item in &sel.items {
+            match item {
+                SelectItem::CountStar => {
+                    out_cols.push("count(*)".to_string());
+                    out_row.push(Value::Int(rows.len() as i64));
+                }
+                SelectItem::Aggregate(func, col) => {
+                    let idx = rel.resolve(col)?;
+                    out_cols.push(format!("{}({})", agg_name(*func), col));
+                    out_row.push(aggregate(*func, &rows, idx)?);
+                }
+                SelectItem::Wildcard | SelectItem::Expr(_) => unreachable!(),
+            }
+        }
+        return Ok(ResultSet {
+            columns: out_cols,
+            rows: vec![out_row],
+        });
+    }
+
+    // ORDER BY
+    if !sel.order_by.is_empty() {
+        let keys: Vec<(usize, bool)> = sel
+            .order_by
+            .iter()
+            .map(|(c, desc)| Ok((rel.resolve(c)?, *desc)))
+            .collect::<Result<_>>()?;
+        rows.sort_by(|a, b| {
+            for (idx, desc) in &keys {
+                let ord = a[*idx].total_cmp(&b[*idx]);
+                let ord = if *desc { ord.reverse() } else { ord };
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            Ordering::Equal
+        });
+    }
+
+    // LIMIT
+    if let Some(n) = sel.limit {
+        rows.truncate(n);
+    }
+
+    // Projection
+    let mut out_cols = Vec::new();
+    let mut projectors: Vec<Projector> = Vec::new();
+    for item in &sel.items {
+        match item {
+            SelectItem::Wildcard => {
+                for i in 0..rel.arity() {
+                    out_cols.push(rel.display_name(i));
+                    projectors.push(Projector::Index(i));
+                }
+            }
+            SelectItem::Expr(Expr::Column(name)) => {
+                let idx = rel.resolve(name)?;
+                out_cols.push(name.clone());
+                projectors.push(Projector::Index(idx));
+            }
+            SelectItem::Expr(e) => {
+                out_cols.push("expr".to_string());
+                projectors.push(Projector::Expr(e.clone()));
+            }
+            SelectItem::CountStar | SelectItem::Aggregate(..) => unreachable!(),
+        }
+    }
+
+    let mut out_rows = Vec::with_capacity(rows.len());
+    for row in &rows {
+        let mut out = Vec::with_capacity(projectors.len());
+        for p in &projectors {
+            match p {
+                Projector::Index(i) => out.push(row[*i].clone()),
+                Projector::Expr(e) => out.push(eval(e, Some((&rel, row)))?),
+            }
+        }
+        out_rows.push(out);
+    }
+    Ok(ResultSet {
+        columns: out_cols,
+        rows: out_rows,
+    })
+}
+
+enum Projector {
+    Index(usize),
+    Expr(Expr),
+}
+
+fn agg_name(f: AggFunc) -> &'static str {
+    match f {
+        AggFunc::Count => "count",
+        AggFunc::Sum => "sum",
+        AggFunc::Min => "min",
+        AggFunc::Max => "max",
+    }
+}
+
+fn aggregate(func: AggFunc, rows: &[Vec<Value>], idx: usize) -> Result<Value> {
+    let non_null = rows.iter().map(|r| &r[idx]).filter(|v| !v.is_null());
+    match func {
+        AggFunc::Count => Ok(Value::Int(non_null.count() as i64)),
+        AggFunc::Sum => {
+            let mut sum = 0i64;
+            let mut any = false;
+            for v in non_null {
+                sum = sum
+                    .checked_add(v.as_int()?)
+                    .ok_or_else(|| MetaError::TypeError("SUM overflow".into()))?;
+                any = true;
+            }
+            Ok(if any { Value::Int(sum) } else { Value::Null })
+        }
+        AggFunc::Min | AggFunc::Max => {
+            let mut best: Option<Value> = None;
+            for v in non_null {
+                match &best {
+                    None => best = Some(v.clone()),
+                    Some(b) => {
+                        let ord = v.sql_cmp(b)?.unwrap_or(Ordering::Equal);
+                        let better = if func == AggFunc::Min {
+                            ord == Ordering::Less
+                        } else {
+                            ord == Ordering::Greater
+                        };
+                        if better {
+                            best = Some(v.clone());
+                        }
+                    }
+                }
+            }
+            Ok(best.unwrap_or(Value::Null))
+        }
+    }
+}
+
+/// SQL truthiness: NULL and 0 are false; any other integer is true.
+fn truthy(v: &Value) -> bool {
+    match v {
+        Value::Null => false,
+        Value::Int(i) => *i != 0,
+        _ => true,
+    }
+}
+
+fn bool_val(b: bool) -> Value {
+    Value::Int(b as i64)
+}
+
+/// Evaluate an expression, optionally in the context of a relation row.
+pub(crate) fn eval(expr: &Expr, ctx: Option<(&Rel, &[Value])>) -> Result<Value> {
+    match expr {
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Column(name) => match ctx {
+            Some((rel, row)) => {
+                let idx = rel.resolve(name)?;
+                Ok(row[idx].clone())
+            }
+            None => Err(MetaError::TypeError(format!(
+                "column reference {name} outside row context"
+            ))),
+        },
+        Expr::Binary { op, lhs, rhs } => {
+            // short-circuit AND/OR
+            match op {
+                BinOp::And => {
+                    let l = eval(lhs, ctx)?;
+                    if !truthy(&l) {
+                        return Ok(bool_val(false));
+                    }
+                    let r = eval(rhs, ctx)?;
+                    return Ok(bool_val(truthy(&r)));
+                }
+                BinOp::Or => {
+                    let l = eval(lhs, ctx)?;
+                    if truthy(&l) {
+                        return Ok(bool_val(true));
+                    }
+                    let r = eval(rhs, ctx)?;
+                    return Ok(bool_val(truthy(&r)));
+                }
+                _ => {}
+            }
+            let l = eval(lhs, ctx)?;
+            let r = eval(rhs, ctx)?;
+            match op {
+                BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq => {
+                    match l.sql_cmp(&r)? {
+                        None => Ok(Value::Null),
+                        Some(ord) => {
+                            let b = match op {
+                                BinOp::Eq => ord == Ordering::Equal,
+                                BinOp::NotEq => ord != Ordering::Equal,
+                                BinOp::Lt => ord == Ordering::Less,
+                                BinOp::LtEq => ord != Ordering::Greater,
+                                BinOp::Gt => ord == Ordering::Greater,
+                                BinOp::GtEq => ord != Ordering::Less,
+                                _ => unreachable!(),
+                            };
+                            Ok(bool_val(b))
+                        }
+                    }
+                }
+                BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
+                    if l.is_null() || r.is_null() {
+                        return Ok(Value::Null);
+                    }
+                    let (a, b) = (l.as_int()?, r.as_int()?);
+                    let v = match op {
+                        BinOp::Add => a.checked_add(b),
+                        BinOp::Sub => a.checked_sub(b),
+                        BinOp::Mul => a.checked_mul(b),
+                        BinOp::Div => {
+                            if b == 0 {
+                                return Err(MetaError::TypeError("division by zero".into()));
+                            }
+                            a.checked_div(b)
+                        }
+                        BinOp::Mod => {
+                            if b == 0 {
+                                return Err(MetaError::TypeError("modulo by zero".into()));
+                            }
+                            a.checked_rem(b)
+                        }
+                        _ => unreachable!(),
+                    };
+                    v.map(Value::Int)
+                        .ok_or_else(|| MetaError::TypeError("integer overflow".into()))
+                }
+                BinOp::And | BinOp::Or => unreachable!(),
+            }
+        }
+        Expr::Not(e) => {
+            let v = eval(e, ctx)?;
+            if v.is_null() {
+                Ok(Value::Null)
+            } else {
+                Ok(bool_val(!truthy(&v)))
+            }
+        }
+        Expr::IsNull { expr, negated } => {
+            let v = eval(expr, ctx)?;
+            Ok(bool_val(v.is_null() != *negated))
+        }
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let v = eval(expr, ctx)?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let mut found = false;
+            for item in list {
+                let iv = eval(item, ctx)?;
+                if v.sql_cmp(&iv)? == Some(Ordering::Equal) {
+                    found = true;
+                    break;
+                }
+            }
+            Ok(bool_val(found != *negated))
+        }
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
+            let v = eval(expr, ctx)?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let s = v.as_text()?;
+            Ok(bool_val(like_match(pattern, s) != *negated))
+        }
+        Expr::Call { func, args } => {
+            let vals: Vec<Value> = args.iter().map(|a| eval(a, ctx)).collect::<Result<_>>()?;
+            call_function(func, &vals)
+        }
+    }
+}
+
+/// Scalar built-ins operating mainly on INTLIST (brick lists).
+fn call_function(func: &str, args: &[Value]) -> Result<Value> {
+    match func {
+        "contains" => {
+            expect_arity(func, args, 2)?;
+            let list = args[0].as_int_list()?;
+            let x = args[1].as_int()?;
+            Ok(bool_val(list.contains(&x)))
+        }
+        "len" => {
+            expect_arity(func, args, 1)?;
+            match &args[0] {
+                Value::IntList(v) => Ok(Value::Int(v.len() as i64)),
+                Value::Text(s) => Ok(Value::Int(s.chars().count() as i64)),
+                Value::Blob(b) => Ok(Value::Int(b.len() as i64)),
+                other => Err(MetaError::TypeError(format!("len() on {other}"))),
+            }
+        }
+        "append" => {
+            expect_arity(func, args, 2)?;
+            let mut list = args[0].as_int_list()?.to_vec();
+            list.push(args[1].as_int()?);
+            Ok(Value::IntList(list))
+        }
+        "remove" => {
+            expect_arity(func, args, 2)?;
+            let x = args[1].as_int()?;
+            let list: Vec<i64> = args[0]
+                .as_int_list()?
+                .iter()
+                .copied()
+                .filter(|&v| v != x)
+                .collect();
+            Ok(Value::IntList(list))
+        }
+        "concat" => {
+            expect_arity(func, args, 2)?;
+            let a = args[0].as_text()?;
+            let b = args[1].as_text()?;
+            Ok(Value::Text(format!("{a}{b}")))
+        }
+        other => Err(MetaError::TypeError(format!("unknown function {other}"))),
+    }
+}
+
+fn expect_arity(func: &str, args: &[Value], n: usize) -> Result<()> {
+    if args.len() != n {
+        Err(MetaError::TypeError(format!(
+            "{func}() expects {n} arguments, got {}",
+            args.len()
+        )))
+    } else {
+        Ok(())
+    }
+}
+
+/// SQL LIKE: `%` matches any run (including empty), `_` one character.
+fn like_match(pattern: &str, text: &str) -> bool {
+    let p: Vec<char> = pattern.chars().collect();
+    let t: Vec<char> = text.chars().collect();
+    // iterative two-pointer with backtracking on the last %
+    let (mut pi, mut ti) = (0usize, 0usize);
+    let mut star: Option<(usize, usize)> = None;
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == '_' || p[pi] == t[ti]) {
+            pi += 1;
+            ti += 1;
+        } else if pi < p.len() && p[pi] == '%' {
+            star = Some((pi, ti));
+            pi += 1;
+        } else if let Some((sp, st)) = star {
+            pi = sp + 1;
+            ti = st + 1;
+            star = Some((sp, st + 1));
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn like_basics() {
+        assert!(like_match("abc", "abc"));
+        assert!(!like_match("abc", "abd"));
+        assert!(like_match("a%", "abcdef"));
+        assert!(like_match("%f", "abcdef"));
+        assert!(like_match("a%f", "af"));
+        assert!(like_match("%", ""));
+        assert!(like_match("a_c", "abc"));
+        assert!(!like_match("a_c", "abbc"));
+        assert!(like_match("%home%", "/home/xhshen/dpfs.test"));
+        assert!(!like_match("tmp%", "/tmp/x")); // anchored at start
+    }
+
+    #[test]
+    fn eval_literals_and_arith() {
+        let v = eval(
+            &Expr::Binary {
+                op: BinOp::Add,
+                lhs: Box::new(Expr::Literal(Value::Int(2))),
+                rhs: Box::new(Expr::Literal(Value::Int(3))),
+            },
+            None,
+        )
+        .unwrap();
+        assert_eq!(v, Value::Int(5));
+    }
+
+    #[test]
+    fn division_by_zero_errors() {
+        let e = Expr::Binary {
+            op: BinOp::Div,
+            lhs: Box::new(Expr::Literal(Value::Int(1))),
+            rhs: Box::new(Expr::Literal(Value::Int(0))),
+        };
+        assert!(eval(&e, None).is_err());
+    }
+
+    #[test]
+    fn null_propagates_through_arith_and_cmp() {
+        let e = Expr::Binary {
+            op: BinOp::Add,
+            lhs: Box::new(Expr::Literal(Value::Null)),
+            rhs: Box::new(Expr::Literal(Value::Int(3))),
+        };
+        assert_eq!(eval(&e, None).unwrap(), Value::Null);
+        let e = Expr::Binary {
+            op: BinOp::Eq,
+            lhs: Box::new(Expr::Literal(Value::Null)),
+            rhs: Box::new(Expr::Literal(Value::Int(3))),
+        };
+        assert_eq!(eval(&e, None).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn functions() {
+        let list = Value::IntList(vec![0, 2, 6, 8]);
+        assert_eq!(
+            call_function("contains", &[list.clone(), Value::Int(6)]).unwrap(),
+            Value::Int(1)
+        );
+        assert_eq!(
+            call_function("contains", &[list.clone(), Value::Int(5)]).unwrap(),
+            Value::Int(0)
+        );
+        assert_eq!(call_function("len", &[list.clone()]).unwrap(), Value::Int(4));
+        assert_eq!(
+            call_function("append", &[list.clone(), Value::Int(12)]).unwrap(),
+            Value::IntList(vec![0, 2, 6, 8, 12])
+        );
+        assert_eq!(
+            call_function("remove", &[list, Value::Int(2)]).unwrap(),
+            Value::IntList(vec![0, 6, 8])
+        );
+        assert!(call_function("nope", &[]).is_err());
+    }
+
+    #[test]
+    fn rel_resolution() {
+        let rel = Rel {
+            qualifiers: vec!["a".into(), "a".into(), "b".into()],
+            names: vec!["id".into(), "x".into(), "id".into()],
+        };
+        assert_eq!(rel.resolve("x").unwrap(), 1);
+        assert_eq!(rel.resolve("a.id").unwrap(), 0);
+        assert_eq!(rel.resolve("b.id").unwrap(), 2);
+        assert!(rel.resolve("id").is_err(), "ambiguous");
+        assert!(rel.resolve("missing").is_err());
+        assert_eq!(rel.display_name(0), "a.id");
+        assert_eq!(rel.display_name(1), "x");
+    }
+}

@@ -1,0 +1,9 @@
+//! SQL front-end: lexer, AST, parser and executor.
+
+pub mod ast;
+pub(crate) mod exec;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::Statement;
+pub use parser::{parse, parse_script};

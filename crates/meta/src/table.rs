@@ -1,0 +1,254 @@
+//! In-memory table: a heap of rows addressed by stable `RowId`s plus a
+//! unique index on the primary-key column (when declared).
+
+use std::collections::BTreeMap;
+
+use crate::error::{MetaError, Result};
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// Stable identifier of a row within a table; never reused after delete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RowId(pub u64);
+
+/// Key wrapper giving `Value` the total order required by `BTreeMap`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct IndexKey(Value);
+
+impl PartialOrd for IndexKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for IndexKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// A single table: schema + row heap + optional primary-key index.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: Schema,
+    rows: BTreeMap<RowId, Vec<Value>>,
+    pk_index: BTreeMap<IndexKey, RowId>,
+    next_row_id: u64,
+}
+
+impl Table {
+    /// Create an empty table with the given schema.
+    pub fn new(schema: Schema) -> Self {
+        Table {
+            schema,
+            rows: BTreeMap::new(),
+            pk_index: BTreeMap::new(),
+            next_row_id: 0,
+        }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Insert a row; validates schema and primary-key uniqueness. Returns the
+    /// new row's id.
+    pub fn insert(&mut self, values: Vec<Value>) -> Result<RowId> {
+        self.schema.check_row(&values)?;
+        if let Some(pk) = self.schema.pk_index() {
+            let key = IndexKey(values[pk].clone());
+            if self.pk_index.contains_key(&key) {
+                return Err(MetaError::DuplicateKey(format!(
+                    "{} = {}",
+                    self.schema.columns()[pk].name,
+                    values[pk]
+                )));
+            }
+            let id = RowId(self.next_row_id);
+            self.next_row_id += 1;
+            self.pk_index.insert(key, id);
+            self.rows.insert(id, values);
+            Ok(id)
+        } else {
+            let id = RowId(self.next_row_id);
+            self.next_row_id += 1;
+            self.rows.insert(id, values);
+            Ok(id)
+        }
+    }
+
+    /// Insert with a caller-provided row id (used by WAL replay so ids are
+    /// stable across recovery).
+    pub fn insert_with_id(&mut self, id: RowId, values: Vec<Value>) -> Result<()> {
+        self.schema.check_row(&values)?;
+        if self.rows.contains_key(&id) {
+            return Err(MetaError::Storage(format!("row id {} already live", id.0)));
+        }
+        if let Some(pk) = self.schema.pk_index() {
+            let key = IndexKey(values[pk].clone());
+            if self.pk_index.contains_key(&key) {
+                return Err(MetaError::DuplicateKey(format!("{}", values[pk])));
+            }
+            self.pk_index.insert(key, id);
+        }
+        self.next_row_id = self.next_row_id.max(id.0 + 1);
+        self.rows.insert(id, values);
+        Ok(())
+    }
+
+    /// Fetch a row by id.
+    pub fn get(&self, id: RowId) -> Option<&[Value]> {
+        self.rows.get(&id).map(|v| v.as_slice())
+    }
+
+    /// Look up a row id via the primary-key index.
+    pub fn find_pk(&self, key: &Value) -> Option<RowId> {
+        self.pk_index.get(&IndexKey(key.clone())).copied()
+    }
+
+    /// Replace the row at `id` with `values`; returns the old values.
+    pub fn update(&mut self, id: RowId, values: Vec<Value>) -> Result<Vec<Value>> {
+        self.schema.check_row(&values)?;
+        let old = self
+            .rows
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| MetaError::Storage(format!("no row with id {}", id.0)))?;
+        if let Some(pk) = self.schema.pk_index() {
+            if old[pk] != values[pk] {
+                let new_key = IndexKey(values[pk].clone());
+                if self.pk_index.contains_key(&new_key) {
+                    return Err(MetaError::DuplicateKey(format!("{}", values[pk])));
+                }
+                self.pk_index.remove(&IndexKey(old[pk].clone()));
+                self.pk_index.insert(new_key, id);
+            }
+        }
+        self.rows.insert(id, values);
+        Ok(old)
+    }
+
+    /// Remove the row at `id`; returns the removed values.
+    pub fn delete(&mut self, id: RowId) -> Result<Vec<Value>> {
+        let old = self
+            .rows
+            .remove(&id)
+            .ok_or_else(|| MetaError::Storage(format!("no row with id {}", id.0)))?;
+        if let Some(pk) = self.schema.pk_index() {
+            self.pk_index.remove(&IndexKey(old[pk].clone()));
+        }
+        Ok(old)
+    }
+
+    /// Iterate all live rows in row-id order.
+    pub fn scan(&self) -> impl Iterator<Item = (RowId, &[Value])> {
+        self.rows.iter().map(|(id, v)| (*id, v.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+    use crate::value::DataType;
+
+    fn table() -> Table {
+        Table::new(
+            Schema::new(vec![
+                Column::new("name", DataType::Text).primary_key(),
+                Column::new("n", DataType::Int),
+            ])
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn insert_get_scan() {
+        let mut t = table();
+        let a = t.insert(vec!["a".into(), Value::Int(1)]).unwrap();
+        let b = t.insert(vec!["b".into(), Value::Int(2)]).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(a).unwrap()[1], Value::Int(1));
+        let names: Vec<_> = t.scan().map(|(_, r)| r[0].clone()).collect();
+        assert_eq!(names, vec![Value::from("a"), Value::from("b")]);
+    }
+
+    #[test]
+    fn pk_uniqueness_enforced() {
+        let mut t = table();
+        t.insert(vec!["a".into(), Value::Int(1)]).unwrap();
+        let err = t.insert(vec!["a".into(), Value::Int(2)]).unwrap_err();
+        assert!(matches!(err, MetaError::DuplicateKey(_)));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn find_by_pk() {
+        let mut t = table();
+        let id = t.insert(vec!["k".into(), Value::Int(9)]).unwrap();
+        assert_eq!(t.find_pk(&"k".into()), Some(id));
+        assert_eq!(t.find_pk(&"missing".into()), None);
+    }
+
+    #[test]
+    fn update_moves_pk_index() {
+        let mut t = table();
+        let id = t.insert(vec!["a".into(), Value::Int(1)]).unwrap();
+        let old = t.update(id, vec!["z".into(), Value::Int(5)]).unwrap();
+        assert_eq!(old[0], Value::from("a"));
+        assert_eq!(t.find_pk(&"a".into()), None);
+        assert_eq!(t.find_pk(&"z".into()), Some(id));
+    }
+
+    #[test]
+    fn update_to_existing_pk_rejected() {
+        let mut t = table();
+        let a = t.insert(vec!["a".into(), Value::Int(1)]).unwrap();
+        t.insert(vec!["b".into(), Value::Int(2)]).unwrap();
+        assert!(t.update(a, vec!["b".into(), Value::Int(3)]).is_err());
+        // original row intact
+        assert_eq!(t.get(a).unwrap()[0], Value::from("a"));
+    }
+
+    #[test]
+    fn delete_frees_pk() {
+        let mut t = table();
+        let id = t.insert(vec!["a".into(), Value::Int(1)]).unwrap();
+        t.delete(id).unwrap();
+        assert_eq!(t.len(), 0);
+        // key usable again, id not reused
+        let id2 = t.insert(vec!["a".into(), Value::Int(2)]).unwrap();
+        assert_ne!(id, id2);
+    }
+
+    #[test]
+    fn delete_missing_errors() {
+        let mut t = table();
+        assert!(t.delete(RowId(42)).is_err());
+    }
+
+    #[test]
+    fn insert_with_id_replay() {
+        let mut t = table();
+        t.insert_with_id(RowId(7), vec!["a".into(), Value::Int(1)])
+            .unwrap();
+        // next auto id continues after the replayed one
+        let id = t.insert(vec!["b".into(), Value::Int(2)]).unwrap();
+        assert_eq!(id, RowId(8));
+        assert!(t
+            .insert_with_id(RowId(7), vec!["c".into(), Value::Int(3)])
+            .is_err());
+    }
+}

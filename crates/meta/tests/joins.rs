@@ -1,0 +1,152 @@
+//! INNER JOIN tests over the embedded engine, including joins across the
+//! DPFS catalog tables — the queries an administrator of the paper's
+//! POSTGRES-backed deployment would actually run.
+
+use dpfs_meta::{Database, Value};
+
+fn setup() -> Database {
+    let db = Database::in_memory();
+    db.execute(
+        "CREATE TABLE dpfs_server (server_name TEXT PRIMARY KEY, capacity INT, performance INT)",
+    )
+    .unwrap();
+    db.execute(
+        "CREATE TABLE dist (dist_key TEXT PRIMARY KEY, server TEXT, filename TEXT, bricklist INTLIST)",
+    )
+    .unwrap();
+    db.execute(
+        "INSERT INTO dpfs_server VALUES
+            ('ccn60.mcs.anl.gov', 500, 1),
+            ('aruba.ece.nwu.edu', 400, 3),
+            ('bermuda.ece.nwu.edu', 400, 3)",
+    )
+    .unwrap();
+    db.execute(
+        "INSERT INTO dist VALUES
+            ('k1', 'ccn60.mcs.anl.gov', '/f', [0,2,4,6]),
+            ('k2', 'aruba.ece.nwu.edu', '/f', [1,3]),
+            ('k3', 'ccn60.mcs.anl.gov', '/g', [0,1]),
+            ('k4', 'unregistered.host', '/g', [2])",
+    )
+    .unwrap();
+    db
+}
+
+#[test]
+fn join_on_equality() {
+    let db = setup();
+    let rs = db
+        .execute(
+            "SELECT dist.filename, dpfs_server.performance FROM dist \
+             JOIN dpfs_server ON dist.server = dpfs_server.server_name \
+             ORDER BY filename, performance",
+        )
+        .unwrap();
+    // k4's server is unregistered -> dropped by the inner join
+    assert_eq!(rs.rows.len(), 3);
+    assert_eq!(rs.columns, vec!["dist.filename", "dpfs_server.performance"]);
+    assert_eq!(rs.rows[0], vec![Value::from("/f"), Value::Int(1)]);
+    assert_eq!(rs.rows[1], vec![Value::from("/f"), Value::Int(3)]);
+    assert_eq!(rs.rows[2], vec![Value::from("/g"), Value::Int(1)]);
+}
+
+#[test]
+fn join_with_where_and_functions() {
+    let db = setup();
+    // bricks on fast servers only
+    let rs = db
+        .execute(
+            "SELECT len(bricklist) FROM dist \
+             INNER JOIN dpfs_server ON server = server_name \
+             WHERE performance = 1 ORDER BY dist_key",
+        )
+        .unwrap();
+    assert_eq!(rs.rows.len(), 2);
+    assert_eq!(rs.rows[0][0], Value::Int(4));
+    assert_eq!(rs.rows[1][0], Value::Int(2));
+}
+
+#[test]
+fn join_aggregates() {
+    let db = setup();
+    let rs = db
+        .execute(
+            "SELECT COUNT(*), SUM(capacity) FROM dist \
+             JOIN dpfs_server ON server = server_name WHERE filename = '/f'",
+        )
+        .unwrap();
+    assert_eq!(rs.rows[0][0], Value::Int(2));
+    assert_eq!(rs.rows[0][1], Value::Int(900));
+}
+
+#[test]
+fn wildcard_join_projects_all_columns_qualified_when_needed() {
+    let db = Database::in_memory();
+    db.execute("CREATE TABLE a (id INT PRIMARY KEY, v INT)").unwrap();
+    db.execute("CREATE TABLE b (id INT PRIMARY KEY, w INT)").unwrap();
+    db.execute("INSERT INTO a VALUES (1, 10)").unwrap();
+    db.execute("INSERT INTO b VALUES (1, 20)").unwrap();
+    let rs = db
+        .execute("SELECT * FROM a JOIN b ON a.id = b.id")
+        .unwrap();
+    assert_eq!(rs.columns, vec!["a.id", "v", "b.id", "w"]);
+    // note: duplicate names come back qualified; unique ones plain
+    assert_eq!(rs.rows[0], vec![Value::Int(1), Value::Int(10), Value::Int(1), Value::Int(20)]);
+}
+
+#[test]
+fn ambiguous_unqualified_column_is_an_error() {
+    let db = Database::in_memory();
+    db.execute("CREATE TABLE a (id INT PRIMARY KEY)").unwrap();
+    db.execute("CREATE TABLE b (id INT PRIMARY KEY)").unwrap();
+    db.execute("INSERT INTO a VALUES (1)").unwrap();
+    db.execute("INSERT INTO b VALUES (1)").unwrap();
+    let err = db.execute("SELECT id FROM a JOIN b ON a.id = b.id");
+    assert!(err.is_err(), "unqualified ambiguous `id` must error");
+    // qualified works
+    let rs = db.execute("SELECT a.id FROM a JOIN b ON a.id = b.id").unwrap();
+    assert_eq!(rs.rows.len(), 1);
+}
+
+#[test]
+fn join_order_by_qualified_column() {
+    let db = Database::in_memory();
+    db.execute("CREATE TABLE a (id INT PRIMARY KEY, tag TEXT)").unwrap();
+    db.execute("CREATE TABLE b (id INT PRIMARY KEY, rank INT)").unwrap();
+    for i in 0..5 {
+        db.execute(&format!("INSERT INTO a VALUES ({i}, 't{i}')")).unwrap();
+        db.execute(&format!("INSERT INTO b VALUES ({i}, {})", 5 - i)).unwrap();
+    }
+    let rs = db
+        .execute("SELECT tag FROM a JOIN b ON a.id = b.id ORDER BY b.rank LIMIT 2")
+        .unwrap();
+    assert_eq!(rs.rows[0][0], Value::from("t4"));
+    assert_eq!(rs.rows[1][0], Value::from("t3"));
+}
+
+#[test]
+fn join_of_empty_tables() {
+    let db = Database::in_memory();
+    db.execute("CREATE TABLE a (id INT PRIMARY KEY)").unwrap();
+    db.execute("CREATE TABLE b (id INT PRIMARY KEY)").unwrap();
+    let rs = db.execute("SELECT * FROM a JOIN b ON a.id = b.id").unwrap();
+    assert!(rs.rows.is_empty());
+}
+
+#[test]
+fn cross_type_on_expression_errors_cleanly() {
+    let db = Database::in_memory();
+    db.execute("CREATE TABLE a (id INT PRIMARY KEY)").unwrap();
+    db.execute("CREATE TABLE b (name TEXT PRIMARY KEY)").unwrap();
+    db.execute("INSERT INTO a VALUES (1)").unwrap();
+    db.execute("INSERT INTO b VALUES ('x')").unwrap();
+    assert!(db.execute("SELECT * FROM a JOIN b ON a.id = b.name").is_err());
+}
+
+#[test]
+fn join_nonexistent_table() {
+    let db = setup();
+    assert!(db
+        .execute("SELECT * FROM dist JOIN nope ON dist.server = nope.x")
+        .is_err());
+}

@@ -1,0 +1,121 @@
+//! Transaction-control edge cases on the engine: DDL rollback, txn misuse,
+//! WAL economy for read-only transactions.
+
+use dpfs_meta::{Database, MetaError, Value};
+
+#[test]
+fn rollback_undoes_drop_table() {
+    let db = Database::in_memory();
+    db.execute("CREATE TABLE t (k INT PRIMARY KEY)").unwrap();
+    db.execute("INSERT INTO t VALUES (1), (2)").unwrap();
+    db.execute("BEGIN").unwrap();
+    db.execute("DROP TABLE t").unwrap();
+    assert!(db.execute("SELECT * FROM t").is_err(), "dropped inside txn");
+    db.execute("ROLLBACK").unwrap();
+    let rs = db.execute("SELECT COUNT(*) FROM t").unwrap();
+    assert_eq!(rs.rows[0][0], Value::Int(2), "rows restored with the table");
+}
+
+#[test]
+fn rollback_undoes_create_table() {
+    let db = Database::in_memory();
+    db.execute("BEGIN").unwrap();
+    db.execute("CREATE TABLE ephemeral (k INT PRIMARY KEY)").unwrap();
+    db.execute("INSERT INTO ephemeral VALUES (9)").unwrap();
+    db.execute("ROLLBACK").unwrap();
+    assert!(db.execute("SELECT * FROM ephemeral").is_err());
+    // creating it again works (no phantom name)
+    db.execute("CREATE TABLE ephemeral (k INT PRIMARY KEY)").unwrap();
+}
+
+#[test]
+fn txn_control_misuse_is_rejected() {
+    let db = Database::in_memory();
+    assert!(matches!(db.execute("COMMIT"), Err(MetaError::Txn(_))));
+    assert!(matches!(db.execute("ROLLBACK"), Err(MetaError::Txn(_))));
+    db.execute("BEGIN").unwrap();
+    assert!(matches!(db.execute("BEGIN"), Err(MetaError::Txn(_))), "nested BEGIN");
+    db.execute("COMMIT").unwrap();
+}
+
+#[test]
+fn explicit_txn_spans_multiple_statements_atomically() {
+    let dir = std::env::temp_dir().join(format!("dpfs-txn-span-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let db = Database::open_with_sync(&dir, false).unwrap();
+        db.execute("CREATE TABLE t (k INT PRIMARY KEY, v INT)").unwrap();
+        db.execute("BEGIN").unwrap();
+        for k in 0..10 {
+            db.execute(&format!("INSERT INTO t VALUES ({k}, {})", k * 10)).unwrap();
+        }
+        db.execute("UPDATE t SET v = v + 1 WHERE k < 5").unwrap();
+        db.execute("COMMIT").unwrap();
+        // second txn left uncommitted at "crash"
+        db.execute("BEGIN").unwrap();
+        db.execute("DELETE FROM t WHERE k >= 0").unwrap();
+        // dropped without COMMIT
+    }
+    {
+        let db = Database::open_with_sync(&dir, false).unwrap();
+        let rs = db.execute("SELECT COUNT(*), SUM(v) FROM t").unwrap();
+        assert_eq!(rs.rows[0][0], Value::Int(10), "committed txn survived");
+        // sum: (1+11+21+31+41) + (50+60+70+80+90) = 105 + 350 = 455
+        assert_eq!(rs.rows[0][1], Value::Int(455));
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn read_only_transactions_write_nothing_to_the_wal() {
+    let dir = std::env::temp_dir().join(format!("dpfs-txn-ro-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let db = Database::open_with_sync(&dir, false).unwrap();
+    db.execute("CREATE TABLE t (k INT PRIMARY KEY)").unwrap();
+    db.execute("INSERT INTO t VALUES (1)").unwrap();
+    let wal = dir.join("wal.log");
+    let before = std::fs::metadata(&wal).unwrap().len();
+    for _ in 0..20 {
+        db.execute("SELECT * FROM t WHERE k = 1").unwrap();
+    }
+    db.execute("BEGIN").unwrap();
+    db.execute("SELECT COUNT(*) FROM t").unwrap();
+    db.execute("COMMIT").unwrap();
+    let after = std::fs::metadata(&wal).unwrap().len();
+    assert_eq!(before, after, "reads must not grow the WAL");
+    drop(db);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn failed_statement_inside_explicit_txn_keeps_txn_usable() {
+    let db = Database::in_memory();
+    db.execute("CREATE TABLE t (k INT PRIMARY KEY)").unwrap();
+    db.execute("BEGIN").unwrap();
+    db.execute("INSERT INTO t VALUES (1)").unwrap();
+    // duplicate key fails the statement, not the transaction
+    assert!(db.execute("INSERT INTO t VALUES (1)").is_err());
+    db.execute("INSERT INTO t VALUES (2)").unwrap();
+    db.execute("COMMIT").unwrap();
+    let rs = db.execute("SELECT COUNT(*) FROM t").unwrap();
+    assert_eq!(rs.rows[0][0], Value::Int(2));
+}
+
+#[test]
+fn checkpoint_inside_txn_refused_but_fine_after() {
+    let dir = std::env::temp_dir().join(format!("dpfs-txn-ckpt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let db = Database::open_with_sync(&dir, false).unwrap();
+    db.execute("CREATE TABLE t (k INT PRIMARY KEY)").unwrap();
+    db.execute("BEGIN").unwrap();
+    db.execute("INSERT INTO t VALUES (1)").unwrap();
+    assert!(db.checkpoint().is_err(), "checkpoint with open txn must fail");
+    db.execute("COMMIT").unwrap();
+    db.checkpoint().unwrap();
+    drop(db);
+    let db = Database::open_with_sync(&dir, false).unwrap();
+    let rs = db.execute("SELECT COUNT(*) FROM t").unwrap();
+    assert_eq!(rs.rows[0][0], Value::Int(1));
+    drop(db);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

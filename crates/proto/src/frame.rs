@@ -1,0 +1,214 @@
+//! Length-prefixed, CRC-protected framing over any `Read`/`Write` stream.
+
+use std::fmt;
+use std::io::{Read, Write};
+
+use bytes::Bytes;
+
+/// `"DPFS"` — first four bytes of every frame.
+pub const MAGIC: [u8; 4] = *b"DPFS";
+
+/// Upper bound on payload size (64 MiB). Protects a peer from allocating
+/// unbounded memory on a corrupt or hostile length field.
+pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+/// Framing-layer errors.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Underlying stream I/O failed.
+    Io(std::io::Error),
+    /// First four bytes were not the DPFS magic.
+    BadMagic([u8; 4]),
+    /// Declared payload length exceeds [`MAX_FRAME_LEN`].
+    Oversized(usize),
+    /// Payload CRC mismatch (corruption in flight).
+    BadChecksum { expected: u32, actual: u32 },
+    /// The peer closed the connection cleanly between frames.
+    Closed,
+    /// Payload did not decode to a valid message.
+    BadMessage(String),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame io error: {e}"),
+            FrameError::BadMagic(m) => write!(f, "bad frame magic {m:?}"),
+            FrameError::Oversized(n) => write!(f, "frame of {n} bytes exceeds limit"),
+            FrameError::BadChecksum { expected, actual } => {
+                write!(f, "frame checksum mismatch: expected {expected:#x}, got {actual:#x}")
+            }
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::BadMessage(m) => write!(f, "bad message: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrameError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// CRC-32 (IEEE) over `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    const POLY: u32 = 0xEDB8_8320;
+    let mut crc = u32::MAX;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (POLY & mask);
+        }
+    }
+    !crc
+}
+
+/// Write one frame containing `payload`.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), FrameError> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(FrameError::Oversized(payload.len()));
+    }
+    let mut header = [0u8; 12];
+    header[..4].copy_from_slice(&MAGIC);
+    header[4..8].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    header[8..12].copy_from_slice(&crc32(payload).to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one frame, returning its payload. `Err(Closed)` when the peer shut
+/// the stream down cleanly before a new frame began.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Bytes, FrameError> {
+    let mut header = [0u8; 12];
+    // distinguish clean EOF (no bytes) from a torn header
+    let mut got = 0usize;
+    while got < header.len() {
+        let n = r.read(&mut header[got..])?;
+        if n == 0 {
+            if got == 0 {
+                return Err(FrameError::Closed);
+            }
+            return Err(FrameError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "torn frame header",
+            )));
+        }
+        got += n;
+    }
+    let magic: [u8; 4] = header[..4].try_into().unwrap();
+    if magic != MAGIC {
+        return Err(FrameError::BadMagic(magic));
+    }
+    let len = u32::from_le_bytes(header[4..8].try_into().unwrap()) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(FrameError::Oversized(len));
+    }
+    let expected = u32::from_le_bytes(header[8..12].try_into().unwrap());
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    let actual = crc32(&payload);
+    if actual != expected {
+        return Err(FrameError::BadChecksum { expected, actual });
+    }
+    Ok(Bytes::from(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello dpfs").unwrap();
+        let got = read_frame(&mut Cursor::new(&buf)).unwrap();
+        assert_eq!(&got[..], b"hello dpfs");
+    }
+
+    #[test]
+    fn empty_payload_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"").unwrap();
+        let got = read_frame(&mut Cursor::new(&buf)).unwrap();
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn several_frames_in_sequence() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"one").unwrap();
+        write_frame(&mut buf, b"two").unwrap();
+        let mut c = Cursor::new(&buf);
+        assert_eq!(&read_frame(&mut c).unwrap()[..], b"one");
+        assert_eq!(&read_frame(&mut c).unwrap()[..], b"two");
+        assert!(matches!(read_frame(&mut c), Err(FrameError::Closed)));
+    }
+
+    #[test]
+    fn clean_eof_is_closed() {
+        let empty: &[u8] = &[];
+        assert!(matches!(
+            read_frame(&mut Cursor::new(empty)),
+            Err(FrameError::Closed)
+        ));
+    }
+
+    #[test]
+    fn torn_header_is_io_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"payload").unwrap();
+        buf.truncate(6);
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&buf)),
+            Err(FrameError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn corrupt_payload_detected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"payload").unwrap();
+        let n = buf.len();
+        buf[n - 1] ^= 0xFF;
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&buf)),
+            Err(FrameError::BadChecksum { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"x").unwrap();
+        buf[0] = b'X';
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&buf)),
+            Err(FrameError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_length_rejected_without_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&buf)),
+            Err(FrameError::Oversized(_))
+        ));
+    }
+}

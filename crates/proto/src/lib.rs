@@ -1,0 +1,26 @@
+//! `dpfs-proto` — the DPFS wire protocol.
+//!
+//! DPFS adopts a client–server architecture over TCP/IP (paper §2): compute
+//! nodes send I/O requests to servers resident on storage nodes; each request
+//! names a *subfile* (the local file holding that server's bricks) and a
+//! scatter/gather list of byte ranges within it.
+//!
+//! A single request may carry many ranges — this is what makes the paper's
+//! *request combination* (§4.2) expressible: the client coalesces all bricks
+//! bound for one server into one framed message instead of one message per
+//! brick.
+//!
+//! Framing (all integers little-endian):
+//!
+//! ```text
+//! [magic "DPFS": 4 bytes][payload len: u32][crc32(payload): u32][payload]
+//! ```
+//!
+//! The CRC detects torn or corrupted frames; a bad frame is a protocol error
+//! surfaced to the peer, never a panic.
+
+pub mod frame;
+pub mod message;
+
+pub use frame::{read_frame, write_frame, FrameError, MAX_FRAME_LEN};
+pub use message::{ErrorCode, Request, Response};

@@ -1,0 +1,426 @@
+//! Request/response message types and their binary codec.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::frame::FrameError;
+
+/// Error codes carried in [`Response::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The named subfile does not exist on this server.
+    NoSuchSubfile,
+    /// Local-file-system I/O failed on the server.
+    IoFailure,
+    /// Request was malformed (overlapping/unsorted ranges, zero length, ...).
+    BadRequest,
+    /// Server is shutting down.
+    ShuttingDown,
+    /// Server-side storage quota exceeded.
+    NoSpace,
+}
+
+impl ErrorCode {
+    fn to_u8(self) -> u8 {
+        match self {
+            ErrorCode::NoSuchSubfile => 1,
+            ErrorCode::IoFailure => 2,
+            ErrorCode::BadRequest => 3,
+            ErrorCode::ShuttingDown => 4,
+            ErrorCode::NoSpace => 5,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self, FrameError> {
+        match v {
+            1 => Ok(ErrorCode::NoSuchSubfile),
+            2 => Ok(ErrorCode::IoFailure),
+            3 => Ok(ErrorCode::BadRequest),
+            4 => Ok(ErrorCode::ShuttingDown),
+            5 => Ok(ErrorCode::NoSpace),
+            other => Err(FrameError::BadMessage(format!("bad error code {other}"))),
+        }
+    }
+}
+
+/// A client request. `subfile` names the server-local file holding this
+/// server's bricks of a DPFS file.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness / RTT probe.
+    Ping,
+    /// Write `ranges` into the subfile, creating it if needed. Each element
+    /// is `(offset, data)`. One request may carry many ranges (request
+    /// combination).
+    Write {
+        subfile: String,
+        ranges: Vec<(u64, Bytes)>,
+    },
+    /// Read `ranges` (`(offset, len)` pairs) from the subfile. Reads beyond
+    /// EOF return zero-filled bytes, matching sparse local files.
+    Read {
+        subfile: String,
+        ranges: Vec<(u64, u64)>,
+    },
+    /// Remove the subfile entirely (file deletion).
+    Delete { subfile: String },
+    /// Stat the subfile.
+    Stat { subfile: String },
+    /// Truncate/extend the subfile to `size` bytes.
+    Truncate { subfile: String, size: u64 },
+    /// Ask the server to flush a subfile's data to stable storage.
+    Sync { subfile: String },
+    /// Administrative shutdown (used by the in-process testbed).
+    Shutdown,
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Reply to `Ping` / `Shutdown` / `Sync`.
+    Pong,
+    /// Write accepted; total payload bytes written.
+    Written { bytes: u64 },
+    /// Read data, one chunk per requested range, in request order.
+    Data { chunks: Vec<Bytes> },
+    /// Subfile removed (`existed` tells whether it was present).
+    Deleted { existed: bool },
+    /// Stat result.
+    Stat { exists: bool, size: u64 },
+    /// Truncated to the requested size.
+    Truncated,
+    /// Request failed.
+    Error { code: ErrorCode, message: String },
+}
+
+// ---- codec helpers ----
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> Result<String, FrameError> {
+    let len = get_u32(buf)? as usize;
+    if buf.remaining() < len {
+        return Err(FrameError::BadMessage("short string".into()));
+    }
+    let b = buf.split_to(len);
+    String::from_utf8(b.to_vec()).map_err(|_| FrameError::BadMessage("invalid utf-8".into()))
+}
+
+fn get_u8(buf: &mut Bytes) -> Result<u8, FrameError> {
+    if buf.remaining() < 1 {
+        return Err(FrameError::BadMessage("short message".into()));
+    }
+    Ok(buf.get_u8())
+}
+
+fn get_u32(buf: &mut Bytes) -> Result<u32, FrameError> {
+    if buf.remaining() < 4 {
+        return Err(FrameError::BadMessage("short message".into()));
+    }
+    Ok(buf.get_u32_le())
+}
+
+fn get_u64(buf: &mut Bytes) -> Result<u64, FrameError> {
+    if buf.remaining() < 8 {
+        return Err(FrameError::BadMessage("short message".into()));
+    }
+    Ok(buf.get_u64_le())
+}
+
+fn get_bytes(buf: &mut Bytes) -> Result<Bytes, FrameError> {
+    let len = get_u64(buf)? as usize;
+    if buf.remaining() < len {
+        return Err(FrameError::BadMessage("short byte chunk".into()));
+    }
+    Ok(buf.split_to(len))
+}
+
+fn ensure_done(buf: &Bytes) -> Result<(), FrameError> {
+    if buf.has_remaining() {
+        Err(FrameError::BadMessage(format!(
+            "{} trailing bytes",
+            buf.remaining()
+        )))
+    } else {
+        Ok(())
+    }
+}
+
+impl Request {
+    /// Encode to a frame payload.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        match self {
+            Request::Ping => buf.put_u8(1),
+            Request::Write { subfile, ranges } => {
+                buf.put_u8(2);
+                put_str(&mut buf, subfile);
+                buf.put_u32_le(ranges.len() as u32);
+                for (off, data) in ranges {
+                    buf.put_u64_le(*off);
+                    buf.put_u64_le(data.len() as u64);
+                    buf.put_slice(data);
+                }
+            }
+            Request::Read { subfile, ranges } => {
+                buf.put_u8(3);
+                put_str(&mut buf, subfile);
+                buf.put_u32_le(ranges.len() as u32);
+                for (off, len) in ranges {
+                    buf.put_u64_le(*off);
+                    buf.put_u64_le(*len);
+                }
+            }
+            Request::Delete { subfile } => {
+                buf.put_u8(4);
+                put_str(&mut buf, subfile);
+            }
+            Request::Stat { subfile } => {
+                buf.put_u8(5);
+                put_str(&mut buf, subfile);
+            }
+            Request::Truncate { subfile, size } => {
+                buf.put_u8(6);
+                put_str(&mut buf, subfile);
+                buf.put_u64_le(*size);
+            }
+            Request::Sync { subfile } => {
+                buf.put_u8(7);
+                put_str(&mut buf, subfile);
+            }
+            Request::Shutdown => buf.put_u8(8),
+        }
+        buf.freeze()
+    }
+
+    /// Decode from a frame payload.
+    pub fn decode(mut buf: Bytes) -> Result<Request, FrameError> {
+        let tag = get_u8(&mut buf)?;
+        let req = match tag {
+            1 => Request::Ping,
+            2 => {
+                let subfile = get_str(&mut buf)?;
+                let n = get_u32(&mut buf)? as usize;
+                let mut ranges = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    let off = get_u64(&mut buf)?;
+                    let data = get_bytes(&mut buf)?;
+                    ranges.push((off, data));
+                }
+                Request::Write { subfile, ranges }
+            }
+            3 => {
+                let subfile = get_str(&mut buf)?;
+                let n = get_u32(&mut buf)? as usize;
+                let mut ranges = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    ranges.push((get_u64(&mut buf)?, get_u64(&mut buf)?));
+                }
+                Request::Read { subfile, ranges }
+            }
+            4 => Request::Delete {
+                subfile: get_str(&mut buf)?,
+            },
+            5 => Request::Stat {
+                subfile: get_str(&mut buf)?,
+            },
+            6 => Request::Truncate {
+                subfile: get_str(&mut buf)?,
+                size: get_u64(&mut buf)?,
+            },
+            7 => Request::Sync {
+                subfile: get_str(&mut buf)?,
+            },
+            8 => Request::Shutdown,
+            other => return Err(FrameError::BadMessage(format!("bad request tag {other}"))),
+        };
+        ensure_done(&buf)?;
+        Ok(req)
+    }
+
+    /// Total payload bytes carried (writes) or requested (reads); used by
+    /// the server's bandwidth model and statistics.
+    pub fn payload_bytes(&self) -> u64 {
+        match self {
+            Request::Write { ranges, .. } => ranges.iter().map(|(_, d)| d.len() as u64).sum(),
+            Request::Read { ranges, .. } => ranges.iter().map(|(_, l)| *l).sum(),
+            _ => 0,
+        }
+    }
+}
+
+impl Response {
+    /// Encode to a frame payload.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        match self {
+            Response::Pong => buf.put_u8(1),
+            Response::Written { bytes } => {
+                buf.put_u8(2);
+                buf.put_u64_le(*bytes);
+            }
+            Response::Data { chunks } => {
+                buf.put_u8(3);
+                buf.put_u32_le(chunks.len() as u32);
+                for c in chunks {
+                    buf.put_u64_le(c.len() as u64);
+                    buf.put_slice(c);
+                }
+            }
+            Response::Deleted { existed } => {
+                buf.put_u8(4);
+                buf.put_u8(*existed as u8);
+            }
+            Response::Stat { exists, size } => {
+                buf.put_u8(5);
+                buf.put_u8(*exists as u8);
+                buf.put_u64_le(*size);
+            }
+            Response::Truncated => buf.put_u8(6),
+            Response::Error { code, message } => {
+                buf.put_u8(7);
+                buf.put_u8(code.to_u8());
+                put_str(&mut buf, message);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decode from a frame payload.
+    pub fn decode(mut buf: Bytes) -> Result<Response, FrameError> {
+        let tag = get_u8(&mut buf)?;
+        let resp = match tag {
+            1 => Response::Pong,
+            2 => Response::Written {
+                bytes: get_u64(&mut buf)?,
+            },
+            3 => {
+                let n = get_u32(&mut buf)? as usize;
+                let mut chunks = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    chunks.push(get_bytes(&mut buf)?);
+                }
+                Response::Data { chunks }
+            }
+            4 => Response::Deleted {
+                existed: get_u8(&mut buf)? != 0,
+            },
+            5 => Response::Stat {
+                exists: get_u8(&mut buf)? != 0,
+                size: get_u64(&mut buf)?,
+            },
+            6 => Response::Truncated,
+            7 => Response::Error {
+                code: ErrorCode::from_u8(get_u8(&mut buf)?)?,
+                message: get_str(&mut buf)?,
+            },
+            other => return Err(FrameError::BadMessage(format!("bad response tag {other}"))),
+        };
+        ensure_done(&buf)?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_req(req: Request) {
+        let enc = req.encode();
+        let dec = Request::decode(enc).unwrap();
+        assert_eq!(dec, req);
+    }
+
+    fn round_trip_resp(resp: Response) {
+        let enc = resp.encode();
+        let dec = Response::decode(enc).unwrap();
+        assert_eq!(dec, resp);
+    }
+
+    #[test]
+    fn request_round_trips() {
+        round_trip_req(Request::Ping);
+        round_trip_req(Request::Write {
+            subfile: "/data/dpfs.test".into(),
+            ranges: vec![(0, Bytes::from_static(b"abc")), (1024, Bytes::new())],
+        });
+        round_trip_req(Request::Read {
+            subfile: "f".into(),
+            ranges: vec![(0, 10), (100, 200)],
+        });
+        round_trip_req(Request::Delete { subfile: "f".into() });
+        round_trip_req(Request::Stat { subfile: "f".into() });
+        round_trip_req(Request::Truncate {
+            subfile: "f".into(),
+            size: 12345,
+        });
+        round_trip_req(Request::Sync { subfile: "f".into() });
+        round_trip_req(Request::Shutdown);
+    }
+
+    #[test]
+    fn response_round_trips() {
+        round_trip_resp(Response::Pong);
+        round_trip_resp(Response::Written { bytes: 4096 });
+        round_trip_resp(Response::Data {
+            chunks: vec![Bytes::from_static(b"xyz"), Bytes::new()],
+        });
+        round_trip_resp(Response::Deleted { existed: true });
+        round_trip_resp(Response::Stat {
+            exists: false,
+            size: 0,
+        });
+        round_trip_resp(Response::Truncated);
+        round_trip_resp(Response::Error {
+            code: ErrorCode::NoSuchSubfile,
+            message: "no subfile /x".into(),
+        });
+    }
+
+    #[test]
+    fn payload_bytes() {
+        let w = Request::Write {
+            subfile: "f".into(),
+            ranges: vec![(0, Bytes::from(vec![0u8; 100])), (200, Bytes::from(vec![0u8; 50]))],
+        };
+        assert_eq!(w.payload_bytes(), 150);
+        let r = Request::Read {
+            subfile: "f".into(),
+            ranges: vec![(0, 10), (20, 30)],
+        };
+        assert_eq!(r.payload_bytes(), 40);
+        assert_eq!(Request::Ping.payload_bytes(), 0);
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut enc = Request::Ping.encode().to_vec();
+        enc.push(0xAA);
+        assert!(Request::decode(Bytes::from(enc)).is_err());
+    }
+
+    #[test]
+    fn truncated_message_rejected() {
+        let enc = Request::Write {
+            subfile: "file".into(),
+            ranges: vec![(0, Bytes::from_static(b"data"))],
+        }
+        .encode();
+        for cut in 1..enc.len() {
+            assert!(
+                Request::decode(enc.slice(..cut)).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_tags_rejected() {
+        assert!(Request::decode(Bytes::from_static(&[99])).is_err());
+        assert!(Response::decode(Bytes::from_static(&[99])).is_err());
+        // bad error code
+        assert!(Response::decode(Bytes::from_static(&[7, 200, 0, 0, 0, 0])).is_err());
+    }
+}

@@ -1,0 +1,70 @@
+//! Adversarial decode tests: arbitrary bytes must never panic the codec or
+//! the framing layer — they either parse or error.
+
+use bytes::Bytes;
+use dpfs_proto::{frame, Request, Response};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn request_decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let _ = Request::decode(Bytes::from(data));
+    }
+
+    #[test]
+    fn response_decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let _ = Response::decode(Bytes::from(data));
+    }
+
+    #[test]
+    fn frame_reader_never_panics(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let mut cursor = std::io::Cursor::new(&data);
+        // read frames until error/EOF; must terminate and never panic
+        for _ in 0..8 {
+            if frame::read_frame(&mut cursor).is_err() {
+                break;
+            }
+        }
+    }
+
+    /// Mutating a valid encoded request must never panic the decoder.
+    #[test]
+    fn mutated_valid_request_never_panics(
+        flips in proptest::collection::vec((0usize..256, any::<u8>()), 1..8),
+        subfile in "[a-z/]{1,20}",
+        off in any::<u64>(),
+        len in 0u64..1024,
+    ) {
+        let req = Request::Read { subfile, ranges: vec![(off, len)] };
+        let mut enc = req.encode().to_vec();
+        for (pos, x) in flips {
+            if !enc.is_empty() {
+                let i = pos % enc.len();
+                enc[i] ^= x;
+            }
+        }
+        let _ = Request::decode(Bytes::from(enc));
+    }
+
+    /// Valid encodings always round-trip (encode is injective over decode).
+    #[test]
+    fn arbitrary_write_requests_round_trip(
+        subfile in "[a-zA-Z0-9/_.%-]{0,64}",
+        ranges in proptest::collection::vec(
+            (any::<u32>(), proptest::collection::vec(any::<u8>(), 0..128)),
+            0..8,
+        ),
+    ) {
+        let req = Request::Write {
+            subfile,
+            ranges: ranges
+                .into_iter()
+                .map(|(off, data)| (off as u64, Bytes::from(data)))
+                .collect(),
+        };
+        let back = Request::decode(req.encode()).unwrap();
+        prop_assert_eq!(back, req);
+    }
+}

@@ -1,0 +1,252 @@
+//! Request dispatch: protocol request → subfile store operation → response.
+
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+use dpfs_proto::{ErrorCode, Request, Response};
+use parking_lot::Mutex;
+
+use crate::perf::PerfModel;
+use crate::stats::ServerStats;
+use crate::subfile::{StoreError, SubfileStore};
+
+/// Shared per-server handler state. Connection threads all dispatch through
+/// one `Handler`; the `device` lock serializes actual I/O, modeling the
+/// sequential storage device underneath concurrent request handling
+/// (paper §4.2).
+pub struct Handler {
+    store: SubfileStore,
+    perf: PerfModel,
+    stats: ServerStats,
+    device: Mutex<()>,
+}
+
+impl Handler {
+    /// Build a handler over a store with a delay model.
+    pub fn new(store: SubfileStore, perf: PerfModel) -> Self {
+        Handler {
+            store,
+            perf,
+            stats: ServerStats::default(),
+            device: Mutex::new(()),
+        }
+    }
+
+    /// The server's statistics counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// The subfile store (tests & the testbed reach through for inspection).
+    pub fn store(&self) -> &SubfileStore {
+        &self.store
+    }
+
+    fn inject_delay(&self, ranges: usize, bytes: u64) {
+        if self.perf.is_unthrottled() {
+            return;
+        }
+        let d = self.perf.service_time(ranges, bytes);
+        if d > Duration::ZERO {
+            self.stats
+                .injected_delay_ns
+                .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+            std::thread::sleep(d);
+        }
+    }
+
+    /// Handle one request, producing exactly one response. Never panics on
+    /// malformed input; store errors map to protocol error codes.
+    pub fn handle(&self, req: Request) -> Response {
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        match req {
+            Request::Ping => Response::Pong,
+            Request::Write { subfile, ranges } => {
+                let bytes: u64 = ranges.iter().map(|(_, d)| d.len() as u64).sum();
+                let nranges = ranges.len();
+                let _dev = self.device.lock();
+                self.inject_delay(nranges, bytes);
+                match self.store.write_ranges(&subfile, &ranges) {
+                    Ok(n) => {
+                        self.stats.writes.fetch_add(1, Ordering::Relaxed);
+                        self.stats.bytes_written.fetch_add(n, Ordering::Relaxed);
+                        Response::Written { bytes: n }
+                    }
+                    Err(e) => self.error_response(e),
+                }
+            }
+            Request::Read { subfile, ranges } => {
+                let bytes: u64 = ranges.iter().map(|(_, l)| *l).sum();
+                let nranges = ranges.len();
+                let _dev = self.device.lock();
+                self.inject_delay(nranges, bytes);
+                match self.store.read_ranges(&subfile, &ranges) {
+                    Ok(chunks) => {
+                        self.stats.reads.fetch_add(1, Ordering::Relaxed);
+                        self.stats.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+                        Response::Data { chunks }
+                    }
+                    // A subfile that was never written is all holes: reads
+                    // come back zero-filled, exactly like reading a sparse
+                    // region of an existing subfile. (`Stat` still reports
+                    // exists=false, so fsck can tell the difference.)
+                    Err(StoreError::NotFound) => {
+                        self.stats.reads.fetch_add(1, Ordering::Relaxed);
+                        self.stats.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+                        Response::Data {
+                            chunks: ranges
+                                .iter()
+                                .map(|&(_, len)| bytes::Bytes::from(vec![0u8; len as usize]))
+                                .collect(),
+                        }
+                    }
+                    Err(e) => self.error_response(e),
+                }
+            }
+            Request::Delete { subfile } => {
+                let _dev = self.device.lock();
+                match self.store.delete(&subfile) {
+                    Ok(existed) => Response::Deleted { existed },
+                    Err(e) => self.error_response(e),
+                }
+            }
+            Request::Stat { subfile } => match self.store.stat(&subfile) {
+                Ok((exists, size)) => Response::Stat { exists, size },
+                Err(e) => self.error_response(e),
+            },
+            Request::Truncate { subfile, size } => {
+                let _dev = self.device.lock();
+                match self.store.truncate(&subfile, size) {
+                    Ok(()) => Response::Truncated,
+                    Err(e) => self.error_response(e),
+                }
+            }
+            Request::Sync { subfile } => {
+                let _dev = self.device.lock();
+                match self.store.sync(&subfile) {
+                    Ok(()) => Response::Pong,
+                    Err(StoreError::NotFound) => Response::Pong, // nothing to flush
+                    Err(e) => self.error_response(e),
+                }
+            }
+            Request::Shutdown => Response::Pong,
+        }
+    }
+
+    fn error_response(&self, e: StoreError) -> Response {
+        self.stats.errors.fetch_add(1, Ordering::Relaxed);
+        let (code, message) = match e {
+            StoreError::NotFound => (ErrorCode::NoSuchSubfile, "no such subfile".to_string()),
+            StoreError::NoSpace { capacity, needed } => (
+                ErrorCode::NoSpace,
+                format!("capacity {capacity} bytes exceeded, needed {needed}"),
+            ),
+            StoreError::Io(e) => (ErrorCode::IoFailure, e.to_string()),
+        };
+        Response::Error { code, message }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn handler() -> (Handler, std::path::PathBuf) {
+        let dir = std::env::temp_dir().join(format!(
+            "dpfs-handler-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = SubfileStore::open(&dir, 0).unwrap();
+        (Handler::new(store, PerfModel::unthrottled()), dir)
+    }
+
+    #[test]
+    fn ping_pong() {
+        let (h, dir) = handler();
+        assert_eq!(h.handle(Request::Ping), Response::Pong);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn write_then_read() {
+        let (h, dir) = handler();
+        let resp = h.handle(Request::Write {
+            subfile: "/f".into(),
+            ranges: vec![(0, Bytes::from_static(b"data!"))],
+        });
+        assert_eq!(resp, Response::Written { bytes: 5 });
+        let resp = h.handle(Request::Read {
+            subfile: "/f".into(),
+            ranges: vec![(0, 5)],
+        });
+        match resp {
+            Response::Data { chunks } => assert_eq!(&chunks[0][..], b"data!"),
+            other => panic!("unexpected {other:?}"),
+        }
+        let snap = h.stats().snapshot();
+        assert_eq!(snap.writes, 1);
+        assert_eq!(snap.reads, 1);
+        assert_eq!(snap.bytes_written, 5);
+        assert_eq!(snap.bytes_read, 5);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn read_missing_subfile_returns_zeros() {
+        // sparse semantics: never-written subfiles read as holes
+        let (h, dir) = handler();
+        let resp = h.handle(Request::Read {
+            subfile: "/missing".into(),
+            ranges: vec![(0, 4), (100, 2)],
+        });
+        match resp {
+            Response::Data { chunks } => {
+                assert_eq!(&chunks[0][..], &[0u8; 4]);
+                assert_eq!(&chunks[1][..], &[0u8; 2]);
+            }
+            other => panic!("expected zero data, got {other:?}"),
+        }
+        assert_eq!(h.stats().snapshot().errors, 0);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn stat_delete_truncate() {
+        let (h, dir) = handler();
+        h.handle(Request::Write {
+            subfile: "/f".into(),
+            ranges: vec![(0, Bytes::from_static(b"abcd"))],
+        });
+        assert_eq!(
+            h.handle(Request::Stat { subfile: "/f".into() }),
+            Response::Stat { exists: true, size: 4 }
+        );
+        assert_eq!(
+            h.handle(Request::Truncate { subfile: "/f".into(), size: 2 }),
+            Response::Truncated
+        );
+        assert_eq!(
+            h.handle(Request::Stat { subfile: "/f".into() }),
+            Response::Stat { exists: true, size: 2 }
+        );
+        assert_eq!(
+            h.handle(Request::Delete { subfile: "/f".into() }),
+            Response::Deleted { existed: true }
+        );
+        assert_eq!(
+            h.handle(Request::Delete { subfile: "/f".into() }),
+            Response::Deleted { existed: false }
+        );
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn sync_of_missing_subfile_is_ok() {
+        let (h, dir) = handler();
+        assert_eq!(h.handle(Request::Sync { subfile: "/nope".into() }), Response::Pong);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+}

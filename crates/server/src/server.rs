@@ -1,0 +1,355 @@
+//! The DPFS I/O-node server: a TCP accept loop with one handler thread per
+//! connection, mirroring the paper's "server's spawning multiple processes
+//! or threads to handle them" (§2).
+
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use dpfs_proto::{frame, Request};
+use parking_lot::Mutex;
+
+use crate::handler::Handler;
+use crate::perf::PerfModel;
+use crate::stats::StatsSnapshot;
+use crate::subfile::SubfileStore;
+
+/// Configuration for one I/O server.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Server name as registered in the metadata catalog
+    /// (e.g. `ccn60.mcs.anl.gov`).
+    pub name: String,
+    /// Local directory holding this server's subfiles.
+    pub root: PathBuf,
+    /// Capacity cap in bytes (0 = unlimited).
+    pub capacity: u64,
+    /// Injected delay model (storage class).
+    pub perf: PerfModel,
+    /// Listen address; `127.0.0.1:0` (ephemeral localhost port) by default.
+    pub bind: String,
+}
+
+impl ServerConfig {
+    /// Convenience constructor with no capacity cap.
+    pub fn new(name: impl Into<String>, root: impl Into<PathBuf>, perf: PerfModel) -> Self {
+        ServerConfig {
+            name: name.into(),
+            root: root.into(),
+            capacity: 0,
+            perf,
+            bind: "127.0.0.1:0".to_string(),
+        }
+    }
+
+    /// Set an explicit listen address (e.g. `0.0.0.0:7440` for a real
+    /// deployment).
+    pub fn bind(mut self, addr: &str) -> Self {
+        self.bind = addr.to_string();
+        self
+    }
+}
+
+/// A running I/O server. Dropping the handle shuts the server down.
+pub struct IoServer {
+    name: String,
+    addr: SocketAddr,
+    handler: Arc<Handler>,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+}
+
+impl IoServer {
+    /// Bind the configured address (ephemeral localhost port by default)
+    /// and start serving.
+    pub fn start(config: ServerConfig) -> io::Result<IoServer> {
+        let store = SubfileStore::open(&config.root, config.capacity)
+            .map_err(|e| io::Error::other(e.to_string()))?;
+        let handler = Arc::new(Handler::new(store, config.perf));
+        let listener = TcpListener::bind(config.bind.as_str())?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let accept_handler = handler.clone();
+        let accept_shutdown = shutdown.clone();
+        let accept_conns = conns.clone();
+        let accept_thread = std::thread::Builder::new()
+            .name(format!("dpfs-accept-{}", config.name))
+            .spawn(move || {
+                accept_loop(listener, accept_handler, accept_shutdown, accept_conns);
+            })?;
+
+        Ok(IoServer {
+            name: config.name,
+            addr,
+            handler,
+            shutdown,
+            accept_thread: Some(accept_thread),
+            conns,
+        })
+    }
+
+    /// The server's listen address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's registered name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.handler.stats().snapshot()
+    }
+
+    /// Direct access to the handler (in-process tests).
+    pub fn handler(&self) -> &Arc<Handler> {
+        &self.handler
+    }
+
+    /// Stop accepting, sever live connections, and join the accept thread.
+    pub fn stop(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock accept() by dialing ourselves (use loopback if we bound a
+        // wildcard address).
+        let mut dial = self.addr;
+        if dial.ip().is_unspecified() {
+            dial.set_ip(std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST));
+        }
+        let _ = TcpStream::connect(dial);
+        // Sever in-flight connections so their threads exit.
+        for c in self.conns.lock().drain(..) {
+            let _ = c.shutdown(Shutdown::Both);
+        }
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for IoServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    handler: Arc<Handler>,
+    shutdown: Arc<AtomicBool>,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+) {
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(s) => s,
+            Err(_) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        handler
+            .stats()
+            .connections
+            .fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            conns.lock().push(clone);
+        }
+        let h = handler.clone();
+        let sd = shutdown.clone();
+        let _ = std::thread::Builder::new()
+            .name("dpfs-conn".to_string())
+            .spawn(move || connection_loop(stream, h, sd));
+    }
+}
+
+fn connection_loop(stream: TcpStream, handler: Arc<Handler>, shutdown: Arc<AtomicBool>) {
+    connection_loop_inner(&stream, handler, shutdown);
+    // The accept loop holds a clone of this stream (for forced shutdown), so
+    // dropping ours would NOT send FIN — shut the socket down explicitly so
+    // the peer sees EOF.
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+fn connection_loop_inner(mut stream: &TcpStream, handler: Arc<Handler>, shutdown: Arc<AtomicBool>) {
+    stream.set_nodelay(true).ok();
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let payload = match frame::read_frame(&mut stream) {
+            Ok(p) => p,
+            Err(_) => return, // closed or corrupt: drop the connection
+        };
+        let req = match Request::decode(payload) {
+            Ok(r) => r,
+            Err(e) => {
+                // malformed request: report and keep the connection
+                let resp = dpfs_proto::Response::Error {
+                    code: dpfs_proto::ErrorCode::BadRequest,
+                    message: e.to_string(),
+                };
+                if frame::write_frame(&mut stream, &resp.encode()).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        let is_shutdown = matches!(req, Request::Shutdown);
+        let resp = handler.handle(req);
+        if frame::write_frame(&mut stream, &resp.encode()).is_err() {
+            return;
+        }
+        if is_shutdown {
+            shutdown.store(true, Ordering::SeqCst);
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use dpfs_proto::Response;
+
+    fn start_server(tag: &str) -> (IoServer, PathBuf) {
+        let dir = std::env::temp_dir().join(format!(
+            "dpfs-server-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let server = IoServer::start(ServerConfig::new("test", &dir, PerfModel::unthrottled()))
+            .unwrap();
+        (server, dir)
+    }
+
+    fn rpc(stream: &mut TcpStream, req: Request) -> Response {
+        frame::write_frame(stream, &req.encode()).unwrap();
+        let payload = frame::read_frame(stream).unwrap();
+        Response::decode(payload).unwrap()
+    }
+
+    #[test]
+    fn tcp_write_read_cycle() {
+        let (server, dir) = start_server("rw");
+        let mut c = TcpStream::connect(server.addr()).unwrap();
+        assert_eq!(rpc(&mut c, Request::Ping), Response::Pong);
+        let resp = rpc(
+            &mut c,
+            Request::Write {
+                subfile: "/data".into(),
+                ranges: vec![(0, Bytes::from_static(b"over tcp"))],
+            },
+        );
+        assert_eq!(resp, Response::Written { bytes: 8 });
+        let resp = rpc(
+            &mut c,
+            Request::Read {
+                subfile: "/data".into(),
+                ranges: vec![(5, 3)],
+            },
+        );
+        match resp {
+            Response::Data { chunks } => assert_eq!(&chunks[0][..], b"tcp"),
+            other => panic!("unexpected {other:?}"),
+        }
+        drop(c);
+        drop(server);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_clients() {
+        let (server, dir) = start_server("conc");
+        let addr = server.addr();
+        let mut handles = Vec::new();
+        for i in 0..8 {
+            handles.push(std::thread::spawn(move || {
+                let mut c = TcpStream::connect(addr).unwrap();
+                let data = Bytes::from(vec![i as u8; 1024]);
+                let resp = rpc(
+                    &mut c,
+                    Request::Write {
+                        subfile: format!("/f{i}"),
+                        ranges: vec![(0, data.clone())],
+                    },
+                );
+                assert_eq!(resp, Response::Written { bytes: 1024 });
+                let resp = rpc(
+                    &mut c,
+                    Request::Read {
+                        subfile: format!("/f{i}"),
+                        ranges: vec![(0, 1024)],
+                    },
+                );
+                match resp {
+                    Response::Data { chunks } => assert_eq!(chunks[0], data),
+                    other => panic!("unexpected {other:?}"),
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = server.stats();
+        assert_eq!(snap.writes, 8);
+        assert_eq!(snap.reads, 8);
+        assert_eq!(snap.connections, 8);
+        drop(server);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn garbage_frame_drops_connection_cleanly() {
+        use std::io::Write;
+        let (server, dir) = start_server("garbage");
+        let mut c = TcpStream::connect(server.addr()).unwrap();
+        c.write_all(b"NOTDPFS_GARBAGE_____").unwrap();
+        // server should close on us; a read sees EOF eventually
+        let res = frame::read_frame(&mut c);
+        assert!(res.is_err());
+        // server still alive for new connections
+        let mut c2 = TcpStream::connect(server.addr()).unwrap();
+        assert_eq!(rpc(&mut c2, Request::Ping), Response::Pong);
+        drop(server);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn stop_unblocks_and_is_idempotent() {
+        let (mut server, dir) = start_server("stop");
+        server.stop();
+        server.stop();
+        assert!(TcpStream::connect(server.addr())
+            .map(|mut s| frame::read_frame(&mut s).is_err())
+            .unwrap_or(true));
+        drop(server);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn shutdown_request_stops_server() {
+        let (server, dir) = start_server("shutreq");
+        let mut c = TcpStream::connect(server.addr()).unwrap();
+        assert_eq!(rpc(&mut c, Request::Shutdown), Response::Pong);
+        // subsequent requests on a new connection fail or connection refused
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        drop(server);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+}

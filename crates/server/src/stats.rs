@@ -1,0 +1,94 @@
+//! Per-server statistics counters (lock-free, relaxed ordering — they are
+//! monitoring data, not synchronization).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters exported by a running server.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Framed requests handled (all kinds).
+    pub requests: AtomicU64,
+    /// Read requests handled.
+    pub reads: AtomicU64,
+    /// Write requests handled.
+    pub writes: AtomicU64,
+    /// Bytes returned to clients.
+    pub bytes_read: AtomicU64,
+    /// Bytes accepted from clients.
+    pub bytes_written: AtomicU64,
+    /// Error responses sent.
+    pub errors: AtomicU64,
+    /// Connections accepted over the server's lifetime.
+    pub connections: AtomicU64,
+    /// Nanoseconds of injected model delay (to separate model time from
+    /// real I/O time in reports).
+    pub injected_delay_ns: AtomicU64,
+}
+
+/// A plain-data snapshot of [`ServerStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    pub requests: u64,
+    pub reads: u64,
+    pub writes: u64,
+    pub bytes_read: u64,
+    pub bytes_written: u64,
+    pub errors: u64,
+    pub connections: u64,
+    pub injected_delay_ns: u64,
+}
+
+impl ServerStats {
+    /// Capture a consistent-enough snapshot for reporting.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            connections: self.connections.load(Ordering::Relaxed),
+            injected_delay_ns: self.injected_delay_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Add `n` to one of this struct's counters.
+    pub fn add(&self, counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_increments() {
+        let s = ServerStats::default();
+        s.add(&s.requests, 3);
+        s.add(&s.bytes_read, 1024);
+        let snap = s.snapshot();
+        assert_eq!(snap.requests, 3);
+        assert_eq!(snap.bytes_read, 1024);
+        assert_eq!(snap.errors, 0);
+    }
+
+    #[test]
+    fn concurrent_increments_all_land() {
+        let s = std::sync::Arc::new(ServerStats::default());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let s = s.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    s.add(&s.requests, 1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.snapshot().requests, 8000);
+    }
+}

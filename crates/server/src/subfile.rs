@@ -1,0 +1,324 @@
+//! Subfile store: the server-local files that hold a server's bricks.
+//!
+//! DPFS is "built on top of the local file system of each storage resource"
+//! (paper §2, footnote 1): the bricks a server owns are packed densely into
+//! one local file per DPFS file — the *subfile* — and the server performs
+//! plain file I/O against it, inheriting the local file system's caching and
+//! prefetching.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+/// Store rooted at a local directory; subfile names (DPFS paths) map to
+/// files under the root.
+pub struct SubfileStore {
+    root: PathBuf,
+    /// Open-handle cache: repeated brick requests hit the same descriptor.
+    handles: Mutex<HashMap<String, File>>,
+    /// Optional capacity cap in bytes (0 = unlimited); enforced on writes.
+    capacity: u64,
+}
+
+/// Errors from local subfile I/O.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Subfile does not exist (reads/stat of absent files).
+    NotFound,
+    /// Capacity cap would be exceeded.
+    NoSpace { capacity: u64, needed: u64 },
+    /// Underlying local-FS failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::NotFound => write!(f, "subfile not found"),
+            StoreError::NoSpace { capacity, needed } => {
+                write!(f, "capacity {capacity} exceeded (needed {needed})")
+            }
+            StoreError::Io(e) => write!(f, "subfile io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// Map a DPFS subfile name to a safe single-component local file name.
+/// `/home/xhshen/dpfs.test` → `home%xhshen%dpfs.test` (`%` escaped as `%%`).
+fn local_name(subfile: &str) -> String {
+    let mut out = String::with_capacity(subfile.len());
+    for c in subfile.chars() {
+        match c {
+            '%' => out.push_str("%%"),
+            '/' => out.push('%'),
+            c => out.push(c),
+        }
+    }
+    out.trim_start_matches('%').to_string()
+}
+
+impl SubfileStore {
+    /// Open a store rooted at `root` (created if absent) with a capacity cap
+    /// in bytes (0 = unlimited).
+    pub fn open(root: &Path, capacity: u64) -> Result<Self, StoreError> {
+        std::fs::create_dir_all(root)?;
+        Ok(SubfileStore {
+            root: root.to_path_buf(),
+            handles: Mutex::new(HashMap::new()),
+            capacity,
+        })
+    }
+
+    /// The root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn path_of(&self, subfile: &str) -> PathBuf {
+        self.root.join(local_name(subfile))
+    }
+
+    fn with_file<T>(
+        &self,
+        subfile: &str,
+        create: bool,
+        f: impl FnOnce(&mut File) -> Result<T, StoreError>,
+    ) -> Result<T, StoreError> {
+        let mut handles = self.handles.lock();
+        if !handles.contains_key(subfile) {
+            let path = self.path_of(subfile);
+            let file = if create {
+                OpenOptions::new()
+                    .read(true)
+                    .write(true)
+                    .create(true)
+                    .truncate(false)
+                    .open(&path)?
+            } else {
+                match OpenOptions::new().read(true).write(true).open(&path) {
+                    Ok(f) => f,
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                        return Err(StoreError::NotFound)
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            };
+            handles.insert(subfile.to_string(), file);
+        }
+        f(handles.get_mut(subfile).expect("just inserted"))
+    }
+
+    /// Write scatter/gather ranges; creates the subfile if needed.
+    /// Returns total bytes written.
+    pub fn write_ranges(&self, subfile: &str, ranges: &[(u64, Bytes)]) -> Result<u64, StoreError> {
+        let total: u64 = ranges.iter().map(|(_, d)| d.len() as u64).sum();
+        if self.capacity > 0 {
+            let end = ranges
+                .iter()
+                .map(|(off, d)| off + d.len() as u64)
+                .max()
+                .unwrap_or(0);
+            if end > self.capacity {
+                return Err(StoreError::NoSpace {
+                    capacity: self.capacity,
+                    needed: end,
+                });
+            }
+        }
+        self.with_file(subfile, true, |file| {
+            for (off, data) in ranges {
+                file.seek(SeekFrom::Start(*off))?;
+                file.write_all(data)?;
+            }
+            Ok(total)
+        })
+    }
+
+    /// Read scatter/gather ranges. Ranges past EOF come back zero-filled
+    /// (sparse-file semantics, same as reading a hole).
+    pub fn read_ranges(&self, subfile: &str, ranges: &[(u64, u64)]) -> Result<Vec<Bytes>, StoreError> {
+        self.with_file(subfile, false, |file| {
+            let size = file.metadata()?.len();
+            let mut out = Vec::with_capacity(ranges.len());
+            for &(off, len) in ranges {
+                let mut buf = vec![0u8; len as usize];
+                if off < size {
+                    let avail = ((size - off) as usize).min(len as usize);
+                    file.seek(SeekFrom::Start(off))?;
+                    file.read_exact(&mut buf[..avail])?;
+                }
+                out.push(Bytes::from(buf));
+            }
+            Ok(out)
+        })
+    }
+
+    /// Delete the subfile; returns whether it existed.
+    pub fn delete(&self, subfile: &str) -> Result<bool, StoreError> {
+        self.handles.lock().remove(subfile);
+        match std::fs::remove_file(self.path_of(subfile)) {
+            Ok(()) => Ok(true),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(false),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Stat the subfile: `(exists, size)`.
+    pub fn stat(&self, subfile: &str) -> Result<(bool, u64), StoreError> {
+        match std::fs::metadata(self.path_of(subfile)) {
+            Ok(m) => Ok((true, m.len())),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok((false, 0)),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Truncate or extend the subfile to `size` bytes (creating it if
+    /// absent).
+    pub fn truncate(&self, subfile: &str, size: u64) -> Result<(), StoreError> {
+        self.with_file(subfile, true, |file| {
+            file.set_len(size)?;
+            Ok(())
+        })
+    }
+
+    /// Flush a subfile's data to stable storage.
+    pub fn sync(&self, subfile: &str) -> Result<(), StoreError> {
+        self.with_file(subfile, false, |file| {
+            file.sync_data()?;
+            Ok(())
+        })
+    }
+
+    /// Total bytes across all subfiles in the store.
+    pub fn used_bytes(&self) -> Result<u64, StoreError> {
+        let mut total = 0;
+        for entry in std::fs::read_dir(&self.root)? {
+            total += entry?.metadata()?.len();
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> (SubfileStore, PathBuf) {
+        let dir = std::env::temp_dir().join(format!(
+            "dpfs-subfile-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        (SubfileStore::open(&dir, 0).unwrap(), dir)
+    }
+
+    #[test]
+    fn local_name_escaping() {
+        assert_eq!(local_name("/home/x/f"), "home%x%f");
+        assert_eq!(local_name("/a%b/c"), "a%%b%c");
+        assert_eq!(local_name("plain"), "plain");
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let (s, dir) = store();
+        s.write_ranges("/f", &[(0, Bytes::from_static(b"hello")), (10, Bytes::from_static(b"world"))])
+            .unwrap();
+        let out = s.read_ranges("/f", &[(0, 5), (10, 5)]).unwrap();
+        assert_eq!(&out[0][..], b"hello");
+        assert_eq!(&out[1][..], b"world");
+        // the gap reads as zeros
+        let gap = s.read_ranges("/f", &[(5, 5)]).unwrap();
+        assert_eq!(&gap[0][..], &[0u8; 5]);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn read_past_eof_zero_fills() {
+        let (s, dir) = store();
+        s.write_ranges("/f", &[(0, Bytes::from_static(b"abc"))]).unwrap();
+        let out = s.read_ranges("/f", &[(1, 10)]).unwrap();
+        assert_eq!(&out[0][..2], b"bc");
+        assert_eq!(&out[0][2..], &[0u8; 8]);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn read_missing_subfile_is_not_found() {
+        let (s, dir) = store();
+        assert!(matches!(
+            s.read_ranges("/nope", &[(0, 1)]),
+            Err(StoreError::NotFound)
+        ));
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn delete_and_stat() {
+        let (s, dir) = store();
+        assert_eq!(s.stat("/f").unwrap(), (false, 0));
+        s.write_ranges("/f", &[(0, Bytes::from_static(b"12345678"))]).unwrap();
+        assert_eq!(s.stat("/f").unwrap(), (true, 8));
+        assert!(s.delete("/f").unwrap());
+        assert!(!s.delete("/f").unwrap());
+        assert_eq!(s.stat("/f").unwrap(), (false, 0));
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let dir = std::env::temp_dir().join(format!("dpfs-subfile-cap-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let s = SubfileStore::open(&dir, 100).unwrap();
+        assert!(s.write_ranges("/f", &[(0, Bytes::from(vec![1u8; 100]))]).is_ok());
+        assert!(matches!(
+            s.write_ranges("/f", &[(50, Bytes::from(vec![1u8; 100]))]),
+            Err(StoreError::NoSpace { .. })
+        ));
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn truncate_extends_and_shrinks() {
+        let (s, dir) = store();
+        s.truncate("/f", 100).unwrap();
+        assert_eq!(s.stat("/f").unwrap(), (true, 100));
+        s.truncate("/f", 10).unwrap();
+        assert_eq!(s.stat("/f").unwrap(), (true, 10));
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn used_bytes_sums_subfiles() {
+        let (s, dir) = store();
+        s.write_ranges("/a", &[(0, Bytes::from(vec![1u8; 10]))]).unwrap();
+        s.write_ranges("/b", &[(0, Bytes::from(vec![1u8; 20]))]).unwrap();
+        assert_eq!(s.used_bytes().unwrap(), 30);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn distinct_subfiles_do_not_collide() {
+        let (s, dir) = store();
+        s.write_ranges("/a/b", &[(0, Bytes::from_static(b"one"))]).unwrap();
+        s.write_ranges("/a%b", &[(0, Bytes::from_static(b"two"))]).unwrap();
+        let one = s.read_ranges("/a/b", &[(0, 3)]).unwrap();
+        let two = s.read_ranges("/a%b", &[(0, 3)]).unwrap();
+        assert_eq!(&one[0][..], b"one");
+        assert_eq!(&two[0][..], b"two");
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+}

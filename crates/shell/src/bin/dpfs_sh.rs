@@ -1,0 +1,65 @@
+//! `dpfs-sh` — interactive DPFS shell over an ephemeral in-process testbed.
+//!
+//! Usage: `dpfs-sh [num-servers] [class]`, e.g. `dpfs-sh 4 class1`.
+//! Starts `num-servers` I/O servers (default 4, unthrottled), mounts DPFS,
+//! and reads commands from stdin. Type `help` for the command list.
+
+use std::io::{BufRead, Write};
+
+use dpfs_cluster::Testbed;
+use dpfs_server::StorageClass;
+use dpfs_shell::Shell;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let class = args
+        .get(2)
+        .and_then(|s| StorageClass::parse(s))
+        .unwrap_or(StorageClass::Unthrottled);
+
+    let testbed = match Testbed::homogeneous(n, class) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("failed to start testbed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "DPFS shell — {n} {} I/O servers started. Type `help` for commands, ctrl-D to exit.",
+        class.name()
+    );
+    let mut shell = Shell::new(testbed.client(0, true));
+
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    loop {
+        print!("dpfs:{}> ", shell.cwd());
+        stdout.flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let line = line.trim();
+        if line == "exit" || line == "quit" {
+            break;
+        }
+        match shell.exec(line) {
+            Ok(out) => {
+                if !out.is_empty() {
+                    print!("{out}");
+                    if !out.ends_with('\n') {
+                        println!();
+                    }
+                }
+            }
+            Err(e) => eprintln!("error: {e}"),
+        }
+    }
+    println!("bye");
+}

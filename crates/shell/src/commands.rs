@@ -1,0 +1,730 @@
+//! The DPFS shell: command dispatch and implementations.
+
+use std::fmt::Write as _;
+
+use dpfs_core::{Dpfs, DpfsError, FileLevel, Hint, Layout, Result};
+
+use crate::parse::{resolve_path, split_words};
+
+/// Default brick size for `import`ed linear files (64 KiB).
+pub const DEFAULT_IMPORT_BRICK: u64 = 64 * 1024;
+
+/// An interactive DPFS shell session.
+pub struct Shell {
+    fs: Dpfs,
+    cwd: String,
+}
+
+impl Shell {
+    /// New shell rooted at `/`.
+    pub fn new(fs: Dpfs) -> Shell {
+        Shell {
+            fs,
+            cwd: "/".to_string(),
+        }
+    }
+
+    /// The current working directory.
+    pub fn cwd(&self) -> &str {
+        &self.cwd
+    }
+
+    /// The underlying client.
+    pub fn fs(&self) -> &Dpfs {
+        &self.fs
+    }
+
+    /// Execute one command line; returns the text to print.
+    pub fn exec(&mut self, line: &str) -> Result<String> {
+        let words = split_words(line).map_err(DpfsError::InvalidArgument)?;
+        let Some((cmd, args)) = words.split_first() else {
+            return Ok(String::new());
+        };
+        match cmd.as_str() {
+            "pwd" => Ok(self.cwd.clone()),
+            "cd" => self.cmd_cd(args),
+            "ls" => self.cmd_ls(args),
+            "mkdir" => self.cmd_mkdir(args),
+            "rmdir" => self.cmd_rmdir(args),
+            "rm" => self.cmd_rm(args),
+            "cp" => self.cmd_cp(args),
+            "mv" => self.cmd_mv(args),
+            "stat" => self.cmd_stat(args),
+            "df" => self.cmd_df(),
+            "cat" => self.cmd_cat(args),
+            "import" => self.cmd_import(args),
+            "export" => self.cmd_export(args),
+            "servers" => self.cmd_servers(),
+            "fsck" => self.cmd_fsck(args),
+            "du" => self.cmd_du(args),
+            "tree" => self.cmd_tree(args),
+            "chmod" => self.cmd_chmod(args),
+            "chown" => self.cmd_chown(args),
+            "head" => self.cmd_head(args),
+            "tag" => self.cmd_tag(args),
+            "tags" => self.cmd_tags(args),
+            "untag" => self.cmd_untag(args),
+            "find" => self.cmd_find(args),
+            "help" => Ok(HELP.to_string()),
+            other => Err(DpfsError::InvalidArgument(format!(
+                "unknown command {other:?} (try `help`)"
+            ))),
+        }
+    }
+
+    fn one_arg<'a>(&self, args: &'a [String], usage: &str) -> Result<&'a str> {
+        match args {
+            [a] => Ok(a),
+            _ => Err(DpfsError::InvalidArgument(format!("usage: {usage}"))),
+        }
+    }
+
+    fn two_args<'a>(&self, args: &'a [String], usage: &str) -> Result<(&'a str, &'a str)> {
+        match args {
+            [a, b] => Ok((a, b)),
+            _ => Err(DpfsError::InvalidArgument(format!("usage: {usage}"))),
+        }
+    }
+
+    fn cmd_cd(&mut self, args: &[String]) -> Result<String> {
+        let target = match args {
+            [] => "/".to_string(),
+            [p] => resolve_path(&self.cwd, p),
+            _ => return Err(DpfsError::InvalidArgument("usage: cd [dir]".into())),
+        };
+        if !self.fs.dir_exists(&target)? {
+            return Err(DpfsError::NoSuchDirectory(target));
+        }
+        self.cwd = target;
+        Ok(String::new())
+    }
+
+    fn cmd_ls(&mut self, args: &[String]) -> Result<String> {
+        let (long, rest): (bool, &[String]) = match args.first().map(|s| s.as_str()) {
+            Some("-l") => (true, &args[1..]),
+            _ => (false, args),
+        };
+        let path = match rest {
+            [] => self.cwd.clone(),
+            [p] => resolve_path(&self.cwd, p),
+            _ => return Err(DpfsError::InvalidArgument("usage: ls [-l] [dir]".into())),
+        };
+        let (dirs, files) = self.fs.readdir(&path)?;
+        let mut out = String::new();
+        for d in &dirs {
+            if long {
+                writeln!(out, "d--------- {d}/").unwrap();
+            } else {
+                writeln!(out, "{d}/").unwrap();
+            }
+        }
+        for f in &files {
+            if long {
+                let full = resolve_path(&path, f);
+                let attr = self.fs.stat(&full)?;
+                writeln!(
+                    out,
+                    "-{:o} {:>8} {:>10} {:>8} {}",
+                    attr.permission, attr.owner, attr.size, attr.filelevel, f
+                )
+                .unwrap();
+            } else {
+                writeln!(out, "{f}").unwrap();
+            }
+        }
+        Ok(out)
+    }
+
+    fn cmd_mkdir(&mut self, args: &[String]) -> Result<String> {
+        let p = self.one_arg(args, "mkdir <dir>")?;
+        self.fs.mkdir(&resolve_path(&self.cwd, p))?;
+        Ok(String::new())
+    }
+
+    fn cmd_rmdir(&mut self, args: &[String]) -> Result<String> {
+        let p = self.one_arg(args, "rmdir <dir>")?;
+        self.fs.rmdir(&resolve_path(&self.cwd, p))?;
+        Ok(String::new())
+    }
+
+    fn cmd_rm(&mut self, args: &[String]) -> Result<String> {
+        let p = self.one_arg(args, "rm <file>")?;
+        self.fs.unlink(&resolve_path(&self.cwd, p))?;
+        Ok(String::new())
+    }
+
+    fn cmd_stat(&mut self, args: &[String]) -> Result<String> {
+        let p = self.one_arg(args, "stat <file>")?;
+        let full = resolve_path(&self.cwd, p);
+        let attr = self.fs.stat(&full)?;
+        let mut out = String::new();
+        writeln!(out, "file:       {}", attr.filename).unwrap();
+        writeln!(out, "owner:      {}", attr.owner).unwrap();
+        writeln!(out, "permission: {:o}", attr.permission).unwrap();
+        writeln!(out, "size:       {}", attr.size).unwrap();
+        writeln!(out, "level:      {}", attr.filelevel).unwrap();
+        writeln!(out, "placement:  {}", attr.placement).unwrap();
+        if attr.dims > 0 {
+            writeln!(out, "dims:       {:?}", attr.dimsize).unwrap();
+            writeln!(out, "stripe:     {:?}", attr.stripe_dims).unwrap();
+        }
+        writeln!(out, "stripe_size: {}", attr.stripe_size).unwrap();
+        if !attr.pattern.is_empty() {
+            writeln!(out, "pattern:    ({})", attr.pattern).unwrap();
+        }
+        let dist = self.fs.catalog().get_distribution(&full)?;
+        for d in &dist {
+            writeln!(out, "  {} holds {} bricks", d.server, d.bricklist.len()).unwrap();
+        }
+        Ok(out)
+    }
+
+    fn cmd_df(&mut self) -> Result<String> {
+        let servers = self.fs.catalog().list_servers()?;
+        let counts = self.fs.catalog().server_brick_counts()?;
+        let mut out = String::new();
+        writeln!(out, "{:<12} {:>14} {:>6} {:>8}", "server", "capacity", "perf", "bricks").unwrap();
+        for s in &servers {
+            let bricks = counts
+                .iter()
+                .find(|(n, _)| n == &s.name)
+                .map(|(_, c)| *c)
+                .unwrap_or(0);
+            let cap = if s.capacity == i64::MAX {
+                "unlimited".to_string()
+            } else {
+                s.capacity.to_string()
+            };
+            writeln!(out, "{:<12} {:>14} {:>6} {:>8}", s.name, cap, s.performance, bricks).unwrap();
+        }
+        Ok(out)
+    }
+
+    fn cmd_servers(&mut self) -> Result<String> {
+        let servers = self.fs.catalog().list_servers()?;
+        let mut out = String::new();
+        for s in &servers {
+            let alive = self.fs.pool().ping(&s.name);
+            writeln!(out, "{} {}", s.name, if alive { "up" } else { "DOWN" }).unwrap();
+        }
+        Ok(out)
+    }
+
+    fn cmd_cat(&mut self, args: &[String]) -> Result<String> {
+        let p = self.one_arg(args, "cat <file>")?;
+        let data = self.read_all(&resolve_path(&self.cwd, p))?;
+        Ok(String::from_utf8_lossy(&data).into_owned())
+    }
+
+    /// Read a whole file regardless of level.
+    pub fn read_all(&self, path: &str) -> Result<Vec<u8>> {
+        let mut f = self.fs.open(path)?;
+        match f.layout().clone() {
+            Layout::Linear(_) => {
+                let size = f.size();
+                f.read_bytes(0, size)
+            }
+            Layout::Multidim(md) => f.read_region(&md.array.full_region()),
+            Layout::Array(ar) => f.read_region(&ar.array.full_region()),
+        }
+    }
+
+    fn cmd_cp(&mut self, args: &[String]) -> Result<String> {
+        let (src, dst) = self.two_args(args, "cp <src> <dst>")?;
+        let src = resolve_path(&self.cwd, src);
+        let dst = resolve_path(&self.cwd, dst);
+        let attr = self.fs.stat(&src)?;
+        let data = self.read_all(&src)?;
+        // recreate with the same striping geometry
+        let striping = dpfs_core::fs::striping_from_attr(&attr)?;
+        let hint = Hint {
+            striping,
+            io_nodes: None,
+            placement: match attr.placement.as_str() {
+                "greedy" => dpfs_core::Placement::Greedy,
+                _ => dpfs_core::Placement::RoundRobin,
+            },
+            owner: attr.owner.clone(),
+            permission: attr.permission,
+        };
+        let mut out = self.fs.create(&dst, &hint)?;
+        match FileLevel::parse(&attr.filelevel)? {
+            FileLevel::Linear => out.write_bytes(0, &data)?,
+            FileLevel::Multidim | FileLevel::Array => {
+                let shape = dpfs_core::Shape::new(
+                    attr.dimsize.iter().map(|&x| x as u64).collect(),
+                )?;
+                out.write_region(&shape.full_region(), &data)?;
+            }
+        }
+        out.close()?;
+        Ok(String::new())
+    }
+
+    fn cmd_mv(&mut self, args: &[String]) -> Result<String> {
+        let (src, dst) = self.two_args(args, "mv <src> <dst>")?;
+        self.fs.rename(
+            &resolve_path(&self.cwd, src),
+            &resolve_path(&self.cwd, dst),
+        )?;
+        Ok(String::new())
+    }
+
+    fn cmd_import(&mut self, args: &[String]) -> Result<String> {
+        // import <local> <dpfs> [brick_bytes]
+        let (local, dpfs_path, brick) = match args {
+            [l, d] => (l.as_str(), d.as_str(), DEFAULT_IMPORT_BRICK),
+            [l, d, b] => (
+                l.as_str(),
+                d.as_str(),
+                b.parse::<u64>().map_err(|_| {
+                    DpfsError::InvalidArgument(format!("bad brick size {b:?}"))
+                })?,
+            ),
+            _ => {
+                return Err(DpfsError::InvalidArgument(
+                    "usage: import <local-file> <dpfs-file> [brick-bytes]".into(),
+                ))
+            }
+        };
+        let data = std::fs::read(local)?;
+        let hint = Hint::linear(brick, data.len() as u64);
+        let dst = resolve_path(&self.cwd, dpfs_path);
+        let mut f = self.fs.create(&dst, &hint)?;
+        f.write_bytes(0, &data)?;
+        f.close()?;
+        Ok(format!("imported {} bytes into {dst}", data.len()))
+    }
+
+    fn cmd_export(&mut self, args: &[String]) -> Result<String> {
+        let (dpfs_path, local) = self.two_args(args, "export <dpfs-file> <local-file>")?;
+        let src = resolve_path(&self.cwd, dpfs_path);
+        let data = self.read_all(&src)?;
+        std::fs::write(local, &data)?;
+        Ok(format!("exported {} bytes to {local}", data.len()))
+    }
+
+    fn cmd_fsck(&mut self, args: &[String]) -> Result<String> {
+        let online = args.iter().any(|a| a == "--online");
+        let strict = args.iter().any(|a| a == "--strict");
+        if args.iter().any(|a| a == "--repair") {
+            let (report, summary) = dpfs_core::fsck::fsck_repair(&self.fs)?;
+            let mut out = String::new();
+            for f in &summary.fixed {
+                writeln!(out, "fixed: {f}").unwrap();
+            }
+            for i in &summary.unfixable {
+                writeln!(out, "UNFIXABLE: {i:?}").unwrap();
+            }
+            writeln!(
+                out,
+                "{} fixed, {} unfixable, {} remaining issue(s)",
+                summary.fixed.len(),
+                summary.unfixable.len(),
+                report.issues.len()
+            )
+            .unwrap();
+            return Ok(out);
+        }
+        let report = dpfs_core::fsck::fsck_with(&self.fs, online, strict)?;
+        let mut out = String::new();
+        writeln!(
+            out,
+            "checked {} files, {} directories{}",
+            report.files_checked,
+            report.dirs_checked,
+            if online {
+                format!(", {} subfiles", report.subfiles_checked)
+            } else {
+                String::new()
+            }
+        )
+        .unwrap();
+        if report.clean() {
+            writeln!(out, "clean").unwrap();
+        } else {
+            for issue in &report.issues {
+                writeln!(out, "ISSUE: {issue:?}").unwrap();
+            }
+            writeln!(out, "{} issue(s) found", report.issues.len()).unwrap();
+        }
+        Ok(out)
+    }
+
+    fn du_walk(&self, dir: &str, out: &mut Vec<(String, i64)>) -> Result<i64> {
+        let entry = self
+            .fs
+            .catalog()
+            .get_dir(dir)?
+            .ok_or_else(|| DpfsError::NoSuchDirectory(dir.to_string()))?;
+        let mut total = 0i64;
+        for sub in &entry.sub_dirs {
+            total += self.du_walk(sub, out)?;
+        }
+        for f in &entry.files {
+            total += self.fs.stat(f)?.size;
+        }
+        out.push((dir.to_string(), total));
+        Ok(total)
+    }
+
+    fn cmd_du(&mut self, args: &[String]) -> Result<String> {
+        let path = match args {
+            [] => self.cwd.clone(),
+            [p] => resolve_path(&self.cwd, p),
+            _ => return Err(DpfsError::InvalidArgument("usage: du [dir]".into())),
+        };
+        let mut rows = Vec::new();
+        self.du_walk(&path, &mut rows)?;
+        rows.sort();
+        let mut out = String::new();
+        for (dir, bytes) in rows {
+            writeln!(out, "{bytes:>12} {dir}").unwrap();
+        }
+        Ok(out)
+    }
+
+    fn tree_walk(&self, dir: &str, depth: usize, out: &mut String) -> Result<()> {
+        let entry = self
+            .fs
+            .catalog()
+            .get_dir(dir)?
+            .ok_or_else(|| DpfsError::NoSuchDirectory(dir.to_string()))?;
+        let indent = "  ".repeat(depth);
+        for sub in &entry.sub_dirs {
+            writeln!(out, "{indent}{}/", dpfs_meta_base(sub)).unwrap();
+            self.tree_walk(sub, depth + 1, out)?;
+        }
+        for f in &entry.files {
+            writeln!(out, "{indent}{}", dpfs_meta_base(f)).unwrap();
+        }
+        Ok(())
+    }
+
+    fn cmd_tree(&mut self, args: &[String]) -> Result<String> {
+        let path = match args {
+            [] => self.cwd.clone(),
+            [p] => resolve_path(&self.cwd, p),
+            _ => return Err(DpfsError::InvalidArgument("usage: tree [dir]".into())),
+        };
+        let mut out = format!("{path}\n");
+        self.tree_walk(&path, 1, &mut out)?;
+        Ok(out)
+    }
+
+    fn cmd_chmod(&mut self, args: &[String]) -> Result<String> {
+        let (mode, path) = self.two_args(args, "chmod <octal-mode> <file>")?;
+        let bits = i64::from_str_radix(mode, 8)
+            .map_err(|_| DpfsError::InvalidArgument(format!("bad mode {mode:?}")))?;
+        self.fs
+            .catalog()
+            .set_file_permission(&resolve_path(&self.cwd, path), bits)?;
+        Ok(String::new())
+    }
+
+    fn cmd_chown(&mut self, args: &[String]) -> Result<String> {
+        let (owner, path) = self.two_args(args, "chown <owner> <file>")?;
+        self.fs
+            .catalog()
+            .set_file_owner(&resolve_path(&self.cwd, path), owner)?;
+        Ok(String::new())
+    }
+
+    fn cmd_head(&mut self, args: &[String]) -> Result<String> {
+        let (path, n) = match args {
+            [p] => (p.as_str(), 512u64),
+            [p, n] => (
+                p.as_str(),
+                n.parse().map_err(|_| {
+                    DpfsError::InvalidArgument(format!("bad byte count {n:?}"))
+                })?,
+            ),
+            _ => return Err(DpfsError::InvalidArgument("usage: head <file> [bytes]".into())),
+        };
+        let full = resolve_path(&self.cwd, path);
+        let data = self.read_all(&full)?;
+        let take = (n as usize).min(data.len());
+        Ok(String::from_utf8_lossy(&data[..take]).into_owned())
+    }
+}
+
+impl Shell {
+    fn cmd_tag(&mut self, args: &[String]) -> Result<String> {
+        let (file, key, value) = match args {
+            [f, k, v] => (f, k, v),
+            _ => {
+                return Err(DpfsError::InvalidArgument(
+                    "usage: tag <file> <key> <value>".into(),
+                ))
+            }
+        };
+        self.fs
+            .catalog()
+            .set_tag(&resolve_path(&self.cwd, file), key, value)?;
+        Ok(String::new())
+    }
+
+    fn cmd_tags(&mut self, args: &[String]) -> Result<String> {
+        let p = self.one_arg(args, "tags <file>")?;
+        let tags = self.fs.catalog().list_tags(&resolve_path(&self.cwd, p))?;
+        let mut out = String::new();
+        for (k, v) in tags {
+            writeln!(out, "{k} = {v}").unwrap();
+        }
+        Ok(out)
+    }
+
+    fn cmd_untag(&mut self, args: &[String]) -> Result<String> {
+        let (file, key) = self.two_args(args, "untag <file> <key>")?;
+        let removed = self
+            .fs
+            .catalog()
+            .remove_tag(&resolve_path(&self.cwd, file), key)?;
+        Ok(if removed {
+            String::new()
+        } else {
+            format!("no tag {key:?}")
+        })
+    }
+
+    fn cmd_find(&mut self, args: &[String]) -> Result<String> {
+        let (key, pattern) = self.two_args(args, "find <tag-key> <value-pattern>")?;
+        let hits = self.fs.catalog().find_by_tag(key, pattern)?;
+        let mut out = String::new();
+        for (file, value, size) in hits {
+            writeln!(out, "{size:>12} {file}  ({key}={value})").unwrap();
+        }
+        Ok(out)
+    }
+}
+
+/// Base name helper for tree output.
+fn dpfs_meta_base(p: &str) -> &str {
+    p.rsplit('/').next().unwrap_or(p)
+}
+
+const HELP: &str = "\
+DPFS shell commands:
+  pwd                      print working directory
+  cd [dir]                 change directory
+  ls [-l] [dir]            list directory
+  mkdir <dir>              create directory
+  rmdir <dir>              remove empty directory
+  rm <file>                delete a DPFS file
+  cp <src> <dst>           copy a DPFS file
+  mv <src> <dst>           rename/move a DPFS file
+  cat <file>               print file contents
+  stat <file>              show file attributes and brick distribution
+  df                       per-server capacity and brick usage
+  servers                  ping all registered servers
+  import <local> <dpfs> [brick-bytes]   copy a sequential file into DPFS
+  export <dpfs> <local>    copy a DPFS file to a sequential file
+  head <file> [bytes]      print the first bytes of a file
+  du [dir]                 recursive directory sizes
+  tree [dir]               directory tree
+  chmod <mode> <file>      change permission bits (octal)
+  chown <owner> <file>     change owner
+  fsck [--online|--repair] check (and repair) catalog consistency
+  tag <file> <k> <v>       attach a metadata tag
+  tags <file>              list tags
+  untag <file> <k>         remove a tag
+  find <k> <pattern>       find files by tag value (LIKE pattern)
+  help                     this text
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpfs_cluster::Testbed;
+
+    fn shell() -> (Shell, Testbed) {
+        let tb = Testbed::unthrottled(4).unwrap();
+        let shell = Shell::new(tb.client(0, true));
+        (shell, tb)
+    }
+
+    #[test]
+    fn pwd_cd_mkdir() {
+        let (mut sh, _tb) = shell();
+        assert_eq!(sh.exec("pwd").unwrap(), "/");
+        sh.exec("mkdir home").unwrap();
+        sh.exec("cd home").unwrap();
+        assert_eq!(sh.exec("pwd").unwrap(), "/home");
+        sh.exec("mkdir xhshen").unwrap();
+        sh.exec("cd xhshen").unwrap();
+        assert_eq!(sh.exec("pwd").unwrap(), "/home/xhshen");
+        sh.exec("cd ..").unwrap();
+        assert_eq!(sh.exec("pwd").unwrap(), "/home");
+        assert!(sh.exec("cd nonexistent").is_err());
+    }
+
+    #[test]
+    fn import_export_round_trip() {
+        let (mut sh, _tb) = shell();
+        let tmp = std::env::temp_dir().join(format!("dpfs-shell-imp-{}", std::process::id()));
+        let payload: Vec<u8> = (0..100_000u32).map(|x| (x % 251) as u8).collect();
+        std::fs::write(&tmp, &payload).unwrap();
+        let out = sh
+            .exec(&format!("import {} /data.bin 4096", tmp.display()))
+            .unwrap();
+        assert!(out.contains("100000 bytes"));
+        let tmp2 = std::env::temp_dir().join(format!("dpfs-shell-exp-{}", std::process::id()));
+        sh.exec(&format!("export /data.bin {}", tmp2.display()))
+            .unwrap();
+        assert_eq!(std::fs::read(&tmp2).unwrap(), payload);
+        std::fs::remove_file(tmp).unwrap();
+        std::fs::remove_file(tmp2).unwrap();
+    }
+
+    #[test]
+    fn ls_and_stat_and_rm() {
+        let (mut sh, _tb) = shell();
+        let tmp = std::env::temp_dir().join(format!("dpfs-shell-ls-{}", std::process::id()));
+        std::fs::write(&tmp, b"hello dpfs").unwrap();
+        sh.exec(&format!("import {} /f.txt", tmp.display())).unwrap();
+        let ls = sh.exec("ls").unwrap();
+        assert!(ls.contains("f.txt"));
+        let lsl = sh.exec("ls -l").unwrap();
+        assert!(lsl.contains("10")); // size
+        let stat = sh.exec("stat /f.txt").unwrap();
+        assert!(stat.contains("level:      linear"));
+        assert!(stat.contains("bricks"));
+        assert_eq!(sh.exec("cat /f.txt").unwrap(), "hello dpfs");
+        sh.exec("rm /f.txt").unwrap();
+        assert!(sh.exec("stat /f.txt").is_err());
+        std::fs::remove_file(tmp).unwrap();
+    }
+
+    #[test]
+    fn cp_copies_content_and_geometry() {
+        let (mut sh, _tb) = shell();
+        let tmp = std::env::temp_dir().join(format!("dpfs-shell-cp-{}", std::process::id()));
+        std::fs::write(&tmp, vec![42u8; 10_000]).unwrap();
+        sh.exec(&format!("import {} /a 1024", tmp.display())).unwrap();
+        sh.exec("cp /a /b").unwrap();
+        let a = sh.fs().stat("/a").unwrap();
+        let b = sh.fs().stat("/b").unwrap();
+        assert_eq!(a.stripe_size, b.stripe_size);
+        assert_eq!(a.size, b.size);
+        assert_eq!(sh.read_all("/b").unwrap(), vec![42u8; 10_000]);
+        std::fs::remove_file(tmp).unwrap();
+    }
+
+    #[test]
+    fn mv_renames() {
+        let (mut sh, _tb) = shell();
+        let tmp = std::env::temp_dir().join(format!("dpfs-shell-mv-{}", std::process::id()));
+        std::fs::write(&tmp, b"move me").unwrap();
+        sh.exec(&format!("import {} /old", tmp.display())).unwrap();
+        sh.exec("mv /old /new").unwrap();
+        assert!(sh.fs().stat("/old").is_err());
+        assert_eq!(sh.read_all("/new").unwrap(), b"move me");
+        std::fs::remove_file(tmp).unwrap();
+    }
+
+    #[test]
+    fn df_and_servers() {
+        let (mut sh, _tb) = shell();
+        let df = sh.exec("df").unwrap();
+        assert!(df.contains("ion00"));
+        assert!(df.contains("unlimited"));
+        let servers = sh.exec("servers").unwrap();
+        assert_eq!(servers.matches(" up").count(), 4);
+    }
+
+    #[test]
+    fn unknown_command_and_help() {
+        let (mut sh, _tb) = shell();
+        assert!(sh.exec("frobnicate").is_err());
+        assert!(sh.exec("help").unwrap().contains("import"));
+        assert_eq!(sh.exec("").unwrap(), "");
+    }
+
+    #[test]
+    fn du_and_tree() {
+        let (mut sh, _tb) = shell();
+        sh.exec("mkdir a").unwrap();
+        sh.exec("mkdir a/b").unwrap();
+        let tmp = std::env::temp_dir().join(format!("dpfs-shell-du-{}", std::process::id()));
+        std::fs::write(&tmp, vec![0u8; 1000]).unwrap();
+        sh.exec(&format!("import {} /a/f1", tmp.display())).unwrap();
+        sh.exec(&format!("import {} /a/b/f2", tmp.display())).unwrap();
+        let du = sh.exec("du /a").unwrap();
+        assert!(du.contains("2000"), "du output: {du}"); // /a total
+        assert!(du.contains("1000")); // /a/b total
+        let tree = sh.exec("tree /").unwrap();
+        assert!(tree.contains("a/"));
+        assert!(tree.contains("b/"));
+        assert!(tree.contains("f1"));
+        assert!(tree.contains("f2"));
+        std::fs::remove_file(tmp).unwrap();
+    }
+
+    #[test]
+    fn chmod_chown_head() {
+        let (mut sh, _tb) = shell();
+        let tmp = std::env::temp_dir().join(format!("dpfs-shell-ch-{}", std::process::id()));
+        std::fs::write(&tmp, b"0123456789abcdef").unwrap();
+        sh.exec(&format!("import {} /f", tmp.display())).unwrap();
+        sh.exec("chmod 600 /f").unwrap();
+        sh.exec("chown alice /f").unwrap();
+        let attr = sh.fs().stat("/f").unwrap();
+        assert_eq!(attr.permission, 0o600);
+        assert_eq!(attr.owner, "alice");
+        assert_eq!(sh.exec("head /f 4").unwrap(), "0123");
+        assert!(sh.exec("chmod 99x /f").is_err());
+        std::fs::remove_file(tmp).unwrap();
+    }
+
+    #[test]
+    fn fsck_command_reports_clean_and_dirty() {
+        let (mut sh, _tb) = shell();
+        let tmp = std::env::temp_dir().join(format!("dpfs-shell-fsck-{}", std::process::id()));
+        std::fs::write(&tmp, vec![1u8; 100]).unwrap();
+        sh.exec(&format!("import {} /f", tmp.display())).unwrap();
+        let out = sh.exec("fsck --online").unwrap();
+        assert!(out.contains("clean"), "{out}");
+        // corrupt the catalog behind the shell's back
+        sh.fs()
+            .catalog()
+            .db()
+            .execute("DELETE FROM dpfs_file_distribution WHERE filename = '/f'")
+            .unwrap();
+        let out = sh.exec("fsck").unwrap();
+        assert!(out.contains("MissingDistribution"), "{out}");
+        std::fs::remove_file(tmp).unwrap();
+    }
+
+    #[test]
+    fn tags_commands() {
+        let (mut sh, _tb) = shell();
+        let tmp = std::env::temp_dir().join(format!("dpfs-shell-tag-{}", std::process::id()));
+        std::fs::write(&tmp, b"x").unwrap();
+        sh.exec(&format!("import {} /d1", tmp.display())).unwrap();
+        sh.exec(&format!("import {} /d2", tmp.display())).unwrap();
+        sh.exec("tag /d1 experiment astro-7").unwrap();
+        sh.exec("tag /d2 experiment fusion-1").unwrap();
+        sh.exec("tag /d1 stage raw").unwrap();
+        let tags = sh.exec("tags /d1").unwrap();
+        assert!(tags.contains("experiment = astro-7"));
+        assert!(tags.contains("stage = raw"));
+        let found = sh.exec("find experiment astro-%").unwrap();
+        assert!(found.contains("/d1"));
+        assert!(!found.contains("/d2"));
+        sh.exec("untag /d1 stage").unwrap();
+        assert!(!sh.exec("tags /d1").unwrap().contains("stage"));
+        std::fs::remove_file(tmp).unwrap();
+    }
+
+    #[test]
+    fn rmdir_requires_empty() {
+        let (mut sh, _tb) = shell();
+        sh.exec("mkdir d").unwrap();
+        sh.exec("mkdir d/e").unwrap();
+        assert!(sh.exec("rmdir d").is_err());
+        sh.exec("rmdir d/e").unwrap();
+        sh.exec("rmdir d").unwrap();
+        let ls = sh.exec("ls").unwrap();
+        assert!(!ls.contains("d/"));
+    }
+}

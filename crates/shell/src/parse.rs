@@ -1,0 +1,120 @@
+//! Command-line tokenization: whitespace-separated words with single- or
+//! double-quoted strings (quotes may embed spaces; `\"` escapes inside
+//! double quotes).
+
+/// Split a command line into words.
+pub fn split_words(line: &str) -> Result<Vec<String>, String> {
+    let mut words = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_word = false;
+    while let Some(c) = chars.next() {
+        match c {
+            ' ' | '\t' => {
+                if in_word {
+                    words.push(std::mem::take(&mut cur));
+                    in_word = false;
+                }
+            }
+            '\'' => {
+                in_word = true;
+                loop {
+                    match chars.next() {
+                        Some('\'') => break,
+                        Some(ch) => cur.push(ch),
+                        None => return Err("unterminated single quote".into()),
+                    }
+                }
+            }
+            '"' => {
+                in_word = true;
+                loop {
+                    match chars.next() {
+                        Some('"') => break,
+                        Some('\\') => match chars.next() {
+                            Some(e) => cur.push(e),
+                            None => return Err("dangling backslash".into()),
+                        },
+                        Some(ch) => cur.push(ch),
+                        None => return Err("unterminated double quote".into()),
+                    }
+                }
+            }
+            c => {
+                in_word = true;
+                cur.push(c);
+            }
+        }
+    }
+    if in_word {
+        words.push(cur);
+    }
+    Ok(words)
+}
+
+/// Join a possibly-relative path onto a working directory.
+pub fn resolve_path(cwd: &str, path: &str) -> String {
+    let joined = if path.starts_with('/') {
+        path.to_string()
+    } else if cwd == "/" {
+        format!("/{path}")
+    } else {
+        format!("{cwd}/{path}")
+    };
+    // normalize . and ..
+    let mut parts: Vec<&str> = Vec::new();
+    for seg in joined.split('/') {
+        match seg {
+            "" | "." => {}
+            ".." => {
+                parts.pop();
+            }
+            s => parts.push(s),
+        }
+    }
+    if parts.is_empty() {
+        "/".to_string()
+    } else {
+        format!("/{}", parts.join("/"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_simple_words() {
+        assert_eq!(split_words("ls -l /home").unwrap(), vec!["ls", "-l", "/home"]);
+        assert!(split_words("   ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn quotes_preserve_spaces() {
+        assert_eq!(
+            split_words("rm 'a file' \"b file\"").unwrap(),
+            vec!["rm", "a file", "b file"]
+        );
+    }
+
+    #[test]
+    fn escape_in_double_quotes() {
+        assert_eq!(split_words("echo \"a\\\"b\"").unwrap(), vec!["echo", "a\"b"]);
+    }
+
+    #[test]
+    fn unterminated_quote_errors() {
+        assert!(split_words("rm 'oops").is_err());
+        assert!(split_words("rm \"oops").is_err());
+    }
+
+    #[test]
+    fn resolve_paths() {
+        assert_eq!(resolve_path("/", "a"), "/a");
+        assert_eq!(resolve_path("/home", "a/b"), "/home/a/b");
+        assert_eq!(resolve_path("/home", "/abs"), "/abs");
+        assert_eq!(resolve_path("/home/x", ".."), "/home");
+        assert_eq!(resolve_path("/home/x", "../../"), "/");
+        assert_eq!(resolve_path("/a", "./b/./c"), "/a/b/c");
+    }
+}

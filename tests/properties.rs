@@ -1,0 +1,394 @@
+//! Property-based tests on the core invariants, run end-to-end where
+//! feasible and on the pure math everywhere else.
+
+use proptest::prelude::*;
+
+use dpfs::core::{
+    greedy, round_robin, ArrayLayout, BrickMap, Datatype, Granularity, HpfPattern, Layout,
+    LinearLayout, MultidimLayout, Region, Shape,
+};
+use dpfs::core::plan::{plan_reads, plan_writes};
+
+// ---------- layout coverage invariants ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every byte of a linear range maps to exactly one brick run, in
+    /// order, with no gaps or overlaps.
+    #[test]
+    fn linear_map_partitions_range(
+        brick in 1u64..500,
+        off in 0u64..10_000,
+        len in 1u64..10_000,
+    ) {
+        let layout = LinearLayout::new(brick, off + len).unwrap();
+        let runs = layout.map_bytes(off, len, 0);
+        let mut cursor = off;
+        let mut buf_cursor = 0u64;
+        for r in &runs {
+            prop_assert_eq!(r.brick * brick + r.brick_off, cursor);
+            prop_assert_eq!(r.buf_off, buf_cursor);
+            prop_assert!(r.brick_off + r.len <= brick);
+            cursor += r.len;
+            buf_cursor += r.len;
+        }
+        prop_assert_eq!(cursor, off + len);
+    }
+
+    /// Multidim region mapping covers each region element exactly once, and
+    /// every (brick, brick_off) target is unique.
+    #[test]
+    fn multidim_map_covers_region_exactly(
+        rows in 1u64..40,
+        cols in 1u64..40,
+        brick_r in 1u64..8,
+        brick_c in 1u64..8,
+        origin_r in 0u64..20,
+        origin_c in 0u64..20,
+        ext_r in 1u64..20,
+        ext_c in 1u64..20,
+    ) {
+        let rows = rows.max(origin_r + ext_r);
+        let cols = cols.max(origin_c + ext_c);
+        let layout = MultidimLayout::new(
+            Shape::new(vec![rows, cols]).unwrap(),
+            Shape::new(vec![brick_r, brick_c]).unwrap(),
+            1,
+        ).unwrap();
+        let region = Region::new(vec![origin_r, origin_c], vec![ext_r, ext_c]).unwrap();
+        let runs = layout.map_region(&region).unwrap();
+        // buffer offsets partition [0, volume)
+        let mut buf_seen = vec![false; (ext_r * ext_c) as usize];
+        let mut disk_seen = std::collections::HashSet::new();
+        for r in &runs {
+            for i in 0..r.len {
+                let b = (r.buf_off + i) as usize;
+                prop_assert!(!buf_seen[b], "buffer byte {b} written twice");
+                buf_seen[b] = true;
+                prop_assert!(disk_seen.insert((r.brick, r.brick_off + i)),
+                    "disk byte mapped twice");
+            }
+        }
+        prop_assert!(buf_seen.iter().all(|&x| x));
+    }
+
+    /// Array-level chunks partition the array: every element belongs to
+    /// exactly one chunk, and chunk byte lengths sum to the array size.
+    #[test]
+    fn array_chunks_partition_array(
+        rows in 1u64..60,
+        cols in 1u64..60,
+        p0 in 1u64..6,
+        p1 in 1u64..6,
+    ) {
+        prop_assume!(p0 <= rows && p1 <= cols);
+        // skip degenerate ceil-block patterns (rejected by construction)
+        prop_assume!((p0 - 1) * rows.div_ceil(p0) < rows);
+        prop_assume!((p1 - 1) * cols.div_ceil(p1) < cols);
+        let layout = ArrayLayout::new(
+            Shape::new(vec![rows, cols]).unwrap(),
+            HpfPattern::block_block(p0, p1),
+            1,
+        ).unwrap();
+        let total: u64 = (0..layout.num_bricks()).map(|b| layout.chunk_len(b)).sum();
+        prop_assert_eq!(total, rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                let owner = layout.chunk_of(&[r, c]);
+                prop_assert!(layout.chunk_region(owner).unwrap().contains(&[r, c]));
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Cyclic and block-cyclic chunks also partition the array (extension).
+    #[test]
+    fn cyclic_chunks_partition_array(
+        rows in 1u64..48,
+        cols in 1u64..48,
+        p0 in 1u64..5,
+        b1 in 1u64..5,
+        p1 in 1u64..4,
+    ) {
+        prop_assume!(p0 <= rows && p1 <= cols);
+        // block-cyclic needs every proc to own >= 1 element:
+        // proc g owns something iff d > g*b within the first cycle or full cycles exist
+        let d1 = cols;
+        let cycle = p1 * b1;
+        let full = d1 / cycle;
+        let rem = d1 % cycle;
+        prop_assume!((0..p1).all(|g| full * b1 + rem.saturating_sub(g * b1).min(b1) >= 1));
+        let layout = ArrayLayout::new(
+            Shape::new(vec![rows, cols]).unwrap(),
+            HpfPattern(vec![
+                dpfs::core::Dist::Cyclic(p0),
+                dpfs::core::Dist::BlockCyclic { procs: p1, block: b1 },
+            ]),
+            1,
+        ).unwrap();
+        let total: u64 = (0..layout.num_bricks()).map(|b| layout.chunk_len(b)).sum();
+        prop_assert_eq!(total, rows * cols);
+        // mapping the full array covers each disk byte exactly once
+        let runs = layout
+            .map_region(&Shape::new(vec![rows, cols]).unwrap().full_region())
+            .unwrap();
+        let mut disk = std::collections::HashSet::new();
+        for r in &runs {
+            for i in 0..r.len {
+                prop_assert!(disk.insert((r.brick, r.brick_off + i)));
+            }
+        }
+        prop_assert_eq!(disk.len() as u64, total);
+    }
+}
+
+// ---------- placement invariants ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Round-robin spreads bricks within 1 of each other.
+    #[test]
+    fn round_robin_is_balanced(bricks in 1u64..5000, servers in 1usize..20) {
+        let m = BrickMap::from_assignment(round_robin(bricks, servers), servers);
+        let loads = m.loads();
+        let max = *loads.iter().max().unwrap();
+        let min = *loads.iter().min().unwrap();
+        prop_assert!(max - min <= 1);
+    }
+
+    /// Greedy's weighted loads differ by at most the largest performance
+    /// number (the Figure 8 invariant).
+    #[test]
+    fn greedy_weighted_balance(
+        bricks in 1u64..5000,
+        perf in proptest::collection::vec(1i64..10, 1..12),
+    ) {
+        let m = BrickMap::from_assignment(greedy(bricks, &perf), perf.len());
+        let w = m.weighted_loads(&perf);
+        let spread = w.iter().max().unwrap() - w.iter().min().unwrap();
+        prop_assert!(spread <= *perf.iter().max().unwrap(),
+            "spread {spread} perf {perf:?} loads {:?}", m.loads());
+    }
+
+    /// Brick lists round-trip through the catalog representation.
+    #[test]
+    fn brickmap_bricklist_round_trip(
+        bricks in 1u64..2000,
+        perf in proptest::collection::vec(1i64..5, 1..8),
+    ) {
+        let m = BrickMap::from_assignment(greedy(bricks, &perf), perf.len());
+        let lists: Vec<Vec<i64>> = m.bricklists().iter()
+            .map(|l| l.iter().map(|&b| b as i64).collect()).collect();
+        let back = BrickMap::from_bricklists(&lists).unwrap();
+        prop_assert_eq!(m, back);
+    }
+
+    /// Growing a map in two steps equals growing it in one.
+    #[test]
+    fn extend_is_associative(
+        first in 1u64..500,
+        extra1 in 0u64..300,
+        extra2 in 0u64..300,
+        servers in 1usize..8,
+    ) {
+        let mut two_step = BrickMap::from_assignment(round_robin(first, servers), servers);
+        two_step.extend(extra1, None);
+        two_step.extend(extra2, None);
+        let one_shot = BrickMap::from_assignment(
+            round_robin(first + extra1 + extra2, servers), servers);
+        prop_assert_eq!(two_step, one_shot);
+    }
+}
+
+// ---------- planning invariants ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Request combination never changes WHAT is transferred, only HOW:
+    /// combined and general plans scatter exactly the same buffer bytes
+    /// from exactly the same subfile bytes.
+    #[test]
+    fn combination_preserves_read_byte_set(
+        bricks in 4u64..200,
+        servers in 1usize..8,
+        start in 0u64..100,
+        count in 1u64..50,
+        rank in 0usize..16,
+    ) {
+        let brick_bytes = 64u64;
+        let layout = Layout::Linear(LinearLayout::new(brick_bytes, bricks * brick_bytes).unwrap());
+        let map = BrickMap::from_assignment(round_robin(bricks, servers), servers);
+        let start = start.min(bricks - 1);
+        let count = count.min(bricks - start);
+        let lin = match &layout { Layout::Linear(l) => l.clone(), _ => unreachable!() };
+        let runs = lin.map_bytes(start * brick_bytes, count * brick_bytes, 0);
+
+        let collect = |combine: bool| {
+            let mut pairs = Vec::new(); // (server, subfile_byte, buf_byte)
+            for req in plan_reads(&runs, &map, &layout, combine, Granularity::Brick, rank) {
+                for piece in &req.scatter {
+                    let (range_off, _) = req.ranges[piece.chunk];
+                    for i in 0..piece.len {
+                        pairs.push((req.server, range_off + piece.chunk_off + i, piece.buf_off + i));
+                    }
+                }
+            }
+            pairs.sort_unstable();
+            pairs
+        };
+        prop_assert_eq!(collect(false), collect(true));
+    }
+
+    /// Same for writes.
+    #[test]
+    fn combination_preserves_write_byte_set(
+        bricks in 4u64..200,
+        servers in 1usize..8,
+        start in 0u64..100,
+        count in 1u64..50,
+        rank in 0usize..16,
+    ) {
+        let brick_bytes = 64u64;
+        let layout = Layout::Linear(LinearLayout::new(brick_bytes, bricks * brick_bytes).unwrap());
+        let map = BrickMap::from_assignment(round_robin(bricks, servers), servers);
+        let start = start.min(bricks - 1);
+        let count = count.min(bricks - start);
+        let lin = match &layout { Layout::Linear(l) => l.clone(), _ => unreachable!() };
+        let runs = lin.map_bytes(start * brick_bytes, count * brick_bytes, 0);
+
+        let collect = |combine: bool| {
+            let mut pairs = Vec::new();
+            for req in plan_writes(&runs, &map, &layout, combine, rank) {
+                for &(sub, buf, len) in &req.ranges {
+                    for i in 0..len {
+                        pairs.push((req.server, sub + i, buf + i));
+                    }
+                }
+            }
+            pairs.sort_unstable();
+            pairs
+        };
+        prop_assert_eq!(collect(false), collect(true));
+    }
+
+    /// Combined plans issue at most one request per server.
+    #[test]
+    fn combined_reads_one_request_per_server(
+        bricks in 1u64..300,
+        servers in 1usize..10,
+    ) {
+        let brick_bytes = 32u64;
+        let layout = Layout::Linear(LinearLayout::new(brick_bytes, bricks * brick_bytes).unwrap());
+        let map = BrickMap::from_assignment(round_robin(bricks, servers), servers);
+        let lin = match &layout { Layout::Linear(l) => l.clone(), _ => unreachable!() };
+        let runs = lin.map_bytes(0, bricks * brick_bytes, 0);
+        let reqs = plan_reads(&runs, &map, &layout, true, Granularity::Brick, 0);
+        let mut seen = std::collections::HashSet::new();
+        for r in &reqs {
+            prop_assert!(seen.insert(r.server), "server {} got two requests", r.server);
+        }
+        prop_assert!(reqs.len() <= servers);
+    }
+}
+
+// ---------- datatype invariants ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Flattened runs are sorted, non-overlapping, and sum to size().
+    #[test]
+    fn datatype_flatten_well_formed(
+        count in 0u64..50,
+        blocklen in 1u64..20,
+        stride_extra in 0u64..20,
+    ) {
+        let dt = Datatype::vector(count, blocklen, blocklen + stride_extra);
+        let runs = dt.flatten();
+        let mut prev_end = 0u64;
+        let mut total = 0u64;
+        for (i, &(off, len)) in runs.iter().enumerate() {
+            if i > 0 {
+                prop_assert!(off > prev_end, "runs must be coalesced & ordered");
+            }
+            prev_end = off + len;
+            total += len;
+        }
+        prop_assert_eq!(total, dt.size());
+        if !runs.is_empty() {
+            prop_assert_eq!(prev_end, dt.extent());
+        }
+    }
+
+    /// Subarray flatten equals element-by-element enumeration.
+    #[test]
+    fn subarray_flatten_matches_enumeration(
+        rows in 1u64..20,
+        cols in 1u64..20,
+        or_ in 0u64..10,
+        oc in 0u64..10,
+        er in 1u64..10,
+        ec in 1u64..10,
+        elem in 1u64..5,
+    ) {
+        let rows = rows.max(or_ + er);
+        let cols = cols.max(oc + ec);
+        let array = Shape::new(vec![rows, cols]).unwrap();
+        let region = Region::new(vec![or_, oc], vec![er, ec]).unwrap();
+        let dt = Datatype::subarray(array.clone(), region, elem).unwrap();
+        let mut expect: Vec<u64> = Vec::new();
+        for r in 0..er {
+            for c in 0..ec {
+                let lin = array.linearize(&[or_ + r, oc + c]);
+                for b in 0..elem {
+                    expect.push(lin * elem + b);
+                }
+            }
+        }
+        expect.sort_unstable();
+        let mut got = Vec::new();
+        for (off, len) in dt.flatten() {
+            got.extend(off..off + len);
+        }
+        prop_assert_eq!(got, expect);
+    }
+}
+
+// ---------- end-to-end round trip (small cases, real servers) ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Write-then-read equality through real TCP servers for arbitrary
+    /// interior regions of a multidim file.
+    #[test]
+    fn e2e_multidim_region_round_trip(
+        origin_r in 0u64..24u64,
+        origin_c in 0u64..24u64,
+        ext_r in 1u64..8u64,
+        ext_c in 1u64..8u64,
+        seed in 0u64..255,
+    ) {
+        use dpfs::cluster::Testbed;
+        use dpfs::core::Hint;
+        let tb = Testbed::unthrottled(3).unwrap();
+        let client = tb.client(0, true);
+        let shape = Shape::new(vec![32, 32]).unwrap();
+        let mut f = client.create(
+            "/prop",
+            &Hint::multidim(shape, Shape::new(vec![5, 7]).unwrap(), 1),
+        ).unwrap();
+        let region = Region::new(vec![origin_r, origin_c], vec![ext_r, ext_c]).unwrap();
+        let data: Vec<u8> = (0..region.volume())
+            .map(|i| ((i + seed) % 251) as u8).collect();
+        f.write_region(&region, &data).unwrap();
+        let back = f.read_region(&region).unwrap();
+        prop_assert_eq!(back, data);
+    }
+}

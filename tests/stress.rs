@@ -1,0 +1,252 @@
+//! Randomized model-based stress test: hundreds of random operations
+//! against DPFS, mirrored into an in-memory model; contents must agree at
+//! every read and at the end. Seeded — failures reproduce.
+
+use std::collections::HashMap;
+
+use dpfs::cluster::Testbed;
+use dpfs::core::{FileLevel, Hint, HpfPattern, Placement, Region, Shape};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Model of one file: its level geometry and full contents.
+struct ModelFile {
+    level: FileLevel,
+    /// linear: logical bytes; multidim/array: the row-major array image.
+    bytes: Vec<u8>,
+    shape: Option<Shape>,
+}
+
+fn random_shape(rng: &mut StdRng) -> Shape {
+    Shape::new(vec![
+        rng.gen_range(8..=40),
+        rng.gen_range(8..=40),
+    ])
+    .unwrap()
+}
+
+#[test]
+fn randomized_ops_match_model() {
+    let seeds: Vec<u64> = vec![42, 1337, 20010905];
+    for seed in seeds {
+        run_seed(seed);
+    }
+}
+
+fn run_seed(seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tb = Testbed::unthrottled(3).unwrap();
+    let client = tb.client(0, true);
+    let mut model: HashMap<String, ModelFile> = HashMap::new();
+    let mut next_id = 0usize;
+
+    for step in 0..300 {
+        let op = rng.gen_range(0..100);
+        match op {
+            // create a file of a random level
+            0..=19 => {
+                let path = format!("/f{next_id}");
+                next_id += 1;
+                let level = match rng.gen_range(0..3) {
+                    0 => FileLevel::Linear,
+                    1 => FileLevel::Multidim,
+                    _ => FileLevel::Array,
+                };
+                let placement = if rng.gen_bool(0.5) {
+                    Placement::RoundRobin
+                } else {
+                    Placement::Greedy
+                };
+                match level {
+                    FileLevel::Linear => {
+                        let brick = rng.gen_range(16..=128);
+                        let hint = Hint::linear(brick, 0).with_placement(placement);
+                        client.create(&path, &hint).unwrap();
+                        model.insert(
+                            path,
+                            ModelFile {
+                                level,
+                                bytes: Vec::new(),
+                                shape: None,
+                            },
+                        );
+                    }
+                    FileLevel::Multidim => {
+                        let shape = random_shape(&mut rng);
+                        let brick = Shape::new(vec![
+                            rng.gen_range(2..=9),
+                            rng.gen_range(2..=9),
+                        ])
+                        .unwrap();
+                        let hint = Hint::multidim(shape.clone(), brick, 1)
+                            .with_placement(placement);
+                        client.create(&path, &hint).unwrap();
+                        let vol = shape.volume() as usize;
+                        model.insert(
+                            path,
+                            ModelFile {
+                                level,
+                                bytes: vec![0u8; vol],
+                                shape: Some(shape),
+                            },
+                        );
+                    }
+                    FileLevel::Array => {
+                        let shape = random_shape(&mut rng);
+                        // BLOCK procs that divide safely
+                        let p = rng.gen_range(1..=3).min(shape.0[0]);
+                        if (p - 1) * shape.0[0].div_ceil(p) >= shape.0[0] {
+                            continue;
+                        }
+                        let hint = Hint::array(
+                            shape.clone(),
+                            HpfPattern::block_star(p, 2),
+                            1,
+                        )
+                        .with_placement(placement);
+                        client.create(&path, &hint).unwrap();
+                        let vol = shape.volume() as usize;
+                        model.insert(
+                            path,
+                            ModelFile {
+                                level,
+                                bytes: vec![0u8; vol],
+                                shape: Some(shape),
+                            },
+                        );
+                    }
+                }
+            }
+            // write somewhere
+            20..=59 => {
+                let Some(path) = pick_file(&model, &mut rng) else { continue };
+                let mf = model.get_mut(&path).unwrap();
+                let mut f = client.open(&path).unwrap();
+                match mf.level {
+                    FileLevel::Linear => {
+                        let off = rng.gen_range(0..2000u64);
+                        let len = rng.gen_range(1..500usize);
+                        let data: Vec<u8> =
+                            (0..len).map(|_| rng.gen::<u8>()).collect();
+                        f.write_bytes(off, &data).unwrap();
+                        let end = off as usize + len;
+                        if mf.bytes.len() < end {
+                            mf.bytes.resize(end, 0);
+                        }
+                        mf.bytes[off as usize..end].copy_from_slice(&data);
+                    }
+                    FileLevel::Multidim | FileLevel::Array => {
+                        let shape = mf.shape.as_ref().unwrap().clone();
+                        let region = random_region(&shape, &mut rng);
+                        let vol = region.volume() as usize;
+                        let data: Vec<u8> =
+                            (0..vol).map(|_| rng.gen::<u8>()).collect();
+                        f.write_region(&region, &data).unwrap();
+                        apply_region(&mut mf.bytes, &shape, &region, &data);
+                    }
+                }
+            }
+            // read & verify somewhere
+            60..=89 => {
+                let Some(path) = pick_file(&model, &mut rng) else { continue };
+                let mf = &model[&path];
+                let mut f = client.open(&path).unwrap();
+                match mf.level {
+                    FileLevel::Linear => {
+                        if mf.bytes.is_empty() {
+                            continue;
+                        }
+                        let off = rng.gen_range(0..mf.bytes.len());
+                        let len = rng
+                            .gen_range(1..=(mf.bytes.len() - off).min(700));
+                        let got = f.read_bytes(off as u64, len as u64).unwrap();
+                        assert_eq!(
+                            got,
+                            &mf.bytes[off..off + len],
+                            "seed {seed} step {step} linear read {path} [{off}, +{len})"
+                        );
+                    }
+                    FileLevel::Multidim | FileLevel::Array => {
+                        let shape = mf.shape.as_ref().unwrap().clone();
+                        let region = random_region(&shape, &mut rng);
+                        let got = f.read_region(&region).unwrap();
+                        let want = extract_region(&mf.bytes, &shape, &region);
+                        assert_eq!(
+                            got, want,
+                            "seed {seed} step {step} region read {path} {region:?}"
+                        );
+                    }
+                }
+            }
+            // unlink
+            _ => {
+                let Some(path) = pick_file(&model, &mut rng) else { continue };
+                client.unlink(&path).unwrap();
+                model.remove(&path);
+                assert!(!client.exists(&path).unwrap());
+            }
+        }
+    }
+
+    // final sweep: every surviving file matches its model completely
+    for (path, mf) in &model {
+        let mut f = client.open(path).unwrap();
+        match mf.level {
+            FileLevel::Linear => {
+                if !mf.bytes.is_empty() {
+                    let got = f.read_bytes(0, mf.bytes.len() as u64).unwrap();
+                    assert_eq!(&got, &mf.bytes, "seed {seed} final {path}");
+                }
+            }
+            FileLevel::Multidim | FileLevel::Array => {
+                let shape = mf.shape.as_ref().unwrap();
+                let got = f.read_region(&shape.full_region()).unwrap();
+                assert_eq!(&got, &mf.bytes, "seed {seed} final {path}");
+            }
+        }
+    }
+    // the catalog is consistent too
+    let report = dpfs::core::fsck::fsck(&client, true).unwrap();
+    assert!(report.clean(), "seed {seed}: fsck issues {:?}", report.issues);
+}
+
+fn pick_file(model: &HashMap<String, ModelFile>, rng: &mut StdRng) -> Option<String> {
+    if model.is_empty() {
+        return None;
+    }
+    let mut names: Vec<&String> = model.keys().collect();
+    names.sort(); // deterministic order for seeded reproduction
+    Some(names[rng.gen_range(0..names.len())].clone())
+}
+
+fn random_region(shape: &Shape, rng: &mut StdRng) -> Region {
+    let o0 = rng.gen_range(0..shape.0[0]);
+    let o1 = rng.gen_range(0..shape.0[1]);
+    let e0 = rng.gen_range(1..=shape.0[0] - o0);
+    let e1 = rng.gen_range(1..=shape.0[1] - o1);
+    Region::new(vec![o0, o1], vec![e0, e1]).unwrap()
+}
+
+fn apply_region(image: &mut [u8], shape: &Shape, region: &Region, data: &[u8]) {
+    let cols = shape.0[1];
+    let mut i = 0usize;
+    for r in 0..region.extent[0] {
+        for c in 0..region.extent[1] {
+            let idx = ((region.origin[0] + r) * cols + region.origin[1] + c) as usize;
+            image[idx] = data[i];
+            i += 1;
+        }
+    }
+}
+
+fn extract_region(image: &[u8], shape: &Shape, region: &Region) -> Vec<u8> {
+    let cols = shape.0[1];
+    let mut out = Vec::with_capacity(region.volume() as usize);
+    for r in 0..region.extent[0] {
+        for c in 0..region.extent[1] {
+            let idx = ((region.origin[0] + r) * cols + region.origin[1] + c) as usize;
+            out.push(image[idx]);
+        }
+    }
+    out
+}
