@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# CI gate: formatting, lints, and the tier-1 suite. Run from the repo root.
+set -eu
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: release build"
+cargo build --release
+
+echo "==> tier-1: tests"
+cargo test -q
+
+echo "CI green."

@@ -33,13 +33,17 @@ fn bench_subfile(c: &mut Criterion) {
     let _ = std::fs::remove_dir_all(&dir);
     let store = SubfileStore::open(&dir, 0).unwrap();
     let payload = Bytes::from(vec![0xAAu8; 64 * 1024]);
-    store.write_ranges("/bench", &[(0, Bytes::from(vec![0u8; 1 << 20]))]).unwrap();
+    store
+        .write_ranges("/bench", &[(0, Bytes::from(vec![0u8; 1 << 20]))])
+        .unwrap();
 
     c.bench_function("subfile_write_64k", |b| {
         let mut off = 0u64;
         b.iter(|| {
             off = (off + 64 * 1024) % (1 << 20);
-            store.write_ranges("/bench", &[(off, payload.clone())]).unwrap()
+            store
+                .write_ranges("/bench", &[(off, payload.clone())])
+                .unwrap()
         })
     });
 
@@ -47,13 +51,21 @@ fn bench_subfile(c: &mut Criterion) {
         let mut off = 0u64;
         b.iter(|| {
             off = (off + 64 * 1024) % (1 << 20);
-            store.read_ranges("/bench", &[(off, 64 * 1024)]).unwrap().len()
+            store
+                .read_ranges("/bench", &[(off, 64 * 1024)])
+                .unwrap()
+                .len()
         })
     });
 
     c.bench_function("subfile_scatter_read_16x4k", |b| {
         let ranges: Vec<(u64, u64)> = (0..16u64).map(|i| (i * 65536, 4096)).collect();
-        b.iter(|| store.read_ranges("/bench", black_box(&ranges)).unwrap().len())
+        b.iter(|| {
+            store
+                .read_ranges("/bench", black_box(&ranges))
+                .unwrap()
+                .len()
+        })
     });
 }
 

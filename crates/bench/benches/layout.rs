@@ -29,7 +29,11 @@ fn bench_layouts(c: &mut Criterion) {
 
     let ar = ArrayLayout::new(shape, HpfPattern::star_block(8, 2), 1).unwrap();
     c.bench_function("array_map_chunk", |b| {
-        b.iter(|| ar.map_region(black_box(&ar.chunk_region(3).unwrap())).unwrap().len())
+        b.iter(|| {
+            ar.map_region(black_box(&ar.chunk_region(3).unwrap()))
+                .unwrap()
+                .len()
+        })
     });
 }
 

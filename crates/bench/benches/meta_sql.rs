@@ -18,23 +18,29 @@ fn bench_sql(c: &mut Criterion) {
 
     c.bench_function("sql_select_filtered_1k_rows", |b| {
         let db = Database::in_memory();
-        db.execute("CREATE TABLE t (k INT PRIMARY KEY, v INT)").unwrap();
+        db.execute("CREATE TABLE t (k INT PRIMARY KEY, v INT)")
+            .unwrap();
         for k in 0..1000 {
-            db.execute(&format!("INSERT INTO t VALUES ({k}, {})", k % 17)).unwrap();
+            db.execute(&format!("INSERT INTO t VALUES ({k}, {})", k % 17))
+                .unwrap();
         }
         b.iter(|| {
-            db.execute(black_box("SELECT k FROM t WHERE v = 3 ORDER BY k DESC LIMIT 10"))
-                .unwrap()
-                .rows
-                .len()
+            db.execute(black_box(
+                "SELECT k FROM t WHERE v = 3 ORDER BY k DESC LIMIT 10",
+            ))
+            .unwrap()
+            .rows
+            .len()
         })
     });
 
     c.bench_function("sql_transaction_update", |b| {
         let db = Database::in_memory();
-        db.execute("CREATE TABLE t (k INT PRIMARY KEY, v INT)").unwrap();
+        db.execute("CREATE TABLE t (k INT PRIMARY KEY, v INT)")
+            .unwrap();
         for k in 0..100 {
-            db.execute(&format!("INSERT INTO t VALUES ({k}, 0)")).unwrap();
+            db.execute(&format!("INSERT INTO t VALUES ({k}, 0)"))
+                .unwrap();
         }
         b.iter(|| {
             db.transaction(|txn| {

@@ -23,7 +23,9 @@ fn bench_codec(c: &mut Criterion) {
         b.iter(|| {
             let mut buf = Vec::with_capacity(payload.len() + 16);
             frame::write_frame(&mut buf, black_box(&payload)).unwrap();
-            frame::read_frame(&mut std::io::Cursor::new(&buf)).unwrap().len()
+            frame::read_frame(&mut std::io::Cursor::new(&buf))
+                .unwrap()
+                .len()
         })
     });
 }

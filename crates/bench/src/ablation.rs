@@ -1,12 +1,13 @@
 //! Ablation studies on DPFS design choices beyond the paper's figures:
 //! brick-size sweep, read granularity (brick vs exact), the staggered
-//! schedule, I/O-node scaling, and the client-side brick cache.
+//! schedule, I/O-node scaling, the client-side brick cache, and parallel
+//! vs serial per-server dispatch.
 
 use std::sync::Barrier;
 use std::time::Instant;
 
 use dpfs_cluster::{run_clients, Testbed};
-use dpfs_core::{Granularity, Hint, Region, Shape};
+use dpfs_core::{ClientOptions, Granularity, Hint, Region, Shape};
 use dpfs_server::StorageClass;
 
 use crate::figures::FigScale;
@@ -24,11 +25,18 @@ pub fn brick_size_sweep(scale: FigScale) -> Vec<Point> {
     let clients = 8;
     let block = file_bytes / clients as u64;
     let mut out = Vec::new();
-    for brick in [file_bytes / 2048, file_bytes / 512, file_bytes / 128, file_bytes / 32, file_bytes / 8]
-    {
+    for brick in [
+        file_bytes / 2048,
+        file_bytes / 512,
+        file_bytes / 128,
+        file_bytes / 32,
+        file_bytes / 8,
+    ] {
         let tb = Testbed::homogeneous(4, StorageClass::Class3).unwrap();
         let client0 = tb.client(0, true);
-        client0.create("/sweep", &Hint::linear(brick, file_bytes)).unwrap();
+        client0
+            .create("/sweep", &Hint::linear(brick, file_bytes))
+            .unwrap();
         run_clients(&tb, clients, true, Granularity::Brick, |rank, c| {
             let mut f = c.open("/sweep").unwrap();
             f.write_bytes(rank as u64 * block, &vec![rank as u8; block as usize])
@@ -93,7 +101,10 @@ pub fn stagger_ablation(scale: FigScale) -> Vec<Point> {
     let clients = 8usize;
     let block = file_bytes / clients as u64;
     let mut out = Vec::new();
-    for (label, stagger) in [("staggered", true), ("convoy (all start at server 0)", false)] {
+    for (label, stagger) in [
+        ("staggered", true),
+        ("convoy (all start at server 0)", false),
+    ] {
         let tb = Testbed::homogeneous(8, StorageClass::Class3).unwrap();
         let client0 = tb.client(0, true);
         client0
@@ -154,7 +165,8 @@ pub fn io_node_scaling(scale: FigScale) -> Vec<Point> {
         run_clients(&tb, clients, true, Granularity::Brick, |rank, c| {
             let mut f = c.open("/scale").unwrap();
             let region = Region::new(vec![rank as u64 * rows, 0], vec![rows, n]).unwrap();
-            f.write_region(&region, &vec![3u8; (rows * n) as usize]).unwrap();
+            f.write_region(&region, &vec![3u8; (rows * n) as usize])
+                .unwrap();
             rows * n
         });
         let cols = n / clients as u64;
@@ -203,6 +215,41 @@ pub fn cache_ablation(scale: FigScale) -> Vec<Point> {
     out
 }
 
+/// Dispatch ablation: one client issuing combined accesses striped over
+/// every server — parallel per-server dispatch (scoped-thread fan-out) vs
+/// the original serial request loop. With combination on, a single client's
+/// access becomes one request per server; overlapping them bounds the cost
+/// by the slowest server instead of the sum.
+pub fn dispatch_ablation(scale: FigScale) -> Vec<Point> {
+    let n = scale.array_side();
+    let file_bytes = n * n / 2;
+    let servers = 4usize;
+    // one brick per server: each combined read is exactly one request each
+    let brick = file_bytes / servers as u64;
+    let mut out = Vec::new();
+    for (label, serial) in [("parallel dispatch", false), ("serial dispatch", true)] {
+        let tb = Testbed::homogeneous(servers, StorageClass::Class3).unwrap();
+        let client = tb.client_opts(ClientOptions {
+            serial_dispatch: serial,
+            ..ClientOptions::default()
+        });
+        client
+            .create("/d", &Hint::linear(brick, file_bytes))
+            .unwrap();
+        let mut f = client.open("/d").unwrap();
+        f.write_bytes(0, &vec![4u8; file_bytes as usize]).unwrap();
+        let rounds = 4u64;
+        let start = Instant::now();
+        let mut bytes = 0u64;
+        for _ in 0..rounds {
+            bytes += f.read_bytes(0, file_bytes).unwrap().len() as u64;
+        }
+        let mbps = bytes as f64 / 1e6 / start.elapsed().as_secs_f64();
+        out.push((label.to_string(), mbps));
+    }
+    out
+}
+
 /// Render a list of points as an aligned table.
 pub fn print_points(title: &str, points: &[Point]) {
     println!("{title}");
@@ -234,5 +281,17 @@ mod tests {
         let pts = granularity_ablation(FigScale::Quick);
         assert_eq!(pts.len(), 2);
         assert!(pts.iter().all(|(_, v)| *v > 0.0));
+    }
+
+    #[test]
+    fn dispatch_ablation_parallel_wins() {
+        let pts = dispatch_ablation(FigScale::Quick);
+        assert_eq!(pts.len(), 2);
+        assert!(
+            pts[0].1 > pts[1].1,
+            "parallel {} MB/s must beat serial {} MB/s",
+            pts[0].1,
+            pts[1].1
+        );
     }
 }

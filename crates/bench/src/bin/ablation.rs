@@ -7,14 +7,28 @@ use dpfs_bench::FigScale;
 
 fn main() {
     let scale = FigScale::from_env();
-    print_points("Ablation 1: linear brick-size sweep (8 clients, 4 class-3 servers, combined)",
-        &brick_size_sweep(scale));
-    print_points("Ablation 2: read granularity on (*, BLOCK) over a linear file",
-        &granularity_ablation(scale));
-    print_points("Ablation 3: staggered schedule vs convoy (8 clients, 8 servers)",
-        &stagger_ablation(scale));
-    print_points("Ablation 4: I/O-node scaling (8 clients, multidim (*, BLOCK) read)",
-        &io_node_scaling(scale));
-    print_points("Ablation 5: client-side brick cache (hot-region re-reads)",
-        &cache_ablation(scale));
+    print_points(
+        "Ablation 1: linear brick-size sweep (8 clients, 4 class-3 servers, combined)",
+        &brick_size_sweep(scale),
+    );
+    print_points(
+        "Ablation 2: read granularity on (*, BLOCK) over a linear file",
+        &granularity_ablation(scale),
+    );
+    print_points(
+        "Ablation 3: staggered schedule vs convoy (8 clients, 8 servers)",
+        &stagger_ablation(scale),
+    );
+    print_points(
+        "Ablation 4: I/O-node scaling (8 clients, multidim (*, BLOCK) read)",
+        &io_node_scaling(scale),
+    );
+    print_points(
+        "Ablation 5: client-side brick cache (hot-region re-reads)",
+        &cache_ablation(scale),
+    );
+    print_points(
+        "Ablation 6: parallel vs serial per-server dispatch (1 client, 4 class-3 servers)",
+        &dispatch_ablation(scale),
+    );
 }

@@ -142,30 +142,30 @@ fn measure_star_block_read(
     let cols_per = n / compute as u64;
     let mut best = 0f64;
     for _ in 0..REPS {
-    let bw = run_clients(tb, compute, combine, Granularity::Brick, |rank, client| {
-        let mut f = client.open(path).unwrap();
-        match level {
-            "linear" => {
-                // a column band of a row-major byte array: one run per row
-                let dt = dpfs_core::Datatype::subarray(
-                    Shape::new(vec![n, n]).unwrap(),
-                    Region::new(vec![0, rank as u64 * cols_per], vec![n, cols_per]).unwrap(),
-                    1,
-                )
-                .unwrap();
-                let data = f.read_datatype(0, &dt).unwrap();
-                data.len() as u64
+        let bw = run_clients(tb, compute, combine, Granularity::Brick, |rank, client| {
+            let mut f = client.open(path).unwrap();
+            match level {
+                "linear" => {
+                    // a column band of a row-major byte array: one run per row
+                    let dt = dpfs_core::Datatype::subarray(
+                        Shape::new(vec![n, n]).unwrap(),
+                        Region::new(vec![0, rank as u64 * cols_per], vec![n, cols_per]).unwrap(),
+                        1,
+                    )
+                    .unwrap();
+                    let data = f.read_datatype(0, &dt).unwrap();
+                    data.len() as u64
+                }
+                "multidim" | "array" => {
+                    let region =
+                        Region::new(vec![0, rank as u64 * cols_per], vec![n, cols_per]).unwrap();
+                    let data = f.read_region(&region).unwrap();
+                    data.len() as u64
+                }
+                _ => unreachable!(),
             }
-            "multidim" | "array" => {
-                let region =
-                    Region::new(vec![0, rank as u64 * cols_per], vec![n, cols_per]).unwrap();
-                let data = f.read_region(&region).unwrap();
-                data.len() as u64
-            }
-            _ => unreachable!(),
-        }
-    });
-    best = best.max(bw.mbytes_per_sec());
+        });
+        best = best.max(bw.mbytes_per_sec());
     }
     best
 }
@@ -201,10 +201,14 @@ pub fn file_level_row(class: StorageClass, compute: usize, io: usize, scale: Fig
 
 /// All three classes for Figure 11 (8/4) or Figure 12 (16/8).
 pub fn file_level_figure(compute: usize, io: usize, scale: FigScale) -> Vec<LevelRow> {
-    [StorageClass::Class1, StorageClass::Class2, StorageClass::Class3]
-        .into_iter()
-        .map(|c| file_level_row(c, compute, io, scale))
-        .collect()
+    [
+        StorageClass::Class1,
+        StorageClass::Class2,
+        StorageClass::Class3,
+    ]
+    .into_iter()
+    .map(|c| file_level_row(c, compute, io, scale))
+    .collect()
 }
 
 /// Figure 13/14 workload: linear-level file over half class-1 / half

@@ -7,7 +7,7 @@ use std::sync::Arc;
 
 use dpfs_core::{ClientOptions, Dpfs, Granularity, Resolver};
 use dpfs_meta::{Database, ServerInfo};
-use dpfs_server::{IoServer, ServerConfig, StorageClass};
+use dpfs_server::{IoServer, PerfModel, ServerConfig, StorageClass};
 
 static TESTBED_COUNTER: AtomicU64 = AtomicU64::new(0);
 
@@ -21,6 +21,9 @@ pub struct NodeSpec {
     pub class: StorageClass,
     /// Capacity cap in bytes (0 = unlimited).
     pub capacity: u64,
+    /// Explicit delay model, overriding the class's canned one (timing
+    /// tests use this to inject a precise per-request latency).
+    pub model: Option<PerfModel>,
 }
 
 impl NodeSpec {
@@ -30,6 +33,15 @@ impl NodeSpec {
             name: format!("ion{i:02}"),
             class,
             capacity: 0,
+            model: None,
+        }
+    }
+
+    /// Node named `ion{i:02}` with an explicit delay model.
+    pub fn with_model(i: usize, model: PerfModel) -> NodeSpec {
+        NodeSpec {
+            model: Some(model),
+            ..NodeSpec::numbered(i, StorageClass::Unthrottled)
         }
     }
 }
@@ -48,10 +60,7 @@ impl Testbed {
     /// metadata database, and build the name resolver.
     pub fn start(specs: &[NodeSpec]) -> std::io::Result<Testbed> {
         let id = TESTBED_COUNTER.fetch_add(1, Ordering::Relaxed);
-        let root = std::env::temp_dir().join(format!(
-            "dpfs-testbed-{}-{id}",
-            std::process::id()
-        ));
+        let root = std::env::temp_dir().join(format!("dpfs-testbed-{}-{id}", std::process::id()));
         let _ = std::fs::remove_dir_all(&root);
         std::fs::create_dir_all(&root)?;
 
@@ -65,7 +74,7 @@ impl Testbed {
             let mut config = ServerConfig::new(
                 spec.name.clone(),
                 root.join(&spec.name),
-                spec.class.model(),
+                spec.model.unwrap_or_else(|| spec.class.model()),
             );
             config.capacity = spec.capacity;
             let server = IoServer::start(config)?;
@@ -145,16 +154,18 @@ impl Testbed {
 
     /// A DPFS client with full option control.
     pub fn client_with(&self, rank: usize, combine: bool, granularity: Granularity) -> Dpfs {
-        Dpfs::mount(
-            self.db.clone(),
-            self.resolver.clone(),
-            ClientOptions {
-                combine,
-                granularity,
-                rank,
-            },
-        )
-        .expect("catalog already initialized")
+        self.client_opts(ClientOptions {
+            combine,
+            granularity,
+            rank,
+            serial_dispatch: false,
+        })
+    }
+
+    /// A DPFS client with explicit [`ClientOptions`].
+    pub fn client_opts(&self, opts: ClientOptions) -> Dpfs {
+        Dpfs::mount(self.db.clone(), self.resolver.clone(), opts)
+            .expect("catalog already initialized")
     }
 
     /// Per-server statistics snapshots, in server order.
@@ -223,6 +234,29 @@ mod tests {
         // data actually landed on all 4 servers
         let stats = tb.server_stats();
         assert!(stats.iter().all(|(_, s)| s.bytes_written > 0));
+    }
+
+    #[test]
+    fn sync_attempts_all_servers_and_aggregates_failures() {
+        // Regression: `sync` used to stop at the first failing server,
+        // leaving later servers' subfiles unflushed.
+        let mut tb = Testbed::unthrottled(2).unwrap();
+        let client = tb.client(0, true);
+        let mut f = client.create("/s", &Hint::linear(64, 0)).unwrap();
+        f.write_bytes(0, &[5u8; 128]).unwrap();
+        f.sync().unwrap();
+        tb.kill_server(0);
+        let err = f.sync().unwrap_err();
+        match err {
+            dpfs_core::DpfsError::Aggregate { op, failures } => {
+                assert_eq!(op, "sync");
+                // Exactly one failure means the live server was still
+                // attempted — and succeeded — despite the dead one.
+                assert_eq!(failures.len(), 1, "failures: {failures:?}");
+                assert_eq!(failures[0].0, "ion00");
+            }
+            other => panic!("expected Aggregate, got {other}"),
+        }
     }
 
     #[test]

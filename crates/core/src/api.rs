@@ -25,12 +25,7 @@ pub enum OpenMode {
 /// pointer to DPFS file handle, file name, access mode (read or write) and
 /// the suggested number of I/O nodes by the user (for write operation
 /// only)." The I/O-node suggestion and file level travel in the `hint`.
-pub fn dpfs_open(
-    fs: &Dpfs,
-    name: &str,
-    mode: OpenMode,
-    hint: Option<&Hint>,
-) -> Result<FileHandle> {
+pub fn dpfs_open(fs: &Dpfs, name: &str, mode: OpenMode, hint: Option<&Hint>) -> Result<FileHandle> {
     match mode {
         OpenMode::Read => fs.open(name),
         OpenMode::Write => match hint {

@@ -71,11 +71,7 @@ impl BrickCache {
         }
         self.invalidate(brick);
         while self.used + len > self.capacity {
-            let Some((&victim, _)) = self
-                .entries
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-            else {
+            let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, e)| e.last_used) else {
                 break;
             };
             self.invalidate(victim);

@@ -103,12 +103,7 @@ impl Collective {
     /// the group exchanges fragments so each participant issues one large
     /// contiguous write for its file domain. All participants must call
     /// this the same number of times (like `MPI_File_write_all`).
-    pub fn write_collective(
-        &self,
-        file: &mut FileHandle,
-        offset: u64,
-        data: &[u8],
-    ) -> Result<()> {
+    pub fn write_collective(&self, file: &mut FileHandle, offset: u64, data: &[u8]) -> Result<()> {
         // exchange phase: post our piece
         {
             let mut st = self.inner.state.lock().unwrap();
@@ -196,12 +191,7 @@ impl Collective {
     /// Collective read: every participant requests `(offset, len)`; each
     /// participant reads one contiguous file domain and the group exchanges
     /// fragments in memory (like `MPI_File_read_all`).
-    pub fn read_collective(
-        &self,
-        file: &mut FileHandle,
-        offset: u64,
-        len: u64,
-    ) -> Result<Vec<u8>> {
+    pub fn read_collective(&self, file: &mut FileHandle, offset: u64, len: u64) -> Result<Vec<u8>> {
         {
             let mut st = self.inner.state.lock().unwrap();
             st.read_posts[self.rank] = Some(ReadPost { offset, len });

@@ -39,10 +39,20 @@ impl Resolver {
     }
 }
 
+/// One server's connection slot: `None` until first use and after a
+/// transport error evicts the stream.
+type ConnSlot = Arc<Mutex<Option<TcpStream>>>;
+
 /// A pool of lazily-opened server connections, owned by one client.
+///
+/// Locking is two-level so RPCs to *different* servers proceed in
+/// parallel: the pool-wide map lock is held only long enough to look up
+/// (or insert) a server's slot, and each slot has its own lock held
+/// across the network round-trip. Requests to the *same* server still
+/// serialize on its slot, which a single framed TCP stream requires.
 pub struct ConnPool {
     resolver: Arc<Resolver>,
-    conns: Mutex<HashMap<String, TcpStream>>,
+    conns: Mutex<HashMap<String, ConnSlot>>,
 }
 
 impl ConnPool {
@@ -54,28 +64,41 @@ impl ConnPool {
         }
     }
 
+    /// The slot for `server`, created empty on first sight. Holds the map
+    /// lock only for the lookup/insert.
+    fn slot(&self, server: &str) -> ConnSlot {
+        let mut conns = self.conns.lock();
+        if let Some(slot) = conns.get(server) {
+            return slot.clone();
+        }
+        let slot = ConnSlot::default();
+        conns.insert(server.to_string(), slot.clone());
+        slot
+    }
+
     /// Issue one request to `server` and await its response. Opens the
     /// connection on first use; a transport error evicts the cached
     /// connection so the next call redials.
     pub fn rpc(&self, server: &str, req: &Request) -> Result<Response> {
-        let mut conns = self.conns.lock();
-        if !conns.contains_key(server) {
+        let slot = self.slot(server);
+        let mut conn = slot.lock();
+        if conn.is_none() {
             let addr = self.resolver.resolve(server);
             let stream = TcpStream::connect(addr).map_err(|e| DpfsError::Connect {
                 server: server.to_string(),
                 source: e,
             })?;
             stream.set_nodelay(true).ok();
-            conns.insert(server.to_string(), stream);
+            *conn = Some(stream);
         }
-        let stream = conns.get_mut(server).expect("just inserted");
+        let stream = conn.as_mut().expect("just connected");
         let outcome = frame::write_frame(stream, &req.encode())
             .and_then(|()| frame::read_frame(stream))
             .and_then(Response::decode);
         match outcome {
             Ok(resp) => Ok(resp),
             Err(e) => {
-                conns.remove(server);
+                *conn = None;
                 Err(e.into())
             }
         }
@@ -90,9 +113,14 @@ impl ConnPool {
         }
     }
 
-    /// Drop the cached connection to `server` (if any).
+    /// Drop the cached connection to `server` (if any). Waits for an
+    /// in-flight RPC on that connection to finish rather than yanking the
+    /// stream out from under it.
     pub fn disconnect(&self, server: &str) {
-        self.conns.lock().remove(server);
+        let slot = { self.conns.lock().get(server).cloned() };
+        if let Some(slot) = slot {
+            *slot.lock() = None;
+        }
     }
 
     /// Probe a server with `Ping`, returning round-trip success.

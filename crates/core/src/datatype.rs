@@ -124,9 +124,7 @@ impl Datatype {
             Datatype::Subarray {
                 array, elem_bytes, ..
             } => array.volume() * elem_bytes,
-            Datatype::Indexed { blocks } => {
-                blocks.last().map(|(d, l)| d + l).unwrap_or(0)
-            }
+            Datatype::Indexed { blocks } => blocks.last().map(|(d, l)| d + l).unwrap_or(0),
         }
     }
 

@@ -15,7 +15,23 @@ pub enum DpfsError {
     /// A server answered with a protocol-level error.
     Server { code: ErrorCode, message: String },
     /// Could not connect to a server.
-    Connect { server: String, source: std::io::Error },
+    Connect {
+        server: String,
+        source: std::io::Error,
+    },
+    /// A server acknowledged a write with fewer (or more) bytes than the
+    /// request carried.
+    ShortWrite {
+        server: String,
+        expected: u64,
+        written: u64,
+    },
+    /// Several per-server failures from one logical operation that must
+    /// reach every server (e.g. `sync`).
+    Aggregate {
+        op: &'static str,
+        failures: Vec<(String, DpfsError)>,
+    },
     /// The named file does not exist.
     NoSuchFile(String),
     /// The named file already exists.
@@ -25,7 +41,10 @@ pub enum DpfsError {
     /// Invalid argument (shape mismatch, out-of-bounds region, bad hint...).
     InvalidArgument(String),
     /// The operation is not valid for the file's level.
-    WrongLevel { expected: &'static str, actual: String },
+    WrongLevel {
+        expected: &'static str,
+        actual: String,
+    },
     /// Local I/O error (import/export of sequential files).
     Io(std::io::Error),
 }
@@ -40,6 +59,24 @@ impl fmt::Display for DpfsError {
             }
             DpfsError::Connect { server, source } => {
                 write!(f, "cannot connect to server {server}: {source}")
+            }
+            DpfsError::ShortWrite {
+                server,
+                expected,
+                written,
+            } => {
+                write!(
+                    f,
+                    "short write on server {server}: sent {expected} bytes, \
+                     server acknowledged {written}"
+                )
+            }
+            DpfsError::Aggregate { op, failures } => {
+                write!(f, "{op} failed on {} server(s):", failures.len())?;
+                for (server, err) in failures {
+                    write!(f, " [{server}: {err}]")?;
+                }
+                Ok(())
             }
             DpfsError::NoSuchFile(p) => write!(f, "no such file: {p}"),
             DpfsError::FileExists(p) => write!(f, "file exists: {p}"),

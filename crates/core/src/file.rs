@@ -3,9 +3,11 @@
 //! A [`FileHandle`] owns everything needed to turn a user access into server
 //! requests: the file's layout, its brick map, the server name list, and the
 //! client's options (request combination on/off, stagger rank, read
-//! granularity). Requests are issued sequentially per client — the
-//! parallelism DPFS measures comes from many clients hitting many servers,
-//! as in the paper's evaluation.
+//! granularity). Per-server requests fan out on scoped threads — launched in
+//! the planner's staggered order, joined and scattered afterwards — so one
+//! client overlaps the service time of every server it stripes over.
+//! [`ClientOptions::serial_dispatch`] restores the old one-request-at-a-time
+//! loop for ablation.
 
 use std::sync::Arc;
 
@@ -21,7 +23,7 @@ use crate::geometry::Region;
 use crate::hints::{FileLevel, Placement};
 use crate::layout::{bricks_for, BrickRun, Layout};
 use crate::placement::BrickMap;
-use crate::plan::{plan_reads, plan_writes, Granularity};
+use crate::plan::{plan_reads, plan_writes, Granularity, ReadRequest, WriteRequest};
 
 /// Per-client I/O options.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,6 +34,9 @@ pub struct ClientOptions {
     pub granularity: Granularity,
     /// This client's rank; sets the staggered schedule's starting server.
     pub rank: usize,
+    /// Issue per-server requests one at a time instead of fanning them out
+    /// on threads (the pre-parallel-dispatch client; kept for ablation).
+    pub serial_dispatch: bool,
 }
 
 impl Default for ClientOptions {
@@ -40,6 +45,7 @@ impl Default for ClientOptions {
             combine: true,
             granularity: Granularity::Brick,
             rank: 0,
+            serial_dispatch: false,
         }
     }
 }
@@ -199,7 +205,9 @@ impl FileHandle {
         if needed > self.map.num_bricks() {
             self.grow_to(needed)?;
         }
-        let Layout::Linear(lin) = &self.layout else { unreachable!() };
+        let Layout::Linear(lin) = &self.layout else {
+            unreachable!()
+        };
         let runs = lin.map_bytes(offset, data.len() as u64, 0);
         self.execute_writes(&runs, data)?;
         if end > self.size {
@@ -338,7 +346,9 @@ impl FileHandle {
         if needed > self.map.num_bricks() {
             self.grow_to(needed)?;
         }
-        let Layout::Linear(lin) = &self.layout else { unreachable!() };
+        let Layout::Linear(lin) = &self.layout else {
+            unreachable!()
+        };
         let mut runs = Vec::new();
         for (off, len) in dtype.flatten() {
             runs.extend(lin.map_bytes(base + off, len, buf_off));
@@ -477,29 +487,42 @@ impl FileHandle {
                 cache.invalidate(r.brick);
             }
         }
-        let reqs = plan_writes(runs, &self.map, &self.layout, self.opts.combine, self.opts.rank);
-        for req in reqs {
-            let ranges: Vec<(u64, Bytes)> = req
-                .ranges
-                .iter()
-                .map(|&(sub_off, buf_off, len)| {
-                    (
-                        sub_off,
-                        Bytes::copy_from_slice(&data[buf_off as usize..(buf_off + len) as usize]),
-                    )
-                })
-                .collect();
-            let wire: u64 = req.wire_bytes();
-            let resp = self.pool.rpc_ok(
-                &self.servers[req.server],
-                &Request::Write {
-                    subfile: self.path.clone(),
-                    ranges,
-                },
-            )?;
-            expect_written(resp)?;
+        let reqs = plan_writes(
+            runs,
+            &self.map,
+            &self.layout,
+            self.opts.combine,
+            self.opts.rank,
+        );
+        // Slice each request's payload out of `data` before dispatch so the
+        // worker threads only touch shared handle state.
+        let work: Vec<(usize, Vec<(u64, Bytes)>)> = reqs
+            .iter()
+            .enumerate()
+            .map(|(i, req)| {
+                let ranges = req
+                    .ranges
+                    .iter()
+                    .map(|&(sub_off, buf_off, len)| {
+                        (
+                            sub_off,
+                            Bytes::copy_from_slice(
+                                &data[buf_off as usize..(buf_off + len) as usize],
+                            ),
+                        )
+                    })
+                    .collect();
+                (i, ranges)
+            })
+            .collect();
+        let (pool, servers, path, reqs_ref) = (&self.pool, &self.servers, &self.path, &reqs);
+        let results = fan_out(work, self.opts.serial_dispatch, |(i, ranges)| {
+            let req = &reqs_ref[i];
+            dispatch_write(pool, &servers[req.server], path, req, ranges)
+        });
+        for res in results {
             self.stats.requests += 1;
-            self.stats.wire_written += wire;
+            self.stats.wire_written += res?;
         }
         Ok(())
     }
@@ -512,8 +535,7 @@ impl FileHandle {
                 match cache.get(r.brick) {
                     Some(data) => {
                         let src = &data[r.brick_off as usize..(r.brick_off + r.len) as usize];
-                        buf[r.buf_off as usize..(r.buf_off + r.len) as usize]
-                            .copy_from_slice(src);
+                        buf[r.buf_off as usize..(r.buf_off + r.len) as usize].copy_from_slice(src);
                         self.stats.useful_read += r.len;
                     }
                     None => remaining.push(*r),
@@ -534,22 +556,17 @@ impl FileHandle {
             self.opts.granularity,
             self.opts.rank,
         );
-        for req in reqs {
-            let resp = self.pool.rpc_ok(
-                &self.servers[req.server],
-                &Request::Read {
-                    subfile: self.path.clone(),
-                    ranges: req.ranges.clone(),
-                },
-            )?;
-            let chunks = expect_data(resp)?;
-            if chunks.len() != req.ranges.len() {
-                return Err(DpfsError::InvalidArgument(format!(
-                    "server returned {} chunks for {} ranges",
-                    chunks.len(),
-                    req.ranges.len()
-                )));
-            }
+        // Fan out, then scatter each server's chunks into `buf` after the
+        // join (collect-then-scatter keeps the hot buffer single-writer).
+        let (pool, servers, path) = (&self.pool, &self.servers, &self.path);
+        let work: Vec<usize> = (0..reqs.len()).collect();
+        let reqs_ref = &reqs;
+        let results = fan_out(work, self.opts.serial_dispatch, |i| {
+            let req = &reqs_ref[i];
+            dispatch_read(pool, &servers[req.server], path, req)
+        });
+        for (req, res) in reqs.iter().zip(results) {
+            let chunks = res?;
             self.stats.requests += 1;
             self.stats.wire_read += req.wire_bytes();
             for piece in &req.scatter {
@@ -593,17 +610,50 @@ impl FileHandle {
         Ok(())
     }
 
-    /// Ask every server holding this file to flush its subfile.
+    /// Ask every server holding this file to flush its subfile. Every
+    /// server is attempted even when some fail — one dead server must not
+    /// leave the others' subfiles unflushed — and the failures come back
+    /// aggregated in a single [`DpfsError::Aggregate`].
     pub fn sync(&mut self) -> Result<()> {
-        for server in &self.servers {
-            self.pool.rpc_ok(
+        let (pool, path) = (&self.pool, &self.path);
+        let rpc = |server: &String| -> Result<()> {
+            pool.rpc_ok(
                 server,
                 &Request::Sync {
-                    subfile: self.path.clone(),
+                    subfile: path.clone(),
                 },
-            )?;
+            )
+            .map(|_| ())
+        };
+        let results: Vec<Result<()>> = if self.opts.serial_dispatch || self.servers.len() <= 1 {
+            self.servers.iter().map(rpc).collect()
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .servers
+                    .iter()
+                    .map(|server| scope.spawn(move || rpc(server)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("sync dispatch thread panicked"))
+                    .collect()
+            })
+        };
+        let failures: Vec<(String, DpfsError)> = self
+            .servers
+            .iter()
+            .zip(results)
+            .filter_map(|(server, res)| res.err().map(|e| (server.clone(), e)))
+            .collect();
+        if failures.is_empty() {
+            Ok(())
+        } else {
+            Err(DpfsError::Aggregate {
+                op: "sync",
+                failures,
+            })
         }
-        Ok(())
     }
 
     /// Close the handle, persisting the final size. (Dropping the handle
@@ -612,4 +662,94 @@ impl FileHandle {
         self.catalog.set_file_size(&self.path, self.size as i64)?;
         Ok(())
     }
+}
+
+/// Dispatch one closure per planned request. Parallel mode gives every
+/// request a scoped thread, spawned in the planner's staggered order and
+/// joined in the same order, so results (and the first error) stay in plan
+/// order. Serial mode replays the original one-at-a-time client loop,
+/// stopping at the first failure (the `Err` is then the final element).
+fn fan_out<T, R, F>(items: Vec<T>, serial: bool, op: F) -> Vec<Result<R>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> Result<R> + Sync,
+{
+    if serial || items.len() <= 1 {
+        let mut out = Vec::with_capacity(items.len());
+        for item in items {
+            let res = op(item);
+            let failed = res.is_err();
+            out.push(res);
+            if failed {
+                break;
+            }
+        }
+        return out;
+    }
+    let op = &op;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .into_iter()
+            .map(|item| scope.spawn(move || op(item)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("dispatch thread panicked"))
+            .collect()
+    })
+}
+
+/// Send one write request; returns the wire byte count on full success.
+/// A `Written` acknowledgement that does not match the request's payload
+/// size is surfaced as [`DpfsError::ShortWrite`] instead of being dropped.
+fn dispatch_write(
+    pool: &ConnPool,
+    server: &str,
+    path: &str,
+    req: &WriteRequest,
+    ranges: Vec<(u64, Bytes)>,
+) -> Result<u64> {
+    let resp = pool.rpc_ok(
+        server,
+        &Request::Write {
+            subfile: path.to_string(),
+            ranges,
+        },
+    )?;
+    let written = expect_written(resp)?;
+    let expected = req.wire_bytes();
+    if written != expected {
+        return Err(DpfsError::ShortWrite {
+            server: server.to_string(),
+            expected,
+            written,
+        });
+    }
+    Ok(expected)
+}
+
+/// Send one read request; returns the data chunks, one per range.
+fn dispatch_read(
+    pool: &ConnPool,
+    server: &str,
+    path: &str,
+    req: &ReadRequest,
+) -> Result<Vec<Bytes>> {
+    let resp = pool.rpc_ok(
+        server,
+        &Request::Read {
+            subfile: path.to_string(),
+            ranges: req.ranges.clone(),
+        },
+    )?;
+    let chunks = expect_data(resp)?;
+    if chunks.len() != req.ranges.len() {
+        return Err(DpfsError::InvalidArgument(format!(
+            "server returned {} chunks for {} ranges",
+            chunks.len(),
+            req.ranges.len()
+        )));
+    }
+    Ok(chunks)
 }

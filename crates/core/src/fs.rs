@@ -89,10 +89,12 @@ impl Dpfs {
                 bricklist: bricks.iter().map(|&b| b as i64).collect(),
             })
             .collect();
-        self.catalog.create_file(&attr, &dist).map_err(|e| match e {
-            dpfs_meta::MetaError::DuplicateKey(_) => DpfsError::FileExists(path.clone()),
-            other => other.into(),
-        })?;
+        self.catalog
+            .create_file(&attr, &dist)
+            .map_err(|e| match e {
+                dpfs_meta::MetaError::DuplicateKey(_) => DpfsError::FileExists(path.clone()),
+                other => other.into(),
+            })?;
 
         Ok(FileHandle::new(
             path,
@@ -227,7 +229,10 @@ impl Dpfs {
 
     /// True if the path names an existing file.
     pub fn exists(&self, path: &str) -> Result<bool> {
-        Ok(self.catalog.get_file_attr(&normalize_path(path)?)?.is_some())
+        Ok(self
+            .catalog
+            .get_file_attr(&normalize_path(path)?)?
+            .is_some())
     }
 
     /// True if the path names an existing directory.
@@ -295,7 +300,13 @@ fn attr_for(path: &str, hint: &Hint, layout: &Layout) -> FileAttrRow {
         Striping::Linear {
             brick_bytes,
             file_bytes: _,
-        } => (0i64, Vec::new(), Vec::new(), *brick_bytes as i64, String::new()),
+        } => (
+            0i64,
+            Vec::new(),
+            Vec::new(),
+            *brick_bytes as i64,
+            String::new(),
+        ),
         Striping::Multidim {
             array,
             brick,

@@ -118,7 +118,10 @@ pub fn fsck_with(fs: &Dpfs, online: bool, strict: bool) -> Result<FsckReport> {
                 server: server.clone(),
             });
         }
-        dist_by_file.entry(filename).or_default().push((server, bricklist));
+        dist_by_file
+            .entry(filename)
+            .or_default()
+            .push((server, bricklist));
     }
 
     // Per-file checks.
@@ -177,10 +180,7 @@ pub fn fsck_with(fs: &Dpfs, online: bool, strict: bool) -> Result<FsckReport> {
                 && attr.size > 0;
             for (server, list) in dist.iter() {
                 report.subfiles_checked += 1;
-                let max_expected: u64 = list
-                    .iter()
-                    .map(|&b| layout.brick_len(b as u64))
-                    .sum();
+                let max_expected: u64 = list.iter().map(|&b| layout.brick_len(b as u64)).sum();
                 match fs.pool().rpc(
                     server,
                     &Request::Stat {
@@ -256,7 +256,9 @@ pub fn fsck_with(fs: &Dpfs, online: bool, strict: bool) -> Result<FsckReport> {
     }
     for dir in &all_dirs {
         if !reachable.contains(dir) {
-            report.issues.push(Issue::OrphanDirectory { dir: dir.clone() });
+            report
+                .issues
+                .push(Issue::OrphanDirectory { dir: dir.clone() });
         }
     }
     for f in &file_names {
@@ -299,9 +301,9 @@ pub fn fsck_repair(fs: &Dpfs) -> Result<(FsckReport, RepairSummary)> {
                     sql_quote(filename),
                     sql_quote(server)
                 ))?;
-                summary
-                    .fixed
-                    .push(format!("dropped orphan distribution row {server}:{filename}"));
+                summary.fixed.push(format!(
+                    "dropped orphan distribution row {server}:{filename}"
+                ));
             }
             Issue::DanglingDirEntry { dir, name } => {
                 if let Some(entry) = catalog.get_dir(dir)? {
@@ -366,7 +368,9 @@ pub fn fsck_repair(fs: &Dpfs) -> Result<(FsckReport, RepairSummary)> {
                     "INSERT INTO dpfs_directory VALUES ('{}', '', '')",
                     sql_quote(dir)
                 ))?;
-                summary.fixed.push(format!("created missing directory row {dir}"));
+                summary
+                    .fixed
+                    .push(format!("created missing directory row {dir}"));
             }
             other => summary.unfixable.push(other.clone()),
         }

@@ -50,11 +50,7 @@ impl Shape {
     /// Linear (row-major) index of a coordinate.
     pub fn linearize(&self, coord: &[u64]) -> u64 {
         debug_assert_eq!(coord.len(), self.0.len());
-        self.strides()
-            .iter()
-            .zip(coord)
-            .map(|(s, c)| s * c)
-            .sum()
+        self.strides().iter().zip(coord).map(|(s, c)| s * c).sum()
     }
 
     /// Coordinate of a linear index.
@@ -149,11 +145,7 @@ impl Region {
     /// True if `self` lies entirely inside an array of `shape`.
     pub fn fits_in(&self, shape: &Shape) -> bool {
         self.ndims() == shape.ndims()
-            && self
-                .end()
-                .iter()
-                .zip(&shape.0)
-                .all(|(end, dim)| end <= dim)
+            && self.end().iter().zip(&shape.0).all(|(end, dim)| end <= dim)
     }
 
     /// Intersection with another region, or `None` if disjoint.
@@ -234,8 +226,8 @@ impl Iterator for ContiguousRuns<'_> {
         // Current coordinate = region origin + counter in the outer dims,
         // origin in the rest.
         let mut coord = self.region.origin.clone();
-        for i in 0..self.outer_dims {
-            coord[i] += self.counter[i];
+        for (c, step) in coord.iter_mut().zip(&self.counter).take(self.outer_dims) {
+            *c += *step;
         }
         let start = self.shape.linearize(&coord);
         let item = (start, self.run_len);

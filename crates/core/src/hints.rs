@@ -342,8 +342,7 @@ mod tests {
         assert_eq!(back, p);
 
         let p = HpfPattern::star_block(8, 3);
-        let back =
-            HpfPattern::from_catalog(&p.to_pattern_string(), &[1, 1, 8]).unwrap();
+        let back = HpfPattern::from_catalog(&p.to_pattern_string(), &[1, 1, 8]).unwrap();
         assert_eq!(back, p);
     }
 
@@ -359,13 +358,19 @@ mod tests {
         for p in [
             HpfPattern::cyclic_star(4, 2),
             HpfPattern::block_cyclic_star(3, 16, 2),
-            HpfPattern(vec![Dist::Cyclic(2), Dist::BlockCyclic { procs: 2, block: 8 }]),
+            HpfPattern(vec![
+                Dist::Cyclic(2),
+                Dist::BlockCyclic { procs: 2, block: 8 },
+            ]),
         ] {
             let s = p.to_pattern_string();
             let grid: Vec<i64> = p.grid().0.iter().map(|&x| x as i64).collect();
             assert_eq!(HpfPattern::from_catalog(&s, &grid).unwrap(), p, "{s}");
         }
-        assert_eq!(HpfPattern::cyclic_star(4, 2).to_pattern_string(), "CYCLIC,*");
+        assert_eq!(
+            HpfPattern::cyclic_star(4, 2).to_pattern_string(),
+            "CYCLIC,*"
+        );
         assert_eq!(
             HpfPattern::block_cyclic_star(3, 16, 2).to_pattern_string(),
             "CYCLIC(16),*"

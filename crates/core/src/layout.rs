@@ -46,7 +46,10 @@ impl Layout {
             Striping::Linear {
                 brick_bytes,
                 file_bytes,
-            } => Ok(Layout::Linear(LinearLayout::new(*brick_bytes, *file_bytes)?)),
+            } => Ok(Layout::Linear(LinearLayout::new(
+                *brick_bytes,
+                *file_bytes,
+            )?)),
             Striping::Multidim {
                 array,
                 brick,
@@ -412,10 +415,9 @@ impl ArrayLayout {
         let grid = pattern.grid();
         // per-dim owned counts; every processor must own >= 1 index
         let mut owned = Vec::with_capacity(array.ndims());
-        for i in 0..array.ndims() {
+        for (i, &b) in block.iter().enumerate() {
             let d = array.0[i];
             let p = grid.0[i];
-            let b = block[i];
             let cycle = p * b;
             let full = d / cycle;
             let rem = d % cycle;
@@ -473,8 +475,7 @@ impl ArrayLayout {
     /// True when every distributed dimension completes in a single cycle —
     /// i.e. the pattern is pure BLOCK/`*` and chunks are rectangles.
     pub fn chunks_are_rectangular(&self) -> bool {
-        (0..self.array.ndims())
-            .all(|i| self.grid.0[i] * self.block[i] >= self.array.0[i])
+        (0..self.array.ndims()).all(|i| self.grid.0[i] * self.block[i] >= self.array.0[i])
     }
 
     /// The rectangular array region of chunk `b`, when the pattern is pure
@@ -484,11 +485,7 @@ impl ArrayLayout {
             return None;
         }
         let g = self.grid.delinearize(b);
-        let origin: Vec<u64> = g
-            .iter()
-            .zip(&self.block)
-            .map(|(c, bs)| c * bs)
-            .collect();
+        let origin: Vec<u64> = g.iter().zip(&self.block).map(|(c, bs)| c * bs).collect();
         let extent: Vec<u64> = g
             .iter()
             .enumerate()
@@ -561,8 +558,7 @@ impl ArrayLayout {
                 let brick = self.grid.linearize(&g);
                 let local_shape = self.chunk_local_shape(brick);
                 let brick_off = local_shape.linearize(&local) * self.elem_bytes;
-                let buf_off =
-                    (row_buf + (x - region.origin[n - 1])) * self.elem_bytes;
+                let buf_off = (row_buf + (x - region.origin[n - 1])) * self.elem_bytes;
                 runs.push(BrickRun {
                     brick,
                     brick_off,
@@ -639,15 +635,30 @@ mod tests {
         assert_eq!(runs.len(), 4);
         assert_eq!(
             runs[0],
-            BrickRun { brick: 2, brick_off: 50, buf_off: 7, len: 50 }
+            BrickRun {
+                brick: 2,
+                brick_off: 50,
+                buf_off: 7,
+                len: 50
+            }
         );
         assert_eq!(
             runs[1],
-            BrickRun { brick: 3, brick_off: 0, buf_off: 57, len: 100 }
+            BrickRun {
+                brick: 3,
+                brick_off: 0,
+                buf_off: 57,
+                len: 100
+            }
         );
         assert_eq!(
             runs[3],
-            BrickRun { brick: 5, brick_off: 0, buf_off: 257, len: 50 }
+            BrickRun {
+                brick: 5,
+                brick_off: 0,
+                buf_off: 257,
+                len: 50
+            }
         );
         let total: u64 = runs.iter().map(|r| r.len).sum();
         assert_eq!(total, 300);
@@ -718,12 +729,7 @@ mod tests {
         // §3.2: a 64K x 64K array, 64K brick: linear needs all 65536 bricks
         // for one column; multidim with 256x256 bricks needs 256.
         let elem = 1u64;
-        let md = MultidimLayout::new(
-            shape(&[65536, 65536]),
-            shape(&[256, 256]),
-            elem,
-        )
-        .unwrap();
+        let md = MultidimLayout::new(shape(&[65536, 65536]), shape(&[256, 256]), elem).unwrap();
         let one_col = region(&[0, 0], &[65536, 1]);
         assert_eq!(md.bricks_of_region(&one_col).len(), 256);
 
@@ -798,12 +804,7 @@ mod tests {
     #[test]
     fn array_block_block_chunks() {
         // Figure 7: 2-d array, 4 processors, (BLOCK, BLOCK) on a 2x2 grid
-        let l = ArrayLayout::new(
-            shape(&[8, 8]),
-            HpfPattern::block_block(2, 2),
-            1,
-        )
-        .unwrap();
+        let l = ArrayLayout::new(shape(&[8, 8]), HpfPattern::block_block(2, 2), 1).unwrap();
         assert_eq!(l.num_bricks(), 4);
         assert_eq!(l.chunk_region(0), Some(region(&[0, 0], &[4, 4])));
         assert_eq!(l.chunk_region(1), Some(region(&[0, 4], &[4, 4])));
@@ -824,12 +825,7 @@ mod tests {
     fn array_whole_chunk_access_is_one_brick_contiguous() {
         // The checkpoint scenario: a processor reads back exactly its chunk;
         // that's a single brick, and the runs are one contiguous stretch.
-        let l = ArrayLayout::new(
-            shape(&[8, 8]),
-            HpfPattern::block_block(2, 2),
-            4,
-        )
-        .unwrap();
+        let l = ArrayLayout::new(shape(&[8, 8]), HpfPattern::block_block(2, 2), 4).unwrap();
         let runs = l.map_region(&l.chunk_region(2).unwrap()).unwrap();
         assert!(runs.iter().all(|r| r.brick == 2));
         let total: u64 = runs.iter().map(|r| r.len).sum();
@@ -846,12 +842,7 @@ mod tests {
 
     #[test]
     fn array_cross_chunk_region() {
-        let l = ArrayLayout::new(
-            shape(&[8, 8]),
-            HpfPattern::block_block(2, 2),
-            1,
-        )
-        .unwrap();
+        let l = ArrayLayout::new(shape(&[8, 8]), HpfPattern::block_block(2, 2), 1).unwrap();
         // center 4x4 straddles all four chunks
         let runs = l.map_region(&region(&[2, 2], &[4, 4])).unwrap();
         let bricks: std::collections::BTreeSet<u64> = runs.iter().map(|r| r.brick).collect();
@@ -950,7 +941,10 @@ mod tests {
         // every element of a (CYCLIC, CYCLIC(2)) array maps exactly once
         let l = ArrayLayout::new(
             shape(&[5, 9]),
-            HpfPattern(vec![Dist::Cyclic(2), Dist::BlockCyclic { procs: 2, block: 2 }]),
+            HpfPattern(vec![
+                Dist::Cyclic(2),
+                Dist::BlockCyclic { procs: 2, block: 2 },
+            ]),
             1,
         )
         .unwrap();
@@ -977,12 +971,7 @@ mod tests {
 
     #[test]
     fn chunk_of_matches_chunk_region() {
-        let l = ArrayLayout::new(
-            shape(&[10, 10]),
-            HpfPattern::block_block(3, 2),
-            1,
-        )
-        .unwrap();
+        let l = ArrayLayout::new(shape(&[10, 10]), HpfPattern::block_block(3, 2), 1).unwrap();
         for b in 0..l.num_bricks() {
             let r = l.chunk_region(b).unwrap();
             assert_eq!(l.chunk_of(&r.origin), b);

@@ -19,7 +19,9 @@ use crate::layout::Layout;
 /// Round-robin assignment of `num_bricks` bricks over `num_servers`.
 pub fn round_robin(num_bricks: u64, num_servers: usize) -> Vec<usize> {
     assert!(num_servers > 0, "no servers");
-    (0..num_bricks).map(|b| (b % num_servers as u64) as usize).collect()
+    (0..num_bricks)
+        .map(|b| (b % num_servers as u64) as usize)
+        .collect()
 }
 
 /// The paper's greedy algorithm (Figure 8). `perf[k]` is server `k`'s
@@ -28,7 +30,10 @@ pub fn round_robin(num_bricks: u64, num_servers: usize) -> Vec<usize> {
 /// the lower index) reproduces the brick lists of Figure 9 exactly.
 pub fn greedy(num_bricks: u64, perf: &[i64]) -> Vec<usize> {
     assert!(!perf.is_empty(), "no servers");
-    assert!(perf.iter().all(|&p| p >= 1), "performance numbers must be >= 1");
+    assert!(
+        perf.iter().all(|&p| p >= 1),
+        "performance numbers must be >= 1"
+    );
     let mut accumulated: Vec<i64> = vec![0; perf.len()];
     let mut assignment = Vec::with_capacity(num_bricks as usize);
     for _ in 0..num_bricks {
@@ -200,7 +205,10 @@ impl BrickMap {
 
     /// Group a set of `(brick, ...)` items by owning server: returns
     /// `server -> bricks` preserving input order.
-    pub fn group_by_server(&self, bricks: impl IntoIterator<Item = u64>) -> HashMap<usize, Vec<u64>> {
+    pub fn group_by_server(
+        &self,
+        bricks: impl IntoIterator<Item = u64>,
+    ) -> HashMap<usize, Vec<u64>> {
         let mut groups: HashMap<usize, Vec<u64>> = HashMap::new();
         for b in bricks {
             groups.entry(self.server_of(b)).or_default().push(b);
@@ -221,10 +229,7 @@ mod tests {
         // Figure 3: 32 bricks over 4 devices; device 0 gets 0,4,8,...
         let a = round_robin(32, 4);
         let m = BrickMap::from_assignment(a, 4);
-        assert_eq!(
-            m.bricklists()[0],
-            vec![0, 4, 8, 12, 16, 20, 24, 28]
-        );
+        assert_eq!(m.bricklists()[0], vec![0, 4, 8, 12, 16, 20, 24, 28]);
         assert_eq!(m.bricklists()[3], vec![3, 7, 11, 15, 19, 23, 27, 31]);
         assert_eq!(m.loads(), vec![8, 8, 8, 8]);
     }

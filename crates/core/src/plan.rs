@@ -104,11 +104,19 @@ fn runs_by_brick(runs: &[BrickRun]) -> BTreeMap<u64, Vec<BrickRun>> {
 
 /// Rotate server indices so the sequence begins at `start`: the paper's
 /// staggered schedule.
-fn rotated_servers(servers: impl Iterator<Item = usize>, num_servers: usize, start: usize) -> Vec<usize> {
+fn rotated_servers(
+    servers: impl Iterator<Item = usize>,
+    num_servers: usize,
+    start: usize,
+) -> Vec<usize> {
     let mut present: Vec<usize> = servers.collect();
     present.sort_unstable();
     present.dedup();
-    let start = if num_servers == 0 { 0 } else { start % num_servers };
+    let start = if num_servers == 0 {
+        0
+    } else {
+        start % num_servers
+    };
     let pivot = present.partition_point(|&s| s < start);
     let mut out = Vec::with_capacity(present.len());
     out.extend_from_slice(&present[pivot..]);
@@ -145,7 +153,10 @@ pub fn plan_reads(
     // combined: group bricks by server, one request per server, staggered
     let mut by_server: BTreeMap<usize, Vec<u64>> = BTreeMap::new();
     for &brick in by_brick.keys() {
-        by_server.entry(map.server_of(brick)).or_default().push(brick);
+        by_server
+            .entry(map.server_of(brick))
+            .or_default()
+            .push(brick);
     }
     // within a server, order bricks by subfile position for sequential I/O
     for bricks in by_server.values_mut() {
@@ -270,7 +281,10 @@ pub fn plan_writes(
     }
     let mut by_server: BTreeMap<usize, Vec<u64>> = BTreeMap::new();
     for &brick in by_brick.keys() {
-        by_server.entry(map.server_of(brick)).or_default().push(brick);
+        by_server
+            .entry(map.server_of(brick))
+            .or_default()
+            .push(brick);
     }
     for bricks in by_server.values_mut() {
         bricks.sort_by_key(|&b| map.slot_of(b));
@@ -350,7 +364,10 @@ mod tests {
             let lo = rank as u64 * 8;
             let runs = whole_brick_runs(&layout, lo, lo + 8);
             let reqs = plan_reads(&runs, &map, &layout, true, Granularity::Brick, rank);
-            assert_eq!(reqs[0].server, rank, "processor {rank} starts at subfile-{rank}");
+            assert_eq!(
+                reqs[0].server, rank,
+                "processor {rank} starts at subfile-{rank}"
+            );
             // the first request's bricks match the paper's listing
             let expected_first_bricks: Vec<u64> = match rank {
                 0 => vec![0, 4],
@@ -411,9 +428,24 @@ mod tests {
     fn exact_granularity_coalesces_adjacent() {
         let (layout, map) = fig3();
         let runs = vec![
-            BrickRun { brick: 0, brick_off: 0, buf_off: 0, len: 8 },
-            BrickRun { brick: 0, brick_off: 8, buf_off: 8, len: 8 },
-            BrickRun { brick: 0, brick_off: 32, buf_off: 16, len: 4 },
+            BrickRun {
+                brick: 0,
+                brick_off: 0,
+                buf_off: 0,
+                len: 8,
+            },
+            BrickRun {
+                brick: 0,
+                brick_off: 8,
+                buf_off: 8,
+                len: 8,
+            },
+            BrickRun {
+                brick: 0,
+                brick_off: 32,
+                buf_off: 16,
+                len: 4,
+            },
         ];
         let reqs = plan_reads(&runs, &map, &layout, false, Granularity::Exact, 0);
         assert_eq!(reqs[0].ranges, vec![(0, 16), (32, 4)]);
@@ -440,8 +472,18 @@ mod tests {
         let (layout, map) = fig3();
         // two runs adjacent in both subfile and buffer within brick 0
         let runs = vec![
-            BrickRun { brick: 0, brick_off: 0, buf_off: 0, len: 4 },
-            BrickRun { brick: 0, brick_off: 4, buf_off: 4, len: 4 },
+            BrickRun {
+                brick: 0,
+                brick_off: 0,
+                buf_off: 0,
+                len: 4,
+            },
+            BrickRun {
+                brick: 0,
+                brick_off: 4,
+                buf_off: 4,
+                len: 4,
+            },
         ];
         let reqs = plan_writes(&runs, &map, &layout, false, 0);
         assert_eq!(reqs[0].ranges, vec![(0, 0, 8)]);
@@ -452,8 +494,18 @@ mod tests {
         // only servers 1 and 3 touched; start at 2 -> order 3, 1
         let (layout, map) = fig3();
         let runs = vec![
-            BrickRun { brick: 1, brick_off: 0, buf_off: 0, len: 64 },
-            BrickRun { brick: 3, brick_off: 0, buf_off: 64, len: 64 },
+            BrickRun {
+                brick: 1,
+                brick_off: 0,
+                buf_off: 0,
+                len: 64,
+            },
+            BrickRun {
+                brick: 3,
+                brick_off: 0,
+                buf_off: 64,
+                len: 64,
+            },
         ];
         let reqs = plan_reads(&runs, &map, &layout, true, Granularity::Brick, 2);
         let servers: Vec<usize> = reqs.iter().map(|r| r.server).collect();

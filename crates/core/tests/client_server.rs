@@ -76,7 +76,10 @@ fn open_missing_file() {
     let r = rig(1, "missing");
     match r.fs.open("/nope") {
         Err(DpfsError::NoSuchFile(p)) => assert_eq!(p, "/nope"),
-        other => panic!("expected NoSuchFile, got {:?}", other.err().map(|e| e.to_string())),
+        other => panic!(
+            "expected NoSuchFile, got {:?}",
+            other.err().map(|e| e.to_string())
+        ),
     }
 }
 
@@ -139,9 +142,11 @@ fn exact_granularity_round_trip() {
     let r = rig(2, "exact");
     let db = r.fs.catalog().db().clone();
     let shape = Shape::new(vec![20, 20]).unwrap();
-    let mut f = r
-        .fs
-        .create("/e", &Hint::multidim(shape.clone(), Shape::new(vec![6, 6]).unwrap(), 2))
+    let mut f =
+        r.fs.create(
+            "/e",
+            &Hint::multidim(shape.clone(), Shape::new(vec![6, 6]).unwrap(), 2),
+        )
         .unwrap();
     let data: Vec<u8> = (0..800u32).map(|x| x as u8).collect();
     f.write_region(&shape.full_region(), &data).unwrap();
@@ -152,6 +157,7 @@ fn exact_granularity_round_trip() {
         combine: true,
         granularity: Granularity::Exact,
         rank: 0,
+        serial_dispatch: false,
     };
     let mut f = r.fs.open_with("/e", opts).unwrap();
     let region = Region::new(vec![3, 3], vec![5, 5]).unwrap();
@@ -163,21 +169,28 @@ fn exact_granularity_round_trip() {
         assert_eq!(b, data[((row * 20 + col) * 2 + byte) as usize]);
     }
     let stats = f.stats();
-    assert_eq!(stats.wire_read, stats.useful_read, "exact mode transfers no waste");
+    assert_eq!(
+        stats.wire_read, stats.useful_read,
+        "exact mode transfers no waste"
+    );
 }
 
 #[test]
 fn brick_granularity_wastes_but_is_correct() {
     let r = rig(2, "waste");
     let shape = Shape::new(vec![16, 16]).unwrap();
-    let mut f = r
-        .fs
-        .create("/w", &Hint::multidim(shape.clone(), Shape::new(vec![8, 8]).unwrap(), 1))
+    let mut f =
+        r.fs.create(
+            "/w",
+            &Hint::multidim(shape.clone(), Shape::new(vec![8, 8]).unwrap(), 1),
+        )
         .unwrap();
     let data: Vec<u8> = (0..256u32).map(|x| x as u8).collect();
     f.write_region(&shape.full_region(), &data).unwrap();
     let mut f = r.fs.open("/w").unwrap(); // default: Brick granularity
-    let one = f.read_region(&Region::new(vec![0, 0], vec![1, 1]).unwrap()).unwrap();
+    let one = f
+        .read_region(&Region::new(vec![0, 0], vec![1, 1]).unwrap())
+        .unwrap();
     assert_eq!(one, vec![0u8]);
     let stats = f.stats();
     assert_eq!(stats.useful_read, 1);
@@ -249,7 +262,8 @@ fn array_pattern_survives_reopen() {
     );
     let mut f = r.fs.create("/arr", &hint).unwrap();
     let chunk0 = f.chunk_region(0).unwrap();
-    f.write_chunk(0, &vec![5u8; (chunk0.volume() * 4) as usize]).unwrap();
+    f.write_chunk(0, &vec![5u8; (chunk0.volume() * 4) as usize])
+        .unwrap();
     drop(f);
     let mut f = r.fs.open("/arr").unwrap();
     assert_eq!(f.chunk_region(0).unwrap(), chunk0);
@@ -276,6 +290,7 @@ fn stagger_rank_changes_first_server() {
             combine: true,
             granularity: Granularity::Brick,
             rank,
+            serial_dispatch: false,
         };
         let mut f = r.fs.open_with("/s", opts).unwrap();
         assert_eq!(f.read_bytes(0, 64 * 16).unwrap(), vec![3u8; 64 * 16]);
@@ -287,9 +302,11 @@ fn stagger_rank_changes_first_server() {
 fn brick_cache_serves_repeat_reads_locally() {
     let r = rig(2, "cache");
     let shape = Shape::new(vec![32, 32]).unwrap();
-    let mut f = r
-        .fs
-        .create("/c", &Hint::multidim(shape.clone(), Shape::new(vec![8, 8]).unwrap(), 1))
+    let mut f =
+        r.fs.create(
+            "/c",
+            &Hint::multidim(shape.clone(), Shape::new(vec![8, 8]).unwrap(), 1),
+        )
         .unwrap();
     let data: Vec<u8> = (0..1024u32).map(|x| x as u8).collect();
     f.write_region(&shape.full_region(), &data).unwrap();
@@ -304,30 +321,46 @@ fn brick_cache_serves_repeat_reads_locally() {
     assert_eq!(first, second);
     assert_eq!(f.stats().wire_read, wire_after_first, "no new wire bytes");
     let (hits, misses) = f.cache_stats().unwrap();
-    assert!(hits >= 4, "expected hits on the 4 cached bricks, got {hits}");
+    assert!(
+        hits >= 4,
+        "expected hits on the 4 cached bricks, got {hits}"
+    );
     assert!(misses >= 4);
     // a write through the same handle invalidates; next read refetches
     f.write_region(&Region::new(vec![0, 0], vec![1, 1]).unwrap(), &[0xFF])
         .unwrap();
-    let third = f.read_region(&Region::new(vec![0, 0], vec![1, 1]).unwrap()).unwrap();
+    let third = f
+        .read_region(&Region::new(vec![0, 0], vec![1, 1]).unwrap())
+        .unwrap();
     assert_eq!(third, vec![0xFF]);
-    assert!(f.stats().wire_read > wire_after_first, "invalidated brick refetched");
+    assert!(
+        f.stats().wire_read > wire_after_first,
+        "invalidated brick refetched"
+    );
 }
 
 #[test]
 fn cache_correctness_matches_uncached_reads() {
     let r = rig(3, "cache-eq");
     let shape = Shape::new(vec![40, 40]).unwrap();
-    let mut f = r
-        .fs
-        .create("/ceq", &Hint::multidim(shape.clone(), Shape::new(vec![7, 9]).unwrap(), 1))
+    let mut f =
+        r.fs.create(
+            "/ceq",
+            &Hint::multidim(shape.clone(), Shape::new(vec![7, 9]).unwrap(), 1),
+        )
         .unwrap();
     let data: Vec<u8> = (0..1600u32).map(|x| (x % 251) as u8).collect();
     f.write_region(&shape.full_region(), &data).unwrap();
     let mut cached = r.fs.open("/ceq").unwrap();
     cached.enable_cache(512); // tiny: constant eviction pressure
     let mut plain = r.fs.open("/ceq").unwrap();
-    for (o, e) in [([0u64, 0u64], [10u64, 10u64]), ([5, 5], [20, 20]), ([0, 0], [10, 10]), ([30, 30], [10, 10]), ([5, 5], [20, 20])] {
+    for (o, e) in [
+        ([0u64, 0u64], [10u64, 10u64]),
+        ([5, 5], [20, 20]),
+        ([0, 0], [10, 10]),
+        ([30, 30], [10, 10]),
+        ([5, 5], [20, 20]),
+    ] {
         let region = Region::new(o.to_vec(), e.to_vec()).unwrap();
         assert_eq!(
             cached.read_region(&region).unwrap(),
@@ -405,7 +438,9 @@ fn block_cyclic_region_write_read() {
 fn prefetch_warms_cache_on_sequential_reads() {
     let r = rig(2, "prefetch");
     let brick = 256u64;
-    let mut f = r.fs.create("/seq", &Hint::linear(brick, 64 * brick)).unwrap();
+    let mut f =
+        r.fs.create("/seq", &Hint::linear(brick, 64 * brick))
+            .unwrap();
     let data: Vec<u8> = (0..64 * brick).map(|i| (i % 251) as u8).collect();
     f.write_bytes(0, &data).unwrap();
     f.close().unwrap();
@@ -420,7 +455,10 @@ fn prefetch_warms_cache_on_sequential_reads() {
     }
     assert!(total_correct);
     let (hits, _misses) = f.cache_stats().unwrap();
-    assert!(hits >= 40, "sequential scan should hit prefetched bricks, hits={hits}");
+    assert!(
+        hits >= 40,
+        "sequential scan should hit prefetched bricks, hits={hits}"
+    );
     // far fewer requests than 64 brick reads thanks to batched read-ahead
     assert!(
         f.stats().requests < 40,

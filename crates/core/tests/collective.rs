@@ -3,9 +3,7 @@
 
 use std::sync::Arc;
 
-use dpfs_core::{
-    ClientOptions, Collective, CollectiveGroup, Dpfs, Hint, Resolver,
-};
+use dpfs_core::{ClientOptions, Collective, CollectiveGroup, Dpfs, Hint, Resolver};
 use dpfs_meta::{Database, ServerInfo};
 use dpfs_server::{IoServer, PerfModel, ServerConfig};
 
@@ -128,10 +126,14 @@ fn collective_write_with_holes() {
     let all = f.read_bytes(0, 2100).unwrap();
     for rank in 0..n {
         let base = rank * 1000;
-        assert!(all[base..base + 100].iter().all(|&b| b == 0xA0 + rank as u8));
+        assert!(all[base..base + 100]
+            .iter()
+            .all(|&b| b == 0xA0 + rank as u8));
         if rank < n - 1 {
-            assert!(all[base + 100..base + 1000].iter().all(|&b| b == 0),
-                "hole after rank {rank} must stay zero");
+            assert!(
+                all[base + 100..base + 1000].iter().all(|&b| b == 0),
+                "hole after rank {rank} must stay zero"
+            );
         }
     }
 }
@@ -170,7 +172,8 @@ fn repeated_rounds_reuse_group() {
         let mut f = client.open("/m").unwrap();
         for round in 0..5u8 {
             let data = vec![round * 10 + rank as u8; 100];
-            coll.write_collective(&mut f, (rank * 100) as u64, &data).unwrap();
+            coll.write_collective(&mut f, (rank * 100) as u64, &data)
+                .unwrap();
             let back = coll
                 .read_collective(&mut f, (rank * 100) as u64, 100)
                 .unwrap();
@@ -188,7 +191,10 @@ fn collective_halves_fragmented_requests() {
     let stride = 64usize; // brick size
     let pieces = 32usize;
     r.client(0)
-        .create("/frag", &Hint::linear(stride as u64, (n * pieces * stride) as u64))
+        .create(
+            "/frag",
+            &Hint::linear(stride as u64, (n * pieces * stride) as u64),
+        )
         .unwrap();
     // fill
     {

@@ -31,7 +31,8 @@ fn rig(tag: &str) -> Rig {
     let mut resolver = Resolver::direct();
     let mut servers = Vec::new();
     {
-        let bootstrap = Dpfs::mount(db.clone(), Resolver::direct(), ClientOptions::default()).unwrap();
+        let bootstrap =
+            Dpfs::mount(db.clone(), Resolver::direct(), ClientOptions::default()).unwrap();
         for i in 0..3 {
             let name = format!("node{i:02}");
             let server = IoServer::start(ServerConfig::new(
@@ -61,11 +62,14 @@ fn populate(r: &Rig) {
     f.write_bytes(0, &vec![1u8; 1024]).unwrap();
     f.close().unwrap();
     let shape = Shape::new(vec![16, 16]).unwrap();
-    let mut f = r
-        .fs
-        .create("/home/b", &Hint::multidim(shape.clone(), Shape::new(vec![4, 4]).unwrap(), 1))
+    let mut f =
+        r.fs.create(
+            "/home/b",
+            &Hint::multidim(shape.clone(), Shape::new(vec![4, 4]).unwrap(), 1),
+        )
         .unwrap();
-    f.write_region(&shape.full_region(), &vec![2u8; 256]).unwrap();
+    f.write_region(&shape.full_region(), &vec![2u8; 256])
+        .unwrap();
     f.close().unwrap();
 }
 
@@ -125,8 +129,10 @@ fn detects_directory_anomalies() {
     populate(&r);
     let db = r.fs.catalog().db();
     // dangling file entry in /home
-    db.execute("UPDATE dpfs_directory SET files = concat(files, '\n/home/ghost') WHERE main_dir = '/home'")
-        .unwrap();
+    db.execute(
+        "UPDATE dpfs_directory SET files = concat(files, '\n/home/ghost') WHERE main_dir = '/home'",
+    )
+    .unwrap();
     // unreachable directory row
     db.execute("INSERT INTO dpfs_directory VALUES ('/island', '', '')")
         .unwrap();
@@ -168,7 +174,7 @@ fn online_detects_missing_subfile_and_dead_server() {
     // delete /home/a's subfile behind DPFS's back on node00
     for entry in std::fs::read_dir(r.root.join("node00")).unwrap() {
         let p = entry.unwrap().path();
-        if p.file_name().unwrap().to_string_lossy().contains("home%a") {
+        if p.file_name().unwrap().to_string_lossy().contains("home%sa") {
             std::fs::remove_file(p).unwrap();
         }
     }
@@ -207,8 +213,10 @@ fn repair_fixes_safe_issues() {
     db.execute("UPDATE dpfs_directory SET files = concat(files, '\n/home/phantom') WHERE main_dir = '/home'")
         .unwrap();
     // unlisted file: unlink /home/a from /home
-    db.execute("UPDATE dpfs_directory SET files = '/home/b\n/home/phantom' WHERE main_dir = '/home'")
-        .unwrap();
+    db.execute(
+        "UPDATE dpfs_directory SET files = '/home/b\n/home/phantom' WHERE main_dir = '/home'",
+    )
+    .unwrap();
     // orphan directory with an existing parent
     db.execute("INSERT INTO dpfs_directory VALUES ('/home/lost', '', '')")
         .unwrap();
@@ -219,7 +227,11 @@ fn repair_fixes_safe_issues() {
     let (after, summary) = fsck_repair(&r.fs).unwrap();
     assert!(after.clean(), "post-repair issues: {:?}", after.issues);
     assert!(summary.fixed.len() >= 4, "fixed: {:?}", summary.fixed);
-    assert!(summary.unfixable.is_empty(), "unfixable: {:?}", summary.unfixable);
+    assert!(
+        summary.unfixable.is_empty(),
+        "unfixable: {:?}",
+        summary.unfixable
+    );
 
     // the filesystem is actually usable again
     let (_, files) = r.fs.readdir("/home").unwrap();

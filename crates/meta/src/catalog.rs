@@ -168,9 +168,9 @@ impl Catalog {
 
     /// All registered servers ordered by name.
     pub fn list_servers(&self) -> Result<Vec<ServerInfo>> {
-        let rs = self
-            .db
-            .execute("SELECT server_name, capacity, performance FROM dpfs_server ORDER BY server_name")?;
+        let rs = self.db.execute(
+            "SELECT server_name, capacity, performance FROM dpfs_server ORDER BY server_name",
+        )?;
         rs.rows
             .iter()
             .map(|r| {
@@ -268,8 +268,7 @@ impl Catalog {
                 sql_quote(filename)
             ))?;
             if let Some(dir) = get_dir_txn(txn, &parent)? {
-                let files: Vec<String> =
-                    dir.files.into_iter().filter(|f| f != filename).collect();
+                let files: Vec<String> = dir.files.into_iter().filter(|f| f != filename).collect();
                 set_dir_files_txn(txn, &parent, &files)?;
             }
             Ok(dist)
@@ -535,8 +534,8 @@ impl Catalog {
     pub fn rename_file(&self, from: &str, to: &str) -> Result<()> {
         let from = normalize_path(from)?;
         let to = normalize_path(to)?;
-        let from_parent = parent_dir(&from)
-            .ok_or_else(|| MetaError::Txn(format!("{from} has no parent")))?;
+        let from_parent =
+            parent_dir(&from).ok_or_else(|| MetaError::Txn(format!("{from} has no parent")))?;
         let to_parent =
             parent_dir(&to).ok_or_else(|| MetaError::Txn(format!("{to} has no parent")))?;
         self.db.transaction(|txn| {
@@ -1019,7 +1018,10 @@ mod tests {
         assert_eq!(c.get_tag("/renamed", "k").unwrap().unwrap(), "v");
         assert!(c.get_tag("/t", "k").unwrap().is_none());
         c.delete_file("/renamed").unwrap();
-        let rs = c.db().execute("SELECT COUNT(*) FROM dpfs_file_tags").unwrap();
+        let rs = c
+            .db()
+            .execute("SELECT COUNT(*) FROM dpfs_file_tags")
+            .unwrap();
         assert_eq!(rs.rows[0][0], Value::Int(0));
     }
 

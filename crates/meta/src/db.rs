@@ -73,11 +73,27 @@ impl ResultSet {
 
 /// Undo record for in-memory rollback.
 pub(crate) enum UndoOp {
-    Insert { table: String, id: RowId },
-    Update { table: String, id: RowId, old: Vec<Value> },
-    Delete { table: String, id: RowId, old: Vec<Value> },
-    Create { name: String },
-    Drop { name: String, table: Box<Table> },
+    Insert {
+        table: String,
+        id: RowId,
+    },
+    Update {
+        table: String,
+        id: RowId,
+        old: Vec<Value>,
+    },
+    Delete {
+        table: String,
+        id: RowId,
+        old: Vec<Value>,
+    },
+    Create {
+        name: String,
+    },
+    Drop {
+        name: String,
+        table: Box<Table>,
+    },
 }
 
 struct TxnState {
@@ -353,7 +369,8 @@ impl Inner {
             return Err(MetaError::TableExists(name.to_string()));
         }
         let id = self.txn_mut()?.id;
-        self.tables.insert(name.to_string(), Table::new(schema.clone()));
+        self.tables
+            .insert(name.to_string(), Table::new(schema.clone()));
         let txn = self.txn_mut()?;
         txn.redo.push(WalRecord::CreateTable {
             txn: id,
@@ -405,7 +422,12 @@ impl Inner {
         Ok(row_id)
     }
 
-    pub(crate) fn update_row(&mut self, table: &str, row_id: RowId, values: Vec<Value>) -> Result<()> {
+    pub(crate) fn update_row(
+        &mut self,
+        table: &str,
+        row_id: RowId,
+        values: Vec<Value>,
+    ) -> Result<()> {
         let id = self.txn_mut()?.id;
         let t = self
             .tables
@@ -483,9 +505,9 @@ fn apply_record(tables: &mut BTreeMap<String, Table>, rec: &WalRecord) -> Result
             values,
             ..
         } => {
-            let t = tables
-                .get_mut(table)
-                .ok_or_else(|| MetaError::Storage(format!("wal refers to missing table {table}")))?;
+            let t = tables.get_mut(table).ok_or_else(|| {
+                MetaError::Storage(format!("wal refers to missing table {table}"))
+            })?;
             t.insert_with_id(*row_id, values.clone())
         }
         WalRecord::Update {
@@ -494,15 +516,15 @@ fn apply_record(tables: &mut BTreeMap<String, Table>, rec: &WalRecord) -> Result
             values,
             ..
         } => {
-            let t = tables
-                .get_mut(table)
-                .ok_or_else(|| MetaError::Storage(format!("wal refers to missing table {table}")))?;
+            let t = tables.get_mut(table).ok_or_else(|| {
+                MetaError::Storage(format!("wal refers to missing table {table}"))
+            })?;
             t.update(*row_id, values.clone()).map(|_| ())
         }
         WalRecord::Delete { table, row_id, .. } => {
-            let t = tables
-                .get_mut(table)
-                .ok_or_else(|| MetaError::Storage(format!("wal refers to missing table {table}")))?;
+            let t = tables.get_mut(table).ok_or_else(|| {
+                MetaError::Storage(format!("wal refers to missing table {table}"))
+            })?;
             t.delete(*row_id).map(|_| ())
         }
     }
@@ -549,7 +571,9 @@ fn load_snapshot(path: &Path) -> Result<(BTreeMap<String, Table>, u64)> {
     let mut r = Reader::new(&body[8..]);
     let version = r.u32()?;
     if version != SNAP_VERSION {
-        return Err(MetaError::Storage(format!("unsupported snapshot version {version}")));
+        return Err(MetaError::Storage(format!(
+            "unsupported snapshot version {version}"
+        )));
     }
     let next_txn = r.u64()?;
     let ntables = r.u32()? as usize;

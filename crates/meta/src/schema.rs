@@ -179,7 +179,9 @@ mod tests {
     #[test]
     fn row_validation() {
         let s = schema2();
-        assert!(s.check_row(&[Value::Text("f".into()), Value::Int(1)]).is_ok());
+        assert!(s
+            .check_row(&[Value::Text("f".into()), Value::Int(1)])
+            .is_ok());
         // NULL in nullable column ok
         assert!(s.check_row(&[Value::Text("f".into()), Value::Null]).is_ok());
         // NULL in pk rejected

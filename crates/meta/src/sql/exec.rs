@@ -686,7 +686,10 @@ mod tests {
             call_function("contains", &[list.clone(), Value::Int(5)]).unwrap(),
             Value::Int(0)
         );
-        assert_eq!(call_function("len", &[list.clone()]).unwrap(), Value::Int(4));
+        assert_eq!(
+            call_function("len", std::slice::from_ref(&list)).unwrap(),
+            Value::Int(4)
+        );
         assert_eq!(
             call_function("append", &[list.clone(), Value::Int(12)]).unwrap(),
             Value::IntList(vec![0, 2, 6, 8, 12])

@@ -42,10 +42,48 @@ pub enum Sym {
 }
 
 const KEYWORDS: &[&str] = &[
-    "SELECT", "FROM", "WHERE", "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE", "CREATE",
-    "TABLE", "DROP", "PRIMARY", "KEY", "NOT", "NULL", "AND", "OR", "IN", "LIKE", "ORDER", "BY",
-    "ASC", "DESC", "LIMIT", "BEGIN", "COMMIT", "ROLLBACK", "INT", "TEXT", "BLOB", "INTLIST",
-    "COUNT", "SUM", "MIN", "MAX", "IF", "EXISTS", "IS", "TRANSACTION", "JOIN", "ON",
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "INSERT",
+    "INTO",
+    "VALUES",
+    "UPDATE",
+    "SET",
+    "DELETE",
+    "CREATE",
+    "TABLE",
+    "DROP",
+    "PRIMARY",
+    "KEY",
+    "NOT",
+    "NULL",
+    "AND",
+    "OR",
+    "IN",
+    "LIKE",
+    "ORDER",
+    "BY",
+    "ASC",
+    "DESC",
+    "LIMIT",
+    "BEGIN",
+    "COMMIT",
+    "ROLLBACK",
+    "INT",
+    "TEXT",
+    "BLOB",
+    "INTLIST",
+    "COUNT",
+    "SUM",
+    "MIN",
+    "MAX",
+    "IF",
+    "EXISTS",
+    "IS",
+    "TRANSACTION",
+    "JOIN",
+    "ON",
     "INNER",
 ];
 
@@ -186,7 +224,8 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
                 while i < bytes.len()
                     && ((bytes[i] as char).is_ascii_alphanumeric()
                         || bytes[i] == b'_'
-                        || bytes[i] == b'-' && i + 1 < bytes.len()
+                        || bytes[i] == b'-'
+                            && i + 1 < bytes.len()
                             && (bytes[i + 1] as char).is_ascii_alphanumeric())
                 {
                     i += 1;

@@ -99,7 +99,9 @@ impl Parser {
     fn ident(&mut self) -> Result<String> {
         match self.next()? {
             Token::Ident(s) => Ok(s),
-            other => Err(MetaError::Parse(format!("expected identifier, found {other:?}"))),
+            other => Err(MetaError::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -138,7 +140,9 @@ impl Parser {
                 }
                 other => Err(MetaError::Parse(format!("unexpected keyword {other}"))),
             },
-            other => Err(MetaError::Parse(format!("expected statement, found {other:?}"))),
+            other => Err(MetaError::Parse(format!(
+                "expected statement, found {other:?}"
+            ))),
         }
     }
 
@@ -258,7 +262,8 @@ impl Parser {
         }
         self.expect_kw("FROM")?;
         let table = self.ident()?;
-        let join = if self.eat_kw("INNER") || matches!(self.peek(), Some(Token::Keyword(k)) if k == "JOIN")
+        let join = if self.eat_kw("INNER")
+            || matches!(self.peek(), Some(Token::Keyword(k)) if k == "JOIN")
         {
             self.expect_kw("JOIN")?;
             let jtable = self.ident()?;
@@ -608,7 +613,9 @@ impl Parser {
                     Ok(Expr::Column(name))
                 }
             }
-            other => Err(MetaError::Parse(format!("expected expression, found {other:?}"))),
+            other => Err(MetaError::Parse(format!(
+                "expected expression, found {other:?}"
+            ))),
         }
     }
 }
@@ -638,7 +645,13 @@ mod tests {
     #[test]
     fn create_if_not_exists() {
         let s = parse("CREATE TABLE IF NOT EXISTS t (a INT)").unwrap();
-        assert!(matches!(s, Statement::CreateTable { if_not_exists: true, .. }));
+        assert!(matches!(
+            s,
+            Statement::CreateTable {
+                if_not_exists: true,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -649,10 +662,7 @@ mod tests {
             Statement::Insert { rows, columns, .. } => {
                 assert_eq!(rows.len(), 2);
                 assert_eq!(columns.unwrap(), vec!["server", "bricklist"]);
-                assert_eq!(
-                    rows[0][1],
-                    Expr::Literal(Value::IntList(vec![0, 2, 4]))
-                );
+                assert_eq!(rows[0][1], Expr::Literal(Value::IntList(vec![0, 2, 4])));
             }
             other => panic!("wrong statement {other:?}"),
         }
@@ -669,7 +679,10 @@ mod tests {
                 assert_eq!(sel.items.len(), 2);
                 assert_eq!(sel.table, "files");
                 assert!(sel.filter.is_some());
-                assert_eq!(sel.order_by, vec![("size".into(), true), ("name".into(), false)]);
+                assert_eq!(
+                    sel.order_by,
+                    vec![("size".into(), true), ("name".into(), false)]
+                );
                 assert_eq!(sel.limit, Some(10));
             }
             other => panic!("wrong statement {other:?}"),
@@ -696,7 +709,13 @@ mod tests {
         let s = parse("UPDATE f SET size = size + 1, owner = 'x' WHERE name = 'a'").unwrap();
         assert!(matches!(s, Statement::Update { ref sets, .. } if sets.len() == 2));
         let s = parse("DELETE FROM f WHERE name LIKE 'tmp%'").unwrap();
-        assert!(matches!(s, Statement::Delete { filter: Some(_), .. }));
+        assert!(matches!(
+            s,
+            Statement::Delete {
+                filter: Some(_),
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -705,7 +724,9 @@ mod tests {
         let s = parse("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3").unwrap();
         if let Statement::Select(sel) = s {
             match sel.filter.unwrap() {
-                Expr::Binary { op: BinOp::Or, rhs, .. } => {
+                Expr::Binary {
+                    op: BinOp::Or, rhs, ..
+                } => {
                     assert!(matches!(*rhs, Expr::Binary { op: BinOp::And, .. }));
                 }
                 other => panic!("bad precedence: {other:?}"),
@@ -720,7 +741,11 @@ mod tests {
         let s = parse("SELECT 1 + 2 * 3 FROM t").unwrap();
         if let Statement::Select(sel) = s {
             match &sel.items[0] {
-                SelectItem::Expr(Expr::Binary { op: BinOp::Add, rhs, .. }) => {
+                SelectItem::Expr(Expr::Binary {
+                    op: BinOp::Add,
+                    rhs,
+                    ..
+                }) => {
                     assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
                 }
                 other => panic!("bad precedence: {other:?}"),

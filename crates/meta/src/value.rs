@@ -117,9 +117,7 @@ impl Value {
             (Value::Text(a), Value::Text(b)) => Ok(Some(a.cmp(b))),
             (Value::Blob(a), Value::Blob(b)) => Ok(Some(a.cmp(b))),
             (Value::IntList(a), Value::IntList(b)) => Ok(Some(a.cmp(b))),
-            (a, b) => Err(MetaError::TypeError(format!(
-                "cannot compare {a} with {b}"
-            ))),
+            (a, b) => Err(MetaError::TypeError(format!("cannot compare {a} with {b}"))),
         }
     }
 
@@ -210,7 +208,12 @@ mod tests {
 
     #[test]
     fn null_matches_every_type() {
-        for d in [DataType::Int, DataType::Text, DataType::Blob, DataType::IntList] {
+        for d in [
+            DataType::Int,
+            DataType::Text,
+            DataType::Blob,
+            DataType::IntList,
+        ] {
             assert!(Value::Null.matches(d));
         }
         assert!(Value::Int(1).matches(DataType::Int));
@@ -224,7 +227,9 @@ mod tests {
             Some(Ordering::Less)
         );
         assert_eq!(
-            Value::Text("b".into()).sql_cmp(&Value::Text("a".into())).unwrap(),
+            Value::Text("b".into())
+                .sql_cmp(&Value::Text("a".into()))
+                .unwrap(),
             Some(Ordering::Greater)
         );
     }
@@ -242,10 +247,7 @@ mod tests {
 
     #[test]
     fn total_cmp_orders_across_types() {
-        assert_eq!(
-            Value::Null.total_cmp(&Value::Int(i64::MIN)),
-            Ordering::Less
-        );
+        assert_eq!(Value::Null.total_cmp(&Value::Int(i64::MIN)), Ordering::Less);
         assert_eq!(
             Value::Int(i64::MAX).total_cmp(&Value::Text(String::new())),
             Ordering::Less

@@ -82,16 +82,19 @@ fn join_aggregates() {
 #[test]
 fn wildcard_join_projects_all_columns_qualified_when_needed() {
     let db = Database::in_memory();
-    db.execute("CREATE TABLE a (id INT PRIMARY KEY, v INT)").unwrap();
-    db.execute("CREATE TABLE b (id INT PRIMARY KEY, w INT)").unwrap();
+    db.execute("CREATE TABLE a (id INT PRIMARY KEY, v INT)")
+        .unwrap();
+    db.execute("CREATE TABLE b (id INT PRIMARY KEY, w INT)")
+        .unwrap();
     db.execute("INSERT INTO a VALUES (1, 10)").unwrap();
     db.execute("INSERT INTO b VALUES (1, 20)").unwrap();
-    let rs = db
-        .execute("SELECT * FROM a JOIN b ON a.id = b.id")
-        .unwrap();
+    let rs = db.execute("SELECT * FROM a JOIN b ON a.id = b.id").unwrap();
     assert_eq!(rs.columns, vec!["a.id", "v", "b.id", "w"]);
     // note: duplicate names come back qualified; unique ones plain
-    assert_eq!(rs.rows[0], vec![Value::Int(1), Value::Int(10), Value::Int(1), Value::Int(20)]);
+    assert_eq!(
+        rs.rows[0],
+        vec![Value::Int(1), Value::Int(10), Value::Int(1), Value::Int(20)]
+    );
 }
 
 #[test]
@@ -104,18 +107,24 @@ fn ambiguous_unqualified_column_is_an_error() {
     let err = db.execute("SELECT id FROM a JOIN b ON a.id = b.id");
     assert!(err.is_err(), "unqualified ambiguous `id` must error");
     // qualified works
-    let rs = db.execute("SELECT a.id FROM a JOIN b ON a.id = b.id").unwrap();
+    let rs = db
+        .execute("SELECT a.id FROM a JOIN b ON a.id = b.id")
+        .unwrap();
     assert_eq!(rs.rows.len(), 1);
 }
 
 #[test]
 fn join_order_by_qualified_column() {
     let db = Database::in_memory();
-    db.execute("CREATE TABLE a (id INT PRIMARY KEY, tag TEXT)").unwrap();
-    db.execute("CREATE TABLE b (id INT PRIMARY KEY, rank INT)").unwrap();
+    db.execute("CREATE TABLE a (id INT PRIMARY KEY, tag TEXT)")
+        .unwrap();
+    db.execute("CREATE TABLE b (id INT PRIMARY KEY, rank INT)")
+        .unwrap();
     for i in 0..5 {
-        db.execute(&format!("INSERT INTO a VALUES ({i}, 't{i}')")).unwrap();
-        db.execute(&format!("INSERT INTO b VALUES ({i}, {})", 5 - i)).unwrap();
+        db.execute(&format!("INSERT INTO a VALUES ({i}, 't{i}')"))
+            .unwrap();
+        db.execute(&format!("INSERT INTO b VALUES ({i}, {})", 5 - i))
+            .unwrap();
     }
     let rs = db
         .execute("SELECT tag FROM a JOIN b ON a.id = b.id ORDER BY b.rank LIMIT 2")
@@ -137,10 +146,13 @@ fn join_of_empty_tables() {
 fn cross_type_on_expression_errors_cleanly() {
     let db = Database::in_memory();
     db.execute("CREATE TABLE a (id INT PRIMARY KEY)").unwrap();
-    db.execute("CREATE TABLE b (name TEXT PRIMARY KEY)").unwrap();
+    db.execute("CREATE TABLE b (name TEXT PRIMARY KEY)")
+        .unwrap();
     db.execute("INSERT INTO a VALUES (1)").unwrap();
     db.execute("INSERT INTO b VALUES ('x')").unwrap();
-    assert!(db.execute("SELECT * FROM a JOIN b ON a.id = b.name").is_err());
+    assert!(db
+        .execute("SELECT * FROM a JOIN b ON a.id = b.name")
+        .is_err());
 }
 
 #[test]

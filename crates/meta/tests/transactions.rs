@@ -20,12 +20,14 @@ fn rollback_undoes_drop_table() {
 fn rollback_undoes_create_table() {
     let db = Database::in_memory();
     db.execute("BEGIN").unwrap();
-    db.execute("CREATE TABLE ephemeral (k INT PRIMARY KEY)").unwrap();
+    db.execute("CREATE TABLE ephemeral (k INT PRIMARY KEY)")
+        .unwrap();
     db.execute("INSERT INTO ephemeral VALUES (9)").unwrap();
     db.execute("ROLLBACK").unwrap();
     assert!(db.execute("SELECT * FROM ephemeral").is_err());
     // creating it again works (no phantom name)
-    db.execute("CREATE TABLE ephemeral (k INT PRIMARY KEY)").unwrap();
+    db.execute("CREATE TABLE ephemeral (k INT PRIMARY KEY)")
+        .unwrap();
 }
 
 #[test]
@@ -34,7 +36,10 @@ fn txn_control_misuse_is_rejected() {
     assert!(matches!(db.execute("COMMIT"), Err(MetaError::Txn(_))));
     assert!(matches!(db.execute("ROLLBACK"), Err(MetaError::Txn(_))));
     db.execute("BEGIN").unwrap();
-    assert!(matches!(db.execute("BEGIN"), Err(MetaError::Txn(_))), "nested BEGIN");
+    assert!(
+        matches!(db.execute("BEGIN"), Err(MetaError::Txn(_))),
+        "nested BEGIN"
+    );
     db.execute("COMMIT").unwrap();
 }
 
@@ -44,10 +49,12 @@ fn explicit_txn_spans_multiple_statements_atomically() {
     let _ = std::fs::remove_dir_all(&dir);
     {
         let db = Database::open_with_sync(&dir, false).unwrap();
-        db.execute("CREATE TABLE t (k INT PRIMARY KEY, v INT)").unwrap();
+        db.execute("CREATE TABLE t (k INT PRIMARY KEY, v INT)")
+            .unwrap();
         db.execute("BEGIN").unwrap();
         for k in 0..10 {
-            db.execute(&format!("INSERT INTO t VALUES ({k}, {})", k * 10)).unwrap();
+            db.execute(&format!("INSERT INTO t VALUES ({k}, {})", k * 10))
+                .unwrap();
         }
         db.execute("UPDATE t SET v = v + 1 WHERE k < 5").unwrap();
         db.execute("COMMIT").unwrap();
@@ -109,7 +116,10 @@ fn checkpoint_inside_txn_refused_but_fine_after() {
     db.execute("CREATE TABLE t (k INT PRIMARY KEY)").unwrap();
     db.execute("BEGIN").unwrap();
     db.execute("INSERT INTO t VALUES (1)").unwrap();
-    assert!(db.checkpoint().is_err(), "checkpoint with open txn must fail");
+    assert!(
+        db.checkpoint().is_err(),
+        "checkpoint with open txn must fail"
+    );
     db.execute("COMMIT").unwrap();
     db.checkpoint().unwrap();
     drop(db);

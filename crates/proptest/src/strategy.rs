@@ -1,0 +1,343 @@
+//! Value-generation strategies: the [`Strategy`] trait and the concrete
+//! implementations the workspace tests rely on.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of one type.
+///
+/// Object-safe: combinators carry `where Self: Sized` so
+/// `Box<dyn Strategy<Value = V>>` works (see [`BoxedStrategy`]).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Box::new(self),
+        }
+    }
+}
+
+/// Strategy generating values over `T`'s full domain; see [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+/// `any::<T>()`: the canonical whole-domain strategy for `T`.
+pub fn any<T>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+macro_rules! impl_any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_uint {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                self.start + rng.below((self.end - self.start) as u64) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.below(span + 1) as $t
+            }
+        }
+    )*};
+}
+impl_range_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_range_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                (self.start as i64).wrapping_add(rng.below(span) as i64) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as i64).wrapping_sub(lo as i64) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i64).wrapping_add(rng.below(span + 1) as i64) as $t
+            }
+        }
+    )*};
+}
+impl_range_int!(i8, i16, i32, i64, isize);
+
+/// String pattern strategy: a `&'static str` of the shape `[class]{m,n}`
+/// generates strings of `m..=n` chars drawn uniformly from the class.
+/// The class accepts literals and `a-z` ranges; a trailing `-` is literal.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (class, min, max) = parse_pattern(self);
+        let len = rng.range(min as u64, max as u64 + 1) as usize;
+        (0..len)
+            .map(|_| class[rng.below(class.len() as u64) as usize])
+            .collect()
+    }
+}
+
+/// Parse `[class]{m,n}` into (expanded char class, m, n). Panics with a
+/// clear message on anything fancier — extend here if a test needs more.
+fn parse_pattern(pattern: &str) -> (Vec<char>, usize, usize) {
+    fn bad(pattern: &str) -> ! {
+        panic!("unsupported string pattern {pattern:?}: expected \"[class]{{m,n}}\"")
+    }
+    let rest = pattern.strip_prefix('[').unwrap_or_else(|| bad(pattern));
+    let (class_src, counts) = rest.split_once(']').unwrap_or_else(|| bad(pattern));
+
+    let mut class = Vec::new();
+    let chars: Vec<char> = class_src.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        if chars[i] == '-' && !class.is_empty() && i + 1 < chars.len() {
+            let lo = *class.last().unwrap() as u32 + 1;
+            let hi = chars[i + 1] as u32;
+            assert!(lo <= hi + 1, "inverted range in pattern {pattern:?}");
+            class.extend((lo..=hi).filter_map(char::from_u32));
+            i += 2;
+        } else {
+            class.push(chars[i]);
+            i += 1;
+        }
+    }
+    if class.is_empty() {
+        bad(pattern);
+    }
+
+    let counts = counts
+        .strip_prefix('{')
+        .and_then(|c| c.strip_suffix('}'))
+        .unwrap_or_else(|| bad(pattern));
+    let (min, max) = match counts.split_once(',') {
+        Some((m, n)) => (m.trim().parse().ok(), n.trim().parse().ok()),
+        None => {
+            let m = counts.trim().parse().ok();
+            (m, m)
+        }
+    };
+    let (min, max) = match (min, max) {
+        (Some(m), Some(n)) if m <= n => (m, n),
+        _ => bad(pattern),
+    };
+    (class, min, max)
+}
+
+/// Result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Result of [`Strategy::boxed`].
+pub struct BoxedStrategy<V> {
+    inner: Box<dyn Strategy<Value = V>>,
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.inner.generate(rng)
+    }
+}
+
+/// Uniform choice between erased strategies; built by `prop_oneof!`.
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Choose uniformly among `arms`. Panics if `arms` is empty.
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Union<V> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].generate(rng)
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_strategy_tuple!(A.0);
+impl_strategy_tuple!(A.0, B.1);
+impl_strategy_tuple!(A.0, B.1, C.2);
+impl_strategy_tuple!(A.0, B.1, C.2, D.3);
+impl_strategy_tuple!(A.0, B.1, C.2, D.3, E.4);
+impl_strategy_tuple!(A.0, B.1, C.2, D.3, E.4, F.5);
+impl_strategy_tuple!(A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+impl_strategy_tuple!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+impl_strategy_tuple!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8);
+impl_strategy_tuple!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9);
+impl_strategy_tuple!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9, K.10);
+impl_strategy_tuple!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9, K.10, L.11);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..5000 {
+            let v = (5u64..9).generate(&mut rng);
+            assert!((5..9).contains(&v));
+            let w = (-3i64..4).generate(&mut rng);
+            assert!((-3..4).contains(&w));
+            let x = (0usize..=0).generate(&mut rng);
+            assert_eq!(x, 0);
+        }
+    }
+
+    #[test]
+    fn pattern_parses_all_workspace_shapes() {
+        for (pat, min, max) in [
+            ("[a-z/]{1,20}", 1, 20),
+            ("[a-zA-Z0-9/_.%-]{0,64}", 0, 64),
+            ("[a-c]{0,6}", 0, 6),
+            ("[a-c%_]{0,5}", 0, 5),
+        ] {
+            let (class, m, n) = parse_pattern(pat);
+            assert_eq!((m, n), (min, max), "{pat}");
+            assert!(!class.is_empty());
+        }
+        let (class, _, _) = parse_pattern("[a-zA-Z0-9/_.%-]{0,64}");
+        for c in ['a', 'z', 'A', 'Z', '0', '9', '/', '_', '.', '%', '-'] {
+            assert!(class.contains(&c), "{c} missing from class");
+        }
+        assert!(class.contains(&'b'), "range interior chars expand");
+    }
+
+    #[test]
+    fn string_strategy_respects_length_and_class() {
+        let mut rng = TestRng::new(2);
+        for _ in 0..500 {
+            let s = "[a-c]{0,6}".generate(&mut rng);
+            assert!(s.len() <= 6);
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn union_and_map_compose() {
+        let strat = crate::prop_oneof![
+            (0u64..10).prop_map(|v| v as i64),
+            (100u64..110).prop_map(|v| -(v as i64)),
+        ];
+        let mut rng = TestRng::new(3);
+        let (mut pos, mut neg) = (0, 0);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            if v >= 0 {
+                assert!((0..10).contains(&v));
+                pos += 1;
+            } else {
+                assert!((-109..=-100).contains(&v));
+                neg += 1;
+            }
+        }
+        assert!(pos > 0 && neg > 0, "both arms should fire");
+    }
+
+    #[test]
+    fn tuples_generate_componentwise() {
+        let mut rng = TestRng::new(4);
+        let (a, b, c) = (0u64..3, 10i64..13, "[x]{1,1}").generate(&mut rng);
+        assert!((0..3).contains(&a));
+        assert!((10..13).contains(&b));
+        assert_eq!(c, "x");
+    }
+}

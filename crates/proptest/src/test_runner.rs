@@ -1,0 +1,178 @@
+//! Case runner: deterministic RNG, config, and the pass/fail/reject
+//! protocol the `proptest!` macro compiles test bodies down to.
+
+/// Per-block configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases that must pass.
+    pub cases: u32,
+    /// Cap on `prop_assume!` rejections before the run is declared stuck.
+    pub max_global_rejects: u64,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// Default config with a specific case count.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+/// How a single generated case ended, when not `Ok`.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed; the run aborts with this message.
+    Fail(String),
+    /// `prop_assume!` filtered the case out; it is retried with new input.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Build a failure.
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// Build a rejection.
+    pub fn reject(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+/// Deterministic splitmix64 stream driving all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Generator whose stream is a pure function of `seed`.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, bound)` via widening multiply (no modulo
+    /// bias). Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "TestRng::below(0)");
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform draw from `[lo, hi)`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "TestRng::range on empty range");
+        lo + self.below(hi - lo)
+    }
+}
+
+/// FNV-1a, used to derive a per-test base seed from the test name.
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Drive one property over `config.cases` inputs. Each case draws from a
+/// seed derived deterministically from the test name and a counter, so a
+/// failure always reproduces; the panic message reports that seed.
+pub fn run<F>(name: &str, config: &ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let base = fnv1a(name);
+    let mut passed: u32 = 0;
+    let mut rejected: u64 = 0;
+    let mut attempt: u64 = 0;
+    while passed < config.cases {
+        let seed = base.wrapping_add(attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        attempt += 1;
+        let mut rng = TestRng::new(seed);
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "proptest {name}: gave up after {rejected} prop_assume! rejections \
+                         ({passed}/{} cases passed)",
+                        config.cases
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(message)) => {
+                panic!("proptest {name}: case {passed} failed (rng seed {seed:#018x})\n{message}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_counts_only_passes() {
+        let mut calls = 0u32;
+        run("x", &ProptestConfig::with_cases(10), |_rng| {
+            calls += 1;
+            if calls.is_multiple_of(2) {
+                Err(TestCaseError::reject("even"))
+            } else {
+                Ok(())
+            }
+        });
+        assert_eq!(calls, 19, "10 passes interleaved with 9 rejects");
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn run_panics_on_failure() {
+        run("y", &ProptestConfig::with_cases(5), |_rng| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "gave up")]
+    fn run_gives_up_on_reject_storm() {
+        let config = ProptestConfig {
+            cases: 1,
+            max_global_rejects: 10,
+        };
+        run("z", &config, |_rng| Err(TestCaseError::reject("never")));
+    }
+
+    #[test]
+    fn rng_below_is_in_bounds_and_deterministic() {
+        let mut a = TestRng::new(9);
+        let mut b = TestRng::new(9);
+        for _ in 0..1000 {
+            let x = a.below(7);
+            assert!(x < 7);
+            assert_eq!(x, b.below(7));
+        }
+    }
+}

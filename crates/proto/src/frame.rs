@@ -36,7 +36,10 @@ impl fmt::Display for FrameError {
             FrameError::BadMagic(m) => write!(f, "bad frame magic {m:?}"),
             FrameError::Oversized(n) => write!(f, "frame of {n} bytes exceeds limit"),
             FrameError::BadChecksum { expected, actual } => {
-                write!(f, "frame checksum mismatch: expected {expected:#x}, got {actual:#x}")
+                write!(
+                    f,
+                    "frame checksum mismatch: expected {expected:#x}, got {actual:#x}"
+                )
             }
             FrameError::Closed => write!(f, "connection closed"),
             FrameError::BadMessage(m) => write!(f, "bad message: {m}"),

@@ -350,13 +350,19 @@ mod tests {
             subfile: "f".into(),
             ranges: vec![(0, 10), (100, 200)],
         });
-        round_trip_req(Request::Delete { subfile: "f".into() });
-        round_trip_req(Request::Stat { subfile: "f".into() });
+        round_trip_req(Request::Delete {
+            subfile: "f".into(),
+        });
+        round_trip_req(Request::Stat {
+            subfile: "f".into(),
+        });
         round_trip_req(Request::Truncate {
             subfile: "f".into(),
             size: 12345,
         });
-        round_trip_req(Request::Sync { subfile: "f".into() });
+        round_trip_req(Request::Sync {
+            subfile: "f".into(),
+        });
         round_trip_req(Request::Shutdown);
     }
 
@@ -383,7 +389,10 @@ mod tests {
     fn payload_bytes() {
         let w = Request::Write {
             subfile: "f".into(),
-            ranges: vec![(0, Bytes::from(vec![0u8; 100])), (200, Bytes::from(vec![0u8; 50]))],
+            ranges: vec![
+                (0, Bytes::from(vec![0u8; 100])),
+                (200, Bytes::from(vec![0u8; 50])),
+            ],
         };
         assert_eq!(w.payload_bytes(), 150);
         let r = Request::Read {

@@ -37,10 +37,7 @@ fn parse_args() -> Result<Args, String> {
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |flag: &str| {
-            it.next()
-                .ok_or_else(|| format!("{flag} requires a value"))
-        };
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} requires a value"));
         match flag.as_str() {
             "--root" => args.root = value("--root")?,
             "--bind" => args.bind = value("--bind")?,
@@ -51,8 +48,8 @@ fn parse_args() -> Result<Args, String> {
             }
             "--class" => {
                 let v = value("--class")?;
-                args.class = StorageClass::parse(&v)
-                    .ok_or_else(|| format!("unknown class {v:?}"))?;
+                args.class =
+                    StorageClass::parse(&v).ok_or_else(|| format!("unknown class {v:?}"))?;
             }
             "--name" => args.name = Some(value("--name")?),
             "--stats-interval" => {
@@ -116,7 +113,12 @@ fn main() {
             let s = server.stats();
             println!(
                 "stats: conns={} reqs={} reads={} writes={} bytes_r={} bytes_w={} errors={}",
-                s.connections, s.requests, s.reads, s.writes, s.bytes_read, s.bytes_written,
+                s.connections,
+                s.requests,
+                s.reads,
+                s.writes,
+                s.bytes_read,
+                s.bytes_written,
                 s.errors
             );
         }

@@ -11,9 +11,12 @@ use crate::stats::ServerStats;
 use crate::subfile::{StoreError, SubfileStore};
 
 /// Shared per-server handler state. Connection threads all dispatch through
-/// one `Handler`; the `device` lock serializes actual I/O, modeling the
-/// sequential storage device underneath concurrent request handling
-/// (paper §4.2).
+/// one `Handler`; the `device` lock serializes only the *injected* delay,
+/// modeling the sequential storage device underneath concurrent request
+/// handling (paper §4.2). The store I/O itself runs outside the device
+/// lock — per-subfile locks inside [`SubfileStore`] provide the necessary
+/// mutual exclusion, so unthrottled servers serve distinct subfiles fully
+/// in parallel.
 pub struct Handler {
     store: SubfileStore,
     perf: PerfModel,
@@ -42,12 +45,16 @@ impl Handler {
         &self.store
     }
 
+    /// Sleep out the modeled service time while holding the device lock, so
+    /// concurrent requests to one server still queue for its (simulated)
+    /// storage device. Unthrottled servers skip the lock entirely.
     fn inject_delay(&self, ranges: usize, bytes: u64) {
         if self.perf.is_unthrottled() {
             return;
         }
         let d = self.perf.service_time(ranges, bytes);
         if d > Duration::ZERO {
+            let _dev = self.device.lock();
             self.stats
                 .injected_delay_ns
                 .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
@@ -64,7 +71,6 @@ impl Handler {
             Request::Write { subfile, ranges } => {
                 let bytes: u64 = ranges.iter().map(|(_, d)| d.len() as u64).sum();
                 let nranges = ranges.len();
-                let _dev = self.device.lock();
                 self.inject_delay(nranges, bytes);
                 match self.store.write_ranges(&subfile, &ranges) {
                     Ok(n) => {
@@ -78,7 +84,6 @@ impl Handler {
             Request::Read { subfile, ranges } => {
                 let bytes: u64 = ranges.iter().map(|(_, l)| *l).sum();
                 let nranges = ranges.len();
-                let _dev = self.device.lock();
                 self.inject_delay(nranges, bytes);
                 match self.store.read_ranges(&subfile, &ranges) {
                     Ok(chunks) => {
@@ -103,26 +108,19 @@ impl Handler {
                     Err(e) => self.error_response(e),
                 }
             }
-            Request::Delete { subfile } => {
-                let _dev = self.device.lock();
-                match self.store.delete(&subfile) {
-                    Ok(existed) => Response::Deleted { existed },
-                    Err(e) => self.error_response(e),
-                }
-            }
+            Request::Delete { subfile } => match self.store.delete(&subfile) {
+                Ok(existed) => Response::Deleted { existed },
+                Err(e) => self.error_response(e),
+            },
             Request::Stat { subfile } => match self.store.stat(&subfile) {
                 Ok((exists, size)) => Response::Stat { exists, size },
                 Err(e) => self.error_response(e),
             },
-            Request::Truncate { subfile, size } => {
-                let _dev = self.device.lock();
-                match self.store.truncate(&subfile, size) {
-                    Ok(()) => Response::Truncated,
-                    Err(e) => self.error_response(e),
-                }
-            }
+            Request::Truncate { subfile, size } => match self.store.truncate(&subfile, size) {
+                Ok(()) => Response::Truncated,
+                Err(e) => self.error_response(e),
+            },
             Request::Sync { subfile } => {
-                let _dev = self.device.lock();
                 match self.store.sync(&subfile) {
                     Ok(()) => Response::Pong,
                     Err(StoreError::NotFound) => Response::Pong, // nothing to flush
@@ -221,23 +219,40 @@ mod tests {
             ranges: vec![(0, Bytes::from_static(b"abcd"))],
         });
         assert_eq!(
-            h.handle(Request::Stat { subfile: "/f".into() }),
-            Response::Stat { exists: true, size: 4 }
+            h.handle(Request::Stat {
+                subfile: "/f".into()
+            }),
+            Response::Stat {
+                exists: true,
+                size: 4
+            }
         );
         assert_eq!(
-            h.handle(Request::Truncate { subfile: "/f".into(), size: 2 }),
+            h.handle(Request::Truncate {
+                subfile: "/f".into(),
+                size: 2
+            }),
             Response::Truncated
         );
         assert_eq!(
-            h.handle(Request::Stat { subfile: "/f".into() }),
-            Response::Stat { exists: true, size: 2 }
+            h.handle(Request::Stat {
+                subfile: "/f".into()
+            }),
+            Response::Stat {
+                exists: true,
+                size: 2
+            }
         );
         assert_eq!(
-            h.handle(Request::Delete { subfile: "/f".into() }),
+            h.handle(Request::Delete {
+                subfile: "/f".into()
+            }),
             Response::Deleted { existed: true }
         );
         assert_eq!(
-            h.handle(Request::Delete { subfile: "/f".into() }),
+            h.handle(Request::Delete {
+                subfile: "/f".into()
+            }),
             Response::Deleted { existed: false }
         );
         std::fs::remove_dir_all(dir).unwrap();
@@ -246,7 +261,12 @@ mod tests {
     #[test]
     fn sync_of_missing_subfile_is_ok() {
         let (h, dir) = handler();
-        assert_eq!(h.handle(Request::Sync { subfile: "/nope".into() }), Response::Pong);
+        assert_eq!(
+            h.handle(Request::Sync {
+                subfile: "/nope".into()
+            }),
+            Response::Pong
+        );
         std::fs::remove_dir_all(dir).unwrap();
     }
 }

@@ -2,6 +2,7 @@
 //! connection, mirroring the paper's "server's spawning multiple processes
 //! or threads to handle them" (§2).
 
+use std::collections::HashMap;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -53,6 +54,12 @@ impl ServerConfig {
     }
 }
 
+/// Live-connection registry: id → the accept loop's clone of the stream.
+/// Each connection thread removes its own entry on exit, so the registry
+/// stays bounded by the number of *open* connections rather than growing
+/// with every connection ever accepted.
+type ConnRegistry = Arc<Mutex<HashMap<u64, TcpStream>>>;
+
 /// A running I/O server. Dropping the handle shuts the server down.
 pub struct IoServer {
     name: String,
@@ -60,7 +67,7 @@ pub struct IoServer {
     handler: Arc<Handler>,
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
-    conns: Arc<Mutex<Vec<TcpStream>>>,
+    conns: ConnRegistry,
 }
 
 impl IoServer {
@@ -73,7 +80,7 @@ impl IoServer {
         let listener = TcpListener::bind(config.bind.as_str())?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
-        let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let conns: ConnRegistry = Arc::new(Mutex::new(HashMap::new()));
 
         let accept_handler = handler.clone();
         let accept_shutdown = shutdown.clone();
@@ -114,6 +121,13 @@ impl IoServer {
         &self.handler
     }
 
+    /// Number of currently open client connections. (Connection threads
+    /// deregister asynchronously after the peer closes, so a just-closed
+    /// connection may be counted briefly.)
+    pub fn open_connections(&self) -> usize {
+        self.conns.lock().len()
+    }
+
     /// Stop accepting, sever live connections, and join the accept thread.
     pub fn stop(&mut self) {
         if self.shutdown.swap(true, Ordering::SeqCst) {
@@ -127,7 +141,7 @@ impl IoServer {
         }
         let _ = TcpStream::connect(dial);
         // Sever in-flight connections so their threads exit.
-        for c in self.conns.lock().drain(..) {
+        for (_, c) in self.conns.lock().drain() {
             let _ = c.shutdown(Shutdown::Both);
         }
         if let Some(t) = self.accept_thread.take() {
@@ -146,8 +160,9 @@ fn accept_loop(
     listener: TcpListener,
     handler: Arc<Handler>,
     shutdown: Arc<AtomicBool>,
-    conns: Arc<Mutex<Vec<TcpStream>>>,
+    conns: ConnRegistry,
 ) {
+    let mut next_id: u64 = 0;
     loop {
         let (stream, _) = match listener.accept() {
             Ok(s) => s,
@@ -161,27 +176,34 @@ fn accept_loop(
         if shutdown.load(Ordering::SeqCst) {
             return;
         }
-        handler
-            .stats()
-            .connections
-            .fetch_add(1, Ordering::Relaxed);
+        handler.stats().connections.fetch_add(1, Ordering::Relaxed);
+        let id = next_id;
+        next_id += 1;
         if let Ok(clone) = stream.try_clone() {
-            conns.lock().push(clone);
+            conns.lock().insert(id, clone);
         }
         let h = handler.clone();
         let sd = shutdown.clone();
+        let cs = conns.clone();
         let _ = std::thread::Builder::new()
             .name("dpfs-conn".to_string())
-            .spawn(move || connection_loop(stream, h, sd));
+            .spawn(move || connection_loop(id, stream, h, sd, cs));
     }
 }
 
-fn connection_loop(stream: TcpStream, handler: Arc<Handler>, shutdown: Arc<AtomicBool>) {
+fn connection_loop(
+    id: u64,
+    stream: TcpStream,
+    handler: Arc<Handler>,
+    shutdown: Arc<AtomicBool>,
+    conns: ConnRegistry,
+) {
     connection_loop_inner(&stream, handler, shutdown);
     // The accept loop holds a clone of this stream (for forced shutdown), so
     // dropping ours would NOT send FIN — shut the socket down explicitly so
-    // the peer sees EOF.
+    // the peer sees EOF, then deregister so the registry does not leak.
     let _ = stream.shutdown(Shutdown::Both);
+    conns.lock().remove(&id);
 }
 
 fn connection_loop_inner(mut stream: &TcpStream, handler: Arc<Handler>, shutdown: Arc<AtomicBool>) {
@@ -233,8 +255,8 @@ mod tests {
             std::thread::current().id()
         ));
         let _ = std::fs::remove_dir_all(&dir);
-        let server = IoServer::start(ServerConfig::new("test", &dir, PerfModel::unthrottled()))
-            .unwrap();
+        let server =
+            IoServer::start(ServerConfig::new("test", &dir, PerfModel::unthrottled())).unwrap();
         (server, dir)
     }
 
@@ -326,6 +348,36 @@ mod tests {
         // server still alive for new connections
         let mut c2 = TcpStream::connect(server.addr()).unwrap();
         assert_eq!(rpc(&mut c2, Request::Ping), Response::Pong);
+        drop(server);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn closed_connections_leave_the_registry() {
+        // Regression: the registry used to keep every connection ever
+        // accepted, leaking one stream clone per client for the server's
+        // lifetime.
+        let (server, dir) = start_server("prune");
+        for round in 0..5 {
+            let mut c = TcpStream::connect(server.addr()).unwrap();
+            assert_eq!(rpc(&mut c, Request::Ping), Response::Pong);
+            assert!(
+                server.open_connections() >= 1,
+                "round {round}: live connection should be registered"
+            );
+            drop(c);
+            // Deregistration happens on the connection thread after it sees
+            // EOF; poll briefly rather than assuming immediacy.
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+            while server.open_connections() > 0 {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "round {round}: connection never deregistered"
+                );
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
+        assert_eq!(server.stats().connections, 5, "all 5 connections counted");
         drop(server);
         std::fs::remove_dir_all(dir).unwrap();
     }

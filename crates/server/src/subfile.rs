@@ -10,16 +10,27 @@ use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use bytes::Bytes;
 use parking_lot::Mutex;
 
+/// One subfile's open-handle slot: `None` until first use and after
+/// `delete` closes the descriptor.
+type HandleSlot = Arc<Mutex<Option<File>>>;
+
 /// Store rooted at a local directory; subfile names (DPFS paths) map to
 /// files under the root.
+///
+/// Locking is per subfile: the store-wide map lock is held only to look up
+/// (or insert) a subfile's handle slot, and the slot's own lock is held
+/// across the local I/O. Requests for *different* subfiles proceed in
+/// parallel; requests for the same subfile serialize, which sharing one
+/// seek position requires.
 pub struct SubfileStore {
     root: PathBuf,
     /// Open-handle cache: repeated brick requests hit the same descriptor.
-    handles: Mutex<HashMap<String, File>>,
+    handles: Mutex<HashMap<String, HandleSlot>>,
     /// Optional capacity cap in bytes (0 = unlimited); enforced on writes.
     capacity: u64,
 }
@@ -56,17 +67,23 @@ impl From<std::io::Error> for StoreError {
 }
 
 /// Map a DPFS subfile name to a safe single-component local file name.
-/// `/home/xhshen/dpfs.test` → `home%xhshen%dpfs.test` (`%` escaped as `%%`).
+/// `/home/xhshen/dpfs.test` → `%shome%sxhshen%sdpfs.test`.
+///
+/// The encoding must be injective or distinct DPFS files share one local
+/// subfile and silently overwrite each other. `%` is the escape character
+/// (`%%` = literal `%`, `%s` = `/`); every `%` in the output is followed by
+/// a discriminator, so decoding is unambiguous, and no characters are
+/// trimmed (trimming made `/x` and `x` collide).
 fn local_name(subfile: &str) -> String {
     let mut out = String::with_capacity(subfile.len());
     for c in subfile.chars() {
         match c {
             '%' => out.push_str("%%"),
-            '/' => out.push('%'),
+            '/' => out.push_str("%s"),
             c => out.push(c),
         }
     }
-    out.trim_start_matches('%').to_string()
+    out
 }
 
 impl SubfileStore {
@@ -90,14 +107,27 @@ impl SubfileStore {
         self.root.join(local_name(subfile))
     }
 
+    /// The handle slot for `subfile`, created empty on first sight. Holds
+    /// the store-wide map lock only for the lookup/insert.
+    fn slot(&self, subfile: &str) -> HandleSlot {
+        let mut handles = self.handles.lock();
+        if let Some(slot) = handles.get(subfile) {
+            return slot.clone();
+        }
+        let slot = HandleSlot::default();
+        handles.insert(subfile.to_string(), slot.clone());
+        slot
+    }
+
     fn with_file<T>(
         &self,
         subfile: &str,
         create: bool,
         f: impl FnOnce(&mut File) -> Result<T, StoreError>,
     ) -> Result<T, StoreError> {
-        let mut handles = self.handles.lock();
-        if !handles.contains_key(subfile) {
+        let slot = self.slot(subfile);
+        let mut handle = slot.lock();
+        if handle.is_none() {
             let path = self.path_of(subfile);
             let file = if create {
                 OpenOptions::new()
@@ -115,9 +145,9 @@ impl SubfileStore {
                     Err(e) => return Err(e.into()),
                 }
             };
-            handles.insert(subfile.to_string(), file);
+            *handle = Some(file);
         }
-        f(handles.get_mut(subfile).expect("just inserted"))
+        f(handle.as_mut().expect("just opened"))
     }
 
     /// Write scatter/gather ranges; creates the subfile if needed.
@@ -148,7 +178,11 @@ impl SubfileStore {
 
     /// Read scatter/gather ranges. Ranges past EOF come back zero-filled
     /// (sparse-file semantics, same as reading a hole).
-    pub fn read_ranges(&self, subfile: &str, ranges: &[(u64, u64)]) -> Result<Vec<Bytes>, StoreError> {
+    pub fn read_ranges(
+        &self,
+        subfile: &str,
+        ranges: &[(u64, u64)],
+    ) -> Result<Vec<Bytes>, StoreError> {
         self.with_file(subfile, false, |file| {
             let size = file.metadata()?.len();
             let mut out = Vec::with_capacity(ranges.len());
@@ -167,7 +201,12 @@ impl SubfileStore {
 
     /// Delete the subfile; returns whether it existed.
     pub fn delete(&self, subfile: &str) -> Result<bool, StoreError> {
-        self.handles.lock().remove(subfile);
+        // Close the cached descriptor first, waiting out any in-flight I/O
+        // on this subfile, so the unlink below observes a quiesced file.
+        let slot = self.handles.lock().remove(subfile);
+        if let Some(slot) = slot {
+            *slot.lock() = None;
+        }
         match std::fs::remove_file(self.path_of(subfile)) {
             Ok(()) => Ok(true),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(false),
@@ -227,16 +266,75 @@ mod tests {
 
     #[test]
     fn local_name_escaping() {
-        assert_eq!(local_name("/home/x/f"), "home%x%f");
-        assert_eq!(local_name("/a%b/c"), "a%%b%c");
+        assert_eq!(local_name("/home/x/f"), "%shome%sx%sf");
+        assert_eq!(local_name("/a%b/c"), "%sa%%b%sc");
         assert_eq!(local_name("plain"), "plain");
+    }
+
+    #[test]
+    fn local_name_is_injective_on_tricky_pairs() {
+        // Regression: the old encoding mapped '/' to a bare '%' and trimmed
+        // leading escapes, so each of these pairs collided on disk.
+        for (a, b) in [
+            ("/a/b", "a/b"),
+            ("/x", "%x"),
+            ("/x", "x"),
+            ("%/x", "/%x"),
+            ("/a/b", "/a%b"),
+        ] {
+            assert_ne!(local_name(a), local_name(b), "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn absolute_and_relative_subfiles_do_not_collide() {
+        let (s, dir) = store();
+        s.write_ranges("/a/b", &[(0, Bytes::from_static(b"abs"))])
+            .unwrap();
+        s.write_ranges("a/b", &[(0, Bytes::from_static(b"rel"))])
+            .unwrap();
+        s.write_ranges("/x", &[(0, Bytes::from_static(b"sla"))])
+            .unwrap();
+        s.write_ranges("%x", &[(0, Bytes::from_static(b"pct"))])
+            .unwrap();
+        assert_eq!(&s.read_ranges("/a/b", &[(0, 3)]).unwrap()[0][..], b"abs");
+        assert_eq!(&s.read_ranges("a/b", &[(0, 3)]).unwrap()[0][..], b"rel");
+        assert_eq!(&s.read_ranges("/x", &[(0, 3)]).unwrap()[0][..], b"sla");
+        assert_eq!(&s.read_ranges("%x", &[(0, 3)]).unwrap()[0][..], b"pct");
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_distinct_subfiles_make_progress() {
+        let (s, dir) = store();
+        std::thread::scope(|scope| {
+            for i in 0..8u8 {
+                let s = &s;
+                scope.spawn(move || {
+                    let name = format!("/par/{i}");
+                    for round in 0..16u8 {
+                        let payload = Bytes::from(vec![i ^ round; 64]);
+                        s.write_ranges(&name, &[(0, payload.clone())]).unwrap();
+                        let back = s.read_ranges(&name, &[(0, 64)]).unwrap();
+                        assert_eq!(&back[0][..], &payload[..]);
+                    }
+                });
+            }
+        });
+        std::fs::remove_dir_all(dir).unwrap();
     }
 
     #[test]
     fn write_read_round_trip() {
         let (s, dir) = store();
-        s.write_ranges("/f", &[(0, Bytes::from_static(b"hello")), (10, Bytes::from_static(b"world"))])
-            .unwrap();
+        s.write_ranges(
+            "/f",
+            &[
+                (0, Bytes::from_static(b"hello")),
+                (10, Bytes::from_static(b"world")),
+            ],
+        )
+        .unwrap();
         let out = s.read_ranges("/f", &[(0, 5), (10, 5)]).unwrap();
         assert_eq!(&out[0][..], b"hello");
         assert_eq!(&out[1][..], b"world");
@@ -249,7 +347,8 @@ mod tests {
     #[test]
     fn read_past_eof_zero_fills() {
         let (s, dir) = store();
-        s.write_ranges("/f", &[(0, Bytes::from_static(b"abc"))]).unwrap();
+        s.write_ranges("/f", &[(0, Bytes::from_static(b"abc"))])
+            .unwrap();
         let out = s.read_ranges("/f", &[(1, 10)]).unwrap();
         assert_eq!(&out[0][..2], b"bc");
         assert_eq!(&out[0][2..], &[0u8; 8]);
@@ -270,7 +369,8 @@ mod tests {
     fn delete_and_stat() {
         let (s, dir) = store();
         assert_eq!(s.stat("/f").unwrap(), (false, 0));
-        s.write_ranges("/f", &[(0, Bytes::from_static(b"12345678"))]).unwrap();
+        s.write_ranges("/f", &[(0, Bytes::from_static(b"12345678"))])
+            .unwrap();
         assert_eq!(s.stat("/f").unwrap(), (true, 8));
         assert!(s.delete("/f").unwrap());
         assert!(!s.delete("/f").unwrap());
@@ -283,7 +383,9 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("dpfs-subfile-cap-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let s = SubfileStore::open(&dir, 100).unwrap();
-        assert!(s.write_ranges("/f", &[(0, Bytes::from(vec![1u8; 100]))]).is_ok());
+        assert!(s
+            .write_ranges("/f", &[(0, Bytes::from(vec![1u8; 100]))])
+            .is_ok());
         assert!(matches!(
             s.write_ranges("/f", &[(50, Bytes::from(vec![1u8; 100]))]),
             Err(StoreError::NoSpace { .. })
@@ -304,8 +406,10 @@ mod tests {
     #[test]
     fn used_bytes_sums_subfiles() {
         let (s, dir) = store();
-        s.write_ranges("/a", &[(0, Bytes::from(vec![1u8; 10]))]).unwrap();
-        s.write_ranges("/b", &[(0, Bytes::from(vec![1u8; 20]))]).unwrap();
+        s.write_ranges("/a", &[(0, Bytes::from(vec![1u8; 10]))])
+            .unwrap();
+        s.write_ranges("/b", &[(0, Bytes::from(vec![1u8; 20]))])
+            .unwrap();
         assert_eq!(s.used_bytes().unwrap(), 30);
         std::fs::remove_dir_all(dir).unwrap();
     }
@@ -313,8 +417,10 @@ mod tests {
     #[test]
     fn distinct_subfiles_do_not_collide() {
         let (s, dir) = store();
-        s.write_ranges("/a/b", &[(0, Bytes::from_static(b"one"))]).unwrap();
-        s.write_ranges("/a%b", &[(0, Bytes::from_static(b"two"))]).unwrap();
+        s.write_ranges("/a/b", &[(0, Bytes::from_static(b"one"))])
+            .unwrap();
+        s.write_ranges("/a%b", &[(0, Bytes::from_static(b"two"))])
+            .unwrap();
         let one = s.read_ranges("/a/b", &[(0, 3)]).unwrap();
         let two = s.read_ranges("/a%b", &[(0, 3)]).unwrap();
         assert_eq!(&one[0][..], b"one");

@@ -183,7 +183,12 @@ impl Shell {
         let servers = self.fs.catalog().list_servers()?;
         let counts = self.fs.catalog().server_brick_counts()?;
         let mut out = String::new();
-        writeln!(out, "{:<12} {:>14} {:>6} {:>8}", "server", "capacity", "perf", "bricks").unwrap();
+        writeln!(
+            out,
+            "{:<12} {:>14} {:>6} {:>8}",
+            "server", "capacity", "perf", "bricks"
+        )
+        .unwrap();
         for s in &servers {
             let bricks = counts
                 .iter()
@@ -195,7 +200,12 @@ impl Shell {
             } else {
                 s.capacity.to_string()
             };
-            writeln!(out, "{:<12} {:>14} {:>6} {:>8}", s.name, cap, s.performance, bricks).unwrap();
+            writeln!(
+                out,
+                "{:<12} {:>14} {:>6} {:>8}",
+                s.name, cap, s.performance, bricks
+            )
+            .unwrap();
         }
         Ok(out)
     }
@@ -251,9 +261,8 @@ impl Shell {
         match FileLevel::parse(&attr.filelevel)? {
             FileLevel::Linear => out.write_bytes(0, &data)?,
             FileLevel::Multidim | FileLevel::Array => {
-                let shape = dpfs_core::Shape::new(
-                    attr.dimsize.iter().map(|&x| x as u64).collect(),
-                )?;
+                let shape =
+                    dpfs_core::Shape::new(attr.dimsize.iter().map(|&x| x as u64).collect())?;
                 out.write_region(&shape.full_region(), &data)?;
             }
         }
@@ -263,10 +272,8 @@ impl Shell {
 
     fn cmd_mv(&mut self, args: &[String]) -> Result<String> {
         let (src, dst) = self.two_args(args, "mv <src> <dst>")?;
-        self.fs.rename(
-            &resolve_path(&self.cwd, src),
-            &resolve_path(&self.cwd, dst),
-        )?;
+        self.fs
+            .rename(&resolve_path(&self.cwd, src), &resolve_path(&self.cwd, dst))?;
         Ok(String::new())
     }
 
@@ -277,9 +284,8 @@ impl Shell {
             [l, d, b] => (
                 l.as_str(),
                 d.as_str(),
-                b.parse::<u64>().map_err(|_| {
-                    DpfsError::InvalidArgument(format!("bad brick size {b:?}"))
-                })?,
+                b.parse::<u64>()
+                    .map_err(|_| DpfsError::InvalidArgument(format!("bad brick size {b:?}")))?,
             ),
             _ => {
                 return Err(DpfsError::InvalidArgument(
@@ -435,11 +441,14 @@ impl Shell {
             [p] => (p.as_str(), 512u64),
             [p, n] => (
                 p.as_str(),
-                n.parse().map_err(|_| {
-                    DpfsError::InvalidArgument(format!("bad byte count {n:?}"))
-                })?,
+                n.parse()
+                    .map_err(|_| DpfsError::InvalidArgument(format!("bad byte count {n:?}")))?,
             ),
-            _ => return Err(DpfsError::InvalidArgument("usage: head <file> [bytes]".into())),
+            _ => {
+                return Err(DpfsError::InvalidArgument(
+                    "usage: head <file> [bytes]".into(),
+                ))
+            }
         };
         let full = resolve_path(&self.cwd, path);
         let data = self.read_all(&full)?;
@@ -581,7 +590,8 @@ mod tests {
         let (mut sh, _tb) = shell();
         let tmp = std::env::temp_dir().join(format!("dpfs-shell-ls-{}", std::process::id()));
         std::fs::write(&tmp, b"hello dpfs").unwrap();
-        sh.exec(&format!("import {} /f.txt", tmp.display())).unwrap();
+        sh.exec(&format!("import {} /f.txt", tmp.display()))
+            .unwrap();
         let ls = sh.exec("ls").unwrap();
         assert!(ls.contains("f.txt"));
         let lsl = sh.exec("ls -l").unwrap();
@@ -600,7 +610,8 @@ mod tests {
         let (mut sh, _tb) = shell();
         let tmp = std::env::temp_dir().join(format!("dpfs-shell-cp-{}", std::process::id()));
         std::fs::write(&tmp, vec![42u8; 10_000]).unwrap();
-        sh.exec(&format!("import {} /a 1024", tmp.display())).unwrap();
+        sh.exec(&format!("import {} /a 1024", tmp.display()))
+            .unwrap();
         sh.exec("cp /a /b").unwrap();
         let a = sh.fs().stat("/a").unwrap();
         let b = sh.fs().stat("/b").unwrap();
@@ -648,7 +659,8 @@ mod tests {
         let tmp = std::env::temp_dir().join(format!("dpfs-shell-du-{}", std::process::id()));
         std::fs::write(&tmp, vec![0u8; 1000]).unwrap();
         sh.exec(&format!("import {} /a/f1", tmp.display())).unwrap();
-        sh.exec(&format!("import {} /a/b/f2", tmp.display())).unwrap();
+        sh.exec(&format!("import {} /a/b/f2", tmp.display()))
+            .unwrap();
         let du = sh.exec("du /a").unwrap();
         assert!(du.contains("2000"), "du output: {du}"); // /a total
         assert!(du.contains("1000")); // /a/b total

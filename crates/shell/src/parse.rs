@@ -85,7 +85,10 @@ mod tests {
 
     #[test]
     fn splits_simple_words() {
-        assert_eq!(split_words("ls -l /home").unwrap(), vec!["ls", "-l", "/home"]);
+        assert_eq!(
+            split_words("ls -l /home").unwrap(),
+            vec!["ls", "-l", "/home"]
+        );
         assert!(split_words("   ").unwrap().is_empty());
     }
 
@@ -99,7 +102,10 @@ mod tests {
 
     #[test]
     fn escape_in_double_quotes() {
-        assert_eq!(split_words("echo \"a\\\"b\"").unwrap(), vec!["echo", "a\"b"]);
+        assert_eq!(
+            split_words("echo \"a\\\"b\"").unwrap(),
+            vec!["echo", "a\"b"]
+        );
     }
 
     #[test]

@@ -57,7 +57,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut f = c.open("/ckpt/step_000042").unwrap();
         let data = f.read_chunk(rank as u64).unwrap();
         let chunk = f.chunk_region(rank as u64).unwrap();
-        assert_eq!(data, state_of(rank, chunk.volume()), "restored state differs!");
+        assert_eq!(
+            data,
+            state_of(rank, chunk.volume()),
+            "restored state differs!"
+        );
         assert_eq!(f.stats().requests, 1);
         data.len() as u64
     });

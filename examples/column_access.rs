@@ -47,18 +47,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let got = lin.read_datatype(0, &dt)?;
     assert_eq!(got, expected);
     let ls = lin.stats();
-    println!("linear   : {:>6} requests, {:>9} wire bytes, {:>7} useful bytes ({:.1}% efficient)",
-        ls.requests, ls.wire_read, ls.useful_read,
-        100.0 * ls.useful_read as f64 / ls.wire_read as f64);
+    println!(
+        "linear   : {:>6} requests, {:>9} wire bytes, {:>7} useful bytes ({:.1}% efficient)",
+        ls.requests,
+        ls.wire_read,
+        ls.useful_read,
+        100.0 * ls.useful_read as f64 / ls.wire_read as f64
+    );
 
     // --- multidim file, same region ---
     let mut md = client.open("/md")?;
     let got = md.read_region(&region)?;
     assert_eq!(got, expected);
     let ms = md.stats();
-    println!("multidim : {:>6} requests, {:>9} wire bytes, {:>7} useful bytes ({:.1}% efficient)",
-        ms.requests, ms.wire_read, ms.useful_read,
-        100.0 * ms.useful_read as f64 / ms.wire_read as f64);
+    println!(
+        "multidim : {:>6} requests, {:>9} wire bytes, {:>7} useful bytes ({:.1}% efficient)",
+        ms.requests,
+        ms.wire_read,
+        ms.useful_read,
+        100.0 * ms.useful_read as f64 / ms.wire_read as f64
+    );
 
     println!(
         "\nmultidim needs {}x fewer requests and {}x less wire traffic",

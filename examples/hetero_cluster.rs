@@ -14,7 +14,10 @@ use dpfs::server::StorageClass;
 const FILE_BYTES: u64 = 1 << 20; // 1 MiB
 const BRICK: u64 = 4096;
 
-fn run(placement: Placement) -> Result<(f64, Vec<(String, usize)>), Box<dyn std::error::Error>> {
+/// Aggregate bandwidth in MB/s plus per-server brick counts for one run.
+type RunOutcome = (f64, Vec<(String, usize)>);
+
+fn run(placement: Placement) -> Result<RunOutcome, Box<dyn std::error::Error>> {
     // 4 servers: two class-1 (fast LAN) and two class-3 (metro ATM, ~3x
     // slower per brick) — the paper's §8.2 mix.
     let testbed = Testbed::mixed(4, &[StorageClass::Class1, StorageClass::Class3])?;

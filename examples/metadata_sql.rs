@@ -19,19 +19,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     client.create("/home/xhshen/dpfs.test", &Hint::linear(65536, 2_097_152))?;
     client.create(
         "/home/xhshen/matrix",
-        &Hint::multidim(Shape::new(vec![1024, 1024])?, Shape::new(vec![256, 256])?, 4),
+        &Hint::multidim(
+            Shape::new(vec![1024, 1024])?,
+            Shape::new(vec![256, 256])?,
+            4,
+        ),
     )?;
     client.create(
         "/home/xhshen/ckpt",
-        &Hint::array(Shape::new(vec![512, 512])?, HpfPattern::block_block(2, 2), 8)
-            .with_placement(Placement::Greedy),
+        &Hint::array(
+            Shape::new(vec![512, 512])?,
+            HpfPattern::block_block(2, 2),
+            8,
+        )
+        .with_placement(Placement::Greedy),
     )?;
 
     let db = client.catalog().db();
 
     // The four tables of Figure 10, via standard SQL.
     println!("== DPFS-SERVER ==");
-    let rs = db.execute("SELECT server_name, capacity, performance FROM dpfs_server ORDER BY server_name")?;
+    let rs = db.execute(
+        "SELECT server_name, capacity, performance FROM dpfs_server ORDER BY server_name",
+    )?;
     for row in &rs.rows {
         println!("  {row:?}");
     }
@@ -67,14 +77,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Transactions guard multi-table consistency (the paper's §5 argument):
     // a failed transaction leaves nothing behind.
     let result: Result<(), dpfs::meta::MetaError> = db.transaction(|txn| {
-        txn.execute("UPDATE dpfs_file_attr SET owner = 'nobody' WHERE filename = '/home/xhshen/dpfs.test'")?;
+        txn.execute(
+            "UPDATE dpfs_file_attr SET owner = 'nobody' WHERE filename = '/home/xhshen/dpfs.test'",
+        )?;
         // ... simulated failure before the second statement commits
         Err(dpfs::meta::MetaError::Txn("simulated crash".into()))
     });
     assert!(result.is_err());
-    let rs = db.execute(
-        "SELECT owner FROM dpfs_file_attr WHERE filename = '/home/xhshen/dpfs.test'",
-    )?;
+    let rs =
+        db.execute("SELECT owner FROM dpfs_file_attr WHERE filename = '/home/xhshen/dpfs.test'")?;
     println!(
         "\nafter rolled-back transaction, owner is still {:?}",
         rs.rows[0][0]

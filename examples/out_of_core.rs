@@ -46,7 +46,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .unwrap();
         band.len() as u64
     });
-    println!("filled /A: {}x{} f32 ({} MB)", N, N, N * N * ELEM / (1 << 20));
+    println!(
+        "filled /A: {}x{} f32 ({} MB)",
+        N,
+        N,
+        N * N * ELEM / (1 << 20)
+    );
 
     // Transpose tile by tile; worker k owns tile-rows k, k+4, k+8, ...
     let tiles = N / TILE;
@@ -57,8 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut ti = rank as u64;
         while ti < tiles {
             for tj in 0..tiles {
-                let in_region =
-                    Region::new(vec![ti * TILE, tj * TILE], vec![TILE, TILE]).unwrap();
+                let in_region = Region::new(vec![ti * TILE, tj * TILE], vec![TILE, TILE]).unwrap();
                 let tile = src.read_region(&in_region).unwrap();
                 // transpose the tile in memory
                 let mut out = vec![0u8; tile.len()];
@@ -69,8 +73,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                         out[d..d + ELEM as usize].copy_from_slice(&tile[s..s + ELEM as usize]);
                     }
                 }
-                let out_region =
-                    Region::new(vec![tj * TILE, ti * TILE], vec![TILE, TILE]).unwrap();
+                let out_region = Region::new(vec![tj * TILE, ti * TILE], vec![TILE, TILE]).unwrap();
                 dst.write_region(&out_region, &out).unwrap();
                 moved += 2 * tile.len() as u64;
             }

@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     client.mkdir("/home")?;
     let hint = Hint::linear(4096, 1 << 20).with_owner("quickstart");
     let mut file = client.create("/home/hello.dat", &hint)?;
-    println!("created /home/hello.dat with {} bricks", file.brick_map().num_bricks());
+    println!(
+        "created /home/hello.dat with {} bricks",
+        file.brick_map().num_bricks()
+    );
 
     // 3. Write a pattern and read it back.
     let payload: Vec<u8> = (0..1 << 20).map(|i| (i % 251) as u8).collect();
@@ -43,7 +46,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let stats = file.stats();
     println!(
         "client stats: {} requests, {} bytes over the wire",
-        stats.requests, stats.wire_read + stats.wire_written
+        stats.requests,
+        stats.wire_read + stats.wire_written
     );
     file.close()?;
     Ok(())

@@ -24,7 +24,10 @@ fn linear_file_full_cycle() {
     f.write_bytes(0, &data).unwrap();
     assert_eq!(f.size(), 300_000);
     // unaligned interior read
-    assert_eq!(f.read_bytes(12345, 54321).unwrap(), &data[12345..12345 + 54321]);
+    assert_eq!(
+        f.read_bytes(12345, 54321).unwrap(),
+        &data[12345..12345 + 54321]
+    );
     // overwrite a slice in the middle
     f.write_bytes(100_000, &[0xEE; 500]).unwrap();
     let got = f.read_bytes(99_999, 502).unwrap();
@@ -179,8 +182,14 @@ fn test_resolver(tb: &Testbed) -> Resolver {
 
 #[test]
 fn greedy_file_distribution_matches_catalog() {
-    let tb = Testbed::mixed(4, &[dpfs::server::StorageClass::Class1, dpfs::server::StorageClass::Class3])
-        .unwrap();
+    let tb = Testbed::mixed(
+        4,
+        &[
+            dpfs::server::StorageClass::Class1,
+            dpfs::server::StorageClass::Class3,
+        ],
+    )
+    .unwrap();
     let client = tb.client(0, true);
     let hint = Hint::linear(1024, 32 * 1024).with_placement(Placement::Greedy);
     let f = client.create("/g", &hint).unwrap();

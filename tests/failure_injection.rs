@@ -40,9 +40,7 @@ fn failed_create_leaves_no_metadata_residue() {
     assert!(client.create("/no/such/dir/f", &hint).err().is_some());
     // ...and leaves no attr/distribution rows behind
     let db = client.catalog().db();
-    let rs = db
-        .execute("SELECT COUNT(*) FROM dpfs_file_attr")
-        .unwrap();
+    let rs = db.execute("SELECT COUNT(*) FROM dpfs_file_attr").unwrap();
     assert_eq!(rs.rows[0][0], dpfs::meta::Value::Int(0));
     let rs = db
         .execute("SELECT COUNT(*) FROM dpfs_file_distribution")
@@ -57,11 +55,13 @@ fn capacity_exhaustion_surfaces_as_no_space() {
             name: "ion00".into(),
             class: dpfs::server::StorageClass::Unthrottled,
             capacity: 10_000,
+            model: None,
         },
         dpfs::cluster::NodeSpec {
             name: "ion01".into(),
             class: dpfs::server::StorageClass::Unthrottled,
             capacity: 10_000,
+            model: None,
         },
     ])
     .unwrap();
@@ -133,7 +133,10 @@ fn double_create_and_double_unlink() {
         1,
     );
     client.create("/dup", &hint).unwrap();
-    let err = client.create("/dup", &hint).err().expect("duplicate create must fail");
+    let err = client
+        .create("/dup", &hint)
+        .err()
+        .expect("duplicate create must fail");
     assert!(matches!(err, DpfsError::FileExists(_)), "{err}");
     client.unlink("/dup").unwrap();
     let err = client.unlink("/dup").unwrap_err();
@@ -146,20 +149,25 @@ fn checkpoint_then_recover_under_load() {
     let _ = std::fs::remove_dir_all(&dir);
     {
         let db = Arc::new(Database::open(&dir).unwrap());
-        db.execute("CREATE TABLE t (k INT PRIMARY KEY, v INT)").unwrap();
+        db.execute("CREATE TABLE t (k INT PRIMARY KEY, v INT)")
+            .unwrap();
         for k in 0..50 {
-            db.execute(&format!("INSERT INTO t VALUES ({k}, {})", k * k)).unwrap();
+            db.execute(&format!("INSERT INTO t VALUES ({k}, {})", k * k))
+                .unwrap();
         }
         db.checkpoint().unwrap();
         // more work after the checkpoint, living only in the WAL
         for k in 50..80 {
-            db.execute(&format!("INSERT INTO t VALUES ({k}, {})", k * k)).unwrap();
+            db.execute(&format!("INSERT INTO t VALUES ({k}, {})", k * k))
+                .unwrap();
         }
         db.execute("DELETE FROM t WHERE k < 10").unwrap();
     }
     {
         let db = Database::open(&dir).unwrap();
-        let rs = db.execute("SELECT COUNT(*), MIN(k), MAX(k) FROM t").unwrap();
+        let rs = db
+            .execute("SELECT COUNT(*), MIN(k), MAX(k) FROM t")
+            .unwrap();
         assert_eq!(rs.rows[0][0], dpfs::meta::Value::Int(70));
         assert_eq!(rs.rows[0][1], dpfs::meta::Value::Int(10));
         assert_eq!(rs.rows[0][2], dpfs::meta::Value::Int(79));

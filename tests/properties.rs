@@ -3,11 +3,11 @@
 
 use proptest::prelude::*;
 
+use dpfs::core::plan::{plan_reads, plan_writes};
 use dpfs::core::{
     greedy, round_robin, ArrayLayout, BrickMap, Datatype, Granularity, HpfPattern, Layout,
     LinearLayout, MultidimLayout, Region, Shape,
 };
-use dpfs::core::plan::{plan_reads, plan_writes};
 
 // ---------- layout coverage invariants ----------
 

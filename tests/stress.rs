@@ -18,11 +18,7 @@ struct ModelFile {
 }
 
 fn random_shape(rng: &mut StdRng) -> Shape {
-    Shape::new(vec![
-        rng.gen_range(8..=40),
-        rng.gen_range(8..=40),
-    ])
-    .unwrap()
+    Shape::new(vec![rng.gen_range(8..=40), rng.gen_range(8..=40)]).unwrap()
 }
 
 #[test]
@@ -73,13 +69,10 @@ fn run_seed(seed: u64) {
                     }
                     FileLevel::Multidim => {
                         let shape = random_shape(&mut rng);
-                        let brick = Shape::new(vec![
-                            rng.gen_range(2..=9),
-                            rng.gen_range(2..=9),
-                        ])
-                        .unwrap();
-                        let hint = Hint::multidim(shape.clone(), brick, 1)
-                            .with_placement(placement);
+                        let brick =
+                            Shape::new(vec![rng.gen_range(2..=9), rng.gen_range(2..=9)]).unwrap();
+                        let hint =
+                            Hint::multidim(shape.clone(), brick, 1).with_placement(placement);
                         client.create(&path, &hint).unwrap();
                         let vol = shape.volume() as usize;
                         model.insert(
@@ -98,12 +91,8 @@ fn run_seed(seed: u64) {
                         if (p - 1) * shape.0[0].div_ceil(p) >= shape.0[0] {
                             continue;
                         }
-                        let hint = Hint::array(
-                            shape.clone(),
-                            HpfPattern::block_star(p, 2),
-                            1,
-                        )
-                        .with_placement(placement);
+                        let hint = Hint::array(shape.clone(), HpfPattern::block_star(p, 2), 1)
+                            .with_placement(placement);
                         client.create(&path, &hint).unwrap();
                         let vol = shape.volume() as usize;
                         model.insert(
@@ -119,15 +108,16 @@ fn run_seed(seed: u64) {
             }
             // write somewhere
             20..=59 => {
-                let Some(path) = pick_file(&model, &mut rng) else { continue };
+                let Some(path) = pick_file(&model, &mut rng) else {
+                    continue;
+                };
                 let mf = model.get_mut(&path).unwrap();
                 let mut f = client.open(&path).unwrap();
                 match mf.level {
                     FileLevel::Linear => {
                         let off = rng.gen_range(0..2000u64);
                         let len = rng.gen_range(1..500usize);
-                        let data: Vec<u8> =
-                            (0..len).map(|_| rng.gen::<u8>()).collect();
+                        let data: Vec<u8> = (0..len).map(|_| rng.gen::<u8>()).collect();
                         f.write_bytes(off, &data).unwrap();
                         let end = off as usize + len;
                         if mf.bytes.len() < end {
@@ -139,8 +129,7 @@ fn run_seed(seed: u64) {
                         let shape = mf.shape.as_ref().unwrap().clone();
                         let region = random_region(&shape, &mut rng);
                         let vol = region.volume() as usize;
-                        let data: Vec<u8> =
-                            (0..vol).map(|_| rng.gen::<u8>()).collect();
+                        let data: Vec<u8> = (0..vol).map(|_| rng.gen::<u8>()).collect();
                         f.write_region(&region, &data).unwrap();
                         apply_region(&mut mf.bytes, &shape, &region, &data);
                     }
@@ -148,7 +137,9 @@ fn run_seed(seed: u64) {
             }
             // read & verify somewhere
             60..=89 => {
-                let Some(path) = pick_file(&model, &mut rng) else { continue };
+                let Some(path) = pick_file(&model, &mut rng) else {
+                    continue;
+                };
                 let mf = &model[&path];
                 let mut f = client.open(&path).unwrap();
                 match mf.level {
@@ -157,8 +148,7 @@ fn run_seed(seed: u64) {
                             continue;
                         }
                         let off = rng.gen_range(0..mf.bytes.len());
-                        let len = rng
-                            .gen_range(1..=(mf.bytes.len() - off).min(700));
+                        let len = rng.gen_range(1..=(mf.bytes.len() - off).min(700));
                         let got = f.read_bytes(off as u64, len as u64).unwrap();
                         assert_eq!(
                             got,
@@ -180,7 +170,9 @@ fn run_seed(seed: u64) {
             }
             // unlink
             _ => {
-                let Some(path) = pick_file(&model, &mut rng) else { continue };
+                let Some(path) = pick_file(&model, &mut rng) else {
+                    continue;
+                };
                 client.unlink(&path).unwrap();
                 model.remove(&path);
                 assert!(!client.exists(&path).unwrap());
@@ -207,7 +199,11 @@ fn run_seed(seed: u64) {
     }
     // the catalog is consistent too
     let report = dpfs::core::fsck::fsck(&client, true).unwrap();
-    assert!(report.clean(), "seed {seed}: fsck issues {:?}", report.issues);
+    assert!(
+        report.clean(),
+        "seed {seed}: fsck issues {:?}",
+        report.issues
+    );
 }
 
 fn pick_file(model: &HashMap<String, ModelFile>, rng: &mut StdRng) -> Option<String> {
