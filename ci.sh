@@ -14,4 +14,10 @@ cargo build --release
 echo "==> tier-1: tests"
 cargo test -q
 
+echo "==> docs (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+echo "==> ablation smoke (--quick)"
+cargo run --release -q -p dpfs-bench --bin ablation -- --quick
+
 echo "CI green."

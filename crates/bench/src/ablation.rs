@@ -1,14 +1,14 @@
 //! Ablation studies on DPFS design choices beyond the paper's figures:
 //! brick-size sweep, read granularity (brick vs exact), the staggered
-//! schedule, I/O-node scaling, the client-side brick cache, and parallel
-//! vs serial per-server dispatch.
+//! schedule, I/O-node scaling, the client-side brick cache, parallel vs
+//! serial per-server dispatch, and transport pipelining depth.
 
 use std::sync::Barrier;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use dpfs_cluster::{run_clients, Testbed};
+use dpfs_cluster::{run_clients, NodeSpec, Testbed};
 use dpfs_core::{ClientOptions, Granularity, Hint, Region, Shape};
-use dpfs_server::StorageClass;
+use dpfs_server::{PerfModel, StorageClass};
 
 use crate::figures::FigScale;
 
@@ -250,6 +250,100 @@ pub fn dispatch_ablation(scale: FigScale) -> Vec<Point> {
     out
 }
 
+/// Transport-pipelining ablation: two file handles of ONE client — hence
+/// sharing one connection per server — each stream combined reads of their
+/// own file. The delay model is pure per-request latency (no device time),
+/// isolating what the wire layer can overlap:
+///
+/// - **multiplexed** (this PR): both handles' requests ride the shared
+///   connections concurrently under distinct correlation IDs;
+/// - **lockstep** (PR 1 baseline): one in-flight RPC per server connection,
+///   so the handles' round-trips to each server serialize;
+/// - **serial** (PR 0 baseline): each handle additionally issues its own
+///   per-server requests one at a time.
+pub fn pipeline_ablation(scale: FigScale) -> Vec<Point> {
+    let latency = Duration::from_millis(5);
+    let model = PerfModel {
+        request_latency: latency,
+        bandwidth: u64::MAX,
+        seek_latency: Duration::ZERO,
+    };
+    let servers = 4usize;
+    let n = scale.array_side();
+    let file_bytes = n * n / 8;
+    // one brick per server: a combined read is exactly one request per server
+    let brick = file_bytes / servers as u64;
+    let handles = 2usize;
+    let rounds = match scale {
+        FigScale::Full => 16u64,
+        FigScale::Quick => 6,
+    };
+    let mut out = Vec::new();
+    for (label, opts) in [
+        (
+            "multiplexed connections (pipelined)",
+            ClientOptions::default(),
+        ),
+        (
+            "lockstep connections (PR 1)",
+            ClientOptions {
+                lockstep_rpc: true,
+                ..ClientOptions::default()
+            },
+        ),
+        (
+            "serial dispatch",
+            ClientOptions {
+                serial_dispatch: true,
+                ..ClientOptions::default()
+            },
+        ),
+    ] {
+        let specs: Vec<NodeSpec> = (0..servers)
+            .map(|i| NodeSpec::with_model(i, model))
+            .collect();
+        let tb = Testbed::start(&specs).unwrap();
+        let client = tb.client_opts(opts);
+        for h in 0..handles {
+            let path = format!("/p{h}");
+            client
+                .create(&path, &Hint::linear(brick, file_bytes))
+                .unwrap();
+            let mut f = client.open(&path).unwrap();
+            f.write_bytes(0, &vec![1u8; file_bytes as usize]).unwrap();
+        }
+        let barrier = Barrier::new(handles + 1);
+        let client = &client;
+        let mut elapsed = Duration::ZERO;
+        let mut bytes = 0u64;
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..handles)
+                .map(|h| {
+                    let barrier = &barrier;
+                    scope.spawn(move || {
+                        let mut f = client.open(&format!("/p{h}")).unwrap();
+                        barrier.wait();
+                        let mut bytes = 0u64;
+                        for _ in 0..rounds {
+                            bytes += f.read_bytes(0, file_bytes).unwrap().len() as u64;
+                        }
+                        bytes
+                    })
+                })
+                .collect();
+            barrier.wait();
+            let start = Instant::now();
+            for w in workers {
+                bytes += w.join().unwrap();
+            }
+            elapsed = start.elapsed();
+        });
+        let mbps = bytes as f64 / 1e6 / elapsed.as_secs_f64();
+        out.push((label.to_string(), mbps));
+    }
+    out
+}
+
 /// Render a list of points as an aligned table.
 pub fn print_points(title: &str, points: &[Point]) {
     println!("{title}");
@@ -281,6 +375,21 @@ mod tests {
         let pts = granularity_ablation(FigScale::Quick);
         assert_eq!(pts.len(), 2);
         assert!(pts.iter().all(|(_, v)| *v > 0.0));
+    }
+
+    #[test]
+    fn pipeline_ablation_multiplexed_wins() {
+        let pts = pipeline_ablation(FigScale::Quick);
+        assert_eq!(pts.len(), 3);
+        let (multiplexed, lockstep, serial) = (pts[0].1, pts[1].1, pts[2].1);
+        assert!(
+            multiplexed > lockstep,
+            "multiplexed {multiplexed} MB/s must beat lockstep {lockstep} MB/s"
+        );
+        assert!(
+            multiplexed > serial,
+            "multiplexed {multiplexed} MB/s must beat serial {serial} MB/s"
+        );
     }
 
     #[test]

@@ -1,12 +1,23 @@
 //! Ablation studies: brick size, read granularity, staggered schedule,
-//! I/O-node scaling, client cache. Not paper figures — these probe the
-//! design choices DESIGN.md calls out.
+//! I/O-node scaling, client cache, dispatch mode, transport pipelining.
+//! Not paper figures — these probe the design choices DESIGN.md calls out.
+//!
+//! `--quick` forces the small workload scale and turns the run into a smoke
+//! test: the directional regression checks (cache wins, parallel dispatch
+//! wins, multiplexed transport wins) are asserted and a violation exits
+//! nonzero, so CI can run the real binary end to end.
 
 use dpfs_bench::ablation::*;
 use dpfs_bench::FigScale;
 
 fn main() {
-    let scale = FigScale::from_env();
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = if quick {
+        FigScale::Quick
+    } else {
+        FigScale::from_env()
+    };
+
     print_points(
         "Ablation 1: linear brick-size sweep (8 clients, 4 class-3 servers, combined)",
         &brick_size_sweep(scale),
@@ -23,12 +34,52 @@ fn main() {
         "Ablation 4: I/O-node scaling (8 clients, multidim (*, BLOCK) read)",
         &io_node_scaling(scale),
     );
+    let cache = cache_ablation(scale);
     print_points(
         "Ablation 5: client-side brick cache (hot-region re-reads)",
-        &cache_ablation(scale),
+        &cache,
     );
+    let dispatch = dispatch_ablation(scale);
     print_points(
         "Ablation 6: parallel vs serial per-server dispatch (1 client, 4 class-3 servers)",
-        &dispatch_ablation(scale),
+        &dispatch,
     );
+    let pipeline = pipeline_ablation(scale);
+    print_points(
+        "Ablation 7: transport pipelining depth (2 handles sharing per-server connections)",
+        &pipeline,
+    );
+
+    if quick {
+        let mut failures = Vec::new();
+        let mut check = |what: &str, ok: bool| {
+            if !ok {
+                failures.push(what.to_string());
+            }
+        };
+        check(
+            "client-side brick cache must beat no-cache on hot re-reads",
+            cache[1].1 > cache[0].1,
+        );
+        check(
+            "parallel per-server dispatch must beat the serial request loop",
+            dispatch[0].1 > dispatch[1].1,
+        );
+        check(
+            "multiplexed transport must beat lockstep connections (PR 1)",
+            pipeline[0].1 > pipeline[1].1,
+        );
+        check(
+            "multiplexed transport must beat serial dispatch",
+            pipeline[0].1 > pipeline[2].1,
+        );
+        if failures.is_empty() {
+            println!("quick smoke checks: all passed");
+        } else {
+            for f in &failures {
+                eprintln!("ablation regression: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
 }

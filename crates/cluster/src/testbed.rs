@@ -158,7 +158,7 @@ impl Testbed {
             combine,
             granularity,
             rank,
-            serial_dispatch: false,
+            ..ClientOptions::default()
         })
     }
 

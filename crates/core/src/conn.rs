@@ -2,19 +2,24 @@
 //!
 //! The paper's DPFS-API "invokes system communication API such as socket on
 //! UNIX to send the request to the server" (§2). Each client holds one
-//! persistent TCP connection per server, opened lazily on first use.
+//! persistent TCP connection per server, opened lazily on first use and
+//! multiplexed by [`crate::transport::Transport`]: requests are stamped
+//! with correlation IDs and pipelined, so independent RPCs to one server
+//! overlap instead of queueing behind each other.
 //! Server *names* are dial strings (`host:port`), optionally redirected
 //! through an alias map — the in-process testbed registers servers under
 //! stable display names aliased to their ephemeral localhost ports.
 
 use std::collections::HashMap;
-use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
-use dpfs_proto::{frame, ErrorCode, Request, Response};
+use dpfs_proto::{ErrorCode, Request, Response};
 use parking_lot::Mutex;
 
 use crate::error::{DpfsError, Result};
+use crate::transport::{Pending, Transport, TransportStats, DEFAULT_RPC_TIMEOUT};
 
 /// Maps server names to dial addresses. Empty = dial the name itself.
 #[derive(Debug, Clone, Default)]
@@ -39,69 +44,98 @@ impl Resolver {
     }
 }
 
-/// One server's connection slot: `None` until first use and after a
-/// transport error evicts the stream.
-type ConnSlot = Arc<Mutex<Option<TcpStream>>>;
-
-/// A pool of lazily-opened server connections, owned by one client.
+/// A pool of lazily-opened, multiplexed server transports, owned by one
+/// client.
 ///
-/// Locking is two-level so RPCs to *different* servers proceed in
-/// parallel: the pool-wide map lock is held only long enough to look up
-/// (or insert) a server's slot, and each slot has its own lock held
-/// across the network round-trip. Requests to the *same* server still
-/// serialize on its slot, which a single framed TCP stream requires.
+/// The pool-wide map lock is held only long enough to look up (or insert)
+/// a server's [`Transport`]; RPCs to different servers — and, new with the
+/// multiplexed transport, *independent RPCs to the same server* — proceed
+/// in parallel. `lockstep` restores PR 1's one-in-flight-per-server
+/// behaviour as an ablation baseline.
 pub struct ConnPool {
     resolver: Arc<Resolver>,
-    conns: Mutex<HashMap<String, ConnSlot>>,
+    transports: Mutex<HashMap<String, Arc<Transport>>>,
+    /// Per-request deadline in nanoseconds (atomic so handles sharing the
+    /// pool can tighten it without extra locking).
+    timeout_ns: AtomicU64,
+    /// Ablation: serialize RPCs per server by holding the transport gate
+    /// across submit+wait (the PR 1 baseline).
+    lockstep: AtomicBool,
 }
 
 impl ConnPool {
-    /// New pool using `resolver` for name resolution.
+    /// New pool using `resolver` for name resolution and the default
+    /// per-request deadline.
     pub fn new(resolver: Arc<Resolver>) -> ConnPool {
         ConnPool {
             resolver,
-            conns: Mutex::new(HashMap::new()),
+            transports: Mutex::new(HashMap::new()),
+            timeout_ns: AtomicU64::new(DEFAULT_RPC_TIMEOUT.as_nanos() as u64),
+            lockstep: AtomicBool::new(false),
         }
     }
 
-    /// The slot for `server`, created empty on first sight. Holds the map
+    /// The per-request deadline applied by [`ConnPool::rpc`] and
+    /// [`crate::transport::Pending::wait`] callers that use this pool's
+    /// default.
+    pub fn rpc_timeout(&self) -> Duration {
+        Duration::from_nanos(self.timeout_ns.load(Ordering::Relaxed))
+    }
+
+    /// Set the per-request deadline for every subsequent RPC on this pool.
+    pub fn set_rpc_timeout(&self, timeout: Duration) {
+        self.timeout_ns.store(
+            timeout.as_nanos().min(u64::MAX as u128) as u64,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Toggle the PR 1 lockstep ablation mode (one in-flight RPC per
+    /// server, the round-trip serialized under the transport gate).
+    pub fn set_lockstep(&self, on: bool) {
+        self.lockstep.store(on, Ordering::Relaxed);
+    }
+
+    /// The transport for `server`, created on first sight. Holds the map
     /// lock only for the lookup/insert.
-    fn slot(&self, server: &str) -> ConnSlot {
-        let mut conns = self.conns.lock();
-        if let Some(slot) = conns.get(server) {
-            return slot.clone();
+    fn transport(&self, server: &str) -> Arc<Transport> {
+        let mut transports = self.transports.lock();
+        if let Some(t) = transports.get(server) {
+            return t.clone();
         }
-        let slot = ConnSlot::default();
-        conns.insert(server.to_string(), slot.clone());
-        slot
+        let t = Arc::new(Transport::new(server.to_string(), self.resolver.clone()));
+        transports.insert(server.to_string(), t.clone());
+        t
     }
 
-    /// Issue one request to `server` and await its response. Opens the
-    /// connection on first use; a transport error evicts the cached
-    /// connection so the next call redials.
+    /// Enqueue one request to `server` without waiting for the response.
+    /// The returned [`Pending`] is awaited with [`Pending::wait`]; submit
+    /// several before waiting to pipeline them on the shared connection.
+    pub fn submit(&self, server: &str, req: &Request) -> Result<Pending> {
+        self.transport(server).submit(req)
+    }
+
+    /// Issue one request to `server` and await its response (submit +
+    /// wait under this pool's deadline). Opens the connection on first
+    /// use; a transport error or timeout poisons the cached connection so
+    /// the next call redials.
     pub fn rpc(&self, server: &str, req: &Request) -> Result<Response> {
-        let slot = self.slot(server);
-        let mut conn = slot.lock();
-        if conn.is_none() {
-            let addr = self.resolver.resolve(server);
-            let stream = TcpStream::connect(addr).map_err(|e| DpfsError::Connect {
-                server: server.to_string(),
-                source: e,
-            })?;
-            stream.set_nodelay(true).ok();
-            *conn = Some(stream);
+        if self.lockstep.load(Ordering::Relaxed) {
+            return self.rpc_lockstep(server, req);
         }
-        let stream = conn.as_mut().expect("just connected");
-        let outcome = frame::write_frame(stream, &req.encode())
-            .and_then(|()| frame::read_frame(stream))
-            .and_then(Response::decode);
-        match outcome {
-            Ok(resp) => Ok(resp),
-            Err(e) => {
-                *conn = None;
-                Err(e.into())
-            }
-        }
+        let timeout = self.rpc_timeout();
+        self.transport(server).submit(req)?.wait(timeout)
+    }
+
+    /// [`ConnPool::rpc`], but with the transport's lockstep gate held across
+    /// the whole round-trip: at most one RPC in flight on this server's
+    /// connection. This is PR 1's wire behaviour, kept as the ablation
+    /// baseline for transport pipelining.
+    pub fn rpc_lockstep(&self, server: &str, req: &Request) -> Result<Response> {
+        let transport = self.transport(server);
+        let timeout = self.rpc_timeout();
+        let _gate = transport.lockstep_gate();
+        transport.submit(req)?.wait(timeout)
     }
 
     /// Like [`ConnPool::rpc`] but converts server-side `Error` responses
@@ -113,19 +147,37 @@ impl ConnPool {
         }
     }
 
-    /// Drop the cached connection to `server` (if any). Waits for an
-    /// in-flight RPC on that connection to finish rather than yanking the
-    /// stream out from under it.
+    /// Drop the cached connection to `server` (if any). In-flight RPCs on
+    /// that connection receive [`DpfsError::Disconnected`]; the next RPC
+    /// redials.
     pub fn disconnect(&self, server: &str) {
-        let slot = { self.conns.lock().get(server).cloned() };
-        if let Some(slot) = slot {
-            *slot.lock() = None;
+        let transport = { self.transports.lock().get(server).cloned() };
+        if let Some(t) = transport {
+            t.disconnect("disconnected by client");
         }
     }
 
-    /// Probe a server with `Ping`, returning round-trip success.
+    /// Probe a server with `Ping`, returning liveness. Any decoded
+    /// response counts — a server answering `Error { ShuttingDown }` (or
+    /// any protocol-level error) is *reachable*, which is what liveness
+    /// probes ask; only transport failures (connect, frame, timeout) mean
+    /// the server is down.
     pub fn ping(&self, server: &str) -> bool {
-        matches!(self.rpc(server, &Request::Ping), Ok(Response::Pong))
+        self.rpc(server, &Request::Ping).is_ok()
+    }
+
+    /// Transport counters for `server` (`None` before first use).
+    pub fn transport_stats(&self, server: &str) -> Option<TransportStats> {
+        self.transports.lock().get(server).map(|t| t.stats())
+    }
+
+    /// Requests currently in flight to `server`.
+    pub fn in_flight(&self, server: &str) -> u64 {
+        self.transports
+            .lock()
+            .get(server)
+            .map(|t| t.in_flight())
+            .unwrap_or(0)
     }
 }
 

@@ -19,6 +19,15 @@ pub enum DpfsError {
         server: String,
         source: std::io::Error,
     },
+    /// An RPC did not complete within its deadline. The connection is
+    /// poisoned and will be redialed on next use.
+    Timeout {
+        server: String,
+        timeout: std::time::Duration,
+    },
+    /// The transport connection died while requests were in flight; every
+    /// pending waiter on that connection receives this error.
+    Disconnected { server: String, reason: String },
     /// A server acknowledged a write with fewer (or more) bytes than the
     /// request carried.
     ShortWrite {
@@ -59,6 +68,12 @@ impl fmt::Display for DpfsError {
             }
             DpfsError::Connect { server, source } => {
                 write!(f, "cannot connect to server {server}: {source}")
+            }
+            DpfsError::Timeout { server, timeout } => {
+                write!(f, "rpc to server {server} timed out after {timeout:?}")
+            }
+            DpfsError::Disconnected { server, reason } => {
+                write!(f, "connection to server {server} lost: {reason}")
             }
             DpfsError::ShortWrite {
                 server,

@@ -3,17 +3,22 @@
 //! A [`FileHandle`] owns everything needed to turn a user access into server
 //! requests: the file's layout, its brick map, the server name list, and the
 //! client's options (request combination on/off, stagger rank, read
-//! granularity). Per-server requests fan out on scoped threads — launched in
-//! the planner's staggered order, joined and scattered afterwards — so one
-//! client overlaps the service time of every server it stripes over.
-//! [`ClientOptions::serial_dispatch`] restores the old one-request-at-a-time
-//! loop for ablation.
+//! granularity). Per-server requests are *submitted* through the pool's
+//! multiplexed transport in the planner's staggered order — every frame
+//! goes on the wire before any response is awaited — then completions are
+//! collected in plan order. One client thereby overlaps the service time of
+//! every server it stripes over, and two handles striped over the same
+//! servers overlap on the shared per-server connections.
+//! [`ClientOptions::serial_dispatch`] restores the original
+//! one-request-at-a-time loop and [`ClientOptions::lockstep_rpc`] the PR 1
+//! thread-fan-out-with-lockstep-connections client, both for ablation.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use bytes::Bytes;
 use dpfs_meta::{Catalog, Distribution};
-use dpfs_proto::Request;
+use dpfs_proto::{Request, Response};
 
 use crate::cache::BrickCache;
 use crate::conn::{expect_data, expect_written, ConnPool};
@@ -23,7 +28,8 @@ use crate::geometry::Region;
 use crate::hints::{FileLevel, Placement};
 use crate::layout::{bricks_for, BrickRun, Layout};
 use crate::placement::BrickMap;
-use crate::plan::{plan_reads, plan_writes, Granularity, ReadRequest, WriteRequest};
+use crate::plan::{plan_reads, plan_writes, Granularity};
+use crate::transport::DEFAULT_RPC_TIMEOUT;
 
 /// Per-client I/O options.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,9 +40,17 @@ pub struct ClientOptions {
     pub granularity: Granularity,
     /// This client's rank; sets the staggered schedule's starting server.
     pub rank: usize,
-    /// Issue per-server requests one at a time instead of fanning them out
-    /// on threads (the pre-parallel-dispatch client; kept for ablation).
+    /// Issue per-server requests one at a time, awaiting each response
+    /// before submitting the next (the original lockstep client; kept for
+    /// ablation).
     pub serial_dispatch: bool,
+    /// Serialize RPCs per server connection (one in flight at a time) while
+    /// still fanning out across servers on threads — the PR 1 client, kept
+    /// as the ablation baseline for transport pipelining.
+    pub lockstep_rpc: bool,
+    /// Per-request deadline. An RPC that exceeds it poisons its connection
+    /// and surfaces [`DpfsError::Timeout`].
+    pub rpc_timeout: Duration,
 }
 
 impl Default for ClientOptions {
@@ -46,6 +60,8 @@ impl Default for ClientOptions {
             granularity: Granularity::Brick,
             rank: 0,
             serial_dispatch: false,
+            lockstep_rpc: false,
+            rpc_timeout: DEFAULT_RPC_TIMEOUT,
         }
     }
 }
@@ -494,12 +510,11 @@ impl FileHandle {
             self.opts.combine,
             self.opts.rank,
         );
-        // Slice each request's payload out of `data` before dispatch so the
-        // worker threads only touch shared handle state.
-        let work: Vec<(usize, Vec<(u64, Bytes)>)> = reqs
+        // Slice each request's payload out of `data` up front, so issuing
+        // only touches owned message buffers.
+        let work: Vec<(&str, Request)> = reqs
             .iter()
-            .enumerate()
-            .map(|(i, req)| {
+            .map(|req| {
                 let ranges = req
                     .ranges
                     .iter()
@@ -512,17 +527,28 @@ impl FileHandle {
                         )
                     })
                     .collect();
-                (i, ranges)
+                (
+                    self.servers[req.server].as_str(),
+                    Request::Write {
+                        subfile: self.path.clone(),
+                        ranges,
+                    },
+                )
             })
             .collect();
-        let (pool, servers, path, reqs_ref) = (&self.pool, &self.servers, &self.path, &reqs);
-        let results = fan_out(work, self.opts.serial_dispatch, |(i, ranges)| {
-            let req = &reqs_ref[i];
-            dispatch_write(pool, &servers[req.server], path, req, ranges)
-        });
-        for res in results {
+        let results = issue(&self.pool, &self.opts, true, work);
+        for (req, res) in reqs.iter().zip(results) {
             self.stats.requests += 1;
-            self.stats.wire_written += res?;
+            let written = expect_written(res?)?;
+            let expected = req.wire_bytes();
+            if written != expected {
+                return Err(DpfsError::ShortWrite {
+                    server: self.servers[req.server].clone(),
+                    expected,
+                    written,
+                });
+            }
+            self.stats.wire_written += expected;
         }
         Ok(())
     }
@@ -556,17 +582,24 @@ impl FileHandle {
             self.opts.granularity,
             self.opts.rank,
         );
-        // Fan out, then scatter each server's chunks into `buf` after the
-        // join (collect-then-scatter keeps the hot buffer single-writer).
-        let (pool, servers, path) = (&self.pool, &self.servers, &self.path);
-        let work: Vec<usize> = (0..reqs.len()).collect();
-        let reqs_ref = &reqs;
-        let results = fan_out(work, self.opts.serial_dispatch, |i| {
-            let req = &reqs_ref[i];
-            dispatch_read(pool, &servers[req.server], path, req)
-        });
+        // Put every request on the wire, then scatter each server's chunks
+        // into `buf` as completions arrive (collect-then-scatter keeps the
+        // hot buffer single-writer).
+        let work: Vec<(&str, Request)> = reqs
+            .iter()
+            .map(|req| {
+                (
+                    self.servers[req.server].as_str(),
+                    Request::Read {
+                        subfile: self.path.clone(),
+                        ranges: req.ranges.clone(),
+                    },
+                )
+            })
+            .collect();
+        let results = issue(&self.pool, &self.opts, true, work);
         for (req, res) in reqs.iter().zip(results) {
-            let chunks = res?;
+            let chunks = expect_chunks(res?, req.ranges.len())?;
             self.stats.requests += 1;
             self.stats.wire_read += req.wire_bytes();
             for piece in &req.scatter {
@@ -615,36 +648,35 @@ impl FileHandle {
     /// leave the others' subfiles unflushed — and the failures come back
     /// aggregated in a single [`DpfsError::Aggregate`].
     pub fn sync(&mut self) -> Result<()> {
-        let (pool, path) = (&self.pool, &self.path);
-        let rpc = |server: &String| -> Result<()> {
-            pool.rpc_ok(
-                server,
-                &Request::Sync {
-                    subfile: path.clone(),
-                },
-            )
-            .map(|_| ())
-        };
-        let results: Vec<Result<()>> = if self.opts.serial_dispatch || self.servers.len() <= 1 {
-            self.servers.iter().map(rpc).collect()
-        } else {
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = self
-                    .servers
-                    .iter()
-                    .map(|server| scope.spawn(move || rpc(server)))
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("sync dispatch thread panicked"))
-                    .collect()
+        let work: Vec<(&str, Request)> = self
+            .servers
+            .iter()
+            .map(|server| {
+                (
+                    server.as_str(),
+                    Request::Sync {
+                        subfile: self.path.clone(),
+                    },
+                )
             })
-        };
+            .collect();
+        // `stop_at_first_error = false`: every server is attempted even in
+        // serial mode.
+        let results = issue(&self.pool, &self.opts, false, work);
         let failures: Vec<(String, DpfsError)> = self
             .servers
             .iter()
             .zip(results)
-            .filter_map(|(server, res)| res.err().map(|e| (server.clone(), e)))
+            .filter_map(|(server, res)| {
+                let err = match res {
+                    Ok(Response::Error { code, message }) => {
+                        Some(DpfsError::Server { code, message })
+                    }
+                    Ok(_) => None,
+                    Err(e) => Some(e),
+                };
+                err.map(|e| (server.clone(), e))
+            })
             .collect();
         if failures.is_empty() {
             Ok(())
@@ -664,91 +696,69 @@ impl FileHandle {
     }
 }
 
-/// Dispatch one closure per planned request. Parallel mode gives every
-/// request a scoped thread, spawned in the planner's staggered order and
-/// joined in the same order, so results (and the first error) stay in plan
-/// order. Serial mode replays the original one-at-a-time client loop,
-/// stopping at the first failure (the `Err` is then the final element).
-fn fan_out<T, R, F>(items: Vec<T>, serial: bool, op: F) -> Vec<Result<R>>
-where
-    T: Send,
-    R: Send,
-    F: Fn(T) -> Result<R> + Sync,
-{
-    if serial || items.len() <= 1 {
-        let mut out = Vec::with_capacity(items.len());
-        for item in items {
-            let res = op(item);
+/// Issue one request per planned item, returning raw responses in plan
+/// order.
+///
+/// - **Pipelined** (default): every frame goes on the wire first — the
+///   transport assigns correlation IDs and the per-server demux thread
+///   completes them out of order — then completions are collected in plan
+///   order. One slow server no longer stalls requests to the others, and
+///   multiple requests to *one* server overlap inside its connection.
+/// - **Serial** (`serial_dispatch`): the original one-request-at-a-time
+///   client loop, stopping at the first failure when `stop_at_first_error`
+///   (the `Err` is then the final element).
+/// - **Lockstep** (`lockstep_rpc`): the PR 1 baseline — a scoped thread per
+///   request, but each server connection carries at most one in-flight RPC
+///   (the transport's lockstep gate is held across the round-trip).
+fn issue(
+    pool: &ConnPool,
+    opts: &ClientOptions,
+    stop_at_first_error: bool,
+    work: Vec<(&str, Request)>,
+) -> Vec<Result<Response>> {
+    if opts.serial_dispatch {
+        let mut out = Vec::with_capacity(work.len());
+        for (server, req) in work {
+            let res = pool.rpc(server, &req);
             let failed = res.is_err();
             out.push(res);
-            if failed {
+            if failed && stop_at_first_error {
                 break;
             }
         }
-        return out;
-    }
-    let op = &op;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = items
+        out
+    } else if opts.lockstep_rpc {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = work
+                .into_iter()
+                .map(|(server, req)| scope.spawn(move || pool.rpc_lockstep(server, &req)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("dispatch thread panicked"))
+                .collect()
+        })
+    } else {
+        let timeout = opts.rpc_timeout;
+        let pendings: Vec<_> = work
             .into_iter()
-            .map(|item| scope.spawn(move || op(item)))
+            .map(|(server, req)| pool.submit(server, &req))
             .collect();
-        handles
+        pendings
             .into_iter()
-            .map(|h| h.join().expect("dispatch thread panicked"))
+            .map(|p| p.and_then(|pending| pending.wait(timeout)))
             .collect()
-    })
-}
-
-/// Send one write request; returns the wire byte count on full success.
-/// A `Written` acknowledgement that does not match the request's payload
-/// size is surfaced as [`DpfsError::ShortWrite`] instead of being dropped.
-fn dispatch_write(
-    pool: &ConnPool,
-    server: &str,
-    path: &str,
-    req: &WriteRequest,
-    ranges: Vec<(u64, Bytes)>,
-) -> Result<u64> {
-    let resp = pool.rpc_ok(
-        server,
-        &Request::Write {
-            subfile: path.to_string(),
-            ranges,
-        },
-    )?;
-    let written = expect_written(resp)?;
-    let expected = req.wire_bytes();
-    if written != expected {
-        return Err(DpfsError::ShortWrite {
-            server: server.to_string(),
-            expected,
-            written,
-        });
     }
-    Ok(expected)
 }
 
-/// Send one read request; returns the data chunks, one per range.
-fn dispatch_read(
-    pool: &ConnPool,
-    server: &str,
-    path: &str,
-    req: &ReadRequest,
-) -> Result<Vec<Bytes>> {
-    let resp = pool.rpc_ok(
-        server,
-        &Request::Read {
-            subfile: path.to_string(),
-            ranges: req.ranges.clone(),
-        },
-    )?;
+/// Unwrap a read response into its data chunks, one per requested range.
+fn expect_chunks(resp: Response, ranges: usize) -> Result<Vec<Bytes>> {
     let chunks = expect_data(resp)?;
-    if chunks.len() != req.ranges.len() {
+    if chunks.len() != ranges {
         return Err(DpfsError::InvalidArgument(format!(
             "server returned {} chunks for {} ranges",
             chunks.len(),
-            req.ranges.len()
+            ranges
         )));
     }
     Ok(chunks)

@@ -26,9 +26,12 @@ pub struct Dpfs {
 impl Dpfs {
     /// Mount DPFS: wrap the metadata database and set up connections.
     pub fn mount(db: Arc<Database>, resolver: Resolver, opts: ClientOptions) -> Result<Dpfs> {
+        let pool = Arc::new(ConnPool::new(Arc::new(resolver)));
+        pool.set_rpc_timeout(opts.rpc_timeout);
+        pool.set_lockstep(opts.lockstep_rpc);
         Ok(Dpfs {
             catalog: Catalog::new(db)?,
-            pool: Arc::new(ConnPool::new(Arc::new(resolver))),
+            pool,
             opts,
         })
     }

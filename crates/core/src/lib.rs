@@ -34,6 +34,7 @@ pub mod hints;
 pub mod layout;
 pub mod placement;
 pub mod plan;
+pub mod transport;
 
 pub use cache::BrickCache;
 pub use collective::{Collective, CollectiveGroup};
@@ -47,3 +48,4 @@ pub use hints::{Dist, FileLevel, Hint, HpfPattern, Placement, Striping};
 pub use layout::{ArrayLayout, BrickRun, Layout, LinearLayout, MultidimLayout};
 pub use placement::{greedy, round_robin, BrickMap};
 pub use plan::{Granularity, ReadRequest, WriteRequest};
+pub use transport::{Pending, Transport, TransportStats, DEFAULT_RPC_TIMEOUT};

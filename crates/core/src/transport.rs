@@ -1,0 +1,351 @@
+//! Multiplexed RPC transport: pipelined per-server connections.
+//!
+//! The paper's client "invokes system communication API such as socket"
+//! per request (§2); PR 1 reproduced that as lockstep — one in-flight RPC
+//! per server connection, the slot lock held across the whole round-trip.
+//! This module replaces that with a multiplexed transport in the style of
+//! PVFS-era pipelined I/O stacks:
+//!
+//! - **Writer path**: [`Transport::submit`] stamps the request with a fresh
+//!   correlation ID, registers a waiter in the in-flight table, writes the
+//!   v2 frame under a short writer lock, and returns a [`Pending`] without
+//!   waiting for the response. Many requests can be on the wire at once.
+//! - **Demux reader**: one dedicated thread per connection reads response
+//!   frames, looks the correlation ID up in the in-flight table, and
+//!   completes that waiter — responses may arrive out of order.
+//! - **Deadlines**: [`Pending::wait`] bounds the wait. A timeout evicts the
+//!   waiter, poisons the connection (everything behind a stalled response
+//!   is suspect), and surfaces [`DpfsError::Timeout`]; the next submission
+//!   redials.
+//! - **Error fan-out**: when a connection dies — read error, write error,
+//!   undecodable response, peer close — every in-flight waiter is completed
+//!   with [`DpfsError::Disconnected`]. Nothing hangs.
+//!
+//! [`Transport::lockstep_gate`] restores PR 1's one-RPC-at-a-time-per-server
+//! behaviour for ablation: holding the gate across submit+wait serializes
+//! callers without touching the pipelined machinery.
+
+use std::collections::HashMap;
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+use dpfs_proto::{frame, Request, Response};
+use parking_lot::{Mutex, MutexGuard};
+
+use crate::conn::Resolver;
+use crate::error::{DpfsError, Result};
+
+/// Default per-request deadline. Generous: it exists to catch hung servers
+/// and dead TCP peers, not to race healthy ones. Tighten per pool with
+/// [`crate::conn::ConnPool::set_rpc_timeout`].
+pub const DEFAULT_RPC_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// What the demux reader delivers to a waiter: the decoded response, or the
+/// reason the connection died.
+type WireResult = std::result::Result<Response, String>;
+
+/// In-flight table of one connection: correlation ID → waiter.
+struct Inflight {
+    waiters: HashMap<u64, mpsc::Sender<WireResult>>,
+    /// Set (with the reason) once the connection is poisoned. New
+    /// submissions seeing this redial instead.
+    dead: Option<String>,
+}
+
+/// One live connection: the shared state between submitters, the demux
+/// reader thread, and timed-out waiters.
+struct Conn {
+    server: String,
+    /// Handle used to sever the socket when poisoning; the reader thread
+    /// and the writer hold their own clones.
+    stream: TcpStream,
+    /// Writer half. Held only for the duration of one frame write.
+    writer: Mutex<TcpStream>,
+    inflight: Mutex<Inflight>,
+}
+
+impl Conn {
+    /// Poison this connection: record `reason`, sever the socket (which
+    /// unblocks the reader thread), and fan the error out to every
+    /// in-flight waiter. Idempotent — the first reason wins.
+    fn poison(&self, reason: &str) {
+        let waiters = {
+            let mut infl = self.inflight.lock();
+            if infl.dead.is_none() {
+                infl.dead = Some(reason.to_string());
+            }
+            std::mem::take(&mut infl.waiters)
+        };
+        let _ = self.stream.shutdown(Shutdown::Both);
+        for tx in waiters.into_values() {
+            let _ = tx.send(Err(reason.to_string()));
+        }
+    }
+
+    fn is_dead(&self) -> bool {
+        self.inflight.lock().dead.is_some()
+    }
+}
+
+/// Running totals for one server's transport (monotonic counters plus the
+/// current in-flight gauge).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Requests successfully written to the wire.
+    pub submitted: u64,
+    /// Responses delivered to waiters.
+    pub completed: u64,
+    /// Waits that hit their deadline.
+    pub timed_out: u64,
+    /// Connections established (1 = never redialed).
+    pub dials: u64,
+    /// Requests currently awaiting a response.
+    pub in_flight: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    timed_out: AtomicU64,
+    dials: AtomicU64,
+}
+
+/// The multiplexed transport to one server. Owned by the pool; shared by
+/// every handle of one client.
+pub struct Transport {
+    server: String,
+    resolver: Arc<Resolver>,
+    /// Current connection; `None` before first use and after poisoning is
+    /// observed. Held only to look up / replace the `Arc`.
+    slot: Mutex<Option<Arc<Conn>>>,
+    next_id: AtomicU64,
+    /// Ablation gate (PR 1 baseline): held across submit+wait to allow at
+    /// most one in-flight RPC on this server. Unused in multiplexed mode.
+    gate: Mutex<()>,
+    counters: Arc<Counters>,
+}
+
+impl Transport {
+    /// Transport for `server`, dialing through `resolver` on first use.
+    pub fn new(server: String, resolver: Arc<Resolver>) -> Transport {
+        Transport {
+            server,
+            resolver,
+            slot: Mutex::new(None),
+            next_id: AtomicU64::new(1),
+            gate: Mutex::new(()),
+            counters: Arc::new(Counters::default()),
+        }
+    }
+
+    /// The current (or fresh) connection. Dials and spawns the demux reader
+    /// when the slot is empty or holds a poisoned connection.
+    fn conn(&self) -> Result<Arc<Conn>> {
+        let mut slot = self.slot.lock();
+        if let Some(c) = slot.as_ref() {
+            if !c.is_dead() {
+                return Ok(c.clone());
+            }
+            *slot = None;
+        }
+        let addr = self.resolver.resolve(&self.server);
+        let connect = |e: std::io::Error| DpfsError::Connect {
+            server: self.server.clone(),
+            source: e,
+        };
+        let stream = TcpStream::connect(addr).map_err(connect)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone().map_err(connect)?;
+        let reader = stream.try_clone().map_err(connect)?;
+        let conn = Arc::new(Conn {
+            server: self.server.clone(),
+            stream,
+            writer: Mutex::new(writer),
+            inflight: Mutex::new(Inflight {
+                waiters: HashMap::new(),
+                dead: None,
+            }),
+        });
+        let reader_conn = conn.clone();
+        std::thread::Builder::new()
+            .name(format!("dpfs-demux-{}", self.server))
+            .spawn(move || demux_loop(reader, reader_conn))
+            .map_err(connect)?;
+        self.counters.dials.fetch_add(1, Ordering::Relaxed);
+        *slot = Some(conn.clone());
+        Ok(conn)
+    }
+
+    /// Enqueue `req` on the wire and return a handle to await the response.
+    /// Does not block on the server: the frame is written (short writer
+    /// lock) and the call returns with the request in flight.
+    pub fn submit(&self, req: &Request) -> Result<Pending> {
+        // One retry: the slot can hand out a connection that a concurrent
+        // poison killed between the lookup and our registration.
+        match self.try_submit(req) {
+            Err(DpfsError::Disconnected { .. }) => self.try_submit(req),
+            other => other,
+        }
+    }
+
+    fn try_submit(&self, req: &Request) -> Result<Pending> {
+        let conn = self.conn()?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut infl = conn.inflight.lock();
+            if let Some(reason) = &infl.dead {
+                return Err(DpfsError::Disconnected {
+                    server: self.server.clone(),
+                    reason: reason.clone(),
+                });
+            }
+            infl.waiters.insert(id, tx);
+        }
+        let wrote = {
+            let mut w = conn.writer.lock();
+            frame::write_frame_v2(&mut *w, id, &req.encode())
+        };
+        if let Err(e) = wrote {
+            conn.inflight.lock().waiters.remove(&id);
+            conn.poison(&format!("request write failed: {e}"));
+            return Err(e.into());
+        }
+        self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        Ok(Pending {
+            server: self.server.clone(),
+            id,
+            rx,
+            conn,
+            counters: self.counters.clone(),
+        })
+    }
+
+    /// Poison the current connection (if any) and empty the slot, so the
+    /// next submission redials. In-flight waiters get transport errors.
+    pub fn disconnect(&self, reason: &str) {
+        let conn = self.slot.lock().take();
+        if let Some(conn) = conn {
+            conn.poison(reason);
+        }
+    }
+
+    /// Number of requests currently awaiting responses.
+    pub fn in_flight(&self) -> u64 {
+        let slot = self.slot.lock();
+        slot.as_ref()
+            .map(|c| c.inflight.lock().waiters.len() as u64)
+            .unwrap_or(0)
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> TransportStats {
+        TransportStats {
+            submitted: self.counters.submitted.load(Ordering::Relaxed),
+            completed: self.counters.completed.load(Ordering::Relaxed),
+            timed_out: self.counters.timed_out.load(Ordering::Relaxed),
+            dials: self.counters.dials.load(Ordering::Relaxed),
+            in_flight: self.in_flight(),
+        }
+    }
+
+    /// The PR 1 ablation gate: hold the returned guard across submit+wait
+    /// to restore one-in-flight-per-server lockstep.
+    pub fn lockstep_gate(&self) -> MutexGuard<'_, ()> {
+        self.gate.lock()
+    }
+}
+
+/// A submitted request awaiting its response.
+///
+/// Dropping a `Pending` abandons the response: the demux reader discards it
+/// on arrival (the entry stays in the in-flight table until then, or until
+/// the connection dies). Callers should `wait` every submission.
+pub struct Pending {
+    server: String,
+    id: u64,
+    rx: mpsc::Receiver<WireResult>,
+    conn: Arc<Conn>,
+    counters: Arc<Counters>,
+}
+
+impl Pending {
+    /// Await the response for at most `timeout`.
+    ///
+    /// On deadline: the waiter is evicted (a late response is discarded),
+    /// the connection is poisoned — in-order framing means everything
+    /// behind a stalled response is also stalled, and pending peers must
+    /// get errors rather than hangs — and [`DpfsError::Timeout`] is
+    /// returned. The next submission on this transport redials.
+    pub fn wait(self, timeout: Duration) -> Result<Response> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(Ok(resp)) => {
+                self.counters.completed.fetch_add(1, Ordering::Relaxed);
+                Ok(resp)
+            }
+            Ok(Err(reason)) => Err(DpfsError::Disconnected {
+                server: self.server,
+                reason,
+            }),
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                self.counters.timed_out.fetch_add(1, Ordering::Relaxed);
+                self.conn.inflight.lock().waiters.remove(&self.id);
+                self.conn
+                    .poison(&format!("request {} timed out after {timeout:?}", self.id));
+                Err(DpfsError::Timeout {
+                    server: self.server,
+                    timeout,
+                })
+            }
+            // The reader dropped the sender without a verdict (it only does
+            // so via poison, which sends first — this arm is belt and
+            // braces against a panicking reader).
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(DpfsError::Disconnected {
+                server: self.server,
+                reason: "connection reader exited".to_string(),
+            }),
+        }
+    }
+
+    /// The correlation ID this request went out under (tests).
+    pub fn corr_id(&self) -> u64 {
+        self.id
+    }
+}
+
+/// The demux reader: completes waiters out of order by correlation ID until
+/// the connection dies, then fans the failure out.
+fn demux_loop(mut stream: TcpStream, conn: Arc<Conn>) {
+    loop {
+        let frame = match frame::read_frame_any(&mut stream) {
+            Ok(f) => f,
+            Err(e) => {
+                conn.poison(&format!("connection to {} lost: {e}", conn.server));
+                return;
+            }
+        };
+        let Some(id) = frame.corr_id else {
+            // We only ever send v2 requests; a v1 response frame means the
+            // peer is confused about which protocol this connection speaks.
+            conn.poison(&format!(
+                "server {} sent an uncorrelated frame",
+                conn.server
+            ));
+            return;
+        };
+        let resp = match Response::decode(frame.payload) {
+            Ok(r) => r,
+            Err(e) => {
+                conn.poison(&format!("undecodable response from {}: {e}", conn.server));
+                return;
+            }
+        };
+        // A missing waiter timed out and was evicted; drop the response.
+        if let Some(tx) = conn.inflight.lock().waiters.remove(&id) {
+            let _ = tx.send(Ok(resp));
+        }
+    }
+}

@@ -157,7 +157,7 @@ fn exact_granularity_round_trip() {
         combine: true,
         granularity: Granularity::Exact,
         rank: 0,
-        serial_dispatch: false,
+        ..ClientOptions::default()
     };
     let mut f = r.fs.open_with("/e", opts).unwrap();
     let region = Region::new(vec![3, 3], vec![5, 5]).unwrap();
@@ -290,7 +290,7 @@ fn stagger_rank_changes_first_server() {
             combine: true,
             granularity: Granularity::Brick,
             rank,
-            serial_dispatch: false,
+            ..ClientOptions::default()
         };
         let mut f = r.fs.open_with("/s", opts).unwrap();
         assert_eq!(f.read_bytes(0, 64 * 16).unwrap(), vec![3u8; 64 * 16]);

@@ -25,10 +25,10 @@ fn start_lying_server() -> SocketAddr {
 
 fn serve(mut stream: TcpStream) {
     loop {
-        let Ok(payload) = frame::read_frame(&mut stream) else {
+        let Ok(frame) = frame::read_frame_any(&mut stream) else {
             return;
         };
-        let Ok(req) = Request::decode(payload) else {
+        let Ok(req) = Request::decode(frame.payload) else {
             return;
         };
         let resp = match req {
@@ -38,7 +38,11 @@ fn serve(mut stream: TcpStream) {
             }
             _ => Response::Pong,
         };
-        if frame::write_frame(&mut stream, &resp.encode()).is_err() {
+        let wrote = match frame.corr_id {
+            Some(id) => frame::write_frame_v2(&mut stream, id, &resp.encode()),
+            None => frame::write_frame(&mut stream, &resp.encode()),
+        };
+        if wrote.is_err() {
             return;
         }
     }

@@ -32,7 +32,7 @@ pub mod collection {
         VecStrategy { elem, size }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         elem: S,

@@ -1,12 +1,27 @@
 //! Length-prefixed, CRC-protected framing over any `Read`/`Write` stream.
+//!
+//! Two header versions coexist on the wire:
+//!
+//! - **v1** (`"DPFS"`): `[magic][len u32][crc u32][payload]` — the original
+//!   lockstep protocol. Kept for ablation and for old peers.
+//! - **v2** (`"DPF2"`): `[magic][correlation id u64][len u32][crc u32]
+//!   [payload]` — the multiplexed transport. The correlation ID ties a
+//!   response frame back to the request it answers, so many requests can be
+//!   in flight on one connection and complete out of order.
+//!
+//! [`read_frame_any`] accepts both versions (the magic disambiguates), so a
+//! v2 server still serves v1 clients; [`read_frame`] accepts only v1.
 
 use std::fmt;
 use std::io::{Read, Write};
 
 use bytes::Bytes;
 
-/// `"DPFS"` — first four bytes of every frame.
+/// `"DPFS"` — first four bytes of every v1 frame.
 pub const MAGIC: [u8; 4] = *b"DPFS";
+
+/// `"DPF2"` — first four bytes of every v2 (correlated) frame.
+pub const MAGIC_V2: [u8; 4] = *b"DPF2";
 
 /// Upper bound on payload size (64 MiB). Protects a peer from allocating
 /// unbounded memory on a corrupt or hostile length field.
@@ -76,7 +91,7 @@ pub fn crc32(data: &[u8]) -> u32 {
     !crc
 }
 
-/// Write one frame containing `payload`.
+/// Write one v1 frame containing `payload`.
 pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), FrameError> {
     if payload.len() > MAX_FRAME_LEN {
         return Err(FrameError::Oversized(payload.len()));
@@ -91,16 +106,45 @@ pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), FrameError
     Ok(())
 }
 
-/// Read one frame, returning its payload. `Err(Closed)` when the peer shut
-/// the stream down cleanly before a new frame began.
-pub fn read_frame<R: Read>(r: &mut R) -> Result<Bytes, FrameError> {
-    let mut header = [0u8; 12];
-    // distinguish clean EOF (no bytes) from a torn header
+/// Write one v2 frame carrying `corr_id` and `payload`.
+pub fn write_frame_v2<W: Write>(w: &mut W, corr_id: u64, payload: &[u8]) -> Result<(), FrameError> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(FrameError::Oversized(payload.len()));
+    }
+    let mut header = [0u8; 20];
+    header[..4].copy_from_slice(&MAGIC_V2);
+    header[4..12].copy_from_slice(&corr_id.to_le_bytes());
+    header[12..16].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    header[16..20].copy_from_slice(&crc32(payload).to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// One decoded frame of either version. `corr_id` is `None` for v1 frames
+/// (the lockstep protocol has no correlation) and `Some(id)` for v2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Correlation ID (v2), or `None` (v1).
+    pub corr_id: Option<u64>,
+    /// The frame payload.
+    pub payload: Bytes,
+}
+
+/// Read exactly `buf.len()` bytes, distinguishing clean EOF before the
+/// first byte (`Closed`) from a torn read (`Io`). `at_frame_start` is true
+/// when no bytes of the current frame have been consumed yet.
+fn read_exactly<R: Read>(
+    r: &mut R,
+    buf: &mut [u8],
+    at_frame_start: bool,
+) -> Result<(), FrameError> {
     let mut got = 0usize;
-    while got < header.len() {
-        let n = r.read(&mut header[got..])?;
+    while got < buf.len() {
+        let n = r.read(&mut buf[got..])?;
         if n == 0 {
-            if got == 0 {
+            if got == 0 && at_frame_start {
                 return Err(FrameError::Closed);
             }
             return Err(FrameError::Io(std::io::Error::new(
@@ -110,15 +154,18 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Bytes, FrameError> {
         }
         got += n;
     }
-    let magic: [u8; 4] = header[..4].try_into().unwrap();
-    if magic != MAGIC {
-        return Err(FrameError::BadMagic(magic));
-    }
-    let len = u32::from_le_bytes(header[4..8].try_into().unwrap()) as usize;
+    Ok(())
+}
+
+/// Read the `[len u32][crc u32][payload]` tail shared by both versions.
+fn read_tail<R: Read>(r: &mut R) -> Result<Bytes, FrameError> {
+    let mut tail = [0u8; 8];
+    read_exactly(r, &mut tail, false)?;
+    let len = u32::from_le_bytes(tail[..4].try_into().unwrap()) as usize;
     if len > MAX_FRAME_LEN {
         return Err(FrameError::Oversized(len));
     }
-    let expected = u32::from_le_bytes(header[8..12].try_into().unwrap());
+    let expected = u32::from_le_bytes(tail[4..8].try_into().unwrap());
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
     let actual = crc32(&payload);
@@ -126,6 +173,35 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Bytes, FrameError> {
         return Err(FrameError::BadChecksum { expected, actual });
     }
     Ok(Bytes::from(payload))
+}
+
+/// Read one v1 frame, returning its payload. `Err(Closed)` when the peer
+/// shut the stream down cleanly before a new frame began.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Bytes, FrameError> {
+    let mut magic = [0u8; 4];
+    read_exactly(r, &mut magic, true)?;
+    if magic != MAGIC {
+        return Err(FrameError::BadMagic(magic));
+    }
+    read_tail(r)
+}
+
+/// Read one frame of either version. v1 frames come back with
+/// `corr_id: None`; v2 frames carry their correlation ID.
+pub fn read_frame_any<R: Read>(r: &mut R) -> Result<Frame, FrameError> {
+    let mut magic = [0u8; 4];
+    read_exactly(r, &mut magic, true)?;
+    let corr_id = if magic == MAGIC {
+        None
+    } else if magic == MAGIC_V2 {
+        let mut id = [0u8; 8];
+        read_exactly(r, &mut id, false)?;
+        Some(u64::from_le_bytes(id))
+    } else {
+        return Err(FrameError::BadMagic(magic));
+    };
+    let payload = read_tail(r)?;
+    Ok(Frame { corr_id, payload })
 }
 
 #[cfg(test)]
@@ -200,6 +276,81 @@ mod tests {
         assert!(matches!(
             read_frame(&mut Cursor::new(&buf)),
             Err(FrameError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn v2_round_trip_carries_correlation_id() {
+        let mut buf = Vec::new();
+        write_frame_v2(&mut buf, 0xDEAD_BEEF_0042, b"pipelined").unwrap();
+        let frame = read_frame_any(&mut Cursor::new(&buf)).unwrap();
+        assert_eq!(frame.corr_id, Some(0xDEAD_BEEF_0042));
+        assert_eq!(&frame.payload[..], b"pipelined");
+    }
+
+    #[test]
+    fn read_frame_any_accepts_v1() {
+        // forward compat: a demuxing reader still understands old peers
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"legacy").unwrap();
+        let frame = read_frame_any(&mut Cursor::new(&buf)).unwrap();
+        assert_eq!(frame.corr_id, None);
+        assert_eq!(&frame.payload[..], b"legacy");
+    }
+
+    #[test]
+    fn v1_reader_rejects_v2_frames() {
+        // old peers see a clean BadMagic, not silent corruption
+        let mut buf = Vec::new();
+        write_frame_v2(&mut buf, 7, b"new").unwrap();
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&buf)),
+            Err(FrameError::BadMagic(m)) if m == MAGIC_V2
+        ));
+    }
+
+    #[test]
+    fn mixed_version_stream_demuxes() {
+        let mut buf = Vec::new();
+        write_frame_v2(&mut buf, 1, b"one").unwrap();
+        write_frame(&mut buf, b"two").unwrap();
+        write_frame_v2(&mut buf, u64::MAX, b"three").unwrap();
+        let mut c = Cursor::new(&buf);
+        let f = read_frame_any(&mut c).unwrap();
+        assert_eq!((f.corr_id, &f.payload[..]), (Some(1), &b"one"[..]));
+        let f = read_frame_any(&mut c).unwrap();
+        assert_eq!((f.corr_id, &f.payload[..]), (None, &b"two"[..]));
+        let f = read_frame_any(&mut c).unwrap();
+        assert_eq!((f.corr_id, &f.payload[..]), (Some(u64::MAX), &b"three"[..]));
+        assert!(matches!(read_frame_any(&mut c), Err(FrameError::Closed)));
+    }
+
+    #[test]
+    fn torn_v2_header_is_io_error() {
+        let mut buf = Vec::new();
+        write_frame_v2(&mut buf, 9, b"payload").unwrap();
+        for cut in [2usize, 6, 14] {
+            let mut short = buf.clone();
+            short.truncate(cut);
+            assert!(
+                matches!(
+                    read_frame_any(&mut Cursor::new(&short)),
+                    Err(FrameError::Io(_))
+                ),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_v2_payload_detected() {
+        let mut buf = Vec::new();
+        write_frame_v2(&mut buf, 3, b"payload").unwrap();
+        let n = buf.len();
+        buf[n - 1] ^= 0xFF;
+        assert!(matches!(
+            read_frame_any(&mut Cursor::new(&buf)),
+            Err(FrameError::BadChecksum { .. })
         ));
     }
 

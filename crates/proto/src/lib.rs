@@ -10,11 +10,21 @@
 //! bound for one server into one framed message instead of one message per
 //! brick.
 //!
-//! Framing (all integers little-endian):
+//! Framing (all integers little-endian) comes in two versions; the magic
+//! bytes disambiguate on the wire:
 //!
 //! ```text
-//! [magic "DPFS": 4 bytes][payload len: u32][crc32(payload): u32][payload]
+//! v1: [magic "DPFS": 4][payload len: u32][crc32(payload): u32][payload]
+//! v2: [magic "DPF2": 4][correlation id: u64][payload len: u32]
+//!     [crc32(payload): u32][payload]
 //! ```
+//!
+//! v2 adds a *correlation ID*: the client stamps each request, the server
+//! echoes the stamp on the response, and the client's demultiplexing reader
+//! matches responses back to waiters — many requests can be in flight on
+//! one connection and complete out of order (the multiplexed transport in
+//! `dpfs-core::transport`). v1 remains the lockstep protocol, still decoded
+//! by every peer for backward compatibility and ablation.
 //!
 //! The CRC detects torn or corrupted frames; a bad frame is a protocol error
 //! surfaced to the peer, never a panic.
@@ -22,5 +32,7 @@
 pub mod frame;
 pub mod message;
 
-pub use frame::{read_frame, write_frame, FrameError, MAX_FRAME_LEN};
+pub use frame::{
+    read_frame, read_frame_any, write_frame, write_frame_v2, Frame, FrameError, MAX_FRAME_LEN,
+};
 pub use message::{ErrorCode, Request, Response};

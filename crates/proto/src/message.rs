@@ -17,6 +17,11 @@ pub enum ErrorCode {
     ShuttingDown,
     /// Server-side storage quota exceeded.
     NoSpace,
+    /// A code this client does not know about (a newer server). The raw
+    /// byte is carried so it survives re-encoding and can be logged;
+    /// decoding never fails on it, which keeps old clients talking to new
+    /// servers.
+    Unknown(u8),
 }
 
 impl ErrorCode {
@@ -27,17 +32,18 @@ impl ErrorCode {
             ErrorCode::BadRequest => 3,
             ErrorCode::ShuttingDown => 4,
             ErrorCode::NoSpace => 5,
+            ErrorCode::Unknown(v) => v,
         }
     }
 
-    fn from_u8(v: u8) -> Result<Self, FrameError> {
+    fn from_u8(v: u8) -> Self {
         match v {
-            1 => Ok(ErrorCode::NoSuchSubfile),
-            2 => Ok(ErrorCode::IoFailure),
-            3 => Ok(ErrorCode::BadRequest),
-            4 => Ok(ErrorCode::ShuttingDown),
-            5 => Ok(ErrorCode::NoSpace),
-            other => Err(FrameError::BadMessage(format!("bad error code {other}"))),
+            1 => ErrorCode::NoSuchSubfile,
+            2 => ErrorCode::IoFailure,
+            3 => ErrorCode::BadRequest,
+            4 => ErrorCode::ShuttingDown,
+            5 => ErrorCode::NoSpace,
+            other => ErrorCode::Unknown(other),
         }
     }
 }
@@ -313,7 +319,7 @@ impl Response {
             },
             6 => Response::Truncated,
             7 => Response::Error {
-                code: ErrorCode::from_u8(get_u8(&mut buf)?)?,
+                code: ErrorCode::from_u8(get_u8(&mut buf)?),
                 message: get_str(&mut buf)?,
             },
             other => return Err(FrameError::BadMessage(format!("bad response tag {other}"))),
@@ -429,7 +435,24 @@ mod tests {
     fn bad_tags_rejected() {
         assert!(Request::decode(Bytes::from_static(&[99])).is_err());
         assert!(Response::decode(Bytes::from_static(&[99])).is_err());
-        // bad error code
-        assert!(Response::decode(Bytes::from_static(&[7, 200, 0, 0, 0, 0])).is_err());
+    }
+
+    #[test]
+    fn unknown_error_codes_survive_decode_and_round_trip() {
+        // Forward compat: an old client receiving a new server's error code
+        // must decode it (as Unknown), not drop the connection.
+        let decoded = Response::decode(Bytes::from_static(&[7, 200, 0, 0, 0, 0])).unwrap();
+        assert_eq!(
+            decoded,
+            Response::Error {
+                code: ErrorCode::Unknown(200),
+                message: String::new(),
+            }
+        );
+        // and the carried byte survives a re-encode
+        round_trip_resp(Response::Error {
+            code: ErrorCode::Unknown(200),
+            message: "future error".into(),
+        });
     }
 }

@@ -10,10 +10,12 @@ use crate::perf::PerfModel;
 use crate::stats::ServerStats;
 use crate::subfile::{StoreError, SubfileStore};
 
-/// Shared per-server handler state. Connection threads all dispatch through
-/// one `Handler`; the `device` lock serializes only the *injected* delay,
-/// modeling the sequential storage device underneath concurrent request
-/// handling (paper §4.2). The store I/O itself runs outside the device
+/// Shared per-server handler state. Connection threads and per-connection
+/// workers all dispatch through one `Handler`; the `device` lock serializes
+/// only the *device-bound* part of the injected delay (seeks + payload
+/// streaming), modeling the sequential storage device underneath concurrent
+/// request handling (paper §4.2) — the per-request overhead part overlaps
+/// across concurrent requests. The store I/O itself runs outside the device
 /// lock — per-subfile locks inside [`SubfileStore`] provide the necessary
 /// mutual exclusion, so unthrottled servers serve distinct subfiles fully
 /// in parallel.
@@ -45,20 +47,31 @@ impl Handler {
         &self.store
     }
 
-    /// Sleep out the modeled service time while holding the device lock, so
-    /// concurrent requests to one server still queue for its (simulated)
-    /// storage device. Unthrottled servers skip the lock entirely.
+    /// Sleep out the modeled service time. The per-request overhead
+    /// (`request_latency`: network RTT, dispatch, thread handoff) sleeps
+    /// *outside* the device lock — concurrent requests overlap it, which is
+    /// what pipelined connections buy — while the device-bound part (seeks
+    /// plus payload streaming) sleeps *inside* the lock, so concurrent
+    /// requests to one server still queue for its (simulated) sequential
+    /// storage device. Unthrottled servers skip both entirely.
     fn inject_delay(&self, ranges: usize, bytes: u64) {
         if self.perf.is_unthrottled() {
             return;
         }
-        let d = self.perf.service_time(ranges, bytes);
-        if d > Duration::ZERO {
+        let overhead = self.perf.request_latency;
+        if overhead > Duration::ZERO {
+            self.stats
+                .injected_delay_ns
+                .fetch_add(overhead.as_nanos() as u64, Ordering::Relaxed);
+            std::thread::sleep(overhead);
+        }
+        let dev = self.perf.device_time(ranges, bytes);
+        if dev > Duration::ZERO {
             let _dev = self.device.lock();
             self.stats
                 .injected_delay_ns
-                .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
-            std::thread::sleep(d);
+                .fetch_add(dev.as_nanos() as u64, Ordering::Relaxed);
+            std::thread::sleep(dev);
         }
     }
 

@@ -44,9 +44,19 @@ impl PerfModel {
         }
     }
 
-    /// Service time for a request of `ranges` ranges totalling `bytes`.
+    /// Service time for a request of `ranges` ranges totalling `bytes`:
+    /// the per-request overhead plus the device time.
     pub fn service_time(&self, ranges: usize, bytes: u64) -> Duration {
-        let mut t = self.request_latency + self.seek_latency * (ranges as u32);
+        self.request_latency + self.device_time(ranges, bytes)
+    }
+
+    /// The *device-bound* part of the service time — seeks plus payload
+    /// streaming — which the server serializes under its device lock
+    /// ("the actual I/O has to be sequentialized locally", §4.2). The
+    /// remaining `request_latency` models network RTT and dispatch
+    /// overhead, which concurrent requests overlap.
+    pub fn device_time(&self, ranges: usize, bytes: u64) -> Duration {
+        let mut t = self.seek_latency * (ranges as u32);
         if self.bandwidth != u64::MAX && self.bandwidth > 0 {
             let secs = bytes as f64 / self.bandwidth as f64;
             t += Duration::from_secs_f64(secs);

@@ -1,16 +1,25 @@
 //! The DPFS I/O-node server: a TCP accept loop with one handler thread per
 //! connection, mirroring the paper's "server's spawning multiple processes
 //! or threads to handle them" (§2).
+//!
+//! Each connection is itself pipelined: a frame-decode loop reads requests
+//! and hands correlated (wire v2) ones to a small per-connection worker
+//! pool, so independent requests on one connection overlap their service
+//! times; responses are serialized through a shared writer lock and carry
+//! the request's correlation ID, letting the client's demux reader match
+//! them up however they complete. Uncorrelated (wire v1) frames keep the
+//! old lockstep semantics — handled inline, answered in order — so legacy
+//! peers never see responses they cannot attribute.
 
 use std::collections::HashMap;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 
-use dpfs_proto::{frame, Request};
+use dpfs_proto::{frame, Request, Response};
 use parking_lot::Mutex;
 
 use crate::handler::Handler;
@@ -206,39 +215,123 @@ fn connection_loop(
     conns.lock().remove(&id);
 }
 
+/// Worker threads per connection: the pipelining depth one connection's
+/// requests can overlap at. Small — each extra worker is one thread per
+/// open connection — but enough to overlap injected service delays and
+/// local-FS waits of independent requests.
+pub const CONN_WORKERS: usize = 4;
+
+/// Write one response frame, echoing the request's correlation ID when it
+/// had one. The writer lock serializes whole frames, never partial ones.
+fn write_response(
+    writer: &Mutex<TcpStream>,
+    corr_id: Option<u64>,
+    resp: &Response,
+) -> Result<(), frame::FrameError> {
+    let mut w = writer.lock();
+    match corr_id {
+        Some(id) => frame::write_frame_v2(&mut *w, id, &resp.encode()),
+        None => frame::write_frame(&mut *w, &resp.encode()),
+    }
+}
+
+/// One decoded request bound for the worker pool.
+struct Job {
+    corr_id: u64,
+    req: Request,
+}
+
 fn connection_loop_inner(mut stream: &TcpStream, handler: Arc<Handler>, shutdown: Arc<AtomicBool>) {
     stream.set_nodelay(true).ok();
+    let writer = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => return,
+    };
+
+    // Worker pool: decode loop sends jobs, workers pull them off the shared
+    // receiver, handle, and reply through the serialized writer.
+    let (tx, rx) = mpsc::channel::<Job>();
+    let rx = Arc::new(Mutex::new(rx));
+    let mut workers = Vec::with_capacity(CONN_WORKERS);
+    for _ in 0..CONN_WORKERS {
+        let rx = rx.clone();
+        let writer = writer.clone();
+        let handler = handler.clone();
+        let shutdown = shutdown.clone();
+        let worker = std::thread::Builder::new()
+            .name("dpfs-conn-worker".to_string())
+            .spawn(move || loop {
+                // Classic shared-receiver pool: the guard is dropped as
+                // soon as recv returns, handing the receiver to the next
+                // idle worker while this one services the request.
+                let job = match rx.lock().recv() {
+                    Ok(j) => j,
+                    Err(_) => return, // decode loop gone: drain finished
+                };
+                let is_shutdown = matches!(job.req, Request::Shutdown);
+                let resp = handler.handle(job.req);
+                let _ = write_response(&writer, Some(job.corr_id), &resp);
+                if is_shutdown {
+                    shutdown.store(true, Ordering::SeqCst);
+                }
+            });
+        match worker {
+            Ok(w) => workers.push(w),
+            Err(_) => break, // degrade to however many workers spawned
+        }
+    }
+
+    // Frame-decode loop: v2 requests dispatch to the pool; v1 requests are
+    // handled inline (lockstep), preserving in-order responses for peers
+    // that cannot correlate.
     loop {
         if shutdown.load(Ordering::SeqCst) {
-            return;
+            break;
         }
-        let payload = match frame::read_frame(&mut stream) {
-            Ok(p) => p,
-            Err(_) => return, // closed or corrupt: drop the connection
+        let decoded = match frame::read_frame_any(&mut stream) {
+            Ok(f) => f,
+            Err(_) => break, // closed or corrupt: drop the connection
         };
-        let req = match Request::decode(payload) {
+        let req = match Request::decode(decoded.payload) {
             Ok(r) => r,
             Err(e) => {
                 // malformed request: report and keep the connection
-                let resp = dpfs_proto::Response::Error {
+                let resp = Response::Error {
                     code: dpfs_proto::ErrorCode::BadRequest,
                     message: e.to_string(),
                 };
-                if frame::write_frame(&mut stream, &resp.encode()).is_err() {
-                    return;
+                if write_response(&writer, decoded.corr_id, &resp).is_err() {
+                    break;
                 }
                 continue;
             }
         };
         let is_shutdown = matches!(req, Request::Shutdown);
-        let resp = handler.handle(req);
-        if frame::write_frame(&mut stream, &resp.encode()).is_err() {
-            return;
+        match decoded.corr_id {
+            Some(corr_id) if !workers.is_empty() => {
+                if tx.send(Job { corr_id, req }).is_err() {
+                    break;
+                }
+            }
+            corr_id => {
+                let resp = handler.handle(req);
+                if write_response(&writer, corr_id, &resp).is_err() {
+                    break;
+                }
+                if is_shutdown {
+                    shutdown.store(true, Ordering::SeqCst);
+                }
+            }
         }
         if is_shutdown {
-            shutdown.store(true, Ordering::SeqCst);
-            return;
+            // Stop reading; the pool drains queued requests (replying to
+            // each) before the connection closes.
+            break;
         }
+    }
+    drop(tx);
+    for w in workers {
+        let _ = w.join();
     }
 }
 

@@ -1,0 +1,242 @@
+//! Transport-level proofs for the multiplexed wire protocol (v2):
+//!
+//! - two requests pipelined on ONE server connection overlap their service
+//!   time (~D, not ~2D) — the point of correlation IDs;
+//! - the lockstep ablation gate restores PR 1's one-in-flight behaviour
+//!   (~2D) on the same rig;
+//! - a request that exceeds its deadline surfaces a typed `Timeout` within
+//!   bound, pending peers on the poisoned connection get transport errors
+//!   instead of hanging, and the next RPC redials successfully;
+//! - `ping` counts any protocol-level answer — including
+//!   `Error { ShuttingDown }` — as *reachable*.
+
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dpfs::cluster::{NodeSpec, Testbed};
+use dpfs::core::{ClientOptions, ConnPool, DpfsError, Resolver};
+use dpfs::proto::{frame, ErrorCode, Request, Response};
+use dpfs::server::PerfModel;
+
+const DELAY: Duration = Duration::from_millis(40);
+
+/// One server injecting `DELAY` of per-request (overlappable) latency.
+fn one_delayed_server() -> Testbed {
+    let model = PerfModel {
+        request_latency: DELAY,
+        bandwidth: u64::MAX,
+        seek_latency: Duration::ZERO,
+    };
+    Testbed::start(&[NodeSpec::with_model(0, model)]).unwrap()
+}
+
+/// A read of a (missing, hence zero-filled) subfile: unlike `Ping`, it pays
+/// the injected per-request delay.
+fn delayed_req() -> Request {
+    Request::Read {
+        subfile: "/probe".into(),
+        ranges: vec![(0, 1)],
+    }
+}
+
+#[test]
+fn two_requests_pipeline_on_one_connection() {
+    let tb = one_delayed_server();
+    let client = tb.client_opts(ClientOptions::default());
+    let pool = client.pool();
+    // Warm up: dial once so the measurement below is pure service time.
+    // Ping pays no injected delay.
+    pool.rpc("ion00", &Request::Ping).unwrap();
+
+    let start = Instant::now();
+    let p1 = pool.submit("ion00", &delayed_req()).unwrap();
+    let p2 = pool.submit("ion00", &delayed_req()).unwrap();
+    assert_ne!(p1.corr_id(), p2.corr_id(), "correlation IDs must be unique");
+    let r1 = p1.wait(Duration::from_secs(10)).unwrap();
+    let r2 = p2.wait(Duration::from_secs(10)).unwrap();
+    let elapsed = start.elapsed();
+
+    assert!(matches!(r1, Response::Data { .. }), "got {r1:?}");
+    assert!(matches!(r2, Response::Data { .. }), "got {r2:?}");
+    assert!(
+        elapsed >= DELAY,
+        "two delayed requests finished in {elapsed:?}, below one delay {DELAY:?}?"
+    );
+    assert!(
+        elapsed < DELAY * 2,
+        "two pipelined requests on one connection took {elapsed:?}; \
+         overlapped service must stay under {:?}",
+        DELAY * 2
+    );
+
+    let stats = pool.transport_stats("ion00").unwrap();
+    assert_eq!(stats.dials, 1, "both requests must share one connection");
+    assert_eq!(stats.submitted, 3); // ping + two reads
+    assert_eq!(stats.completed, 3);
+    assert_eq!(stats.in_flight, 0);
+    assert_eq!(stats.timed_out, 0);
+}
+
+#[test]
+fn lockstep_gate_serializes_one_connection() {
+    let tb = one_delayed_server();
+    let client = tb.client_opts(ClientOptions::default());
+    let pool = client.pool();
+    pool.rpc("ion00", &Request::Ping).unwrap(); // warm up the dial
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        let h1 = scope.spawn(|| pool.rpc_lockstep("ion00", &delayed_req()).unwrap());
+        let h2 = scope.spawn(|| pool.rpc_lockstep("ion00", &delayed_req()).unwrap());
+        h1.join().unwrap();
+        h2.join().unwrap();
+    });
+    let elapsed = start.elapsed();
+
+    // sleep() guarantees at least the full duration, so with one RPC in
+    // flight at a time the lower bound is exact: 2×DELAY back-to-back.
+    assert!(
+        elapsed >= DELAY * 2,
+        "lockstep round-trips took {elapsed:?}, expected at least {:?}",
+        DELAY * 2
+    );
+    let stats = pool.transport_stats("ion00").unwrap();
+    assert_eq!(stats.dials, 1);
+}
+
+/// A server whose FIRST connection swallows requests without ever replying;
+/// every later connection answers `Pong` properly. Models a hung server
+/// that recovers by the time the client redials.
+fn start_stalling_then_healthy_server() -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        for (i, stream) in listener.incoming().enumerate() {
+            let Ok(stream) = stream else { return };
+            std::thread::spawn(move || {
+                if i == 0 {
+                    swallow(stream)
+                } else {
+                    serve_pong(stream)
+                }
+            });
+        }
+    });
+    addr
+}
+
+/// Read and discard bytes until the peer severs the socket.
+fn swallow(mut stream: TcpStream) {
+    let mut buf = [0u8; 4096];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) | Err(_) => return,
+            Ok(_) => {}
+        }
+    }
+}
+
+fn serve_pong(mut stream: TcpStream) {
+    while let Ok(f) = frame::read_frame_any(&mut stream) {
+        if Request::decode(f.payload).is_err() {
+            return;
+        }
+        let id = f.corr_id.unwrap_or(0);
+        if frame::write_frame_v2(&mut stream, id, &Response::Pong.encode()).is_err() {
+            return;
+        }
+    }
+}
+
+#[test]
+fn deadline_poisons_connection_and_next_rpc_redials() {
+    let addr = start_stalling_then_healthy_server().to_string();
+    let pool = ConnPool::new(Arc::new(Resolver::direct()));
+    let timeout = Duration::from_millis(150);
+    pool.set_rpc_timeout(timeout);
+
+    // Two requests in flight on the stalled connection.
+    let p1 = pool.submit(&addr, &Request::Ping).unwrap();
+    let p2 = pool.submit(&addr, &Request::Ping).unwrap();
+    assert_eq!(pool.in_flight(&addr), 2);
+
+    // The first hits its deadline: typed Timeout, within bound.
+    let start = Instant::now();
+    let err = p1.wait(timeout).unwrap_err();
+    let elapsed = start.elapsed();
+    assert!(
+        matches!(err, DpfsError::Timeout { .. }),
+        "expected Timeout, got {err}"
+    );
+    assert!(elapsed >= timeout, "timed out early: {elapsed:?}");
+    assert!(
+        elapsed < timeout + Duration::from_secs(2),
+        "deadline overshot: {elapsed:?}"
+    );
+
+    // The timeout poisoned the connection: the pending peer is completed
+    // with a transport error immediately — no hang until its own deadline.
+    let start = Instant::now();
+    let err = p2.wait(Duration::from_secs(30)).unwrap_err();
+    assert!(
+        matches!(err, DpfsError::Disconnected { .. }),
+        "expected Disconnected fan-out, got {err}"
+    );
+    assert!(
+        start.elapsed() < Duration::from_secs(1),
+        "pending peer hung {:?} instead of failing fast",
+        start.elapsed()
+    );
+
+    // The next RPC redials — and the server is healthy now.
+    assert_eq!(pool.rpc(&addr, &Request::Ping).unwrap(), Response::Pong);
+
+    let stats = pool.transport_stats(&addr).unwrap();
+    assert_eq!(stats.dials, 2, "recovery must have redialed exactly once");
+    assert_eq!(stats.timed_out, 1);
+    assert_eq!(stats.in_flight, 0);
+}
+
+/// A server that answers every request with `Error { ShuttingDown }`.
+fn start_shutting_down_server() -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(mut stream) = stream else { return };
+            std::thread::spawn(move || {
+                while let Ok(f) = frame::read_frame_any(&mut stream) {
+                    let resp = Response::Error {
+                        code: ErrorCode::ShuttingDown,
+                        message: "draining".into(),
+                    };
+                    let id = f.corr_id.unwrap_or(0);
+                    if frame::write_frame_v2(&mut stream, id, &resp.encode()).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+    });
+    addr
+}
+
+#[test]
+fn ping_counts_protocol_errors_as_reachable() {
+    // A real I/O server answers Pong: trivially reachable.
+    let tb = Testbed::unthrottled(1).unwrap();
+    let client = tb.client_opts(ClientOptions::default());
+    assert!(client.pool().ping("ion00"));
+
+    // A server draining for shutdown answers Error { ShuttingDown }: it
+    // decoded our request and framed a reply, so it is *reachable* — the
+    // old ping treated any non-Pong as down.
+    let addr = start_shutting_down_server().to_string();
+    let pool = ConnPool::new(Arc::new(Resolver::direct()));
+    assert!(pool.ping(&addr), "ShuttingDown answer must count as alive");
+
+    // Nothing listening at all: down.
+    assert!(!pool.ping("127.0.0.1:1"));
+}
