@@ -17,7 +17,11 @@ cargo test -q
 echo "==> docs (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
-echo "==> ablation smoke (--quick)"
-cargo run --release -q -p dpfs-bench --bin ablation -- --quick
+echo "==> ablation smoke (--quick) with trace export"
+DPFS_TRACE_OUT=target/trace-quick.jsonl \
+    cargo run --release -q -p dpfs-bench --bin ablation -- --quick
+
+echo "==> trace summary (fails on empty or unparseable export)"
+cargo run --release -q -p dpfs-bench --bin trace-summarize -- target/trace-quick.jsonl
 
 echo "CI green."

@@ -8,7 +8,8 @@
 //! nonzero, so CI can run the real binary end to end.
 
 use dpfs_bench::ablation::*;
-use dpfs_bench::FigScale;
+use dpfs_bench::{FigScale, TraceSummary};
+use dpfs_core::trace::{export_jsonl_to, ring};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -17,6 +18,8 @@ fn main() {
     } else {
         FigScale::from_env()
     };
+    // Scope trace export and the phase table to this run's events.
+    let trace_cursor = ring().cursor();
 
     print_points(
         "Ablation 1: linear brick-size sweep (8 clients, 4 class-3 servers, combined)",
@@ -49,6 +52,30 @@ fn main() {
         "Ablation 7: transport pipelining depth (2 handles sharing per-server connections)",
         &pipeline,
     );
+
+    // Per-phase latency table from the spans the run just recorded. The
+    // global ring keeps the last 65536 events, so at full scale this is
+    // the tail of the run, not the whole of it.
+    let events = ring().events_since(trace_cursor);
+    let mut summary = TraceSummary::new();
+    summary.add_events(&events);
+    println!(
+        "Phase latency summary ({} traced spans retained):",
+        events.len()
+    );
+    print!("{}", summary.render());
+    println!();
+
+    if let Some(path) = std::env::var_os("DPFS_TRACE_OUT") {
+        let path = std::path::PathBuf::from(path);
+        match export_jsonl_to(&path, trace_cursor) {
+            Ok(n) => println!("exported {n} trace events to {}", path.display()),
+            Err(e) => {
+                eprintln!("ablation: trace export to {} failed: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
 
     if quick {
         let mut failures = Vec::new();

@@ -1,0 +1,35 @@
+//! `trace-summarize` — per-phase latency table from a JSONL trace export.
+//!
+//! ```text
+//! DPFS_TRACE_OUT=trace.jsonl cargo run --release -p dpfs-bench --bin ablation -- --quick
+//! cargo run --release -p dpfs-bench --bin trace-summarize -- trace.jsonl
+//! ```
+//!
+//! Exits nonzero when the file is missing, empty, or holds unparseable
+//! events, so CI can assert the tracing pipeline produced real data.
+
+use dpfs_bench::summarize_jsonl;
+
+fn main() {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: trace-summarize <trace.jsonl>");
+        std::process::exit(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace-summarize: {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match summarize_jsonl(&text) {
+        Ok(table) => {
+            println!("{path}:");
+            print!("{table}");
+        }
+        Err(e) => {
+            eprintln!("trace-summarize: {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

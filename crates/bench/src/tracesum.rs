@@ -1,0 +1,210 @@
+//! Summaries of exported trace events: per-`(side, phase)` counts, total
+//! and mean durations, and latency percentiles. Backs the
+//! `trace-summarize` CLI (which re-parses the JSONL the ablation harness
+//! exports) and the phase table embedded in bench reports.
+
+use std::collections::BTreeMap;
+
+use dpfs_core::trace::{Histogram, Side, TraceEvent};
+
+/// Durations aggregated for one `(side, phase)` pair.
+struct PhaseAgg {
+    count: u64,
+    sum_ns: u64,
+    bytes: u64,
+    hist: Histogram,
+}
+
+impl PhaseAgg {
+    fn new() -> PhaseAgg {
+        PhaseAgg {
+            count: 0,
+            sum_ns: 0,
+            bytes: 0,
+            hist: Histogram::new(),
+        }
+    }
+
+    fn add(&mut self, dur_ns: u64, bytes: u64) {
+        self.count += 1;
+        self.sum_ns += dur_ns;
+        self.bytes += bytes;
+        self.hist.record(dur_ns);
+    }
+}
+
+/// Accumulates spans keyed by `(side, phase)` and renders them as an
+/// aligned table, percentiles included.
+pub struct TraceSummary {
+    aggs: BTreeMap<(String, String), PhaseAgg>,
+    events: u64,
+}
+
+impl Default for TraceSummary {
+    fn default() -> TraceSummary {
+        TraceSummary::new()
+    }
+}
+
+impl TraceSummary {
+    pub fn new() -> TraceSummary {
+        TraceSummary {
+            aggs: BTreeMap::new(),
+            events: 0,
+        }
+    }
+
+    /// Fold in one span.
+    pub fn add(&mut self, side: &str, phase: &str, dur_ns: u64, bytes: u64) {
+        self.aggs
+            .entry((side.to_string(), phase.to_string()))
+            .or_insert_with(PhaseAgg::new)
+            .add(dur_ns, bytes);
+        self.events += 1;
+    }
+
+    /// Fold in ring events (e.g. `ring().events_since(cursor)`).
+    pub fn add_events(&mut self, events: &[TraceEvent]) {
+        for ev in events {
+            let side = match ev.side {
+                Side::Client => "client",
+                Side::Server => "server",
+            };
+            self.add(side, ev.phase, ev.dur_ns, ev.bytes);
+        }
+    }
+
+    /// Total spans folded in so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Render the per-phase table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        writeln!(
+            out,
+            "{:<8} {:<8} {:>9} {:>12} {:>10} {:<20}",
+            "side", "phase", "count", "total_ms", "mean_us", "p50/p95/p99 us"
+        )
+        .unwrap();
+        for ((side, phase), agg) in &self.aggs {
+            let snap = agg.hist.snapshot();
+            writeln!(
+                out,
+                "{:<8} {:<8} {:>9} {:>12.2} {:>10.1} {:<20}",
+                side,
+                phase,
+                agg.count,
+                agg.sum_ns as f64 / 1e6,
+                agg.sum_ns as f64 / agg.count.max(1) as f64 / 1e3,
+                snap.summary_us()
+            )
+            .unwrap();
+        }
+        out
+    }
+}
+
+/// Parse one exported JSONL line's relevant fields. The exporter's field
+/// order is stable but this matches by key, not position.
+fn parse_line(line: &str) -> Option<(String, String, u64, u64)> {
+    Some((
+        extract_str(line, "side")?,
+        extract_str(line, "phase")?,
+        extract_u64(line, "dur_ns")?,
+        extract_u64(line, "bytes")?,
+    ))
+}
+
+fn extract_u64(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let rest = &line[line.find(&pat)? + pat.len()..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn extract_str(line: &str, key: &str) -> Option<String> {
+    // side/phase/kind values are fixed identifiers — no escapes to undo.
+    let pat = format!("\"{key}\":\"");
+    let rest = &line[line.find(&pat)? + pat.len()..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Summarize a JSONL trace export. `Err` when the input holds no events
+/// or any non-blank line fails to parse — CI uses this to fail the build
+/// if the ablation harness exported a broken or empty trace.
+pub fn summarize_jsonl(text: &str) -> Result<String, String> {
+    let mut summary = TraceSummary::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (side, phase, dur_ns, bytes) =
+            parse_line(line).ok_or_else(|| format!("line {}: unparseable event: {line}", i + 1))?;
+        summary.add(&side, &phase, dur_ns, bytes);
+    }
+    if summary.events() == 0 {
+        return Err("no trace events".to_string());
+    }
+    Ok(format!("{} events\n{}", summary.events(), summary.render()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpfs_core::trace::export_jsonl;
+
+    fn ev(side: Side, phase: &'static str, dur_ns: u64) -> TraceEvent {
+        TraceEvent {
+            seq: 0,
+            trace_id: 9,
+            side,
+            phase,
+            kind: "read",
+            server: "ion0".to_string(),
+            start_ns: 0,
+            dur_ns,
+            bytes: 128,
+        }
+    }
+
+    #[test]
+    fn summarize_round_trips_exported_events() {
+        let events = vec![
+            ev(Side::Client, "rpc", 2_000_000),
+            ev(Side::Client, "rpc", 4_000_000),
+            ev(Side::Server, "queue", 500_000),
+        ];
+        let text = export_jsonl(&events);
+        let table = summarize_jsonl(&text).unwrap();
+        assert!(table.contains("3 events"), "{table}");
+        assert!(table.contains("client"), "{table}");
+        assert!(table.contains("rpc"), "{table}");
+        assert!(table.contains("queue"), "{table}");
+        // rpc total = 6ms
+        assert!(table.contains("6.00"), "{table}");
+    }
+
+    #[test]
+    fn summarize_rejects_empty_and_garbage() {
+        assert!(summarize_jsonl("").is_err());
+        assert!(summarize_jsonl("\n  \n").is_err());
+        let err = summarize_jsonl("{\"nope\":1}\n").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn render_includes_percentiles() {
+        let mut s = TraceSummary::new();
+        for _ in 0..100 {
+            s.add("client", "await", 1_000_000, 0);
+        }
+        let table = s.render();
+        assert!(table.contains("p50/p95/p99"), "{table}");
+        assert!(!table.contains("-/-/-"), "{table}");
+    }
+}

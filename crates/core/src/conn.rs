@@ -115,6 +115,12 @@ impl ConnPool {
         self.transport(server).submit(req)
     }
 
+    /// [`ConnPool::submit`], stamping the request with `trace_id` (0 =
+    /// untraced) so server-side events join the operation's trace.
+    pub fn submit_traced(&self, server: &str, req: &Request, trace_id: u64) -> Result<Pending> {
+        self.transport(server).submit_traced(req, trace_id)
+    }
+
     /// Issue one request to `server` and await its response (submit +
     /// wait under this pool's deadline). Opens the connection on first
     /// use; a transport error or timeout poisons the cached connection so
@@ -132,10 +138,20 @@ impl ConnPool {
     /// connection. This is PR 1's wire behaviour, kept as the ablation
     /// baseline for transport pipelining.
     pub fn rpc_lockstep(&self, server: &str, req: &Request) -> Result<Response> {
+        self.rpc_lockstep_traced(server, req, 0)
+    }
+
+    /// [`ConnPool::rpc_lockstep`] with a trace ID stamped on the frame.
+    pub fn rpc_lockstep_traced(
+        &self,
+        server: &str,
+        req: &Request,
+        trace_id: u64,
+    ) -> Result<Response> {
         let transport = self.transport(server);
         let timeout = self.rpc_timeout();
         let _gate = transport.lockstep_gate();
-        transport.submit(req)?.wait(timeout)
+        transport.submit_traced(req, trace_id)?.wait(timeout)
     }
 
     /// Like [`ConnPool::rpc`] but converts server-side `Error` responses

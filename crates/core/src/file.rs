@@ -29,6 +29,7 @@ use crate::hints::{FileLevel, Placement};
 use crate::layout::{bricks_for, BrickRun, Layout};
 use crate::placement::BrickMap;
 use crate::plan::{plan_reads, plan_writes, Granularity};
+use crate::trace;
 use crate::transport::DEFAULT_RPC_TIMEOUT;
 
 /// Per-client I/O options.
@@ -101,6 +102,8 @@ pub struct FileHandle {
     prefetch_bricks: u64,
     /// End offset of the last byte-API read (sequential-pattern detector).
     last_read_end: u64,
+    /// Trace ID of the most recent traced operation on this handle.
+    last_trace_id: u64,
 }
 
 impl FileHandle {
@@ -132,7 +135,15 @@ impl FileHandle {
             cache: None,
             prefetch_bricks: 0,
             last_read_end: u64::MAX,
+            last_trace_id: 0,
         }
+    }
+
+    /// The trace ID of the most recent read/write/sync on this handle
+    /// (0 before the first operation). Filter [`trace::ring()`] events on it
+    /// to see the operation's full client+server timeline.
+    pub fn last_trace_id(&self) -> u64 {
+        self.last_trace_id
     }
 
     /// The file's DPFS path.
@@ -498,6 +509,9 @@ impl FileHandle {
     // -------------------------------------------------------- execution
 
     fn execute_writes(&mut self, runs: &[BrickRun], data: &[u8]) -> Result<()> {
+        let trace_id = trace::next_trace_id();
+        self.last_trace_id = trace_id;
+        let op_start = trace::now_ns();
         if let Some(cache) = &mut self.cache {
             for r in runs {
                 cache.invalidate(r.brick);
@@ -536,7 +550,16 @@ impl FileHandle {
                 )
             })
             .collect();
-        let results = issue(&self.pool, &self.opts, true, work);
+        trace::client_event(
+            trace_id,
+            "plan",
+            "write",
+            "",
+            op_start,
+            trace::now_ns().saturating_sub(op_start),
+            data.len() as u64,
+        );
+        let results = issue(&self.pool, &self.opts, true, work, trace_id);
         for (req, res) in reqs.iter().zip(results) {
             self.stats.requests += 1;
             let written = expect_written(res?)?;
@@ -550,10 +573,22 @@ impl FileHandle {
             }
             self.stats.wire_written += expected;
         }
+        trace::client_event(
+            trace_id,
+            "op",
+            "write",
+            "",
+            op_start,
+            trace::now_ns().saturating_sub(op_start),
+            data.len() as u64,
+        );
         Ok(())
     }
 
     fn execute_reads(&mut self, runs: &[BrickRun], buf: &mut [u8]) -> Result<()> {
+        let trace_id = trace::next_trace_id();
+        self.last_trace_id = trace_id;
+        let op_start = trace::now_ns();
         // Serve runs whose bricks are cached locally; fetch the rest.
         let mut remaining: Vec<BrickRun> = Vec::with_capacity(runs.len());
         if let (Some(cache), Granularity::Brick) = (&mut self.cache, self.opts.granularity) {
@@ -568,6 +603,15 @@ impl FileHandle {
                 }
             }
             if remaining.is_empty() {
+                trace::client_event(
+                    trace_id,
+                    "op",
+                    "read",
+                    "",
+                    op_start,
+                    trace::now_ns().saturating_sub(op_start),
+                    buf.len() as u64,
+                );
                 return Ok(());
             }
         } else {
@@ -597,7 +641,16 @@ impl FileHandle {
                 )
             })
             .collect();
-        let results = issue(&self.pool, &self.opts, true, work);
+        trace::client_event(
+            trace_id,
+            "plan",
+            "read",
+            "",
+            op_start,
+            trace::now_ns().saturating_sub(op_start),
+            buf.len() as u64,
+        );
+        let results = issue(&self.pool, &self.opts, true, work, trace_id);
         for (req, res) in reqs.iter().zip(results) {
             let chunks = expect_chunks(res?, req.ranges.len())?;
             self.stats.requests += 1;
@@ -615,6 +668,15 @@ impl FileHandle {
                 }
             }
         }
+        trace::client_event(
+            trace_id,
+            "op",
+            "read",
+            "",
+            op_start,
+            trace::now_ns().saturating_sub(op_start),
+            buf.len() as u64,
+        );
         Ok(())
     }
 
@@ -648,6 +710,9 @@ impl FileHandle {
     /// leave the others' subfiles unflushed — and the failures come back
     /// aggregated in a single [`DpfsError::Aggregate`].
     pub fn sync(&mut self) -> Result<()> {
+        let trace_id = trace::next_trace_id();
+        self.last_trace_id = trace_id;
+        let op_start = trace::now_ns();
         let work: Vec<(&str, Request)> = self
             .servers
             .iter()
@@ -660,9 +725,18 @@ impl FileHandle {
                 )
             })
             .collect();
+        trace::client_event(
+            trace_id,
+            "plan",
+            "sync",
+            "",
+            op_start,
+            trace::now_ns().saturating_sub(op_start),
+            0,
+        );
         // `stop_at_first_error = false`: every server is attempted even in
         // serial mode.
-        let results = issue(&self.pool, &self.opts, false, work);
+        let results = issue(&self.pool, &self.opts, false, work, trace_id);
         let failures: Vec<(String, DpfsError)> = self
             .servers
             .iter()
@@ -678,6 +752,15 @@ impl FileHandle {
                 err.map(|e| (server.clone(), e))
             })
             .collect();
+        trace::client_event(
+            trace_id,
+            "op",
+            "sync",
+            "",
+            op_start,
+            trace::now_ns().saturating_sub(op_start),
+            0,
+        );
         if failures.is_empty() {
             Ok(())
         } else {
@@ -715,39 +798,88 @@ fn issue(
     opts: &ClientOptions,
     stop_at_first_error: bool,
     work: Vec<(&str, Request)>,
+    trace_id: u64,
 ) -> Vec<Result<Response>> {
+    let kind = work
+        .first()
+        .map(|(_, req)| req.kind_str())
+        .unwrap_or("other");
+    let t0 = trace::now_ns();
     if opts.serial_dispatch {
+        let timeout = opts.rpc_timeout;
         let mut out = Vec::with_capacity(work.len());
         for (server, req) in work {
-            let res = pool.rpc(server, &req);
+            // Same round-trip as `ConnPool::rpc`, with the trace stamped;
+            // lockstep_rpc additionally holds the per-server gate.
+            let res = if opts.lockstep_rpc {
+                pool.rpc_lockstep_traced(server, &req, trace_id)
+            } else {
+                pool.submit_traced(server, &req, trace_id)
+                    .and_then(|pending| pending.wait(timeout))
+            };
             let failed = res.is_err();
             out.push(res);
             if failed && stop_at_first_error {
                 break;
             }
         }
+        // Serial dispatch interleaves submission and waiting; the whole
+        // loop is one await span.
+        trace::client_event(
+            trace_id,
+            "await",
+            kind,
+            "",
+            t0,
+            trace::now_ns().saturating_sub(t0),
+            0,
+        );
         out
     } else if opts.lockstep_rpc {
-        std::thread::scope(|scope| {
+        let out = std::thread::scope(|scope| {
             let handles: Vec<_> = work
                 .into_iter()
-                .map(|(server, req)| scope.spawn(move || pool.rpc_lockstep(server, &req)))
+                .map(|(server, req)| {
+                    scope.spawn(move || pool.rpc_lockstep_traced(server, &req, trace_id))
+                })
                 .collect();
             handles
                 .into_iter()
                 .map(|h| h.join().expect("dispatch thread panicked"))
                 .collect()
-        })
+        });
+        trace::client_event(
+            trace_id,
+            "await",
+            kind,
+            "",
+            t0,
+            trace::now_ns().saturating_sub(t0),
+            0,
+        );
+        out
     } else {
         let timeout = opts.rpc_timeout;
         let pendings: Vec<_> = work
             .into_iter()
-            .map(|(server, req)| pool.submit(server, &req))
+            .map(|(server, req)| pool.submit_traced(server, &req, trace_id))
             .collect();
-        pendings
+        let t1 = trace::now_ns();
+        trace::client_event(trace_id, "submit", kind, "", t0, t1.saturating_sub(t0), 0);
+        let out = pendings
             .into_iter()
             .map(|p| p.and_then(|pending| pending.wait(timeout)))
-            .collect()
+            .collect();
+        trace::client_event(
+            trace_id,
+            "await",
+            kind,
+            "",
+            t1,
+            trace::now_ns().saturating_sub(t1),
+            0,
+        );
+        out
     }
 }
 

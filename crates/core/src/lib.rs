@@ -18,7 +18,10 @@
 //!
 //! Metadata lives in the SQL database provided by `dpfs-meta` (paper §5);
 //! data moves over the TCP protocol of `dpfs-proto` to `dpfs-server` I/O
-//! nodes (paper §2).
+//! nodes (paper §2). Every operation is traced end to end ([`trace`]):
+//! client phase spans and server-side events share a per-operation trace
+//! ID carried in v3 frames, and per-kind latency histograms accumulate in
+//! [`TransportStats`].
 
 pub mod api;
 pub mod cache;
@@ -34,6 +37,7 @@ pub mod hints;
 pub mod layout;
 pub mod placement;
 pub mod plan;
+pub mod trace;
 pub mod transport;
 
 pub use cache::BrickCache;

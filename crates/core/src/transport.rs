@@ -31,11 +31,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::Duration;
 
+use dpfs_obs::{HistSnapshot, Histogram};
 use dpfs_proto::{frame, Request, Response};
 use parking_lot::{Mutex, MutexGuard};
 
 use crate::conn::Resolver;
 use crate::error::{DpfsError, Result};
+use crate::trace;
 
 /// Default per-request deadline. Generous: it exists to catch hung servers
 /// and dead TCP peers, not to race healthy ones. Tighten per pool with
@@ -64,17 +66,22 @@ struct Conn {
     /// Writer half. Held only for the duration of one frame write.
     writer: Mutex<TcpStream>,
     inflight: Mutex<Inflight>,
+    /// The owning transport's counters, so poisoning can account the
+    /// disconnect even after the transport dropped this connection.
+    counters: Arc<Counters>,
 }
 
 impl Conn {
     /// Poison this connection: record `reason`, sever the socket (which
     /// unblocks the reader thread), and fan the error out to every
-    /// in-flight waiter. Idempotent — the first reason wins.
+    /// in-flight waiter. Idempotent — the first reason wins (and is the
+    /// only one counted).
     fn poison(&self, reason: &str) {
         let waiters = {
             let mut infl = self.inflight.lock();
             if infl.dead.is_none() {
                 infl.dead = Some(reason.to_string());
+                self.counters.disconnected.fetch_add(1, Ordering::Relaxed);
             }
             std::mem::take(&mut infl.waiters)
         };
@@ -89,8 +96,8 @@ impl Conn {
     }
 }
 
-/// Running totals for one server's transport (monotonic counters plus the
-/// current in-flight gauge).
+/// Running totals for one server's transport (monotonic counters, the
+/// current in-flight gauge, and per-kind latency histograms).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TransportStats {
     /// Requests successfully written to the wire.
@@ -103,6 +110,18 @@ pub struct TransportStats {
     pub dials: u64,
     /// Requests currently awaiting a response.
     pub in_flight: u64,
+    /// Connections poisoned (timeout, write/read failure, peer close,
+    /// explicit disconnect). Each poisoned connection counts once.
+    pub disconnected: u64,
+    /// Highest number of requests simultaneously in flight on one
+    /// connection — the pipelining depth actually achieved.
+    pub in_flight_peak: u64,
+    /// Round-trip latency of completed `Read` RPCs (submit → response).
+    pub read_latency: HistSnapshot,
+    /// Round-trip latency of completed `Write` RPCs.
+    pub write_latency: HistSnapshot,
+    /// Round-trip latency of everything else (ping, stat, sync, ...).
+    pub other_latency: HistSnapshot,
 }
 
 #[derive(Default)]
@@ -111,6 +130,23 @@ struct Counters {
     completed: AtomicU64,
     timed_out: AtomicU64,
     dials: AtomicU64,
+    disconnected: AtomicU64,
+    in_flight_peak: AtomicU64,
+    hist_read: Histogram,
+    hist_write: Histogram,
+    hist_other: Histogram,
+}
+
+impl Counters {
+    /// The latency histogram for one request kind (as named by
+    /// [`Request::kind_str`]).
+    fn hist_for(&self, kind: &str) -> &Histogram {
+        match kind {
+            "read" => &self.hist_read,
+            "write" => &self.hist_write,
+            _ => &self.hist_other,
+        }
+    }
 }
 
 /// The multiplexed transport to one server. Owned by the pool; shared by
@@ -168,6 +204,7 @@ impl Transport {
                 waiters: HashMap::new(),
                 dead: None,
             }),
+            counters: self.counters.clone(),
         });
         let reader_conn = conn.clone();
         std::thread::Builder::new()
@@ -183,15 +220,22 @@ impl Transport {
     /// Does not block on the server: the frame is written (short writer
     /// lock) and the call returns with the request in flight.
     pub fn submit(&self, req: &Request) -> Result<Pending> {
+        self.submit_traced(req, 0)
+    }
+
+    /// [`Transport::submit`], stamping the frame with `trace_id` so the
+    /// server's events join the operation's trace. `trace_id == 0` means
+    /// untraced (plain v2 frame on the wire).
+    pub fn submit_traced(&self, req: &Request, trace_id: u64) -> Result<Pending> {
         // One retry: the slot can hand out a connection that a concurrent
         // poison killed between the lookup and our registration.
-        match self.try_submit(req) {
-            Err(DpfsError::Disconnected { .. }) => self.try_submit(req),
+        match self.try_submit(req, trace_id) {
+            Err(DpfsError::Disconnected { .. }) => self.try_submit(req, trace_id),
             other => other,
         }
     }
 
-    fn try_submit(&self, req: &Request) -> Result<Pending> {
+    fn try_submit(&self, req: &Request, trace_id: u64) -> Result<Pending> {
         let conn = self.conn()?;
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = mpsc::channel();
@@ -204,10 +248,18 @@ impl Transport {
                 });
             }
             infl.waiters.insert(id, tx);
+            let depth = infl.waiters.len() as u64;
+            self.counters
+                .in_flight_peak
+                .fetch_max(depth, Ordering::Relaxed);
         }
         let wrote = {
             let mut w = conn.writer.lock();
-            frame::write_frame_v2(&mut *w, id, &req.encode())
+            if trace_id != 0 {
+                frame::write_frame_v3(&mut *w, id, trace_id, &req.encode())
+            } else {
+                frame::write_frame_v2(&mut *w, id, &req.encode())
+            }
         };
         if let Err(e) = wrote {
             conn.inflight.lock().waiters.remove(&id);
@@ -221,6 +273,10 @@ impl Transport {
             rx,
             conn,
             counters: self.counters.clone(),
+            trace_id,
+            kind: req.kind_str(),
+            bytes: req.payload_bytes(),
+            submitted_ns: trace::now_ns(),
         })
     }
 
@@ -249,6 +305,11 @@ impl Transport {
             timed_out: self.counters.timed_out.load(Ordering::Relaxed),
             dials: self.counters.dials.load(Ordering::Relaxed),
             in_flight: self.in_flight(),
+            disconnected: self.counters.disconnected.load(Ordering::Relaxed),
+            in_flight_peak: self.counters.in_flight_peak.load(Ordering::Relaxed),
+            read_latency: self.counters.hist_read.snapshot(),
+            write_latency: self.counters.hist_write.snapshot(),
+            other_latency: self.counters.hist_other.snapshot(),
         }
     }
 
@@ -270,6 +331,10 @@ pub struct Pending {
     rx: mpsc::Receiver<WireResult>,
     conn: Arc<Conn>,
     counters: Arc<Counters>,
+    trace_id: u64,
+    kind: &'static str,
+    bytes: u64,
+    submitted_ns: u64,
 }
 
 impl Pending {
@@ -284,6 +349,17 @@ impl Pending {
         match self.rx.recv_timeout(timeout) {
             Ok(Ok(resp)) => {
                 self.counters.completed.fetch_add(1, Ordering::Relaxed);
+                let dur = trace::now_ns().saturating_sub(self.submitted_ns);
+                self.counters.hist_for(self.kind).record(dur);
+                trace::client_event(
+                    self.trace_id,
+                    "rpc",
+                    self.kind,
+                    &self.server,
+                    self.submitted_ns,
+                    dur,
+                    self.bytes,
+                );
                 Ok(resp)
             }
             Ok(Err(reason)) => Err(DpfsError::Disconnected {

@@ -1,0 +1,84 @@
+//! `dpfs-obs` — shared observability primitives for DPFS.
+//!
+//! Every layer of DPFS — client library, wire transport, I/O server, bench
+//! harness — reports into the same three primitives:
+//!
+//! - [`Histogram`]: fixed-bucket (power-of-two, HDR-style) latency
+//!   histograms with lock-free recording and percentile snapshots
+//!   ([`HistSnapshot`]), the unit both `TransportStats` and `ServerStats`
+//!   aggregate per request kind.
+//! - [`TraceRing`]: a process-global, lock-free ring buffer of
+//!   [`TraceEvent`]s. Client operations record phase spans (plan, submit,
+//!   await, per-server rpc), servers record service-side events (decode,
+//!   queue wait, device-lock hold, injected delay, response write), all
+//!   keyed by a per-operation *trace ID* that travels in the wire frame.
+//!   [`export_jsonl`] turns the ring into a JSONL stream for the bench and
+//!   ablation harness.
+//! - [`log`]: a tiny leveled logger controlled by `DPFS_LOG`
+//!   (`error|info|debug`), for daemons that used to `println!` freely.
+//!
+//! This crate sits below `dpfs-core` and `dpfs-server` in the dependency
+//! graph so both sides of the wire share one event vocabulary; `dpfs-core`
+//! re-exports it as `dpfs_core::trace`.
+
+pub mod hist;
+pub mod log;
+pub mod ring;
+
+pub use hist::{HistSnapshot, Histogram, HIST_BUCKETS};
+pub use ring::{export_jsonl, export_jsonl_to, ring, Side, TraceEvent, TraceRing};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Monotonic nanoseconds since this process first touched the tracing
+/// layer. All [`TraceEvent`] start timestamps use this epoch, so events
+/// from every thread in one process order consistently.
+pub fn now_ns() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// A fresh, process-unique, never-zero trace ID. Seeded from wall clock
+/// and PID so IDs from different client processes against one server are
+/// unlikely to collide.
+pub fn next_trace_id() -> u64 {
+    static SALT: OnceLock<u64> = OnceLock::new();
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    let salt = *SALT.get_or_init(|| {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+            .unwrap_or(0);
+        (nanos << 20) ^ ((std::process::id() as u64) << 8)
+    });
+    let id = salt.wrapping_add(NEXT.fetch_add(1, Ordering::Relaxed));
+    if id == 0 {
+        1
+    } else {
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_ids_are_unique_and_nonzero() {
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            let id = next_trace_id();
+            assert_ne!(id, 0);
+            assert!(seen.insert(id), "duplicate trace id {id}");
+        }
+    }
+
+    #[test]
+    fn now_ns_is_monotonic() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,123 @@
+//! A tiny leveled logger for DPFS daemons.
+//!
+//! The level comes from `DPFS_LOG` (`error`, `info`, or `debug`; default
+//! `info`) and is read once per process. Output goes to stderr for
+//! `error`, stdout otherwise, matching how the daemons printed before.
+//!
+//! ```
+//! dpfs_obs::log_info!("listening on {}", "127.0.0.1:7000");
+//! dpfs_obs::log_debug!("frame decoded: {} bytes", 128);
+//! ```
+
+use std::sync::OnceLock;
+
+/// Log severity, ordered so `Error < Info < Debug`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Always printed.
+    Error,
+    /// Default: lifecycle events (startup, shutdown, connections).
+    Info,
+    /// Per-request detail.
+    Debug,
+}
+
+impl Level {
+    fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+        }
+    }
+}
+
+fn parse_level(s: &str) -> Option<Level> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "error" => Some(Level::Error),
+        "info" => Some(Level::Info),
+        "debug" => Some(Level::Debug),
+        _ => None,
+    }
+}
+
+/// The process log level, parsed once from `DPFS_LOG` (default `info`;
+/// unrecognized values also fall back to `info`).
+pub fn max_level() -> Level {
+    static LEVEL: OnceLock<Level> = OnceLock::new();
+    *LEVEL.get_or_init(|| {
+        std::env::var("DPFS_LOG")
+            .ok()
+            .and_then(|s| parse_level(&s))
+            .unwrap_or(Level::Info)
+    })
+}
+
+/// Whether messages at `level` are currently printed.
+pub fn enabled(level: Level) -> bool {
+    level <= max_level()
+}
+
+/// Print one log line (used by the `log_*` macros; call those instead).
+pub fn emit(level: Level, args: std::fmt::Arguments<'_>) {
+    if !enabled(level) {
+        return;
+    }
+    if level == Level::Error {
+        eprintln!("[dpfs {}] {}", level.as_str(), args);
+    } else {
+        println!("[dpfs {}] {}", level.as_str(), args);
+    }
+}
+
+/// Log at `error` level (always printed, to stderr).
+#[macro_export]
+macro_rules! log_error {
+    ($($arg:tt)*) => {
+        $crate::log::emit($crate::log::Level::Error, format_args!($($arg)*))
+    };
+}
+
+/// Log at `info` level (printed unless `DPFS_LOG=error`).
+#[macro_export]
+macro_rules! log_info {
+    ($($arg:tt)*) => {
+        $crate::log::emit($crate::log::Level::Info, format_args!($($arg)*))
+    };
+}
+
+/// Log at `debug` level (printed only with `DPFS_LOG=debug`).
+#[macro_export]
+macro_rules! log_debug {
+    ($($arg:tt)*) => {
+        $crate::log::emit($crate::log::Level::Debug, format_args!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order() {
+        assert!(Level::Error < Level::Info);
+        assert!(Level::Info < Level::Debug);
+    }
+
+    #[test]
+    fn parse_known_and_unknown() {
+        assert_eq!(parse_level("error"), Some(Level::Error));
+        assert_eq!(parse_level("INFO"), Some(Level::Info));
+        assert_eq!(parse_level(" debug "), Some(Level::Debug));
+        assert_eq!(parse_level("trace"), None);
+        assert_eq!(parse_level(""), None);
+    }
+
+    #[test]
+    fn macros_compile_and_run() {
+        // Smoke: these must not panic regardless of level.
+        crate::log_error!("e {}", 1);
+        crate::log_info!("i {}", 2);
+        crate::log_debug!("d {}", 3);
+    }
+}

@@ -1,6 +1,6 @@
 //! Length-prefixed, CRC-protected framing over any `Read`/`Write` stream.
 //!
-//! Two header versions coexist on the wire:
+//! Three header versions coexist on the wire:
 //!
 //! - **v1** (`"DPFS"`): `[magic][len u32][crc u32][payload]` — the original
 //!   lockstep protocol. Kept for ablation and for old peers.
@@ -8,9 +8,14 @@
 //!   [payload]` — the multiplexed transport. The correlation ID ties a
 //!   response frame back to the request it answers, so many requests can be
 //!   in flight on one connection and complete out of order.
+//! - **v3** (`"DPF3"`): `[magic][correlation id u64][trace id u64][len u32]
+//!   [crc u32][payload]` — v2 plus a trace ID, so server-side events join
+//!   the client operation's trace. Clients only emit v3 for traced
+//!   requests; untraced traffic stays v2, and servers keep answering in v2
+//!   (the client already knows the trace ID it sent).
 //!
-//! [`read_frame_any`] accepts both versions (the magic disambiguates), so a
-//! v2 server still serves v1 clients; [`read_frame`] accepts only v1.
+//! [`read_frame_any`] accepts all versions (the magic disambiguates), so a
+//! current server still serves v1 clients; [`read_frame`] accepts only v1.
 
 use std::fmt;
 use std::io::{Read, Write};
@@ -22,6 +27,9 @@ pub const MAGIC: [u8; 4] = *b"DPFS";
 
 /// `"DPF2"` — first four bytes of every v2 (correlated) frame.
 pub const MAGIC_V2: [u8; 4] = *b"DPF2";
+
+/// `"DPF3"` — first four bytes of every v3 (correlated + traced) frame.
+pub const MAGIC_V3: [u8; 4] = *b"DPF3";
 
 /// Upper bound on payload size (64 MiB). Protects a peer from allocating
 /// unbounded memory on a corrupt or hostile length field.
@@ -122,12 +130,37 @@ pub fn write_frame_v2<W: Write>(w: &mut W, corr_id: u64, payload: &[u8]) -> Resu
     Ok(())
 }
 
-/// One decoded frame of either version. `corr_id` is `None` for v1 frames
-/// (the lockstep protocol has no correlation) and `Some(id)` for v2.
+/// Write one v3 frame carrying `corr_id`, `trace_id`, and `payload`.
+pub fn write_frame_v3<W: Write>(
+    w: &mut W,
+    corr_id: u64,
+    trace_id: u64,
+    payload: &[u8],
+) -> Result<(), FrameError> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(FrameError::Oversized(payload.len()));
+    }
+    let mut header = [0u8; 28];
+    header[..4].copy_from_slice(&MAGIC_V3);
+    header[4..12].copy_from_slice(&corr_id.to_le_bytes());
+    header[12..20].copy_from_slice(&trace_id.to_le_bytes());
+    header[20..24].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    header[24..28].copy_from_slice(&crc32(payload).to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// One decoded frame of any version. `corr_id` is `None` for v1 frames
+/// (the lockstep protocol has no correlation) and `Some(id)` for v2/v3.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Frame {
-    /// Correlation ID (v2), or `None` (v1).
+    /// Correlation ID (v2/v3), or `None` (v1).
     pub corr_id: Option<u64>,
+    /// Trace ID (v3); 0 means untraced (v1/v2, or a v3 frame that chose
+    /// not to trace).
+    pub trace_id: u64,
     /// The frame payload.
     pub payload: Bytes,
 }
@@ -186,22 +219,33 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Bytes, FrameError> {
     read_tail(r)
 }
 
-/// Read one frame of either version. v1 frames come back with
-/// `corr_id: None`; v2 frames carry their correlation ID.
+/// Read one frame of any version. v1 frames come back with
+/// `corr_id: None`; v2/v3 frames carry their correlation ID, and v3
+/// frames additionally carry a trace ID (0 elsewhere).
 pub fn read_frame_any<R: Read>(r: &mut R) -> Result<Frame, FrameError> {
     let mut magic = [0u8; 4];
     read_exactly(r, &mut magic, true)?;
+    let mut trace_id = 0u64;
     let corr_id = if magic == MAGIC {
         None
     } else if magic == MAGIC_V2 {
         let mut id = [0u8; 8];
         read_exactly(r, &mut id, false)?;
         Some(u64::from_le_bytes(id))
+    } else if magic == MAGIC_V3 {
+        let mut ids = [0u8; 16];
+        read_exactly(r, &mut ids, false)?;
+        trace_id = u64::from_le_bytes(ids[8..16].try_into().unwrap());
+        Some(u64::from_le_bytes(ids[..8].try_into().unwrap()))
     } else {
         return Err(FrameError::BadMagic(magic));
     };
     let payload = read_tail(r)?;
-    Ok(Frame { corr_id, payload })
+    Ok(Frame {
+        corr_id,
+        trace_id,
+        payload,
+    })
 }
 
 #[cfg(test)]
@@ -346,6 +390,81 @@ mod tests {
     fn corrupt_v2_payload_detected() {
         let mut buf = Vec::new();
         write_frame_v2(&mut buf, 3, b"payload").unwrap();
+        let n = buf.len();
+        buf[n - 1] ^= 0xFF;
+        assert!(matches!(
+            read_frame_any(&mut Cursor::new(&buf)),
+            Err(FrameError::BadChecksum { .. })
+        ));
+    }
+
+    #[test]
+    fn v3_round_trip_carries_both_ids() {
+        let mut buf = Vec::new();
+        write_frame_v3(&mut buf, 0x1122, 0xABCD_EF01_2345, b"traced").unwrap();
+        let frame = read_frame_any(&mut Cursor::new(&buf)).unwrap();
+        assert_eq!(frame.corr_id, Some(0x1122));
+        assert_eq!(frame.trace_id, 0xABCD_EF01_2345);
+        assert_eq!(&frame.payload[..], b"traced");
+    }
+
+    #[test]
+    fn v1_and_v2_frames_report_zero_trace_id() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"one").unwrap();
+        write_frame_v2(&mut buf, 5, b"two").unwrap();
+        let mut c = Cursor::new(&buf);
+        assert_eq!(read_frame_any(&mut c).unwrap().trace_id, 0);
+        assert_eq!(read_frame_any(&mut c).unwrap().trace_id, 0);
+    }
+
+    #[test]
+    fn v1_reader_rejects_v3_frames() {
+        let mut buf = Vec::new();
+        write_frame_v3(&mut buf, 1, 2, b"new").unwrap();
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&buf)),
+            Err(FrameError::BadMagic(m)) if m == MAGIC_V3
+        ));
+    }
+
+    #[test]
+    fn mixed_v123_stream_demuxes() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"one").unwrap();
+        write_frame_v2(&mut buf, 2, b"two").unwrap();
+        write_frame_v3(&mut buf, 3, 33, b"three").unwrap();
+        let mut c = Cursor::new(&buf);
+        let f = read_frame_any(&mut c).unwrap();
+        assert_eq!((f.corr_id, f.trace_id), (None, 0));
+        let f = read_frame_any(&mut c).unwrap();
+        assert_eq!((f.corr_id, f.trace_id), (Some(2), 0));
+        let f = read_frame_any(&mut c).unwrap();
+        assert_eq!((f.corr_id, f.trace_id), (Some(3), 33));
+        assert!(matches!(read_frame_any(&mut c), Err(FrameError::Closed)));
+    }
+
+    #[test]
+    fn torn_v3_header_is_io_error() {
+        let mut buf = Vec::new();
+        write_frame_v3(&mut buf, 9, 10, b"payload").unwrap();
+        for cut in [2usize, 6, 14, 22] {
+            let mut short = buf.clone();
+            short.truncate(cut);
+            assert!(
+                matches!(
+                    read_frame_any(&mut Cursor::new(&short)),
+                    Err(FrameError::Io(_))
+                ),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_v3_payload_detected() {
+        let mut buf = Vec::new();
+        write_frame_v3(&mut buf, 3, 4, b"payload").unwrap();
         let n = buf.len();
         buf[n - 1] ^= 0xFF;
         assert!(matches!(

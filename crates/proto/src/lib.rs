@@ -10,13 +10,15 @@
 //! bound for one server into one framed message instead of one message per
 //! brick.
 //!
-//! Framing (all integers little-endian) comes in two versions; the magic
+//! Framing (all integers little-endian) comes in three versions; the magic
 //! bytes disambiguate on the wire:
 //!
 //! ```text
 //! v1: [magic "DPFS": 4][payload len: u32][crc32(payload): u32][payload]
 //! v2: [magic "DPF2": 4][correlation id: u64][payload len: u32]
 //!     [crc32(payload): u32][payload]
+//! v3: [magic "DPF3": 4][correlation id: u64][trace id: u64]
+//!     [payload len: u32][crc32(payload): u32][payload]
 //! ```
 //!
 //! v2 adds a *correlation ID*: the client stamps each request, the server
@@ -26,6 +28,11 @@
 //! `dpfs-core::transport`). v1 remains the lockstep protocol, still decoded
 //! by every peer for backward compatibility and ablation.
 //!
+//! v3 adds a *trace ID* so server-side events (decode, queue wait, device
+//! time, injected delay, response write) join the client operation's trace.
+//! Clients emit v3 only for traced requests; responses stay v2 because the
+//! client already knows which trace it stamped.
+//!
 //! The CRC detects torn or corrupted frames; a bad frame is a protocol error
 //! surfaced to the peer, never a panic.
 
@@ -33,6 +40,7 @@ pub mod frame;
 pub mod message;
 
 pub use frame::{
-    read_frame, read_frame_any, write_frame, write_frame_v2, Frame, FrameError, MAX_FRAME_LEN,
+    read_frame, read_frame_any, write_frame, write_frame_v2, write_frame_v3, Frame, FrameError,
+    MAX_FRAME_LEN,
 };
 pub use message::{ErrorCode, Request, Response};

@@ -77,6 +77,26 @@ pub enum Request {
     Sync { subfile: String },
     /// Administrative shutdown (used by the in-process testbed).
     Shutdown,
+    /// Ask the server for a statistics snapshot (counters + latency
+    /// histograms). The reply is [`Response::Stats`].
+    Stats,
+}
+
+impl Request {
+    /// Short, stable name of the request kind, for metrics/trace labels.
+    pub fn kind_str(&self) -> &'static str {
+        match self {
+            Request::Ping => "ping",
+            Request::Write { .. } => "write",
+            Request::Read { .. } => "read",
+            Request::Delete { .. } => "delete",
+            Request::Stat { .. } => "stat",
+            Request::Truncate { .. } => "truncate",
+            Request::Sync { .. } => "sync",
+            Request::Shutdown => "shutdown",
+            Request::Stats => "stats",
+        }
+    }
 }
 
 /// A server response.
@@ -96,6 +116,11 @@ pub enum Response {
     Truncated,
     /// Request failed.
     Error { code: ErrorCode, message: String },
+    /// Statistics snapshot. The payload is an opaque versioned blob
+    /// produced by the server's stats encoder (`dpfs-server` defines the
+    /// layout); keeping it opaque here lets the snapshot grow fields
+    /// without a wire-protocol change.
+    Stats { payload: Bytes },
 }
 
 // ---- codec helpers ----
@@ -197,6 +222,7 @@ impl Request {
                 put_str(&mut buf, subfile);
             }
             Request::Shutdown => buf.put_u8(8),
+            Request::Stats => buf.put_u8(9),
         }
         buf.freeze()
     }
@@ -240,6 +266,7 @@ impl Request {
                 subfile: get_str(&mut buf)?,
             },
             8 => Request::Shutdown,
+            9 => Request::Stats,
             other => return Err(FrameError::BadMessage(format!("bad request tag {other}"))),
         };
         ensure_done(&buf)?;
@@ -290,6 +317,11 @@ impl Response {
                 buf.put_u8(code.to_u8());
                 put_str(&mut buf, message);
             }
+            Response::Stats { payload } => {
+                buf.put_u8(8);
+                buf.put_u64_le(payload.len() as u64);
+                buf.put_slice(payload);
+            }
         }
         buf.freeze()
     }
@@ -321,6 +353,9 @@ impl Response {
             7 => Response::Error {
                 code: ErrorCode::from_u8(get_u8(&mut buf)?),
                 message: get_str(&mut buf)?,
+            },
+            8 => Response::Stats {
+                payload: get_bytes(&mut buf)?,
             },
             other => return Err(FrameError::BadMessage(format!("bad response tag {other}"))),
         };
@@ -370,6 +405,29 @@ mod tests {
             subfile: "f".into(),
         });
         round_trip_req(Request::Shutdown);
+        round_trip_req(Request::Stats);
+    }
+
+    #[test]
+    fn kind_str_is_stable() {
+        assert_eq!(Request::Ping.kind_str(), "ping");
+        assert_eq!(
+            Request::Read {
+                subfile: "f".into(),
+                ranges: vec![]
+            }
+            .kind_str(),
+            "read"
+        );
+        assert_eq!(
+            Request::Write {
+                subfile: "f".into(),
+                ranges: vec![]
+            }
+            .kind_str(),
+            "write"
+        );
+        assert_eq!(Request::Stats.kind_str(), "stats");
     }
 
     #[test]
@@ -388,6 +446,12 @@ mod tests {
         round_trip_resp(Response::Error {
             code: ErrorCode::NoSuchSubfile,
             message: "no subfile /x".into(),
+        });
+        round_trip_resp(Response::Stats {
+            payload: Bytes::from_static(&[1, 2, 3, 4]),
+        });
+        round_trip_resp(Response::Stats {
+            payload: Bytes::new(),
         });
     }
 

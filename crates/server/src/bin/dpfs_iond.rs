@@ -12,9 +12,13 @@
 //!
 //! `--class` enables the storage-class delay model (for experiments);
 //! production use leaves it `unthrottled`.
+//!
+//! Logging verbosity is controlled by the `DPFS_LOG` environment variable
+//! (`error`, `info` — the default — or `debug`).
 
 use std::time::Duration;
 
+use dpfs_obs::{log_debug, log_error, log_info};
 use dpfs_server::{IoServer, PerfModel, ServerConfig, StorageClass};
 
 struct Args {
@@ -60,7 +64,8 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: dpfs-iond --root DIR [--bind ADDR:PORT] [--capacity BYTES] \
-                     [--class CLASS] [--name NAME] [--stats-interval SECS]"
+                     [--class CLASS] [--name NAME] [--stats-interval SECS]\n\
+                     set DPFS_LOG=error|info|debug to control log verbosity (default info)"
                 );
                 std::process::exit(0);
             }
@@ -77,7 +82,7 @@ fn main() {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("dpfs-iond: {e}");
+            log_error!("dpfs-iond: {e}");
             std::process::exit(2);
         }
     };
@@ -89,11 +94,11 @@ fn main() {
     let server = match IoServer::start(config) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("dpfs-iond: failed to start: {e}");
+            log_error!("dpfs-iond: failed to start: {e}");
             std::process::exit(1);
         }
     };
-    println!(
+    log_info!(
         "dpfs-iond `{name}` serving {} on {} (class {}, capacity {})",
         args.root,
         server.addr(),
@@ -104,23 +109,28 @@ fn main() {
             args.capacity.to_string()
         }
     );
-    println!("register in the catalog as: {}", server.addr());
+    log_info!("register in the catalog as: {}", server.addr());
 
     // Serve until killed; optionally print stats periodically.
     loop {
         std::thread::sleep(Duration::from_secs(args.stats_interval.max(60)));
         if args.stats_interval > 0 {
             let s = server.stats();
-            println!(
-                "stats: conns={} reqs={} reads={} writes={} bytes_r={} bytes_w={} errors={}",
+            log_info!(
+                "stats: conns={} reqs={} reads={} writes={} bytes_r={} bytes_w={} errors={} \
+                 in_flight={} read_lat_us={} write_lat_us={}",
                 s.connections,
                 s.requests,
                 s.reads,
                 s.writes,
                 s.bytes_read,
                 s.bytes_written,
-                s.errors
+                s.errors,
+                s.in_flight,
+                s.read_latency.summary_us(),
+                s.write_latency.summary_us()
             );
+            log_debug!("stats: injected_delay_ns={}", s.injected_delay_ns);
         }
     }
 }

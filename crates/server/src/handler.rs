@@ -3,12 +3,40 @@
 use std::sync::atomic::Ordering;
 use std::time::Duration;
 
+use dpfs_obs::{now_ns, ring, Side, TraceEvent};
 use dpfs_proto::{ErrorCode, Request, Response};
 use parking_lot::Mutex;
 
 use crate::perf::PerfModel;
 use crate::stats::ServerStats;
 use crate::subfile::{StoreError, SubfileStore};
+
+/// Record one server-side span into the global trace ring. No-op when
+/// `trace_id` is 0 (untraced request), so call sites need no branches.
+pub(crate) fn server_event(
+    trace_id: u64,
+    phase: &'static str,
+    kind: &'static str,
+    server: &str,
+    start_ns: u64,
+    dur_ns: u64,
+    bytes: u64,
+) {
+    if trace_id == 0 {
+        return;
+    }
+    ring().record(TraceEvent {
+        seq: 0,
+        trace_id,
+        side: Side::Server,
+        phase,
+        kind,
+        server: server.to_string(),
+        start_ns,
+        dur_ns,
+        bytes,
+    });
+}
 
 /// Shared per-server handler state. Connection threads and per-connection
 /// workers all dispatch through one `Handler`; the `device` lock serializes
@@ -20,6 +48,8 @@ use crate::subfile::{StoreError, SubfileStore};
 /// mutual exclusion, so unthrottled servers serve distinct subfiles fully
 /// in parallel.
 pub struct Handler {
+    /// Server name, stamped on this server's trace events.
+    name: String,
     store: SubfileStore,
     perf: PerfModel,
     stats: ServerStats,
@@ -27,14 +57,21 @@ pub struct Handler {
 }
 
 impl Handler {
-    /// Build a handler over a store with a delay model.
-    pub fn new(store: SubfileStore, perf: PerfModel) -> Self {
+    /// Build a handler over a store with a delay model. `name` labels this
+    /// server's trace events.
+    pub fn new(name: impl Into<String>, store: SubfileStore, perf: PerfModel) -> Self {
         Handler {
+            name: name.into(),
             store,
             perf,
             stats: ServerStats::default(),
             device: Mutex::new(()),
         }
+    }
+
+    /// The server name trace events are stamped with.
+    pub fn name(&self) -> &str {
+        &self.name
     }
 
     /// The server's statistics counters.
@@ -54,7 +91,7 @@ impl Handler {
     /// plus payload streaming) sleeps *inside* the lock, so concurrent
     /// requests to one server still queue for its (simulated) sequential
     /// storage device. Unthrottled servers skip both entirely.
-    fn inject_delay(&self, ranges: usize, bytes: u64) {
+    fn inject_delay(&self, ranges: usize, bytes: u64, trace_id: u64, kind: &'static str) {
         if self.perf.is_unthrottled() {
             return;
         }
@@ -63,28 +100,72 @@ impl Handler {
             self.stats
                 .injected_delay_ns
                 .fetch_add(overhead.as_nanos() as u64, Ordering::Relaxed);
+            let t0 = now_ns();
             std::thread::sleep(overhead);
+            server_event(
+                trace_id,
+                "delay",
+                kind,
+                &self.name,
+                t0,
+                now_ns().saturating_sub(t0),
+                bytes,
+            );
         }
         let dev = self.perf.device_time(ranges, bytes);
         if dev > Duration::ZERO {
+            // The device span covers lock wait + hold: queueing for the
+            // (simulated) sequential device is device time from the
+            // request's point of view.
+            let t0 = now_ns();
             let _dev = self.device.lock();
             self.stats
                 .injected_delay_ns
                 .fetch_add(dev.as_nanos() as u64, Ordering::Relaxed);
             std::thread::sleep(dev);
+            server_event(
+                trace_id,
+                "device",
+                kind,
+                &self.name,
+                t0,
+                now_ns().saturating_sub(t0),
+                bytes,
+            );
         }
     }
 
     /// Handle one request, producing exactly one response. Never panics on
     /// malformed input; store errors map to protocol error codes.
     pub fn handle(&self, req: Request) -> Response {
+        self.handle_traced(req, 0)
+    }
+
+    /// [`Handler::handle`] for a request stamped with `trace_id` (0 =
+    /// untraced): records a `handle` span plus `delay`/`device` sub-spans
+    /// into the global trace ring, the service time into the per-kind
+    /// histogram, and the in-flight gauge around the whole dispatch.
+    pub fn handle_traced(&self, req: Request, trace_id: u64) -> Response {
         self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        self.stats.in_flight.fetch_add(1, Ordering::Relaxed);
+        let kind = req.kind_str();
+        let bytes = req.payload_bytes();
+        let t0 = now_ns();
+        let resp = self.dispatch(req, trace_id);
+        let dur = now_ns().saturating_sub(t0);
+        self.stats.hist_for(kind).record(dur);
+        server_event(trace_id, "handle", kind, &self.name, t0, dur, bytes);
+        self.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
+        resp
+    }
+
+    fn dispatch(&self, req: Request, trace_id: u64) -> Response {
         match req {
             Request::Ping => Response::Pong,
             Request::Write { subfile, ranges } => {
                 let bytes: u64 = ranges.iter().map(|(_, d)| d.len() as u64).sum();
                 let nranges = ranges.len();
-                self.inject_delay(nranges, bytes);
+                self.inject_delay(nranges, bytes, trace_id, "write");
                 match self.store.write_ranges(&subfile, &ranges) {
                     Ok(n) => {
                         self.stats.writes.fetch_add(1, Ordering::Relaxed);
@@ -97,7 +178,7 @@ impl Handler {
             Request::Read { subfile, ranges } => {
                 let bytes: u64 = ranges.iter().map(|(_, l)| *l).sum();
                 let nranges = ranges.len();
-                self.inject_delay(nranges, bytes);
+                self.inject_delay(nranges, bytes, trace_id, "read");
                 match self.store.read_ranges(&subfile, &ranges) {
                     Ok(chunks) => {
                         self.stats.reads.fetch_add(1, Ordering::Relaxed);
@@ -141,6 +222,9 @@ impl Handler {
                 }
             }
             Request::Shutdown => Response::Pong,
+            Request::Stats => Response::Stats {
+                payload: bytes::Bytes::from(self.stats.snapshot().encode()),
+            },
         }
     }
 
@@ -171,7 +255,7 @@ mod tests {
         ));
         let _ = std::fs::remove_dir_all(&dir);
         let store = SubfileStore::open(&dir, 0).unwrap();
-        (Handler::new(store, PerfModel::unthrottled()), dir)
+        (Handler::new("test", store, PerfModel::unthrottled()), dir)
     }
 
     #[test]
@@ -268,6 +352,55 @@ mod tests {
             }),
             Response::Deleted { existed: false }
         );
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn stats_request_returns_decodable_snapshot() {
+        use crate::stats::StatsSnapshot;
+        let (h, dir) = handler();
+        h.handle(Request::Write {
+            subfile: "/f".into(),
+            ranges: vec![(0, Bytes::from_static(b"1234"))],
+        });
+        let resp = h.handle(Request::Stats);
+        let Response::Stats { payload } = resp else {
+            panic!("expected Stats response, got {resp:?}");
+        };
+        let snap = StatsSnapshot::decode(&payload).unwrap();
+        assert_eq!(snap.writes, 1);
+        assert_eq!(snap.bytes_written, 4);
+        assert_eq!(snap.write_latency.count, 1);
+        // The Stats request itself was counted before the snapshot was
+        // taken, but its histogram sample lands after.
+        assert_eq!(snap.requests, 2);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn traced_handle_records_server_events() {
+        let (h, dir) = handler();
+        let trace_id = dpfs_obs::next_trace_id();
+        let cursor = dpfs_obs::ring().cursor();
+        h.handle_traced(
+            Request::Read {
+                subfile: "/f".into(),
+                ranges: vec![(0, 8)],
+            },
+            trace_id,
+        );
+        let events: Vec<_> = dpfs_obs::ring()
+            .events_since(cursor)
+            .into_iter()
+            .filter(|e| e.trace_id == trace_id)
+            .collect();
+        assert!(
+            events
+                .iter()
+                .any(|e| e.phase == "handle" && e.kind == "read" && e.server == "test"),
+            "missing handle event in {events:?}"
+        );
+        assert_eq!(h.stats().snapshot().read_latency.count, 1);
         std::fs::remove_dir_all(dir).unwrap();
     }
 

@@ -30,6 +30,7 @@ pub mod server;
 pub mod stats;
 pub mod subfile;
 
+pub use dpfs_obs::HistSnapshot;
 pub use handler::Handler;
 pub use perf::{PerfModel, StorageClass};
 pub use server::{IoServer, ServerConfig};

@@ -22,7 +22,7 @@ use std::thread::JoinHandle;
 use dpfs_proto::{frame, Request, Response};
 use parking_lot::Mutex;
 
-use crate::handler::Handler;
+use crate::handler::{server_event, Handler};
 use crate::perf::PerfModel;
 use crate::stats::StatsSnapshot;
 use crate::subfile::SubfileStore;
@@ -85,7 +85,7 @@ impl IoServer {
     pub fn start(config: ServerConfig) -> io::Result<IoServer> {
         let store = SubfileStore::open(&config.root, config.capacity)
             .map_err(|e| io::Error::other(e.to_string()))?;
-        let handler = Arc::new(Handler::new(store, config.perf));
+        let handler = Arc::new(Handler::new(&config.name, store, config.perf));
         let listener = TcpListener::bind(config.bind.as_str())?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -238,6 +238,10 @@ fn write_response(
 /// One decoded request bound for the worker pool.
 struct Job {
     corr_id: u64,
+    /// Trace ID from the v3 frame (0 = untraced).
+    trace_id: u64,
+    /// [`dpfs_obs::now_ns`] at enqueue, for the queue-wait span.
+    enqueued_ns: u64,
     req: Request,
 }
 
@@ -269,8 +273,29 @@ fn connection_loop_inner(mut stream: &TcpStream, handler: Arc<Handler>, shutdown
                     Err(_) => return, // decode loop gone: drain finished
                 };
                 let is_shutdown = matches!(job.req, Request::Shutdown);
-                let resp = handler.handle(job.req);
+                let kind = job.req.kind_str();
+                let dequeued = dpfs_obs::now_ns();
+                server_event(
+                    job.trace_id,
+                    "queue",
+                    kind,
+                    handler.name(),
+                    job.enqueued_ns,
+                    dequeued.saturating_sub(job.enqueued_ns),
+                    0,
+                );
+                let resp = handler.handle_traced(job.req, job.trace_id);
+                let t0 = dpfs_obs::now_ns();
                 let _ = write_response(&writer, Some(job.corr_id), &resp);
+                server_event(
+                    job.trace_id,
+                    "respond",
+                    kind,
+                    handler.name(),
+                    t0,
+                    dpfs_obs::now_ns().saturating_sub(t0),
+                    0,
+                );
                 if is_shutdown {
                     shutdown.store(true, Ordering::SeqCst);
                 }
@@ -292,6 +317,8 @@ fn connection_loop_inner(mut stream: &TcpStream, handler: Arc<Handler>, shutdown
             Ok(f) => f,
             Err(_) => break, // closed or corrupt: drop the connection
         };
+        let decode_start = dpfs_obs::now_ns();
+        let trace_id = decoded.trace_id;
         let req = match Request::decode(decoded.payload) {
             Ok(r) => r,
             Err(e) => {
@@ -307,17 +334,43 @@ fn connection_loop_inner(mut stream: &TcpStream, handler: Arc<Handler>, shutdown
             }
         };
         let is_shutdown = matches!(req, Request::Shutdown);
+        let kind = req.kind_str();
+        server_event(
+            trace_id,
+            "decode",
+            kind,
+            handler.name(),
+            decode_start,
+            dpfs_obs::now_ns().saturating_sub(decode_start),
+            req.payload_bytes(),
+        );
         match decoded.corr_id {
             Some(corr_id) if !workers.is_empty() => {
-                if tx.send(Job { corr_id, req }).is_err() {
+                let job = Job {
+                    corr_id,
+                    trace_id,
+                    enqueued_ns: dpfs_obs::now_ns(),
+                    req,
+                };
+                if tx.send(job).is_err() {
                     break;
                 }
             }
             corr_id => {
-                let resp = handler.handle(req);
+                let resp = handler.handle_traced(req, trace_id);
+                let t0 = dpfs_obs::now_ns();
                 if write_response(&writer, corr_id, &resp).is_err() {
                     break;
                 }
+                server_event(
+                    trace_id,
+                    "respond",
+                    kind,
+                    handler.name(),
+                    t0,
+                    dpfs_obs::now_ns().saturating_sub(t0),
+                    0,
+                );
                 if is_shutdown {
                     shutdown.store(true, Ordering::SeqCst);
                 }

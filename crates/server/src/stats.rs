@@ -1,7 +1,10 @@
 //! Per-server statistics counters (lock-free, relaxed ordering — they are
-//! monitoring data, not synchronization).
+//! monitoring data, not synchronization), per-kind service-time
+//! histograms, and the versioned snapshot blob the `Stats` RPC returns.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+
+use dpfs_obs::{HistSnapshot, Histogram};
 
 /// Counters exported by a running server.
 #[derive(Debug, Default)]
@@ -23,6 +26,14 @@ pub struct ServerStats {
     /// Nanoseconds of injected model delay (to separate model time from
     /// real I/O time in reports).
     pub injected_delay_ns: AtomicU64,
+    /// Requests currently being serviced (gauge).
+    pub in_flight: AtomicU64,
+    /// Service time (dequeue → response ready) of read requests.
+    pub hist_read: Histogram,
+    /// Service time of write requests.
+    pub hist_write: Histogram,
+    /// Service time of everything else.
+    pub hist_other: Histogram,
 }
 
 /// A plain-data snapshot of [`ServerStats`].
@@ -36,7 +47,18 @@ pub struct StatsSnapshot {
     pub errors: u64,
     pub connections: u64,
     pub injected_delay_ns: u64,
+    /// Requests being serviced at snapshot time (gauge).
+    pub in_flight: u64,
+    /// Service-time histogram of reads.
+    pub read_latency: HistSnapshot,
+    /// Service-time histogram of writes.
+    pub write_latency: HistSnapshot,
+    /// Service-time histogram of all other request kinds.
+    pub other_latency: HistSnapshot,
 }
+
+/// Version byte of the snapshot wire encoding.
+const SNAPSHOT_VERSION: u8 = 1;
 
 impl ServerStats {
     /// Capture a consistent-enough snapshot for reporting.
@@ -50,12 +72,89 @@ impl ServerStats {
             errors: self.errors.load(Ordering::Relaxed),
             connections: self.connections.load(Ordering::Relaxed),
             injected_delay_ns: self.injected_delay_ns.load(Ordering::Relaxed),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            read_latency: self.hist_read.snapshot(),
+            write_latency: self.hist_write.snapshot(),
+            other_latency: self.hist_other.snapshot(),
         }
     }
 
     /// Add `n` to one of this struct's counters.
     pub fn add(&self, counter: &AtomicU64, n: u64) {
         counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The service-time histogram for one request kind (as named by
+    /// `Request::kind_str`).
+    pub fn hist_for(&self, kind: &str) -> &Histogram {
+        match kind {
+            "read" => &self.hist_read,
+            "write" => &self.hist_write,
+            _ => &self.hist_other,
+        }
+    }
+}
+
+impl StatsSnapshot {
+    /// Serialize for the `Stats` RPC: a version byte, the nine u64
+    /// counters, then the three histograms. Carried opaquely by
+    /// `Response::Stats` so the layout can grow without touching the wire
+    /// protocol.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(1 + 9 * 8 + 3 * HistSnapshot::ENCODED_LEN);
+        out.push(SNAPSHOT_VERSION);
+        for v in [
+            self.requests,
+            self.reads,
+            self.writes,
+            self.bytes_read,
+            self.bytes_written,
+            self.errors,
+            self.connections,
+            self.injected_delay_ns,
+            self.in_flight,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        self.read_latency.encode_into(&mut out);
+        self.write_latency.encode_into(&mut out);
+        self.other_latency.encode_into(&mut out);
+        out
+    }
+
+    /// Decode an [`StatsSnapshot::encode`] blob. `None` on a short buffer
+    /// or unknown version.
+    pub fn decode(buf: &[u8]) -> Option<StatsSnapshot> {
+        let (&version, mut rest) = buf.split_first()?;
+        if version != SNAPSHOT_VERSION {
+            return None;
+        }
+        let mut counters = [0u64; 9];
+        for slot in counters.iter_mut() {
+            let (head, tail) = rest.split_at_checked(8)?;
+            *slot = u64::from_le_bytes(head.try_into().unwrap());
+            rest = tail;
+        }
+        let mut hists = [HistSnapshot::default(); 3];
+        for slot in hists.iter_mut() {
+            let (h, used) = HistSnapshot::decode_from(rest)?;
+            *slot = h;
+            rest = &rest[used..];
+        }
+        Some(StatsSnapshot {
+            requests: counters[0],
+            reads: counters[1],
+            writes: counters[2],
+            bytes_read: counters[3],
+            bytes_written: counters[4],
+            errors: counters[5],
+            connections: counters[6],
+            injected_delay_ns: counters[7],
+            in_flight: counters[8],
+            read_latency: hists[0],
+            write_latency: hists[1],
+            other_latency: hists[2],
+        })
     }
 }
 
@@ -90,5 +189,43 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(s.snapshot().requests, 8000);
+    }
+
+    #[test]
+    fn hist_for_routes_by_kind() {
+        let s = ServerStats::default();
+        s.hist_for("read").record(100);
+        s.hist_for("write").record(200);
+        s.hist_for("ping").record(300);
+        let snap = s.snapshot();
+        assert_eq!(snap.read_latency.count, 1);
+        assert_eq!(snap.write_latency.count, 1);
+        assert_eq!(snap.other_latency.count, 1);
+    }
+
+    #[test]
+    fn snapshot_encode_decode_round_trip() {
+        let s = ServerStats::default();
+        s.add(&s.requests, 7);
+        s.add(&s.reads, 4);
+        s.add(&s.bytes_written, 1 << 30);
+        s.in_flight.store(2, Ordering::Relaxed);
+        s.hist_read.record(5_000);
+        s.hist_read.record(50_000);
+        s.hist_write.record(9);
+        let snap = s.snapshot();
+        let blob = snap.encode();
+        let back = StatsSnapshot::decode(&blob).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.read_latency.count, 2);
+    }
+
+    #[test]
+    fn snapshot_decode_rejects_garbage() {
+        assert!(StatsSnapshot::decode(&[]).is_none());
+        assert!(StatsSnapshot::decode(&[99, 0, 0]).is_none()); // bad version
+        let blob = ServerStats::default().snapshot().encode();
+        assert!(StatsSnapshot::decode(&blob[..blob.len() - 1]).is_none());
+        assert!(StatsSnapshot::decode(&blob).is_some());
     }
 }

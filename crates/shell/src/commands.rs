@@ -3,6 +3,8 @@
 use std::fmt::Write as _;
 
 use dpfs_core::{Dpfs, DpfsError, FileLevel, Hint, Layout, Result};
+use dpfs_proto::{Request, Response};
+use dpfs_server::StatsSnapshot;
 
 use crate::parse::{resolve_path, split_words};
 
@@ -55,6 +57,7 @@ impl Shell {
             "import" => self.cmd_import(args),
             "export" => self.cmd_export(args),
             "servers" => self.cmd_servers(),
+            "stats" => self.cmd_stats(args),
             "fsck" => self.cmd_fsck(args),
             "du" => self.cmd_du(args),
             "tree" => self.cmd_tree(args),
@@ -218,6 +221,105 @@ impl Shell {
             writeln!(out, "{} {}", s.name, if alive { "up" } else { "DOWN" }).unwrap();
         }
         Ok(out)
+    }
+
+    /// Fetch a live [`StatsSnapshot`] from every registered server via the
+    /// `Stats` RPC. Unreachable servers report as `None`.
+    fn collect_stats(&self) -> Result<Vec<(String, Option<StatsSnapshot>)>> {
+        let servers = self.fs.catalog().list_servers()?;
+        let mut out = Vec::with_capacity(servers.len());
+        for s in &servers {
+            let snap = match self.fs.pool().rpc_ok(&s.name, &Request::Stats) {
+                Ok(Response::Stats { payload }) => StatsSnapshot::decode(&payload),
+                _ => None,
+            };
+            out.push((s.name.clone(), snap));
+        }
+        Ok(out)
+    }
+
+    /// Render one stats table. With `prev`, counter columns show the delta
+    /// since the previous round next to the running total.
+    fn stats_table(
+        rows: &[(String, Option<StatsSnapshot>)],
+        prev: Option<&[(String, Option<StatsSnapshot>)]>,
+    ) -> String {
+        let mut out = String::new();
+        writeln!(
+            out,
+            "{:<12} {:>10} {:>10} {:>10} {:>6} {:>5}  {:<20} {:<20}",
+            "server",
+            "reqs",
+            "reads",
+            "writes",
+            "errs",
+            "infl",
+            "read p50/p95/p99 us",
+            "write p50/p95/p99 us"
+        )
+        .unwrap();
+        for (i, (name, snap)) in rows.iter().enumerate() {
+            let Some(s) = snap else {
+                writeln!(out, "{name:<12} unreachable").unwrap();
+                continue;
+            };
+            let before =
+                prev.and_then(|p| p.get(i))
+                    .and_then(|(n, b)| if n == name { b.as_ref() } else { None });
+            let delta = |cur: u64, get: fn(&StatsSnapshot) -> u64| match before {
+                Some(b) => format!("{cur} (+{})", cur.saturating_sub(get(b))),
+                None => cur.to_string(),
+            };
+            writeln!(
+                out,
+                "{:<12} {:>10} {:>10} {:>10} {:>6} {:>5}  {:<20} {:<20}",
+                name,
+                delta(s.requests, |b| b.requests),
+                delta(s.reads, |b| b.reads),
+                delta(s.writes, |b| b.writes),
+                delta(s.errors, |b| b.errors),
+                s.in_flight,
+                s.read_latency.summary_us(),
+                s.write_latency.summary_us()
+            )
+            .unwrap();
+        }
+        out
+    }
+
+    fn cmd_stats(&mut self, args: &[String]) -> Result<String> {
+        let usage =
+            || DpfsError::InvalidArgument("usage: stats [--watch [rounds [interval-ms]]]".into());
+        match args.first().map(|s| s.as_str()) {
+            None => Ok(Self::stats_table(&self.collect_stats()?, None)),
+            Some("--watch") => {
+                let rest = &args[1..];
+                if rest.len() > 2 {
+                    return Err(usage());
+                }
+                let rounds: u64 = match rest.first() {
+                    Some(r) => r.parse().map_err(|_| usage())?,
+                    None => 5,
+                };
+                let interval_ms: u64 = match rest.get(1) {
+                    Some(ms) => ms.parse().map_err(|_| usage())?,
+                    None => 1000,
+                };
+                let mut out = String::new();
+                let mut prev: Option<Vec<(String, Option<StatsSnapshot>)>> = None;
+                for round in 1..=rounds {
+                    if round > 1 {
+                        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+                    }
+                    let rows = self.collect_stats()?;
+                    writeln!(out, "round {round}/{rounds}:").unwrap();
+                    out.push_str(&Self::stats_table(&rows, prev.as_deref()));
+                    prev = Some(rows);
+                }
+                Ok(out)
+            }
+            Some(_) => Err(usage()),
+        }
     }
 
     fn cmd_cat(&mut self, args: &[String]) -> Result<String> {
@@ -526,6 +628,7 @@ DPFS shell commands:
   stat <file>              show file attributes and brick distribution
   df                       per-server capacity and brick usage
   servers                  ping all registered servers
+  stats [--watch [N [MS]]] live per-server counters and latency percentiles
   import <local> <dpfs> [brick-bytes]   copy a sequential file into DPFS
   export <dpfs> <local>    copy a DPFS file to a sequential file
   head <file> [bytes]      print the first bytes of a file
@@ -725,6 +828,45 @@ mod tests {
         assert!(!found.contains("/d2"));
         sh.exec("untag /d1 stage").unwrap();
         assert!(!sh.exec("tags /d1").unwrap().contains("stage"));
+        std::fs::remove_file(tmp).unwrap();
+    }
+
+    #[test]
+    fn stats_shows_live_counters_and_percentiles() {
+        let (mut sh, _tb) = shell();
+        let tmp = std::env::temp_dir().join(format!("dpfs-shell-stats-{}", std::process::id()));
+        std::fs::write(&tmp, vec![7u8; 20_000]).unwrap();
+        sh.exec(&format!("import {} /s.bin 1024", tmp.display()))
+            .unwrap();
+        sh.exec("cat /s.bin").unwrap();
+        let out = sh.exec("stats").unwrap();
+        assert!(out.contains("ion00"), "{out}");
+        assert!(out.contains("read p50/p95/p99"), "{out}");
+        // every server held bricks of /s.bin, so each saw reads and writes
+        // and has non-empty latency histograms (summary never "-/-/-").
+        let data_rows: Vec<&str> = out.lines().skip(1).collect();
+        assert_eq!(data_rows.len(), 4, "{out}");
+        for row in data_rows {
+            assert!(!row.contains("unreachable"), "{out}");
+            assert!(!row.contains("-/-/-"), "{out}");
+        }
+        std::fs::remove_file(tmp).unwrap();
+    }
+
+    #[test]
+    fn stats_watch_diffs_rounds() {
+        let (mut sh, _tb) = shell();
+        let tmp = std::env::temp_dir().join(format!("dpfs-shell-statsw-{}", std::process::id()));
+        std::fs::write(&tmp, vec![1u8; 4096]).unwrap();
+        sh.exec(&format!("import {} /w.bin", tmp.display()))
+            .unwrap();
+        let out = sh.exec("stats --watch 2 10").unwrap();
+        assert!(out.contains("round 1/2:"), "{out}");
+        assert!(out.contains("round 2/2:"), "{out}");
+        // second round shows deltas against the first
+        assert!(out.contains("(+"), "{out}");
+        assert!(sh.exec("stats --watch 2 10 extra").is_err());
+        assert!(sh.exec("stats bogus").is_err());
         std::fs::remove_file(tmp).unwrap();
     }
 

@@ -77,6 +77,20 @@ fn two_requests_pipeline_on_one_connection() {
     assert_eq!(stats.completed, 3);
     assert_eq!(stats.in_flight, 0);
     assert_eq!(stats.timed_out, 0);
+    assert_eq!(stats.disconnected, 0);
+    assert!(
+        stats.in_flight_peak >= 2,
+        "two overlapping reads must register an in-flight peak >= 2, got {}",
+        stats.in_flight_peak
+    );
+    // Both delayed reads landed in the read-latency histogram, and each
+    // took at least the injected delay.
+    assert_eq!(stats.read_latency.count, 2);
+    assert!(
+        stats.read_latency.p50() >= DELAY.as_nanos() as u64,
+        "read p50 {}ns below injected delay",
+        stats.read_latency.p50()
+    );
 }
 
 #[test]
@@ -197,6 +211,14 @@ fn deadline_poisons_connection_and_next_rpc_redials() {
     assert_eq!(stats.dials, 2, "recovery must have redialed exactly once");
     assert_eq!(stats.timed_out, 1);
     assert_eq!(stats.in_flight, 0);
+    assert_eq!(
+        stats.disconnected, 1,
+        "the poisoned connection must count exactly once"
+    );
+    assert!(
+        stats.in_flight_peak >= 2,
+        "two pings were in flight at once"
+    );
 }
 
 /// A server that answers every request with `Error { ShuttingDown }`.
