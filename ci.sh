@@ -17,6 +17,15 @@ cargo test -q
 echo "==> docs (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
+echo "==> chaos: fault-injection suite with trace export"
+rm -f target/trace-chaos.jsonl
+DPFS_TRACE_OUT="$PWD/target/trace-chaos.jsonl" \
+    cargo test --release -q --test chaos
+
+echo "==> chaos trace summary (must contain retry spans)"
+cargo run --release -q -p dpfs-bench --bin trace-summarize -- \
+    --require-phase retry target/trace-chaos.jsonl
+
 echo "==> ablation smoke (--quick) with trace export"
 DPFS_TRACE_OUT=target/trace-quick.jsonl \
     cargo run --release -q -p dpfs-bench --bin ablation -- --quick

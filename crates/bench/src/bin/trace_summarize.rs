@@ -3,18 +3,37 @@
 //! ```text
 //! DPFS_TRACE_OUT=trace.jsonl cargo run --release -p dpfs-bench --bin ablation -- --quick
 //! cargo run --release -p dpfs-bench --bin trace-summarize -- trace.jsonl
+//! cargo run --release -p dpfs-bench --bin trace-summarize -- \
+//!     --require-phase retry trace-chaos.jsonl
 //! ```
 //!
 //! Exits nonzero when the file is missing, empty, or holds unparseable
-//! events, so CI can assert the tracing pipeline produced real data.
+//! events — or, with `--require-phase NAME` (repeatable), when no span of
+//! that phase was recorded. CI uses the latter to assert a chaos run
+//! actually exercised the retry layer.
 
-use dpfs_bench::summarize_jsonl;
+use dpfs_bench::summarize_jsonl_requiring;
+
+fn usage() -> ! {
+    eprintln!("usage: trace-summarize [--require-phase NAME]... <trace.jsonl>");
+    std::process::exit(2);
+}
 
 fn main() {
-    let Some(path) = std::env::args().nth(1) else {
-        eprintln!("usage: trace-summarize <trace.jsonl>");
-        std::process::exit(2);
-    };
+    let mut required = Vec::new();
+    let mut path = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--require-phase" {
+            match args.next() {
+                Some(name) => required.push(name),
+                None => usage(),
+            }
+        } else if path.replace(arg).is_some() {
+            usage(); // two paths
+        }
+    }
+    let Some(path) = path else { usage() };
     let text = match std::fs::read_to_string(&path) {
         Ok(t) => t,
         Err(e) => {
@@ -22,7 +41,7 @@ fn main() {
             std::process::exit(1);
         }
     };
-    match summarize_jsonl(&text) {
+    match summarize_jsonl_requiring(&text, &required) {
         Ok(table) => {
             println!("{path}:");
             print!("{table}");

@@ -79,6 +79,17 @@ impl TraceSummary {
         self.events
     }
 
+    /// Spans recorded for `phase`, summed across sides. Backs the CLI's
+    /// `--require-phase` gate (e.g. CI asserting the chaos run actually
+    /// recorded `retry` spans).
+    pub fn phase_count(&self, phase: &str) -> u64 {
+        self.aggs
+            .iter()
+            .filter(|((_, p), _)| p == phase)
+            .map(|(_, agg)| agg.count)
+            .sum()
+    }
+
     /// Render the per-phase table.
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
@@ -138,6 +149,14 @@ fn extract_str(line: &str, key: &str) -> Option<String> {
 /// or any non-blank line fails to parse — CI uses this to fail the build
 /// if the ablation harness exported a broken or empty trace.
 pub fn summarize_jsonl(text: &str) -> Result<String, String> {
+    summarize_jsonl_requiring(text, &[])
+}
+
+/// Like [`summarize_jsonl`], additionally failing unless every phase in
+/// `required` appears at least once. CI's chaos step uses this to prove
+/// the fault schedule really exercised the retry layer, not just that
+/// traces were exported.
+pub fn summarize_jsonl_requiring(text: &str, required: &[String]) -> Result<String, String> {
     let mut summary = TraceSummary::new();
     for (i, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
@@ -149,6 +168,11 @@ pub fn summarize_jsonl(text: &str) -> Result<String, String> {
     }
     if summary.events() == 0 {
         return Err("no trace events".to_string());
+    }
+    for phase in required {
+        if summary.phase_count(phase) == 0 {
+            return Err(format!("required phase '{phase}' has no spans"));
+        }
     }
     Ok(format!("{} events\n{}", summary.events(), summary.render()))
 }
@@ -195,6 +219,24 @@ mod tests {
         assert!(summarize_jsonl("\n  \n").is_err());
         let err = summarize_jsonl("{\"nope\":1}\n").unwrap_err();
         assert!(err.contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn require_phase_gates_on_presence() {
+        let events = vec![
+            ev(Side::Client, "rpc", 2_000_000),
+            ev(Side::Client, "retry", 1_000_000),
+        ];
+        let text = export_jsonl(&events);
+        assert!(summarize_jsonl_requiring(&text, &["retry".to_string()]).is_ok());
+        let err = summarize_jsonl_requiring(&text, &["degraded".to_string()]).unwrap_err();
+        assert!(err.contains("degraded"), "{err}");
+        // phase_count sums across sides
+        let mut s = TraceSummary::new();
+        s.add("client", "retry", 1, 0);
+        s.add("server", "retry", 1, 0);
+        assert_eq!(s.phase_count("retry"), 2);
+        assert_eq!(s.phase_count("rpc"), 0);
     }
 
     #[test]

@@ -7,8 +7,10 @@
 //! localhost with class-calibrated delay models — the substitution argued in
 //! DESIGN.md.
 
+pub mod faultproxy;
 pub mod testbed;
 pub mod workload;
 
+pub use faultproxy::FaultProxy;
 pub use testbed::{NodeSpec, Testbed};
 pub use workload::{run_clients, Bandwidth};

@@ -177,9 +177,51 @@ impl Testbed {
     }
 
     /// Stop server `idx` (failure injection). Its connections die; clients
-    /// talking to it see transport errors.
+    /// talking to it see transport errors. The listener socket and all
+    /// connection threads are reaped before this returns, so the port is
+    /// immediately reusable by [`Testbed::restart_server`].
     pub fn kill_server(&mut self, idx: usize) {
         self.servers[idx].stop();
+    }
+
+    /// The bound address of server `idx` (still meaningful after a kill:
+    /// it is the address a restart will rebind).
+    pub fn server_addr(&self, idx: usize) -> std::net::SocketAddr {
+        self.servers[idx].addr()
+    }
+
+    /// Restart server `idx` on its original port over whatever subfiles
+    /// survived on disk. The catalog entry and resolver alias still point
+    /// at the same name/port, so existing clients reconnect without being
+    /// re-mounted; the restarted server re-opens subfiles lazily on first
+    /// touch (visible as `subfiles_reopened` in its stats).
+    pub fn restart_server(&mut self, idx: usize) -> std::io::Result<()> {
+        let addr = self.servers[idx].addr();
+        self.servers[idx].stop();
+        let spec = &self.specs[idx];
+        let mut config = ServerConfig::new(
+            spec.name.clone(),
+            self.root.join(&spec.name),
+            spec.model.unwrap_or_else(|| spec.class.model()),
+        )
+        .bind(&addr.to_string());
+        config.capacity = spec.capacity;
+        // std's listener sets SO_REUSEADDR, so the rebind normally succeeds
+        // immediately; retry briefly in case the old socket lingers.
+        let mut last_err = std::io::Error::other("restart_server: no attempts made");
+        for _ in 0..50 {
+            match IoServer::start(config.clone()) {
+                Ok(server) => {
+                    self.servers[idx] = server;
+                    return Ok(());
+                }
+                Err(e) => {
+                    last_err = e;
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                }
+            }
+        }
+        Err(last_err)
     }
 }
 

@@ -19,6 +19,8 @@ use dpfs_proto::{ErrorCode, Request, Response};
 use parking_lot::Mutex;
 
 use crate::error::{DpfsError, Result};
+use crate::retry::RetryPolicy;
+use crate::trace;
 use crate::transport::{Pending, Transport, TransportStats, DEFAULT_RPC_TIMEOUT};
 
 /// Maps server names to dial addresses. Empty = dial the name itself.
@@ -61,6 +63,10 @@ pub struct ConnPool {
     /// Ablation: serialize RPCs per server by holding the transport gate
     /// across submit+wait (the PR 1 baseline).
     lockstep: AtomicBool,
+    /// Fault-tolerance policy for transient failures. Disabled on raw
+    /// pools (transport tests count exact attempts); [`crate::fs::Dpfs`]
+    /// installs the mount's [`crate::file::ClientOptions::retry`].
+    retry: Mutex<RetryPolicy>,
 }
 
 impl ConnPool {
@@ -72,7 +78,20 @@ impl ConnPool {
             transports: Mutex::new(HashMap::new()),
             timeout_ns: AtomicU64::new(DEFAULT_RPC_TIMEOUT.as_nanos() as u64),
             lockstep: AtomicBool::new(false),
+            retry: Mutex::new(RetryPolicy::disabled()),
         }
+    }
+
+    /// The pool's retry policy for transient transport failures.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        *self.retry.lock()
+    }
+
+    /// Install a retry policy: subsequent [`ConnPool::rpc`] calls (and the
+    /// file fan-out paths that wait on this pool's submissions) reissue
+    /// requests that fail with transport-class errors, with backoff.
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        *self.retry.lock() = policy;
     }
 
     /// The per-request deadline applied by [`ConnPool::rpc`] and
@@ -130,7 +149,66 @@ impl ConnPool {
             return self.rpc_lockstep(server, req);
         }
         let timeout = self.rpc_timeout();
-        self.transport(server).submit(req)?.wait(timeout)
+        let first = self
+            .transport(server)
+            .submit(req)
+            .and_then(|p| p.wait(timeout));
+        match first {
+            Err(err) if self.retry_policy().enabled() && RetryPolicy::retryable(&err) => {
+                self.retry_after(server, req, 0, err, self.retry_policy())
+            }
+            other => other,
+        }
+    }
+
+    /// Reissue `req` after a retryable first failure, with backoff, until
+    /// it succeeds terminally or the policy's attempts run out. Each retry
+    /// is counted in [`TransportStats::retries`] and recorded as a `retry`
+    /// span in the trace ring (when `trace_id != 0`), so recovery is
+    /// observable. Returns the *last* error when all attempts fail —
+    /// preserving the error class callers already match on.
+    pub(crate) fn retry_after(
+        &self,
+        server: &str,
+        req: &Request,
+        trace_id: u64,
+        first_err: DpfsError,
+        policy: RetryPolicy,
+    ) -> Result<Response> {
+        let timeout = self.rpc_timeout();
+        let mut err = first_err;
+        for attempt in 1..policy.max_attempts {
+            if !RetryPolicy::retryable(&err) {
+                break;
+            }
+            std::thread::sleep(policy.backoff(attempt));
+            let transport = self.transport(server);
+            transport.note_retry();
+            let t0 = trace::now_ns();
+            let res = transport
+                .submit_traced(req, trace_id)
+                .and_then(|p| p.wait(timeout));
+            trace::client_event(
+                trace_id,
+                "retry",
+                req.kind_str(),
+                server,
+                t0,
+                trace::now_ns().saturating_sub(t0),
+                req.payload_bytes(),
+            );
+            match res {
+                Ok(resp) => return Ok(resp),
+                Err(e) => err = e,
+            }
+        }
+        Err(err)
+    }
+
+    /// Count one degraded (zero-filled) read completion against `server`
+    /// (called by the file layer when it accepts a partial read).
+    pub(crate) fn note_degraded(&self, server: &str) {
+        self.transport(server).note_degraded();
     }
 
     /// [`ConnPool::rpc`], but with the transport's lockstep gate held across

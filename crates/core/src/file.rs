@@ -23,12 +23,13 @@ use dpfs_proto::{Request, Response};
 use crate::cache::BrickCache;
 use crate::conn::{expect_data, expect_written, ConnPool};
 use crate::datatype::Datatype;
-use crate::error::{DpfsError, Result};
+use crate::error::{DpfsError, Result, SubfileOutcome};
 use crate::geometry::Region;
 use crate::hints::{FileLevel, Placement};
 use crate::layout::{bricks_for, BrickRun, Layout};
 use crate::placement::BrickMap;
 use crate::plan::{plan_reads, plan_writes, Granularity};
+use crate::retry::RetryPolicy;
 use crate::trace;
 use crate::transport::DEFAULT_RPC_TIMEOUT;
 
@@ -52,6 +53,15 @@ pub struct ClientOptions {
     /// Per-request deadline. An RPC that exceeds it poisons its connection
     /// and surfaces [`DpfsError::Timeout`].
     pub rpc_timeout: Duration,
+    /// Fault-tolerance policy: transient transport failures (connect,
+    /// timeout, disconnect) are retried with backoff; application errors
+    /// are not. [`RetryPolicy::disabled()`] restores fail-fast behaviour.
+    pub retry: RetryPolicy,
+    /// Accept partial reads: when a per-server read request fails
+    /// terminally (after retries), zero-fill its byte ranges and surface
+    /// [`DpfsError::Degraded`] — carrying the holed buffer and per-subfile
+    /// outcomes — instead of failing the whole read. Off by default.
+    pub degraded_reads: bool,
 }
 
 impl Default for ClientOptions {
@@ -63,6 +73,8 @@ impl Default for ClientOptions {
             serial_dispatch: false,
             lockstep_rpc: false,
             rpc_timeout: DEFAULT_RPC_TIMEOUT,
+            retry: RetryPolicy::default(),
+            degraded_reads: false,
         }
     }
 }
@@ -267,7 +279,9 @@ impl FileHandle {
         let runs = lin.map_bytes(offset, len, 0);
         let sequential = offset == self.last_read_end;
         self.last_read_end = end;
-        self.execute_reads(&runs, &mut buf)?;
+        if let Err(e) = self.execute_reads(&runs, &mut buf) {
+            return Err(attach_degraded_data(e, buf));
+        }
         if sequential && self.prefetch_bricks > 0 {
             self.prefetch_after(end)?;
         }
@@ -307,7 +321,12 @@ impl FileHandle {
         let total: u64 = runs.iter().map(|r| r.len).sum();
         let mut scratch = vec![0u8; ((last - first) * brick_bytes) as usize];
         let _ = total;
-        self.execute_reads(&runs, &mut scratch)
+        match self.execute_reads(&runs, &mut scratch) {
+            // Prefetch is best-effort: a degraded fetch cached whatever
+            // arrived; don't fail the (already successful) foreground read.
+            Err(DpfsError::Degraded { .. }) => Ok(()),
+            other => other,
+        }
     }
 
     // -------------------------------------------------------- region API
@@ -333,7 +352,9 @@ impl FileHandle {
         let runs = self.region_runs(region)?;
         let len: u64 = runs.iter().map(|r| r.len).sum();
         let mut buf = vec![0u8; len as usize];
-        self.execute_reads(&runs, &mut buf)?;
+        if let Err(e) = self.execute_reads(&runs, &mut buf) {
+            return Err(attach_degraded_data(e, buf));
+        }
         Ok(buf)
     }
 
@@ -411,7 +432,9 @@ impl FileHandle {
             runs.extend(lin.map_bytes(base + off, len, buf_off));
             buf_off += len;
         }
-        self.execute_reads(&runs, &mut buf)?;
+        if let Err(e) = self.execute_reads(&runs, &mut buf) {
+            return Err(attach_degraded_data(e, buf));
+        }
         Ok(buf)
     }
 
@@ -480,7 +503,9 @@ impl FileHandle {
             buf_off: 0,
             len,
         }];
-        self.execute_reads(&runs, &mut buf)?;
+        if let Err(e) = self.execute_reads(&runs, &mut buf) {
+            return Err(attach_degraded_data(e, buf));
+        }
         Ok(buf)
     }
 
@@ -650,22 +675,60 @@ impl FileHandle {
             trace::now_ns().saturating_sub(op_start),
             buf.len() as u64,
         );
-        let results = issue(&self.pool, &self.opts, true, work, trace_id);
+        // With degraded reads on, every server must be attempted even in
+        // serial mode — a failed one becomes a hole, not an early exit.
+        let stop_at_first_error = !self.opts.degraded_reads;
+        let results = issue(&self.pool, &self.opts, stop_at_first_error, work, trace_id);
+        let mut outcomes: Vec<SubfileOutcome> = Vec::new();
         for (req, res) in reqs.iter().zip(results) {
-            let chunks = expect_chunks(res?, req.ranges.len())?;
-            self.stats.requests += 1;
-            self.stats.wire_read += req.wire_bytes();
-            for piece in &req.scatter {
-                let chunk = &chunks[piece.chunk];
-                let src = &chunk[piece.chunk_off as usize..(piece.chunk_off + piece.len) as usize];
-                buf[piece.buf_off as usize..(piece.buf_off + piece.len) as usize]
-                    .copy_from_slice(src);
-                self.stats.useful_read += piece.len;
-            }
-            if let Some(cache) = &mut self.cache {
-                for (i, &brick) in req.bricks.iter().enumerate() {
-                    cache.insert(brick, chunks[i].clone());
+            match res {
+                Ok(resp) => {
+                    let chunks = expect_chunks(resp, req.ranges.len())?;
+                    self.stats.requests += 1;
+                    self.stats.wire_read += req.wire_bytes();
+                    for piece in &req.scatter {
+                        let chunk = &chunks[piece.chunk];
+                        let src = &chunk
+                            [piece.chunk_off as usize..(piece.chunk_off + piece.len) as usize];
+                        buf[piece.buf_off as usize..(piece.buf_off + piece.len) as usize]
+                            .copy_from_slice(src);
+                        self.stats.useful_read += piece.len;
+                    }
+                    if let Some(cache) = &mut self.cache {
+                        for (i, &brick) in req.bricks.iter().enumerate() {
+                            cache.insert(brick, chunks[i].clone());
+                        }
+                    }
                 }
+                // Transport-class failure after retries: zero-fill the
+                // ranges this server owed us and carry on. Application
+                // errors still fail the read — the server processed the
+                // request and said no.
+                Err(err) if self.opts.degraded_reads && RetryPolicy::retryable(&err) => {
+                    let server = &self.servers[req.server];
+                    let mut bytes = 0u64;
+                    for piece in &req.scatter {
+                        buf[piece.buf_off as usize..(piece.buf_off + piece.len) as usize].fill(0);
+                        bytes += piece.len;
+                    }
+                    self.stats.requests += 1;
+                    self.pool.note_degraded(server);
+                    trace::client_event(
+                        trace_id,
+                        "degraded",
+                        "read",
+                        server,
+                        trace::now_ns(),
+                        0,
+                        bytes,
+                    );
+                    outcomes.push(SubfileOutcome {
+                        server: server.clone(),
+                        bytes,
+                        error: err.to_string(),
+                    });
+                }
+                Err(err) => return Err(err),
             }
         }
         trace::client_event(
@@ -677,7 +740,16 @@ impl FileHandle {
             trace::now_ns().saturating_sub(op_start),
             buf.len() as u64,
         );
-        Ok(())
+        if outcomes.is_empty() {
+            Ok(())
+        } else {
+            // The byte-returning wrappers attach the holed buffer.
+            Err(DpfsError::Degraded {
+                op: "read",
+                data: Vec::new(),
+                outcomes,
+            })
+        }
     }
 
     /// Grow a linear file's brick map to `needed` bricks, persisting the new
@@ -810,12 +882,15 @@ fn issue(
         let mut out = Vec::with_capacity(work.len());
         for (server, req) in work {
             // Same round-trip as `ConnPool::rpc`, with the trace stamped;
-            // lockstep_rpc additionally holds the per-server gate.
+            // lockstep_rpc additionally holds the per-server gate (and
+            // stays retry-free: it is the PR 1 ablation baseline).
             let res = if opts.lockstep_rpc {
                 pool.rpc_lockstep_traced(server, &req, trace_id)
             } else {
-                pool.submit_traced(server, &req, trace_id)
-                    .and_then(|pending| pending.wait(timeout))
+                let first = pool
+                    .submit_traced(server, &req, trace_id)
+                    .and_then(|pending| pending.wait(timeout));
+                retry_if_transient(pool, opts, server, &req, trace_id, first)
             };
             let failed = res.is_err();
             out.push(res);
@@ -860,15 +935,24 @@ fn issue(
         out
     } else {
         let timeout = opts.rpc_timeout;
-        let pendings: Vec<_> = work
+        // Keep each request alongside its pending completion: a waiter
+        // that fails with a transient error reissues the request itself
+        // (the other servers' responses keep arriving meanwhile).
+        let submitted: Vec<_> = work
             .into_iter()
-            .map(|(server, req)| pool.submit_traced(server, &req, trace_id))
+            .map(|(server, req)| {
+                let pending = pool.submit_traced(server, &req, trace_id);
+                (server, req, pending)
+            })
             .collect();
         let t1 = trace::now_ns();
         trace::client_event(trace_id, "submit", kind, "", t0, t1.saturating_sub(t0), 0);
-        let out = pendings
+        let out = submitted
             .into_iter()
-            .map(|p| p.and_then(|pending| pending.wait(timeout)))
+            .map(|(server, req, pending)| {
+                let first = pending.and_then(|pending| pending.wait(timeout));
+                retry_if_transient(pool, opts, server, &req, trace_id, first)
+            })
             .collect();
         trace::client_event(
             trace_id,
@@ -880,6 +964,39 @@ fn issue(
             0,
         );
         out
+    }
+}
+
+/// Attach the (zero-holed) buffer to a [`DpfsError::Degraded`] bubbling
+/// out of `execute_reads`, so callers that opted in can keep the bytes
+/// that did arrive. Other errors pass through untouched.
+fn attach_degraded_data(err: DpfsError, buf: Vec<u8>) -> DpfsError {
+    match err {
+        DpfsError::Degraded { op, outcomes, .. } => DpfsError::Degraded {
+            op,
+            data: buf,
+            outcomes,
+        },
+        other => other,
+    }
+}
+
+/// Apply the client's retry policy to one completed RPC: transient
+/// failures are reissued through [`ConnPool::retry_after`] (which counts
+/// and traces each attempt); everything else passes through.
+fn retry_if_transient(
+    pool: &ConnPool,
+    opts: &ClientOptions,
+    server: &str,
+    req: &Request,
+    trace_id: u64,
+    first: Result<Response>,
+) -> Result<Response> {
+    match first {
+        Err(err) if opts.retry.enabled() && RetryPolicy::retryable(&err) => {
+            pool.retry_after(server, req, trace_id, err, opts.retry)
+        }
+        other => other,
     }
 }
 

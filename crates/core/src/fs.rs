@@ -29,6 +29,7 @@ impl Dpfs {
         let pool = Arc::new(ConnPool::new(Arc::new(resolver)));
         pool.set_rpc_timeout(opts.rpc_timeout);
         pool.set_lockstep(opts.lockstep_rpc);
+        pool.set_retry_policy(opts.retry);
         Ok(Dpfs {
             catalog: Catalog::new(db)?,
             pool,

@@ -37,6 +37,7 @@ pub mod hints;
 pub mod layout;
 pub mod placement;
 pub mod plan;
+pub mod retry;
 pub mod trace;
 pub mod transport;
 
@@ -44,7 +45,7 @@ pub use cache::BrickCache;
 pub use collective::{Collective, CollectiveGroup};
 pub use conn::{ConnPool, Resolver};
 pub use datatype::Datatype;
-pub use error::{DpfsError, Result};
+pub use error::{DpfsError, Result, SubfileOutcome};
 pub use file::{ClientOptions, ClientStats, FileHandle};
 pub use fs::Dpfs;
 pub use geometry::{Region, Shape};
@@ -52,4 +53,5 @@ pub use hints::{Dist, FileLevel, Hint, HpfPattern, Placement, Striping};
 pub use layout::{ArrayLayout, BrickRun, Layout, LinearLayout, MultidimLayout};
 pub use placement::{greedy, round_robin, BrickMap};
 pub use plan::{Granularity, ReadRequest, WriteRequest};
+pub use retry::RetryPolicy;
 pub use transport::{Pending, Transport, TransportStats, DEFAULT_RPC_TIMEOUT};

@@ -116,6 +116,12 @@ pub struct TransportStats {
     /// Highest number of requests simultaneously in flight on one
     /// connection — the pipelining depth actually achieved.
     pub in_flight_peak: u64,
+    /// Retry attempts issued after transient (transport-class) failures.
+    /// Application errors never count here.
+    pub retries: u64,
+    /// Per-server read requests that failed terminally and were
+    /// zero-filled under [`crate::file::ClientOptions::degraded_reads`].
+    pub degraded: u64,
     /// Round-trip latency of completed `Read` RPCs (submit → response).
     pub read_latency: HistSnapshot,
     /// Round-trip latency of completed `Write` RPCs.
@@ -132,6 +138,8 @@ struct Counters {
     dials: AtomicU64,
     disconnected: AtomicU64,
     in_flight_peak: AtomicU64,
+    retries: AtomicU64,
+    degraded: AtomicU64,
     hist_read: Histogram,
     hist_write: Histogram,
     hist_other: Histogram,
@@ -307,10 +315,23 @@ impl Transport {
             in_flight: self.in_flight(),
             disconnected: self.counters.disconnected.load(Ordering::Relaxed),
             in_flight_peak: self.counters.in_flight_peak.load(Ordering::Relaxed),
+            retries: self.counters.retries.load(Ordering::Relaxed),
+            degraded: self.counters.degraded.load(Ordering::Relaxed),
             read_latency: self.counters.hist_read.snapshot(),
             write_latency: self.counters.hist_write.snapshot(),
             other_latency: self.counters.hist_other.snapshot(),
         }
+    }
+
+    /// Count one retry attempt against this server (the fault-tolerance
+    /// layer calls this right before reissuing a request).
+    pub fn note_retry(&self) {
+        self.counters.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one degraded (zero-filled) per-server read completion.
+    pub fn note_degraded(&self) {
+        self.counters.degraded.fetch_add(1, Ordering::Relaxed);
     }
 
     /// The PR 1 ablation gate: hold the returned guard across submit+wait

@@ -84,6 +84,15 @@ impl Handler {
         &self.store
     }
 
+    /// A stats snapshot with store-level counters folded in: the
+    /// `subfiles_reopened` count lives in the [`SubfileStore`], not in the
+    /// request-path counters, so snapshots built here see both.
+    pub fn stats_snapshot(&self) -> crate::stats::StatsSnapshot {
+        let mut snap = self.stats.snapshot();
+        snap.subfiles_reopened = self.store.reopened();
+        snap
+    }
+
     /// Sleep out the modeled service time. The per-request overhead
     /// (`request_latency`: network RTT, dispatch, thread handoff) sleeps
     /// *outside* the device lock — concurrent requests overlap it, which is
@@ -223,7 +232,7 @@ impl Handler {
             }
             Request::Shutdown => Response::Pong,
             Request::Stats => Response::Stats {
-                payload: bytes::Bytes::from(self.stats.snapshot().encode()),
+                payload: bytes::Bytes::from(self.stats_snapshot().encode()),
             },
         }
     }

@@ -69,6 +69,12 @@ impl ServerConfig {
 /// with every connection ever accepted.
 type ConnRegistry = Arc<Mutex<HashMap<u64, TcpStream>>>;
 
+/// Join handles of live connection threads, so [`IoServer::stop`] can reap
+/// them deterministically instead of leaving detached threads racing a
+/// restart on the same port. The accept loop reaps finished entries before
+/// pushing new ones, keeping the vector bounded by *open* connections.
+type ConnThreads = Arc<Mutex<Vec<JoinHandle<()>>>>;
+
 /// A running I/O server. Dropping the handle shuts the server down.
 pub struct IoServer {
     name: String,
@@ -77,6 +83,7 @@ pub struct IoServer {
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
     conns: ConnRegistry,
+    conn_threads: ConnThreads,
 }
 
 impl IoServer {
@@ -90,14 +97,22 @@ impl IoServer {
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let conns: ConnRegistry = Arc::new(Mutex::new(HashMap::new()));
+        let conn_threads: ConnThreads = Arc::new(Mutex::new(Vec::new()));
 
         let accept_handler = handler.clone();
         let accept_shutdown = shutdown.clone();
         let accept_conns = conns.clone();
+        let accept_threads = conn_threads.clone();
         let accept_thread = std::thread::Builder::new()
             .name(format!("dpfs-accept-{}", config.name))
             .spawn(move || {
-                accept_loop(listener, accept_handler, accept_shutdown, accept_conns);
+                accept_loop(
+                    listener,
+                    accept_handler,
+                    accept_shutdown,
+                    accept_conns,
+                    accept_threads,
+                );
             })?;
 
         Ok(IoServer {
@@ -107,6 +122,7 @@ impl IoServer {
             shutdown,
             accept_thread: Some(accept_thread),
             conns,
+            conn_threads,
         })
     }
 
@@ -120,9 +136,9 @@ impl IoServer {
         &self.name
     }
 
-    /// Statistics snapshot.
+    /// Statistics snapshot (includes store-level counters).
     pub fn stats(&self) -> StatsSnapshot {
-        self.handler.stats().snapshot()
+        self.handler.stats_snapshot()
     }
 
     /// Direct access to the handler (in-process tests).
@@ -137,9 +153,22 @@ impl IoServer {
         self.conns.lock().len()
     }
 
-    /// Stop accepting, sever live connections, and join the accept thread.
+    /// Number of connection threads not yet reaped (0 after [`stop`]).
+    ///
+    /// [`stop`]: IoServer::stop
+    pub fn live_connection_threads(&self) -> usize {
+        self.conn_threads.lock().len()
+    }
+
+    /// Stop accepting, sever live connections, and join the accept thread
+    /// *and every connection thread*. When this returns, the listener is
+    /// closed, no server thread is running, and the port can be rebound
+    /// immediately — a later restart on the same address never races a
+    /// lingering listener or half-dead connection handler.
     pub fn stop(&mut self) {
         if self.shutdown.swap(true, Ordering::SeqCst) {
+            // Another stop() already ran the sequence below; nothing to do
+            // (accept_thread/conn_threads are drained by whoever won).
             return;
         }
         // Unblock accept() by dialing ourselves (use loopback if we bound a
@@ -156,6 +185,12 @@ impl IoServer {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
+        // Reap connection threads. Every spawned thread's stream is either
+        // severed above or was already closed, so these joins terminate.
+        let threads = std::mem::take(&mut *self.conn_threads.lock());
+        for t in threads {
+            let _ = t.join();
+        }
     }
 }
 
@@ -170,6 +205,7 @@ fn accept_loop(
     handler: Arc<Handler>,
     shutdown: Arc<AtomicBool>,
     conns: ConnRegistry,
+    threads: ConnThreads,
 ) {
     let mut next_id: u64 = 0;
     loop {
@@ -188,15 +224,35 @@ fn accept_loop(
         handler.stats().connections.fetch_add(1, Ordering::Relaxed);
         let id = next_id;
         next_id += 1;
-        if let Ok(clone) = stream.try_clone() {
-            conns.lock().insert(id, clone);
-        }
+        // Register the stream *before* spawning: stop() can only sever —
+        // and therefore only promise to reap — connections it can see. A
+        // connection that cannot be registered is refused outright.
+        let Ok(clone) = stream.try_clone() else {
+            let _ = stream.shutdown(Shutdown::Both);
+            continue;
+        };
+        conns.lock().insert(id, clone);
         let h = handler.clone();
         let sd = shutdown.clone();
         let cs = conns.clone();
-        let _ = std::thread::Builder::new()
+        let spawned = std::thread::Builder::new()
             .name("dpfs-conn".to_string())
             .spawn(move || connection_loop(id, stream, h, sd, cs));
+        if let Ok(t) = spawned {
+            let mut threads = threads.lock();
+            // Reap finished threads in passing so the vector tracks open
+            // connections, not connections ever accepted.
+            let (done, live): (Vec<_>, Vec<_>) = std::mem::take(&mut *threads)
+                .into_iter()
+                .partition(|t| t.is_finished());
+            for d in done {
+                let _ = d.join();
+            }
+            *threads = live;
+            threads.push(t);
+        } else {
+            conns.lock().remove(&id);
+        }
     }
 }
 
@@ -537,6 +593,43 @@ mod tests {
             .map(|mut s| frame::read_frame(&mut s).is_err())
             .unwrap_or(true));
         drop(server);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn stop_reaps_connection_threads_and_frees_port() {
+        // Regression: connection threads used to be spawned detached, so
+        // stop() returned while handlers (and, transitively, anything
+        // racing the listener port) were still alive. stop() must join
+        // every server thread; the port must be immediately rebindable.
+        let (mut server, dir) = start_server("reap");
+        let addr = server.addr();
+        let mut clients: Vec<TcpStream> =
+            (0..4).map(|_| TcpStream::connect(addr).unwrap()).collect();
+        for c in clients.iter_mut() {
+            assert_eq!(rpc(c, Request::Ping), Response::Pong);
+        }
+        assert!(server.live_connection_threads() >= 1);
+        server.stop();
+        assert_eq!(
+            server.live_connection_threads(),
+            0,
+            "stop() must reap every connection thread"
+        );
+        assert_eq!(server.open_connections(), 0);
+        // Same port, immediately: no lingering listener to race.
+        for round in 0..3 {
+            let cfg =
+                ServerConfig::new("test", &dir, PerfModel::unthrottled()).bind(&addr.to_string());
+            let mut restarted = IoServer::start(cfg)
+                .unwrap_or_else(|e| panic!("round {round}: rebind of {addr} failed: {e}"));
+            assert_eq!(restarted.addr(), addr);
+            let mut c = TcpStream::connect(addr).unwrap();
+            assert_eq!(rpc(&mut c, Request::Ping), Response::Pong);
+            drop(c);
+            restarted.stop();
+            assert_eq!(restarted.live_connection_threads(), 0);
+        }
         std::fs::remove_dir_all(dir).unwrap();
     }
 

@@ -28,6 +28,12 @@ pub struct ServerStats {
     pub injected_delay_ns: AtomicU64,
     /// Requests currently being serviced (gauge).
     pub in_flight: AtomicU64,
+    /// Subfiles lazily re-opened when the file already existed on disk —
+    /// near zero in steady state, one per surviving subfile after a
+    /// restart. Mirrored from `SubfileStore` into snapshots by the
+    /// handler; the atomic here only backs snapshots built directly from
+    /// `ServerStats`.
+    pub subfiles_reopened: AtomicU64,
     /// Service time (dequeue → response ready) of read requests.
     pub hist_read: Histogram,
     /// Service time of write requests.
@@ -49,6 +55,8 @@ pub struct StatsSnapshot {
     pub injected_delay_ns: u64,
     /// Requests being serviced at snapshot time (gauge).
     pub in_flight: u64,
+    /// Subfiles re-opened from surviving on-disk data (restart recovery).
+    pub subfiles_reopened: u64,
     /// Service-time histogram of reads.
     pub read_latency: HistSnapshot,
     /// Service-time histogram of writes.
@@ -57,8 +65,10 @@ pub struct StatsSnapshot {
     pub other_latency: HistSnapshot,
 }
 
-/// Version byte of the snapshot wire encoding.
-const SNAPSHOT_VERSION: u8 = 1;
+/// Version byte of the snapshot wire encoding. v2 added the
+/// `subfiles_reopened` counter; v1 blobs still decode (the counter reads
+/// as zero).
+const SNAPSHOT_VERSION: u8 = 2;
 
 impl ServerStats {
     /// Capture a consistent-enough snapshot for reporting.
@@ -73,6 +83,7 @@ impl ServerStats {
             connections: self.connections.load(Ordering::Relaxed),
             injected_delay_ns: self.injected_delay_ns.load(Ordering::Relaxed),
             in_flight: self.in_flight.load(Ordering::Relaxed),
+            subfiles_reopened: self.subfiles_reopened.load(Ordering::Relaxed),
             read_latency: self.hist_read.snapshot(),
             write_latency: self.hist_write.snapshot(),
             other_latency: self.hist_other.snapshot(),
@@ -96,12 +107,12 @@ impl ServerStats {
 }
 
 impl StatsSnapshot {
-    /// Serialize for the `Stats` RPC: a version byte, the nine u64
+    /// Serialize for the `Stats` RPC: a version byte, the ten u64
     /// counters, then the three histograms. Carried opaquely by
     /// `Response::Stats` so the layout can grow without touching the wire
     /// protocol.
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(1 + 9 * 8 + 3 * HistSnapshot::ENCODED_LEN);
+        let mut out = Vec::with_capacity(1 + 10 * 8 + 3 * HistSnapshot::ENCODED_LEN);
         out.push(SNAPSHOT_VERSION);
         for v in [
             self.requests,
@@ -113,6 +124,7 @@ impl StatsSnapshot {
             self.connections,
             self.injected_delay_ns,
             self.in_flight,
+            self.subfiles_reopened,
         ] {
             out.extend_from_slice(&v.to_le_bytes());
         }
@@ -126,11 +138,13 @@ impl StatsSnapshot {
     /// or unknown version.
     pub fn decode(buf: &[u8]) -> Option<StatsSnapshot> {
         let (&version, mut rest) = buf.split_first()?;
-        if version != SNAPSHOT_VERSION {
-            return None;
-        }
-        let mut counters = [0u64; 9];
-        for slot in counters.iter_mut() {
+        let n_counters = match version {
+            1 => 9,
+            2 => 10,
+            _ => return None,
+        };
+        let mut counters = [0u64; 10];
+        for slot in counters.iter_mut().take(n_counters) {
             let (head, tail) = rest.split_at_checked(8)?;
             *slot = u64::from_le_bytes(head.try_into().unwrap());
             rest = tail;
@@ -151,6 +165,7 @@ impl StatsSnapshot {
             connections: counters[6],
             injected_delay_ns: counters[7],
             in_flight: counters[8],
+            subfiles_reopened: counters[9],
             read_latency: hists[0],
             write_latency: hists[1],
             other_latency: hists[2],
@@ -213,11 +228,23 @@ mod tests {
         s.hist_read.record(5_000);
         s.hist_read.record(50_000);
         s.hist_write.record(9);
+        s.add(&s.subfiles_reopened, 5);
         let snap = s.snapshot();
         let blob = snap.encode();
         let back = StatsSnapshot::decode(&blob).unwrap();
         assert_eq!(back, snap);
         assert_eq!(back.read_latency.count, 2);
+        assert_eq!(back.subfiles_reopened, 5);
+    }
+
+    #[test]
+    fn snapshot_decode_accepts_v1_blobs() {
+        let mut blob = ServerStats::default().snapshot().encode();
+        // Rewrite as a v1 blob: version byte 1, drop the tenth counter.
+        blob[0] = 1;
+        blob.drain(1 + 9 * 8..1 + 10 * 8);
+        let back = StatsSnapshot::decode(&blob).unwrap();
+        assert_eq!(back.subfiles_reopened, 0);
     }
 
     #[test]

@@ -247,12 +247,13 @@ impl Shell {
         let mut out = String::new();
         writeln!(
             out,
-            "{:<12} {:>10} {:>10} {:>10} {:>6} {:>5}  {:<20} {:<20}",
+            "{:<12} {:>10} {:>10} {:>10} {:>6} {:>6} {:>5}  {:<20} {:<20}",
             "server",
             "reqs",
             "reads",
             "writes",
             "errs",
+            "reopen",
             "infl",
             "read p50/p95/p99 us",
             "write p50/p95/p99 us"
@@ -272,12 +273,13 @@ impl Shell {
             };
             writeln!(
                 out,
-                "{:<12} {:>10} {:>10} {:>10} {:>6} {:>5}  {:<20} {:<20}",
+                "{:<12} {:>10} {:>10} {:>10} {:>6} {:>6} {:>5}  {:<20} {:<20}",
                 name,
                 delta(s.requests, |b| b.requests),
                 delta(s.reads, |b| b.reads),
                 delta(s.writes, |b| b.writes),
                 delta(s.errors, |b| b.errors),
+                delta(s.subfiles_reopened, |b| b.subfiles_reopened),
                 s.in_flight,
                 s.read_latency.summary_us(),
                 s.write_latency.summary_us()

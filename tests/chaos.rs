@@ -1,0 +1,280 @@
+//! Chaos harness: the fault-tolerance layer proven under injected faults.
+//!
+//! A [`FaultProxy`] sits between the client and one I/O server, severing
+//! connections mid-stream on a schedule; servers get killed and restarted
+//! on their original ports. The invariants under all of it:
+//!
+//! - striped writes and reads complete byte-exact through a flapping
+//!   server, with the retry layer absorbing every cut (and recording it in
+//!   transport stats and the trace ring);
+//! - a kill + restart preserves on-disk subfile data, and the *same*
+//!   client file handle reads it back without being reopened;
+//! - concurrent clients survive a kill/restart schedule and converge to a
+//!   consistent, byte-exact state once the faults stop.
+//!
+//! The first test also exports its trace slice to `DPFS_TRACE_OUT` (append
+//! mode) so CI can assert retry spans exist via `trace-summarize`.
+
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+use dpfs::cluster::{FaultProxy, Testbed};
+use dpfs::core::trace::{export_jsonl, ring};
+use dpfs::core::{ClientOptions, Dpfs, Hint, RetryPolicy};
+
+/// A retry policy tuned for chaos: more attempts, tight backoffs so the
+/// whole schedule stays inside the CI time budget.
+fn chaos_retry() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 8,
+        base_backoff: Duration::from_millis(2),
+        max_backoff: Duration::from_millis(40),
+        ..RetryPolicy::default()
+    }
+}
+
+/// Deterministic, zero-free payload byte for offset `i` (zero-free so holes
+/// from lost writes can never masquerade as correct data).
+fn pat(i: usize) -> u8 {
+    (i % 251) as u8 + 1
+}
+
+/// Append this test's slice of the global trace ring to `DPFS_TRACE_OUT`,
+/// if set. Append (not truncate): other test binaries share the file.
+fn export_trace_slice(cursor: u64) {
+    let Ok(path) = std::env::var("DPFS_TRACE_OUT") else {
+        return;
+    };
+    let events = ring().events_since(cursor);
+    use std::io::Write;
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        let _ = f.write_all(export_jsonl(&events).as_bytes());
+    }
+}
+
+/// ISSUE acceptance scenario: 4 servers, a proxy flapping `ion01`, a 4 MiB
+/// striped write + read-back that must come out byte-exact with at least
+/// one recorded retry.
+#[test]
+fn flapping_server_write_read_back_with_retries() {
+    let tb = Testbed::unthrottled(4).unwrap();
+    let proxy = FaultProxy::start(tb.server_addr(1)).unwrap();
+
+    // Re-route ion01 through the proxy; the other three are direct.
+    let mut resolver = tb.resolver();
+    resolver.alias("ion01", &proxy.addr().to_string());
+    let client = Dpfs::mount(
+        tb.db(),
+        resolver,
+        ClientOptions {
+            retry: chaos_retry(),
+            ..ClientOptions::default()
+        },
+    )
+    .unwrap();
+
+    let cursor = ring().cursor();
+    // Sever (both directions of) the relay every 10 frames, dropping the
+    // triggering frame: requests vanish, responses vanish, and the client
+    // must absorb each as a transient Disconnected.
+    proxy.knobs().cut_every_frames.store(10, Ordering::Relaxed);
+
+    const TOTAL: usize = 4 << 20; // 4 MiB
+    const SLICE: usize = 256 << 10;
+    let mut f = client
+        .create("/flap", &Hint::linear(64 << 10, TOTAL as u64))
+        .unwrap();
+    let data: Vec<u8> = (0..TOTAL).map(pat).collect();
+    for (i, chunk) in data.chunks(SLICE).enumerate() {
+        f.write_bytes((i * SLICE) as u64, chunk).unwrap();
+    }
+    f.sync().unwrap();
+
+    let mut back = Vec::with_capacity(TOTAL);
+    for i in 0..TOTAL / SLICE {
+        back.extend_from_slice(&f.read_bytes((i * SLICE) as u64, SLICE as u64).unwrap());
+    }
+    assert_eq!(back.len(), data.len());
+    assert!(back == data, "read-back differs from what was written");
+
+    assert!(
+        proxy.cuts() >= 1,
+        "the schedule never actually cut anything"
+    );
+    let stats = client.pool().transport_stats("ion01").unwrap();
+    assert!(
+        stats.retries >= 1,
+        "expected at least one recorded retry, stats: {stats:?}"
+    );
+    // The retries are visible in the trace ring, not just the counters.
+    let retry_spans = ring()
+        .events_since(cursor)
+        .into_iter()
+        .filter(|e| e.phase == "retry")
+        .count();
+    assert!(retry_spans >= 1, "no retry spans recorded");
+    export_trace_slice(cursor);
+}
+
+/// Kill a server, restart it on the same port, and read data written
+/// before the kill back through the *same* file handle — no remount, no
+/// reopen. The restarted server must report the surviving subfile as
+/// re-opened in its stats.
+#[test]
+fn kill_restart_preserves_data_same_handle() {
+    let mut tb = Testbed::unthrottled(3).unwrap();
+    let client = tb.client_opts(ClientOptions {
+        retry: chaos_retry(),
+        ..ClientOptions::default()
+    });
+
+    const TOTAL: usize = 512 << 10;
+    let mut f = client
+        .create("/phoenix", &Hint::linear(4096, TOTAL as u64))
+        .unwrap();
+    let data: Vec<u8> = (0..TOTAL).map(pat).collect();
+    f.write_bytes(0, &data).unwrap();
+    f.sync().unwrap();
+
+    tb.kill_server(1);
+    tb.restart_server(1).unwrap();
+
+    let back = f.read_bytes(0, TOTAL as u64).unwrap();
+    assert!(back == data, "data lost across kill+restart");
+
+    let stats = tb.server_stats();
+    let (name, snap) = &stats[1];
+    assert_eq!(name, "ion01");
+    assert!(
+        snap.subfiles_reopened >= 1,
+        "restarted server never re-opened its surviving subfile: {snap:?}"
+    );
+}
+
+/// A flap *while requests are in flight*: the proxy severs everything
+/// mid-workload, repeatedly, and the client still finishes byte-exact.
+#[test]
+fn mid_flight_severs_are_absorbed() {
+    let tb = Testbed::unthrottled(2).unwrap();
+    let proxy = FaultProxy::start(tb.server_addr(0)).unwrap();
+    let mut resolver = tb.resolver();
+    resolver.alias("ion00", &proxy.addr().to_string());
+    let client = Dpfs::mount(
+        tb.db(),
+        resolver,
+        ClientOptions {
+            retry: chaos_retry(),
+            ..ClientOptions::default()
+        },
+    )
+    .unwrap();
+
+    const TOTAL: usize = 256 << 10;
+    let mut f = client
+        .create("/sever", &Hint::linear(8192, TOTAL as u64))
+        .unwrap();
+    let data: Vec<u8> = (0..TOTAL).map(pat).collect();
+
+    // Writer races a sever loop flipping the axe every few ms. The axe is
+    // always stopped before the scope joins — panicking inside the scope
+    // while it still runs would deadlock the join — so write errors are
+    // carried out of the scope and asserted after.
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let wrote = std::thread::scope(|s| {
+        let (stop, proxy) = (&stop, &proxy);
+        // 20 ms between swings: several severs land mid-workload, but a
+        // retry attempt (redial + relay setup, a few ms in debug builds)
+        // can win the race against the next one.
+        let axe = s.spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(20));
+                proxy.sever_all();
+            }
+        });
+        let mut wrote = Ok(());
+        for (i, chunk) in data.chunks(32 << 10).enumerate() {
+            wrote = f.write_bytes((i * (32 << 10)) as u64, chunk).map(|_| ());
+            if wrote.is_err() {
+                break;
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        axe.join().unwrap();
+        wrote
+    });
+    wrote.unwrap();
+
+    let back = f.read_bytes(0, TOTAL as u64).unwrap();
+    assert!(back == data, "mid-flight severs corrupted the file");
+}
+
+/// Two clients working concurrently through a kill/restart schedule.
+/// Errors *during* the chaos window are tolerated (retries may be
+/// exhausted); once the cluster is healthy again, both files must be
+/// writable and read back byte-exact.
+#[test]
+fn concurrent_clients_survive_kill_restart_schedule() {
+    let mut tb = Testbed::unthrottled(3).unwrap();
+    const TOTAL: usize = 128 << 10;
+
+    let mk_client = |tb: &Testbed| {
+        tb.client_opts(ClientOptions {
+            retry: RetryPolicy {
+                max_attempts: 3,
+                base_backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(8),
+                ..RetryPolicy::default()
+            },
+            ..ClientOptions::default()
+        })
+    };
+
+    let clients: Vec<_> = (0..2).map(|_| mk_client(&tb)).collect();
+    let mut handles: Vec<_> = clients
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            c.create(&format!("/c{i}"), &Hint::linear(4096, TOTAL as u64))
+                .unwrap()
+        })
+        .collect();
+
+    // Chaos window: clients hammer writes while server 2 dies and comes
+    // back twice. Mid-window errors are allowed; panics/hangs are not.
+    std::thread::scope(|s| {
+        let workers: Vec<_> = handles
+            .iter_mut()
+            .map(|f| {
+                s.spawn(move || {
+                    for round in 0..20usize {
+                        let byte = (round % 250) as u8 + 1;
+                        let _ = f.write_bytes(0, &vec![byte; TOTAL]);
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..2 {
+            std::thread::sleep(Duration::from_millis(15));
+            tb.kill_server(2);
+            std::thread::sleep(Duration::from_millis(15));
+            tb.restart_server(2).unwrap();
+        }
+        for w in workers {
+            w.join().unwrap();
+        }
+    });
+
+    // Healthy again: a final write + read-back per client must be exact.
+    for (i, f) in handles.iter_mut().enumerate() {
+        let data: Vec<u8> = (0..TOTAL).map(|j| pat(i + j)).collect();
+        f.write_bytes(0, &data).unwrap();
+        f.sync().unwrap();
+        let back = f.read_bytes(0, TOTAL as u64).unwrap();
+        assert!(back == data, "client {i} not byte-exact after recovery");
+    }
+}

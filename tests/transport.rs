@@ -16,7 +16,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dpfs::cluster::{NodeSpec, Testbed};
-use dpfs::core::{ClientOptions, ConnPool, DpfsError, Resolver};
+use dpfs::core::{ClientOptions, ConnPool, DpfsError, Resolver, RetryPolicy};
 use dpfs::proto::{frame, ErrorCode, Request, Response};
 use dpfs::server::PerfModel;
 
@@ -261,4 +261,123 @@ fn ping_counts_protocol_errors_as_reachable() {
 
     // Nothing listening at all: down.
     assert!(!pool.ping("127.0.0.1:1"));
+}
+
+/// A server whose first connection accepts exactly one request frame and
+/// then drops the socket; every later connection answers Pong. One
+/// deterministic transient failure, then health.
+fn start_drop_first_request_server() -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        for (i, stream) in listener.incoming().enumerate() {
+            let Ok(mut stream) = stream else { return };
+            std::thread::spawn(move || {
+                if i == 0 {
+                    // Take the request, answer nothing, hang up: the client
+                    // sees a clean Disconnected only *after* its submit
+                    // succeeded, so exactly one retry is provoked.
+                    let _ = frame::read_frame_any(&mut stream);
+                } else {
+                    serve_pong(stream)
+                }
+            });
+        }
+    });
+    addr
+}
+
+#[test]
+fn one_transient_failure_counts_exactly_one_retry() {
+    let addr = start_drop_first_request_server().to_string();
+    let pool = ConnPool::new(Arc::new(Resolver::direct()));
+    pool.set_retry_policy(RetryPolicy {
+        max_attempts: 4,
+        base_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(4),
+        ..RetryPolicy::default()
+    });
+
+    // The call succeeds despite the first connection dying mid-request.
+    assert_eq!(pool.rpc(&addr, &Request::Ping).unwrap(), Response::Pong);
+
+    let stats = pool.transport_stats(&addr).unwrap();
+    assert_eq!(
+        stats.retries, 1,
+        "one transient failure must count exactly one retry: {stats:?}"
+    );
+    assert_eq!(stats.disconnected, 1, "the dropped connection, once");
+    assert_eq!(stats.dials, 2, "original dial + the retry's redial");
+    assert_eq!(stats.submitted, 2, "the request went on the wire twice");
+    assert_eq!(stats.completed, 1, "but only one attempt got an answer");
+    assert_eq!(stats.in_flight, 0);
+}
+
+#[test]
+fn application_errors_are_answered_not_retried() {
+    // The server *answers* — with Error { ShuttingDown }. That is a verdict
+    // on a processed request, not a transport failure: the retry layer must
+    // stay out of it even when armed with an aggressive policy.
+    let addr = start_shutting_down_server().to_string();
+    let pool = ConnPool::new(Arc::new(Resolver::direct()));
+    pool.set_retry_policy(RetryPolicy {
+        max_attempts: 8,
+        base_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(2),
+        ..RetryPolicy::default()
+    });
+
+    let resp = pool.rpc(&addr, &Request::Ping).unwrap();
+    assert!(
+        matches!(
+            resp,
+            Response::Error {
+                code: ErrorCode::ShuttingDown,
+                ..
+            }
+        ),
+        "expected the server's verdict back, got {resp:?}"
+    );
+
+    let stats = pool.transport_stats(&addr).unwrap();
+    assert_eq!(stats.retries, 0, "application errors must not retry");
+    assert_eq!(stats.submitted, 1, "exactly one attempt on the wire");
+    assert_eq!(stats.dials, 1);
+}
+
+#[test]
+fn exhausted_retries_surface_the_last_error() {
+    // Nothing listens on port 1: every attempt is a connect refusal. The
+    // policy's whole budget is spent, each retry is counted, and the caller
+    // still gets the typed transport error the no-retry path would return.
+    let pool = ConnPool::new(Arc::new(Resolver::direct()));
+    pool.set_retry_policy(RetryPolicy {
+        max_attempts: 3,
+        base_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(2),
+        ..RetryPolicy::default()
+    });
+
+    let err = pool.rpc("127.0.0.1:1", &Request::Ping).unwrap_err();
+    assert!(
+        matches!(err, DpfsError::Connect { .. }),
+        "expected Connect after exhausting retries, got {err}"
+    );
+    let stats = pool.transport_stats("127.0.0.1:1").unwrap();
+    assert_eq!(stats.retries, 2, "max_attempts - 1 retries must be counted");
+    assert_eq!(stats.dials, 0, "no dial ever succeeded");
+}
+
+#[test]
+fn raw_pools_default_to_no_retries() {
+    // Raw ConnPools (no ClientOptions) keep the pre-fault-tolerance
+    // behaviour: exactly one attempt per call. Every exact-count assertion
+    // in this file depends on that default.
+    let pool = ConnPool::new(Arc::new(Resolver::direct()));
+    assert!(!pool.retry_policy().enabled());
+
+    let err = pool.rpc("127.0.0.1:1", &Request::Ping).unwrap_err();
+    assert!(matches!(err, DpfsError::Connect { .. }), "got {err}");
+    let stats = pool.transport_stats("127.0.0.1:1").unwrap();
+    assert_eq!(stats.retries, 0);
 }
