@@ -344,12 +344,83 @@ pub fn pipeline_ablation(scale: FigScale) -> Vec<Point> {
     out
 }
 
+/// Metadata-service ablation: an open/stat-heavy workload (tiny files, no
+/// meaningful data transfer) against (a) the embedded in-process catalog,
+/// (b) a networked `dpfs-metad` with the client cache disabled — every
+/// open costs an attr + distribution + server-row RPC, every stat an attr
+/// RPC — and (c) the daemon with the generation-validated client cache,
+/// which collapses repeat stats to nothing and repeat opens to one tiny
+/// `Generation` RPC. Reported in metadata operations per second.
+pub fn metadata_ablation(scale: FigScale) -> Vec<Point> {
+    let files = match scale {
+        FigScale::Full => 24usize,
+        FigScale::Quick => 6,
+    };
+    let rounds = match scale {
+        FigScale::Full => 40u64,
+        FigScale::Quick => 12,
+    };
+    let stats_per_open = 8u64;
+    let mut out = Vec::new();
+    for (label, mode) in [
+        ("embedded catalog (in-process)", 0u8),
+        ("remote metad, no client cache", 1),
+        ("remote metad + client cache", 2),
+    ] {
+        let tb = if mode == 0 {
+            Testbed::unthrottled(2).unwrap()
+        } else {
+            Testbed::unthrottled_with_metad(2).unwrap()
+        };
+        let client = match mode {
+            0 => tb.client(0, true),
+            1 => tb.remote_client_opts(ClientOptions {
+                meta_cache: false,
+                ..ClientOptions::default()
+            }),
+            _ => tb.remote_client(0, true),
+        };
+        for i in 0..files {
+            let mut f = client
+                .create(&format!("/m{i}"), &Hint::linear(4096, 4096))
+                .unwrap();
+            f.write_bytes(0, &[1u8; 64]).unwrap();
+            f.close().unwrap();
+        }
+        let start = Instant::now();
+        let mut ops = 0u64;
+        for _ in 0..rounds {
+            for i in 0..files {
+                let path = format!("/m{i}");
+                client.open(&path).unwrap();
+                for _ in 0..stats_per_open {
+                    client.stat(&path).unwrap();
+                }
+                ops += 1 + stats_per_open;
+            }
+        }
+        let per_sec = ops as f64 / start.elapsed().as_secs_f64();
+        out.push((label.to_string(), per_sec));
+    }
+    out
+}
+
 /// Render a list of points as an aligned table.
 pub fn print_points(title: &str, points: &[Point]) {
     println!("{title}");
     let width = points.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
     for (label, mbps) in points {
         println!("  {label:<width$}  {mbps:>8.2} MB/s");
+    }
+    println!();
+}
+
+/// Render a list of points whose values are operations per second.
+pub fn print_ops_points(title: &str, points: &[Point]) {
+    println!("{title}");
+    let width = points.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    for (label, ops) in points {
+        println!("  {label:<width$}  {ops:>10.0} ops/s");
     }
     println!();
 }
@@ -389,6 +460,19 @@ mod tests {
         assert!(
             multiplexed > serial,
             "multiplexed {multiplexed} MB/s must beat serial {serial} MB/s"
+        );
+    }
+
+    #[test]
+    fn metadata_ablation_cache_wins_over_uncached_remote() {
+        let pts = metadata_ablation(FigScale::Quick);
+        assert_eq!(pts.len(), 3);
+        assert!(pts.iter().all(|(_, v)| *v > 0.0));
+        assert!(
+            pts[2].1 > pts[1].1,
+            "cached remote {} ops/s must beat uncached remote {} ops/s",
+            pts[2].1,
+            pts[1].1
         );
     }
 

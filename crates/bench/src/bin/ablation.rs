@@ -52,6 +52,11 @@ fn main() {
         "Ablation 7: transport pipelining depth (2 handles sharing per-server connections)",
         &pipeline,
     );
+    let metadata = metadata_ablation(scale);
+    print_ops_points(
+        "Ablation 8: metadata placement on an open/stat-heavy workload",
+        &metadata,
+    );
 
     // Per-phase latency table from the spans the run just recorded. The
     // global ring keeps the last 65536 events, so at full scale this is
@@ -99,6 +104,10 @@ fn main() {
         check(
             "multiplexed transport must beat serial dispatch",
             pipeline[0].1 > pipeline[2].1,
+        );
+        check(
+            "metadata client cache must beat the uncached remote mount",
+            metadata[2].1 > metadata[1].1,
         );
         if failures.is_empty() {
             println!("quick smoke checks: all passed");

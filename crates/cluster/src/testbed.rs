@@ -1,5 +1,11 @@
 //! Testbed: spin up N I/O servers with storage-class profiles, register
 //! them in a shared metadata database, and hand out DPFS clients.
+//!
+//! Two metadata modes: the default keeps the database in-process and
+//! clients mount embedded; [`Testbed::start_with_metad`] additionally runs
+//! a `dpfs-metad` daemon over the same database, and
+//! [`Testbed::remote_client`] mounts clients against it over TCP — the
+//! paper's real topology, where metadata crosses the wire like data does.
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -7,9 +13,13 @@ use std::sync::Arc;
 
 use dpfs_core::{ClientOptions, Dpfs, Granularity, Resolver};
 use dpfs_meta::{Database, ServerInfo};
+use dpfs_metad::{MetaServer, MetadConfig, MetadStatsSnapshot};
 use dpfs_server::{IoServer, PerfModel, ServerConfig, StorageClass};
 
 static TESTBED_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Resolver alias the testbed's metadata daemon registers under.
+pub const METAD_NAME: &str = "metad0";
 
 /// Specification of one I/O node.
 #[derive(Debug, Clone)]
@@ -46,19 +56,33 @@ impl NodeSpec {
     }
 }
 
-/// A running testbed: servers + shared metadata database.
+/// A running testbed: servers + shared metadata database, optionally
+/// fronted by a metadata daemon.
 pub struct Testbed {
     servers: Vec<IoServer>,
     specs: Vec<NodeSpec>,
     db: Arc<Database>,
     resolver: Resolver,
     root: PathBuf,
+    metad: Option<MetaServer>,
 }
 
 impl Testbed {
     /// Start one server per spec, register them all in a fresh in-memory
     /// metadata database, and build the name resolver.
     pub fn start(specs: &[NodeSpec]) -> std::io::Result<Testbed> {
+        Self::start_inner(specs, false)
+    }
+
+    /// Like [`Testbed::start`], plus a `dpfs-metad` daemon serving the
+    /// same database over TCP, aliased as [`METAD_NAME`] in the resolver.
+    /// Clients from [`Testbed::remote_client`] reach metadata only through
+    /// it.
+    pub fn start_with_metad(specs: &[NodeSpec]) -> std::io::Result<Testbed> {
+        Self::start_inner(specs, true)
+    }
+
+    fn start_inner(specs: &[NodeSpec], with_metad: bool) -> std::io::Result<Testbed> {
         let id = TESTBED_COUNTER.fetch_add(1, Ordering::Relaxed);
         let root = std::env::temp_dir().join(format!("dpfs-testbed-{}-{id}", std::process::id()));
         let _ = std::fs::remove_dir_all(&root);
@@ -92,12 +116,21 @@ impl Testbed {
                 .map_err(|e| std::io::Error::other(e.to_string()))?;
             servers.push(server);
         }
+        let metad = if with_metad {
+            let md =
+                MetaServer::start_with_db(MetadConfig::in_memory().name(METAD_NAME), db.clone())?;
+            resolver.alias(METAD_NAME, &md.addr().to_string());
+            Some(md)
+        } else {
+            None
+        };
         Ok(Testbed {
             servers,
             specs: specs.to_vec(),
             db,
             resolver,
             root,
+            metad,
         })
     }
 
@@ -107,6 +140,14 @@ impl Testbed {
             .map(|i| NodeSpec::numbered(i, StorageClass::Unthrottled))
             .collect();
         Self::start(&specs)
+    }
+
+    /// `n` unthrottled nodes plus a metadata daemon.
+    pub fn unthrottled_with_metad(n: usize) -> std::io::Result<Testbed> {
+        let specs: Vec<NodeSpec> = (0..n)
+            .map(|i| NodeSpec::numbered(i, StorageClass::Unthrottled))
+            .collect();
+        Self::start_with_metad(&specs)
     }
 
     /// `n` nodes all of one class.
@@ -166,6 +207,38 @@ impl Testbed {
     pub fn client_opts(&self, opts: ClientOptions) -> Dpfs {
         Dpfs::mount(self.db.clone(), self.resolver.clone(), opts)
             .expect("catalog already initialized")
+    }
+
+    /// A DPFS client mounted *remotely*: all metadata goes over TCP to the
+    /// testbed's metadata daemon. Requires [`Testbed::start_with_metad`].
+    pub fn remote_client(&self, rank: usize, combine: bool) -> Dpfs {
+        self.remote_client_opts(ClientOptions {
+            combine,
+            rank,
+            ..ClientOptions::default()
+        })
+    }
+
+    /// A remote-mounted client with explicit [`ClientOptions`]
+    /// (`opts.meta_cache` / `opts.meta_cache_ttl` select the cache).
+    pub fn remote_client_opts(&self, opts: ClientOptions) -> Dpfs {
+        assert!(
+            self.metad.is_some(),
+            "remote_client requires Testbed::start_with_metad"
+        );
+        Dpfs::mount_remote(METAD_NAME, self.resolver.clone(), opts)
+            .expect("remote mount sets up no I/O until used")
+    }
+
+    /// The metadata daemon's bound address, if one is running (e.g. to put
+    /// a [`crate::FaultProxy`] in front of it).
+    pub fn metad_addr(&self) -> Option<std::net::SocketAddr> {
+        self.metad.as_ref().map(|m| m.addr())
+    }
+
+    /// The metadata daemon's statistics snapshot, if one is running.
+    pub fn metad_stats(&self) -> Option<MetadStatsSnapshot> {
+        self.metad.as_ref().map(|m| m.stats())
     }
 
     /// Per-server statistics snapshots, in server order.
@@ -230,6 +303,9 @@ impl Drop for Testbed {
         for s in &mut self.servers {
             s.stop();
         }
+        if let Some(m) = &mut self.metad {
+            m.stop();
+        }
         let _ = std::fs::remove_dir_all(&self.root);
     }
 }
@@ -243,7 +319,7 @@ mod tests {
     fn testbed_starts_and_registers_servers() {
         let tb = Testbed::unthrottled(4).unwrap();
         let client = tb.client(0, true);
-        let servers = client.catalog().list_servers().unwrap();
+        let servers = client.meta().list_servers().unwrap();
         assert_eq!(servers.len(), 4);
         assert_eq!(servers[0].name, "ion00");
         assert!(servers.iter().all(|s| s.performance == 1));
@@ -253,7 +329,7 @@ mod tests {
     fn mixed_classes_register_performance_numbers() {
         let tb = Testbed::mixed(4, &[StorageClass::Class1, StorageClass::Class3]).unwrap();
         let client = tb.client(0, true);
-        let servers = client.catalog().list_servers().unwrap();
+        let servers = client.meta().list_servers().unwrap();
         let perfs: Vec<i64> = servers.iter().map(|s| s.performance).collect();
         assert_eq!(perfs, vec![1, 3, 1, 3]);
     }
@@ -299,6 +375,36 @@ mod tests {
             }
             other => panic!("expected Aggregate, got {other}"),
         }
+    }
+
+    #[test]
+    fn remote_client_round_trips_through_metad() {
+        let tb = Testbed::unthrottled_with_metad(3).unwrap();
+        let client = tb.remote_client(0, true);
+        assert!(client.catalog().is_none(), "remote mounts hide the catalog");
+        let mut f = client.create("/remote", &Hint::linear(64, 192)).unwrap();
+        f.write_bytes(0, &[9u8; 192]).unwrap();
+        f.close().unwrap();
+        assert_eq!(client.stat("/remote").unwrap().size, 192);
+        let back = client.open("/remote").unwrap().read_bytes(0, 192).unwrap();
+        assert_eq!(back, vec![9u8; 192]);
+        let stats = tb.metad_stats().unwrap();
+        assert!(stats.meta_ops > 0, "metadata ops went through the daemon");
+    }
+
+    #[test]
+    fn fault_proxy_can_front_the_metad() {
+        use crate::FaultProxy;
+        let tb = Testbed::unthrottled_with_metad(2).unwrap();
+        let proxy = FaultProxy::start(tb.metad_addr().unwrap()).unwrap();
+        // A resolver whose metad alias points at the proxy instead.
+        let mut resolver = tb.resolver();
+        resolver.alias(METAD_NAME, &proxy.addr().to_string());
+        let client =
+            dpfs_core::Dpfs::mount_remote(METAD_NAME, resolver, ClientOptions::default()).unwrap();
+        client.mkdir("/d").unwrap();
+        assert!(client.dir_exists("/d").unwrap());
+        assert!(proxy.frames() > 0, "metadata RPCs flowed through the proxy");
     }
 
     #[test]

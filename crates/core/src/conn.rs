@@ -211,6 +211,17 @@ impl ConnPool {
         self.transport(server).note_degraded();
     }
 
+    /// Count one metadata-cache hit against `server` (the metadata daemon
+    /// whose fetch the cache absorbed).
+    pub(crate) fn note_meta_cache_hit(&self, server: &str) {
+        self.transport(server).note_meta_cache_hit();
+    }
+
+    /// Count one metadata-cache miss against `server`.
+    pub(crate) fn note_meta_cache_miss(&self, server: &str) {
+        self.transport(server).note_meta_cache_miss();
+    }
+
     /// [`ConnPool::rpc`], but with the transport's lockstep gate held across
     /// the whole round-trip: at most one RPC in flight on this server's
     /// connection. This is PR 1's wire behaviour, kept as the ablation

@@ -17,7 +17,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use bytes::Bytes;
-use dpfs_meta::{Catalog, Distribution};
+use dpfs_meta::{Distribution, MetaStore};
 use dpfs_proto::{Request, Response};
 
 use crate::cache::BrickCache;
@@ -62,6 +62,15 @@ pub struct ClientOptions {
     /// [`DpfsError::Degraded`] — carrying the holed buffer and per-subfile
     /// outcomes — instead of failing the whole read. Off by default.
     pub degraded_reads: bool,
+    /// On remote (metad-backed) mounts, cache file attrs and layouts
+    /// client-side, generation-validated against the daemon. Embedded
+    /// mounts ignore this (the catalog is already in-process).
+    pub meta_cache: bool,
+    /// How long stat-path attr reads may be served from the metadata
+    /// cache without revalidation. Layout reads always revalidate, so
+    /// this staleness window never reaches I/O. Zero = revalidate every
+    /// lookup.
+    pub meta_cache_ttl: Duration,
 }
 
 impl Default for ClientOptions {
@@ -75,6 +84,8 @@ impl Default for ClientOptions {
             rpc_timeout: DEFAULT_RPC_TIMEOUT,
             retry: RetryPolicy::default(),
             degraded_reads: false,
+            meta_cache: true,
+            meta_cache_ttl: Duration::from_millis(500),
         }
     }
 }
@@ -95,7 +106,7 @@ pub struct ClientStats {
 /// An open DPFS file.
 pub struct FileHandle {
     path: String,
-    catalog: Catalog,
+    meta: Arc<dyn MetaStore>,
     pool: Arc<ConnPool>,
     /// Server names in catalog order; request `server` indices point here.
     servers: Vec<String>,
@@ -122,7 +133,7 @@ impl FileHandle {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         path: String,
-        catalog: Catalog,
+        meta: Arc<dyn MetaStore>,
         pool: Arc<ConnPool>,
         servers: Vec<String>,
         perf: Vec<i64>,
@@ -134,7 +145,7 @@ impl FileHandle {
     ) -> FileHandle {
         FileHandle {
             path,
-            catalog,
+            meta,
             pool,
             servers,
             perf,
@@ -251,7 +262,7 @@ impl FileHandle {
         self.execute_writes(&runs, data)?;
         if end > self.size {
             self.size = end;
-            self.catalog.set_file_size(&self.path, end as i64)?;
+            self.meta.set_file_size(&self.path, end as i64)?;
         }
         Ok(())
     }
@@ -405,7 +416,7 @@ impl FileHandle {
         self.execute_writes(&runs, data)?;
         if end > self.size {
             self.size = end;
-            self.catalog.set_file_size(&self.path, end as i64)?;
+            self.meta.set_file_size(&self.path, end as i64)?;
         }
         Ok(())
     }
@@ -773,7 +784,7 @@ impl FileHandle {
                 bricklist: bricks.iter().map(|&b| b as i64).collect(),
             })
             .collect();
-        self.catalog.update_distribution(&self.path, &dist)?;
+        self.meta.update_distribution(&self.path, &dist)?;
         Ok(())
     }
 
@@ -846,7 +857,7 @@ impl FileHandle {
     /// Close the handle, persisting the final size. (Dropping the handle
     /// also works; `close` surfaces errors.)
     pub fn close(self) -> Result<()> {
-        self.catalog.set_file_size(&self.path, self.size as i64)?;
+        self.meta.set_file_size(&self.path, self.size as i64)?;
         Ok(())
     }
 }

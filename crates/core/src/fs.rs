@@ -1,10 +1,20 @@
-//! The DPFS client: file-system operations over the metadata catalog and
+//! The DPFS client: file-system operations over a metadata store and
 //! the I/O servers.
+//!
+//! The metadata side is a [`MetaStore`]: [`Dpfs::mount`] backs it with the
+//! in-process SQL catalog (embedded, the original mode), while
+//! [`Dpfs::mount_remote`] speaks metadata RPCs to a `dpfs-metad` daemon
+//! (paper §5's networked database server), optionally through the
+//! generation-validated client cache ([`crate::meta_cache`]). Everything
+//! above the store — create/open/rename/readdir and the I/O path — is
+//! identical in both modes.
 
 use std::sync::Arc;
 
 use dpfs_meta::catalog::{base_name, normalize_path};
-use dpfs_meta::{Catalog, Database, Distribution, FileAttrRow, ServerInfo};
+use dpfs_meta::{
+    Catalog, Database, Distribution, EmbeddedMetaStore, FileAttrRow, MetaStore, ServerInfo,
+};
 use dpfs_proto::Request;
 
 use crate::conn::{ConnPool, Resolver};
@@ -13,25 +23,41 @@ use crate::file::{ClientOptions, FileHandle};
 use crate::geometry::Shape;
 use crate::hints::{FileLevel, Hint, HpfPattern, Placement, Striping};
 use crate::layout::Layout;
+use crate::meta_cache::CachingMetaStore;
 use crate::placement::{greedy, round_robin, BrickMap};
+use crate::remote_meta::RemoteMetaStore;
 
 /// A DPFS client instance. Cheap to create; each compute node (thread)
-/// makes its own, sharing the metadata database.
+/// makes its own, sharing the metadata database or daemon.
 pub struct Dpfs {
-    catalog: Catalog,
+    meta: Arc<dyn MetaStore>,
+    /// Set on remote mounts: the RPC layer under `meta` (trace IDs,
+    /// observed generation).
+    remote_meta: Option<Arc<RemoteMetaStore>>,
+    /// Set on remote mounts with caching enabled: the cache layer
+    /// (hit/miss counters, explicit invalidation).
+    meta_cache: Option<Arc<CachingMetaStore>>,
     pool: Arc<ConnPool>,
     opts: ClientOptions,
 }
 
+fn new_pool(resolver: Resolver, opts: &ClientOptions) -> Arc<ConnPool> {
+    let pool = Arc::new(ConnPool::new(Arc::new(resolver)));
+    pool.set_rpc_timeout(opts.rpc_timeout);
+    pool.set_lockstep(opts.lockstep_rpc);
+    pool.set_retry_policy(opts.retry);
+    pool
+}
+
 impl Dpfs {
-    /// Mount DPFS: wrap the metadata database and set up connections.
+    /// Mount DPFS embedded: wrap the metadata database in-process and set
+    /// up connections.
     pub fn mount(db: Arc<Database>, resolver: Resolver, opts: ClientOptions) -> Result<Dpfs> {
-        let pool = Arc::new(ConnPool::new(Arc::new(resolver)));
-        pool.set_rpc_timeout(opts.rpc_timeout);
-        pool.set_lockstep(opts.lockstep_rpc);
-        pool.set_retry_policy(opts.retry);
+        let pool = new_pool(resolver, &opts);
         Ok(Dpfs {
-            catalog: Catalog::new(db)?,
+            meta: Arc::new(EmbeddedMetaStore::new(db)?),
+            remote_meta: None,
+            meta_cache: None,
             pool,
             opts,
         })
@@ -42,9 +68,54 @@ impl Dpfs {
         Self::mount(db, Resolver::direct(), ClientOptions::default())
     }
 
-    /// The metadata catalog.
-    pub fn catalog(&self) -> &Catalog {
-        &self.catalog
+    /// Mount DPFS against a `dpfs-metad` daemon: every metadata operation
+    /// becomes an RPC to `metad_server` (a name the resolver can dial),
+    /// riding the same transport as I/O. With `opts.meta_cache` set (the
+    /// default), attrs and layouts are cached client-side under generation
+    /// validation; `opts.meta_cache_ttl` bounds how stale `stat` may be.
+    pub fn mount_remote(
+        metad_server: &str,
+        resolver: Resolver,
+        opts: ClientOptions,
+    ) -> Result<Dpfs> {
+        let pool = new_pool(resolver, &opts);
+        let remote = Arc::new(RemoteMetaStore::new(pool.clone(), metad_server));
+        let (meta, cache): (Arc<dyn MetaStore>, Option<Arc<CachingMetaStore>>) = if opts.meta_cache
+        {
+            let c = Arc::new(CachingMetaStore::new(remote.clone(), opts.meta_cache_ttl));
+            (c.clone(), Some(c))
+        } else {
+            (remote.clone(), None)
+        };
+        Ok(Dpfs {
+            meta,
+            remote_meta: Some(remote),
+            meta_cache: cache,
+            pool,
+            opts,
+        })
+    }
+
+    /// The metadata store this client operates through.
+    pub fn meta(&self) -> &Arc<dyn MetaStore> {
+        &self.meta
+    }
+
+    /// The embedded metadata catalog, if this mount is embedded. Remote
+    /// mounts return `None` — the database lives in the daemon.
+    pub fn catalog(&self) -> Option<&Catalog> {
+        self.meta.as_catalog()
+    }
+
+    /// On remote mounts, the RPC-level metadata store (trace IDs, last
+    /// observed generation).
+    pub fn remote_meta(&self) -> Option<&Arc<RemoteMetaStore>> {
+        self.remote_meta.as_ref()
+    }
+
+    /// On cached remote mounts, `(hits, misses)` of the metadata cache.
+    pub fn meta_cache_stats(&self) -> Option<(u64, u64)> {
+        self.meta_cache.as_ref().map(|c| c.cache_stats())
     }
 
     /// This client's default options.
@@ -52,9 +123,9 @@ impl Dpfs {
         self.opts
     }
 
-    /// Register an I/O server in the catalog.
+    /// Register an I/O server in the metadata store.
     pub fn register_server(&self, info: &ServerInfo) -> Result<()> {
-        Ok(self.catalog.register_server(info)?)
+        Ok(self.meta.register_server(info)?)
     }
 
     // ------------------------------------------------------------ create
@@ -63,7 +134,7 @@ impl Dpfs {
     /// a hint structure). Returns an open handle.
     pub fn create(&self, path: &str, hint: &Hint) -> Result<FileHandle> {
         let path = normalize_path(path)?;
-        let all = self.catalog.list_servers()?;
+        let all = self.meta.list_servers()?;
         if all.is_empty() {
             return Err(DpfsError::InvalidArgument(
                 "no I/O servers registered".into(),
@@ -93,16 +164,14 @@ impl Dpfs {
                 bricklist: bricks.iter().map(|&b| b as i64).collect(),
             })
             .collect();
-        self.catalog
-            .create_file(&attr, &dist)
-            .map_err(|e| match e {
-                dpfs_meta::MetaError::DuplicateKey(_) => DpfsError::FileExists(path.clone()),
-                other => other.into(),
-            })?;
+        self.meta.create_file(&attr, &dist).map_err(|e| match e {
+            dpfs_meta::MetaError::DuplicateKey(_) => DpfsError::FileExists(path.clone()),
+            other => other.into(),
+        })?;
 
         Ok(FileHandle::new(
             path,
-            self.catalog.clone(),
+            self.meta.clone(),
             self.pool.clone(),
             names,
             perf,
@@ -125,12 +194,12 @@ impl Dpfs {
     pub fn open_with(&self, path: &str, opts: ClientOptions) -> Result<FileHandle> {
         let path = normalize_path(path)?;
         let attr = self
-            .catalog
+            .meta
             .get_file_attr(&path)?
             .ok_or_else(|| DpfsError::NoSuchFile(path.clone()))?;
         let striping = striping_from_attr(&attr)?;
         let layout = Layout::from_striping(&striping)?;
-        let dist = self.catalog.get_distribution(&path)?;
+        let dist = self.meta.get_distribution(&path)?;
         if dist.is_empty() {
             return Err(DpfsError::InvalidArgument(format!(
                 "file {path} has no distribution rows"
@@ -142,7 +211,7 @@ impl Dpfs {
         let mut perf = Vec::with_capacity(names.len());
         for name in &names {
             perf.push(
-                self.catalog
+                self.meta
                     .get_server(name)?
                     .map(|s| s.performance.max(1))
                     .unwrap_or(1),
@@ -154,7 +223,7 @@ impl Dpfs {
         };
         Ok(FileHandle::new(
             path,
-            self.catalog.clone(),
+            self.meta.clone(),
             self.pool.clone(),
             names,
             perf,
@@ -172,7 +241,7 @@ impl Dpfs {
     /// subfile.
     pub fn unlink(&self, path: &str) -> Result<()> {
         let path = normalize_path(path)?;
-        let dist = self.catalog.delete_file(&path).map_err(|e| match e {
+        let dist = self.meta.delete_file(&path).map_err(|e| match e {
             dpfs_meta::MetaError::NoSuchTable(_) => DpfsError::NoSuchFile(path.clone()),
             other => other.into(),
         })?;
@@ -190,7 +259,7 @@ impl Dpfs {
 
     /// Create a directory.
     pub fn mkdir(&self, path: &str) -> Result<()> {
-        self.catalog.mkdir(path).map_err(|e| match e {
+        self.meta.mkdir(path).map_err(|e| match e {
             dpfs_meta::MetaError::NoSuchTable(m) => DpfsError::NoSuchDirectory(m),
             other => other.into(),
         })
@@ -198,14 +267,14 @@ impl Dpfs {
 
     /// Remove an empty directory.
     pub fn rmdir(&self, path: &str) -> Result<()> {
-        Ok(self.catalog.rmdir(path)?)
+        Ok(self.meta.rmdir(path)?)
     }
 
     /// List a directory: `(sub-directory names, file names)`, base names
     /// only, sorted.
     pub fn readdir(&self, path: &str) -> Result<(Vec<String>, Vec<String>)> {
         let entry = self
-            .catalog
+            .meta
             .get_dir(path)?
             .ok_or_else(|| DpfsError::NoSuchDirectory(path.to_string()))?;
         let mut dirs: Vec<String> = entry
@@ -223,25 +292,23 @@ impl Dpfs {
         Ok((dirs, files))
     }
 
-    /// Stat a file.
+    /// Stat a file. On cached remote mounts this takes the stat path —
+    /// the answer may be served from cache within the configured TTL.
     pub fn stat(&self, path: &str) -> Result<FileAttrRow> {
         let path = normalize_path(path)?;
-        self.catalog
-            .get_file_attr(&path)?
+        self.meta
+            .stat_file_attr(&path)?
             .ok_or(DpfsError::NoSuchFile(path))
     }
 
     /// True if the path names an existing file.
     pub fn exists(&self, path: &str) -> Result<bool> {
-        Ok(self
-            .catalog
-            .get_file_attr(&normalize_path(path)?)?
-            .is_some())
+        Ok(self.meta.stat_file_attr(&normalize_path(path)?)?.is_some())
     }
 
     /// True if the path names an existing directory.
     pub fn dir_exists(&self, path: &str) -> Result<bool> {
-        Ok(self.catalog.get_dir(path)?.is_some())
+        Ok(self.meta.get_dir(path)?.is_some())
     }
 
     /// Rename a file. Metadata moves atomically in the catalog; since
@@ -252,8 +319,8 @@ impl Dpfs {
         let to_n = normalize_path(to)?;
         // Move the bytes: read whole subfiles server-side is overkill at
         // this layer; instead we re-point metadata and copy per server.
-        let dist = self.catalog.get_distribution(&from_n)?;
-        self.catalog.rename_file(&from_n, &to_n)?;
+        let dist = self.meta.get_distribution(&from_n)?;
+        self.meta.rename_file(&from_n, &to_n)?;
         for d in &dist {
             // copy subfile content under the new name on the same server
             let stat = self.pool.rpc_ok(

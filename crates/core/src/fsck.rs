@@ -9,10 +9,17 @@ use std::collections::{BTreeSet, HashMap};
 
 use dpfs_proto::Request;
 
-use crate::error::Result;
+use crate::error::{DpfsError, Result};
 use crate::fs::{striping_from_attr, Dpfs};
 use crate::layout::Layout;
 use crate::placement::BrickMap;
+
+/// fsck audits raw catalog tables, so it needs the database in-process.
+fn embedded_only() -> DpfsError {
+    DpfsError::InvalidArgument(
+        "fsck requires an embedded mount (run it against the metadata database directly)".into(),
+    )
+}
 
 /// One consistency violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -80,7 +87,7 @@ pub fn fsck(fs: &Dpfs, online: bool) -> Result<FsckReport> {
 /// subfile), so it is opt-in.
 pub fn fsck_with(fs: &Dpfs, online: bool, strict: bool) -> Result<FsckReport> {
     let mut report = FsckReport::default();
-    let catalog = fs.catalog();
+    let catalog = fs.catalog().ok_or_else(embedded_only)?;
     let db = catalog.db();
 
     // Load the raw tables once.
@@ -291,7 +298,7 @@ pub fn fsck_repair(fs: &Dpfs) -> Result<(FsckReport, RepairSummary)> {
     use dpfs_meta::catalog::{parent_dir, sql_quote};
     let before = fsck(fs, false)?;
     let mut summary = RepairSummary::default();
-    let catalog = fs.catalog();
+    let catalog = fs.catalog().ok_or_else(embedded_only)?;
     let db = catalog.db();
     for issue in &before.issues {
         match issue {

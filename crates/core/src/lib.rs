@@ -35,8 +35,10 @@ pub mod fsck;
 pub mod geometry;
 pub mod hints;
 pub mod layout;
+pub mod meta_cache;
 pub mod placement;
 pub mod plan;
+pub mod remote_meta;
 pub mod retry;
 pub mod trace;
 pub mod transport;
@@ -51,7 +53,9 @@ pub use fs::Dpfs;
 pub use geometry::{Region, Shape};
 pub use hints::{Dist, FileLevel, Hint, HpfPattern, Placement, Striping};
 pub use layout::{ArrayLayout, BrickRun, Layout, LinearLayout, MultidimLayout};
+pub use meta_cache::CachingMetaStore;
 pub use placement::{greedy, round_robin, BrickMap};
 pub use plan::{Granularity, ReadRequest, WriteRequest};
+pub use remote_meta::RemoteMetaStore;
 pub use retry::RetryPolicy;
 pub use transport::{Pending, Transport, TransportStats, DEFAULT_RPC_TIMEOUT};

@@ -1,0 +1,269 @@
+//! Client-side metadata cache: generation-stamped attrs and layouts.
+//!
+//! A networked metadata service turns every open/stat into a round trip
+//! (paper §5's database server). [`CachingMetaStore`] wraps a
+//! [`RemoteMetaStore`] and absorbs repeat lookups under the cheapest
+//! protocol that can never serve a stale layout for I/O:
+//!
+//! - Every cached attr row and distribution is stamped with the metadata
+//!   *generation* carried on the reply that fetched it.
+//! - The **layout path** ([`MetaStore::get_file_attr`],
+//!   [`MetaStore::get_distribution`] — what `open` uses to aim I/O)
+//!   revalidates on every lookup with one tiny `Generation` RPC: if the
+//!   daemon's generation still equals the entry's stamp, the cached value
+//!   is provably current (any mutation anywhere would have bumped it); a
+//!   moved generation drops the whole cache and refetches. The round trip
+//!   remains, but it carries ~16 bytes instead of attr + distribution
+//!   rows, and a `stat`+`open` pair touches the daemon once, not thrice.
+//! - The **stat path** ([`MetaStore::stat_file_attr`] — `ls`, `exists`,
+//!   size probes) may serve a cached row within a configurable TTL with
+//!   *no* RPC at all. Stat output may therefore lag mutations by up to
+//!   the TTL — the classic NFS-style attribute-cache tradeoff — which is
+//!   why layout decisions never use this path.
+//! - The store's **own mutations** invalidate the whole cache on success
+//!   (their reply proves the generation moved past every stamp).
+//!
+//! Hits and misses are counted here and mirrored into the metadata
+//! server's [`crate::transport::TransportStats`], so `dpfs-sh stats` and
+//! the bench harness can report cache effectiveness per mount.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dpfs_meta::{
+    Catalog, DirEntry, Distribution, FileAttrRow, MetaStore, Result as MetaResultT, ServerInfo,
+};
+use parking_lot::Mutex;
+
+use crate::remote_meta::RemoteMetaStore;
+
+/// A value plus the generation and wall-clock instant it was fetched at.
+struct Stamped<T> {
+    gen: u64,
+    fetched: Instant,
+    value: T,
+}
+
+/// A generation-validated, TTL-assisted cache over a [`RemoteMetaStore`].
+pub struct CachingMetaStore {
+    remote: Arc<RemoteMetaStore>,
+    /// How long [`MetaStore::stat_file_attr`] may serve an entry without
+    /// revalidating. Zero disables the TTL fast path (every lookup still
+    /// benefits from generation validation).
+    ttl: Duration,
+    attrs: Mutex<HashMap<String, Stamped<FileAttrRow>>>,
+    dists: Mutex<HashMap<String, Stamped<Vec<Distribution>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CachingMetaStore {
+    /// Wrap `remote`, serving stat-path reads from cache for up to `ttl`.
+    pub fn new(remote: Arc<RemoteMetaStore>, ttl: Duration) -> CachingMetaStore {
+        CachingMetaStore {
+            remote,
+            ttl,
+            attrs: Mutex::new(HashMap::new()),
+            dists: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped remote store.
+    pub fn remote(&self) -> &Arc<RemoteMetaStore> {
+        &self.remote
+    }
+
+    /// `(hits, misses)` across both the attr and distribution caches.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Drop every cached entry (mutation observed, or caller request).
+    pub fn invalidate_all(&self) {
+        self.attrs.lock().clear();
+        self.dists.lock().clear();
+    }
+
+    fn note_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        self.remote.pool().note_meta_cache_hit(self.remote.server());
+    }
+
+    fn note_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.remote
+            .pool()
+            .note_meta_cache_miss(self.remote.server());
+    }
+
+    /// Run a mutation through the remote store; on success the generation
+    /// has provably moved past every cached stamp, so drop everything.
+    fn mutate<T>(&self, r: MetaResultT<T>) -> MetaResultT<T> {
+        if r.is_ok() {
+            self.invalidate_all();
+        }
+        r
+    }
+
+    /// Attr lookup. `allow_ttl` is the stat path: an entry younger than
+    /// the TTL is served with no RPC. Otherwise (and for stat entries past
+    /// their TTL) the entry's generation stamp is revalidated with one
+    /// `Generation` RPC; a stale stamp refetches and restamps.
+    fn lookup_attr(&self, filename: &str, allow_ttl: bool) -> MetaResultT<Option<FileAttrRow>> {
+        if allow_ttl && !self.ttl.is_zero() {
+            if let Some(e) = self.attrs.lock().get(filename) {
+                if e.fetched.elapsed() <= self.ttl {
+                    self.note_hit();
+                    return Ok(Some(e.value.clone()));
+                }
+            }
+        }
+        let current = self.remote.generation()?;
+        {
+            let mut attrs = self.attrs.lock();
+            if let Some(e) = attrs.get_mut(filename) {
+                if e.gen == current {
+                    e.fetched = Instant::now();
+                    self.note_hit();
+                    return Ok(Some(e.value.clone()));
+                }
+            }
+        }
+        self.note_miss();
+        // The generation moved (or the entry is new): everything stamped
+        // older is suspect, not just this entry.
+        self.invalidate_all();
+        let (gen, attr) = self.remote.get_file_attr_with_gen(filename)?;
+        if let Some(a) = &attr {
+            self.attrs.lock().insert(
+                filename.to_string(),
+                Stamped {
+                    gen,
+                    fetched: Instant::now(),
+                    value: a.clone(),
+                },
+            );
+        }
+        Ok(attr)
+    }
+}
+
+impl MetaStore for CachingMetaStore {
+    // ---- reads the cache can absorb ----
+
+    fn get_file_attr(&self, filename: &str) -> MetaResultT<Option<FileAttrRow>> {
+        self.lookup_attr(filename, false)
+    }
+
+    fn stat_file_attr(&self, filename: &str) -> MetaResultT<Option<FileAttrRow>> {
+        self.lookup_attr(filename, true)
+    }
+
+    fn get_distribution(&self, filename: &str) -> MetaResultT<Vec<Distribution>> {
+        let current = self.remote.generation()?;
+        {
+            let mut dists = self.dists.lock();
+            if let Some(e) = dists.get_mut(filename) {
+                if e.gen == current {
+                    e.fetched = Instant::now();
+                    self.note_hit();
+                    return Ok(e.value.clone());
+                }
+            }
+        }
+        self.note_miss();
+        self.invalidate_all();
+        let (gen, ds) = self.remote.get_distribution_with_gen(filename)?;
+        if !ds.is_empty() {
+            self.dists.lock().insert(
+                filename.to_string(),
+                Stamped {
+                    gen,
+                    fetched: Instant::now(),
+                    value: ds.clone(),
+                },
+            );
+        }
+        Ok(ds)
+    }
+
+    // ---- uncached reads (rare, or cheap server-side) ----
+
+    fn list_servers(&self) -> MetaResultT<Vec<ServerInfo>> {
+        self.remote.list_servers()
+    }
+    fn get_server(&self, name: &str) -> MetaResultT<Option<ServerInfo>> {
+        self.remote.get_server(name)
+    }
+    fn get_dir(&self, path: &str) -> MetaResultT<Option<DirEntry>> {
+        self.remote.get_dir(path)
+    }
+    fn get_tag(&self, filename: &str, tag: &str) -> MetaResultT<Option<String>> {
+        self.remote.get_tag(filename, tag)
+    }
+    fn list_tags(&self, filename: &str) -> MetaResultT<Vec<(String, String)>> {
+        self.remote.list_tags(filename)
+    }
+    fn find_by_tag(&self, tag: &str, pattern: &str) -> MetaResultT<Vec<(String, String, i64)>> {
+        self.remote.find_by_tag(tag, pattern)
+    }
+    fn server_brick_counts(&self) -> MetaResultT<Vec<(String, i64)>> {
+        self.remote.server_brick_counts()
+    }
+    fn generation(&self) -> MetaResultT<u64> {
+        self.remote.generation()
+    }
+
+    // ---- mutations: forward, then drop the cache ----
+
+    fn register_server(&self, info: &ServerInfo) -> MetaResultT<()> {
+        self.mutate(self.remote.register_server(info))
+    }
+    fn remove_server(&self, name: &str) -> MetaResultT<bool> {
+        self.mutate(self.remote.remove_server(name))
+    }
+    fn create_file(&self, attr: &FileAttrRow, dist: &[Distribution]) -> MetaResultT<()> {
+        self.mutate(self.remote.create_file(attr, dist))
+    }
+    fn delete_file(&self, filename: &str) -> MetaResultT<Vec<Distribution>> {
+        self.mutate(self.remote.delete_file(filename))
+    }
+    fn rename_file(&self, from: &str, to: &str) -> MetaResultT<()> {
+        self.mutate(self.remote.rename_file(from, to))
+    }
+    fn set_file_size(&self, filename: &str, size: i64) -> MetaResultT<()> {
+        self.mutate(self.remote.set_file_size(filename, size))
+    }
+    fn set_file_permission(&self, filename: &str, permission: i64) -> MetaResultT<()> {
+        self.mutate(self.remote.set_file_permission(filename, permission))
+    }
+    fn set_file_owner(&self, filename: &str, owner: &str) -> MetaResultT<()> {
+        self.mutate(self.remote.set_file_owner(filename, owner))
+    }
+    fn update_distribution(&self, filename: &str, dist: &[Distribution]) -> MetaResultT<()> {
+        self.mutate(self.remote.update_distribution(filename, dist))
+    }
+    fn mkdir(&self, path: &str) -> MetaResultT<()> {
+        self.mutate(self.remote.mkdir(path))
+    }
+    fn rmdir(&self, path: &str) -> MetaResultT<()> {
+        self.mutate(self.remote.rmdir(path))
+    }
+    fn set_tag(&self, filename: &str, tag: &str, value: &str) -> MetaResultT<()> {
+        self.mutate(self.remote.set_tag(filename, tag, value))
+    }
+    fn remove_tag(&self, filename: &str, tag: &str) -> MetaResultT<bool> {
+        self.mutate(self.remote.remove_tag(filename, tag))
+    }
+
+    fn as_catalog(&self) -> Option<&Catalog> {
+        None
+    }
+}

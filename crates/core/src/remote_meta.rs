@@ -1,0 +1,297 @@
+//! `MetaStore` over the wire: the client half of the metadata service.
+//!
+//! The paper's clients send every metadata query "to the database server"
+//! over the network (§5). [`RemoteMetaStore`] is that path: each
+//! `MetaStore` call becomes one [`MetaOp`] RPC to a `dpfs-metad` daemon,
+//! carried by the same multiplexed [`ConnPool`] transport as data traffic
+//! — so metadata inherits correlation IDs, per-request deadlines, the
+//! retry error-class matrix, and tracing unchanged. Every reply's
+//! envelope carries the daemon's current metadata generation, which this
+//! store republishes via [`RemoteMetaStore::last_gen`] for the caching
+//! layer ([`crate::meta_cache`]).
+//!
+//! Errors: server-side `MetaError`s travel as wire codes and reconstruct
+//! into the exact variant ([`dpfs_meta::MetaError::from_wire`]), so
+//! callers' error mapping (duplicate key → file exists, ...) works
+//! identically for embedded and remote mounts. Transport failures
+//! (connect, timeout, disconnect — after the pool's retries) surface as
+//! [`dpfs_meta::MetaError::Remote`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dpfs_meta::{
+    DirEntry, Distribution, FileAttrRow, MetaError, MetaStore, Result as MetaResultT, ServerInfo,
+};
+use dpfs_proto::{MetaOp, MetaResult, Request, Response};
+
+use crate::conn::ConnPool;
+use crate::error::DpfsError;
+use crate::retry::RetryPolicy;
+use crate::trace;
+
+/// A [`MetaStore`] backed by metadata RPCs to one `dpfs-metad` daemon.
+pub struct RemoteMetaStore {
+    pool: Arc<ConnPool>,
+    /// The metadata daemon's server name (dial string or testbed alias).
+    server: String,
+    /// Highest generation seen on any reply envelope.
+    last_gen: AtomicU64,
+    /// Trace ID of the most recent metadata RPC (tests and diagnostics).
+    last_trace_id: AtomicU64,
+}
+
+impl RemoteMetaStore {
+    /// A store speaking to the daemon registered as `server` in `pool`'s
+    /// resolver.
+    pub fn new(pool: Arc<ConnPool>, server: impl Into<String>) -> RemoteMetaStore {
+        RemoteMetaStore {
+            pool,
+            server: server.into(),
+            last_gen: AtomicU64::new(0),
+            last_trace_id: AtomicU64::new(0),
+        }
+    }
+
+    /// The metadata daemon's server name.
+    pub fn server(&self) -> &str {
+        &self.server
+    }
+
+    /// The connection pool metadata RPCs ride on.
+    pub fn pool(&self) -> &Arc<ConnPool> {
+        &self.pool
+    }
+
+    /// Highest metadata generation observed on any reply (0 before the
+    /// first RPC). Monotonic per store.
+    pub fn last_gen(&self) -> u64 {
+        self.last_gen.load(Ordering::Relaxed)
+    }
+
+    /// Trace ID stamped on the most recent metadata RPC. Filter
+    /// [`trace::ring()`] events on it to see the RPC's client span and the
+    /// daemon-side decode/queue/handle/respond events.
+    pub fn last_trace_id(&self) -> u64 {
+        self.last_trace_id.load(Ordering::Relaxed)
+    }
+
+    /// Issue one metadata op and return `(generation, result)`. The result
+    /// is never the `Err` variant — remote errors are reconstructed into
+    /// `MetaError` here. Transient transport failures are retried under
+    /// the pool's policy, each retry traced like any other RPC.
+    fn call(&self, op: MetaOp) -> Result<(u64, MetaResult), MetaError> {
+        let trace_id = trace::next_trace_id();
+        self.last_trace_id.store(trace_id, Ordering::Relaxed);
+        let req = Request::Meta { op };
+        let timeout = self.pool.rpc_timeout();
+        let first = self
+            .pool
+            .submit_traced(&self.server, &req, trace_id)
+            .and_then(|p| p.wait(timeout));
+        let policy = self.pool.retry_policy();
+        let resp = match first {
+            Err(err) if policy.enabled() && RetryPolicy::retryable(&err) => {
+                self.pool
+                    .retry_after(&self.server, &req, trace_id, err, policy)
+            }
+            other => other,
+        }
+        .map_err(|e| remote_err(&self.server, &e))?;
+        match resp {
+            Response::Meta { gen, result } => {
+                self.last_gen.fetch_max(gen, Ordering::Relaxed);
+                match result {
+                    MetaResult::Err { code, message } => Err(MetaError::from_wire(code, message)),
+                    ok => Ok((gen, ok)),
+                }
+            }
+            Response::Error { code, message } => Err(MetaError::Remote(format!(
+                "metadata server {} rejected the request ({code:?}): {message}",
+                self.server
+            ))),
+            other => Err(shape_err(&self.server, &format!("{other:?}"))),
+        }
+    }
+
+    /// [`MetaStore::get_file_attr`] plus the generation the reply was
+    /// stamped with (the caching layer stamps entries with it).
+    pub(crate) fn get_file_attr_with_gen(
+        &self,
+        filename: &str,
+    ) -> Result<(u64, Option<FileAttrRow>), MetaError> {
+        match self.call(MetaOp::GetFileAttr {
+            filename: filename.to_string(),
+        })? {
+            (gen, MetaResult::MaybeAttr(a)) => Ok((gen, a)),
+            (_, other) => Err(shape_err(&self.server, &format!("{other:?}"))),
+        }
+    }
+
+    /// [`MetaStore::get_distribution`] plus the reply's generation.
+    pub(crate) fn get_distribution_with_gen(
+        &self,
+        filename: &str,
+    ) -> Result<(u64, Vec<Distribution>), MetaError> {
+        match self.call(MetaOp::GetDistribution {
+            filename: filename.to_string(),
+        })? {
+            (gen, MetaResult::Distributions(ds)) => Ok((gen, ds)),
+            (_, other) => Err(shape_err(&self.server, &format!("{other:?}"))),
+        }
+    }
+}
+
+/// Wrap a transport-level failure for the `MetaStore` surface.
+fn remote_err(server: &str, e: &DpfsError) -> MetaError {
+    MetaError::Remote(format!("metadata rpc to {server} failed: {e}"))
+}
+
+/// The server answered with a result shape the op cannot produce.
+fn shape_err(server: &str, got: &str) -> MetaError {
+    MetaError::Remote(format!(
+        "metadata server {server} answered with an unexpected result: {got}"
+    ))
+}
+
+macro_rules! expect {
+    ($self:ident, $op:expr, $pat:pat => $out:expr) => {
+        match $self.call($op)? {
+            (_, $pat) => Ok($out),
+            (_, other) => Err(shape_err(&$self.server, &format!("{other:?}"))),
+        }
+    };
+}
+
+impl MetaStore for RemoteMetaStore {
+    fn register_server(&self, info: &ServerInfo) -> MetaResultT<()> {
+        expect!(self, MetaOp::RegisterServer { info: info.clone() }, MetaResult::Unit => ())
+    }
+    fn list_servers(&self) -> MetaResultT<Vec<ServerInfo>> {
+        expect!(self, MetaOp::ListServers, MetaResult::Servers(xs) => xs)
+    }
+    fn get_server(&self, name: &str) -> MetaResultT<Option<ServerInfo>> {
+        expect!(self, MetaOp::GetServer { name: name.into() }, MetaResult::MaybeServer(s) => s)
+    }
+    fn remove_server(&self, name: &str) -> MetaResultT<bool> {
+        expect!(self, MetaOp::RemoveServer { name: name.into() }, MetaResult::Bool(b) => b)
+    }
+
+    fn create_file(&self, attr: &FileAttrRow, dist: &[Distribution]) -> MetaResultT<()> {
+        expect!(
+            self,
+            MetaOp::CreateFile { attr: attr.clone(), dist: dist.to_vec() },
+            MetaResult::Unit => ()
+        )
+    }
+    fn delete_file(&self, filename: &str) -> MetaResultT<Vec<Distribution>> {
+        expect!(
+            self,
+            MetaOp::DeleteFile { filename: filename.into() },
+            MetaResult::Distributions(ds) => ds
+        )
+    }
+    fn rename_file(&self, from: &str, to: &str) -> MetaResultT<()> {
+        expect!(
+            self,
+            MetaOp::RenameFile { from: from.into(), to: to.into() },
+            MetaResult::Unit => ()
+        )
+    }
+    fn get_file_attr(&self, filename: &str) -> MetaResultT<Option<FileAttrRow>> {
+        Ok(self.get_file_attr_with_gen(filename)?.1)
+    }
+    fn set_file_size(&self, filename: &str, size: i64) -> MetaResultT<()> {
+        expect!(
+            self,
+            MetaOp::SetFileSize { filename: filename.into(), size },
+            MetaResult::Unit => ()
+        )
+    }
+    fn set_file_permission(&self, filename: &str, permission: i64) -> MetaResultT<()> {
+        expect!(
+            self,
+            MetaOp::SetFilePermission { filename: filename.into(), permission },
+            MetaResult::Unit => ()
+        )
+    }
+    fn set_file_owner(&self, filename: &str, owner: &str) -> MetaResultT<()> {
+        expect!(
+            self,
+            MetaOp::SetFileOwner { filename: filename.into(), owner: owner.into() },
+            MetaResult::Unit => ()
+        )
+    }
+
+    fn get_distribution(&self, filename: &str) -> MetaResultT<Vec<Distribution>> {
+        Ok(self.get_distribution_with_gen(filename)?.1)
+    }
+    fn update_distribution(&self, filename: &str, dist: &[Distribution]) -> MetaResultT<()> {
+        expect!(
+            self,
+            MetaOp::UpdateDistribution { filename: filename.into(), dist: dist.to_vec() },
+            MetaResult::Unit => ()
+        )
+    }
+
+    fn mkdir(&self, path: &str) -> MetaResultT<()> {
+        expect!(self, MetaOp::Mkdir { path: path.into() }, MetaResult::Unit => ())
+    }
+    fn rmdir(&self, path: &str) -> MetaResultT<()> {
+        expect!(self, MetaOp::Rmdir { path: path.into() }, MetaResult::Unit => ())
+    }
+    fn get_dir(&self, path: &str) -> MetaResultT<Option<DirEntry>> {
+        expect!(self, MetaOp::GetDir { path: path.into() }, MetaResult::MaybeDir(d) => d)
+    }
+
+    fn set_tag(&self, filename: &str, tag: &str, value: &str) -> MetaResultT<()> {
+        expect!(
+            self,
+            MetaOp::SetTag {
+                filename: filename.into(),
+                tag: tag.into(),
+                value: value.into()
+            },
+            MetaResult::Unit => ()
+        )
+    }
+    fn get_tag(&self, filename: &str, tag: &str) -> MetaResultT<Option<String>> {
+        expect!(
+            self,
+            MetaOp::GetTag { filename: filename.into(), tag: tag.into() },
+            MetaResult::MaybeString(s) => s
+        )
+    }
+    fn list_tags(&self, filename: &str) -> MetaResultT<Vec<(String, String)>> {
+        expect!(
+            self,
+            MetaOp::ListTags { filename: filename.into() },
+            MetaResult::Tags(xs) => xs
+        )
+    }
+    fn remove_tag(&self, filename: &str, tag: &str) -> MetaResultT<bool> {
+        expect!(
+            self,
+            MetaOp::RemoveTag { filename: filename.into(), tag: tag.into() },
+            MetaResult::Bool(b) => b
+        )
+    }
+    fn find_by_tag(&self, tag: &str, pattern: &str) -> MetaResultT<Vec<(String, String, i64)>> {
+        expect!(
+            self,
+            MetaOp::FindByTag { tag: tag.into(), pattern: pattern.into() },
+            MetaResult::TagHits(xs) => xs
+        )
+    }
+
+    fn server_brick_counts(&self) -> MetaResultT<Vec<(String, i64)>> {
+        expect!(self, MetaOp::ServerBrickCounts, MetaResult::BrickCounts(xs) => xs)
+    }
+
+    fn generation(&self) -> MetaResultT<u64> {
+        match self.call(MetaOp::Generation)? {
+            (gen, MetaResult::Unit) => Ok(gen),
+            (_, other) => Err(shape_err(&self.server, &format!("{other:?}"))),
+        }
+    }
+}

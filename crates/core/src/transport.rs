@@ -122,6 +122,11 @@ pub struct TransportStats {
     /// Per-server read requests that failed terminally and were
     /// zero-filled under [`crate::file::ClientOptions::degraded_reads`].
     pub degraded: u64,
+    /// Metadata lookups served from the client-side attr/layout cache
+    /// instead of a full fetch from this (metadata) server.
+    pub meta_cache_hits: u64,
+    /// Metadata lookups that had to fetch from this (metadata) server.
+    pub meta_cache_misses: u64,
     /// Round-trip latency of completed `Read` RPCs (submit → response).
     pub read_latency: HistSnapshot,
     /// Round-trip latency of completed `Write` RPCs.
@@ -140,6 +145,8 @@ struct Counters {
     in_flight_peak: AtomicU64,
     retries: AtomicU64,
     degraded: AtomicU64,
+    meta_cache_hits: AtomicU64,
+    meta_cache_misses: AtomicU64,
     hist_read: Histogram,
     hist_write: Histogram,
     hist_other: Histogram,
@@ -317,6 +324,8 @@ impl Transport {
             in_flight_peak: self.counters.in_flight_peak.load(Ordering::Relaxed),
             retries: self.counters.retries.load(Ordering::Relaxed),
             degraded: self.counters.degraded.load(Ordering::Relaxed),
+            meta_cache_hits: self.counters.meta_cache_hits.load(Ordering::Relaxed),
+            meta_cache_misses: self.counters.meta_cache_misses.load(Ordering::Relaxed),
             read_latency: self.counters.hist_read.snapshot(),
             write_latency: self.counters.hist_write.snapshot(),
             other_latency: self.counters.hist_other.snapshot(),
@@ -332,6 +341,20 @@ impl Transport {
     /// Count one degraded (zero-filled) per-server read completion.
     pub fn note_degraded(&self) {
         self.counters.degraded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one metadata lookup served from the client-side cache.
+    pub fn note_meta_cache_hit(&self) {
+        self.counters
+            .meta_cache_hits
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one metadata lookup that missed the client-side cache.
+    pub fn note_meta_cache_miss(&self) {
+        self.counters
+            .meta_cache_misses
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     /// The PR 1 ablation gate: hold the returned guard across submit+wait

@@ -52,7 +52,7 @@ fn rig(nservers: usize, tag: &str) -> Rig {
         servers.push(server);
     }
     // remount with the populated resolver
-    let db = fs.catalog().db().clone();
+    let db = fs.catalog().unwrap().db().clone();
     let fs = Dpfs::mount(db, resolver, ClientOptions::default()).unwrap();
     Rig {
         _servers: servers,
@@ -91,7 +91,7 @@ fn io_node_hint_limits_servers() {
     assert_eq!(f.servers().len(), 2);
     assert_eq!(f.brick_map().num_servers(), 2);
     // distribution rows exist only for the two chosen servers
-    let dist = r.fs.catalog().get_distribution("/two").unwrap();
+    let dist = r.fs.catalog().unwrap().get_distribution("/two").unwrap();
     assert_eq!(dist.len(), 2);
 }
 
@@ -106,7 +106,7 @@ fn linear_growth_extends_distribution() {
     assert_eq!(f.brick_map().num_bricks(), 11);
     assert_eq!(f.size(), 1050);
     // catalog reflects the growth
-    let dist = r.fs.catalog().get_distribution("/g").unwrap();
+    let dist = r.fs.catalog().unwrap().get_distribution("/g").unwrap();
     let total: usize = dist.iter().map(|d| d.bricklist.len()).sum();
     assert_eq!(total, 11);
     // reopen sees everything
@@ -140,7 +140,7 @@ fn greedy_growth_keeps_ratio() {
 #[test]
 fn exact_granularity_round_trip() {
     let r = rig(2, "exact");
-    let db = r.fs.catalog().db().clone();
+    let db = r.fs.catalog().unwrap().db().clone();
     let shape = Shape::new(vec![20, 20]).unwrap();
     let mut f =
         r.fs.create(

@@ -91,6 +91,7 @@ fn detects_orphan_distribution() {
     let r = rig("orphandist");
     populate(&r);
     r.fs.catalog()
+        .unwrap()
         .db()
         .execute("INSERT INTO dpfs_file_distribution VALUES ('x', 'node00', '/ghost', [0,1])")
         .unwrap();
@@ -105,7 +106,7 @@ fn detects_orphan_distribution() {
 fn detects_missing_distribution_and_corrupt_bricklists() {
     let r = rig("corrupt");
     populate(&r);
-    let db = r.fs.catalog().db();
+    let db = r.fs.catalog().unwrap().db();
     // nuke /home/a's distribution entirely
     db.execute("DELETE FROM dpfs_file_distribution WHERE filename = '/home/a'")
         .unwrap();
@@ -127,7 +128,7 @@ fn detects_missing_distribution_and_corrupt_bricklists() {
 fn detects_directory_anomalies() {
     let r = rig("dirs");
     populate(&r);
-    let db = r.fs.catalog().db();
+    let db = r.fs.catalog().unwrap().db();
     // dangling file entry in /home
     db.execute(
         "UPDATE dpfs_directory SET files = concat(files, '\n/home/ghost') WHERE main_dir = '/home'",
@@ -158,7 +159,7 @@ fn detects_directory_anomalies() {
 fn detects_unknown_server() {
     let r = rig("unknown");
     populate(&r);
-    r.fs.catalog().remove_server("node02").unwrap();
+    r.fs.catalog().unwrap().remove_server("node02").unwrap();
     // /home/a and /home/b both stripe over node02
     let report = fsck(&r.fs, false).unwrap();
     assert!(report
@@ -205,7 +206,7 @@ fn repair_fixes_safe_issues() {
     use dpfs_core::fsck::fsck_repair;
     let r = rig("repair");
     populate(&r);
-    let db = r.fs.catalog().db();
+    let db = r.fs.catalog().unwrap().db();
     // orphan distribution row
     db.execute("INSERT INTO dpfs_file_distribution VALUES ('x', 'node00', '/ghost', [0])")
         .unwrap();
@@ -245,7 +246,7 @@ fn repair_leaves_data_issues_unfixed() {
     use dpfs_core::fsck::fsck_repair;
     let r = rig("norepair");
     populate(&r);
-    let db = r.fs.catalog().db();
+    let db = r.fs.catalog().unwrap().db();
     db.execute("DELETE FROM dpfs_file_distribution WHERE filename = '/home/a'")
         .unwrap();
     let (after, summary) = fsck_repair(&r.fs).unwrap();

@@ -336,7 +336,7 @@ impl Catalog {
         if self.get_file_attr(filename)?.is_none() {
             return Err(MetaError::NoSuchTable(format!("file {filename}")));
         }
-        let id = format!("{filename}\u{1}{tag}");
+        let id = tag_key(filename, tag);
         let updated = self.db.execute(&format!(
             "UPDATE dpfs_file_tags SET value = '{}' WHERE tag_id = '{}'",
             sql_quote(value),
@@ -542,9 +542,9 @@ impl Catalog {
             if get_attr_txn(txn, &to)?.is_some() {
                 return Err(MetaError::DuplicateKey(format!("file {to} exists")));
             }
-            let attr = get_attr_txn(txn, &from)?
-                .ok_or_else(|| MetaError::NoSuchTable(format!("file {from}")))?;
-            let _ = attr;
+            if get_attr_txn(txn, &from)?.is_none() {
+                return Err(MetaError::NoSuchTable(format!("file {from}")));
+            }
             txn.execute(&format!(
                 "UPDATE dpfs_file_attr SET filename = '{}' WHERE filename = '{}'",
                 sql_quote(&to),
@@ -579,7 +579,7 @@ impl Catalog {
                 let value = row[1].as_text()?;
                 txn.execute(&format!(
                     "INSERT INTO dpfs_file_tags VALUES ('{}', '{}', '{}', '{}')",
-                    sql_quote(&format!("{to}\u{1}{tag}")),
+                    sql_quote(&tag_key(&to, tag)),
                     sql_quote(&to),
                     sql_quote(tag),
                     sql_quote(value)
@@ -657,8 +657,32 @@ pub fn base_name(p: &str) -> &str {
     p.rsplit('/').next().unwrap_or(p)
 }
 
+/// Build a collision-free composite key from parts. Parts are joined with
+/// `\u{1}`; any `\u{1}` or `\u{2}` *inside* a part is escaped with `\u{2}`
+/// first, so `("a\u{1}", "b")` and `("a", "\u{1}b")` produce distinct keys
+/// even though a naive `format!("{a}\u{1}{b}")` would collide.
+pub(crate) fn composite_key(parts: &[&str]) -> String {
+    let mut out = String::new();
+    for (i, part) in parts.iter().enumerate() {
+        if i > 0 {
+            out.push('\u{1}');
+        }
+        for ch in part.chars() {
+            if ch == '\u{1}' || ch == '\u{2}' {
+                out.push('\u{2}');
+            }
+            out.push(ch);
+        }
+    }
+    out
+}
+
 fn dist_key(server: &str, filename: &str) -> String {
-    format!("{server}\u{1}{filename}")
+    composite_key(&[server, filename])
+}
+
+fn tag_key(filename: &str, tag: &str) -> String {
+    composite_key(&[filename, tag])
 }
 
 fn int_list_literal(xs: &[i64]) -> String {
@@ -943,6 +967,73 @@ mod tests {
         assert!(c.get_distribution("/a/f").unwrap().is_empty());
         assert!(c.get_dir("/a").unwrap().unwrap().files.is_empty());
         assert_eq!(c.get_dir("/b").unwrap().unwrap().files, vec!["/b/g"]);
+    }
+
+    #[test]
+    fn rename_within_same_directory_keeps_one_entry() {
+        // Regression: the directory-link rewrite reads the parent twice
+        // (once as from-parent, once as to-parent). When both are the same
+        // directory, the second read must observe the first write — the
+        // entry must be neither dropped nor duplicated.
+        let c = catalog();
+        c.mkdir("/a").unwrap();
+        c.create_file(&sample_attr("/a/old"), &[]).unwrap();
+        c.create_file(&sample_attr("/a/other"), &[]).unwrap();
+        c.rename_file("/a/old", "/a/new").unwrap();
+        let dir = c.get_dir("/a").unwrap().unwrap();
+        let mut files = dir.files.clone();
+        files.sort();
+        assert_eq!(files, vec!["/a/new", "/a/other"]);
+        assert!(c.get_file_attr("/a/old").unwrap().is_none());
+        assert!(c.get_file_attr("/a/new").unwrap().is_some());
+    }
+
+    #[test]
+    fn composite_keys_do_not_collide_on_separator_bytes() {
+        // ("a\u{1}", "b") vs ("a", "\u{1}b") collide under naive joining.
+        assert_ne!(
+            composite_key(&["a\u{1}", "b"]),
+            composite_key(&["a", "\u{1}b"])
+        );
+        // escape char itself must also be escaped
+        assert_ne!(
+            composite_key(&["a\u{2}", "\u{1}b"]),
+            composite_key(&["a", "b"])
+        );
+        assert_ne!(composite_key(&["a\u{2}\u{1}b"]), composite_key(&["a", "b"]));
+        assert_eq!(composite_key(&["a", "b"]), "a\u{1}b");
+    }
+
+    #[test]
+    fn distributions_with_separator_bytes_in_names_stay_distinct() {
+        // Under the old naive key `format!("{server}\u{1}{filename}")`,
+        // ("s", "/x\u{1}/y") and ("s\u{1}/x", "/y") both produced
+        // "s\u{1}/x\u{1}/y" — the second insert died on DuplicateKey.
+        // Escaped composite keys keep the rows distinct.
+        let c = catalog();
+        c.mkdir("/x\u{1}").unwrap();
+        c.create_file(
+            &sample_attr("/x\u{1}/y"),
+            &[Distribution {
+                server: "s".into(),
+                filename: "/x\u{1}/y".into(),
+                bricklist: vec![0],
+            }],
+        )
+        .unwrap();
+        c.create_file(
+            &sample_attr("/y"),
+            &[Distribution {
+                server: "s\u{1}/x".into(),
+                filename: "/y".into(),
+                bricklist: vec![1],
+            }],
+        )
+        .unwrap();
+        assert_eq!(c.get_distribution("/x\u{1}/y").unwrap().len(), 1);
+        let d = c.get_distribution("/y").unwrap();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].bricklist, vec![1]);
     }
 
     #[test]

@@ -114,6 +114,14 @@ pub(crate) struct Inner {
 /// The embedded metadata database.
 pub struct Database {
     inner: Mutex<Inner>,
+    /// Serializes whole transactions (and autocommit statements) across
+    /// threads. The `inner` lock alone is not enough: [`Database::transaction`]
+    /// releases it between statements, so without this gate a concurrent
+    /// autocommit statement would observe the open transaction and silently
+    /// join its undo scope — a rollback would then discard the other
+    /// thread's acknowledged write. Concurrent writers (metad's
+    /// per-connection workers, racing embedded clients) block here instead.
+    txn_gate: Mutex<()>,
 }
 
 impl Database {
@@ -129,6 +137,7 @@ impl Database {
                 txn: None,
                 sync_on_commit: false,
             }),
+            txn_gate: Mutex::new(()),
         }
     }
 
@@ -176,6 +185,7 @@ impl Database {
         }
         Ok(Database {
             inner: Mutex::new(inner),
+            txn_gate: Mutex::new(()),
         })
     }
 
@@ -199,6 +209,11 @@ impl Database {
 
     /// Execute a pre-parsed statement.
     pub fn execute_stmt(&self, stmt: Statement) -> Result<ResultSet> {
+        // Wait out any in-flight `transaction()` so this statement cannot
+        // land inside another thread's atomic section. An *explicit*
+        // SQL-level BEGIN left open by this same session is unaffected: the
+        // gate is released again after each statement.
+        let _gate = self.txn_gate.lock().unwrap();
         let mut inner = self.inner.lock().unwrap();
         match stmt {
             Statement::Begin => {
@@ -233,7 +248,15 @@ impl Database {
     /// Run `f` inside a transaction: committed if it returns `Ok`, rolled
     /// back (all statements undone) if it returns `Err`. The closure issues
     /// SQL through the [`Txn`] handle.
+    ///
+    /// Transactions from different threads serialize on a database-wide
+    /// gate (two-phase locking degenerated to one big lock — the paper
+    /// delegates this to POSTGRES; our embedded stand-in is coarser).
+    /// The closure must issue statements through `txn` only: calling
+    /// [`Database::execute`] on the same database from inside the closure
+    /// deadlocks by design rather than corrupting the transaction.
     pub fn transaction<T>(&self, f: impl FnOnce(&Txn<'_>) -> Result<T>) -> Result<T> {
+        let _gate = self.txn_gate.lock().unwrap();
         let mut inner = self.inner.lock().unwrap();
         inner.begin()?;
         drop(inner);

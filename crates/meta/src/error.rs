@@ -27,6 +27,50 @@ pub enum MetaError {
     Io(std::io::Error),
     /// Transaction misuse (commit without begin, nested begin, ...).
     Txn(String),
+    /// A remote metadata server failed to answer (transport-level failure
+    /// surfaced through a networked `MetaStore` backend).
+    Remote(String),
+}
+
+impl MetaError {
+    /// Stable wire code for this error's variant, used by the metadata RPC
+    /// layer to carry errors across the network and reconstruct the same
+    /// variant on the client (`from_wire`).
+    pub fn wire_code(&self) -> u8 {
+        match self {
+            MetaError::Lex(_) => 1,
+            MetaError::Parse(_) => 2,
+            MetaError::NoSuchTable(_) => 3,
+            MetaError::NoSuchColumn(_) => 4,
+            MetaError::TableExists(_) => 5,
+            MetaError::SchemaViolation(_) => 6,
+            MetaError::DuplicateKey(_) => 7,
+            MetaError::TypeError(_) => 8,
+            MetaError::Storage(_) => 9,
+            MetaError::Io(_) => 10,
+            MetaError::Txn(_) => 11,
+            MetaError::Remote(_) => 12,
+        }
+    }
+
+    /// Rebuild an error from its wire code + message. Unknown codes land in
+    /// [`MetaError::Remote`] so future variants degrade gracefully.
+    pub fn from_wire(code: u8, message: String) -> MetaError {
+        match code {
+            1 => MetaError::Lex(message),
+            2 => MetaError::Parse(message),
+            3 => MetaError::NoSuchTable(message),
+            4 => MetaError::NoSuchColumn(message),
+            5 => MetaError::TableExists(message),
+            6 => MetaError::SchemaViolation(message),
+            7 => MetaError::DuplicateKey(message),
+            8 => MetaError::TypeError(message),
+            9 => MetaError::Storage(message),
+            10 => MetaError::Io(std::io::Error::other(message)),
+            11 => MetaError::Txn(message),
+            _ => MetaError::Remote(message),
+        }
+    }
 }
 
 impl fmt::Display for MetaError {
@@ -43,6 +87,7 @@ impl fmt::Display for MetaError {
             MetaError::Storage(m) => write!(f, "storage error: {m}"),
             MetaError::Io(e) => write!(f, "io error: {e}"),
             MetaError::Txn(m) => write!(f, "transaction error: {m}"),
+            MetaError::Remote(m) => write!(f, "remote metadata error: {m}"),
         }
     }
 }

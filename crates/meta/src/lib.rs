@@ -38,6 +38,7 @@ pub mod db;
 pub mod error;
 pub mod schema;
 pub mod sql;
+pub mod store;
 pub mod table;
 pub mod value;
 pub mod wal;
@@ -45,4 +46,5 @@ pub mod wal;
 pub use catalog::{Catalog, DirEntry, Distribution, FileAttrRow, ServerInfo};
 pub use db::{Database, ResultSet};
 pub use error::{MetaError, Result};
+pub use store::{EmbeddedMetaStore, MetaStore};
 pub use value::{DataType, Value};

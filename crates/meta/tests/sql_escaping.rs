@@ -1,0 +1,109 @@
+//! SQL-escaping property tests: every catalog string travels through
+//! hand-built SQL literals, so names containing quotes, separator control
+//! bytes (`\u{1}`, `\u{2}` — the composite-key machinery's own escape
+//! alphabet), and other hostile characters must round-trip through the full
+//! file lifecycle without corrupting the `dist_key`/`tag_key` composite
+//! keys or leaking into neighboring rows.
+
+use proptest::prelude::*;
+
+use dpfs_meta::{Catalog, Database, Distribution, FileAttrRow, ServerInfo};
+
+/// Path segments, server names, tags, and values drawn from an alphabet of
+/// troublemakers: single quotes (SQL literal escape), the composite-key
+/// separator and escape bytes, a bell, SQL LIKE wildcards, backslash, and
+/// spaces — plus plain letters so the strings stay distinguishable.
+const NASTY: &str = "[ab'\u{1}\u{2}\u{7}%_\\ ]{1,8}";
+
+fn attr(name: &str, owner: &str) -> FileAttrRow {
+    FileAttrRow {
+        filename: name.to_string(),
+        owner: owner.to_string(),
+        permission: 0o644,
+        size: 192,
+        filelevel: "linear".into(),
+        dims: 0,
+        dimsize: vec![],
+        stripe_dims: vec![],
+        stripe_size: 64,
+        pattern: String::new(),
+        placement: "round_robin".into(),
+    }
+}
+
+proptest! {
+    #[test]
+    fn hostile_names_survive_the_file_lifecycle(
+        seg1 in NASTY,
+        seg2 in NASTY,
+        srv in NASTY,
+        tag in NASTY,
+        value in NASTY,
+    ) {
+        // Prefixes keep the two filenames (and the two tags below) distinct
+        // even when the generated segments collide.
+        let file1 = format!("/f1{seg1}");
+        let file2 = format!("/f2{seg2}");
+        let server = format!("srv{srv}");
+        let tag2 = format!("t2{tag}");
+
+        let catalog = Catalog::new(std::sync::Arc::new(Database::in_memory())).unwrap();
+        catalog
+            .register_server(&ServerInfo {
+                name: server.clone(),
+                capacity: i64::MAX,
+                performance: 1,
+            })
+            .unwrap();
+        prop_assert_eq!(
+            catalog.get_server(&server).unwrap().map(|s| s.name),
+            Some(server.clone())
+        );
+
+        // create → tag → rename → distribution, all under hostile names.
+        let dist = vec![Distribution {
+            server: server.clone(),
+            filename: file1.clone(),
+            bricklist: vec![0, 1, 2],
+        }];
+        catalog.create_file(&attr(&file1, &value), &dist).unwrap();
+        let got = catalog.get_file_attr(&file1).unwrap().unwrap();
+        prop_assert_eq!(&got.owner, &value);
+
+        catalog.set_tag(&file1, &tag, &value).unwrap();
+        catalog.set_tag(&file1, &tag2, "other").unwrap();
+        prop_assert_eq!(catalog.get_tag(&file1, &tag).unwrap(), Some(value.clone()));
+
+        catalog.rename_file(&file1, &file2).unwrap();
+
+        // The old name is fully vacated...
+        prop_assert!(catalog.get_file_attr(&file1).unwrap().is_none());
+        prop_assert!(catalog.get_distribution(&file1).unwrap().is_empty());
+        prop_assert_eq!(catalog.get_tag(&file1, &tag).unwrap(), None);
+
+        // ...and the new name carries everything, bricklists intact.
+        let moved = catalog.get_distribution(&file2).unwrap();
+        prop_assert_eq!(moved.len(), 1);
+        prop_assert_eq!(&moved[0].server, &server);
+        prop_assert_eq!(&moved[0].bricklist, &vec![0, 1, 2]);
+        prop_assert_eq!(catalog.get_tag(&file2, &tag).unwrap(), Some(value.clone()));
+        prop_assert_eq!(
+            catalog.get_tag(&file2, &tag2).unwrap(),
+            Some("other".to_string())
+        );
+
+        // Tag keys stayed composite: exactly two tags, no cross-talk rows.
+        let mut tags = catalog.list_tags(&file2).unwrap();
+        tags.sort();
+        prop_assert_eq!(tags.len(), 2);
+
+        // Brick accounting via the dist_key'd rows still adds up.
+        let counts = catalog.server_brick_counts().unwrap();
+        prop_assert_eq!(counts, vec![(server.clone(), 3)]);
+
+        // And the file deletes cleanly by its hostile name.
+        catalog.delete_file(&file2).unwrap();
+        prop_assert!(catalog.get_distribution(&file2).unwrap().is_empty());
+        prop_assert!(catalog.list_tags(&file2).unwrap().is_empty());
+    }
+}

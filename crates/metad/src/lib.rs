@@ -1,0 +1,723 @@
+//! `dpfs-metad` — the DPFS metadata daemon.
+//!
+//! The paper's clients reach the four metadata tables through a *database
+//! server* over the network (§5). This crate is that server: it owns the
+//! embedded [`Database`] (no client ever touches the database directly),
+//! serves the [`MetaOp`] RPCs through the same accept-loop/worker-pool
+//! core as the I/O servers ([`dpfs_server::ServeCore`]), and answers every
+//! metadata reply with the current *metadata generation* so clients can
+//! keep attr/layout caches coherent without a dedicated invalidation
+//! channel.
+//!
+//! Observability mirrors the I/O servers: traced requests record
+//! `decode`/`queue`/`handle`/`respond` spans into the global ring, and
+//! every op lands in a per-op service-time histogram exported through the
+//! `Stats` RPC as a [`MetadStatsSnapshot`].
+
+use std::collections::BTreeMap;
+use std::io;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dpfs_meta::{Database, EmbeddedMetaStore, MetaStore};
+use dpfs_obs::{now_ns, ring, HistSnapshot, Histogram, Side, TraceEvent};
+use dpfs_proto::{ErrorCode, MetaOp, MetaResult, Request, Response};
+use dpfs_server::{ServeCore, Service};
+use parking_lot::Mutex;
+
+/// Record one metad-side span into the global trace ring. No-op when
+/// `trace_id` is 0 (untraced request).
+fn metad_event(
+    trace_id: u64,
+    phase: &'static str,
+    kind: &'static str,
+    server: &str,
+    start_ns: u64,
+    dur_ns: u64,
+) {
+    if trace_id == 0 {
+        return;
+    }
+    ring().record(TraceEvent {
+        seq: 0,
+        trace_id,
+        side: Side::Server,
+        phase,
+        kind,
+        server: server.to_string(),
+        start_ns,
+        dur_ns,
+        bytes: 0,
+    });
+}
+
+/// Request-path counters plus per-op service-time histograms. Shared by
+/// connection threads and per-connection workers; everything is atomic or
+/// behind a short registry lock (the histograms themselves record
+/// lock-free).
+#[derive(Default)]
+pub struct MetadStats {
+    /// Total requests handled (all kinds, including Ping/Stats).
+    pub requests: AtomicU64,
+    /// Metadata operations handled (`Request::Meta` only).
+    pub meta_ops: AtomicU64,
+    /// Metadata operations that returned an error result.
+    pub errors: AtomicU64,
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Requests currently being handled.
+    pub in_flight: AtomicU64,
+    /// Per-op service-time histograms, keyed by [`MetaOp::op_str`] label.
+    /// Lazily populated; the lock only guards the registry, not recording.
+    hists: Mutex<BTreeMap<&'static str, Arc<Histogram>>>,
+}
+
+impl MetadStats {
+    /// The histogram for one op label, creating it on first use.
+    fn hist_for(&self, op: &'static str) -> Arc<Histogram> {
+        self.hists.lock().entry(op).or_default().clone()
+    }
+
+    /// Snapshot every counter and histogram.
+    pub fn snapshot(&self, generation: u64) -> MetadStatsSnapshot {
+        let op_latency = self
+            .hists
+            .lock()
+            .iter()
+            .map(|(op, h)| (op.to_string(), h.snapshot()))
+            .collect();
+        MetadStatsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            meta_ops: self.meta_ops.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            connections: self.connections.load(Ordering::Relaxed),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            generation,
+            op_latency,
+        }
+    }
+}
+
+/// Point-in-time copy of [`MetadStats`], carried as the metadata daemon's
+/// `Stats` RPC payload. Its wire format is distinct from the I/O server's
+/// `StatsSnapshot` (different leading version byte), so a stats client can
+/// tell which kind of server it asked.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetadStatsSnapshot {
+    pub requests: u64,
+    pub meta_ops: u64,
+    pub errors: u64,
+    pub connections: u64,
+    pub in_flight: u64,
+    /// Metadata generation at snapshot time.
+    pub generation: u64,
+    /// Per-op service-time histograms, sorted by op label.
+    pub op_latency: Vec<(String, HistSnapshot)>,
+}
+
+/// Version byte leading a metad stats blob. The I/O server's snapshots
+/// start at 1 and count up slowly; metad claims a disjoint range so the
+/// two payloads can never be confused.
+const METAD_SNAPSHOT_VERSION: u8 = 0x4d; // 'M'
+
+impl MetadStatsSnapshot {
+    /// Serialize to the versioned `Stats` payload blob.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(
+            1 + 6 * 8
+                + 4
+                + self
+                    .op_latency
+                    .iter()
+                    .map(|(op, _)| 4 + op.len() + HistSnapshot::ENCODED_LEN)
+                    .sum::<usize>(),
+        );
+        out.push(METAD_SNAPSHOT_VERSION);
+        for v in [
+            self.requests,
+            self.meta_ops,
+            self.errors,
+            self.connections,
+            self.in_flight,
+            self.generation,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.op_latency.len() as u32).to_le_bytes());
+        for (op, hist) in &self.op_latency {
+            out.extend_from_slice(&(op.len() as u32).to_le_bytes());
+            out.extend_from_slice(op.as_bytes());
+            hist.encode_into(&mut out);
+        }
+        out
+    }
+
+    /// Decode a blob produced by [`MetadStatsSnapshot::encode`]. Returns
+    /// `None` on truncation or a foreign version byte (e.g. an I/O
+    /// server's snapshot).
+    pub fn decode(buf: &[u8]) -> Option<MetadStatsSnapshot> {
+        let (&version, mut rest) = buf.split_first()?;
+        if version != METAD_SNAPSHOT_VERSION {
+            return None;
+        }
+        let read_u64 = |rest: &mut &[u8]| -> Option<u64> {
+            let (head, tail) = rest.split_at_checked(8)?;
+            *rest = tail;
+            Some(u64::from_le_bytes(head.try_into().ok()?))
+        };
+        let requests = read_u64(&mut rest)?;
+        let meta_ops = read_u64(&mut rest)?;
+        let errors = read_u64(&mut rest)?;
+        let connections = read_u64(&mut rest)?;
+        let in_flight = read_u64(&mut rest)?;
+        let generation = read_u64(&mut rest)?;
+        let (head, mut tail) = rest.split_at_checked(4)?;
+        let n = u32::from_le_bytes(head.try_into().ok()?) as usize;
+        let mut op_latency = Vec::with_capacity(n.min(1 << 10));
+        for _ in 0..n {
+            let (head, rest2) = tail.split_at_checked(4)?;
+            let len = u32::from_le_bytes(head.try_into().ok()?) as usize;
+            let (name, rest3) = rest2.split_at_checked(len)?;
+            let op = String::from_utf8(name.to_vec()).ok()?;
+            let (hist, used) = HistSnapshot::decode_from(rest3)?;
+            tail = &rest3[used..];
+            op_latency.push((op, hist));
+        }
+        Some(MetadStatsSnapshot {
+            requests,
+            meta_ops,
+            errors,
+            connections,
+            in_flight,
+            generation,
+            op_latency,
+        })
+    }
+}
+
+/// The metadata request handler: [`MetaOp`] in, [`MetaResult`] +
+/// generation out. Owns the [`EmbeddedMetaStore`] (and through it the
+/// database); every connection worker dispatches through one shared
+/// `MetaHandler`.
+pub struct MetaHandler {
+    name: String,
+    store: EmbeddedMetaStore,
+    stats: MetadStats,
+}
+
+impl MetaHandler {
+    /// Build a handler over a database, creating the DPFS tables and the
+    /// generation table if missing. `name` labels trace events.
+    pub fn new(name: impl Into<String>, db: Arc<Database>) -> dpfs_meta::Result<MetaHandler> {
+        Ok(MetaHandler {
+            name: name.into(),
+            store: EmbeddedMetaStore::new(db)?,
+            stats: MetadStats::default(),
+        })
+    }
+
+    /// The daemon name trace events are stamped with.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The backing store (in-process tests and the testbed reach through
+    /// to seed the catalog).
+    pub fn store(&self) -> &EmbeddedMetaStore {
+        &self.store
+    }
+
+    /// The request-path counters and histograms.
+    pub fn stats(&self) -> &MetadStats {
+        &self.stats
+    }
+
+    /// A stats snapshot stamped with the current generation.
+    pub fn stats_snapshot(&self) -> MetadStatsSnapshot {
+        let generation = self.store.generation().unwrap_or(0);
+        self.stats.snapshot(generation)
+    }
+
+    /// Apply one metadata op against the store. Pure dispatch: every
+    /// `MetaStore` method maps to exactly one `MetaOp` variant.
+    fn apply(&self, op: MetaOp) -> MetaResult {
+        use MetaOp as Op;
+        use MetaResult as R;
+        let s = &self.store;
+        let result = match op {
+            Op::RegisterServer { info } => s.register_server(&info).map(|()| R::Unit),
+            Op::ListServers => s.list_servers().map(R::Servers),
+            Op::GetServer { name } => s.get_server(&name).map(R::MaybeServer),
+            Op::RemoveServer { name } => s.remove_server(&name).map(R::Bool),
+            Op::CreateFile { attr, dist } => s.create_file(&attr, &dist).map(|()| R::Unit),
+            Op::DeleteFile { filename } => s.delete_file(&filename).map(R::Distributions),
+            Op::RenameFile { from, to } => s.rename_file(&from, &to).map(|()| R::Unit),
+            Op::GetFileAttr { filename } => s.get_file_attr(&filename).map(R::MaybeAttr),
+            Op::SetFileSize { filename, size } => {
+                s.set_file_size(&filename, size).map(|()| R::Unit)
+            }
+            Op::SetFilePermission {
+                filename,
+                permission,
+            } => s
+                .set_file_permission(&filename, permission)
+                .map(|()| R::Unit),
+            Op::SetFileOwner { filename, owner } => {
+                s.set_file_owner(&filename, &owner).map(|()| R::Unit)
+            }
+            Op::GetDistribution { filename } => s.get_distribution(&filename).map(R::Distributions),
+            Op::UpdateDistribution { filename, dist } => {
+                s.update_distribution(&filename, &dist).map(|()| R::Unit)
+            }
+            Op::Mkdir { path } => s.mkdir(&path).map(|()| R::Unit),
+            Op::Rmdir { path } => s.rmdir(&path).map(|()| R::Unit),
+            Op::GetDir { path } => s.get_dir(&path).map(R::MaybeDir),
+            Op::SetTag {
+                filename,
+                tag,
+                value,
+            } => s.set_tag(&filename, &tag, &value).map(|()| R::Unit),
+            Op::GetTag { filename, tag } => s.get_tag(&filename, &tag).map(R::MaybeString),
+            Op::ListTags { filename } => s.list_tags(&filename).map(R::Tags),
+            Op::RemoveTag { filename, tag } => s.remove_tag(&filename, &tag).map(R::Bool),
+            Op::FindByTag { tag, pattern } => s.find_by_tag(&tag, &pattern).map(R::TagHits),
+            Op::ServerBrickCounts => s.server_brick_counts().map(R::BrickCounts),
+            Op::Generation => Ok(R::Unit), // gen rides in the envelope
+        };
+        result.unwrap_or_else(|e| MetaResult::from_err(&e))
+    }
+
+    /// Handle one request (untraced); see [`MetaHandler::handle_traced`].
+    pub fn handle(&self, req: Request) -> Response {
+        self.handle_traced(req, 0)
+    }
+
+    /// Handle one request stamped with `trace_id` (0 = untraced): records
+    /// a `handle` span and the per-op service-time histogram sample, and
+    /// answers every metadata op with the post-op generation — for a
+    /// mutation the bump has already committed by the time the store call
+    /// returns, so an acknowledged mutation is always reflected in the
+    /// generation its own reply carries.
+    pub fn handle_traced(&self, req: Request, trace_id: u64) -> Response {
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        self.stats.in_flight.fetch_add(1, Ordering::Relaxed);
+        let resp = match req {
+            Request::Ping | Request::Shutdown => Response::Pong,
+            Request::Stats => Response::Stats {
+                payload: bytes::Bytes::from(self.stats_snapshot().encode()),
+            },
+            Request::Meta { op } => {
+                self.stats.meta_ops.fetch_add(1, Ordering::Relaxed);
+                let kind = op.op_str();
+                let t0 = now_ns();
+                let result = self.apply(op);
+                let gen = self.store.generation().unwrap_or(0);
+                let dur = now_ns().saturating_sub(t0);
+                self.stats.hist_for(kind).record(dur);
+                metad_event(trace_id, "handle", kind, &self.name, t0, dur);
+                if matches!(result, MetaResult::Err { .. }) {
+                    self.stats.errors.fetch_add(1, Ordering::Relaxed);
+                }
+                Response::Meta { gen, result }
+            }
+            // I/O requests belong to the I/O servers; a client that dials
+            // the metadata port gets a clean protocol error.
+            other => {
+                self.stats.errors.fetch_add(1, Ordering::Relaxed);
+                Response::Error {
+                    code: ErrorCode::BadRequest,
+                    message: format!("{} sent to the metadata server", other.kind_str()),
+                }
+            }
+        };
+        self.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
+        resp
+    }
+}
+
+impl Service for MetaHandler {
+    fn name(&self) -> &str {
+        MetaHandler::name(self)
+    }
+
+    fn handle_traced(&self, req: Request, trace_id: u64) -> Response {
+        MetaHandler::handle_traced(self, req, trace_id)
+    }
+
+    fn note_connection(&self) {
+        self.stats.connections.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Configuration for one metadata daemon.
+#[derive(Debug, Clone)]
+pub struct MetadConfig {
+    /// Daemon name stamped on trace events (`metad` by default).
+    pub name: String,
+    /// Database directory; `None` runs fully in memory (tests).
+    pub dir: Option<PathBuf>,
+    /// Whether on-disk databases fsync on commit.
+    pub sync_on_commit: bool,
+    /// Listen address; `127.0.0.1:0` (ephemeral localhost port) by default.
+    pub bind: String,
+}
+
+impl Default for MetadConfig {
+    fn default() -> Self {
+        MetadConfig {
+            name: "metad".to_string(),
+            dir: None,
+            sync_on_commit: false,
+            bind: "127.0.0.1:0".to_string(),
+        }
+    }
+}
+
+impl MetadConfig {
+    /// In-memory daemon on an ephemeral port (tests, testbeds).
+    pub fn in_memory() -> Self {
+        Self::default()
+    }
+
+    /// Persist the catalog under `dir`.
+    pub fn dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.dir = Some(dir.into());
+        self
+    }
+
+    /// Set an explicit listen address.
+    pub fn bind(mut self, addr: &str) -> Self {
+        self.bind = addr.to_string();
+        self
+    }
+
+    /// Set the trace-event name.
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+}
+
+/// A running metadata daemon. Dropping the handle shuts it down.
+pub struct MetaServer {
+    handler: Arc<MetaHandler>,
+    core: ServeCore,
+}
+
+impl MetaServer {
+    /// Open (or create) the database and start serving.
+    pub fn start(config: MetadConfig) -> io::Result<MetaServer> {
+        let db = match &config.dir {
+            Some(dir) => Database::open_with_sync(dir, config.sync_on_commit)
+                .map_err(|e| io::Error::other(e.to_string()))?,
+            None => Database::in_memory(),
+        };
+        Self::start_with_db(config, Arc::new(db))
+    }
+
+    /// Start serving over an already-open database (the daemon still owns
+    /// it: nothing else should touch `db` once serving starts).
+    pub fn start_with_db(config: MetadConfig, db: Arc<Database>) -> io::Result<MetaServer> {
+        let handler = Arc::new(
+            MetaHandler::new(&config.name, db).map_err(|e| io::Error::other(e.to_string()))?,
+        );
+        let core = ServeCore::start(&config.bind, handler.clone())?;
+        Ok(MetaServer { handler, core })
+    }
+
+    /// The daemon's listen address.
+    pub fn addr(&self) -> SocketAddr {
+        self.core.addr()
+    }
+
+    /// Direct access to the handler (in-process tests & testbed seeding).
+    pub fn handler(&self) -> &Arc<MetaHandler> {
+        &self.handler
+    }
+
+    /// Statistics snapshot stamped with the current generation.
+    pub fn stats(&self) -> MetadStatsSnapshot {
+        self.handler.stats_snapshot()
+    }
+
+    /// Number of currently open client connections.
+    pub fn open_connections(&self) -> usize {
+        self.core.open_connections()
+    }
+
+    /// Stop accepting, sever live connections, and join every server
+    /// thread; the port is immediately rebindable afterwards.
+    pub fn stop(&mut self) {
+        self.core.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpfs_meta::{Distribution, FileAttrRow, MetaError, ServerInfo};
+    use dpfs_proto::frame;
+    use std::net::TcpStream;
+
+    fn handler() -> MetaHandler {
+        MetaHandler::new("metad-test", Arc::new(Database::in_memory())).unwrap()
+    }
+
+    fn attr(name: &str) -> FileAttrRow {
+        FileAttrRow {
+            filename: name.to_string(),
+            owner: "t".into(),
+            permission: 0o644,
+            size: 0,
+            filelevel: "linear".into(),
+            dims: 0,
+            dimsize: vec![],
+            stripe_dims: vec![],
+            stripe_size: 65536,
+            pattern: String::new(),
+            placement: "round_robin".into(),
+        }
+    }
+
+    fn meta(h: &MetaHandler, op: MetaOp) -> (u64, MetaResult) {
+        match h.handle(Request::Meta { op }) {
+            Response::Meta { gen, result } => (gen, result),
+            other => panic!("expected Meta response, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn full_surface_dispatches() {
+        let h = handler();
+        let (_, r) = meta(
+            &h,
+            MetaOp::RegisterServer {
+                info: ServerInfo {
+                    name: "s0".into(),
+                    capacity: 1 << 30,
+                    performance: 1,
+                },
+            },
+        );
+        assert_eq!(r, MetaResult::Unit);
+        let (_, r) = meta(&h, MetaOp::ListServers);
+        assert!(matches!(r, MetaResult::Servers(ref xs) if xs.len() == 1));
+        let (_, r) = meta(&h, MetaOp::Mkdir { path: "/d".into() });
+        assert_eq!(r, MetaResult::Unit);
+        let (_, r) = meta(
+            &h,
+            MetaOp::CreateFile {
+                attr: attr("/d/f"),
+                dist: vec![Distribution {
+                    server: "s0".into(),
+                    filename: "/d/f".into(),
+                    bricklist: vec![0, 1, 2],
+                }],
+            },
+        );
+        assert_eq!(r, MetaResult::Unit);
+        let (_, r) = meta(
+            &h,
+            MetaOp::GetFileAttr {
+                filename: "/d/f".into(),
+            },
+        );
+        assert!(matches!(r, MetaResult::MaybeAttr(Some(_))));
+        let (_, r) = meta(
+            &h,
+            MetaOp::SetTag {
+                filename: "/d/f".into(),
+                tag: "k".into(),
+                value: "v".into(),
+            },
+        );
+        assert_eq!(r, MetaResult::Unit);
+        let (_, r) = meta(
+            &h,
+            MetaOp::FindByTag {
+                tag: "k".into(),
+                pattern: "v".into(),
+            },
+        );
+        assert!(matches!(r, MetaResult::TagHits(ref xs) if xs.len() == 1));
+        let (_, r) = meta(&h, MetaOp::ServerBrickCounts);
+        assert_eq!(r, MetaResult::BrickCounts(vec![("s0".into(), 3)]));
+        let (_, r) = meta(
+            &h,
+            MetaOp::RenameFile {
+                from: "/d/f".into(),
+                to: "/d/g".into(),
+            },
+        );
+        assert_eq!(r, MetaResult::Unit);
+        let (_, r) = meta(
+            &h,
+            MetaOp::DeleteFile {
+                filename: "/d/g".into(),
+            },
+        );
+        assert!(matches!(r, MetaResult::Distributions(ref ds) if ds.len() == 1));
+    }
+
+    #[test]
+    fn replies_carry_a_moving_generation() {
+        let h = handler();
+        let (g0, _) = meta(&h, MetaOp::Generation);
+        let (g1, r) = meta(&h, MetaOp::Mkdir { path: "/d".into() });
+        assert_eq!(r, MetaResult::Unit);
+        assert!(g1 > g0, "mutation reply must carry the bumped generation");
+        let (g2, _) = meta(&h, MetaOp::GetDir { path: "/d".into() });
+        assert_eq!(g2, g1, "reads leave the generation alone");
+    }
+
+    #[test]
+    fn errors_travel_as_results_not_protocol_errors() {
+        let h = handler();
+        let (_, r) = meta(&h, MetaOp::Mkdir { path: "/d".into() });
+        assert_eq!(r, MetaResult::Unit);
+        let (_, r) = meta(&h, MetaOp::Mkdir { path: "/d".into() });
+        let MetaResult::Err { code, message } = r else {
+            panic!("duplicate mkdir must fail, got {r:?}");
+        };
+        assert!(matches!(
+            MetaError::from_wire(code, message),
+            MetaError::DuplicateKey(_)
+        ));
+        assert_eq!(h.stats().errors.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn io_requests_are_rejected() {
+        let h = handler();
+        let resp = h.handle(Request::Read {
+            subfile: "/f".into(),
+            ranges: vec![(0, 8)],
+        });
+        match resp {
+            Response::Error { code, message } => {
+                assert_eq!(code, ErrorCode::BadRequest);
+                assert!(message.contains("metadata server"), "{message}");
+            }
+            other => panic!("expected error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn per_op_histograms_and_snapshot_round_trip() {
+        let h = handler();
+        meta(&h, MetaOp::Mkdir { path: "/d".into() });
+        meta(&h, MetaOp::GetDir { path: "/d".into() });
+        meta(&h, MetaOp::GetDir { path: "/d".into() });
+        let resp = h.handle(Request::Stats);
+        let Response::Stats { payload } = resp else {
+            panic!("expected Stats response, got {resp:?}");
+        };
+        let snap = MetadStatsSnapshot::decode(&payload).unwrap();
+        assert_eq!(snap.meta_ops, 3);
+        assert!(snap.generation >= 2);
+        let get_dir = snap
+            .op_latency
+            .iter()
+            .find(|(op, _)| op == "meta.get_dir")
+            .expect("meta.get_dir histogram");
+        assert_eq!(get_dir.1.count, 2);
+        let mkdir = snap
+            .op_latency
+            .iter()
+            .find(|(op, _)| op == "meta.mkdir")
+            .expect("meta.mkdir histogram");
+        assert_eq!(mkdir.1.count, 1);
+        // A foreign blob (I/O server snapshot starts with a small version
+        // byte) is rejected, not misparsed.
+        assert!(MetadStatsSnapshot::decode(&[1, 0, 0]).is_none());
+        assert!(MetadStatsSnapshot::decode(&[]).is_none());
+    }
+
+    #[test]
+    fn traced_meta_ops_record_handle_events() {
+        let h = handler();
+        let trace_id = dpfs_obs::next_trace_id();
+        let cursor = ring().cursor();
+        h.handle_traced(
+            Request::Meta {
+                op: MetaOp::Mkdir { path: "/t".into() },
+            },
+            trace_id,
+        );
+        let events: Vec<_> = ring()
+            .events_since(cursor)
+            .into_iter()
+            .filter(|e| e.trace_id == trace_id)
+            .collect();
+        assert!(
+            events
+                .iter()
+                .any(|e| e.phase == "handle" && e.kind == "meta.mkdir" && e.server == "metad-test"),
+            "missing metad handle event in {events:?}"
+        );
+    }
+
+    #[test]
+    fn tcp_round_trip_via_serve_core() {
+        let mut server = MetaServer::start(MetadConfig::in_memory()).unwrap();
+        let mut c = TcpStream::connect(server.addr()).unwrap();
+        let rpc = |c: &mut TcpStream, req: Request| -> Response {
+            frame::write_frame(c, &req.encode()).unwrap();
+            Response::decode(frame::read_frame(c).unwrap()).unwrap()
+        };
+        assert_eq!(rpc(&mut c, Request::Ping), Response::Pong);
+        let resp = rpc(
+            &mut c,
+            Request::Meta {
+                op: MetaOp::Mkdir {
+                    path: "/net".into(),
+                },
+            },
+        );
+        let Response::Meta { gen, result } = resp else {
+            panic!("expected Meta response, got {resp:?}");
+        };
+        assert_eq!(result, MetaResult::Unit);
+        assert!(gen >= 2);
+        let resp = rpc(
+            &mut c,
+            Request::Meta {
+                op: MetaOp::GetDir {
+                    path: "/net".into(),
+                },
+            },
+        );
+        match resp {
+            Response::Meta {
+                result: MetaResult::MaybeDir(Some(d)),
+                ..
+            } => assert_eq!(d.main_dir, "/net"),
+            other => panic!("expected dir, got {other:?}"),
+        }
+        drop(c);
+        server.stop();
+    }
+
+    #[test]
+    fn persistent_metad_survives_restart() {
+        let dir = std::env::temp_dir().join(format!(
+            "dpfs-metad-persist-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = MetadConfig::in_memory().dir(&dir);
+        let mut server = MetaServer::start(config.clone()).unwrap();
+        server.handler().store().mkdir("/kept").unwrap();
+        let gen_before = server.handler().store().generation().unwrap();
+        server.stop();
+        drop(server);
+        let server = MetaServer::start(config).unwrap();
+        assert!(server.handler().store().get_dir("/kept").unwrap().is_some());
+        assert!(server.handler().store().generation().unwrap() >= gen_before);
+        drop(server);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

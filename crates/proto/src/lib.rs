@@ -38,9 +38,11 @@
 
 pub mod frame;
 pub mod message;
+pub mod meta;
 
 pub use frame::{
     read_frame, read_frame_any, write_frame, write_frame_v2, write_frame_v3, Frame, FrameError,
     MAX_FRAME_LEN,
 };
 pub use message::{ErrorCode, Request, Response};
+pub use meta::{MetaOp, MetaResult};

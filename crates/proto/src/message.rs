@@ -3,6 +3,7 @@
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::frame::FrameError;
+use crate::meta::{MetaOp, MetaResult};
 
 /// Error codes carried in [`Response::Error`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,6 +81,10 @@ pub enum Request {
     /// Ask the server for a statistics snapshot (counters + latency
     /// histograms). The reply is [`Response::Stats`].
     Stats,
+    /// A metadata operation (served by `dpfs-metad`, not by I/O servers).
+    /// Rides the same framed envelope, so metadata traffic inherits
+    /// correlation IDs, trace IDs, deadlines and retries unchanged.
+    Meta { op: MetaOp },
 }
 
 impl Request {
@@ -95,6 +100,7 @@ impl Request {
             Request::Sync { .. } => "sync",
             Request::Shutdown => "shutdown",
             Request::Stats => "stats",
+            Request::Meta { op } => op.op_str(),
         }
     }
 }
@@ -121,6 +127,10 @@ pub enum Response {
     /// layout); keeping it opaque here lets the snapshot grow fields
     /// without a wire-protocol change.
     Stats { payload: Bytes },
+    /// Reply to [`Request::Meta`]. `gen` is the server's current metadata
+    /// generation — carried on *every* metadata reply so client caches
+    /// revalidate for free (a moved generation invalidates them).
+    Meta { gen: u64, result: MetaResult },
 }
 
 // ---- codec helpers ----
@@ -223,6 +233,10 @@ impl Request {
             }
             Request::Shutdown => buf.put_u8(8),
             Request::Stats => buf.put_u8(9),
+            Request::Meta { op } => {
+                buf.put_u8(10);
+                op.encode_into(&mut buf);
+            }
         }
         buf.freeze()
     }
@@ -267,6 +281,9 @@ impl Request {
             },
             8 => Request::Shutdown,
             9 => Request::Stats,
+            10 => Request::Meta {
+                op: MetaOp::decode_from(&mut buf)?,
+            },
             other => return Err(FrameError::BadMessage(format!("bad request tag {other}"))),
         };
         ensure_done(&buf)?;
@@ -322,6 +339,11 @@ impl Response {
                 buf.put_u64_le(payload.len() as u64);
                 buf.put_slice(payload);
             }
+            Response::Meta { gen, result } => {
+                buf.put_u8(9);
+                buf.put_u64_le(*gen);
+                result.encode_into(&mut buf);
+            }
         }
         buf.freeze()
     }
@@ -356,6 +378,10 @@ impl Response {
             },
             8 => Response::Stats {
                 payload: get_bytes(&mut buf)?,
+            },
+            9 => Response::Meta {
+                gen: get_u64(&mut buf)?,
+                result: MetaResult::decode_from(&mut buf)?,
             },
             other => return Err(FrameError::BadMessage(format!("bad response tag {other}"))),
         };

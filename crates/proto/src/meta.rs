@@ -1,0 +1,902 @@
+//! Metadata RPC payloads: the `MetaStore` surface on the wire.
+//!
+//! The paper's clients talk to a *database server* for every metadata
+//! operation (§5); these messages are that conversation, carried inside the
+//! ordinary framed envelope as [`crate::Request::Meta`] /
+//! [`crate::Response::Meta`] so metadata traffic inherits the transport's
+//! correlation IDs, trace IDs, CRCs, deadlines and retries unchanged.
+//!
+//! Every `Response::Meta` also carries the server's current *metadata
+//! generation*, piggybacking the cache-coherence signal on every reply:
+//! clients stamp cached attrs/layouts with it and a moved generation
+//! invalidates them without a dedicated RPC.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use dpfs_meta::{DirEntry, Distribution, FileAttrRow, MetaError, ServerInfo};
+
+use crate::frame::FrameError;
+
+/// A metadata operation, mirroring the `MetaStore` trait surface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetaOp {
+    RegisterServer {
+        info: ServerInfo,
+    },
+    ListServers,
+    GetServer {
+        name: String,
+    },
+    RemoveServer {
+        name: String,
+    },
+    CreateFile {
+        attr: FileAttrRow,
+        dist: Vec<Distribution>,
+    },
+    DeleteFile {
+        filename: String,
+    },
+    RenameFile {
+        from: String,
+        to: String,
+    },
+    GetFileAttr {
+        filename: String,
+    },
+    SetFileSize {
+        filename: String,
+        size: i64,
+    },
+    SetFilePermission {
+        filename: String,
+        permission: i64,
+    },
+    SetFileOwner {
+        filename: String,
+        owner: String,
+    },
+    GetDistribution {
+        filename: String,
+    },
+    UpdateDistribution {
+        filename: String,
+        dist: Vec<Distribution>,
+    },
+    Mkdir {
+        path: String,
+    },
+    Rmdir {
+        path: String,
+    },
+    GetDir {
+        path: String,
+    },
+    SetTag {
+        filename: String,
+        tag: String,
+        value: String,
+    },
+    GetTag {
+        filename: String,
+        tag: String,
+    },
+    ListTags {
+        filename: String,
+    },
+    RemoveTag {
+        filename: String,
+        tag: String,
+    },
+    FindByTag {
+        tag: String,
+        pattern: String,
+    },
+    ServerBrickCounts,
+    /// Read the current metadata generation (cheap cache revalidation).
+    Generation,
+}
+
+/// Result of a metadata operation. One variant per result shape; `Err`
+/// carries the `MetaError` wire code + message so the client reconstructs
+/// the exact error variant (`MetaError::from_wire`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetaResult {
+    Unit,
+    Bool(bool),
+    Servers(Vec<ServerInfo>),
+    MaybeServer(Option<ServerInfo>),
+    MaybeAttr(Option<FileAttrRow>),
+    MaybeDir(Option<DirEntry>),
+    MaybeString(Option<String>),
+    Distributions(Vec<Distribution>),
+    Tags(Vec<(String, String)>),
+    TagHits(Vec<(String, String, i64)>),
+    BrickCounts(Vec<(String, i64)>),
+    Err { code: u8, message: String },
+}
+
+impl MetaOp {
+    /// Short stable label, used for per-op service-time histograms and
+    /// trace spans ("meta.create_file", ...).
+    pub fn op_str(&self) -> &'static str {
+        match self {
+            MetaOp::RegisterServer { .. } => "meta.register_server",
+            MetaOp::ListServers => "meta.list_servers",
+            MetaOp::GetServer { .. } => "meta.get_server",
+            MetaOp::RemoveServer { .. } => "meta.remove_server",
+            MetaOp::CreateFile { .. } => "meta.create_file",
+            MetaOp::DeleteFile { .. } => "meta.delete_file",
+            MetaOp::RenameFile { .. } => "meta.rename_file",
+            MetaOp::GetFileAttr { .. } => "meta.get_file_attr",
+            MetaOp::SetFileSize { .. } => "meta.set_file_size",
+            MetaOp::SetFilePermission { .. } => "meta.set_file_permission",
+            MetaOp::SetFileOwner { .. } => "meta.set_file_owner",
+            MetaOp::GetDistribution { .. } => "meta.get_distribution",
+            MetaOp::UpdateDistribution { .. } => "meta.update_distribution",
+            MetaOp::Mkdir { .. } => "meta.mkdir",
+            MetaOp::Rmdir { .. } => "meta.rmdir",
+            MetaOp::GetDir { .. } => "meta.get_dir",
+            MetaOp::SetTag { .. } => "meta.set_tag",
+            MetaOp::GetTag { .. } => "meta.get_tag",
+            MetaOp::ListTags { .. } => "meta.list_tags",
+            MetaOp::RemoveTag { .. } => "meta.remove_tag",
+            MetaOp::FindByTag { .. } => "meta.find_by_tag",
+            MetaOp::ServerBrickCounts => "meta.server_brick_counts",
+            MetaOp::Generation => "meta.generation",
+        }
+    }
+
+    /// True for operations that change metadata (the ones that bump the
+    /// generation server-side and must invalidate client caches).
+    pub fn is_mutation(&self) -> bool {
+        matches!(
+            self,
+            MetaOp::RegisterServer { .. }
+                | MetaOp::RemoveServer { .. }
+                | MetaOp::CreateFile { .. }
+                | MetaOp::DeleteFile { .. }
+                | MetaOp::RenameFile { .. }
+                | MetaOp::SetFileSize { .. }
+                | MetaOp::SetFilePermission { .. }
+                | MetaOp::SetFileOwner { .. }
+                | MetaOp::UpdateDistribution { .. }
+                | MetaOp::Mkdir { .. }
+                | MetaOp::Rmdir { .. }
+                | MetaOp::SetTag { .. }
+                | MetaOp::RemoveTag { .. }
+        )
+    }
+}
+
+impl MetaResult {
+    /// Wrap a `MetaError` for the wire.
+    pub fn from_err(e: &MetaError) -> MetaResult {
+        MetaResult::Err {
+            code: e.wire_code(),
+            message: e.to_string(),
+        }
+    }
+}
+
+// ---- codec helpers (shared with message.rs via pub(crate)) ----
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> Result<String, FrameError> {
+    let len = get_u32(buf)? as usize;
+    if buf.remaining() < len {
+        return Err(FrameError::BadMessage("short string".into()));
+    }
+    let b = buf.split_to(len);
+    String::from_utf8(b.to_vec()).map_err(|_| FrameError::BadMessage("invalid utf-8".into()))
+}
+
+fn get_u8(buf: &mut Bytes) -> Result<u8, FrameError> {
+    if buf.remaining() < 1 {
+        return Err(FrameError::BadMessage("short message".into()));
+    }
+    Ok(buf.get_u8())
+}
+
+fn get_u32(buf: &mut Bytes) -> Result<u32, FrameError> {
+    if buf.remaining() < 4 {
+        return Err(FrameError::BadMessage("short message".into()));
+    }
+    Ok(buf.get_u32_le())
+}
+
+fn get_i64(buf: &mut Bytes) -> Result<i64, FrameError> {
+    if buf.remaining() < 8 {
+        return Err(FrameError::BadMessage("short message".into()));
+    }
+    Ok(buf.get_u64_le() as i64)
+}
+
+fn put_i64(buf: &mut BytesMut, v: i64) {
+    buf.put_u64_le(v as u64);
+}
+
+fn put_i64_list(buf: &mut BytesMut, xs: &[i64]) {
+    buf.put_u32_le(xs.len() as u32);
+    for x in xs {
+        put_i64(buf, *x);
+    }
+}
+
+fn get_i64_list(buf: &mut Bytes) -> Result<Vec<i64>, FrameError> {
+    let n = get_u32(buf)? as usize;
+    let mut xs = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        xs.push(get_i64(buf)?);
+    }
+    Ok(xs)
+}
+
+fn put_str_list(buf: &mut BytesMut, xs: &[String]) {
+    buf.put_u32_le(xs.len() as u32);
+    for x in xs {
+        put_str(buf, x);
+    }
+}
+
+fn get_str_list(buf: &mut Bytes) -> Result<Vec<String>, FrameError> {
+    let n = get_u32(buf)? as usize;
+    let mut xs = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        xs.push(get_str(buf)?);
+    }
+    Ok(xs)
+}
+
+fn put_server_info(buf: &mut BytesMut, s: &ServerInfo) {
+    put_str(buf, &s.name);
+    put_i64(buf, s.capacity);
+    put_i64(buf, s.performance);
+}
+
+fn get_server_info(buf: &mut Bytes) -> Result<ServerInfo, FrameError> {
+    Ok(ServerInfo {
+        name: get_str(buf)?,
+        capacity: get_i64(buf)?,
+        performance: get_i64(buf)?,
+    })
+}
+
+fn put_attr(buf: &mut BytesMut, a: &FileAttrRow) {
+    put_str(buf, &a.filename);
+    put_str(buf, &a.owner);
+    put_i64(buf, a.permission);
+    put_i64(buf, a.size);
+    put_str(buf, &a.filelevel);
+    put_i64(buf, a.dims);
+    put_i64_list(buf, &a.dimsize);
+    put_i64_list(buf, &a.stripe_dims);
+    put_i64(buf, a.stripe_size);
+    put_str(buf, &a.pattern);
+    put_str(buf, &a.placement);
+}
+
+fn get_attr(buf: &mut Bytes) -> Result<FileAttrRow, FrameError> {
+    Ok(FileAttrRow {
+        filename: get_str(buf)?,
+        owner: get_str(buf)?,
+        permission: get_i64(buf)?,
+        size: get_i64(buf)?,
+        filelevel: get_str(buf)?,
+        dims: get_i64(buf)?,
+        dimsize: get_i64_list(buf)?,
+        stripe_dims: get_i64_list(buf)?,
+        stripe_size: get_i64(buf)?,
+        pattern: get_str(buf)?,
+        placement: get_str(buf)?,
+    })
+}
+
+fn put_dist(buf: &mut BytesMut, d: &Distribution) {
+    put_str(buf, &d.server);
+    put_str(buf, &d.filename);
+    put_i64_list(buf, &d.bricklist);
+}
+
+fn get_dist(buf: &mut Bytes) -> Result<Distribution, FrameError> {
+    Ok(Distribution {
+        server: get_str(buf)?,
+        filename: get_str(buf)?,
+        bricklist: get_i64_list(buf)?,
+    })
+}
+
+fn put_dist_list(buf: &mut BytesMut, ds: &[Distribution]) {
+    buf.put_u32_le(ds.len() as u32);
+    for d in ds {
+        put_dist(buf, d);
+    }
+}
+
+fn get_dist_list(buf: &mut Bytes) -> Result<Vec<Distribution>, FrameError> {
+    let n = get_u32(buf)? as usize;
+    let mut ds = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        ds.push(get_dist(buf)?);
+    }
+    Ok(ds)
+}
+
+impl MetaOp {
+    /// Append this op's encoding to `buf` (called from `Request::encode`).
+    pub(crate) fn encode_into(&self, buf: &mut BytesMut) {
+        match self {
+            MetaOp::RegisterServer { info } => {
+                buf.put_u8(1);
+                put_server_info(buf, info);
+            }
+            MetaOp::ListServers => buf.put_u8(2),
+            MetaOp::GetServer { name } => {
+                buf.put_u8(3);
+                put_str(buf, name);
+            }
+            MetaOp::RemoveServer { name } => {
+                buf.put_u8(4);
+                put_str(buf, name);
+            }
+            MetaOp::CreateFile { attr, dist } => {
+                buf.put_u8(5);
+                put_attr(buf, attr);
+                put_dist_list(buf, dist);
+            }
+            MetaOp::DeleteFile { filename } => {
+                buf.put_u8(6);
+                put_str(buf, filename);
+            }
+            MetaOp::RenameFile { from, to } => {
+                buf.put_u8(7);
+                put_str(buf, from);
+                put_str(buf, to);
+            }
+            MetaOp::GetFileAttr { filename } => {
+                buf.put_u8(8);
+                put_str(buf, filename);
+            }
+            MetaOp::SetFileSize { filename, size } => {
+                buf.put_u8(9);
+                put_str(buf, filename);
+                put_i64(buf, *size);
+            }
+            MetaOp::SetFilePermission {
+                filename,
+                permission,
+            } => {
+                buf.put_u8(10);
+                put_str(buf, filename);
+                put_i64(buf, *permission);
+            }
+            MetaOp::SetFileOwner { filename, owner } => {
+                buf.put_u8(11);
+                put_str(buf, filename);
+                put_str(buf, owner);
+            }
+            MetaOp::GetDistribution { filename } => {
+                buf.put_u8(12);
+                put_str(buf, filename);
+            }
+            MetaOp::UpdateDistribution { filename, dist } => {
+                buf.put_u8(13);
+                put_str(buf, filename);
+                put_dist_list(buf, dist);
+            }
+            MetaOp::Mkdir { path } => {
+                buf.put_u8(14);
+                put_str(buf, path);
+            }
+            MetaOp::Rmdir { path } => {
+                buf.put_u8(15);
+                put_str(buf, path);
+            }
+            MetaOp::GetDir { path } => {
+                buf.put_u8(16);
+                put_str(buf, path);
+            }
+            MetaOp::SetTag {
+                filename,
+                tag,
+                value,
+            } => {
+                buf.put_u8(17);
+                put_str(buf, filename);
+                put_str(buf, tag);
+                put_str(buf, value);
+            }
+            MetaOp::GetTag { filename, tag } => {
+                buf.put_u8(18);
+                put_str(buf, filename);
+                put_str(buf, tag);
+            }
+            MetaOp::ListTags { filename } => {
+                buf.put_u8(19);
+                put_str(buf, filename);
+            }
+            MetaOp::RemoveTag { filename, tag } => {
+                buf.put_u8(20);
+                put_str(buf, filename);
+                put_str(buf, tag);
+            }
+            MetaOp::FindByTag { tag, pattern } => {
+                buf.put_u8(21);
+                put_str(buf, tag);
+                put_str(buf, pattern);
+            }
+            MetaOp::ServerBrickCounts => buf.put_u8(22),
+            MetaOp::Generation => buf.put_u8(23),
+        }
+    }
+
+    /// Decode one op from `buf` (called from `Request::decode`).
+    pub(crate) fn decode_from(buf: &mut Bytes) -> Result<MetaOp, FrameError> {
+        let tag = get_u8(buf)?;
+        Ok(match tag {
+            1 => MetaOp::RegisterServer {
+                info: get_server_info(buf)?,
+            },
+            2 => MetaOp::ListServers,
+            3 => MetaOp::GetServer {
+                name: get_str(buf)?,
+            },
+            4 => MetaOp::RemoveServer {
+                name: get_str(buf)?,
+            },
+            5 => MetaOp::CreateFile {
+                attr: get_attr(buf)?,
+                dist: get_dist_list(buf)?,
+            },
+            6 => MetaOp::DeleteFile {
+                filename: get_str(buf)?,
+            },
+            7 => MetaOp::RenameFile {
+                from: get_str(buf)?,
+                to: get_str(buf)?,
+            },
+            8 => MetaOp::GetFileAttr {
+                filename: get_str(buf)?,
+            },
+            9 => MetaOp::SetFileSize {
+                filename: get_str(buf)?,
+                size: get_i64(buf)?,
+            },
+            10 => MetaOp::SetFilePermission {
+                filename: get_str(buf)?,
+                permission: get_i64(buf)?,
+            },
+            11 => MetaOp::SetFileOwner {
+                filename: get_str(buf)?,
+                owner: get_str(buf)?,
+            },
+            12 => MetaOp::GetDistribution {
+                filename: get_str(buf)?,
+            },
+            13 => MetaOp::UpdateDistribution {
+                filename: get_str(buf)?,
+                dist: get_dist_list(buf)?,
+            },
+            14 => MetaOp::Mkdir {
+                path: get_str(buf)?,
+            },
+            15 => MetaOp::Rmdir {
+                path: get_str(buf)?,
+            },
+            16 => MetaOp::GetDir {
+                path: get_str(buf)?,
+            },
+            17 => MetaOp::SetTag {
+                filename: get_str(buf)?,
+                tag: get_str(buf)?,
+                value: get_str(buf)?,
+            },
+            18 => MetaOp::GetTag {
+                filename: get_str(buf)?,
+                tag: get_str(buf)?,
+            },
+            19 => MetaOp::ListTags {
+                filename: get_str(buf)?,
+            },
+            20 => MetaOp::RemoveTag {
+                filename: get_str(buf)?,
+                tag: get_str(buf)?,
+            },
+            21 => MetaOp::FindByTag {
+                tag: get_str(buf)?,
+                pattern: get_str(buf)?,
+            },
+            22 => MetaOp::ServerBrickCounts,
+            23 => MetaOp::Generation,
+            other => return Err(FrameError::BadMessage(format!("bad meta op tag {other}"))),
+        })
+    }
+}
+
+impl MetaResult {
+    /// Append this result's encoding to `buf` (called from
+    /// `Response::encode`).
+    pub(crate) fn encode_into(&self, buf: &mut BytesMut) {
+        match self {
+            MetaResult::Unit => buf.put_u8(1),
+            MetaResult::Bool(b) => {
+                buf.put_u8(2);
+                buf.put_u8(*b as u8);
+            }
+            MetaResult::Servers(xs) => {
+                buf.put_u8(3);
+                buf.put_u32_le(xs.len() as u32);
+                for s in xs {
+                    put_server_info(buf, s);
+                }
+            }
+            MetaResult::MaybeServer(opt) => {
+                buf.put_u8(4);
+                match opt {
+                    None => buf.put_u8(0),
+                    Some(s) => {
+                        buf.put_u8(1);
+                        put_server_info(buf, s);
+                    }
+                }
+            }
+            MetaResult::MaybeAttr(opt) => {
+                buf.put_u8(5);
+                match opt {
+                    None => buf.put_u8(0),
+                    Some(a) => {
+                        buf.put_u8(1);
+                        put_attr(buf, a);
+                    }
+                }
+            }
+            MetaResult::MaybeDir(opt) => {
+                buf.put_u8(6);
+                match opt {
+                    None => buf.put_u8(0),
+                    Some(d) => {
+                        buf.put_u8(1);
+                        put_str(buf, &d.main_dir);
+                        put_str_list(buf, &d.sub_dirs);
+                        put_str_list(buf, &d.files);
+                    }
+                }
+            }
+            MetaResult::MaybeString(opt) => {
+                buf.put_u8(7);
+                match opt {
+                    None => buf.put_u8(0),
+                    Some(s) => {
+                        buf.put_u8(1);
+                        put_str(buf, s);
+                    }
+                }
+            }
+            MetaResult::Distributions(ds) => {
+                buf.put_u8(8);
+                put_dist_list(buf, ds);
+            }
+            MetaResult::Tags(xs) => {
+                buf.put_u8(9);
+                buf.put_u32_le(xs.len() as u32);
+                for (k, v) in xs {
+                    put_str(buf, k);
+                    put_str(buf, v);
+                }
+            }
+            MetaResult::TagHits(xs) => {
+                buf.put_u8(10);
+                buf.put_u32_le(xs.len() as u32);
+                for (f, v, size) in xs {
+                    put_str(buf, f);
+                    put_str(buf, v);
+                    put_i64(buf, *size);
+                }
+            }
+            MetaResult::BrickCounts(xs) => {
+                buf.put_u8(11);
+                buf.put_u32_le(xs.len() as u32);
+                for (s, n) in xs {
+                    put_str(buf, s);
+                    put_i64(buf, *n);
+                }
+            }
+            MetaResult::Err { code, message } => {
+                buf.put_u8(12);
+                buf.put_u8(*code);
+                put_str(buf, message);
+            }
+        }
+    }
+
+    /// Decode one result from `buf` (called from `Response::decode`).
+    pub(crate) fn decode_from(buf: &mut Bytes) -> Result<MetaResult, FrameError> {
+        let tag = get_u8(buf)?;
+        Ok(match tag {
+            1 => MetaResult::Unit,
+            2 => MetaResult::Bool(get_u8(buf)? != 0),
+            3 => {
+                let n = get_u32(buf)? as usize;
+                let mut xs = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    xs.push(get_server_info(buf)?);
+                }
+                MetaResult::Servers(xs)
+            }
+            4 => MetaResult::MaybeServer(if get_u8(buf)? != 0 {
+                Some(get_server_info(buf)?)
+            } else {
+                None
+            }),
+            5 => MetaResult::MaybeAttr(if get_u8(buf)? != 0 {
+                Some(get_attr(buf)?)
+            } else {
+                None
+            }),
+            6 => MetaResult::MaybeDir(if get_u8(buf)? != 0 {
+                Some(DirEntry {
+                    main_dir: get_str(buf)?,
+                    sub_dirs: get_str_list(buf)?,
+                    files: get_str_list(buf)?,
+                })
+            } else {
+                None
+            }),
+            7 => MetaResult::MaybeString(if get_u8(buf)? != 0 {
+                Some(get_str(buf)?)
+            } else {
+                None
+            }),
+            8 => MetaResult::Distributions(get_dist_list(buf)?),
+            9 => {
+                let n = get_u32(buf)? as usize;
+                let mut xs = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    xs.push((get_str(buf)?, get_str(buf)?));
+                }
+                MetaResult::Tags(xs)
+            }
+            10 => {
+                let n = get_u32(buf)? as usize;
+                let mut xs = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    xs.push((get_str(buf)?, get_str(buf)?, get_i64(buf)?));
+                }
+                MetaResult::TagHits(xs)
+            }
+            11 => {
+                let n = get_u32(buf)? as usize;
+                let mut xs = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    xs.push((get_str(buf)?, get_i64(buf)?));
+                }
+                MetaResult::BrickCounts(xs)
+            }
+            12 => MetaResult::Err {
+                code: get_u8(buf)?,
+                message: get_str(buf)?,
+            },
+            other => {
+                return Err(FrameError::BadMessage(format!(
+                    "bad meta result tag {other}"
+                )))
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Request, Response};
+
+    fn sample_attr() -> FileAttrRow {
+        FileAttrRow {
+            filename: "/home/dpfs.test".into(),
+            owner: "xhshen".into(),
+            permission: 0o744,
+            size: 2_097_152,
+            filelevel: "multidim".into(),
+            dims: 2,
+            dimsize: vec![1024, 2048],
+            stripe_dims: vec![256, 256],
+            stripe_size: 65536,
+            pattern: "BLOCK,*".into(),
+            placement: "greedy".into(),
+        }
+    }
+
+    fn sample_dist() -> Vec<Distribution> {
+        vec![
+            Distribution {
+                server: "s0".into(),
+                filename: "/home/dpfs.test".into(),
+                bricklist: vec![0, 2, 4],
+            },
+            Distribution {
+                server: "s1".into(),
+                filename: "/home/dpfs.test".into(),
+                bricklist: vec![1, 3],
+            },
+        ]
+    }
+
+    fn round_trip_op(op: MetaOp) {
+        let req = Request::Meta { op: op.clone() };
+        let dec = Request::decode(req.encode()).unwrap();
+        assert_eq!(dec, req);
+    }
+
+    fn round_trip_result(result: MetaResult) {
+        let resp = Response::Meta {
+            gen: 42,
+            result: result.clone(),
+        };
+        let dec = Response::decode(resp.encode()).unwrap();
+        assert_eq!(dec, resp);
+    }
+
+    #[test]
+    fn all_ops_round_trip() {
+        round_trip_op(MetaOp::RegisterServer {
+            info: ServerInfo {
+                name: "ccn60.mcs.anl.gov".into(),
+                capacity: 1 << 40,
+                performance: 2,
+            },
+        });
+        round_trip_op(MetaOp::ListServers);
+        round_trip_op(MetaOp::GetServer { name: "s0".into() });
+        round_trip_op(MetaOp::RemoveServer { name: "s0".into() });
+        round_trip_op(MetaOp::CreateFile {
+            attr: sample_attr(),
+            dist: sample_dist(),
+        });
+        round_trip_op(MetaOp::DeleteFile {
+            filename: "/f".into(),
+        });
+        round_trip_op(MetaOp::RenameFile {
+            from: "/a".into(),
+            to: "/b".into(),
+        });
+        round_trip_op(MetaOp::GetFileAttr {
+            filename: "/f".into(),
+        });
+        round_trip_op(MetaOp::SetFileSize {
+            filename: "/f".into(),
+            size: -1,
+        });
+        round_trip_op(MetaOp::SetFilePermission {
+            filename: "/f".into(),
+            permission: 0o600,
+        });
+        round_trip_op(MetaOp::SetFileOwner {
+            filename: "/f".into(),
+            owner: "o'brien".into(),
+        });
+        round_trip_op(MetaOp::GetDistribution {
+            filename: "/f".into(),
+        });
+        round_trip_op(MetaOp::UpdateDistribution {
+            filename: "/f".into(),
+            dist: sample_dist(),
+        });
+        round_trip_op(MetaOp::Mkdir { path: "/d".into() });
+        round_trip_op(MetaOp::Rmdir { path: "/d".into() });
+        round_trip_op(MetaOp::GetDir { path: "/".into() });
+        round_trip_op(MetaOp::SetTag {
+            filename: "/f".into(),
+            tag: "experiment".into(),
+            value: "astro-run-7".into(),
+        });
+        round_trip_op(MetaOp::GetTag {
+            filename: "/f".into(),
+            tag: "k".into(),
+        });
+        round_trip_op(MetaOp::ListTags {
+            filename: "/f".into(),
+        });
+        round_trip_op(MetaOp::RemoveTag {
+            filename: "/f".into(),
+            tag: "k".into(),
+        });
+        round_trip_op(MetaOp::FindByTag {
+            tag: "k".into(),
+            pattern: "astro-%".into(),
+        });
+        round_trip_op(MetaOp::ServerBrickCounts);
+        round_trip_op(MetaOp::Generation);
+    }
+
+    #[test]
+    fn all_results_round_trip() {
+        round_trip_result(MetaResult::Unit);
+        round_trip_result(MetaResult::Bool(true));
+        round_trip_result(MetaResult::Bool(false));
+        round_trip_result(MetaResult::Servers(vec![ServerInfo {
+            name: "s0".into(),
+            capacity: 5,
+            performance: 1,
+        }]));
+        round_trip_result(MetaResult::MaybeServer(None));
+        round_trip_result(MetaResult::MaybeServer(Some(ServerInfo {
+            name: "s0".into(),
+            capacity: 5,
+            performance: 1,
+        })));
+        round_trip_result(MetaResult::MaybeAttr(None));
+        round_trip_result(MetaResult::MaybeAttr(Some(sample_attr())));
+        round_trip_result(MetaResult::MaybeDir(None));
+        round_trip_result(MetaResult::MaybeDir(Some(DirEntry {
+            main_dir: "/".into(),
+            sub_dirs: vec!["/a".into(), "/b".into()],
+            files: vec!["/f".into()],
+        })));
+        round_trip_result(MetaResult::MaybeString(None));
+        round_trip_result(MetaResult::MaybeString(Some("v".into())));
+        round_trip_result(MetaResult::Distributions(sample_dist()));
+        round_trip_result(MetaResult::Distributions(vec![]));
+        round_trip_result(MetaResult::Tags(vec![("k".into(), "v".into())]));
+        round_trip_result(MetaResult::TagHits(vec![("/f".into(), "v".into(), 9)]));
+        round_trip_result(MetaResult::BrickCounts(vec![("s0".into(), 3)]));
+        round_trip_result(MetaResult::Err {
+            code: 7,
+            message: "duplicate key: file /f already exists".into(),
+        });
+    }
+
+    #[test]
+    fn op_labels_are_stable_and_prefixed() {
+        assert_eq!(MetaOp::ListServers.op_str(), "meta.list_servers");
+        assert_eq!(MetaOp::Generation.op_str(), "meta.generation");
+        assert!(MetaOp::Mkdir { path: "/d".into() }
+            .op_str()
+            .starts_with("meta."));
+    }
+
+    #[test]
+    fn mutation_classification() {
+        assert!(MetaOp::Mkdir { path: "/d".into() }.is_mutation());
+        assert!(MetaOp::RenameFile {
+            from: "/a".into(),
+            to: "/b".into()
+        }
+        .is_mutation());
+        assert!(!MetaOp::ListServers.is_mutation());
+        assert!(!MetaOp::GetFileAttr {
+            filename: "/f".into()
+        }
+        .is_mutation());
+        assert!(!MetaOp::Generation.is_mutation());
+    }
+
+    #[test]
+    fn meta_error_reconstructs_across_the_wire() {
+        let e = MetaError::DuplicateKey("file /f already exists".into());
+        let MetaResult::Err { code, message } = MetaResult::from_err(&e) else {
+            panic!()
+        };
+        let back = MetaError::from_wire(code, message);
+        assert!(matches!(back, MetaError::DuplicateKey(_)));
+    }
+
+    #[test]
+    fn truncated_meta_frames_rejected() {
+        let enc = Request::Meta {
+            op: MetaOp::CreateFile {
+                attr: sample_attr(),
+                dist: sample_dist(),
+            },
+        }
+        .encode();
+        for cut in 1..enc.len() {
+            assert!(
+                Request::decode(enc.slice(..cut)).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+}

@@ -234,6 +234,16 @@ impl Handler {
             Request::Stats => Response::Stats {
                 payload: bytes::Bytes::from(self.stats_snapshot().encode()),
             },
+            // I/O servers do not own the catalog; metadata belongs to
+            // dpfs-metad. A client that dials the wrong port gets a clean
+            // protocol error, not a hung connection.
+            Request::Meta { op } => {
+                self.stats.errors.fetch_add(1, Ordering::Relaxed);
+                Response::Error {
+                    code: ErrorCode::BadRequest,
+                    message: format!("{} sent to an I/O server", op.op_str()),
+                }
+            }
         }
     }
 

@@ -27,6 +27,7 @@
 pub mod handler;
 pub mod perf;
 pub mod server;
+pub mod service;
 pub mod stats;
 pub mod subfile;
 
@@ -34,5 +35,6 @@ pub use dpfs_obs::HistSnapshot;
 pub use handler::Handler;
 pub use perf::{PerfModel, StorageClass};
 pub use server::{IoServer, ServerConfig};
+pub use service::{ServeCore, Service, CONN_WORKERS};
 pub use stats::{ServerStats, StatsSnapshot};
 pub use subfile::{StoreError, SubfileStore};

@@ -1,0 +1,401 @@
+//! The connection-serving core, factored out of the I/O server so any
+//! request handler — the subfile [`Handler`](crate::Handler) or
+//! `dpfs-metad`'s metadata handler — can sit behind the same TCP accept
+//! loop, per-connection worker pool, and graceful-stop machinery.
+//!
+//! Each connection is pipelined: a frame-decode loop reads requests and
+//! hands correlated (wire v2/v3) ones to a small per-connection worker
+//! pool, so independent requests on one connection overlap their service
+//! times; responses are serialized through a shared writer lock and carry
+//! the request's correlation ID, letting the client's demux reader match
+//! them up however they complete. Uncorrelated (wire v1) frames keep the
+//! old lockstep semantics — handled inline, answered in order — so legacy
+//! peers never see responses they cannot attribute.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+use dpfs_proto::{frame, Request, Response};
+use parking_lot::Mutex;
+
+use crate::handler::server_event;
+
+/// A request handler an accept loop can serve: one response per request,
+/// shared across connection threads and per-connection workers.
+pub trait Service: Send + Sync + 'static {
+    /// Name stamped on this service's trace events.
+    fn name(&self) -> &str;
+    /// Handle one request stamped with `trace_id` (0 = untraced),
+    /// producing exactly one response. Must never panic on malformed
+    /// input.
+    fn handle_traced(&self, req: Request, trace_id: u64) -> Response;
+    /// Called once per accepted connection (statistics hook).
+    fn note_connection(&self) {}
+}
+
+/// Live-connection registry: id → the accept loop's clone of the stream.
+/// Each connection thread removes its own entry on exit, so the registry
+/// stays bounded by the number of *open* connections rather than growing
+/// with every connection ever accepted.
+type ConnRegistry = Arc<Mutex<HashMap<u64, TcpStream>>>;
+
+/// Join handles of live connection threads, so [`ServeCore::stop`] can reap
+/// them deterministically instead of leaving detached threads racing a
+/// restart on the same port. The accept loop reaps finished entries before
+/// pushing new ones, keeping the vector bounded by *open* connections.
+type ConnThreads = Arc<Mutex<Vec<JoinHandle<()>>>>;
+
+/// Worker threads per connection: the pipelining depth one connection's
+/// requests can overlap at. Small — each extra worker is one thread per
+/// open connection — but enough to overlap injected service delays and
+/// local-FS waits of independent requests.
+pub const CONN_WORKERS: usize = 4;
+
+/// A running TCP server around one [`Service`]. Dropping the handle shuts
+/// it down.
+pub struct ServeCore {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    conns: ConnRegistry,
+    conn_threads: ConnThreads,
+}
+
+impl ServeCore {
+    /// Bind `bind` (ephemeral port with `:0`) and start serving `service`.
+    pub fn start(bind: &str, service: Arc<dyn Service>) -> io::Result<ServeCore> {
+        let listener = TcpListener::bind(bind)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let conns: ConnRegistry = Arc::new(Mutex::new(HashMap::new()));
+        let conn_threads: ConnThreads = Arc::new(Mutex::new(Vec::new()));
+
+        let accept_service = service.clone();
+        let accept_shutdown = shutdown.clone();
+        let accept_conns = conns.clone();
+        let accept_threads = conn_threads.clone();
+        let accept_thread = std::thread::Builder::new()
+            .name(format!("dpfs-accept-{}", service.name()))
+            .spawn(move || {
+                accept_loop(
+                    listener,
+                    accept_service,
+                    accept_shutdown,
+                    accept_conns,
+                    accept_threads,
+                );
+            })?;
+
+        Ok(ServeCore {
+            addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+            conns,
+            conn_threads,
+        })
+    }
+
+    /// The listen address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of currently open client connections. (Connection threads
+    /// deregister asynchronously after the peer closes, so a just-closed
+    /// connection may be counted briefly.)
+    pub fn open_connections(&self) -> usize {
+        self.conns.lock().len()
+    }
+
+    /// Number of connection threads not yet reaped (0 after [`stop`]).
+    ///
+    /// [`stop`]: ServeCore::stop
+    pub fn live_connection_threads(&self) -> usize {
+        self.conn_threads.lock().len()
+    }
+
+    /// Stop accepting, sever live connections, and join the accept thread
+    /// *and every connection thread*. When this returns, the listener is
+    /// closed, no server thread is running, and the port can be rebound
+    /// immediately — a later restart on the same address never races a
+    /// lingering listener or half-dead connection handler.
+    pub fn stop(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            // Another stop() already ran the sequence below; nothing to do
+            // (accept_thread/conn_threads are drained by whoever won).
+            return;
+        }
+        // Unblock accept() by dialing ourselves (use loopback if we bound a
+        // wildcard address).
+        let mut dial = self.addr;
+        if dial.ip().is_unspecified() {
+            dial.set_ip(std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST));
+        }
+        let _ = TcpStream::connect(dial);
+        // Sever in-flight connections so their threads exit.
+        for (_, c) in self.conns.lock().drain() {
+            let _ = c.shutdown(Shutdown::Both);
+        }
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        // Reap connection threads. Every spawned thread's stream is either
+        // severed above or was already closed, so these joins terminate.
+        let threads = std::mem::take(&mut *self.conn_threads.lock());
+        for t in threads {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServeCore {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    service: Arc<dyn Service>,
+    shutdown: Arc<AtomicBool>,
+    conns: ConnRegistry,
+    threads: ConnThreads,
+) {
+    let mut next_id: u64 = 0;
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(s) => s,
+            Err(_) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        service.note_connection();
+        let id = next_id;
+        next_id += 1;
+        // Register the stream *before* spawning: stop() can only sever —
+        // and therefore only promise to reap — connections it can see. A
+        // connection that cannot be registered is refused outright.
+        let Ok(clone) = stream.try_clone() else {
+            let _ = stream.shutdown(Shutdown::Both);
+            continue;
+        };
+        conns.lock().insert(id, clone);
+        let s = service.clone();
+        let sd = shutdown.clone();
+        let cs = conns.clone();
+        let spawned = std::thread::Builder::new()
+            .name("dpfs-conn".to_string())
+            .spawn(move || connection_loop(id, stream, s, sd, cs));
+        if let Ok(t) = spawned {
+            let mut threads = threads.lock();
+            // Reap finished threads in passing so the vector tracks open
+            // connections, not connections ever accepted.
+            let (done, live): (Vec<_>, Vec<_>) = std::mem::take(&mut *threads)
+                .into_iter()
+                .partition(|t| t.is_finished());
+            for d in done {
+                let _ = d.join();
+            }
+            *threads = live;
+            threads.push(t);
+        } else {
+            conns.lock().remove(&id);
+        }
+    }
+}
+
+fn connection_loop(
+    id: u64,
+    stream: TcpStream,
+    service: Arc<dyn Service>,
+    shutdown: Arc<AtomicBool>,
+    conns: ConnRegistry,
+) {
+    connection_loop_inner(&stream, service, shutdown);
+    // The accept loop holds a clone of this stream (for forced shutdown), so
+    // dropping ours would NOT send FIN — shut the socket down explicitly so
+    // the peer sees EOF, then deregister so the registry does not leak.
+    let _ = stream.shutdown(Shutdown::Both);
+    conns.lock().remove(&id);
+}
+
+/// Write one response frame, echoing the request's correlation ID when it
+/// had one. The writer lock serializes whole frames, never partial ones.
+fn write_response(
+    writer: &Mutex<TcpStream>,
+    corr_id: Option<u64>,
+    resp: &Response,
+) -> Result<(), frame::FrameError> {
+    let mut w = writer.lock();
+    match corr_id {
+        Some(id) => frame::write_frame_v2(&mut *w, id, &resp.encode()),
+        None => frame::write_frame(&mut *w, &resp.encode()),
+    }
+}
+
+/// One decoded request bound for the worker pool.
+struct Job {
+    corr_id: u64,
+    /// Trace ID from the v3 frame (0 = untraced).
+    trace_id: u64,
+    /// [`dpfs_obs::now_ns`] at enqueue, for the queue-wait span.
+    enqueued_ns: u64,
+    req: Request,
+}
+
+fn connection_loop_inner(
+    mut stream: &TcpStream,
+    service: Arc<dyn Service>,
+    shutdown: Arc<AtomicBool>,
+) {
+    stream.set_nodelay(true).ok();
+    let writer = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => return,
+    };
+
+    // Worker pool: decode loop sends jobs, workers pull them off the shared
+    // receiver, handle, and reply through the serialized writer.
+    let (tx, rx) = mpsc::channel::<Job>();
+    let rx = Arc::new(Mutex::new(rx));
+    let mut workers = Vec::with_capacity(CONN_WORKERS);
+    for _ in 0..CONN_WORKERS {
+        let rx = rx.clone();
+        let writer = writer.clone();
+        let service = service.clone();
+        let shutdown = shutdown.clone();
+        let worker = std::thread::Builder::new()
+            .name("dpfs-conn-worker".to_string())
+            .spawn(move || loop {
+                // Classic shared-receiver pool: the guard is dropped as
+                // soon as recv returns, handing the receiver to the next
+                // idle worker while this one services the request.
+                let job = match rx.lock().recv() {
+                    Ok(j) => j,
+                    Err(_) => return, // decode loop gone: drain finished
+                };
+                let is_shutdown = matches!(job.req, Request::Shutdown);
+                let kind = job.req.kind_str();
+                let dequeued = dpfs_obs::now_ns();
+                server_event(
+                    job.trace_id,
+                    "queue",
+                    kind,
+                    service.name(),
+                    job.enqueued_ns,
+                    dequeued.saturating_sub(job.enqueued_ns),
+                    0,
+                );
+                let resp = service.handle_traced(job.req, job.trace_id);
+                let t0 = dpfs_obs::now_ns();
+                let _ = write_response(&writer, Some(job.corr_id), &resp);
+                server_event(
+                    job.trace_id,
+                    "respond",
+                    kind,
+                    service.name(),
+                    t0,
+                    dpfs_obs::now_ns().saturating_sub(t0),
+                    0,
+                );
+                if is_shutdown {
+                    shutdown.store(true, Ordering::SeqCst);
+                }
+            });
+        match worker {
+            Ok(w) => workers.push(w),
+            Err(_) => break, // degrade to however many workers spawned
+        }
+    }
+
+    // Frame-decode loop: v2 requests dispatch to the pool; v1 requests are
+    // handled inline (lockstep), preserving in-order responses for peers
+    // that cannot correlate.
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let decoded = match frame::read_frame_any(&mut stream) {
+            Ok(f) => f,
+            Err(_) => break, // closed or corrupt: drop the connection
+        };
+        let decode_start = dpfs_obs::now_ns();
+        let trace_id = decoded.trace_id;
+        let req = match Request::decode(decoded.payload) {
+            Ok(r) => r,
+            Err(e) => {
+                // malformed request: report and keep the connection
+                let resp = Response::Error {
+                    code: dpfs_proto::ErrorCode::BadRequest,
+                    message: e.to_string(),
+                };
+                if write_response(&writer, decoded.corr_id, &resp).is_err() {
+                    break;
+                }
+                continue;
+            }
+        };
+        let is_shutdown = matches!(req, Request::Shutdown);
+        let kind = req.kind_str();
+        server_event(
+            trace_id,
+            "decode",
+            kind,
+            service.name(),
+            decode_start,
+            dpfs_obs::now_ns().saturating_sub(decode_start),
+            req.payload_bytes(),
+        );
+        match decoded.corr_id {
+            Some(corr_id) if !workers.is_empty() => {
+                let job = Job {
+                    corr_id,
+                    trace_id,
+                    enqueued_ns: dpfs_obs::now_ns(),
+                    req,
+                };
+                if tx.send(job).is_err() {
+                    break;
+                }
+            }
+            corr_id => {
+                let resp = service.handle_traced(req, trace_id);
+                let t0 = dpfs_obs::now_ns();
+                if write_response(&writer, corr_id, &resp).is_err() {
+                    break;
+                }
+                server_event(
+                    trace_id,
+                    "respond",
+                    kind,
+                    service.name(),
+                    t0,
+                    dpfs_obs::now_ns().saturating_sub(t0),
+                    0,
+                );
+                if is_shutdown {
+                    shutdown.store(true, Ordering::SeqCst);
+                }
+            }
+        }
+        if is_shutdown {
+            // Stop reading; the pool drains queued requests (replying to
+            // each) before the connection closes.
+            break;
+        }
+    }
+    drop(tx);
+    for w in workers {
+        let _ = w.join();
+    }
+}

@@ -1,35 +1,146 @@
-//! `dpfs-sh` — interactive DPFS shell over an ephemeral in-process testbed.
+//! `dpfs-sh` — the interactive DPFS shell.
 //!
-//! Usage: `dpfs-sh [num-servers] [class]`, e.g. `dpfs-sh 4 class1`.
-//! Starts `num-servers` I/O servers (default 4, unthrottled), mounts DPFS,
-//! and reads commands from stdin. Type `help` for the command list.
+//! Two ways to mount:
+//!
+//! - `dpfs-sh [num-servers] [class]` — ephemeral in-process testbed:
+//!   starts `num-servers` I/O servers (default 4, unthrottled) with an
+//!   embedded metadata catalog. Self-contained; nothing survives exit.
+//! - `dpfs-sh --metad ADDR [--server NAME=ADDR]... [--no-cache]` —
+//!   attach to a running `dpfs-metad` daemon (and `dpfs-iond` I/O
+//!   servers): all metadata goes over TCP, and any `--server` not yet in
+//!   the catalog is registered on mount. `--no-cache` disables the
+//!   client-side attr/layout cache.
+//!
+//! Type `help` at the prompt for the command list.
 
 use std::io::{BufRead, Write};
 
 use dpfs_cluster::Testbed;
+use dpfs_core::{ClientOptions, Dpfs, Resolver};
+use dpfs_meta::ServerInfo;
 use dpfs_server::StorageClass;
 use dpfs_shell::Shell;
 
-fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4);
-    let class = args
-        .get(2)
-        .and_then(|s| StorageClass::parse(s))
-        .unwrap_or(StorageClass::Unthrottled);
+/// Parsed `--metad` mode arguments.
+struct RemoteArgs {
+    metad: String,
+    servers: Vec<(String, String)>,
+    cache: bool,
+}
 
-    let testbed = match Testbed::homogeneous(n, class) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("failed to start testbed: {e}");
-            std::process::exit(1);
+fn usage() -> ! {
+    eprintln!(
+        "usage: dpfs-sh [num-servers] [class]\n       \
+         dpfs-sh --metad ADDR [--server NAME=ADDR]... [--no-cache]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_remote(args: &[String]) -> Option<RemoteArgs> {
+    if !args.iter().any(|a| a == "--metad") {
+        return None;
+    }
+    let mut metad = None;
+    let mut servers = Vec::new();
+    let mut cache = true;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--metad" => match it.next() {
+                Some(addr) => metad = Some(addr.clone()),
+                None => usage(),
+            },
+            "--server" => match it.next().and_then(|s| s.split_once('=')) {
+                Some((name, addr)) => servers.push((name.to_string(), addr.to_string())),
+                None => usage(),
+            },
+            "--no-cache" => cache = false,
+            _ => usage(),
+        }
+    }
+    Some(RemoteArgs {
+        metad: metad.unwrap_or_else(|| usage()),
+        servers,
+        cache,
+    })
+}
+
+/// Mount against an external metad, registering any new I/O servers.
+fn mount_remote(ra: &RemoteArgs) -> Result<Dpfs, String> {
+    let mut resolver = Resolver::direct();
+    resolver.alias("metad", &ra.metad);
+    for (name, addr) in &ra.servers {
+        resolver.alias(name, addr);
+    }
+    let opts = ClientOptions {
+        meta_cache: ra.cache,
+        ..ClientOptions::default()
+    };
+    let client =
+        Dpfs::mount_remote("metad", resolver, opts).map_err(|e| format!("mount failed: {e}"))?;
+    for (name, _) in &ra.servers {
+        let known = client
+            .meta()
+            .get_server(name)
+            .map_err(|e| format!("metad at {} unreachable: {e}", ra.metad))?;
+        if known.is_none() {
+            client
+                .meta()
+                .register_server(&ServerInfo {
+                    name: name.clone(),
+                    capacity: i64::MAX,
+                    performance: 1,
+                })
+                .map_err(|e| format!("registering {name} failed: {e}"))?;
+        }
+    }
+    Ok(client)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    // `_testbed` keeps the in-process servers alive for the session.
+    let mut _testbed = None;
+    let client = match parse_remote(&args) {
+        Some(ra) => match mount_remote(&ra) {
+            Ok(c) => {
+                println!(
+                    "DPFS shell — metadata via dpfs-metad at {} ({} I/O servers named, cache {}).",
+                    ra.metad,
+                    ra.servers.len(),
+                    if ra.cache { "on" } else { "off" }
+                );
+                c
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        },
+        None => {
+            let n: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(4);
+            let class = args
+                .get(1)
+                .and_then(|s| StorageClass::parse(s))
+                .unwrap_or(StorageClass::Unthrottled);
+            let testbed = match Testbed::homogeneous(n, class) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("failed to start testbed: {e}");
+                    std::process::exit(1);
+                }
+            };
+            println!(
+                "DPFS shell — {n} {} I/O servers started. Type `help` for commands, ctrl-D to exit.",
+                class.name()
+            );
+            let client = testbed.client(0, true);
+            _testbed = Some(testbed);
+            client
         }
     };
-    println!(
-        "DPFS shell — {n} {} I/O servers started. Type `help` for commands, ctrl-D to exit.",
-        class.name()
-    );
-    let mut shell = Shell::new(testbed.client(0, true));
+    let mut shell = Shell::new(client);
 
     let stdin = std::io::stdin();
     let mut stdout = std::io::stdout();

@@ -3,6 +3,7 @@
 use std::fmt::Write as _;
 
 use dpfs_core::{Dpfs, DpfsError, FileLevel, Hint, Layout, Result};
+use dpfs_metad::MetadStatsSnapshot;
 use dpfs_proto::{Request, Response};
 use dpfs_server::StatsSnapshot;
 
@@ -175,7 +176,7 @@ impl Shell {
         if !attr.pattern.is_empty() {
             writeln!(out, "pattern:    ({})", attr.pattern).unwrap();
         }
-        let dist = self.fs.catalog().get_distribution(&full)?;
+        let dist = self.fs.meta().get_distribution(&full)?;
         for d in &dist {
             writeln!(out, "  {} holds {} bricks", d.server, d.bricklist.len()).unwrap();
         }
@@ -183,8 +184,8 @@ impl Shell {
     }
 
     fn cmd_df(&mut self) -> Result<String> {
-        let servers = self.fs.catalog().list_servers()?;
-        let counts = self.fs.catalog().server_brick_counts()?;
+        let servers = self.fs.meta().list_servers()?;
+        let counts = self.fs.meta().server_brick_counts()?;
         let mut out = String::new();
         writeln!(
             out,
@@ -214,7 +215,7 @@ impl Shell {
     }
 
     fn cmd_servers(&mut self) -> Result<String> {
-        let servers = self.fs.catalog().list_servers()?;
+        let servers = self.fs.meta().list_servers()?;
         let mut out = String::new();
         for s in &servers {
             let alive = self.fs.pool().ping(&s.name);
@@ -226,7 +227,7 @@ impl Shell {
     /// Fetch a live [`StatsSnapshot`] from every registered server via the
     /// `Stats` RPC. Unreachable servers report as `None`.
     fn collect_stats(&self) -> Result<Vec<(String, Option<StatsSnapshot>)>> {
-        let servers = self.fs.catalog().list_servers()?;
+        let servers = self.fs.meta().list_servers()?;
         let mut out = Vec::with_capacity(servers.len());
         for s in &servers {
             let snap = match self.fs.pool().rpc_ok(&s.name, &Request::Stats) {
@@ -289,11 +290,57 @@ impl Shell {
         out
     }
 
+    /// The metadata half of `stats`: where metadata lives, and — on remote
+    /// mounts — the client cache counters plus the daemon's own per-op
+    /// service-time histograms fetched over its `Stats` RPC.
+    fn metadata_section(&self) -> String {
+        let Some(remote) = self.fs.remote_meta() else {
+            return "metadata: embedded (in-process catalog)\n".to_string();
+        };
+        let name = remote.server().to_string();
+        let mut out = format!(
+            "metadata: remote via {name} (generation {})\n",
+            remote.last_gen()
+        );
+        if let Some((hits, misses)) = self.fs.meta_cache_stats() {
+            writeln!(out, "meta cache:  {hits} hits / {misses} misses").unwrap();
+        }
+        let snap = match self.fs.pool().rpc_ok(&name, &Request::Stats) {
+            Ok(Response::Stats { payload }) => MetadStatsSnapshot::decode(&payload),
+            _ => None,
+        };
+        let Some(s) = snap else {
+            writeln!(out, "metad:       unreachable").unwrap();
+            return out;
+        };
+        writeln!(
+            out,
+            "metad:       {} reqs, {} meta ops, {} errs, {} conns, {} in flight",
+            s.requests, s.meta_ops, s.errors, s.connections, s.in_flight
+        )
+        .unwrap();
+        for (op, h) in &s.op_latency {
+            writeln!(
+                out,
+                "  {:<28} {:>8} calls  p50/p95/p99 us {}",
+                op,
+                h.count,
+                h.summary_us()
+            )
+            .unwrap();
+        }
+        out
+    }
+
     fn cmd_stats(&mut self, args: &[String]) -> Result<String> {
         let usage =
             || DpfsError::InvalidArgument("usage: stats [--watch [rounds [interval-ms]]]".into());
         match args.first().map(|s| s.as_str()) {
-            None => Ok(Self::stats_table(&self.collect_stats()?, None)),
+            None => Ok(format!(
+                "{}{}",
+                Self::stats_table(&self.collect_stats()?, None),
+                self.metadata_section()
+            )),
             Some("--watch") => {
                 let rest = &args[1..];
                 if rest.len() > 2 {
@@ -318,6 +365,7 @@ impl Shell {
                     out.push_str(&Self::stats_table(&rows, prev.as_deref()));
                     prev = Some(rows);
                 }
+                out.push_str(&self.metadata_section());
                 Ok(out)
             }
             Some(_) => Err(usage()),
@@ -464,7 +512,7 @@ impl Shell {
     fn du_walk(&self, dir: &str, out: &mut Vec<(String, i64)>) -> Result<i64> {
         let entry = self
             .fs
-            .catalog()
+            .meta()
             .get_dir(dir)?
             .ok_or_else(|| DpfsError::NoSuchDirectory(dir.to_string()))?;
         let mut total = 0i64;
@@ -497,7 +545,7 @@ impl Shell {
     fn tree_walk(&self, dir: &str, depth: usize, out: &mut String) -> Result<()> {
         let entry = self
             .fs
-            .catalog()
+            .meta()
             .get_dir(dir)?
             .ok_or_else(|| DpfsError::NoSuchDirectory(dir.to_string()))?;
         let indent = "  ".repeat(depth);
@@ -527,7 +575,7 @@ impl Shell {
         let bits = i64::from_str_radix(mode, 8)
             .map_err(|_| DpfsError::InvalidArgument(format!("bad mode {mode:?}")))?;
         self.fs
-            .catalog()
+            .meta()
             .set_file_permission(&resolve_path(&self.cwd, path), bits)?;
         Ok(String::new())
     }
@@ -535,7 +583,7 @@ impl Shell {
     fn cmd_chown(&mut self, args: &[String]) -> Result<String> {
         let (owner, path) = self.two_args(args, "chown <owner> <file>")?;
         self.fs
-            .catalog()
+            .meta()
             .set_file_owner(&resolve_path(&self.cwd, path), owner)?;
         Ok(String::new())
     }
@@ -572,14 +620,14 @@ impl Shell {
             }
         };
         self.fs
-            .catalog()
+            .meta()
             .set_tag(&resolve_path(&self.cwd, file), key, value)?;
         Ok(String::new())
     }
 
     fn cmd_tags(&mut self, args: &[String]) -> Result<String> {
         let p = self.one_arg(args, "tags <file>")?;
-        let tags = self.fs.catalog().list_tags(&resolve_path(&self.cwd, p))?;
+        let tags = self.fs.meta().list_tags(&resolve_path(&self.cwd, p))?;
         let mut out = String::new();
         for (k, v) in tags {
             writeln!(out, "{k} = {v}").unwrap();
@@ -591,7 +639,7 @@ impl Shell {
         let (file, key) = self.two_args(args, "untag <file> <key>")?;
         let removed = self
             .fs
-            .catalog()
+            .meta()
             .remove_tag(&resolve_path(&self.cwd, file), key)?;
         Ok(if removed {
             String::new()
@@ -602,7 +650,7 @@ impl Shell {
 
     fn cmd_find(&mut self, args: &[String]) -> Result<String> {
         let (key, pattern) = self.two_args(args, "find <tag-key> <value-pattern>")?;
-        let hits = self.fs.catalog().find_by_tag(key, pattern)?;
+        let hits = self.fs.meta().find_by_tag(key, pattern)?;
         let mut out = String::new();
         for (file, value, size) in hits {
             writeln!(out, "{size:>12} {file}  ({key}={value})").unwrap();
@@ -804,6 +852,7 @@ mod tests {
         // corrupt the catalog behind the shell's back
         sh.fs()
             .catalog()
+            .unwrap()
             .db()
             .execute("DELETE FROM dpfs_file_distribution WHERE filename = '/f'")
             .unwrap();
@@ -846,13 +895,32 @@ mod tests {
         assert!(out.contains("read p50/p95/p99"), "{out}");
         // every server held bricks of /s.bin, so each saw reads and writes
         // and has non-empty latency histograms (summary never "-/-/-").
-        let data_rows: Vec<&str> = out.lines().skip(1).collect();
+        let data_rows: Vec<&str> = out
+            .lines()
+            .skip(1)
+            .filter(|l| l.starts_with("ion"))
+            .collect();
         assert_eq!(data_rows.len(), 4, "{out}");
         for row in data_rows {
             assert!(!row.contains("unreachable"), "{out}");
             assert!(!row.contains("-/-/-"), "{out}");
         }
+        assert!(out.contains("metadata: embedded"), "{out}");
         std::fs::remove_file(tmp).unwrap();
+    }
+
+    #[test]
+    fn stats_reports_the_metadata_service_on_remote_mounts() {
+        let tb = Testbed::unthrottled_with_metad(2).unwrap();
+        let mut sh = Shell::new(tb.remote_client(0, true));
+        sh.exec("mkdir /d").unwrap();
+        sh.exec("stat /d").ok();
+        sh.exec("ls").unwrap();
+        let out = sh.exec("stats").unwrap();
+        assert!(out.contains("metadata: remote via metad0"), "{out}");
+        assert!(out.contains("meta cache:"), "{out}");
+        assert!(out.contains("meta ops"), "{out}");
+        assert!(out.contains("meta.mkdir"), "{out}");
     }
 
     #[test]

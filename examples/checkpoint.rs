@@ -71,7 +71,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Show where the chunks physically live.
-    for d in client.catalog().get_distribution("/ckpt/step_000042")? {
+    for d in client.meta().get_distribution("/ckpt/step_000042")? {
         println!("  {} stores chunk(s) {:?}", d.server, d.bricklist);
     }
     Ok(())

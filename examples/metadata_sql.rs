@@ -35,7 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_placement(Placement::Greedy),
     )?;
 
-    let db = client.catalog().db();
+    let db = client.catalog().expect("embedded mount").db();
 
     // The four tables of Figure 10, via standard SQL.
     println!("== DPFS-SERVER ==");

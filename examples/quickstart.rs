@@ -37,7 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "stat: owner={} size={} level={} brick_bytes={}",
         attr.owner, attr.size, attr.filelevel, attr.stripe_size
     );
-    for d in client.catalog().get_distribution("/home/hello.dat")? {
+    for d in client.meta().get_distribution("/home/hello.dat")? {
         println!("  {} holds {} bricks", d.server, d.bricklist.len());
     }
 

@@ -9,6 +9,7 @@
 pub use dpfs_cluster as cluster;
 pub use dpfs_core as core;
 pub use dpfs_meta as meta;
+pub use dpfs_metad as metad;
 pub use dpfs_proto as proto;
 pub use dpfs_server as server;
 pub use dpfs_shell as shell;

@@ -198,7 +198,7 @@ fn greedy_file_distribution_matches_catalog() {
     assert!(loads[0] > 2 * loads[1], "loads {loads:?}");
     assert!(loads[2] > 2 * loads[3], "loads {loads:?}");
     // catalog rows agree with the in-memory map
-    let dist = client.catalog().get_distribution("/g").unwrap();
+    let dist = client.meta().get_distribution("/g").unwrap();
     for (d, load) in dist.iter().zip(&loads) {
         assert_eq!(d.bricklist.len(), *load);
     }
