@@ -175,10 +175,36 @@ impl ConnPool {
         first_err: DpfsError,
         policy: RetryPolicy,
     ) -> Result<Response> {
+        self.retry_after_if(
+            server,
+            req,
+            trace_id,
+            first_err,
+            policy,
+            RetryPolicy::retryable,
+        )
+    }
+
+    /// [`ConnPool::retry_after`] with a caller-supplied retryability
+    /// predicate, for requests that are only safe to replay after a
+    /// subset of transport failures (e.g. metadata mutations, which must
+    /// not be reissued when the first attempt may already have reached
+    /// the server). The predicate gates every attempt, not just the
+    /// first: a later attempt failing outside the allowed class stops
+    /// the loop and surfaces that error.
+    pub(crate) fn retry_after_if(
+        &self,
+        server: &str,
+        req: &Request,
+        trace_id: u64,
+        first_err: DpfsError,
+        policy: RetryPolicy,
+        retryable: fn(&DpfsError) -> bool,
+    ) -> Result<Response> {
         let timeout = self.rpc_timeout();
         let mut err = first_err;
         for attempt in 1..policy.max_attempts {
-            if !RetryPolicy::retryable(&err) {
+            if !retryable(&err) {
                 break;
             }
             std::thread::sleep(policy.backoff(attempt));

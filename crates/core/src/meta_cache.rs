@@ -12,9 +12,12 @@
 //!   revalidates on every lookup with one tiny `Generation` RPC: if the
 //!   daemon's generation still equals the entry's stamp, the cached value
 //!   is provably current (any mutation anywhere would have bumped it); a
-//!   moved generation drops the whole cache and refetches. The round trip
-//!   remains, but it carries ~16 bytes instead of attr + distribution
-//!   rows, and a `stat`+`open` pair touches the daemon once, not thrice.
+//!   generation that moved since the last validation drops the whole
+//!   cache and refetches, while a plain miss under an unchanged
+//!   generation just fetches and inserts (other entries stay hot). The
+//!   round trip remains, but it carries ~16 bytes instead of attr +
+//!   distribution rows, and a `stat`+`open` pair touches the daemon
+//!   once, not thrice.
 //! - The **stat path** ([`MetaStore::stat_file_attr`] — `ls`, `exists`,
 //!   size probes) may serve a cached row within a configurable TTL with
 //!   *no* RPC at all. Stat output may therefore lag mutations by up to
@@ -55,6 +58,10 @@ pub struct CachingMetaStore {
     ttl: Duration,
     attrs: Mutex<HashMap<String, Stamped<FileAttrRow>>>,
     dists: Mutex<HashMap<String, Stamped<Vec<Distribution>>>>,
+    /// Highest generation the cache has been validated against. Lookups
+    /// only wipe the cache when the observed generation moves past this
+    /// mark — a miss for a simply-absent entry leaves the rest intact.
+    validated_gen: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -67,6 +74,7 @@ impl CachingMetaStore {
             ttl,
             attrs: Mutex::new(HashMap::new()),
             dists: Mutex::new(HashMap::new()),
+            validated_gen: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -108,8 +116,28 @@ impl CachingMetaStore {
     fn mutate<T>(&self, r: MetaResultT<T>) -> MetaResultT<T> {
         if r.is_ok() {
             self.invalidate_all();
+            // The mutation's reply gen is proven current; recording it
+            // keeps the next lookup from wiping entries cached after it.
+            self.validated_gen
+                .fetch_max(self.remote.last_gen(), Ordering::AcqRel);
         }
         r
+    }
+
+    /// One `Generation` RPC, returning the daemon's current generation.
+    /// If it moved since the last validation, every older-stamped entry
+    /// is suspect (some mutation happened somewhere), so the whole cache
+    /// is dropped; otherwise existing entries stay. Correctness never
+    /// rests on the wipe — each lookup still compares its entry's stamp
+    /// against the returned generation — it only bounds how long
+    /// suspect entries linger.
+    fn validate_generation(&self) -> MetaResultT<u64> {
+        let current = self.remote.generation()?;
+        let prev = self.validated_gen.fetch_max(current, Ordering::AcqRel);
+        if current > prev {
+            self.invalidate_all();
+        }
+        Ok(current)
     }
 
     /// Attr lookup. `allow_ttl` is the stat path: an entry younger than
@@ -125,7 +153,7 @@ impl CachingMetaStore {
                 }
             }
         }
-        let current = self.remote.generation()?;
+        let current = self.validate_generation()?;
         {
             let mut attrs = self.attrs.lock();
             if let Some(e) = attrs.get_mut(filename) {
@@ -137,9 +165,6 @@ impl CachingMetaStore {
             }
         }
         self.note_miss();
-        // The generation moved (or the entry is new): everything stamped
-        // older is suspect, not just this entry.
-        self.invalidate_all();
         let (gen, attr) = self.remote.get_file_attr_with_gen(filename)?;
         if let Some(a) = &attr {
             self.attrs.lock().insert(
@@ -167,7 +192,7 @@ impl MetaStore for CachingMetaStore {
     }
 
     fn get_distribution(&self, filename: &str) -> MetaResultT<Vec<Distribution>> {
-        let current = self.remote.generation()?;
+        let current = self.validate_generation()?;
         {
             let mut dists = self.dists.lock();
             if let Some(e) = dists.get_mut(filename) {
@@ -179,7 +204,6 @@ impl MetaStore for CachingMetaStore {
             }
         }
         self.note_miss();
-        self.invalidate_all();
         let (gen, ds) = self.remote.get_distribution_with_gen(filename)?;
         if !ds.is_empty() {
             self.dists.lock().insert(

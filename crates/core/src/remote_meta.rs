@@ -16,6 +16,15 @@
 //! identically for embedded and remote mounts. Transport failures
 //! (connect, timeout, disconnect — after the pool's retries) surface as
 //! [`dpfs_meta::MetaError::Remote`].
+//!
+//! Retries: read ops replay under the full PR-4 error-class matrix, but
+//! mutations are not idempotent — a replayed `CreateFile`/`RenameFile`
+//! whose first attempt actually committed answers `DuplicateKey`/
+//! `NoSuchTable` even though the op succeeded — so they are reissued
+//! only after *connect* failures, the one class where the request
+//! provably never left this client. A timeout or disconnect on a
+//! mutation surfaces as `MetaError::Remote` (outcome unknown) instead
+//! of being replayed into a spurious application error.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -79,10 +88,16 @@ impl RemoteMetaStore {
     /// Issue one metadata op and return `(generation, result)`. The result
     /// is never the `Err` variant — remote errors are reconstructed into
     /// `MetaError` here. Transient transport failures are retried under
-    /// the pool's policy, each retry traced like any other RPC.
+    /// the pool's policy, each retry traced like any other RPC; mutating
+    /// ops retry only the connect class (see [`mutation_retryable`]).
     fn call(&self, op: MetaOp) -> Result<(u64, MetaResult), MetaError> {
         let trace_id = trace::next_trace_id();
         self.last_trace_id.store(trace_id, Ordering::Relaxed);
+        let retryable: fn(&DpfsError) -> bool = if op.is_mutation() {
+            mutation_retryable
+        } else {
+            RetryPolicy::retryable
+        };
         let req = Request::Meta { op };
         let timeout = self.pool.rpc_timeout();
         let first = self
@@ -91,9 +106,9 @@ impl RemoteMetaStore {
             .and_then(|p| p.wait(timeout));
         let policy = self.pool.retry_policy();
         let resp = match first {
-            Err(err) if policy.enabled() && RetryPolicy::retryable(&err) => {
+            Err(err) if policy.enabled() && retryable(&err) => {
                 self.pool
-                    .retry_after(&self.server, &req, trace_id, err, policy)
+                    .retry_after_if(&self.server, &req, trace_id, err, policy, retryable)
             }
             other => other,
         }
@@ -140,6 +155,16 @@ impl RemoteMetaStore {
             (_, other) => Err(shape_err(&self.server, &format!("{other:?}"))),
         }
     }
+}
+
+/// May a *mutating* metadata op be reissued after `err`? Only connect
+/// failures: the dial never completed, so the request cannot have
+/// reached the daemon. Timeouts, disconnects, and torn frames all leave
+/// the outcome unknown — the daemon may have committed the mutation
+/// before the failure — and replaying a committed `CreateFile`/`Mkdir`/
+/// `RenameFile` turns success into a spurious `DuplicateKey`/not-found.
+fn mutation_retryable(err: &DpfsError) -> bool {
+    matches!(err, DpfsError::Connect { .. })
 }
 
 /// Wrap a transport-level failure for the `MetaStore` surface.
@@ -292,6 +317,39 @@ impl MetaStore for RemoteMetaStore {
         match self.call(MetaOp::Generation)? {
             (gen, MetaResult::Unit) => Ok(gen),
             (_, other) => Err(shape_err(&self.server, &format!("{other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutations_only_retry_connect_failures() {
+        assert!(mutation_retryable(&DpfsError::Connect {
+            server: "m".into(),
+            source: std::io::Error::other("refused"),
+        }));
+        // Errors that may arrive after the daemon executed the request:
+        // retryable for reads, never for mutations.
+        let ambiguous = [
+            DpfsError::Timeout {
+                server: "m".into(),
+                timeout: std::time::Duration::from_secs(1),
+            },
+            DpfsError::Disconnected {
+                server: "m".into(),
+                reason: "lost".into(),
+            },
+            DpfsError::Frame(dpfs_proto::FrameError::Io(std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                "pipe",
+            ))),
+        ];
+        for err in &ambiguous {
+            assert!(RetryPolicy::retryable(err), "{err} retries as a read");
+            assert!(!mutation_retryable(err), "{err} must not replay a mutation");
         }
     }
 }

@@ -296,10 +296,14 @@ impl MetaHandler {
 
     /// Handle one request stamped with `trace_id` (0 = untraced): records
     /// a `handle` span and the per-op service-time histogram sample, and
-    /// answers every metadata op with the post-op generation — for a
-    /// mutation the bump has already committed by the time the store call
-    /// returns, so an acknowledged mutation is always reflected in the
-    /// generation its own reply carries.
+    /// answers every metadata op with a generation stamp. Mutations stamp
+    /// *after* applying — the bump has committed by the time the store
+    /// call returns, so an acknowledged mutation is always reflected in
+    /// the generation its own reply carries. Reads stamp *before* — a
+    /// concurrent mutation committing between the stamp and the catalog
+    /// read makes the stamp conservatively old (clients refetch once),
+    /// never newer than the data (which would let a cache serve a stale
+    /// layout as current).
     pub fn handle_traced(&self, req: Request, trace_id: u64) -> Response {
         self.stats.requests.fetch_add(1, Ordering::Relaxed);
         self.stats.in_flight.fetch_add(1, Ordering::Relaxed);
@@ -311,9 +315,19 @@ impl MetaHandler {
             Request::Meta { op } => {
                 self.stats.meta_ops.fetch_add(1, Ordering::Relaxed);
                 let kind = op.op_str();
+                let is_mutation = op.is_mutation();
+                let pre_gen = if is_mutation {
+                    0
+                } else {
+                    self.store.generation().unwrap_or(0)
+                };
                 let t0 = now_ns();
                 let result = self.apply(op);
-                let gen = self.store.generation().unwrap_or(0);
+                let gen = if is_mutation {
+                    self.store.generation().unwrap_or(0)
+                } else {
+                    pre_gen
+                };
                 let dur = now_ns().saturating_sub(t0);
                 self.stats.hist_for(kind).record(dur);
                 metad_event(trace_id, "handle", kind, &self.name, t0, dur);
@@ -570,6 +584,75 @@ mod tests {
         assert!(g1 > g0, "mutation reply must carry the bumped generation");
         let (g2, _) = meta(&h, MetaOp::GetDir { path: "/d".into() });
         assert_eq!(g2, g1, "reads leave the generation alone");
+    }
+
+    /// The stamp a read reply carries must never be newer than the data
+    /// it describes: if a reader's generation is >= a mutation's reply
+    /// generation, the reader must observe that mutation. (A mutation
+    /// committing between a read's catalog fetch and its generation stamp
+    /// used to produce exactly that violation, letting client caches
+    /// validate stale attrs/layouts as current.)
+    #[test]
+    fn read_replies_never_stamp_stale_data_as_current() {
+        let h = handler();
+        let (_, r) = meta(
+            &h,
+            MetaOp::CreateFile {
+                attr: attr("/f"),
+                dist: vec![],
+            },
+        );
+        assert_eq!(r, MetaResult::Unit);
+        let done = std::sync::atomic::AtomicBool::new(false);
+        let (muts, reads) = std::thread::scope(|s| {
+            let mutator = s.spawn(|| {
+                let mut muts = Vec::new();
+                for size in 1..=400i64 {
+                    let (gen, r) = meta(
+                        &h,
+                        MetaOp::SetFileSize {
+                            filename: "/f".into(),
+                            size,
+                        },
+                    );
+                    assert_eq!(r, MetaResult::Unit);
+                    muts.push((gen, size));
+                }
+                done.store(true, Ordering::Relaxed);
+                muts
+            });
+            let reader = s.spawn(|| {
+                let mut reads = Vec::new();
+                while !done.load(Ordering::Relaxed) {
+                    let (gen, r) = meta(
+                        &h,
+                        MetaOp::GetFileAttr {
+                            filename: "/f".into(),
+                        },
+                    );
+                    let MetaResult::MaybeAttr(Some(a)) = r else {
+                        panic!("expected attr, got {r:?}");
+                    };
+                    reads.push((gen, a.size));
+                }
+                reads
+            });
+            (mutator.join().unwrap(), reader.join().unwrap())
+        });
+        // Mutation reply gens are strictly increasing alongside sizes.
+        for (read_gen, read_size) in reads {
+            let newest_committed = muts
+                .partition_point(|&(mut_gen, _)| mut_gen <= read_gen)
+                .checked_sub(1)
+                .map(|i| muts[i].1)
+                .unwrap_or(0);
+            assert!(
+                read_size >= newest_committed,
+                "reply stamped gen {read_gen} carries size {read_size}, \
+                 but a mutation to size {newest_committed} committed at or \
+                 before that generation"
+            );
+        }
     }
 
     #[test]

@@ -11,9 +11,12 @@
 //! - the client-side attr cache takes hits on repeat stats, visible both in
 //!   the cache's own counters and the transport stats.
 
-use dpfs::cluster::{Testbed, METAD_NAME};
+use std::sync::atomic::Ordering;
+
+use dpfs::cluster::{FaultProxy, Testbed, METAD_NAME};
 use dpfs::core::trace::{ring, Side};
-use dpfs::core::{DpfsError, Hint};
+use dpfs::core::{ClientOptions, Dpfs, DpfsError, Hint};
+use dpfs::meta::MetaError;
 
 #[test]
 fn two_clients_share_one_metad_over_tcp() {
@@ -95,6 +98,72 @@ fn two_clients_share_one_metad_over_tcp() {
             .iter()
             .map(|(o, h)| (o.clone(), h.count))
             .collect::<Vec<_>>()
+    );
+}
+
+/// A metadata mutation whose response is lost may already have committed
+/// on the daemon; replaying it would turn that success into a spurious
+/// `DuplicateKey`. The client must surface the outcome-unknown transport
+/// error without retrying — while reads keep riding the full retry matrix
+/// through the very same fault.
+#[test]
+fn ambiguous_mutation_failures_are_not_replayed() {
+    let tb = Testbed::unthrottled_with_metad(2).unwrap();
+    let proxy = FaultProxy::start(tb.metad_addr().unwrap()).unwrap();
+    let mut resolver = tb.resolver();
+    resolver.alias(METAD_NAME, &proxy.addr().to_string());
+    let client = Dpfs::mount_remote(METAD_NAME, resolver, ClientOptions::default()).unwrap();
+
+    // Warm the connection so the torn frame hits the mkdir *response*,
+    // after the daemon has executed the request.
+    assert!(!client.exists("/nope").unwrap());
+    let retries_before = client.pool().transport_stats(METAD_NAME).unwrap().retries;
+
+    proxy.knobs().truncate_next.store(true, Ordering::Relaxed);
+    let err = client.mkdir("/ambiguous").unwrap_err();
+    assert!(
+        matches!(err, DpfsError::Meta(MetaError::Remote(_))),
+        "lost mutation reply must surface as a transport error, got {err}"
+    );
+    let retries_after = client.pool().transport_stats(METAD_NAME).unwrap().retries;
+    assert_eq!(
+        retries_after, retries_before,
+        "a mutation with an unknown outcome must not be reissued"
+    );
+    // The daemon committed the mkdir exactly once before the tear.
+    assert!(client.dir_exists("/ambiguous").unwrap());
+
+    // Reads through the same fault recover transparently via retry.
+    proxy.knobs().truncate_next.store(true, Ordering::Relaxed);
+    assert!(client.dir_exists("/ambiguous").unwrap());
+    let retried = client.pool().transport_stats(METAD_NAME).unwrap().retries;
+    assert!(retried > retries_before, "the read must have retried");
+}
+
+/// A lookup that merely misses (entry absent, generation unchanged) must
+/// not evict what the cache already holds — only an observed generation
+/// move may wipe it.
+#[test]
+fn plain_cache_misses_do_not_evict_other_entries() {
+    let tb = Testbed::unthrottled_with_metad(2).unwrap();
+    let a = tb.remote_client(0, true);
+    for name in ["/warm.dat", "/cold.dat"] {
+        let mut f = a.create(name, &Hint::linear(256, 256)).unwrap();
+        f.write_bytes(0, &[9u8; 256]).unwrap();
+        f.close().unwrap();
+    }
+    let meta = a.meta();
+    // Layout-path lookups (no TTL): warm the first entry, miss on the
+    // second, then the first must still be cached.
+    assert!(meta.get_file_attr("/warm.dat").unwrap().is_some());
+    assert!(meta.get_file_attr("/cold.dat").unwrap().is_some());
+    let (h0, m0) = a.meta_cache_stats().unwrap();
+    assert!(meta.get_file_attr("/warm.dat").unwrap().is_some());
+    let (h1, m1) = a.meta_cache_stats().unwrap();
+    assert_eq!(
+        (h1, m1),
+        (h0 + 1, m0),
+        "an unrelated miss under an unchanged generation wiped the cache"
     );
 }
 
