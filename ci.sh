@@ -36,6 +36,9 @@ cargo run --release -q -p dpfs-bench --bin trace-summarize -- target/trace-quick
 echo "==> trace export must contain metadata RPC spans (ablation 8 remote mounts)"
 grep -q '"kind":"meta\.' target/trace-quick.jsonl
 
+echo "==> c10k smoke: 256 concurrent connections, flat thread budget, zero drops"
+cargo run --release -q -p dpfs-bench --bin c10k -- --connections 256
+
 echo "==> metad smoke: real daemons fronted by dpfs-sh --metad"
 # The tier-1 build only covers the root package's dependency closure; the
 # daemon binaries live in workspace members, so build them explicitly.

@@ -207,7 +207,7 @@ impl ConnPool {
             if !retryable(&err) {
                 break;
             }
-            std::thread::sleep(policy.backoff(attempt));
+            std::thread::sleep(policy.backoff_for(server, attempt));
             let transport = self.transport(server);
             transport.note_retry();
             let t0 = trace::now_ns();
@@ -322,6 +322,39 @@ pub fn expect_data(resp: Response) -> Result<Vec<bytes::Bytes>> {
             message: format!("expected Data, got {other:?}"),
         }),
     }
+}
+
+/// Interpret a response to a read as data chunks and validate their
+/// *shape* against the request: one chunk per range, each exactly as long
+/// as its range asked (`ranges` is `(offset, len)` pairs; only the
+/// lengths are checkable client-side). A buggy or hostile server
+/// returning short (or long) chunks surfaces as a typed
+/// [`DpfsError::ShortRead`] instead of letting the caller's scatter copy
+/// index out of bounds and panic.
+pub fn expect_chunks(
+    resp: Response,
+    ranges: &[(u64, u64)],
+    server: &str,
+) -> Result<Vec<bytes::Bytes>> {
+    let chunks = expect_data(resp)?;
+    if chunks.len() != ranges.len() {
+        return Err(DpfsError::InvalidArgument(format!(
+            "server {server} returned {} chunks for {} ranges",
+            chunks.len(),
+            ranges.len()
+        )));
+    }
+    for (i, (chunk, &(_, len))) in chunks.iter().zip(ranges).enumerate() {
+        if chunk.len() as u64 != len {
+            return Err(DpfsError::ShortRead {
+                server: server.to_string(),
+                chunk: i,
+                expected: len,
+                got: chunk.len() as u64,
+            });
+        }
+    }
+    Ok(chunks)
 }
 
 /// Interpret a response to a write.

@@ -35,6 +35,19 @@ pub enum DpfsError {
         expected: u64,
         written: u64,
     },
+    /// A server answered a read with a chunk whose length does not match
+    /// the range that requested it. The response is rejected before any
+    /// byte lands in the caller's buffer — a hostile or buggy server must
+    /// surface as an error, never as an out-of-bounds scatter copy.
+    ShortRead {
+        server: String,
+        /// Index of the offending chunk within the response.
+        chunk: usize,
+        /// Bytes the range asked for.
+        expected: u64,
+        /// Bytes the server returned.
+        got: u64,
+    },
     /// Several per-server failures from one logical operation that must
     /// reach every server (e.g. `sync`).
     Aggregate {
@@ -109,6 +122,18 @@ impl fmt::Display for DpfsError {
                     f,
                     "short write on server {server}: sent {expected} bytes, \
                      server acknowledged {written}"
+                )
+            }
+            DpfsError::ShortRead {
+                server,
+                chunk,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "short read on server {server}: chunk {chunk} carried {got} \
+                     bytes for a {expected}-byte range"
                 )
             }
             DpfsError::Aggregate { op, failures } => {

@@ -21,7 +21,7 @@ use dpfs_meta::{Distribution, MetaStore};
 use dpfs_proto::{Request, Response};
 
 use crate::cache::BrickCache;
-use crate::conn::{expect_data, expect_written, ConnPool};
+use crate::conn::{expect_chunks, expect_written, ConnPool};
 use crate::datatype::Datatype;
 use crate::error::{DpfsError, Result, SubfileOutcome};
 use crate::geometry::Region;
@@ -694,7 +694,7 @@ impl FileHandle {
         for (req, res) in reqs.iter().zip(results) {
             match res {
                 Ok(resp) => {
-                    let chunks = expect_chunks(resp, req.ranges.len())?;
+                    let chunks = expect_chunks(resp, &req.ranges, &self.servers[req.server])?;
                     self.stats.requests += 1;
                     self.stats.wire_read += req.wire_bytes();
                     for piece in &req.scatter {
@@ -1009,17 +1009,4 @@ fn retry_if_transient(
         }
         other => other,
     }
-}
-
-/// Unwrap a read response into its data chunks, one per requested range.
-fn expect_chunks(resp: Response, ranges: usize) -> Result<Vec<Bytes>> {
-    let chunks = expect_data(resp)?;
-    if chunks.len() != ranges {
-        return Err(DpfsError::InvalidArgument(format!(
-            "server returned {} chunks for {} ranges",
-            chunks.len(),
-            ranges
-        )));
-    }
-    Ok(chunks)
 }

@@ -45,7 +45,10 @@ fn new_pool(resolver: Resolver, opts: &ClientOptions) -> Arc<ConnPool> {
     let pool = Arc::new(ConnPool::new(Arc::new(resolver)));
     pool.set_rpc_timeout(opts.rpc_timeout);
     pool.set_lockstep(opts.lockstep_rpc);
-    pool.set_retry_policy(opts.retry);
+    // Per-mount jitter seed: an unseeded (default) policy is derived
+    // fresh here, so fleets of default-configured clients never retry in
+    // lockstep; explicitly seeded policies stay deterministic.
+    pool.set_retry_policy(opts.retry.seeded_for_mount());
     pool
 }
 

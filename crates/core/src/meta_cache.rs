@@ -56,7 +56,11 @@ pub struct CachingMetaStore {
     /// revalidating. Zero disables the TTL fast path (every lookup still
     /// benefits from generation validation).
     ttl: Duration,
-    attrs: Mutex<HashMap<String, Stamped<FileAttrRow>>>,
+    /// Attr rows by filename. `None` is a *negative* entry: the daemon
+    /// answered "no such file" at that generation, and repeating the
+    /// probe under an unchanged generation can skip the RPC — the
+    /// stat-heavy `exists?` pattern FalconFS optimizes for.
+    attrs: Mutex<HashMap<String, Stamped<Option<FileAttrRow>>>>,
     dists: Mutex<HashMap<String, Stamped<Vec<Distribution>>>>,
     /// Highest generation the cache has been validated against. Lookups
     /// only wipe the cache when the observed generation moves past this
@@ -143,13 +147,17 @@ impl CachingMetaStore {
     /// Attr lookup. `allow_ttl` is the stat path: an entry younger than
     /// the TTL is served with no RPC. Otherwise (and for stat entries past
     /// their TTL) the entry's generation stamp is revalidated with one
-    /// `Generation` RPC; a stale stamp refetches and restamps.
+    /// `Generation` RPC; a stale stamp refetches and restamps. Negative
+    /// answers (file absent) are cached under exactly the same protocol:
+    /// the reply's generation stamps the absence, so serving it later is
+    /// as provably current as serving a row — any create anywhere would
+    /// have bumped the generation past the stamp.
     fn lookup_attr(&self, filename: &str, allow_ttl: bool) -> MetaResultT<Option<FileAttrRow>> {
         if allow_ttl && !self.ttl.is_zero() {
             if let Some(e) = self.attrs.lock().get(filename) {
                 if e.fetched.elapsed() <= self.ttl {
                     self.note_hit();
-                    return Ok(Some(e.value.clone()));
+                    return Ok(e.value.clone());
                 }
             }
         }
@@ -160,22 +168,20 @@ impl CachingMetaStore {
                 if e.gen == current {
                     e.fetched = Instant::now();
                     self.note_hit();
-                    return Ok(Some(e.value.clone()));
+                    return Ok(e.value.clone());
                 }
             }
         }
         self.note_miss();
         let (gen, attr) = self.remote.get_file_attr_with_gen(filename)?;
-        if let Some(a) = &attr {
-            self.attrs.lock().insert(
-                filename.to_string(),
-                Stamped {
-                    gen,
-                    fetched: Instant::now(),
-                    value: a.clone(),
-                },
-            );
-        }
+        self.attrs.lock().insert(
+            filename.to_string(),
+            Stamped {
+                gen,
+                fetched: Instant::now(),
+                value: attr.clone(),
+            },
+        );
         Ok(attr)
     }
 }
@@ -205,16 +211,17 @@ impl MetaStore for CachingMetaStore {
         }
         self.note_miss();
         let (gen, ds) = self.remote.get_distribution_with_gen(filename)?;
-        if !ds.is_empty() {
-            self.dists.lock().insert(
-                filename.to_string(),
-                Stamped {
-                    gen,
-                    fetched: Instant::now(),
-                    value: ds.clone(),
-                },
-            );
-        }
+        // An empty distribution (absent file) is cached too — the
+        // generation stamp makes the negative answer exactly as
+        // revalidatable as a positive one.
+        self.dists.lock().insert(
+            filename.to_string(),
+            Stamped {
+                gen,
+                fetched: Instant::now(),
+                value: ds.clone(),
+            },
+        );
         Ok(ds)
     }
 

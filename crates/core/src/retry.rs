@@ -35,22 +35,57 @@ pub struct RetryPolicy {
     /// factor drawn uniformly from `[100 - jitter_pct, 100 + jitter_pct]`
     /// percent. 0 disables jitter. Values above 100 are treated as 100.
     pub jitter_pct: u32,
-    /// Seed of the jitter stream. The backoff for attempt `n` is a pure
-    /// function of `(seed, n)`, so runs replay deterministically.
-    pub seed: u64,
+    /// Seed of the jitter stream: `Some(seed)` pins it (the backoff for
+    /// attempt `n` is then a pure function of `(seed, server, n)`, so
+    /// test runs replay exactly); `None` — the default — means "derive a
+    /// fresh seed when this policy is installed on a mount"
+    /// ([`RetryPolicy::seeded_for_mount`]). A fixed fleet-wide default
+    /// seed would make every client sleep *identical* "jitter", keeping
+    /// retry storms in lockstep — the opposite of the de-synchronization
+    /// jitter exists for.
+    pub seed: Option<u64>,
 }
 
 impl Default for RetryPolicy {
-    /// Three retries (four attempts), 10 ms base, 200 ms cap, ±50% jitter.
+    /// Three retries (four attempts), 10 ms base, 200 ms cap, ±50% jitter,
+    /// per-mount seed derivation.
     fn default() -> Self {
         RetryPolicy {
             max_attempts: 4,
             base_backoff: Duration::from_millis(10),
             max_backoff: Duration::from_millis(200),
             jitter_pct: 50,
-            seed: 0x9e37_79b9_7f4a_7c15,
+            seed: None,
         }
     }
+}
+
+/// Jitter seed an unseeded policy falls back to when its backoff is
+/// computed before any mount installed it (and the legacy fleet-wide
+/// constant, kept so direct `backoff()` calls stay deterministic).
+const FALLBACK_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// A fresh, unpredictable-enough jitter seed: wall-clock nanoseconds
+/// mixed (splitmix64) with the process ID and a per-process counter, so
+/// two mounts in one process — or one process per node across a fleet —
+/// never share a jitter stream.
+pub fn entropy_seed() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let mut x = nanos
+        ^ (u64::from(std::process::id()) << 32)
+        ^ COUNTER
+            .fetch_add(1, Ordering::Relaxed)
+            .wrapping_mul(0xa076_1d64_78bd_642f);
+    // splitmix64 finalizer
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
 }
 
 impl RetryPolicy {
@@ -89,10 +124,35 @@ impl RetryPolicy {
         )
     }
 
+    /// Pin the jitter seed (tests, replayable runs). Overrides per-mount
+    /// derivation.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Resolve this policy for installation on one mount: an unseeded
+    /// (`seed: None`) policy gets a fresh [`entropy_seed`], so two
+    /// default-configured mounts jitter differently; an explicit seed is
+    /// kept verbatim.
+    pub fn seeded_for_mount(mut self) -> Self {
+        if self.seed.is_none() {
+            self.seed = Some(entropy_seed());
+        }
+        self
+    }
+
     /// Backoff before retry number `attempt` (1-based: the sleep before
     /// the first retry is `backoff(1)`). Exponential from `base_backoff`,
     /// capped at `max_backoff`, scaled by deterministic jitter.
     pub fn backoff(&self, attempt: u32) -> Duration {
+        self.backoff_for("", attempt)
+    }
+
+    /// [`RetryPolicy::backoff`] with the target server's name mixed into
+    /// the jitter stream, so one client retrying against several servers
+    /// does not hammer them in phase either.
+    pub fn backoff_for(&self, server: &str, attempt: u32) -> Duration {
         let exp = attempt.saturating_sub(1).min(32);
         let raw = self
             .base_backoff
@@ -102,8 +162,14 @@ impl RetryPolicy {
         if jitter == 0 || raw.is_zero() {
             return raw;
         }
+        // FNV-1a over the server name: cheap, deterministic mixing.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in server.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let seed = self.seed.unwrap_or(FALLBACK_SEED);
         use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed ^ u64::from(attempt));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ h ^ u64::from(attempt));
         let pct = rng.gen_range(100 - jitter..=100 + jitter);
         raw.saturating_mul(pct) / 100
     }
@@ -191,10 +257,44 @@ mod tests {
                 "{a:?} outside ±50% of {raw:?}"
             );
         }
-        let other_seed = RetryPolicy { seed: 7, ..p };
+        let other_seed = RetryPolicy { seed: Some(7), ..p };
         assert!(
             (1..16).any(|n| other_seed.backoff(n) != p.backoff(n)),
             "different seeds should jitter differently"
         );
+    }
+
+    #[test]
+    fn mount_seeding_desynchronizes_defaults_but_keeps_overrides() {
+        // Two mounts installing the *default* policy must not share a
+        // jitter stream (the fleet-synchronization bug): each gets its
+        // own derived seed.
+        let a = RetryPolicy::default().seeded_for_mount();
+        let b = RetryPolicy::default().seeded_for_mount();
+        assert!(a.seed.is_some() && b.seed.is_some());
+        assert_ne!(a.seed, b.seed, "per-mount seeds must differ");
+        assert!(
+            (1..16).any(|n| a.backoff(n) != b.backoff(n)),
+            "two default mounts must produce different backoff streams"
+        );
+        // An explicit seed survives installation untouched — tests that
+        // pin the stream stay deterministic.
+        let pinned = RetryPolicy::default().with_seed(42).seeded_for_mount();
+        assert_eq!(pinned.seed, Some(42));
+        assert_eq!(
+            pinned.backoff(3),
+            RetryPolicy::default().with_seed(42).backoff(3)
+        );
+    }
+
+    #[test]
+    fn server_name_joins_the_jitter_stream() {
+        let p = RetryPolicy::default().with_seed(99);
+        assert!(
+            (1..16).any(|n| p.backoff_for("ion00", n) != p.backoff_for("ion01", n)),
+            "different servers should jitter differently"
+        );
+        // And stays deterministic per (seed, server, attempt).
+        assert_eq!(p.backoff_for("ion00", 2), p.backoff_for("ion00", 2));
     }
 }

@@ -208,6 +208,66 @@ fn read_tail<R: Read>(r: &mut R) -> Result<Bytes, FrameError> {
     Ok(Bytes::from(payload))
 }
 
+/// Try to decode one frame (any version) from the front of `buf` without
+/// consuming anything on failure. The readiness-driven server runtime
+/// accumulates nonblocking reads into a per-connection buffer and calls
+/// this until it returns `Ok(None)`.
+///
+/// - `Ok(Some((frame, consumed)))` — a complete frame; the caller should
+///   drop the first `consumed` bytes.
+/// - `Ok(None)` — the buffer holds only a prefix of a frame; read more.
+/// - `Err(_)` — the prefix can never become a valid frame (bad magic,
+///   oversized length, checksum mismatch); the connection is corrupt.
+pub fn decode_slice(buf: &[u8]) -> Result<Option<(Frame, usize)>, FrameError> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let magic: [u8; 4] = buf[..4].try_into().unwrap();
+    let header_len = if magic == MAGIC {
+        12
+    } else if magic == MAGIC_V2 {
+        20
+    } else if magic == MAGIC_V3 {
+        28
+    } else {
+        return Err(FrameError::BadMagic(magic));
+    };
+    if buf.len() < header_len {
+        return Ok(None);
+    }
+    // The `[len u32][crc u32]` tail sits at the end of every header.
+    let len = u32::from_le_bytes(buf[header_len - 8..header_len - 4].try_into().unwrap()) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(FrameError::Oversized(len));
+    }
+    let expected = u32::from_le_bytes(buf[header_len - 4..header_len].try_into().unwrap());
+    if buf.len() < header_len + len {
+        return Ok(None);
+    }
+    let payload = &buf[header_len..header_len + len];
+    let actual = crc32(payload);
+    if actual != expected {
+        return Err(FrameError::BadChecksum { expected, actual });
+    }
+    let mut trace_id = 0u64;
+    let corr_id = if magic == MAGIC {
+        None
+    } else if magic == MAGIC_V2 {
+        Some(u64::from_le_bytes(buf[4..12].try_into().unwrap()))
+    } else {
+        trace_id = u64::from_le_bytes(buf[12..20].try_into().unwrap());
+        Some(u64::from_le_bytes(buf[4..12].try_into().unwrap()))
+    };
+    Ok(Some((
+        Frame {
+            corr_id,
+            trace_id,
+            payload: Bytes::copy_from_slice(payload),
+        },
+        header_len + len,
+    )))
+}
+
 /// Read one v1 frame, returning its payload. `Err(Closed)` when the peer
 /// shut the stream down cleanly before a new frame began.
 pub fn read_frame<R: Read>(r: &mut R) -> Result<Bytes, FrameError> {
@@ -469,6 +529,66 @@ mod tests {
         buf[n - 1] ^= 0xFF;
         assert!(matches!(
             read_frame_any(&mut Cursor::new(&buf)),
+            Err(FrameError::BadChecksum { .. })
+        ));
+    }
+
+    #[test]
+    fn decode_slice_round_trips_every_version() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"one").unwrap();
+        write_frame_v2(&mut buf, 2, b"two").unwrap();
+        write_frame_v3(&mut buf, 3, 33, b"three").unwrap();
+        let (f, n) = decode_slice(&buf).unwrap().unwrap();
+        assert_eq!(
+            (f.corr_id, f.trace_id, &f.payload[..]),
+            (None, 0, &b"one"[..])
+        );
+        let rest = &buf[n..];
+        let (f, n2) = decode_slice(rest).unwrap().unwrap();
+        assert_eq!((f.corr_id, &f.payload[..]), (Some(2), &b"two"[..]));
+        let (f, n3) = decode_slice(&rest[n2..]).unwrap().unwrap();
+        assert_eq!(
+            (f.corr_id, f.trace_id, &f.payload[..]),
+            (Some(3), 33, &b"three"[..])
+        );
+        assert_eq!(n + n2 + n3, buf.len());
+        assert!(decode_slice(&[]).unwrap().is_none());
+    }
+
+    #[test]
+    fn decode_slice_needs_more_on_every_prefix() {
+        let mut buf = Vec::new();
+        write_frame_v3(&mut buf, 7, 8, b"partial").unwrap();
+        for cut in 0..buf.len() {
+            assert!(
+                decode_slice(&buf[..cut]).unwrap().is_none(),
+                "prefix of {cut} bytes must ask for more"
+            );
+        }
+        assert!(decode_slice(&buf).unwrap().is_some());
+    }
+
+    #[test]
+    fn decode_slice_rejects_corruption() {
+        assert!(matches!(
+            decode_slice(b"XXXX____"),
+            Err(FrameError::BadMagic(_))
+        ));
+        let mut oversized = Vec::new();
+        oversized.extend_from_slice(&MAGIC);
+        oversized.extend_from_slice(&u32::MAX.to_le_bytes());
+        oversized.extend_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            decode_slice(&oversized),
+            Err(FrameError::Oversized(_))
+        ));
+        let mut buf = Vec::new();
+        write_frame_v2(&mut buf, 1, b"payload").unwrap();
+        let n = buf.len();
+        buf[n - 1] ^= 0xFF;
+        assert!(matches!(
+            decode_slice(&buf),
             Err(FrameError::BadChecksum { .. })
         ));
     }

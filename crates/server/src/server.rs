@@ -13,7 +13,7 @@ use dpfs_proto::{Request, Response};
 
 use crate::handler::Handler;
 use crate::perf::PerfModel;
-use crate::service::{ServeCore, Service};
+use crate::service::{RuntimeMode, ServeConfig, ServeCore, Service};
 use crate::stats::StatsSnapshot;
 use crate::subfile::SubfileStore;
 
@@ -33,6 +33,8 @@ pub struct ServerConfig {
     pub perf: PerfModel,
     /// Listen address; `127.0.0.1:0` (ephemeral localhost port) by default.
     pub bind: String,
+    /// Serving-runtime selection and sizing (readiness shards by default).
+    pub runtime: ServeConfig,
 }
 
 impl ServerConfig {
@@ -44,6 +46,7 @@ impl ServerConfig {
             capacity: 0,
             perf,
             bind: "127.0.0.1:0".to_string(),
+            runtime: ServeConfig::default(),
         }
     }
 
@@ -51,6 +54,13 @@ impl ServerConfig {
     /// deployment).
     pub fn bind(mut self, addr: &str) -> Self {
         self.bind = addr.to_string();
+        self
+    }
+
+    /// Select a serving runtime (ablation baselines use
+    /// [`RuntimeMode::ThreadPerConn`]).
+    pub fn runtime(mut self, mode: RuntimeMode) -> Self {
+        self.runtime.mode = mode;
         self
     }
 }
@@ -83,7 +93,7 @@ impl IoServer {
         let store = SubfileStore::open(&config.root, config.capacity)
             .map_err(|e| io::Error::other(e.to_string()))?;
         let handler = Arc::new(Handler::new(&config.name, store, config.perf));
-        let core = ServeCore::start(&config.bind, handler.clone())?;
+        let core = ServeCore::start_with(&config.bind, handler.clone(), config.runtime)?;
         Ok(IoServer {
             name: config.name,
             handler,
@@ -118,11 +128,19 @@ impl IoServer {
         self.core.open_connections()
     }
 
-    /// Number of connection threads not yet reaped (0 after [`stop`]).
+    /// Number of per-connection threads not yet reaped (0 after [`stop`],
+    /// and always 0 in the readiness runtime, which has none).
     ///
     /// [`stop`]: IoServer::stop
     pub fn live_connection_threads(&self) -> usize {
         self.core.live_connection_threads()
+    }
+
+    /// Threads the serving runtime owns independent of connections
+    /// (acceptor + shards + workers). Fixed at start in the readiness
+    /// runtime — the C10K invariant.
+    pub fn runtime_threads(&self) -> usize {
+        self.core.runtime_threads()
     }
 
     /// Stop accepting, sever live connections, and join the accept thread
@@ -143,14 +161,20 @@ mod tests {
     use std::net::TcpStream;
 
     fn start_server(tag: &str) -> (IoServer, PathBuf) {
+        start_server_mode(tag, RuntimeMode::Readiness)
+    }
+
+    fn start_server_mode(tag: &str, mode: RuntimeMode) -> (IoServer, PathBuf) {
         let dir = std::env::temp_dir().join(format!(
             "dpfs-server-{tag}-{}-{:?}",
             std::process::id(),
             std::thread::current().id()
         ));
         let _ = std::fs::remove_dir_all(&dir);
-        let server =
-            IoServer::start(ServerConfig::new("test", &dir, PerfModel::unthrottled())).unwrap();
+        let server = IoServer::start(
+            ServerConfig::new("test", &dir, PerfModel::unthrottled()).runtime(mode),
+        )
+        .unwrap();
         (server, dir)
     }
 
@@ -290,11 +314,12 @@ mod tests {
 
     #[test]
     fn stop_reaps_connection_threads_and_frees_port() {
-        // Regression: connection threads used to be spawned detached, so
-        // stop() returned while handlers (and, transitively, anything
-        // racing the listener port) were still alive. stop() must join
-        // every server thread; the port must be immediately rebindable.
-        let (mut server, dir) = start_server("reap");
+        // Regression (ThreadPerConn baseline): connection threads used to
+        // be spawned detached, so stop() returned while handlers (and,
+        // transitively, anything racing the listener port) were still
+        // alive. stop() must join every server thread; the port must be
+        // immediately rebindable.
+        let (mut server, dir) = start_server_mode("reap", RuntimeMode::ThreadPerConn);
         let addr = server.addr();
         let mut clients: Vec<TcpStream> =
             (0..4).map(|_| TcpStream::connect(addr).unwrap()).collect();
@@ -326,6 +351,41 @@ mod tests {
     }
 
     #[test]
+    fn readiness_thread_count_is_flat_and_stop_frees_port() {
+        // The C10K invariant at unit scale: the readiness runtime never
+        // grows a thread per connection, and stop() leaves the port
+        // immediately rebindable (same guarantee the baseline test pins).
+        let (mut server, dir) = start_server("flat");
+        let addr = server.addr();
+        let fixed = server.runtime_threads();
+        assert!(fixed >= 3, "acceptor + >=1 shard + >=2 workers");
+        let mut clients: Vec<TcpStream> =
+            (0..16).map(|_| TcpStream::connect(addr).unwrap()).collect();
+        for c in clients.iter_mut() {
+            assert_eq!(rpc(c, Request::Ping), Response::Pong);
+        }
+        assert_eq!(
+            server.runtime_threads(),
+            fixed,
+            "16 connections must not change the thread count"
+        );
+        assert_eq!(server.live_connection_threads(), 0);
+        server.stop();
+        assert_eq!(server.open_connections(), 0);
+        for round in 0..3 {
+            let cfg =
+                ServerConfig::new("test", &dir, PerfModel::unthrottled()).bind(&addr.to_string());
+            let mut restarted = IoServer::start(cfg)
+                .unwrap_or_else(|e| panic!("round {round}: rebind of {addr} failed: {e}"));
+            let mut c = TcpStream::connect(addr).unwrap();
+            assert_eq!(rpc(&mut c, Request::Ping), Response::Pong);
+            drop(c);
+            restarted.stop();
+        }
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
     fn shutdown_request_stops_server() {
         let (server, dir) = start_server("shutreq");
         let mut c = TcpStream::connect(server.addr()).unwrap();
@@ -334,5 +394,65 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(50));
         drop(server);
         std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// A wire `Request::Shutdown` must quiesce the whole server on its
+    /// own — wake the acceptor, sever idle connections, close the
+    /// listener — without a follow-up connection (which is exactly what
+    /// the old runtime needed: only stop()'s self-dial ever unblocked
+    /// accept()).
+    #[test]
+    fn wire_shutdown_quiesces_without_a_followup_connection() {
+        for mode in [RuntimeMode::Readiness, RuntimeMode::ThreadPerConn] {
+            let (server, dir) = start_server_mode("wiredrain", mode);
+            let addr = server.addr();
+            // An *idle* second connection: nothing will ever poke it.
+            let mut idle = TcpStream::connect(addr).unwrap();
+            assert_eq!(rpc(&mut idle, Request::Ping), Response::Pong);
+            let mut c = TcpStream::connect(addr).unwrap();
+            assert_eq!(
+                rpc(&mut c, Request::Shutdown),
+                Response::Pong,
+                "{mode:?}: shutdown must be acknowledged before the drain"
+            );
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+            // The idle connection gets severed...
+            idle.set_read_timeout(Some(std::time::Duration::from_millis(50)))
+                .unwrap();
+            let mut scratch = [0u8; 1];
+            loop {
+                use std::io::Read;
+                match idle.read(&mut scratch) {
+                    Ok(0) => break, // EOF: severed
+                    Ok(_) => panic!("{mode:?}: unsolicited bytes on the idle connection"),
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        assert!(
+                            std::time::Instant::now() < deadline,
+                            "{mode:?}: idle connection never severed by wire shutdown"
+                        );
+                    }
+                    Err(_) => break, // reset: also severed
+                }
+            }
+            // ...and the listener closes, with no client ever dialing in
+            // to wake it.
+            loop {
+                match TcpStream::connect(addr) {
+                    Err(_) => break,
+                    Ok(_) => {
+                        assert!(
+                            std::time::Instant::now() < deadline,
+                            "{mode:?}: listener still accepting after wire shutdown"
+                        );
+                        std::thread::sleep(std::time::Duration::from_millis(5));
+                    }
+                }
+            }
+            drop(server);
+            std::fs::remove_dir_all(dir).unwrap();
+        }
     }
 }

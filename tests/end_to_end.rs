@@ -203,3 +203,40 @@ fn greedy_file_distribution_matches_catalog() {
         assert_eq!(d.bricklist.len(), *load);
     }
 }
+
+#[test]
+fn default_mounts_draw_distinct_retry_jitter_streams() {
+    // Two clients mounted with stock options must not share a retry
+    // jitter seed — a fleet of default-configured mounts retrying a
+    // flapping server in lockstep is exactly the thundering herd jitter
+    // exists to break up. Explicit seeds (tests, replayable runs) are
+    // honoured verbatim.
+    let dir = std::env::temp_dir().join(format!("dpfs-it-jitter-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let db = Arc::new(Database::open(&dir).unwrap());
+    let a = Dpfs::mount(db.clone(), Resolver::direct(), ClientOptions::default()).unwrap();
+    let b = Dpfs::mount(db.clone(), Resolver::direct(), ClientOptions::default()).unwrap();
+    let (pa, pb) = (a.pool().retry_policy(), b.pool().retry_policy());
+    assert!(pa.seed.is_some() && pb.seed.is_some(), "mounts must seed");
+    assert_ne!(pa.seed, pb.seed, "default mounts shared a jitter seed");
+    assert!(
+        (1..16).any(|n| pa.backoff_for("ion00", n) != pb.backoff_for("ion00", n)),
+        "two default mounts produced identical backoff streams"
+    );
+
+    let pinned = ClientOptions {
+        retry: dpfs::core::RetryPolicy::default().with_seed(42),
+        ..ClientOptions::default()
+    };
+    let c = Dpfs::mount(db.clone(), Resolver::direct(), pinned).unwrap();
+    let d = Dpfs::mount(db, Resolver::direct(), pinned).unwrap();
+    assert_eq!(c.pool().retry_policy().seed, Some(42));
+    for n in 1..8 {
+        assert_eq!(
+            c.pool().retry_policy().backoff_for("ion00", n),
+            d.pool().retry_policy().backoff_for("ion00", n),
+            "pinned seeds must replay exactly"
+        );
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}

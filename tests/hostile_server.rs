@@ -1,0 +1,149 @@
+//! Hostile-server regression tests: a peer that speaks the frame protocol
+//! perfectly but lies in the payload must produce a *typed error*, never a
+//! client panic.
+//!
+//! Before the fix, the client validated only the chunk *count* of a read
+//! reply; a chunk shorter than its requested range slid through to the
+//! scatter copy in `file.rs`, which panicked slicing past the chunk's end.
+//! Now every chunk's length is checked against its range and the client
+//! returns [`DpfsError::ShortRead`] with the server's name attached.
+
+use std::net::{SocketAddr, TcpListener};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use dpfs::core::{ClientOptions, Dpfs, DpfsError, Hint, Resolver};
+use dpfs::meta::{Database, ServerInfo};
+use dpfs::proto::{frame, Request, Response};
+
+/// How the hostile server answers a `Read` for `ranges`.
+type ChunkForge = fn(&[(u64, u64)]) -> Vec<Bytes>;
+
+/// A protocol-correct server whose read replies carry chunks forged by
+/// `forge`. Writes and everything else are answered honestly enough for
+/// the client's metadata path to proceed.
+fn start_hostile_server(forge: ChunkForge) -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(mut stream) = stream else { return };
+            std::thread::spawn(move || {
+                while let Ok(f) = frame::read_frame_any(&mut stream) {
+                    let Ok(req) = Request::decode(f.payload) else {
+                        return;
+                    };
+                    let resp = match req {
+                        Request::Read { ranges, .. } => Response::Data {
+                            chunks: forge(&ranges),
+                        },
+                        Request::Write { ranges, .. } => Response::Written {
+                            bytes: ranges.iter().map(|(_, d)| d.len() as u64).sum(),
+                        },
+                        _ => Response::Pong,
+                    };
+                    let id = f.corr_id.unwrap_or(0);
+                    if frame::write_frame_v2(&mut stream, id, &resp.encode()).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+    });
+    addr
+}
+
+/// A client whose only I/O server is the hostile one.
+fn hostile_client(tag: &str, addr: SocketAddr) -> Dpfs {
+    let dir = std::env::temp_dir().join(format!("dpfs-hostile-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let db = Arc::new(Database::open(&dir).unwrap());
+    let mut resolver = Resolver::direct();
+    resolver.alias("hostile00", &addr.to_string());
+    let client = Dpfs::mount(db, resolver, ClientOptions::default()).unwrap();
+    client
+        .register_server(&ServerInfo {
+            name: "hostile00".into(),
+            capacity: i64::MAX,
+            performance: 1,
+        })
+        .unwrap();
+    client
+}
+
+#[test]
+fn short_chunk_is_a_typed_error_not_a_panic() {
+    // Every chunk comes back one byte short of its promised range.
+    let addr = start_hostile_server(|ranges| {
+        ranges
+            .iter()
+            .map(|&(_, len)| Bytes::from(vec![7u8; len.saturating_sub(1) as usize]))
+            .collect()
+    });
+    let client = hostile_client("short", addr);
+    let mut f = client.create("/lie.dat", &Hint::linear(256, 256)).unwrap();
+    let err = f.read_bytes(0, 256).unwrap_err();
+    match err {
+        DpfsError::ShortRead {
+            server,
+            chunk,
+            expected,
+            got,
+        } => {
+            assert_eq!(server, "hostile00");
+            assert_eq!(chunk, 0);
+            assert_eq!((expected, got), (256, 255));
+        }
+        other => panic!("expected ShortRead, got {other}"),
+    }
+}
+
+#[test]
+fn oversized_chunk_is_rejected_too() {
+    // A chunk *longer* than its range is just as much of a lie — and
+    // silently truncating it would mask server bugs.
+    let addr = start_hostile_server(|ranges| {
+        ranges
+            .iter()
+            .map(|&(_, len)| Bytes::from(vec![7u8; len as usize + 9]))
+            .collect()
+    });
+    let client = hostile_client("long", addr);
+    let mut f = client.create("/pad.dat", &Hint::linear(256, 256)).unwrap();
+    let err = f.read_bytes(0, 256).unwrap_err();
+    assert!(
+        matches!(err, DpfsError::ShortRead { got: 265, .. }),
+        "expected ShortRead {{ got: 265 }}, got {err}"
+    );
+}
+
+#[test]
+fn wrong_chunk_count_is_rejected() {
+    // The server answers every read with zero chunks, whatever was asked.
+    let addr = start_hostile_server(|_| Vec::new());
+    let client = hostile_client("count", addr);
+    let mut f = client
+        .create("/count.dat", &Hint::linear(128, 512))
+        .unwrap();
+    let err = f.read_bytes(0, 512).unwrap_err();
+    assert!(
+        matches!(err, DpfsError::InvalidArgument(_)),
+        "expected InvalidArgument, got {err}"
+    );
+}
+
+#[test]
+fn honest_chunks_still_round_trip() {
+    // Control: the same raw-server scaffolding answering honestly (zeros,
+    // matching lengths) passes validation — the checks reject lies, not
+    // well-formed replies.
+    let addr = start_hostile_server(|ranges| {
+        ranges
+            .iter()
+            .map(|&(_, len)| Bytes::from(vec![0u8; len as usize]))
+            .collect()
+    });
+    let client = hostile_client("honest", addr);
+    let mut f = client.create("/ok.dat", &Hint::linear(256, 256)).unwrap();
+    assert_eq!(f.read_bytes(0, 256).unwrap(), vec![0u8; 256]);
+}

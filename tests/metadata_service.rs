@@ -168,6 +168,40 @@ fn plain_cache_misses_do_not_evict_other_entries() {
 }
 
 #[test]
+fn negative_lookups_are_cached_and_invalidated_by_creates() {
+    let tb = Testbed::unthrottled_with_metad(2).unwrap();
+    let a = tb.remote_client(0, true);
+    let meta = a.meta();
+
+    // First probe of an absent file is a miss; the "no such file" answer
+    // is generation-stamped and cached, so repeating the probe under an
+    // unchanged generation is a hit, not another attr fetch.
+    assert!(meta.get_file_attr("/ghost.dat").unwrap().is_none());
+    let (h0, m0) = a.meta_cache_stats().unwrap();
+    assert!(meta.get_file_attr("/ghost.dat").unwrap().is_none());
+    assert!(meta.get_distribution("/ghost.dat").unwrap().is_empty());
+    assert!(meta.get_distribution("/ghost.dat").unwrap().is_empty());
+    let (h1, m1) = a.meta_cache_stats().unwrap();
+    assert_eq!(
+        h1,
+        h0 + 2,
+        "repeat negative attr + distribution probes must be cache hits"
+    );
+    assert_eq!(m1, m0 + 1, "only the first distribution probe may miss");
+
+    // A create bumps the generation, so the cached absence must not
+    // outlive it: the very next lookup sees the new file.
+    let mut f = a.create("/ghost.dat", &Hint::linear(256, 256)).unwrap();
+    f.write_bytes(0, &[3u8; 256]).unwrap();
+    f.close().unwrap();
+    assert!(
+        meta.get_file_attr("/ghost.dat").unwrap().is_some(),
+        "stale negative entry served after the file was created"
+    );
+    assert!(!meta.get_distribution("/ghost.dat").unwrap().is_empty());
+}
+
+#[test]
 fn concurrent_cross_client_mutations_serialize() {
     // Two remote clients race create/rename/delete on disjoint and shared
     // names; the daemon serializes them and the namespace stays exact.
