@@ -39,19 +39,22 @@ grep -q '"kind":"meta\.' target/trace-quick.jsonl
 echo "==> c10k smoke: 256 concurrent connections, flat thread budget, zero drops"
 cargo run --release -q -p dpfs-bench --bin c10k -- --connections 256
 
-echo "==> metad smoke: real daemons fronted by dpfs-sh --metad"
+echo "==> metad smoke: two real daemon shards fronted by dpfs-sh --metad"
 # The tier-1 build only covers the root package's dependency closure; the
 # daemon binaries live in workspace members, so build them explicitly.
 cargo build --release -q -p dpfs-metad -p dpfs-server -p dpfs-shell --bins
 rm -rf target/metad-smoke
 mkdir -p target/metad-smoke/ion0
-./target/release/dpfs-metad --bind 127.0.0.1:17441 \
-    >target/metad-smoke/metad.log 2>&1 &
-METAD_PID=$!
+./target/release/dpfs-metad --bind 127.0.0.1:17441 --shard 0 --shards 2 \
+    >target/metad-smoke/metad0.log 2>&1 &
+METAD0_PID=$!
+./target/release/dpfs-metad --bind 127.0.0.1:17442 --shard 1 --shards 2 \
+    >target/metad-smoke/metad1.log 2>&1 &
+METAD1_PID=$!
 ./target/release/dpfs-iond --root target/metad-smoke/ion0 --bind 127.0.0.1:17440 \
     >target/metad-smoke/iond.log 2>&1 &
 IOND_PID=$!
-trap 'kill $METAD_PID $IOND_PID 2>/dev/null || :' EXIT
+trap 'kill $METAD0_PID $METAD1_PID $IOND_PID 2>/dev/null || :' EXIT
 sleep 1
 printf '%s\n' \
     'mkdir /ci' \
@@ -60,16 +63,26 @@ printf '%s\n' \
     'export /ci/readme.md target/metad-smoke/readme.roundtrip' \
     'stats' \
     'rm /ci/readme.md' \
-    | ./target/release/dpfs-sh --metad 127.0.0.1:17441 --server ion0=127.0.0.1:17440 \
+    | ./target/release/dpfs-sh \
+        --metad 127.0.0.1:17441 --metad 127.0.0.1:17442 \
+        --server ion0=127.0.0.1:17440 \
     >target/metad-smoke/shell.out 2>&1
-kill "$METAD_PID" "$IOND_PID" 2>/dev/null || :
+kill "$METAD0_PID" "$METAD1_PID" "$IOND_PID" 2>/dev/null || :
 trap - EXIT
-# The mount banner proves metadata went over TCP; the per-op histogram row
-# proves the daemon served it; cmp proves data round-tripped through the
-# real I/O daemon byte-for-byte.
-grep -q 'metadata: remote via metad' target/metad-smoke/shell.out
-grep -q 'meta\.mkdir' target/metad-smoke/shell.out
+# The stats sections prove metadata went over TCP to *both* shards; the
+# broadcast mkdir row proves each daemon executed ops; cmp proves data
+# round-tripped through the real I/O daemon byte-for-byte.
+grep -q 'metadata: remote via metad0' target/metad-smoke/shell.out
+grep -q 'metadata: remote via metad1' target/metad-smoke/shell.out
+test "$(grep -c 'meta ops,' target/metad-smoke/shell.out)" -eq 2
+! grep -q ' 0 meta ops,' target/metad-smoke/shell.out
+test "$(grep -c 'meta\.mkdir' target/metad-smoke/shell.out)" -eq 2
 cmp -s README.md target/metad-smoke/readme.roundtrip
 echo "metad smoke: ok"
+
+echo "==> metad sharding ablation smoke (--quick): 1/2/4-shard storm"
+cargo run --release -q -p dpfs-bench --bin metad-shards -- --quick \
+    --out target/metad-shards-quick.json
+grep -q '"bench":"metad_shards"' target/metad-shards-quick.json
 
 echo "CI green."

@@ -12,5 +12,5 @@ pub mod testbed;
 pub mod workload;
 
 pub use faultproxy::FaultProxy;
-pub use testbed::{NodeSpec, Testbed, METAD_NAME};
+pub use testbed::{metad_name, NodeSpec, Testbed, METAD_NAME};
 pub use workload::{run_clients, Bandwidth};

@@ -6,6 +6,10 @@
 //! a `dpfs-metad` daemon over the same database, and
 //! [`Testbed::remote_client`] mounts clients against it over TCP — the
 //! paper's real topology, where metadata crosses the wire like data does.
+//! [`Testbed::start_with_metad_shards`] generalizes the remote mode to a
+//! *partitioned* metadata plane: N daemons (aliased `metad0`..`metad{N-1}`),
+//! each owning its own catalog database with the full I/O-server registry,
+//! and remote clients route per-path across all of them.
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -18,8 +22,14 @@ use dpfs_server::{IoServer, PerfModel, ServerConfig, StorageClass};
 
 static TESTBED_COUNTER: AtomicU64 = AtomicU64::new(0);
 
-/// Resolver alias the testbed's metadata daemon registers under.
+/// Resolver alias the testbed's metadata daemon registers under (shard 0
+/// when the plane is sharded).
 pub const METAD_NAME: &str = "metad0";
+
+/// Resolver alias of metadata shard `i` (`metad0`, `metad1`, ...).
+pub fn metad_name(i: usize) -> String {
+    format!("metad{i}")
+}
 
 /// Specification of one I/O node.
 #[derive(Debug, Clone)]
@@ -64,14 +74,15 @@ pub struct Testbed {
     db: Arc<Database>,
     resolver: Resolver,
     root: PathBuf,
-    metad: Option<MetaServer>,
+    /// Metadata daemons in shard order (empty = embedded-only testbed).
+    metads: Vec<MetaServer>,
 }
 
 impl Testbed {
     /// Start one server per spec, register them all in a fresh in-memory
     /// metadata database, and build the name resolver.
     pub fn start(specs: &[NodeSpec]) -> std::io::Result<Testbed> {
-        Self::start_inner(specs, false)
+        Self::start_inner(specs, 0)
     }
 
     /// Like [`Testbed::start`], plus a `dpfs-metad` daemon serving the
@@ -79,10 +90,21 @@ impl Testbed {
     /// Clients from [`Testbed::remote_client`] reach metadata only through
     /// it.
     pub fn start_with_metad(specs: &[NodeSpec]) -> std::io::Result<Testbed> {
-        Self::start_inner(specs, true)
+        Self::start_inner(specs, 1)
     }
 
-    fn start_inner(specs: &[NodeSpec], with_metad: bool) -> std::io::Result<Testbed> {
+    /// Like [`Testbed::start_with_metad`], but the metadata plane is
+    /// partitioned across `shards` daemons (aliased `metad0`..). Shard 0
+    /// serves the testbed's shared database (so [`Testbed::db`] still
+    /// reads it); every other shard gets its own fresh catalog with the
+    /// same I/O-server registry. [`Testbed::remote_client`] then mounts
+    /// all shards and routes per path.
+    pub fn start_with_metad_shards(specs: &[NodeSpec], shards: usize) -> std::io::Result<Testbed> {
+        assert!(shards >= 1, "at least one metadata shard");
+        Self::start_inner(specs, shards)
+    }
+
+    fn start_inner(specs: &[NodeSpec], metad_shards: usize) -> std::io::Result<Testbed> {
         let id = TESTBED_COUNTER.fetch_add(1, Ordering::Relaxed);
         let root = std::env::temp_dir().join(format!("dpfs-testbed-{}-{id}", std::process::id()));
         let _ = std::fs::remove_dir_all(&root);
@@ -116,21 +138,47 @@ impl Testbed {
                 .map_err(|e| std::io::Error::other(e.to_string()))?;
             servers.push(server);
         }
-        let metad = if with_metad {
-            let md =
-                MetaServer::start_with_db(MetadConfig::in_memory().name(METAD_NAME), db.clone())?;
-            resolver.alias(METAD_NAME, &md.addr().to_string());
-            Some(md)
-        } else {
-            None
-        };
+        let mut metads = Vec::with_capacity(metad_shards);
+        for shard in 0..metad_shards {
+            // Shard 0 serves the testbed's shared database; the others
+            // get their own catalogs, seeded with the same server
+            // registry (the registry is replicated across the plane).
+            let shard_db = if shard == 0 {
+                db.clone()
+            } else {
+                let shard_db = Arc::new(Database::in_memory());
+                let catalog = dpfs_meta::Catalog::new(shard_db.clone())
+                    .map_err(|e| std::io::Error::other(e.to_string()))?;
+                for spec in specs {
+                    catalog
+                        .register_server(&ServerInfo {
+                            name: spec.name.clone(),
+                            capacity: if spec.capacity == 0 {
+                                i64::MAX
+                            } else {
+                                spec.capacity as i64
+                            },
+                            performance: spec.class.performance_number(),
+                        })
+                        .map_err(|e| std::io::Error::other(e.to_string()))?;
+                }
+                shard_db
+            };
+            let name = metad_name(shard);
+            let config = MetadConfig::in_memory()
+                .name(&name)
+                .shard(shard as u32, metad_shards as u32);
+            let md = MetaServer::start_with_db(config, shard_db)?;
+            resolver.alias(&name, &md.addr().to_string());
+            metads.push(md);
+        }
         Ok(Testbed {
             servers,
             specs: specs.to_vec(),
             db,
             resolver,
             root,
-            metad,
+            metads,
         })
     }
 
@@ -148,6 +196,14 @@ impl Testbed {
             .map(|i| NodeSpec::numbered(i, StorageClass::Unthrottled))
             .collect();
         Self::start_with_metad(&specs)
+    }
+
+    /// `n` unthrottled nodes plus a `shards`-wide metadata plane.
+    pub fn unthrottled_with_metad_shards(n: usize, shards: usize) -> std::io::Result<Testbed> {
+        let specs: Vec<NodeSpec> = (0..n)
+            .map(|i| NodeSpec::numbered(i, StorageClass::Unthrottled))
+            .collect();
+        Self::start_with_metad_shards(&specs, shards)
     }
 
     /// `n` nodes all of one class.
@@ -223,22 +279,44 @@ impl Testbed {
     /// (`opts.meta_cache` / `opts.meta_cache_ttl` select the cache).
     pub fn remote_client_opts(&self, opts: ClientOptions) -> Dpfs {
         assert!(
-            self.metad.is_some(),
+            !self.metads.is_empty(),
             "remote_client requires Testbed::start_with_metad"
         );
-        Dpfs::mount_remote(METAD_NAME, self.resolver.clone(), opts)
-            .expect("remote mount sets up no I/O until used")
+        if self.metads.len() == 1 {
+            Dpfs::mount_remote(METAD_NAME, self.resolver.clone(), opts)
+                .expect("remote mount sets up no I/O until used")
+        } else {
+            let names: Vec<String> = (0..self.metads.len()).map(metad_name).collect();
+            Dpfs::mount_sharded(names, self.resolver.clone(), opts)
+                .expect("sharded mount verified against shard 0's map")
+        }
+    }
+
+    /// Number of metadata shards (0 on embedded-only testbeds).
+    pub fn metad_shards(&self) -> usize {
+        self.metads.len()
     }
 
     /// The metadata daemon's bound address, if one is running (e.g. to put
-    /// a [`crate::FaultProxy`] in front of it).
+    /// a [`crate::FaultProxy`] in front of it). Shard 0 when sharded.
     pub fn metad_addr(&self) -> Option<std::net::SocketAddr> {
-        self.metad.as_ref().map(|m| m.addr())
+        self.metads.first().map(|m| m.addr())
     }
 
-    /// The metadata daemon's statistics snapshot, if one is running.
+    /// Bound addresses of every metadata shard, in shard order.
+    pub fn metad_addrs(&self) -> Vec<std::net::SocketAddr> {
+        self.metads.iter().map(|m| m.addr()).collect()
+    }
+
+    /// The metadata daemon's statistics snapshot, if one is running
+    /// (shard 0 when sharded).
     pub fn metad_stats(&self) -> Option<MetadStatsSnapshot> {
-        self.metad.as_ref().map(|m| m.stats())
+        self.metads.first().map(|m| m.stats())
+    }
+
+    /// Statistics snapshots of every metadata shard, in shard order.
+    pub fn metad_stats_all(&self) -> Vec<MetadStatsSnapshot> {
+        self.metads.iter().map(|m| m.stats()).collect()
     }
 
     /// Per-server statistics snapshots, in server order.
@@ -303,7 +381,7 @@ impl Drop for Testbed {
         for s in &mut self.servers {
             s.stop();
         }
-        if let Some(m) = &mut self.metad {
+        for m in &mut self.metads {
             m.stop();
         }
         let _ = std::fs::remove_dir_all(&self.root);
@@ -390,6 +468,38 @@ mod tests {
         assert_eq!(back, vec![9u8; 192]);
         let stats = tb.metad_stats().unwrap();
         assert!(stats.meta_ops > 0, "metadata ops went through the daemon");
+    }
+
+    #[test]
+    fn sharded_testbed_serves_files_across_the_plane() {
+        let tb = Testbed::unthrottled_with_metad_shards(2, 2).unwrap();
+        assert_eq!(tb.metad_shards(), 2);
+        assert_eq!(tb.metad_addrs().len(), 2);
+        let client = tb.remote_client(0, true);
+        // Spread files over several directories so both shards own some.
+        for d in 0..4 {
+            let dir = format!("/d{d}");
+            client.mkdir(&dir).unwrap();
+            let mut f = client
+                .create(&format!("{dir}/f"), &Hint::linear(64, 64))
+                .unwrap();
+            f.write_bytes(0, &[d as u8; 64]).unwrap();
+            f.close().unwrap();
+        }
+        for d in 0..4 {
+            let back = client
+                .open(&format!("/d{d}/f"))
+                .unwrap()
+                .read_bytes(0, 64)
+                .unwrap();
+            assert_eq!(back, vec![d as u8; 64]);
+        }
+        let stats = tb.metad_stats_all();
+        assert_eq!(stats.len(), 2);
+        assert_eq!((stats[0].shard_id, stats[0].shards), (0, 2));
+        assert_eq!((stats[1].shard_id, stats[1].shards), (1, 2));
+        // mkdir broadcasts alone guarantee both daemons served ops.
+        assert!(stats.iter().all(|s| s.meta_ops > 0), "stats: {stats:?}");
     }
 
     #[test]

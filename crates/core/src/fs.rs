@@ -81,8 +81,37 @@ impl Dpfs {
         resolver: Resolver,
         opts: ClientOptions,
     ) -> Result<Dpfs> {
+        Self::mount_sharded(vec![metad_server.to_string()], resolver, opts)
+    }
+
+    /// Mount DPFS against a *sharded* metadata plane: `metad_servers[i]`
+    /// is the daemon serving shard `i` of an `N`-wide partition (the
+    /// order must match the daemons' `--shard` ids). Each op routes to
+    /// the shard owning its path; the client cache validates each shard's
+    /// generation independently. With one server this is exactly
+    /// [`Dpfs::mount_remote`].
+    ///
+    /// When more than one shard is mounted, shard 0's advertised map is
+    /// cross-checked at mount time so a daemon launched with the wrong
+    /// `--shards` width fails the mount instead of corrupting routing.
+    pub fn mount_sharded(
+        metad_servers: Vec<String>,
+        resolver: Resolver,
+        opts: ClientOptions,
+    ) -> Result<Dpfs> {
         let pool = new_pool(resolver, &opts);
-        let remote = Arc::new(RemoteMetaStore::new(pool.clone(), metad_server));
+        let remote = Arc::new(RemoteMetaStore::new_sharded(pool.clone(), metad_servers));
+        if remote.shard_count() > 1 {
+            let (_, width) = remote.fetch_shard_map(0).map_err(DpfsError::Meta)?;
+            if width as usize != remote.shard_count() {
+                return Err(DpfsError::Meta(dpfs_meta::MetaError::Remote(format!(
+                    "metadata shard 0 ({}) serves a {width}-shard plane, \
+                     but {} --metad servers were mounted",
+                    remote.server(),
+                    remote.shard_count()
+                ))));
+            }
+        }
         let (meta, cache): (Arc<dyn MetaStore>, Option<Arc<CachingMetaStore>>) = if opts.meta_cache
         {
             let c = Arc::new(CachingMetaStore::new(remote.clone(), opts.meta_cache_ttl));

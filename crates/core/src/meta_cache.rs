@@ -5,26 +5,32 @@
 //! [`RemoteMetaStore`] and absorbs repeat lookups under the cheapest
 //! protocol that can never serve a stale layout for I/O:
 //!
-//! - Every cached attr row and distribution is stamped with the metadata
-//!   *generation* carried on the reply that fetched it.
+//! - Every cached attr row and distribution is stamped with the *shard*
+//!   it was fetched from and that shard's *generation* carried on the
+//!   reply. Generations are per shard: each daemon owns an independent
+//!   counter, so validation is per shard too — a mutation on shard B
+//!   never invalidates (or evicts) entries fetched from shard A.
 //! - The **layout path** ([`MetaStore::get_file_attr`],
 //!   [`MetaStore::get_distribution`] — what `open` uses to aim I/O)
-//!   revalidates on every lookup with one tiny `Generation` RPC: if the
-//!   daemon's generation still equals the entry's stamp, the cached value
-//!   is provably current (any mutation anywhere would have bumped it); a
-//!   generation that moved since the last validation drops the whole
-//!   cache and refetches, while a plain miss under an unchanged
-//!   generation just fetches and inserts (other entries stay hot). The
-//!   round trip remains, but it carries ~16 bytes instead of attr +
-//!   distribution rows, and a `stat`+`open` pair touches the daemon
-//!   once, not thrice.
+//!   revalidates on every lookup with one tiny `Generation` RPC *to the
+//!   entry's home shard*: if that shard's generation still equals the
+//!   entry's stamp, the cached value is provably current (any mutation
+//!   of that shard's slice would have bumped it); a generation that
+//!   moved since the last validation drops that shard's entries and
+//!   refetches, while a plain miss under an unchanged generation just
+//!   fetches and inserts (other entries stay hot). The round trip
+//!   remains, but it carries ~16 bytes instead of attr + distribution
+//!   rows, and a `stat`+`open` pair touches the daemon once, not thrice.
 //! - The **stat path** ([`MetaStore::stat_file_attr`] — `ls`, `exists`,
 //!   size probes) may serve a cached row within a configurable TTL with
 //!   *no* RPC at all. Stat output may therefore lag mutations by up to
 //!   the TTL — the classic NFS-style attribute-cache tradeoff — which is
 //!   why layout decisions never use this path.
-//! - The store's **own mutations** invalidate the whole cache on success
-//!   (their reply proves the generation moved past every stamp).
+//! - The store's **own mutations** invalidate the shards they touched on
+//!   success (the reply proves those shards' generations moved past
+//!   every stamp from them): file ops drop their home shard, a
+//!   cross-shard rename drops both ends, and broadcast ops (`mkdir`,
+//!   `rmdir`, server registry) drop everything.
 //!
 //! Hits and misses are counted here and mirrored into the metadata
 //! server's [`crate::transport::TransportStats`], so `dpfs-sh stats` and
@@ -42,8 +48,10 @@ use parking_lot::Mutex;
 
 use crate::remote_meta::RemoteMetaStore;
 
-/// A value plus the generation and wall-clock instant it was fetched at.
+/// A value plus the shard it came from, that shard's generation at fetch
+/// time, and the wall-clock instant it was fetched at.
 struct Stamped<T> {
+    shard: usize,
     gen: u64,
     fetched: Instant,
     value: T,
@@ -62,10 +70,12 @@ pub struct CachingMetaStore {
     /// stat-heavy `exists?` pattern FalconFS optimizes for.
     attrs: Mutex<HashMap<String, Stamped<Option<FileAttrRow>>>>,
     dists: Mutex<HashMap<String, Stamped<Vec<Distribution>>>>,
-    /// Highest generation the cache has been validated against. Lookups
-    /// only wipe the cache when the observed generation moves past this
-    /// mark — a miss for a simply-absent entry leaves the rest intact.
-    validated_gen: AtomicU64,
+    /// Per shard: the highest generation the cache has been validated
+    /// against. Lookups only drop a shard's entries when that shard's
+    /// observed generation moves past its mark — a miss for a
+    /// simply-absent entry leaves the rest intact, and shard B moving
+    /// never touches shard A's entries.
+    validated_gens: Vec<AtomicU64>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -73,12 +83,13 @@ pub struct CachingMetaStore {
 impl CachingMetaStore {
     /// Wrap `remote`, serving stat-path reads from cache for up to `ttl`.
     pub fn new(remote: Arc<RemoteMetaStore>, ttl: Duration) -> CachingMetaStore {
+        let shards = remote.shard_count();
         CachingMetaStore {
             remote,
             ttl,
             attrs: Mutex::new(HashMap::new()),
             dists: Mutex::new(HashMap::new()),
-            validated_gen: AtomicU64::new(0),
+            validated_gens: (0..shards).map(|_| AtomicU64::new(0)).collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -97,49 +108,69 @@ impl CachingMetaStore {
         )
     }
 
-    /// Drop every cached entry (mutation observed, or caller request).
+    /// Drop every cached entry (caller request, or a broadcast mutation
+    /// that touched every shard).
     pub fn invalidate_all(&self) {
         self.attrs.lock().clear();
         self.dists.lock().clear();
     }
 
-    fn note_hit(&self) {
-        self.hits.fetch_add(1, Ordering::Relaxed);
-        self.remote.pool().note_meta_cache_hit(self.remote.server());
+    /// Drop only the entries fetched from `shard`. Entries from other
+    /// shards stay hot — their daemons' generations didn't move.
+    pub fn invalidate_shard(&self, shard: usize) {
+        self.attrs.lock().retain(|_, e| e.shard != shard);
+        self.dists.lock().retain(|_, e| e.shard != shard);
     }
 
-    fn note_miss(&self) {
+    fn note_hit(&self, shard: usize) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        self.remote
+            .pool()
+            .note_meta_cache_hit(self.remote.shard_server(shard));
+    }
+
+    fn note_miss(&self, shard: usize) {
         self.misses.fetch_add(1, Ordering::Relaxed);
         self.remote
             .pool()
-            .note_meta_cache_miss(self.remote.server());
+            .note_meta_cache_miss(self.remote.shard_server(shard));
     }
 
-    /// Run a mutation through the remote store; on success the generation
-    /// has provably moved past every cached stamp, so drop everything.
-    fn mutate<T>(&self, r: MetaResultT<T>) -> MetaResultT<T> {
+    /// Every shard id (for broadcast mutations).
+    fn all_shards(&self) -> Vec<usize> {
+        (0..self.remote.shard_count()).collect()
+    }
+
+    /// Run a mutation through the remote store; on success the touched
+    /// shards' generations have provably moved past every stamp from
+    /// them, so drop exactly those shards' entries — and nothing else.
+    fn mutate<T>(&self, shards: &[usize], r: MetaResultT<T>) -> MetaResultT<T> {
         if r.is_ok() {
-            self.invalidate_all();
-            // The mutation's reply gen is proven current; recording it
-            // keeps the next lookup from wiping entries cached after it.
-            self.validated_gen
-                .fetch_max(self.remote.last_gen(), Ordering::AcqRel);
+            for &shard in shards {
+                self.invalidate_shard(shard);
+                // The mutation's reply gen is proven current; recording
+                // it keeps the next lookup from wiping entries cached
+                // after it.
+                self.validated_gens[shard]
+                    .fetch_max(self.remote.last_gen_of(shard), Ordering::AcqRel);
+            }
         }
         r
     }
 
-    /// One `Generation` RPC, returning the daemon's current generation.
+    /// One `Generation` RPC to `shard`, returning its current generation.
     /// If it moved since the last validation, every older-stamped entry
-    /// is suspect (some mutation happened somewhere), so the whole cache
-    /// is dropped; otherwise existing entries stay. Correctness never
-    /// rests on the wipe — each lookup still compares its entry's stamp
-    /// against the returned generation — it only bounds how long
-    /// suspect entries linger.
-    fn validate_generation(&self) -> MetaResultT<u64> {
-        let current = self.remote.generation()?;
-        let prev = self.validated_gen.fetch_max(current, Ordering::AcqRel);
+    /// *from that shard* is suspect (some mutation of its slice
+    /// happened), so that shard's entries are dropped; other shards'
+    /// entries — and the shard's own entries under an unchanged
+    /// generation — stay. Correctness never rests on the drop — each
+    /// lookup still compares its entry's stamp against the returned
+    /// generation — it only bounds how long suspect entries linger.
+    fn validate_generation(&self, shard: usize) -> MetaResultT<u64> {
+        let current = self.remote.generation_of(shard)?;
+        let prev = self.validated_gens[shard].fetch_max(current, Ordering::AcqRel);
         if current > prev {
-            self.invalidate_all();
+            self.invalidate_shard(shard);
         }
         Ok(current)
     }
@@ -153,30 +184,32 @@ impl CachingMetaStore {
     /// as provably current as serving a row — any create anywhere would
     /// have bumped the generation past the stamp.
     fn lookup_attr(&self, filename: &str, allow_ttl: bool) -> MetaResultT<Option<FileAttrRow>> {
+        let shard = self.remote.route_file(filename);
         if allow_ttl && !self.ttl.is_zero() {
             if let Some(e) = self.attrs.lock().get(filename) {
                 if e.fetched.elapsed() <= self.ttl {
-                    self.note_hit();
+                    self.note_hit(shard);
                     return Ok(e.value.clone());
                 }
             }
         }
-        let current = self.validate_generation()?;
+        let current = self.validate_generation(shard)?;
         {
             let mut attrs = self.attrs.lock();
             if let Some(e) = attrs.get_mut(filename) {
                 if e.gen == current {
                     e.fetched = Instant::now();
-                    self.note_hit();
+                    self.note_hit(shard);
                     return Ok(e.value.clone());
                 }
             }
         }
-        self.note_miss();
+        self.note_miss(shard);
         let (gen, attr) = self.remote.get_file_attr_with_gen(filename)?;
         self.attrs.lock().insert(
             filename.to_string(),
             Stamped {
+                shard,
                 gen,
                 fetched: Instant::now(),
                 value: attr.clone(),
@@ -198,18 +231,19 @@ impl MetaStore for CachingMetaStore {
     }
 
     fn get_distribution(&self, filename: &str) -> MetaResultT<Vec<Distribution>> {
-        let current = self.validate_generation()?;
+        let shard = self.remote.route_file(filename);
+        let current = self.validate_generation(shard)?;
         {
             let mut dists = self.dists.lock();
             if let Some(e) = dists.get_mut(filename) {
                 if e.gen == current {
                     e.fetched = Instant::now();
-                    self.note_hit();
+                    self.note_hit(shard);
                     return Ok(e.value.clone());
                 }
             }
         }
-        self.note_miss();
+        self.note_miss(shard);
         let (gen, ds) = self.remote.get_distribution_with_gen(filename)?;
         // An empty distribution (absent file) is cached too — the
         // generation stamp makes the negative answer exactly as
@@ -217,6 +251,7 @@ impl MetaStore for CachingMetaStore {
         self.dists.lock().insert(
             filename.to_string(),
             Stamped {
+                shard,
                 gen,
                 fetched: Instant::now(),
                 value: ds.clone(),
@@ -252,46 +287,76 @@ impl MetaStore for CachingMetaStore {
         self.remote.generation()
     }
 
-    // ---- mutations: forward, then drop the cache ----
+    // ---- mutations: forward, then drop the shards they touched ----
 
     fn register_server(&self, info: &ServerInfo) -> MetaResultT<()> {
-        self.mutate(self.remote.register_server(info))
+        // Registry writes broadcast to every shard.
+        self.mutate(&self.all_shards(), self.remote.register_server(info))
     }
     fn remove_server(&self, name: &str) -> MetaResultT<bool> {
-        self.mutate(self.remote.remove_server(name))
+        self.mutate(&self.all_shards(), self.remote.remove_server(name))
     }
     fn create_file(&self, attr: &FileAttrRow, dist: &[Distribution]) -> MetaResultT<()> {
-        self.mutate(self.remote.create_file(attr, dist))
+        self.mutate(
+            &[self.remote.route_file(&attr.filename)],
+            self.remote.create_file(attr, dist),
+        )
     }
     fn delete_file(&self, filename: &str) -> MetaResultT<Vec<Distribution>> {
-        self.mutate(self.remote.delete_file(filename))
+        self.mutate(
+            &[self.remote.route_file(filename)],
+            self.remote.delete_file(filename),
+        )
     }
     fn rename_file(&self, from: &str, to: &str) -> MetaResultT<()> {
-        self.mutate(self.remote.rename_file(from, to))
+        // A cross-shard rename mutates both ends; same-shard dedups to one.
+        self.mutate(
+            &[self.remote.route_file(from), self.remote.route_file(to)],
+            self.remote.rename_file(from, to),
+        )
     }
     fn set_file_size(&self, filename: &str, size: i64) -> MetaResultT<()> {
-        self.mutate(self.remote.set_file_size(filename, size))
+        self.mutate(
+            &[self.remote.route_file(filename)],
+            self.remote.set_file_size(filename, size),
+        )
     }
     fn set_file_permission(&self, filename: &str, permission: i64) -> MetaResultT<()> {
-        self.mutate(self.remote.set_file_permission(filename, permission))
+        self.mutate(
+            &[self.remote.route_file(filename)],
+            self.remote.set_file_permission(filename, permission),
+        )
     }
     fn set_file_owner(&self, filename: &str, owner: &str) -> MetaResultT<()> {
-        self.mutate(self.remote.set_file_owner(filename, owner))
+        self.mutate(
+            &[self.remote.route_file(filename)],
+            self.remote.set_file_owner(filename, owner),
+        )
     }
     fn update_distribution(&self, filename: &str, dist: &[Distribution]) -> MetaResultT<()> {
-        self.mutate(self.remote.update_distribution(filename, dist))
+        self.mutate(
+            &[self.remote.route_file(filename)],
+            self.remote.update_distribution(filename, dist),
+        )
     }
     fn mkdir(&self, path: &str) -> MetaResultT<()> {
-        self.mutate(self.remote.mkdir(path))
+        // Directory skeletons replicate to every shard.
+        self.mutate(&self.all_shards(), self.remote.mkdir(path))
     }
     fn rmdir(&self, path: &str) -> MetaResultT<()> {
-        self.mutate(self.remote.rmdir(path))
+        self.mutate(&self.all_shards(), self.remote.rmdir(path))
     }
     fn set_tag(&self, filename: &str, tag: &str, value: &str) -> MetaResultT<()> {
-        self.mutate(self.remote.set_tag(filename, tag, value))
+        self.mutate(
+            &[self.remote.route_file(filename)],
+            self.remote.set_tag(filename, tag, value),
+        )
     }
     fn remove_tag(&self, filename: &str, tag: &str) -> MetaResultT<bool> {
-        self.mutate(self.remote.remove_tag(filename, tag))
+        self.mutate(
+            &[self.remote.route_file(filename)],
+            self.remote.remove_tag(filename, tag),
+        )
     }
 
     fn as_catalog(&self) -> Option<&Catalog> {

@@ -5,10 +5,30 @@
 //! `MetaStore` call becomes one [`MetaOp`] RPC to a `dpfs-metad` daemon,
 //! carried by the same multiplexed [`ConnPool`] transport as data traffic
 //! — so metadata inherits correlation IDs, per-request deadlines, the
-//! retry error-class matrix, and tracing unchanged. Every reply's
-//! envelope carries the daemon's current metadata generation, which this
-//! store republishes via [`RemoteMetaStore::last_gen`] for the caching
-//! layer ([`crate::meta_cache`]).
+//! retry error-class matrix, and tracing unchanged.
+//!
+//! # Sharding
+//!
+//! The metadata plane may be partitioned across N daemons behind a
+//! [`ShardMap`] (hash-of-parent-directory → shard). This store holds one
+//! retrying connection per shard and routes each op:
+//!
+//! - file ops go to the file's home shard (`shard_of_file`),
+//! - directory reads go to the directory's home shard (`shard_of_dir`),
+//! - `mkdir`/`rmdir` broadcast so every shard can enforce "parent must
+//!   exist" locally (home shard first — it serializes racing creates and
+//!   owns the emptiness check; replicas treat duplicate/missing as
+//!   idempotent success),
+//! - the server registry is replicated to every shard (broadcast writes,
+//!   round-robin reads),
+//! - `find_by_tag` / `server_brick_counts` fan out and merge,
+//! - a rename whose source and destination live on different shards runs
+//!   the two-phase intent protocol (see [`RemoteMetaStore::rename_file`]).
+//!
+//! Every reply's envelope carries `(shard, generation)`; the store tracks
+//! a per-shard generation high-water mark, republished via
+//! [`RemoteMetaStore::last_gen_of`] for the caching layer
+//! ([`crate::meta_cache`]), which revalidates each shard independently.
 //!
 //! Errors: server-side `MetaError`s travel as wire codes and reconstruct
 //! into the exact variant ([`dpfs_meta::MetaError::from_wire`]), so
@@ -26,11 +46,13 @@
 //! mutation surfaces as `MetaError::Remote` (outcome unknown) instead
 //! of being replayed into a spurious application error.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use dpfs_meta::catalog::RENAME_INTENT_TAG;
 use dpfs_meta::{
     DirEntry, Distribution, FileAttrRow, MetaError, MetaStore, Result as MetaResultT, ServerInfo,
+    ShardMap,
 };
 use dpfs_proto::{MetaOp, MetaResult, Request, Response};
 
@@ -39,32 +61,78 @@ use crate::error::DpfsError;
 use crate::retry::RetryPolicy;
 use crate::trace;
 
-/// A [`MetaStore`] backed by metadata RPCs to one `dpfs-metad` daemon.
+/// A [`MetaStore`] backed by metadata RPCs to one or more `dpfs-metad`
+/// shards.
 pub struct RemoteMetaStore {
     pool: Arc<ConnPool>,
-    /// The metadata daemon's server name (dial string or testbed alias).
-    server: String,
-    /// Highest generation seen on any reply envelope.
-    last_gen: AtomicU64,
+    /// Per-shard daemon server names (dial strings or testbed aliases),
+    /// indexed by shard id.
+    shards: Vec<String>,
+    /// Routing map over `shards.len()` shards.
+    map: ShardMap,
+    /// Per-shard highest generation seen on any reply envelope.
+    last_gens: Vec<AtomicU64>,
+    /// Round-robin cursor for replicated-registry reads.
+    rr: AtomicUsize,
     /// Trace ID of the most recent metadata RPC (tests and diagnostics).
     last_trace_id: AtomicU64,
 }
 
 impl RemoteMetaStore {
-    /// A store speaking to the daemon registered as `server` in `pool`'s
-    /// resolver.
+    /// A single-shard store speaking to the daemon registered as `server`
+    /// in `pool`'s resolver.
     pub fn new(pool: Arc<ConnPool>, server: impl Into<String>) -> RemoteMetaStore {
+        Self::new_sharded(pool, vec![server.into()])
+    }
+
+    /// A store routing across `servers`, where `servers[i]` is the daemon
+    /// serving shard `i`. The order must match the daemons' `--shard` ids.
+    pub fn new_sharded(pool: Arc<ConnPool>, servers: Vec<String>) -> RemoteMetaStore {
+        assert!(!servers.is_empty(), "at least one metad shard required");
+        let n = servers.len();
         RemoteMetaStore {
             pool,
-            server: server.into(),
-            last_gen: AtomicU64::new(0),
+            shards: servers,
+            map: ShardMap::new(n as u32),
+            last_gens: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            rr: AtomicUsize::new(0),
             last_trace_id: AtomicU64::new(0),
         }
     }
 
-    /// The metadata daemon's server name.
+    /// The shard-0 daemon's server name (single-shard compatibility).
     pub fn server(&self) -> &str {
-        &self.server
+        &self.shards[0]
+    }
+
+    /// The daemon serving shard `i`.
+    pub fn shard_server(&self, shard: usize) -> &str {
+        &self.shards[shard]
+    }
+
+    /// All shard daemon names, indexed by shard id.
+    pub fn shard_servers(&self) -> &[String] {
+        &self.shards
+    }
+
+    /// Number of metadata shards this store routes across.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The routing map.
+    pub fn shard_map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// The shard owning file `path` (the home shard of its parent dir).
+    pub fn route_file(&self, path: &str) -> usize {
+        self.map.shard_of_file(path) as usize
+    }
+
+    /// The shard owning directory `path` (its file list lives there).
+    pub fn route_dir(&self, path: &str) -> usize {
+        self.map.shard_of_dir(path) as usize
     }
 
     /// The connection pool metadata RPCs ride on.
@@ -72,10 +140,18 @@ impl RemoteMetaStore {
         &self.pool
     }
 
-    /// Highest metadata generation observed on any reply (0 before the
-    /// first RPC). Monotonic per store.
+    /// Sum of the per-shard generation high-water marks (0 before the
+    /// first RPC). Monotonic per store; any mutation anywhere moves it.
     pub fn last_gen(&self) -> u64 {
-        self.last_gen.load(Ordering::Relaxed)
+        self.last_gens
+            .iter()
+            .map(|g| g.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Highest generation observed on any reply from shard `shard`.
+    pub fn last_gen_of(&self, shard: usize) -> u64 {
+        self.last_gens[shard].load(Ordering::Relaxed)
     }
 
     /// Trace ID stamped on the most recent metadata RPC. Filter
@@ -85,12 +161,23 @@ impl RemoteMetaStore {
         self.last_trace_id.load(Ordering::Relaxed)
     }
 
-    /// Issue one metadata op and return `(generation, result)`. The result
-    /// is never the `Err` variant — remote errors are reconstructed into
-    /// `MetaError` here. Transient transport failures are retried under
-    /// the pool's policy, each retry traced like any other RPC; mutating
-    /// ops retry only the connect class (see [`mutation_retryable`]).
-    fn call(&self, op: MetaOp) -> Result<(u64, MetaResult), MetaError> {
+    /// Fetch shard `shard`'s map view `(version, shards)` — used at mount
+    /// time to cross-check the client topology against the daemons.
+    pub fn fetch_shard_map(&self, shard: usize) -> MetaResultT<(u64, u32)> {
+        match self.call(shard, MetaOp::GetShardMap)? {
+            (_, MetaResult::ShardMap { version, shards }) => Ok((version, shards)),
+            (_, other) => Err(self.shape(shard, &other)),
+        }
+    }
+
+    /// Issue one metadata op to `shard` and return `(generation, result)`.
+    /// The result is never the `Err` variant — remote errors are
+    /// reconstructed into `MetaError` here. Transient transport failures
+    /// are retried under the pool's policy, each retry traced like any
+    /// other RPC; mutating ops retry only the connect class (see
+    /// [`mutation_retryable`]).
+    fn call(&self, shard: usize, op: MetaOp) -> Result<(u64, MetaResult), MetaError> {
+        let server = &self.shards[shard];
         let trace_id = trace::next_trace_id();
         self.last_trace_id.store(trace_id, Ordering::Relaxed);
         let retryable: fn(&DpfsError) -> bool = if op.is_mutation() {
@@ -102,31 +189,83 @@ impl RemoteMetaStore {
         let timeout = self.pool.rpc_timeout();
         let first = self
             .pool
-            .submit_traced(&self.server, &req, trace_id)
+            .submit_traced(server, &req, trace_id)
             .and_then(|p| p.wait(timeout));
         let policy = self.pool.retry_policy();
         let resp = match first {
-            Err(err) if policy.enabled() && retryable(&err) => {
-                self.pool
-                    .retry_after_if(&self.server, &req, trace_id, err, policy, retryable)
-            }
+            Err(err) if policy.enabled() && retryable(&err) => self
+                .pool
+                .retry_after_if(server, &req, trace_id, err, policy, retryable),
             other => other,
         }
-        .map_err(|e| remote_err(&self.server, &e))?;
+        .map_err(|e| remote_err(server, &e))?;
         match resp {
-            Response::Meta { gen, result } => {
-                self.last_gen.fetch_max(gen, Ordering::Relaxed);
+            Response::Meta {
+                shard: reply_shard,
+                gen,
+                result,
+            } => {
+                if reply_shard as usize != shard {
+                    // Misconfigured topology: the daemon at this address
+                    // serves a different namespace slice than we route to
+                    // it. Caching its answers would corrupt the mount.
+                    return Err(MetaError::Remote(format!(
+                        "metadata server {server} answered as shard {reply_shard}, \
+                         but this mount routes shard {shard} to it \
+                         (check the --metad flag order against the daemons' --shard ids)"
+                    )));
+                }
+                self.last_gens[shard].fetch_max(gen, Ordering::Relaxed);
                 match result {
                     MetaResult::Err { code, message } => Err(MetaError::from_wire(code, message)),
                     ok => Ok((gen, ok)),
                 }
             }
             Response::Error { code, message } => Err(MetaError::Remote(format!(
-                "metadata server {} rejected the request ({code:?}): {message}",
-                self.server
+                "metadata server {server} rejected the request ({code:?}): {message}"
             ))),
-            other => Err(shape_err(&self.server, &format!("{other:?}"))),
+            other => Err(shape_err(server, &format!("{other:?}"))),
         }
+    }
+
+    fn shape(&self, shard: usize, got: &MetaResult) -> MetaError {
+        shape_err(&self.shards[shard], &format!("{got:?}"))
+    }
+
+    /// A round-robin shard for replicated-registry reads (`list_servers`,
+    /// `get_server`): every shard holds the full registry, and rotating
+    /// spreads the per-create `list_servers` load instead of hammering
+    /// shard 0.
+    fn registry_shard(&self) -> usize {
+        self.rr.fetch_add(1, Ordering::Relaxed) % self.shards.len()
+    }
+
+    /// Run a mutating op on every shard, home shard first. `tolerate`
+    /// classifies replica errors that mean "already in the desired state"
+    /// (duplicate directory on a replica mkdir, missing directory on a
+    /// replica rmdir) — those count as success everywhere but home.
+    fn broadcast(
+        &self,
+        home: usize,
+        op: impl Fn() -> MetaOp,
+        tolerate: impl Fn(&MetaError) -> bool,
+    ) -> MetaResultT<()> {
+        match self.call(home, op())? {
+            (_, MetaResult::Unit) => {}
+            (_, other) => return Err(self.shape(home, &other)),
+        }
+        for shard in 0..self.shards.len() {
+            if shard == home {
+                continue;
+            }
+            match self.call(shard, op()) {
+                Ok((_, MetaResult::Unit)) => {}
+                Ok((_, other)) => return Err(self.shape(shard, &other)),
+                Err(e) if tolerate(&e) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
     }
 
     /// [`MetaStore::get_file_attr`] plus the generation the reply was
@@ -135,11 +274,15 @@ impl RemoteMetaStore {
         &self,
         filename: &str,
     ) -> Result<(u64, Option<FileAttrRow>), MetaError> {
-        match self.call(MetaOp::GetFileAttr {
-            filename: filename.to_string(),
-        })? {
+        let shard = self.route_file(filename);
+        match self.call(
+            shard,
+            MetaOp::GetFileAttr {
+                filename: filename.to_string(),
+            },
+        )? {
             (gen, MetaResult::MaybeAttr(a)) => Ok((gen, a)),
-            (_, other) => Err(shape_err(&self.server, &format!("{other:?}"))),
+            (_, other) => Err(self.shape(shard, &other)),
         }
     }
 
@@ -148,12 +291,202 @@ impl RemoteMetaStore {
         &self,
         filename: &str,
     ) -> Result<(u64, Vec<Distribution>), MetaError> {
-        match self.call(MetaOp::GetDistribution {
-            filename: filename.to_string(),
-        })? {
+        let shard = self.route_file(filename);
+        match self.call(
+            shard,
+            MetaOp::GetDistribution {
+                filename: filename.to_string(),
+            },
+        )? {
             (gen, MetaResult::Distributions(ds)) => Ok((gen, ds)),
-            (_, other) => Err(shape_err(&self.server, &format!("{other:?}"))),
+            (_, other) => Err(self.shape(shard, &other)),
         }
+    }
+
+    /// Shard `shard`'s current generation (cheap revalidation RPC).
+    pub(crate) fn generation_of(&self, shard: usize) -> MetaResultT<u64> {
+        match self.call(shard, MetaOp::Generation)? {
+            (gen, MetaResult::Unit) => Ok(gen),
+            (_, other) => Err(self.shape(shard, &other)),
+        }
+    }
+
+    /// Rename across shards: the two-phase intent protocol.
+    ///
+    /// ```text
+    /// source shard              destination shard
+    /// ------------              -----------------
+    /// RenamePrepare ──────────▶ (intent recorded, snapshot returned)
+    ///                           RenameCommit  ◀── entry created under the
+    ///                                             new name + marker tag
+    ///                                             (COMMIT POINT)
+    /// RenameFinish  ──────────▶ (source entry + intent deleted)
+    ///                           RemoveTag     ◀── marker stripped
+    /// ```
+    ///
+    /// Between commit and finish the entry is transiently visible at
+    /// *both* paths — never at neither. If the commit's outcome is
+    /// unknown (timeout/disconnect), the marker tag on the destination is
+    /// the authority: present → roll forward, absent → abort. If even
+    /// that read fails, the intent stays recorded for
+    /// [`RemoteMetaStore::recover_rename_intents`].
+    fn rename_across_shards(
+        &self,
+        src: usize,
+        dst: usize,
+        from: &str,
+        to: &str,
+    ) -> MetaResultT<()> {
+        // Phase 1: intent + snapshot on the source shard.
+        let (intent, attr, dist, tags) = match self.call(
+            src,
+            MetaOp::RenamePrepare {
+                from: from.to_string(),
+                to: to.to_string(),
+            },
+        )? {
+            (
+                _,
+                MetaResult::RenamePrepared {
+                    intent,
+                    attr,
+                    dist,
+                    tags,
+                },
+            ) => (intent, attr, dist, tags),
+            (_, other) => return Err(self.shape(src, &other)),
+        };
+        // Rewrite the snapshot to the destination path. The subfiles on
+        // the I/O servers are keyed by path too; `Dpfs::rename` migrates
+        // them after the metadata rename, same as the single-shard path.
+        let mut moved = attr;
+        moved.filename = to.to_string();
+        let moved_dist: Vec<Distribution> = dist
+            .into_iter()
+            .map(|d| Distribution {
+                filename: to.to_string(),
+                ..d
+            })
+            .collect();
+        let tags: Vec<(String, String)> = tags
+            .into_iter()
+            .filter(|(k, _)| k != RENAME_INTENT_TAG)
+            .collect();
+        // Phase 2: commit on the destination shard.
+        match self.call(
+            dst,
+            MetaOp::RenameCommit {
+                intent,
+                attr: moved,
+                dist: moved_dist,
+                tags,
+            },
+        ) {
+            Ok((_, MetaResult::Unit)) => {}
+            Ok((_, other)) => {
+                let _ = self.call(src, MetaOp::RenameAbort { intent });
+                return Err(self.shape(dst, &other));
+            }
+            Err(MetaError::Remote(msg)) => {
+                // Outcome unknown (mutations are not replayed past the
+                // connect class). The destination marker is the authority;
+                // the resolving read retries under the full matrix.
+                match self.call(
+                    dst,
+                    MetaOp::GetTag {
+                        filename: to.to_string(),
+                        tag: RENAME_INTENT_TAG.to_string(),
+                    },
+                ) {
+                    Ok((_, MetaResult::MaybeString(Some(v)))) if v == intent.to_string() => {
+                        // Committed — roll forward below.
+                    }
+                    Ok(_) => {
+                        // Did not commit (or a different rename owns the
+                        // destination): undo the intent, surface the error.
+                        let _ = self.call(src, MetaOp::RenameAbort { intent });
+                        return Err(MetaError::Remote(msg));
+                    }
+                    Err(_) => {
+                        // Can't even read the destination. Leave the
+                        // intent for recover_rename_intents().
+                        return Err(MetaError::Remote(format!(
+                            "cross-shard rename {from} -> {to}: commit outcome unknown \
+                             and the destination shard is unreachable; \
+                             intent {intent} left for recovery: {msg}"
+                        )));
+                    }
+                }
+            }
+            Err(app) => {
+                // Clean application refusal (e.g. destination exists):
+                // the commit provably did not happen.
+                let _ = self.call(src, MetaOp::RenameAbort { intent });
+                return Err(app);
+            }
+        }
+        // Phase 3: drop the source entry + intent. If this fails the
+        // rename HAS committed; the intent stays behind and
+        // recover_rename_intents() will finish it.
+        match self.call(src, MetaOp::RenameFinish { intent })? {
+            (_, MetaResult::Unit) => {}
+            (_, other) => return Err(self.shape(src, &other)),
+        }
+        // Best-effort marker cleanup; a leftover marker is harmless (the
+        // intent it points at no longer exists).
+        let _ = self.call(
+            dst,
+            MetaOp::RemoveTag {
+                filename: to.to_string(),
+                tag: RENAME_INTENT_TAG.to_string(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Resolve every pending cross-shard rename intent left behind by a
+    /// crashed client: roll forward the ones whose destination marker
+    /// proves the commit happened, abort the rest. Returns how many
+    /// intents were resolved.
+    pub fn recover_rename_intents(&self) -> MetaResultT<usize> {
+        let mut resolved = 0;
+        for src in 0..self.shards.len() {
+            let intents = match self.call(src, MetaOp::ListRenameIntents)? {
+                (_, MetaResult::Intents(xs)) => xs,
+                (_, other) => return Err(self.shape(src, &other)),
+            };
+            for (intent, _from, to) in intents {
+                let dst = self.route_file(&to);
+                let committed = dst != src
+                    && matches!(
+                        self.call(
+                            dst,
+                            MetaOp::GetTag {
+                                filename: to.clone(),
+                                tag: RENAME_INTENT_TAG.to_string(),
+                            },
+                        )?,
+                        (_, MetaResult::MaybeString(Some(ref v))) if *v == intent.to_string()
+                    );
+                if committed {
+                    match self.call(src, MetaOp::RenameFinish { intent })? {
+                        (_, MetaResult::Unit) => {}
+                        (_, other) => return Err(self.shape(src, &other)),
+                    }
+                    let _ = self.call(
+                        dst,
+                        MetaOp::RemoveTag {
+                            filename: to,
+                            tag: RENAME_INTENT_TAG.to_string(),
+                        },
+                    );
+                } else {
+                    self.call(src, MetaOp::RenameAbort { intent })?;
+                }
+                resolved += 1;
+            }
+        }
+        Ok(resolved)
     }
 }
 
@@ -180,31 +513,52 @@ fn shape_err(server: &str, got: &str) -> MetaError {
 }
 
 macro_rules! expect {
-    ($self:ident, $op:expr, $pat:pat => $out:expr) => {
-        match $self.call($op)? {
+    ($self:ident, $shard:expr, $op:expr, $pat:pat => $out:expr) => {{
+        let shard = $shard;
+        match $self.call(shard, $op)? {
             (_, $pat) => Ok($out),
-            (_, other) => Err(shape_err(&$self.server, &format!("{other:?}"))),
+            (_, other) => Err($self.shape(shard, &other)),
         }
-    };
+    }};
 }
 
 impl MetaStore for RemoteMetaStore {
+    /// The server registry is replicated: every shard answers placement
+    /// reads, so registration broadcasts (register is an idempotent
+    /// upsert — replaying it on every shard is safe).
     fn register_server(&self, info: &ServerInfo) -> MetaResultT<()> {
-        expect!(self, MetaOp::RegisterServer { info: info.clone() }, MetaResult::Unit => ())
+        self.broadcast(
+            0,
+            || MetaOp::RegisterServer { info: info.clone() },
+            |_| false,
+        )
     }
     fn list_servers(&self) -> MetaResultT<Vec<ServerInfo>> {
-        expect!(self, MetaOp::ListServers, MetaResult::Servers(xs) => xs)
+        expect!(self, self.registry_shard(), MetaOp::ListServers, MetaResult::Servers(xs) => xs)
     }
     fn get_server(&self, name: &str) -> MetaResultT<Option<ServerInfo>> {
-        expect!(self, MetaOp::GetServer { name: name.into() }, MetaResult::MaybeServer(s) => s)
+        expect!(
+            self,
+            self.registry_shard(),
+            MetaOp::GetServer { name: name.into() },
+            MetaResult::MaybeServer(s) => s
+        )
     }
     fn remove_server(&self, name: &str) -> MetaResultT<bool> {
-        expect!(self, MetaOp::RemoveServer { name: name.into() }, MetaResult::Bool(b) => b)
+        let mut existed = false;
+        for shard in 0..self.shards.len() {
+            existed |= match self.call(shard, MetaOp::RemoveServer { name: name.into() })? {
+                (_, MetaResult::Bool(b)) => b,
+                (_, other) => return Err(self.shape(shard, &other)),
+            };
+        }
+        Ok(existed)
     }
 
     fn create_file(&self, attr: &FileAttrRow, dist: &[Distribution]) -> MetaResultT<()> {
         expect!(
             self,
+            self.route_file(&attr.filename),
             MetaOp::CreateFile { attr: attr.clone(), dist: dist.to_vec() },
             MetaResult::Unit => ()
         )
@@ -212,16 +566,23 @@ impl MetaStore for RemoteMetaStore {
     fn delete_file(&self, filename: &str) -> MetaResultT<Vec<Distribution>> {
         expect!(
             self,
+            self.route_file(filename),
             MetaOp::DeleteFile { filename: filename.into() },
             MetaResult::Distributions(ds) => ds
         )
     }
     fn rename_file(&self, from: &str, to: &str) -> MetaResultT<()> {
-        expect!(
-            self,
-            MetaOp::RenameFile { from: from.into(), to: to.into() },
-            MetaResult::Unit => ()
-        )
+        let src = self.route_file(from);
+        let dst = self.route_file(to);
+        if src == dst {
+            return expect!(
+                self,
+                src,
+                MetaOp::RenameFile { from: from.into(), to: to.into() },
+                MetaResult::Unit => ()
+            );
+        }
+        self.rename_across_shards(src, dst, from, to)
     }
     fn get_file_attr(&self, filename: &str) -> MetaResultT<Option<FileAttrRow>> {
         Ok(self.get_file_attr_with_gen(filename)?.1)
@@ -229,6 +590,7 @@ impl MetaStore for RemoteMetaStore {
     fn set_file_size(&self, filename: &str, size: i64) -> MetaResultT<()> {
         expect!(
             self,
+            self.route_file(filename),
             MetaOp::SetFileSize { filename: filename.into(), size },
             MetaResult::Unit => ()
         )
@@ -236,6 +598,7 @@ impl MetaStore for RemoteMetaStore {
     fn set_file_permission(&self, filename: &str, permission: i64) -> MetaResultT<()> {
         expect!(
             self,
+            self.route_file(filename),
             MetaOp::SetFilePermission { filename: filename.into(), permission },
             MetaResult::Unit => ()
         )
@@ -243,6 +606,7 @@ impl MetaStore for RemoteMetaStore {
     fn set_file_owner(&self, filename: &str, owner: &str) -> MetaResultT<()> {
         expect!(
             self,
+            self.route_file(filename),
             MetaOp::SetFileOwner { filename: filename.into(), owner: owner.into() },
             MetaResult::Unit => ()
         )
@@ -254,24 +618,47 @@ impl MetaStore for RemoteMetaStore {
     fn update_distribution(&self, filename: &str, dist: &[Distribution]) -> MetaResultT<()> {
         expect!(
             self,
+            self.route_file(filename),
             MetaOp::UpdateDistribution { filename: filename.into(), dist: dist.to_vec() },
             MetaResult::Unit => ()
         )
     }
 
+    /// Directory skeletons are replicated so every shard can check
+    /// "parent exists" locally. Home shard goes first — it owns the
+    /// directory's file list and serializes racing mkdirs of the same
+    /// path; a replica that already has the directory (an interrupted
+    /// earlier broadcast, or a racing client that won) is fine.
     fn mkdir(&self, path: &str) -> MetaResultT<()> {
-        expect!(self, MetaOp::Mkdir { path: path.into() }, MetaResult::Unit => ())
+        self.broadcast(
+            self.route_dir(path),
+            || MetaOp::Mkdir { path: path.into() },
+            |e| matches!(e, MetaError::DuplicateKey(_)),
+        )
     }
+    /// Home shard first again: it holds the file list, so the emptiness
+    /// check happens where the files live. A replica that already lost
+    /// the directory is fine.
     fn rmdir(&self, path: &str) -> MetaResultT<()> {
-        expect!(self, MetaOp::Rmdir { path: path.into() }, MetaResult::Unit => ())
+        self.broadcast(
+            self.route_dir(path),
+            || MetaOp::Rmdir { path: path.into() },
+            |e| matches!(e, MetaError::NoSuchTable(_)),
+        )
     }
     fn get_dir(&self, path: &str) -> MetaResultT<Option<DirEntry>> {
-        expect!(self, MetaOp::GetDir { path: path.into() }, MetaResult::MaybeDir(d) => d)
+        expect!(
+            self,
+            self.route_dir(path),
+            MetaOp::GetDir { path: path.into() },
+            MetaResult::MaybeDir(d) => d
+        )
     }
 
     fn set_tag(&self, filename: &str, tag: &str, value: &str) -> MetaResultT<()> {
         expect!(
             self,
+            self.route_file(filename),
             MetaOp::SetTag {
                 filename: filename.into(),
                 tag: tag.into(),
@@ -283,6 +670,7 @@ impl MetaStore for RemoteMetaStore {
     fn get_tag(&self, filename: &str, tag: &str) -> MetaResultT<Option<String>> {
         expect!(
             self,
+            self.route_file(filename),
             MetaOp::GetTag { filename: filename.into(), tag: tag.into() },
             MetaResult::MaybeString(s) => s
         )
@@ -290,6 +678,7 @@ impl MetaStore for RemoteMetaStore {
     fn list_tags(&self, filename: &str) -> MetaResultT<Vec<(String, String)>> {
         expect!(
             self,
+            self.route_file(filename),
             MetaOp::ListTags { filename: filename.into() },
             MetaResult::Tags(xs) => xs
         )
@@ -297,27 +686,58 @@ impl MetaStore for RemoteMetaStore {
     fn remove_tag(&self, filename: &str, tag: &str) -> MetaResultT<bool> {
         expect!(
             self,
+            self.route_file(filename),
             MetaOp::RemoveTag { filename: filename.into(), tag: tag.into() },
             MetaResult::Bool(b) => b
         )
     }
+    /// Tag search fans out: matches live wherever their file's directory
+    /// hashes. Results are merged and re-sorted to keep the single-shard
+    /// ordering contract (sorted by filename).
     fn find_by_tag(&self, tag: &str, pattern: &str) -> MetaResultT<Vec<(String, String, i64)>> {
-        expect!(
-            self,
-            MetaOp::FindByTag { tag: tag.into(), pattern: pattern.into() },
-            MetaResult::TagHits(xs) => xs
-        )
-    }
-
-    fn server_brick_counts(&self) -> MetaResultT<Vec<(String, i64)>> {
-        expect!(self, MetaOp::ServerBrickCounts, MetaResult::BrickCounts(xs) => xs)
-    }
-
-    fn generation(&self) -> MetaResultT<u64> {
-        match self.call(MetaOp::Generation)? {
-            (gen, MetaResult::Unit) => Ok(gen),
-            (_, other) => Err(shape_err(&self.server, &format!("{other:?}"))),
+        let mut all = Vec::new();
+        for shard in 0..self.shards.len() {
+            match self.call(
+                shard,
+                MetaOp::FindByTag {
+                    tag: tag.into(),
+                    pattern: pattern.into(),
+                },
+            )? {
+                (_, MetaResult::TagHits(xs)) => all.extend(xs),
+                (_, other) => return Err(self.shape(shard, &other)),
+            }
         }
+        all.sort();
+        Ok(all)
+    }
+
+    /// Brick counts fan out and merge-sum: each shard only knows the
+    /// distributions of the files it owns.
+    fn server_brick_counts(&self) -> MetaResultT<Vec<(String, i64)>> {
+        let mut counts: std::collections::BTreeMap<String, i64> = std::collections::BTreeMap::new();
+        for shard in 0..self.shards.len() {
+            match self.call(shard, MetaOp::ServerBrickCounts)? {
+                (_, MetaResult::BrickCounts(xs)) => {
+                    for (server, n) in xs {
+                        *counts.entry(server).or_insert(0) += n;
+                    }
+                }
+                (_, other) => return Err(self.shape(shard, &other)),
+            }
+        }
+        Ok(counts.into_iter().collect())
+    }
+
+    /// The plane-wide generation: the sum of every shard's counter.
+    /// Monotonic (each per-shard counter only grows), and any mutation
+    /// anywhere moves it — the property the embedded single counter had.
+    fn generation(&self) -> MetaResultT<u64> {
+        let mut sum = 0;
+        for shard in 0..self.shards.len() {
+            sum += self.generation_of(shard)?;
+        }
+        Ok(sum)
     }
 }
 

@@ -24,6 +24,20 @@ pub fn sql_quote(s: &str) -> String {
     s.replace('\'', "''")
 }
 
+/// Marker tag written on the destination copy during a cross-shard rename.
+/// Its value is the intent id on the source shard; its presence is the
+/// commit record the two-phase protocol resolves against after a crash.
+pub const RENAME_INTENT_TAG: &str = "dpfs.rename-intent";
+
+/// A pending cross-shard rename recorded on the source shard: the entry at
+/// `src` is being moved to `dst` (owned by a different shard).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RenameIntent {
+    pub id: i64,
+    pub src: String,
+    pub dst: String,
+}
+
 /// Row of `dpfs_server`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServerInfo {
@@ -133,6 +147,12 @@ impl Catalog {
                 filename TEXT NOT NULL,
                 tag TEXT NOT NULL,
                 value TEXT NOT NULL)",
+        )?;
+        db.execute(
+            "CREATE TABLE IF NOT EXISTS dpfs_rename_intent (
+                intent_id INT PRIMARY KEY,
+                src TEXT NOT NULL,
+                dst TEXT NOT NULL)",
         )?;
         let cat = Catalog { db };
         if cat.get_dir("/")?.is_none() {
@@ -599,6 +619,179 @@ impl Catalog {
         })
     }
 
+    // ---- cross-shard rename (two-phase, driven by the client) ----
+    //
+    // When `from` and `to` live on different metadata shards a single
+    // transaction cannot cover both databases. The protocol is:
+    //
+    //   1. `rename_prepare` on the SOURCE shard records an intent row and
+    //      returns a snapshot of the entry (attrs, distribution, tags).
+    //      The source entry stays visible.
+    //   2. `rename_commit_dest` on the DESTINATION shard creates the entry
+    //      under the new name in one transaction, carrying a
+    //      `RENAME_INTENT_TAG` marker tag whose value is the intent id.
+    //      This is the commit point.
+    //   3. `rename_finish` on the source shard deletes the source entry and
+    //      the intent; the client then strips the marker tag best-effort.
+    //
+    // A crash between phases leaves the intent row resolvable: if the
+    // marker exists on the destination the rename committed (roll forward
+    // with `rename_finish`); otherwise it did not (`rename_abort`).
+
+    /// Phase 1 on the source shard: record an intent and snapshot the entry.
+    /// The entry at `from` must exist and stays visible until `rename_finish`.
+    #[allow(clippy::type_complexity)]
+    pub fn rename_prepare(
+        &self,
+        from: &str,
+        to: &str,
+    ) -> Result<(i64, FileAttrRow, Vec<Distribution>, Vec<(String, String)>)> {
+        let from = normalize_path(from)?;
+        let to = normalize_path(to)?;
+        self.db.transaction(|txn| {
+            let attr = get_attr_txn(txn, &from)?
+                .ok_or_else(|| MetaError::NoSuchTable(format!("file {from}")))?;
+            let dist = get_distribution_txn(txn, &from)?;
+            let tag_rows = txn.execute(&format!(
+                "SELECT tag, value FROM dpfs_file_tags WHERE filename = '{}' ORDER BY tag",
+                sql_quote(&from)
+            ))?;
+            let mut tags = Vec::with_capacity(tag_rows.rows.len());
+            for r in &tag_rows.rows {
+                tags.push((r[0].as_text()?.to_string(), r[1].as_text()?.to_string()));
+            }
+            // Intent ids are allocated by scanning; the table only ever
+            // holds in-flight renames, so it is tiny.
+            let existing = txn.execute("SELECT intent_id FROM dpfs_rename_intent")?;
+            let mut next: i64 = 1;
+            for r in &existing.rows {
+                next = next.max(r[0].as_int()? + 1);
+            }
+            txn.execute(&format!(
+                "INSERT INTO dpfs_rename_intent VALUES ({}, '{}', '{}')",
+                next,
+                sql_quote(&from),
+                sql_quote(&to)
+            ))?;
+            Ok((next, attr, dist, tags))
+        })
+    }
+
+    /// Phase 2 on the destination shard: create the renamed entry (attrs,
+    /// distribution, tags, plus the `RENAME_INTENT_TAG` marker carrying
+    /// `intent`) in one transaction. `attr.filename` and each distribution
+    /// row must already carry the destination path. Fails with
+    /// `DuplicateKey` if the destination exists.
+    pub fn rename_commit_dest(
+        &self,
+        intent: i64,
+        attr: &FileAttrRow,
+        dist: &[Distribution],
+        tags: &[(String, String)],
+    ) -> Result<()> {
+        let parent = parent_dir(&attr.filename)
+            .ok_or_else(|| MetaError::Txn(format!("file path {} has no parent", attr.filename)))?;
+        self.db.transaction(|txn| {
+            let dir = get_dir_txn(txn, &parent)?
+                .ok_or_else(|| MetaError::NoSuchTable(format!("directory {parent}")))?;
+            if dir.files.iter().any(|f| f == &attr.filename)
+                || get_attr_txn(txn, &attr.filename)?.is_some()
+            {
+                return Err(MetaError::DuplicateKey(format!(
+                    "file {} already exists",
+                    attr.filename
+                )));
+            }
+            insert_attr_txn(txn, attr)?;
+            for d in dist {
+                txn.execute(&format!(
+                    "INSERT INTO dpfs_file_distribution VALUES ('{}', '{}', '{}', {})",
+                    sql_quote(&dist_key(&d.server, &d.filename)),
+                    sql_quote(&d.server),
+                    sql_quote(&d.filename),
+                    int_list_literal(&d.bricklist)
+                ))?;
+            }
+            let marker = (RENAME_INTENT_TAG.to_string(), intent.to_string());
+            for (tag, value) in tags.iter().chain(std::iter::once(&marker)) {
+                txn.execute(&format!(
+                    "INSERT INTO dpfs_file_tags VALUES ('{}', '{}', '{}', '{}')",
+                    sql_quote(&tag_key(&attr.filename, tag)),
+                    sql_quote(&attr.filename),
+                    sql_quote(tag),
+                    sql_quote(value)
+                ))?;
+            }
+            let mut files = dir.files;
+            files.push(attr.filename.clone());
+            set_dir_files_txn(txn, &parent, &files)?;
+            Ok(())
+        })
+    }
+
+    /// Phase 3 on the source shard: drop the source entry and its intent.
+    /// Idempotent with respect to the source rows (a crash-resumed finish
+    /// may find them already gone); errors only if the intent is unknown.
+    pub fn rename_finish(&self, intent: i64) -> Result<()> {
+        self.db.transaction(|txn| {
+            let rs = txn.execute(&format!(
+                "SELECT src FROM dpfs_rename_intent WHERE intent_id = {intent}"
+            ))?;
+            let src = match rs.rows.first() {
+                Some(r) => r[0].as_text()?.to_string(),
+                None => return Err(MetaError::NoSuchTable(format!("rename intent {intent}"))),
+            };
+            txn.execute(&format!(
+                "DELETE FROM dpfs_file_attr WHERE filename = '{}'",
+                sql_quote(&src)
+            ))?;
+            txn.execute(&format!(
+                "DELETE FROM dpfs_file_distribution WHERE filename = '{}'",
+                sql_quote(&src)
+            ))?;
+            txn.execute(&format!(
+                "DELETE FROM dpfs_file_tags WHERE filename = '{}'",
+                sql_quote(&src)
+            ))?;
+            if let Some(parent) = parent_dir(&src) {
+                if let Some(dir) = get_dir_txn(txn, &parent)? {
+                    let files: Vec<String> = dir.files.into_iter().filter(|f| f != &src).collect();
+                    set_dir_files_txn(txn, &parent, &files)?;
+                }
+            }
+            txn.execute(&format!(
+                "DELETE FROM dpfs_rename_intent WHERE intent_id = {intent}"
+            ))?;
+            Ok(())
+        })
+    }
+
+    /// Abandon a prepared rename; returns whether the intent existed. The
+    /// source entry was never hidden, so there is nothing else to undo.
+    pub fn rename_abort(&self, intent: i64) -> Result<bool> {
+        let rs = self.db.execute(&format!(
+            "DELETE FROM dpfs_rename_intent WHERE intent_id = {intent}"
+        ))?;
+        Ok(rs.scalar()?.as_int()? > 0)
+    }
+
+    /// All pending cross-shard rename intents on this shard, oldest first.
+    pub fn list_rename_intents(&self) -> Result<Vec<RenameIntent>> {
+        let rs = self
+            .db
+            .execute("SELECT intent_id, src, dst FROM dpfs_rename_intent ORDER BY intent_id")?;
+        rs.rows
+            .iter()
+            .map(|r| {
+                Ok(RenameIntent {
+                    id: r[0].as_int()?,
+                    src: r[1].as_text()?.to_string(),
+                    dst: r[2].as_text()?.to_string(),
+                })
+            })
+            .collect()
+    }
+
     /// Total and per-server brick counts for all files (for `df`-style
     /// output).
     pub fn server_brick_counts(&self) -> Result<Vec<(String, i64)>> {
@@ -818,6 +1011,114 @@ mod tests {
             pattern: String::new(),
             placement: "round_robin".into(),
         }
+    }
+
+    #[test]
+    fn cross_shard_rename_two_phase_happy_path() {
+        // Two independent databases stand in for two shards.
+        let src = catalog();
+        let dst = catalog();
+        src.mkdir("/a").unwrap();
+        dst.mkdir("/a").unwrap();
+        dst.mkdir("/b").unwrap();
+        let attr = sample_attr("/a/f");
+        let dist = vec![Distribution {
+            server: "s0".into(),
+            filename: "/a/f".into(),
+            bricklist: vec![0, 1, 2],
+        }];
+        src.create_file(&attr, &dist).unwrap();
+        src.set_tag("/a/f", "k", "v").unwrap();
+
+        let (intent, snap_attr, snap_dist, tags) = src.rename_prepare("/a/f", "/b/f").unwrap();
+        // source stays visible while prepared
+        assert!(src.get_file_attr("/a/f").unwrap().is_some());
+        assert_eq!(tags, vec![("k".to_string(), "v".to_string())]);
+
+        let mut moved = snap_attr.clone();
+        moved.filename = "/b/f".into();
+        let moved_dist: Vec<Distribution> = snap_dist
+            .iter()
+            .map(|d| Distribution {
+                filename: "/b/f".into(),
+                ..d.clone()
+            })
+            .collect();
+        dst.rename_commit_dest(intent, &moved, &moved_dist, &tags)
+            .unwrap();
+        // marker tag is the commit record
+        assert_eq!(
+            dst.get_tag("/b/f", RENAME_INTENT_TAG).unwrap().as_deref(),
+            Some(intent.to_string().as_str())
+        );
+        src.rename_finish(intent).unwrap();
+        dst.remove_tag("/b/f", RENAME_INTENT_TAG).unwrap();
+
+        assert!(src.get_file_attr("/a/f").unwrap().is_none());
+        assert!(src.get_dir("/a").unwrap().unwrap().files.is_empty());
+        assert!(src.list_rename_intents().unwrap().is_empty());
+        let landed = dst.get_file_attr("/b/f").unwrap().unwrap();
+        assert_eq!(landed.size, attr.size);
+        assert_eq!(
+            dst.get_distribution("/b/f").unwrap()[0].bricklist,
+            vec![0, 1, 2]
+        );
+        assert_eq!(dst.get_tag("/b/f", "k").unwrap().as_deref(), Some("v"));
+        assert_eq!(dst.list_tags("/b/f").unwrap().len(), 1);
+        assert!(dst
+            .get_dir("/b")
+            .unwrap()
+            .unwrap()
+            .files
+            .contains(&"/b/f".to_string()));
+    }
+
+    #[test]
+    fn cross_shard_rename_abort_and_duplicate_commit() {
+        let src = catalog();
+        let dst = catalog();
+        src.mkdir("/a").unwrap();
+        dst.mkdir("/a").unwrap();
+        src.create_file(&sample_attr("/a/f"), &[]).unwrap();
+        dst.create_file(&sample_attr("/a/f"), &[]).unwrap();
+
+        let (intent, attr, dist, tags) = src.rename_prepare("/a/f", "/a/f").unwrap();
+        // destination already occupied → commit refuses atomically
+        assert!(matches!(
+            dst.rename_commit_dest(intent, &attr, &dist, &tags),
+            Err(MetaError::DuplicateKey(_))
+        ));
+        assert!(dst.get_tag("/a/f", RENAME_INTENT_TAG).unwrap().is_none());
+        assert!(src.rename_abort(intent).unwrap());
+        assert!(!src.rename_abort(intent).unwrap());
+        assert!(src.get_file_attr("/a/f").unwrap().is_some());
+        assert!(src.list_rename_intents().unwrap().is_empty());
+    }
+
+    #[test]
+    fn rename_finish_is_resumable_after_partial_source_cleanup() {
+        let src = catalog();
+        src.mkdir("/a").unwrap();
+        src.create_file(&sample_attr("/a/f"), &[]).unwrap();
+        let (intent, ..) = src.rename_prepare("/a/f", "/b/f").unwrap();
+        let listed = src.list_rename_intents().unwrap();
+        assert_eq!(
+            listed,
+            vec![RenameIntent {
+                id: intent,
+                src: "/a/f".into(),
+                dst: "/b/f".into(),
+            }]
+        );
+        // Simulate a crash after the source entry was already deleted by an
+        // earlier finish attempt that died before removing the intent.
+        src.delete_file("/a/f").unwrap();
+        src.rename_finish(intent).unwrap();
+        assert!(src.list_rename_intents().unwrap().is_empty());
+        assert!(matches!(
+            src.rename_finish(intent),
+            Err(MetaError::NoSuchTable(_))
+        ));
     }
 
     #[test]

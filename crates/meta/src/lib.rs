@@ -37,14 +37,16 @@ pub mod codec;
 pub mod db;
 pub mod error;
 pub mod schema;
+pub mod shard;
 pub mod sql;
 pub mod store;
 pub mod table;
 pub mod value;
 pub mod wal;
 
-pub use catalog::{Catalog, DirEntry, Distribution, FileAttrRow, ServerInfo};
+pub use catalog::{Catalog, DirEntry, Distribution, FileAttrRow, RenameIntent, ServerInfo};
 pub use db::{Database, ResultSet};
 pub use error::{MetaError, Result};
+pub use shard::ShardMap;
 pub use store::{EmbeddedMetaStore, MetaStore};
 pub use value::{DataType, Value};

@@ -173,6 +173,49 @@ impl EmbeddedMetaStore {
         self.bump()?;
         Ok(v)
     }
+
+    // ---- cross-shard rename primitives (served by dpfs-metad) ----
+    //
+    // These are inherent methods, not part of the `MetaStore` trait: an
+    // embedded (single-database) mount never needs them — `rename_file`
+    // is already atomic there. Only the sharded remote store drives them,
+    // through the daemon, and each one bumps this shard's generation.
+
+    /// Phase 1 of a cross-shard rename (see [`Catalog::rename_prepare`]).
+    #[allow(clippy::type_complexity)]
+    pub fn rename_prepare(
+        &self,
+        from: &str,
+        to: &str,
+    ) -> Result<(i64, FileAttrRow, Vec<Distribution>, Vec<(String, String)>)> {
+        self.mutate(|c| c.rename_prepare(from, to))
+    }
+
+    /// Phase 2 on the destination shard (see [`Catalog::rename_commit_dest`]).
+    pub fn rename_commit_dest(
+        &self,
+        intent: i64,
+        attr: &FileAttrRow,
+        dist: &[Distribution],
+        tags: &[(String, String)],
+    ) -> Result<()> {
+        self.mutate(|c| c.rename_commit_dest(intent, attr, dist, tags))
+    }
+
+    /// Phase 3 on the source shard (see [`Catalog::rename_finish`]).
+    pub fn rename_finish(&self, intent: i64) -> Result<()> {
+        self.mutate(|c| c.rename_finish(intent))
+    }
+
+    /// Abandon a prepared rename (see [`Catalog::rename_abort`]).
+    pub fn rename_abort(&self, intent: i64) -> Result<bool> {
+        self.mutate(|c| c.rename_abort(intent))
+    }
+
+    /// Pending rename intents on this shard (read-only).
+    pub fn list_rename_intents(&self) -> Result<Vec<crate::catalog::RenameIntent>> {
+        self.catalog.list_rename_intents()
+    }
 }
 
 impl MetaStore for EmbeddedMetaStore {

@@ -8,10 +8,14 @@
 //! ```text
 //! dpfs-metad --dir /var/dpfs-meta [--bind 0.0.0.0:7441] [--sync]
 //!            [--name NAME] [--stats-interval SECS]
+//!            [--shard ID --shards N]
 //! ```
 //!
 //! Omitting `--dir` runs an in-memory catalog (gone at exit — useful for
 //! smoke tests only). `--sync` makes commits fsync the write-ahead state.
+//! `--shard ID --shards N` serves shard ID of an N-wide partitioned
+//! metadata plane (clients mount all N daemons with repeated
+//! `dpfs-sh --metad` flags, in shard order).
 //!
 //! Logging verbosity is controlled by the `DPFS_LOG` environment variable
 //! (`error`, `info` — the default — or `debug`).
@@ -27,6 +31,8 @@ struct Args {
     sync: bool,
     name: Option<String>,
     stats_interval: u64,
+    shard_id: u32,
+    shards: u32,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -36,6 +42,8 @@ fn parse_args() -> Result<Args, String> {
         sync: false,
         name: None,
         stats_interval: 0,
+        shard_id: 0,
+        shards: 1,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -50,17 +58,34 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad --stats-interval: {e}"))?
             }
+            "--shard" => {
+                args.shard_id = value("--shard")?
+                    .parse()
+                    .map_err(|e| format!("bad --shard: {e}"))?
+            }
+            "--shards" => {
+                args.shards = value("--shards")?
+                    .parse()
+                    .map_err(|e| format!("bad --shards: {e}"))?
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: dpfs-metad [--dir DIR] [--bind ADDR:PORT] [--sync] [--name NAME] \
-                     [--stats-interval SECS]\n\
+                     [--stats-interval SECS] [--shard ID --shards N]\n\
                      omitting --dir serves an in-memory (non-persistent) catalog\n\
+                     --shard/--shards serve one shard of a partitioned metadata plane\n\
                      set DPFS_LOG=error|info|debug to control log verbosity (default info)"
                 );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag {other:?}")),
         }
+    }
+    if args.shards == 0 || args.shard_id >= args.shards {
+        return Err(format!(
+            "--shard {} out of range for --shards {}",
+            args.shard_id, args.shards
+        ));
     }
     Ok(args)
 }
@@ -73,7 +98,9 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let mut config = MetadConfig::in_memory().bind(&args.bind);
+    let mut config = MetadConfig::in_memory()
+        .bind(&args.bind)
+        .shard(args.shard_id, args.shards);
     config.sync_on_commit = args.sync;
     if let Some(name) = &args.name {
         config = config.name(name.clone());
@@ -91,9 +118,11 @@ fn main() {
         }
     };
     log_info!(
-        "dpfs-metad `{name}` serving {} on {}",
+        "dpfs-metad `{name}` serving {} on {} (shard {}/{})",
         args.dir.as_deref().unwrap_or("an in-memory catalog"),
-        server.addr()
+        server.addr(),
+        args.shard_id,
+        args.shards
     );
     log_info!("mount with: dpfs-sh --metad {}", server.addr());
 

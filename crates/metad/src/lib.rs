@@ -21,7 +21,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use dpfs_meta::{Database, EmbeddedMetaStore, MetaStore};
+use dpfs_meta::{Database, EmbeddedMetaStore, MetaStore, ShardMap};
 use dpfs_obs::{now_ns, ring, HistSnapshot, Histogram, Side, TraceEvent};
 use dpfs_proto::{ErrorCode, MetaOp, MetaResult, Request, Response};
 use dpfs_server::{ServeCore, Service};
@@ -81,7 +81,7 @@ impl MetadStats {
     }
 
     /// Snapshot every counter and histogram.
-    pub fn snapshot(&self, generation: u64) -> MetadStatsSnapshot {
+    pub fn snapshot(&self, generation: u64, shard_id: u64, shards: u64) -> MetadStatsSnapshot {
         let op_latency = self
             .hists
             .lock()
@@ -95,6 +95,8 @@ impl MetadStats {
             connections: self.connections.load(Ordering::Relaxed),
             in_flight: self.in_flight.load(Ordering::Relaxed),
             generation,
+            shard_id,
+            shards,
             op_latency,
         }
     }
@@ -113,6 +115,10 @@ pub struct MetadStatsSnapshot {
     pub in_flight: u64,
     /// Metadata generation at snapshot time.
     pub generation: u64,
+    /// Which shard this daemon serves (0 for a single-shard deployment).
+    pub shard_id: u64,
+    /// Total shard count in the daemon's shard-map view (>= 1).
+    pub shards: u64,
     /// Per-op service-time histograms, sorted by op label.
     pub op_latency: Vec<(String, HistSnapshot)>,
 }
@@ -126,7 +132,7 @@ impl MetadStatsSnapshot {
     /// Serialize to the versioned `Stats` payload blob.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(
-            1 + 6 * 8
+            1 + 8 * 8
                 + 4
                 + self
                     .op_latency
@@ -142,6 +148,8 @@ impl MetadStatsSnapshot {
             self.connections,
             self.in_flight,
             self.generation,
+            self.shard_id,
+            self.shards,
         ] {
             out.extend_from_slice(&v.to_le_bytes());
         }
@@ -173,6 +181,8 @@ impl MetadStatsSnapshot {
         let connections = read_u64(&mut rest)?;
         let in_flight = read_u64(&mut rest)?;
         let generation = read_u64(&mut rest)?;
+        let shard_id = read_u64(&mut rest)?;
+        let shards = read_u64(&mut rest)?;
         let (head, mut tail) = rest.split_at_checked(4)?;
         let n = u32::from_le_bytes(head.try_into().ok()?) as usize;
         let mut op_latency = Vec::with_capacity(n.min(1 << 10));
@@ -192,6 +202,8 @@ impl MetadStatsSnapshot {
             connections,
             in_flight,
             generation,
+            shard_id,
+            shards,
             op_latency,
         })
     }
@@ -205,22 +217,53 @@ pub struct MetaHandler {
     name: String,
     store: EmbeddedMetaStore,
     stats: MetadStats,
+    /// Which shard of the namespace this daemon serves.
+    shard_id: u32,
+    /// The daemon's shard-map view; replies to `GetShardMap` and lets
+    /// clients cross-check their mount topology.
+    shard_map: ShardMap,
 }
 
 impl MetaHandler {
-    /// Build a handler over a database, creating the DPFS tables and the
-    /// generation table if missing. `name` labels trace events.
+    /// Build a single-shard handler over a database, creating the DPFS
+    /// tables and the generation table if missing. `name` labels trace
+    /// events.
     pub fn new(name: impl Into<String>, db: Arc<Database>) -> dpfs_meta::Result<MetaHandler> {
+        Self::new_sharded(name, db, 0, 1)
+    }
+
+    /// Build a handler serving shard `shard_id` of a `shards`-wide
+    /// metadata plane. The daemon trusts client routing — it serves
+    /// whatever namespace slice clients send it — but stamps every reply
+    /// with its shard id so a misrouted client fails loudly.
+    pub fn new_sharded(
+        name: impl Into<String>,
+        db: Arc<Database>,
+        shard_id: u32,
+        shards: u32,
+    ) -> dpfs_meta::Result<MetaHandler> {
         Ok(MetaHandler {
             name: name.into(),
             store: EmbeddedMetaStore::new(db)?,
             stats: MetadStats::default(),
+            shard_id,
+            shard_map: ShardMap::new(shards),
         })
     }
 
     /// The daemon name trace events are stamped with.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Which shard this daemon serves.
+    pub fn shard_id(&self) -> u32 {
+        self.shard_id
+    }
+
+    /// The daemon's shard-map view.
+    pub fn shard_map(&self) -> &ShardMap {
+        &self.shard_map
     }
 
     /// The backing store (in-process tests and the testbed reach through
@@ -234,10 +277,14 @@ impl MetaHandler {
         &self.stats
     }
 
-    /// A stats snapshot stamped with the current generation.
+    /// A stats snapshot stamped with the current generation and shard.
     pub fn stats_snapshot(&self) -> MetadStatsSnapshot {
         let generation = self.store.generation().unwrap_or(0);
-        self.stats.snapshot(generation)
+        self.stats.snapshot(
+            generation,
+            u64::from(self.shard_id),
+            u64::from(self.shard_map.shards),
+        )
     }
 
     /// Apply one metadata op against the store. Pure dispatch: every
@@ -285,6 +332,32 @@ impl MetaHandler {
             Op::FindByTag { tag, pattern } => s.find_by_tag(&tag, &pattern).map(R::TagHits),
             Op::ServerBrickCounts => s.server_brick_counts().map(R::BrickCounts),
             Op::Generation => Ok(R::Unit), // gen rides in the envelope
+            Op::GetShardMap => Ok(R::ShardMap {
+                version: self.shard_map.version,
+                shards: self.shard_map.shards,
+            }),
+            Op::RenamePrepare { from, to } => {
+                s.rename_prepare(&from, &to)
+                    .map(|(intent, attr, dist, tags)| R::RenamePrepared {
+                        intent,
+                        attr,
+                        dist,
+                        tags,
+                    })
+            }
+            Op::RenameCommit {
+                intent,
+                attr,
+                dist,
+                tags,
+            } => s
+                .rename_commit_dest(intent, &attr, &dist, &tags)
+                .map(|()| R::Unit),
+            Op::RenameFinish { intent } => s.rename_finish(intent).map(|()| R::Unit),
+            Op::RenameAbort { intent } => s.rename_abort(intent).map(R::Bool),
+            Op::ListRenameIntents => s
+                .list_rename_intents()
+                .map(|xs| R::Intents(xs.into_iter().map(|i| (i.id, i.src, i.dst)).collect())),
         };
         result.unwrap_or_else(|e| MetaResult::from_err(&e))
     }
@@ -334,7 +407,11 @@ impl MetaHandler {
                 if matches!(result, MetaResult::Err { .. }) {
                     self.stats.errors.fetch_add(1, Ordering::Relaxed);
                 }
-                Response::Meta { gen, result }
+                Response::Meta {
+                    shard: self.shard_id,
+                    gen,
+                    result,
+                }
             }
             // I/O requests belong to the I/O servers; a client that dials
             // the metadata port gets a clean protocol error.
@@ -376,6 +453,10 @@ pub struct MetadConfig {
     pub sync_on_commit: bool,
     /// Listen address; `127.0.0.1:0` (ephemeral localhost port) by default.
     pub bind: String,
+    /// Which shard of the namespace this daemon serves (default 0).
+    pub shard_id: u32,
+    /// Total shard count in the metadata plane (default 1).
+    pub shards: u32,
 }
 
 impl Default for MetadConfig {
@@ -385,6 +466,8 @@ impl Default for MetadConfig {
             dir: None,
             sync_on_commit: false,
             bind: "127.0.0.1:0".to_string(),
+            shard_id: 0,
+            shards: 1,
         }
     }
 }
@@ -412,6 +495,13 @@ impl MetadConfig {
         self.name = name.into();
         self
     }
+
+    /// Serve shard `shard_id` of a `shards`-wide metadata plane.
+    pub fn shard(mut self, shard_id: u32, shards: u32) -> Self {
+        self.shard_id = shard_id;
+        self.shards = shards.max(1);
+        self
+    }
 }
 
 /// A running metadata daemon. Dropping the handle shuts it down.
@@ -435,7 +525,8 @@ impl MetaServer {
     /// it: nothing else should touch `db` once serving starts).
     pub fn start_with_db(config: MetadConfig, db: Arc<Database>) -> io::Result<MetaServer> {
         let handler = Arc::new(
-            MetaHandler::new(&config.name, db).map_err(|e| io::Error::other(e.to_string()))?,
+            MetaHandler::new_sharded(&config.name, db, config.shard_id, config.shards)
+                .map_err(|e| io::Error::other(e.to_string()))?,
         );
         let core = ServeCore::start(&config.bind, handler.clone())?;
         Ok(MetaServer { handler, core })
@@ -497,7 +588,7 @@ mod tests {
 
     fn meta(h: &MetaHandler, op: MetaOp) -> (u64, MetaResult) {
         match h.handle(Request::Meta { op }) {
-            Response::Meta { gen, result } => (gen, result),
+            Response::Meta { gen, result, .. } => (gen, result),
             other => panic!("expected Meta response, got {other:?}"),
         }
     }
@@ -719,6 +810,105 @@ mod tests {
     }
 
     #[test]
+    fn sharded_handler_stamps_shard_and_serves_the_map() {
+        let h = MetaHandler::new_sharded("metad1", Arc::new(Database::in_memory()), 1, 4).unwrap();
+        let resp = h.handle(Request::Meta {
+            op: MetaOp::GetShardMap,
+        });
+        let Response::Meta {
+            shard,
+            result: MetaResult::ShardMap { version, shards },
+            ..
+        } = resp
+        else {
+            panic!("expected shard map, got {resp:?}");
+        };
+        assert_eq!(shard, 1);
+        assert_eq!(version, 1);
+        assert_eq!(shards, 4);
+        let snap = h.stats_snapshot();
+        assert_eq!((snap.shard_id, snap.shards), (1, 4));
+        // and the snapshot survives its own wire format
+        let back = MetadStatsSnapshot::decode(&snap.encode()).unwrap();
+        assert_eq!((back.shard_id, back.shards), (1, 4));
+        // the default constructor stays shard 0-of-1
+        let h0 = handler();
+        let resp = h0.handle(Request::Meta {
+            op: MetaOp::Generation,
+        });
+        assert!(matches!(resp, Response::Meta { shard: 0, .. }));
+    }
+
+    #[test]
+    fn rename_two_phase_ops_dispatch_over_the_handler() {
+        // Source and destination shards as two independent handlers.
+        let src = MetaHandler::new_sharded("m0", Arc::new(Database::in_memory()), 0, 2).unwrap();
+        let dst = MetaHandler::new_sharded("m1", Arc::new(Database::in_memory()), 1, 2).unwrap();
+        for h in [&src, &dst] {
+            let (_, r) = meta(h, MetaOp::Mkdir { path: "/d".into() });
+            assert_eq!(r, MetaResult::Unit);
+        }
+        let (_, r) = meta(
+            &src,
+            MetaOp::CreateFile {
+                attr: attr("/d/f"),
+                dist: vec![],
+            },
+        );
+        assert_eq!(r, MetaResult::Unit);
+        let (g0, _) = meta(&src, MetaOp::Generation);
+        let (g1, r) = meta(
+            &src,
+            MetaOp::RenamePrepare {
+                from: "/d/f".into(),
+                to: "/d/g".into(),
+            },
+        );
+        let MetaResult::RenamePrepared {
+            intent, attr: a, ..
+        } = r
+        else {
+            panic!("expected RenamePrepared, got {r:?}");
+        };
+        assert!(g1 > g0, "prepare is a mutation and must bump the gen");
+        let mut moved = a;
+        moved.filename = "/d/g".into();
+        let (_, r) = meta(
+            &dst,
+            MetaOp::RenameCommit {
+                intent,
+                attr: moved,
+                dist: vec![],
+                tags: vec![],
+            },
+        );
+        assert_eq!(r, MetaResult::Unit);
+        let (_, r) = meta(&src, MetaOp::ListRenameIntents);
+        assert_eq!(
+            r,
+            MetaResult::Intents(vec![(intent, "/d/f".into(), "/d/g".into())])
+        );
+        let (_, r) = meta(&src, MetaOp::RenameFinish { intent });
+        assert_eq!(r, MetaResult::Unit);
+        let (_, r) = meta(&src, MetaOp::ListRenameIntents);
+        assert_eq!(r, MetaResult::Intents(vec![]));
+        let (_, r) = meta(
+            &dst,
+            MetaOp::GetFileAttr {
+                filename: "/d/g".into(),
+            },
+        );
+        assert!(matches!(r, MetaResult::MaybeAttr(Some(_))));
+        let (_, r) = meta(
+            &src,
+            MetaOp::GetFileAttr {
+                filename: "/d/f".into(),
+            },
+        );
+        assert!(matches!(r, MetaResult::MaybeAttr(None)));
+    }
+
+    #[test]
     fn traced_meta_ops_record_handle_events() {
         let h = handler();
         let trace_id = dpfs_obs::next_trace_id();
@@ -759,7 +949,7 @@ mod tests {
                 },
             },
         );
-        let Response::Meta { gen, result } = resp else {
+        let Response::Meta { gen, result, .. } = resp else {
             panic!("expected Meta response, got {resp:?}");
         };
         assert_eq!(result, MetaResult::Unit);

@@ -51,6 +51,13 @@ impl ErrorCode {
 
 /// A client request. `subfile` names the server-local file holding this
 /// server's bricks of a DPFS file.
+//
+// `Meta` dwarfs the I/O variants (a cross-shard rename prepare carries a
+// full attr row + distribution snapshot), but requests are per-RPC
+// transients — built, encoded, dropped — never held in bulk, so the
+// stack-size skew is harmless and boxing would noise up every codec and
+// handler match.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Liveness / RTT probe.
@@ -106,6 +113,11 @@ impl Request {
 }
 
 /// A server response.
+//
+// Like [`Request`], the `Meta` variant (rename-prepare snapshots) dwarfs
+// the rest; responses are per-RPC transients, so the skew is accepted
+// rather than boxed (see the note on `Request`).
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
     /// Reply to `Ping` / `Shutdown` / `Sync`.
@@ -127,10 +139,16 @@ pub enum Response {
     /// layout); keeping it opaque here lets the snapshot grow fields
     /// without a wire-protocol change.
     Stats { payload: Bytes },
-    /// Reply to [`Request::Meta`]. `gen` is the server's current metadata
+    /// Reply to [`Request::Meta`]. `shard` identifies the metadata shard
+    /// that served the op and `gen` is *that shard's* current metadata
     /// generation — carried on *every* metadata reply so client caches
-    /// revalidate for free (a moved generation invalidates them).
-    Meta { gen: u64, result: MetaResult },
+    /// revalidate for free (a moved generation invalidates only the
+    /// entries owned by that shard).
+    Meta {
+        shard: u32,
+        gen: u64,
+        result: MetaResult,
+    },
 }
 
 // ---- codec helpers ----
@@ -339,8 +357,9 @@ impl Response {
                 buf.put_u64_le(payload.len() as u64);
                 buf.put_slice(payload);
             }
-            Response::Meta { gen, result } => {
+            Response::Meta { shard, gen, result } => {
                 buf.put_u8(9);
+                buf.put_u32_le(*shard);
                 buf.put_u64_le(*gen);
                 result.encode_into(&mut buf);
             }
@@ -380,6 +399,7 @@ impl Response {
                 payload: get_bytes(&mut buf)?,
             },
             9 => Response::Meta {
+                shard: get_u32(&mut buf)?,
                 gen: get_u64(&mut buf)?,
                 result: MetaResult::decode_from(&mut buf)?,
             },

@@ -94,6 +94,34 @@ pub enum MetaOp {
     ServerBrickCounts,
     /// Read the current metadata generation (cheap cache revalidation).
     Generation,
+    /// Read the daemon's shard-map view (version + shard count), so clients
+    /// can cross-check their mount topology.
+    GetShardMap,
+    /// Cross-shard rename phase 1, sent to the *source* shard: record an
+    /// intent and snapshot the entry.
+    RenamePrepare {
+        from: String,
+        to: String,
+    },
+    /// Cross-shard rename phase 2, sent to the *destination* shard: create
+    /// the renamed entry plus the intent marker tag in one transaction.
+    RenameCommit {
+        intent: i64,
+        attr: FileAttrRow,
+        dist: Vec<Distribution>,
+        tags: Vec<(String, String)>,
+    },
+    /// Cross-shard rename phase 3, sent to the source shard: delete the
+    /// source entry and the intent.
+    RenameFinish {
+        intent: i64,
+    },
+    /// Abandon a prepared cross-shard rename on the source shard.
+    RenameAbort {
+        intent: i64,
+    },
+    /// List pending cross-shard rename intents (crash recovery).
+    ListRenameIntents,
 }
 
 /// Result of a metadata operation. One variant per result shape; `Err`
@@ -112,7 +140,25 @@ pub enum MetaResult {
     Tags(Vec<(String, String)>),
     TagHits(Vec<(String, String, i64)>),
     BrickCounts(Vec<(String, i64)>),
-    Err { code: u8, message: String },
+    Err {
+        code: u8,
+        message: String,
+    },
+    /// The daemon's shard-map view (reply to `GetShardMap`).
+    ShardMap {
+        version: u64,
+        shards: u32,
+    },
+    /// Reply to `RenamePrepare`: the intent id plus the entry snapshot the
+    /// client replays onto the destination shard.
+    RenamePrepared {
+        intent: i64,
+        attr: FileAttrRow,
+        dist: Vec<Distribution>,
+        tags: Vec<(String, String)>,
+    },
+    /// Reply to `ListRenameIntents`: `(intent, src, dst)` triples.
+    Intents(Vec<(i64, String, String)>),
 }
 
 impl MetaOp {
@@ -143,6 +189,12 @@ impl MetaOp {
             MetaOp::FindByTag { .. } => "meta.find_by_tag",
             MetaOp::ServerBrickCounts => "meta.server_brick_counts",
             MetaOp::Generation => "meta.generation",
+            MetaOp::GetShardMap => "meta.get_shard_map",
+            MetaOp::RenamePrepare { .. } => "meta.rename_prepare",
+            MetaOp::RenameCommit { .. } => "meta.rename_commit",
+            MetaOp::RenameFinish { .. } => "meta.rename_finish",
+            MetaOp::RenameAbort { .. } => "meta.rename_abort",
+            MetaOp::ListRenameIntents => "meta.list_rename_intents",
         }
     }
 
@@ -164,6 +216,10 @@ impl MetaOp {
                 | MetaOp::Rmdir { .. }
                 | MetaOp::SetTag { .. }
                 | MetaOp::RemoveTag { .. }
+                | MetaOp::RenamePrepare { .. }
+                | MetaOp::RenameCommit { .. }
+                | MetaOp::RenameFinish { .. }
+                | MetaOp::RenameAbort { .. }
         )
     }
 }
@@ -309,6 +365,23 @@ fn get_dist(buf: &mut Bytes) -> Result<Distribution, FrameError> {
     })
 }
 
+fn put_tag_list(buf: &mut BytesMut, xs: &[(String, String)]) {
+    buf.put_u32_le(xs.len() as u32);
+    for (k, v) in xs {
+        put_str(buf, k);
+        put_str(buf, v);
+    }
+}
+
+fn get_tag_list(buf: &mut Bytes) -> Result<Vec<(String, String)>, FrameError> {
+    let n = get_u32(buf)? as usize;
+    let mut xs = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        xs.push((get_str(buf)?, get_str(buf)?));
+    }
+    Ok(xs)
+}
+
 fn put_dist_list(buf: &mut BytesMut, ds: &[Distribution]) {
     buf.put_u32_le(ds.len() as u32);
     for d in ds {
@@ -430,6 +503,33 @@ impl MetaOp {
             }
             MetaOp::ServerBrickCounts => buf.put_u8(22),
             MetaOp::Generation => buf.put_u8(23),
+            MetaOp::GetShardMap => buf.put_u8(24),
+            MetaOp::RenamePrepare { from, to } => {
+                buf.put_u8(25);
+                put_str(buf, from);
+                put_str(buf, to);
+            }
+            MetaOp::RenameCommit {
+                intent,
+                attr,
+                dist,
+                tags,
+            } => {
+                buf.put_u8(26);
+                put_i64(buf, *intent);
+                put_attr(buf, attr);
+                put_dist_list(buf, dist);
+                put_tag_list(buf, tags);
+            }
+            MetaOp::RenameFinish { intent } => {
+                buf.put_u8(27);
+                put_i64(buf, *intent);
+            }
+            MetaOp::RenameAbort { intent } => {
+                buf.put_u8(28);
+                put_i64(buf, *intent);
+            }
+            MetaOp::ListRenameIntents => buf.put_u8(29),
         }
     }
 
@@ -511,6 +611,24 @@ impl MetaOp {
             },
             22 => MetaOp::ServerBrickCounts,
             23 => MetaOp::Generation,
+            24 => MetaOp::GetShardMap,
+            25 => MetaOp::RenamePrepare {
+                from: get_str(buf)?,
+                to: get_str(buf)?,
+            },
+            26 => MetaOp::RenameCommit {
+                intent: get_i64(buf)?,
+                attr: get_attr(buf)?,
+                dist: get_dist_list(buf)?,
+                tags: get_tag_list(buf)?,
+            },
+            27 => MetaOp::RenameFinish {
+                intent: get_i64(buf)?,
+            },
+            28 => MetaOp::RenameAbort {
+                intent: get_i64(buf)?,
+            },
+            29 => MetaOp::ListRenameIntents,
             other => return Err(FrameError::BadMessage(format!("bad meta op tag {other}"))),
         })
     }
@@ -609,6 +727,32 @@ impl MetaResult {
                 buf.put_u8(*code);
                 put_str(buf, message);
             }
+            MetaResult::ShardMap { version, shards } => {
+                buf.put_u8(13);
+                buf.put_u64_le(*version);
+                buf.put_u32_le(*shards);
+            }
+            MetaResult::RenamePrepared {
+                intent,
+                attr,
+                dist,
+                tags,
+            } => {
+                buf.put_u8(14);
+                put_i64(buf, *intent);
+                put_attr(buf, attr);
+                put_dist_list(buf, dist);
+                put_tag_list(buf, tags);
+            }
+            MetaResult::Intents(xs) => {
+                buf.put_u8(15);
+                buf.put_u32_le(xs.len() as u32);
+                for (intent, src, dst) in xs {
+                    put_i64(buf, *intent);
+                    put_str(buf, src);
+                    put_str(buf, dst);
+                }
+            }
         }
     }
 
@@ -679,6 +823,24 @@ impl MetaResult {
                 code: get_u8(buf)?,
                 message: get_str(buf)?,
             },
+            13 => MetaResult::ShardMap {
+                version: get_i64(buf)? as u64,
+                shards: get_u32(buf)?,
+            },
+            14 => MetaResult::RenamePrepared {
+                intent: get_i64(buf)?,
+                attr: get_attr(buf)?,
+                dist: get_dist_list(buf)?,
+                tags: get_tag_list(buf)?,
+            },
+            15 => {
+                let n = get_u32(buf)? as usize;
+                let mut xs = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    xs.push((get_i64(buf)?, get_str(buf)?, get_str(buf)?));
+                }
+                MetaResult::Intents(xs)
+            }
             other => {
                 return Err(FrameError::BadMessage(format!(
                     "bad meta result tag {other}"
@@ -732,6 +894,7 @@ mod tests {
 
     fn round_trip_result(result: MetaResult) {
         let resp = Response::Meta {
+            shard: 3,
             gen: 42,
             result: result.clone(),
         };
@@ -809,6 +972,20 @@ mod tests {
         });
         round_trip_op(MetaOp::ServerBrickCounts);
         round_trip_op(MetaOp::Generation);
+        round_trip_op(MetaOp::GetShardMap);
+        round_trip_op(MetaOp::RenamePrepare {
+            from: "/a/f".into(),
+            to: "/b/f".into(),
+        });
+        round_trip_op(MetaOp::RenameCommit {
+            intent: 7,
+            attr: sample_attr(),
+            dist: sample_dist(),
+            tags: vec![("k".into(), "v".into())],
+        });
+        round_trip_op(MetaOp::RenameFinish { intent: 7 });
+        round_trip_op(MetaOp::RenameAbort { intent: 7 });
+        round_trip_op(MetaOp::ListRenameIntents);
     }
 
     #[test]
@@ -846,6 +1023,20 @@ mod tests {
             code: 7,
             message: "duplicate key: file /f already exists".into(),
         });
+        round_trip_result(MetaResult::ShardMap {
+            version: 1,
+            shards: 4,
+        });
+        round_trip_result(MetaResult::RenamePrepared {
+            intent: 9,
+            attr: sample_attr(),
+            dist: sample_dist(),
+            tags: vec![("k".into(), "v".into()), ("k2".into(), "v2".into())],
+        });
+        round_trip_result(MetaResult::Intents(vec![
+            (1, "/a/f".into(), "/b/f".into()),
+            (2, "/a/g".into(), "/c/g".into()),
+        ]));
     }
 
     #[test]
@@ -871,6 +1062,17 @@ mod tests {
         }
         .is_mutation());
         assert!(!MetaOp::Generation.is_mutation());
+        // The rename 2PC phases all mutate; the map fetch and the intent
+        // listing are reads (safe to retry on any transient failure).
+        assert!(MetaOp::RenamePrepare {
+            from: "/a".into(),
+            to: "/b".into()
+        }
+        .is_mutation());
+        assert!(MetaOp::RenameFinish { intent: 1 }.is_mutation());
+        assert!(MetaOp::RenameAbort { intent: 1 }.is_mutation());
+        assert!(!MetaOp::GetShardMap.is_mutation());
+        assert!(!MetaOp::ListRenameIntents.is_mutation());
     }
 
     #[test]
@@ -896,6 +1098,38 @@ mod tests {
             assert!(
                 Request::decode(enc.slice(..cut)).is_err(),
                 "cut at {cut} should fail"
+            );
+        }
+        let enc = Request::Meta {
+            op: MetaOp::RenameCommit {
+                intent: 3,
+                attr: sample_attr(),
+                dist: sample_dist(),
+                tags: vec![("k".into(), "v".into())],
+            },
+        }
+        .encode();
+        for cut in 1..enc.len() {
+            assert!(
+                Request::decode(enc.slice(..cut)).is_err(),
+                "commit cut at {cut} should fail"
+            );
+        }
+        let enc = Response::Meta {
+            shard: 1,
+            gen: 5,
+            result: MetaResult::RenamePrepared {
+                intent: 3,
+                attr: sample_attr(),
+                dist: sample_dist(),
+                tags: vec![("k".into(), "v".into())],
+            },
+        }
+        .encode();
+        for cut in 1..enc.len() {
+            assert!(
+                Response::decode(enc.slice(..cut)).is_err(),
+                "prepared cut at {cut} should fail"
             );
         }
     }

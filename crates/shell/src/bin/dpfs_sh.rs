@@ -5,11 +5,13 @@
 //! - `dpfs-sh [num-servers] [class]` — ephemeral in-process testbed:
 //!   starts `num-servers` I/O servers (default 4, unthrottled) with an
 //!   embedded metadata catalog. Self-contained; nothing survives exit.
-//! - `dpfs-sh --metad ADDR [--server NAME=ADDR]... [--no-cache]` —
-//!   attach to a running `dpfs-metad` daemon (and `dpfs-iond` I/O
-//!   servers): all metadata goes over TCP, and any `--server` not yet in
-//!   the catalog is registered on mount. `--no-cache` disables the
-//!   client-side attr/layout cache.
+//! - `dpfs-sh --metad ADDR [--metad ADDR]... [--server NAME=ADDR]...
+//!   [--no-cache]` — attach to running `dpfs-metad` daemons (and
+//!   `dpfs-iond` I/O servers): all metadata goes over TCP, and any
+//!   `--server` not yet in the catalog is registered on mount. Repeat
+//!   `--metad` to mount a sharded metadata plane — the i-th occurrence
+//!   must be the daemon started with `--shard i`. `--no-cache` disables
+//!   the client-side attr/layout cache.
 //!
 //! Type `help` at the prompt for the command list.
 
@@ -23,7 +25,8 @@ use dpfs_shell::Shell;
 
 /// Parsed `--metad` mode arguments.
 struct RemoteArgs {
-    metad: String,
+    /// Metadata daemon addresses, in shard order (one = unsharded).
+    metads: Vec<String>,
     servers: Vec<(String, String)>,
     cache: bool,
 }
@@ -31,7 +34,8 @@ struct RemoteArgs {
 fn usage() -> ! {
     eprintln!(
         "usage: dpfs-sh [num-servers] [class]\n       \
-         dpfs-sh --metad ADDR [--server NAME=ADDR]... [--no-cache]"
+         dpfs-sh --metad ADDR [--metad ADDR]... [--server NAME=ADDR]... [--no-cache]\n       \
+         (repeat --metad in shard order to mount a sharded metadata plane)"
     );
     std::process::exit(2);
 }
@@ -40,14 +44,14 @@ fn parse_remote(args: &[String]) -> Option<RemoteArgs> {
     if !args.iter().any(|a| a == "--metad") {
         return None;
     }
-    let mut metad = None;
+    let mut metads = Vec::new();
     let mut servers = Vec::new();
     let mut cache = true;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--metad" => match it.next() {
-                Some(addr) => metad = Some(addr.clone()),
+                Some(addr) => metads.push(addr.clone()),
                 None => usage(),
             },
             "--server" => match it.next().and_then(|s| s.split_once('=')) {
@@ -58,17 +62,25 @@ fn parse_remote(args: &[String]) -> Option<RemoteArgs> {
             _ => usage(),
         }
     }
+    if metads.is_empty() {
+        usage()
+    }
     Some(RemoteArgs {
-        metad: metad.unwrap_or_else(|| usage()),
+        metads,
         servers,
         cache,
     })
 }
 
-/// Mount against an external metad, registering any new I/O servers.
+/// Mount against external metads, registering any new I/O servers.
 fn mount_remote(ra: &RemoteArgs) -> Result<Dpfs, String> {
     let mut resolver = Resolver::direct();
-    resolver.alias("metad", &ra.metad);
+    let mut names = Vec::with_capacity(ra.metads.len());
+    for (shard, addr) in ra.metads.iter().enumerate() {
+        let name = format!("metad{shard}");
+        resolver.alias(&name, addr);
+        names.push(name);
+    }
     for (name, addr) in &ra.servers {
         resolver.alias(name, addr);
     }
@@ -77,12 +89,12 @@ fn mount_remote(ra: &RemoteArgs) -> Result<Dpfs, String> {
         ..ClientOptions::default()
     };
     let client =
-        Dpfs::mount_remote("metad", resolver, opts).map_err(|e| format!("mount failed: {e}"))?;
+        Dpfs::mount_sharded(names, resolver, opts).map_err(|e| format!("mount failed: {e}"))?;
     for (name, _) in &ra.servers {
         let known = client
             .meta()
             .get_server(name)
-            .map_err(|e| format!("metad at {} unreachable: {e}", ra.metad))?;
+            .map_err(|e| format!("metad at {} unreachable: {e}", ra.metads[0]))?;
         if known.is_none() {
             client
                 .meta()
@@ -106,8 +118,9 @@ fn main() {
         Some(ra) => match mount_remote(&ra) {
             Ok(c) => {
                 println!(
-                    "DPFS shell — metadata via dpfs-metad at {} ({} I/O servers named, cache {}).",
-                    ra.metad,
+                    "DPFS shell — metadata via {} dpfs-metad shard(s) at {} ({} I/O servers named, cache {}).",
+                    ra.metads.len(),
+                    ra.metads.join(", "),
                     ra.servers.len(),
                     if ra.cache { "on" } else { "off" }
                 );

@@ -291,43 +291,68 @@ impl Shell {
     }
 
     /// The metadata half of `stats`: where metadata lives, and — on remote
-    /// mounts — the client cache counters plus the daemon's own per-op
-    /// service-time histograms fetched over its `Stats` RPC.
+    /// mounts — the client cache counters plus the daemons' own per-op
+    /// service-time histograms fetched over their `Stats` RPC. On a
+    /// sharded plane every shard gets its own section (generation, cache
+    /// hits/misses against it, daemon counters, per-op percentiles).
     fn metadata_section(&self) -> String {
         let Some(remote) = self.fs.remote_meta() else {
             return "metadata: embedded (in-process catalog)\n".to_string();
         };
-        let name = remote.server().to_string();
-        let mut out = format!(
-            "metadata: remote via {name} (generation {})\n",
-            remote.last_gen()
-        );
-        if let Some((hits, misses)) = self.fs.meta_cache_stats() {
-            writeln!(out, "meta cache:  {hits} hits / {misses} misses").unwrap();
-        }
-        let snap = match self.fs.pool().rpc_ok(&name, &Request::Stats) {
-            Ok(Response::Stats { payload }) => MetadStatsSnapshot::decode(&payload),
-            _ => None,
-        };
-        let Some(s) = snap else {
-            writeln!(out, "metad:       unreachable").unwrap();
-            return out;
-        };
-        writeln!(
-            out,
-            "metad:       {} reqs, {} meta ops, {} errs, {} conns, {} in flight",
-            s.requests, s.meta_ops, s.errors, s.connections, s.in_flight
-        )
-        .unwrap();
-        for (op, h) in &s.op_latency {
+        let shards = remote.shard_count();
+        let mut out = String::new();
+        for shard in 0..shards {
+            let name = remote.shard_server(shard).to_string();
+            if shards == 1 {
+                writeln!(
+                    out,
+                    "metadata: remote via {name} (generation {})",
+                    remote.last_gen_of(shard)
+                )
+                .unwrap();
+            } else {
+                writeln!(
+                    out,
+                    "metadata: remote via {name} (generation {}) [shard {shard} of {shards}]",
+                    remote.last_gen_of(shard)
+                )
+                .unwrap();
+            }
+            if self.fs.meta_cache_stats().is_some() {
+                // Hits/misses are mirrored into the per-server transport
+                // counters, which is what makes them per-shard.
+                let (hits, misses) = self
+                    .fs
+                    .pool()
+                    .transport_stats(&name)
+                    .map(|t| (t.meta_cache_hits, t.meta_cache_misses))
+                    .unwrap_or((0, 0));
+                writeln!(out, "meta cache:  {hits} hits / {misses} misses").unwrap();
+            }
+            let snap = match self.fs.pool().rpc_ok(&name, &Request::Stats) {
+                Ok(Response::Stats { payload }) => MetadStatsSnapshot::decode(&payload),
+                _ => None,
+            };
+            let Some(s) = snap else {
+                writeln!(out, "metad:       unreachable").unwrap();
+                continue;
+            };
             writeln!(
                 out,
-                "  {:<28} {:>8} calls  p50/p95/p99 us {}",
-                op,
-                h.count,
-                h.summary_us()
+                "metad:       {} reqs, {} meta ops, {} errs, {} conns, {} in flight",
+                s.requests, s.meta_ops, s.errors, s.connections, s.in_flight
             )
             .unwrap();
+            for (op, h) in &s.op_latency {
+                writeln!(
+                    out,
+                    "  {:<28} {:>8} calls  p50/p95/p99 us {}",
+                    op,
+                    h.count,
+                    h.summary_us()
+                )
+                .unwrap();
+            }
         }
         out
     }
@@ -921,6 +946,29 @@ mod tests {
         assert!(out.contains("meta cache:"), "{out}");
         assert!(out.contains("meta ops"), "{out}");
         assert!(out.contains("meta.mkdir"), "{out}");
+    }
+
+    #[test]
+    fn stats_reports_every_metadata_shard() {
+        let tb = Testbed::unthrottled_with_metad_shards(2, 2).unwrap();
+        let mut sh = Shell::new(tb.remote_client(0, true));
+        sh.exec("mkdir /a").unwrap();
+        sh.exec("mkdir /b").unwrap();
+        sh.exec("stat /a").ok();
+        let out = sh.exec("stats").unwrap();
+        assert!(
+            out.contains("metadata: remote via metad0") && out.contains("[shard 0 of 2]"),
+            "{out}"
+        );
+        assert!(
+            out.contains("metadata: remote via metad1") && out.contains("[shard 1 of 2]"),
+            "{out}"
+        );
+        // one cache line and one daemon-counter line per shard
+        assert_eq!(out.matches("meta cache:").count(), 2, "{out}");
+        assert_eq!(out.matches("meta ops").count(), 2, "{out}");
+        // mkdir broadcasts, so both daemons saw it
+        assert_eq!(out.matches("meta.mkdir").count(), 2, "{out}");
     }
 
     #[test]

@@ -13,10 +13,11 @@
 
 use std::sync::atomic::Ordering;
 
-use dpfs::cluster::{FaultProxy, Testbed, METAD_NAME};
+use dpfs::cluster::{metad_name, FaultProxy, Testbed, METAD_NAME};
 use dpfs::core::trace::{ring, Side};
 use dpfs::core::{ClientOptions, Dpfs, DpfsError, Hint};
-use dpfs::meta::MetaError;
+use dpfs::meta::catalog::RENAME_INTENT_TAG;
+use dpfs::meta::{MetaError, ShardMap};
 
 #[test]
 fn two_clients_share_one_metad_over_tcp() {
@@ -199,6 +200,200 @@ fn negative_lookups_are_cached_and_invalidated_by_creates() {
         "stale negative entry served after the file was created"
     );
     assert!(!meta.get_distribution("/ghost.dat").unwrap().is_empty());
+}
+
+/// Two directories that a 2-wide [`ShardMap`] routes to shard 0 and
+/// shard 1 respectively (the hash is stable, so a small scan finds both).
+fn dirs_on_distinct_shards() -> (String, String) {
+    let map = ShardMap::new(2);
+    let dir_on = |shard: u32| {
+        (0..64)
+            .map(|i| format!("/sd{i}"))
+            .find(|d| map.shard_of_dir(d) == shard)
+            .expect("64 names cover both shards")
+    };
+    (dir_on(0), dir_on(1))
+}
+
+fn mk_file(c: &Dpfs, name: &str) {
+    let mut f = c.create(name, &Hint::linear(256, 256)).unwrap();
+    f.write_bytes(0, &[8u8; 256]).unwrap();
+    f.close().unwrap();
+}
+
+/// The tentpole acceptance test: two clients mount a 2-shard metadata
+/// plane, see each other's mutations across both shards, and each
+/// client's cache validates generations *per shard* — a mutation on
+/// shard B must not invalidate (or miss-refetch) entries from shard A.
+#[test]
+fn two_clients_through_two_shards_validate_generations_per_shard() {
+    let tb = Testbed::unthrottled_with_metad_shards(3, 2).unwrap();
+    let a = tb.remote_client(0, true);
+    let b = tb.remote_client(1, true);
+    let (d0, d1) = dirs_on_distinct_shards();
+    a.mkdir(&d0).unwrap();
+    a.mkdir(&d1).unwrap();
+
+    // Mutations cross clients through both shards.
+    let fa = format!("{d0}/a.dat");
+    let fb = format!("{d1}/b.dat");
+    mk_file(&a, &fa);
+    mk_file(&b, &fb);
+    assert_eq!(b.stat(&fa).unwrap().size, 256, "b sees a's file (shard 0)");
+    assert_eq!(a.stat(&fb).unwrap().size, 256, "a sees b's file (shard 1)");
+    assert_eq!(
+        a.open(&fb).unwrap().read_bytes(0, 256).unwrap(),
+        vec![8u8; 256]
+    );
+
+    // Warm a's layout-path entry for fa (home: shard 0), then prove the
+    // per-shard validation protocol on a's cache counters.
+    let meta = a.meta();
+    assert!(meta.get_file_attr(&fa).unwrap().is_some());
+    let (h0, m0) = a.meta_cache_stats().unwrap();
+    assert!(meta.get_file_attr(&fa).unwrap().is_some());
+    let (h1, m1) = a.meta_cache_stats().unwrap();
+    assert_eq!((h1, m1), (h0 + 1, m0), "repeat lookup hits");
+
+    // B mutates shard 1 only; shard 0's generation is untouched, so a's
+    // shard-0 entry must still be served as a hit.
+    mk_file(&b, &format!("{d1}/b2.dat"));
+    assert!(meta.get_file_attr(&fa).unwrap().is_some());
+    let (h2, m2) = a.meta_cache_stats().unwrap();
+    assert_eq!(
+        (h2, m2),
+        (h1 + 1, m1),
+        "a shard-1 mutation invalidated a shard-0 cache entry"
+    );
+
+    // B mutates shard 0: now the entry is suspect and must refetch.
+    mk_file(&b, &format!("{d0}/a2.dat"));
+    assert!(meta.get_file_attr(&fa).unwrap().is_some());
+    let (h3, m3) = a.meta_cache_stats().unwrap();
+    assert_eq!(
+        (h3, m3),
+        (h2, m2 + 1),
+        "a shard-0 mutation must force a refetch of shard-0 entries"
+    );
+
+    // Both daemons genuinely served metadata, stamped with their ids.
+    let stats = tb.metad_stats_all();
+    assert_eq!((stats[0].shard_id, stats[0].shards), (0, 2));
+    assert_eq!((stats[1].shard_id, stats[1].shards), (1, 2));
+    assert!(stats.iter().all(|s| s.meta_ops > 0), "{stats:?}");
+    let remote = a.remote_meta().unwrap();
+    assert!(remote.last_gen_of(0) > 0 && remote.last_gen_of(1) > 0);
+}
+
+/// A sharded mount whose destination-shard daemon tears the connection on
+/// the `RenameCommit` *reply* (the commit itself lands): the client must
+/// resolve the ambiguity via the destination's intent marker and roll the
+/// rename forward — the entry ends fully at the destination, never lost,
+/// never duplicated.
+#[test]
+fn torn_commit_reply_rolls_a_cross_shard_rename_forward() {
+    let tb = Testbed::unthrottled_with_metad_shards(2, 2).unwrap();
+    let (d0, d1) = dirs_on_distinct_shards();
+    // Fault-inject the destination shard (shard 1 — d1's home).
+    let proxy = FaultProxy::start(tb.metad_addrs()[1]).unwrap();
+    let mut resolver = tb.resolver();
+    resolver.alias(&metad_name(1), &proxy.addr().to_string());
+    let client = Dpfs::mount_sharded(
+        vec![metad_name(0), metad_name(1)],
+        resolver,
+        ClientOptions::default(),
+    )
+    .unwrap();
+    // mkdir broadcasts warm the proxied connection, so the one-shot tear
+    // below hits the commit reply and not an earlier frame.
+    client.mkdir(&d0).unwrap();
+    client.mkdir(&d1).unwrap();
+    let from = format!("{d0}/victim.dat");
+    let to = format!("{d1}/landed.dat");
+    mk_file(&client, &from);
+
+    let meta = client.meta();
+    proxy.knobs().truncate_next.store(true, Ordering::Relaxed);
+    meta.rename_file(&from, &to)
+        .expect("marker-based resolution must roll the committed rename forward");
+
+    assert!(
+        meta.get_file_attr(&from).unwrap().is_none(),
+        "not at source"
+    );
+    assert!(
+        meta.get_file_attr(&to).unwrap().is_some(),
+        "fully at destination"
+    );
+    assert!(
+        meta.get_tag(&to, RENAME_INTENT_TAG).unwrap().is_none(),
+        "commit marker stripped after finish"
+    );
+    assert!(
+        !meta.get_distribution(&to).unwrap().is_empty(),
+        "layout travelled with the rename"
+    );
+    let remote = client.remote_meta().unwrap();
+    assert_eq!(
+        remote.recover_rename_intents().unwrap(),
+        0,
+        "no intent left behind"
+    );
+    assert!(proxy.frames() > 0, "the fault path was actually exercised");
+}
+
+/// The destination shard dies (connections refused) between prepare and
+/// commit: the rename fails, the entry stays fully at the source, and the
+/// recorded intent is resolvable once the client can reach the plane
+/// again — never lost, never duplicated.
+#[test]
+fn dead_destination_shard_leaves_a_recoverable_intent() {
+    let tb = Testbed::unthrottled_with_metad_shards(2, 2).unwrap();
+    let (d0, d1) = dirs_on_distinct_shards();
+    let proxy = FaultProxy::start(tb.metad_addrs()[1]).unwrap();
+    let mut resolver = tb.resolver();
+    resolver.alias(&metad_name(1), &proxy.addr().to_string());
+    let client = Dpfs::mount_sharded(
+        vec![metad_name(0), metad_name(1)],
+        resolver,
+        ClientOptions::default(),
+    )
+    .unwrap();
+    client.mkdir(&d0).unwrap();
+    client.mkdir(&d1).unwrap();
+    let from = format!("{d0}/stuck.dat");
+    let to = format!("{d1}/never.dat");
+    mk_file(&client, &from);
+
+    // Kill the destination shard mid-rename: refuse new connections and
+    // sever the live ones, so the commit (and the resolving read) fail.
+    proxy.knobs().refuse.store(true, Ordering::Relaxed);
+    proxy.sever_all();
+    let meta = client.meta();
+    let err = meta.rename_file(&from, &to).unwrap_err();
+    assert!(
+        matches!(err, MetaError::Remote(_)),
+        "unreachable destination surfaces as a transport error, got {err}"
+    );
+
+    // Never lost: the entry is still fully at the source (shard 0 is
+    // healthy), and nothing landed at the destination.
+    assert!(meta.get_file_attr(&from).unwrap().is_some());
+
+    // The shard comes back; recovery aborts the uncommitted intent.
+    proxy.knobs().refuse.store(false, Ordering::Relaxed);
+    let remote = client.remote_meta().unwrap();
+    assert_eq!(remote.recover_rename_intents().unwrap(), 1);
+    assert!(meta.get_file_attr(&from).unwrap().is_some(), "still at src");
+    assert!(
+        meta.get_file_attr(&to).unwrap().is_none(),
+        "never duplicated at the destination"
+    );
+    assert_eq!(
+        remote.recover_rename_intents().unwrap(),
+        0,
+        "recovery is idempotent"
+    );
 }
 
 #[test]
