@@ -85,4 +85,32 @@ cargo run --release -q -p dpfs-bench --bin metad-shards -- --quick \
     --out target/metad-shards-quick.json
 grep -q '"bench":"metad_shards"' target/metad-shards-quick.json
 
+echo "==> scenario harness (--quick) with slow-op log enabled"
+rm -f target/slowops.jsonl
+DPFS_SLOW_OP_US=10000 DPFS_SLOW_OP_OUT=target/slowops.jsonl \
+    cargo run --release -q -p dpfs-load --bin scenarios -- --quick \
+    --out target/scenarios-quick.json
+grep -q '"bench":"scenarios"' target/scenarios-quick.json
+# The checkpoint scenario's MiB-scale writes cross the 10ms threshold, so
+# the slow-op log must exist and be structurally sound JSONL.
+grep -q '"slow_op":true' target/slowops.jsonl
+grep -q '"trace":' target/slowops.jsonl
+
+echo "==> bench-diff: committed baseline is self-consistent"
+cargo run --release -q -p dpfs-load --bin bench-diff -- \
+    BENCH_scenarios.json BENCH_scenarios.json
+
+echo "==> bench-diff: quick run within tolerance of the committed baseline"
+cargo run --release -q -p dpfs-load --bin bench-diff -- \
+    BENCH_scenarios.json target/scenarios-quick.json --tolerance 0.75
+
+echo "==> bench-diff: gate must FAIL on a synthetic 100x regression"
+if cargo run --release -q -p dpfs-load --bin bench-diff -- \
+    BENCH_scenarios.json target/scenarios-quick.json \
+    --tolerance 0.75 --scale-baseline 100 >/dev/null 2>&1; then
+    echo "FAIL: bench-diff passed a synthetic regression"
+    exit 1
+fi
+echo "bench-diff: synthetic regression correctly rejected"
+
 echo "CI green."

@@ -8,9 +8,11 @@
 //! DESIGN.md.
 
 pub mod faultproxy;
+pub mod scrape;
 pub mod testbed;
 pub mod workload;
 
 pub use faultproxy::FaultProxy;
+pub use scrape::scrape_cluster;
 pub use testbed::{metad_name, NodeSpec, Testbed, METAD_NAME};
 pub use workload::{run_clients, Bandwidth};

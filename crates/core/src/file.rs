@@ -545,7 +545,7 @@ impl FileHandle {
     // -------------------------------------------------------- execution
 
     fn execute_writes(&mut self, runs: &[BrickRun], data: &[u8]) -> Result<()> {
-        let trace_id = trace::next_trace_id();
+        let trace_id = trace::sampled_trace_id();
         self.last_trace_id = trace_id;
         let op_start = trace::now_ns();
         if let Some(cache) = &mut self.cache {
@@ -622,7 +622,7 @@ impl FileHandle {
     }
 
     fn execute_reads(&mut self, runs: &[BrickRun], buf: &mut [u8]) -> Result<()> {
-        let trace_id = trace::next_trace_id();
+        let trace_id = trace::sampled_trace_id();
         self.last_trace_id = trace_id;
         let op_start = trace::now_ns();
         // Serve runs whose bricks are cached locally; fetch the rest.
@@ -793,7 +793,7 @@ impl FileHandle {
     /// leave the others' subfiles unflushed — and the failures come back
     /// aggregated in a single [`DpfsError::Aggregate`].
     pub fn sync(&mut self) -> Result<()> {
-        let trace_id = trace::next_trace_id();
+        let trace_id = trace::sampled_trace_id();
         self.last_trace_id = trace_id;
         let op_start = trace::now_ns();
         let work: Vec<(&str, Request)> = self

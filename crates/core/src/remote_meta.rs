@@ -178,7 +178,7 @@ impl RemoteMetaStore {
     /// [`mutation_retryable`]).
     fn call(&self, shard: usize, op: MetaOp) -> Result<(u64, MetaResult), MetaError> {
         let server = &self.shards[shard];
-        let trace_id = trace::next_trace_id();
+        let trace_id = trace::sampled_trace_id();
         self.last_trace_id.store(trace_id, Ordering::Relaxed);
         let retryable: fn(&DpfsError) -> bool = if op.is_mutation() {
             mutation_retryable

@@ -18,8 +18,9 @@
 //! module re-exports them and adds the client-side helpers.
 
 pub use dpfs_obs::{
-    export_jsonl, export_jsonl_to, next_trace_id, now_ns, ring, HistSnapshot, Histogram, Side,
-    TraceEvent, TraceRing, HIST_BUCKETS,
+    export_jsonl, export_jsonl_to, next_trace_id, now_ns, ring, sampled_trace_id,
+    set_trace_sample_every, slowlog, ClusterSnapshot, Counter, Gauge, HistSnapshot, Histogram,
+    MetricsRegistry, NodeRole, NodeSnapshot, Side, SlowLog, TraceEvent, TraceRing, HIST_BUCKETS,
 };
 
 /// Record one client-side span into the global ring. No-op when

@@ -404,6 +404,14 @@ impl Pending {
                     dur,
                     self.bytes,
                 );
+                trace::slowlog().note(
+                    trace::Side::Client,
+                    self.kind,
+                    &self.server,
+                    self.trace_id,
+                    dur,
+                    self.bytes,
+                );
                 Ok(resp)
             }
             Ok(Err(reason)) => Err(DpfsError::Disconnected {

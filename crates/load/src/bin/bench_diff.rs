@@ -1,0 +1,141 @@
+//! Gate a fresh scenario run against a committed baseline.
+//!
+//! Usage: `bench-diff BASELINE.json FRESH.json [--tolerance F]
+//!         [--scale-baseline N]`
+//!
+//! For every scenario in the baseline, the fresh run must (a) contain
+//! the scenario, (b) keep throughput at or above
+//! `baseline * (1 - tolerance)`, and (c) keep client and server p99 at
+//! or below `baseline / (1 - tolerance)`. Exit 0 when every row passes,
+//! 1 otherwise, with a table either way — CI wires this between a
+//! `--quick` run and the committed BENCH_scenarios.json, so a perf
+//! regression fails the build instead of fading into history.
+//!
+//! `--scale-baseline N` multiplies the baseline's throughput by N before
+//! comparing: a synthetic "the past was N× faster" regression, used by
+//! ci.sh to prove the gate actually fails.
+
+use std::process::exit;
+
+use dpfs_load::report::{parse_rows, ScenarioRow};
+
+/// Default tolerance band: the fresh run may be this fraction worse.
+const DEFAULT_TOLERANCE: f64 = 0.5;
+
+/// The p99 ceiling only applies when the baseline p99 is at least this
+/// many microseconds: sub-millisecond percentiles on a lightly loaded
+/// in-process testbed are noise-dominated and would make the gate
+/// flappy. Throughput is gated regardless.
+const LATENCY_FLOOR_US: f64 = 1000.0;
+
+fn load_rows(path: &str) -> Vec<ScenarioRow> {
+    let doc = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench-diff: cannot read {path}: {e}");
+        exit(2);
+    });
+    let rows = parse_rows(&doc);
+    if rows.is_empty() {
+        eprintln!("bench-diff: no scenario rows in {path}");
+        exit(2);
+    }
+    rows
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let flag_val = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .map(|i| args.get(i + 1).cloned().unwrap_or_default())
+    };
+    if positional.len() < 2 {
+        eprintln!(
+            "usage: bench-diff BASELINE.json FRESH.json [--tolerance F] [--scale-baseline N]"
+        );
+        exit(2);
+    }
+    let tolerance: f64 = match flag_val("--tolerance") {
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("bench-diff: bad --tolerance {v}");
+            exit(2);
+        }),
+        None => DEFAULT_TOLERANCE,
+    };
+    if !(0.0..1.0).contains(&tolerance) {
+        eprintln!("bench-diff: --tolerance must be in [0, 1)");
+        exit(2);
+    }
+    let scale: f64 = match flag_val("--scale-baseline") {
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("bench-diff: bad --scale-baseline {v}");
+            exit(2);
+        }),
+        None => 1.0,
+    };
+
+    let baseline = load_rows(positional[0]);
+    let fresh = load_rows(positional[1]);
+
+    let mut failures = 0usize;
+    eprintln!(
+        "{:<24} {:>12} {:>12} {:>9} {:>9}  verdict (tolerance {:.0}%)",
+        "scenario",
+        "base ops/s",
+        "fresh ops/s",
+        "base p99",
+        "fresh p99",
+        tolerance * 100.0
+    );
+    for base in &baseline {
+        let Some(now) = fresh.iter().find(|r| r.name == base.name) else {
+            eprintln!("{:<24} MISSING from fresh run", base.name);
+            failures += 1;
+            continue;
+        };
+        let want_tput = base.ops_per_sec * scale * (1.0 - tolerance);
+        let lat_ok = |b: f64, now: f64| {
+            let b = b * scale;
+            b < LATENCY_FLOOR_US || now <= b / (1.0 - tolerance)
+        };
+        let tput_ok = now.ops_per_sec >= want_tput;
+        let client_ok = lat_ok(base.client_p99_us, now.client_p99_us);
+        let server_ok = lat_ok(base.server_p99_us, now.server_p99_us);
+        let ok = tput_ok && client_ok && server_ok;
+        if !ok {
+            failures += 1;
+        }
+        let mut verdict = if ok {
+            "ok".to_string()
+        } else {
+            "FAIL:".to_string()
+        };
+        if !tput_ok {
+            verdict.push_str(&format!(" throughput < {want_tput:.0}"));
+        }
+        if !client_ok {
+            verdict.push_str(" client p99 regressed");
+        }
+        if !server_ok {
+            verdict.push_str(" server p99 regressed");
+        }
+        eprintln!(
+            "{:<24} {:>12.0} {:>12.0} {:>9.0} {:>9.0}  {}",
+            base.name,
+            base.ops_per_sec * scale,
+            now.ops_per_sec,
+            base.client_p99_us * scale,
+            now.client_p99_us,
+            verdict
+        );
+    }
+
+    if failures > 0 {
+        eprintln!("bench-diff: {failures} scenario(s) regressed");
+        exit(1);
+    }
+    eprintln!(
+        "bench-diff: all {} scenario(s) within tolerance",
+        baseline.len()
+    );
+}

@@ -1,0 +1,78 @@
+//! Run the scenario catalog and emit the BENCH_scenarios.json document.
+//!
+//! Usage: `scenarios [--quick] [--only NAME] [--out PATH]`
+//!
+//! `--quick` runs the CI-sized variants (same concurrency structure,
+//! smaller op counts). `--only NAME` runs a single scenario (local
+//! iteration; see README). `--out` writes the document to a file; either
+//! way the last stdout line is the JSON.
+//!
+//! Storm-scale runs keep tracing on but sampled: unless the user set
+//! `DPFS_TRACE_SAMPLE` themselves, this binary samples 1-in-8 so the
+//! trace ring holds a representative slice instead of lapping thousands
+//! of times (the drop counter still reports whatever was lost).
+
+use std::process::exit;
+
+use dpfs_load::report;
+use dpfs_load::scenarios::{run, SCENARIO_NAMES};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let flag_val = |flag: &str| {
+        args.iter().position(|a| a == flag).map(|i| {
+            args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                exit(2);
+            })
+        })
+    };
+    let only = flag_val("--only");
+    let out_path = flag_val("--out");
+
+    if std::env::var("DPFS_TRACE_SAMPLE").is_err() {
+        dpfs_obs::set_trace_sample_every(8);
+    }
+
+    let names: Vec<&str> = match &only {
+        Some(name) => {
+            if !SCENARIO_NAMES.contains(&name.as_str()) {
+                eprintln!("unknown scenario {name}; have {SCENARIO_NAMES:?}");
+                exit(2);
+            }
+            vec![name.as_str()]
+        }
+        None => SCENARIO_NAMES.to_vec(),
+    };
+
+    let mut outcomes = Vec::new();
+    for name in names {
+        eprintln!("running {name}{}...", if quick { " (quick)" } else { "" });
+        let out = run(name, quick);
+        let server = out.server_lat();
+        eprintln!(
+            "{name}: {} sim clients, {} ops in {:.2}s = {:.0} ops/sec; client p50/p95/p99 {} us, server {} us; {} trace events dropped, {} slow ops",
+            out.sim_clients,
+            out.ops,
+            out.secs,
+            out.ops_per_sec(),
+            out.client_lat.summary_us(),
+            server.summary_us(),
+            out.trace_dropped,
+            out.slow_ops,
+        );
+        if out.ops == 0 || out.client_lat.count == 0 || server.count == 0 {
+            eprintln!("FAIL: {name} produced an empty measurement");
+            exit(1);
+        }
+        outcomes.push(out);
+    }
+
+    let json = report::render(&outcomes, quick);
+    if let Some(path) = out_path {
+        std::fs::write(&path, &json).expect("write --out");
+        eprintln!("wrote {path}");
+    }
+    println!("{json}");
+}

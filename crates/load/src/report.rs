@@ -1,0 +1,150 @@
+//! The BENCH_scenarios.json document: rendering (the `scenarios` binary)
+//! and the minimal field extraction `bench-diff` needs to gate on it.
+//!
+//! The format is flat by design — one object per scenario, numeric
+//! fields only — so the hand-rolled reader below stays honest: find the
+//! `"scenarios"` array, split it into brace-balanced objects, and pull
+//! named fields. No general JSON parser is vendored for this.
+
+use std::fmt::Write as _;
+
+use crate::ScenarioOutcome;
+
+/// Schema version of the document (bumped on field changes).
+pub const REPORT_VERSION: u64 = 1;
+
+/// Render the full report document.
+pub fn render(outcomes: &[ScenarioOutcome], quick: bool) -> String {
+    let mut json = String::from("{\"bench\":\"scenarios\",");
+    let _ = write!(
+        json,
+        "\"version\":{REPORT_VERSION},\"quick\":{quick},\"io_servers\":{},\"metad_shards\":{},\"workers\":{},\"scenarios\":[",
+        crate::IO_SERVERS,
+        crate::METAD_SHARDS,
+        crate::WORKERS
+    );
+    for (i, out) in outcomes.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let server = out.server_lat();
+        let _ = write!(
+            json,
+            "{{\"name\":\"{}\",\"sim_clients\":{},\"ops\":{},\"bytes\":{},\"secs\":{:.3},\"ops_per_sec\":{:.0},\
+             \"client_p50_us\":{},\"client_p95_us\":{},\"client_p99_us\":{},\
+             \"server_p50_us\":{},\"server_p95_us\":{},\"server_p99_us\":{},\
+             \"trace_dropped\":{},\"slow_ops\":{}}}",
+            out.name,
+            out.sim_clients,
+            out.ops,
+            out.bytes,
+            out.secs,
+            out.ops_per_sec(),
+            out.client_lat.p50() / 1_000,
+            out.client_lat.p95() / 1_000,
+            out.client_lat.p99() / 1_000,
+            server.p50() / 1_000,
+            server.p95() / 1_000,
+            server.p99() / 1_000,
+            out.trace_dropped,
+            out.slow_ops,
+        );
+    }
+    json.push_str("]}");
+    json
+}
+
+/// One scenario row as read back from a report document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioRow {
+    pub name: String,
+    pub ops_per_sec: f64,
+    pub client_p99_us: f64,
+    pub server_p99_us: f64,
+}
+
+/// Extract a string field (`"key":"value"`) from one flat JSON object.
+fn field_str(obj: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let start = obj.find(&pat)? + pat.len();
+    let end = obj[start..].find('"')? + start;
+    Some(obj[start..end].to_string())
+}
+
+/// Extract a numeric field (`"key":123` or `"key":1.5`) from one flat
+/// JSON object.
+fn field_num(obj: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = obj.find(&pat)? + pat.len();
+    let rest = &obj[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parse the scenario rows out of a report document. Rows missing a
+/// required field are skipped (a gate on a malformed document then fails
+/// on the missing-scenario check, not a panic).
+pub fn parse_rows(doc: &str) -> Vec<ScenarioRow> {
+    let Some(arr_start) = doc.find("\"scenarios\":[") else {
+        return Vec::new();
+    };
+    let body = &doc[arr_start + "\"scenarios\":[".len()..];
+    let Some(arr_end) = body.find(']') else {
+        return Vec::new();
+    };
+    let mut rows = Vec::new();
+    for obj in body[..arr_end].split('{').filter(|s| !s.trim().is_empty()) {
+        let (Some(name), Some(ops_per_sec), Some(client_p99_us), Some(server_p99_us)) = (
+            field_str(obj, "name"),
+            field_num(obj, "ops_per_sec"),
+            field_num(obj, "client_p99_us"),
+            field_num(obj, "server_p99_us"),
+        ) else {
+            continue;
+        };
+        rows.push(ScenarioRow {
+            name,
+            ops_per_sec,
+            client_p99_us,
+            server_p99_us,
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{"bench":"scenarios","version":1,"quick":false,"io_servers":4,"metad_shards":2,"workers":8,"scenarios":[{"name":"a","sim_clients":10,"ops":100,"bytes":0,"secs":0.5,"ops_per_sec":200,"client_p50_us":10,"client_p95_us":20,"client_p99_us":30,"server_p50_us":1,"server_p95_us":2,"server_p99_us":3,"trace_dropped":0,"slow_ops":0},{"name":"b","sim_clients":10,"ops":50,"bytes":0,"secs":0.5,"ops_per_sec":100,"client_p50_us":5,"client_p95_us":6,"client_p99_us":7,"server_p50_us":1,"server_p95_us":1,"server_p99_us":1,"trace_dropped":2,"slow_ops":1}]}"#;
+
+    #[test]
+    fn parses_both_rows() {
+        let rows = parse_rows(SAMPLE);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].name, "a");
+        assert_eq!(rows[0].ops_per_sec, 200.0);
+        assert_eq!(rows[0].client_p99_us, 30.0);
+        assert_eq!(rows[1].name, "b");
+        assert_eq!(rows[1].server_p99_us, 1.0);
+    }
+
+    #[test]
+    fn malformed_documents_parse_to_empty_or_partial() {
+        assert!(parse_rows("").is_empty());
+        assert!(parse_rows("{\"bench\":\"scenarios\"}").is_empty());
+        // A row missing ops_per_sec is skipped, not fatal.
+        let doc = r#"{"scenarios":[{"name":"x","client_p99_us":1,"server_p99_us":1}]}"#;
+        assert!(parse_rows(doc).is_empty());
+    }
+
+    #[test]
+    fn field_num_handles_floats_and_negatives() {
+        assert_eq!(field_num("{\"x\":1.5}", "x"), Some(1.5));
+        assert_eq!(field_num("{\"x\":-3,\"y\":2}", "x"), Some(-3.0));
+        assert_eq!(field_num("{\"x\":7}", "x"), Some(7.0));
+        assert_eq!(field_num("{\"x\":7}", "y"), None);
+    }
+}

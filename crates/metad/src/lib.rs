@@ -404,6 +404,14 @@ impl MetaHandler {
                 let dur = now_ns().saturating_sub(t0);
                 self.stats.hist_for(kind).record(dur);
                 metad_event(trace_id, "handle", kind, &self.name, t0, dur);
+                dpfs_obs::slowlog().note(
+                    dpfs_obs::Side::Server,
+                    kind,
+                    &self.name,
+                    trace_id,
+                    dur,
+                    0,
+                );
                 if matches!(result, MetaResult::Err { .. }) {
                     self.stats.errors.fetch_add(1, Ordering::Relaxed);
                 }

@@ -344,6 +344,84 @@ mod tests {
     }
 
     #[test]
+    fn empty_percentiles_zero_at_every_rank() {
+        let s = HistSnapshot::default();
+        for p in [0.0, 0.1, 50.0, 99.9, 100.0] {
+            assert_eq!(s.percentile(p), 0, "p{p} of empty histogram");
+        }
+        assert_eq!(s.summary_us(), "-/-/-");
+    }
+
+    #[test]
+    fn single_bucket_interpolation_is_monotonic_within_bounds() {
+        // 100 samples all in bucket 10 ([1024, 2048)): percentiles must
+        // interpolate across the bucket, never leave it, and never go
+        // backwards as p rises.
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.record(1_500);
+        }
+        let s = h.snapshot();
+        let mut prev = 0u64;
+        for p in [1.0, 25.0, 50.0, 75.0, 99.0, 100.0] {
+            let v = s.percentile(p);
+            assert!((1024..=2048).contains(&v), "p{p} = {v} escaped the bucket");
+            assert!(v >= prev, "p{p} = {v} went backwards from {prev}");
+            prev = v;
+        }
+        // Low ranks sit near the bucket floor, high ranks near the top.
+        assert!(s.percentile(1.0) < s.percentile(100.0));
+    }
+
+    #[test]
+    fn top_bucket_saturates_to_lower_bound_even_mixed() {
+        // Fast ops plus a few that land in the saturating top bucket:
+        // tail percentiles report the top bucket's *lower* bound rather
+        // than interpolating toward u64::MAX.
+        let h = Histogram::new();
+        for _ in 0..90 {
+            h.record(1_000);
+        }
+        for _ in 0..10 {
+            h.record(u64::MAX - 1);
+        }
+        let s = h.snapshot();
+        assert!(s.p50() < 2_048);
+        assert_eq!(s.p95(), 1u64 << 63);
+        assert_eq!(s.p99(), 1u64 << 63);
+        assert_eq!(s.percentile(100.0), 1u64 << 63);
+    }
+
+    #[test]
+    fn merge_of_disjoint_buckets_keeps_both_populations() {
+        // a populates only low buckets, b only high ones; the merge must
+        // hold both (disjoint) populations and pull the percentiles apart.
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for _ in 0..50 {
+            a.record(100); // bucket 6
+        }
+        for _ in 0..50 {
+            b.record(1 << 30); // bucket 30
+        }
+        let sa = a.snapshot();
+        let sb = b.snapshot();
+        assert!(sa
+            .counts
+            .iter()
+            .zip(sb.counts.iter())
+            .all(|(&x, &y)| x == 0 || y == 0));
+        let mut m = sa;
+        m.merge(&sb);
+        assert_eq!(m.count, 100);
+        assert_eq!(m.counts[6], 50);
+        assert_eq!(m.counts[30], 50);
+        assert!(m.p50() < 2_048, "median stays in the low population");
+        assert!(m.p95() >= 1 << 30, "tail comes from the high population");
+        assert_eq!(m.sum, sa.sum + sb.sum);
+    }
+
+    #[test]
     fn merge_adds_counts() {
         let a = Histogram::new();
         let b = Histogram::new();

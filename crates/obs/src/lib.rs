@@ -23,10 +23,16 @@
 
 pub mod hist;
 pub mod log;
+pub mod metrics;
 pub mod ring;
+pub mod slowlog;
+pub mod snapshot;
 
 pub use hist::{HistSnapshot, Histogram, HIST_BUCKETS};
+pub use metrics::{Counter, Gauge, MetricsRegistry};
 pub use ring::{export_jsonl, export_jsonl_to, ring, Side, TraceEvent, TraceRing};
+pub use slowlog::{slowlog, SlowLog};
+pub use snapshot::{ClusterSnapshot, NodeRole, NodeSnapshot};
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
@@ -61,6 +67,48 @@ pub fn next_trace_id() -> u64 {
     }
 }
 
+/// Trace every Nth operation: `set_trace_sample_every(n)`, or env
+/// `DPFS_TRACE_SAMPLE` read on first use. 1 (the default) traces
+/// everything; 0 is treated as 1.
+static SAMPLE_EVERY: AtomicU64 = AtomicU64::new(0); // 0 = not yet initialized
+
+fn sample_every() -> u64 {
+    let every = SAMPLE_EVERY.load(Ordering::Relaxed);
+    if every != 0 {
+        return every;
+    }
+    let every = std::env::var("DPFS_TRACE_SAMPLE")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1);
+    SAMPLE_EVERY.store(every, Ordering::Relaxed);
+    every
+}
+
+/// Set the trace sampling rate: one in `every` operations gets a trace
+/// ID, the rest run untraced (ID 0, which every recording hook treats as
+/// "skip"). Storm-scale runs drop this to 1-in-N so the ring holds a
+/// representative slice instead of wrapping thousands of times.
+pub fn set_trace_sample_every(every: u64) {
+    SAMPLE_EVERY.store(every.max(1), Ordering::Relaxed);
+}
+
+/// A trace ID for a new operation, honoring the sampling rate: returns a
+/// fresh [`next_trace_id`] for one in N calls and 0 (untraced) otherwise.
+pub fn sampled_trace_id() -> u64 {
+    static TICK: AtomicU64 = AtomicU64::new(0);
+    let every = sample_every();
+    if every <= 1 {
+        return next_trace_id();
+    }
+    if TICK.fetch_add(1, Ordering::Relaxed).is_multiple_of(every) {
+        next_trace_id()
+    } else {
+        0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -80,5 +128,17 @@ mod tests {
         let a = now_ns();
         let b = now_ns();
         assert!(b >= a);
+    }
+
+    #[test]
+    fn sampling_keeps_one_in_n() {
+        // Tests share the process-global knob; restore it afterwards so
+        // always-trace tests elsewhere stay deterministic.
+        set_trace_sample_every(4);
+        let traced = (0..400).filter(|_| sampled_trace_id() != 0).count();
+        set_trace_sample_every(1);
+        assert_eq!(traced, 100);
+        // Rate 1 means every op is traced.
+        assert!((0..50).all(|_| sampled_trace_id() != 0));
     }
 }

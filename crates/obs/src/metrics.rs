@@ -1,0 +1,198 @@
+//! Named counters and gauges, alongside the existing histograms.
+//!
+//! The histograms in [`crate::hist`] carry latency distributions; this
+//! module carries everything else a component wants to export by name —
+//! monotonic event counts ([`Counter`]) and point-in-time levels
+//! ([`Gauge`]) — without each crate growing another hand-rolled struct of
+//! `AtomicU64`s. A [`MetricsRegistry`] hands out cheap clonable handles,
+//! keyed by name; recording is one relaxed atomic op, and the
+//! `*_rows` accessors ([`MetricsRegistry::counter_rows`] et al.) flatten
+//! everything into sorted `(name, value)` rows — exactly the shape
+//! [`crate::snapshot::NodeSnapshot`] serializes.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonic named counter. Clones share the underlying cell.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A named gauge: a level that moves both ways. Clones share the cell.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Set the level.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raise the level by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Lower the level by `n` (saturating at zero under races is not
+    /// attempted — gauges are monitoring data, pair adds with subs).
+    pub fn sub(&self, n: u64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A registry of named counters, gauges, and histograms. The registry
+/// lock guards only name lookup; the handles record lock-free.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    hists: Mutex<BTreeMap<String, Arc<crate::Histogram>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// The counter named `name`, created at zero on first use. Repeated
+    /// calls return handles to the same cell.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.counters.lock();
+        if let Some(c) = map.get(name) {
+            return c.clone();
+        }
+        let c = Counter::default();
+        map.insert(name.to_string(), c.clone());
+        c
+    }
+
+    /// The gauge named `name`, created at zero on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.gauges.lock();
+        if let Some(g) = map.get(name) {
+            return g.clone();
+        }
+        let g = Gauge::default();
+        map.insert(name.to_string(), g.clone());
+        g
+    }
+
+    /// The histogram named `name`, created empty on first use.
+    pub fn histogram(&self, name: &str) -> Arc<crate::Histogram> {
+        let mut map = self.hists.lock();
+        if let Some(h) = map.get(name) {
+            return h.clone();
+        }
+        let h = Arc::new(crate::Histogram::new());
+        map.insert(name.to_string(), h.clone());
+        h
+    }
+
+    /// All counters as sorted `(name, value)` rows.
+    pub fn counter_rows(&self) -> Vec<(String, u64)> {
+        self.counters
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
+    /// All gauges as sorted `(name, value)` rows.
+    pub fn gauge_rows(&self) -> Vec<(String, u64)> {
+        self.gauges
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
+    /// All histograms as sorted `(name, snapshot)` rows.
+    pub fn hist_rows(&self) -> Vec<(String, crate::HistSnapshot)> {
+        self.hists
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_share_cells_by_name() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("ops");
+        let b = reg.counter("ops");
+        a.inc();
+        b.add(2);
+        assert_eq!(reg.counter("ops").get(), 3);
+        assert_eq!(reg.counter_rows(), vec![("ops".to_string(), 3)]);
+    }
+
+    #[test]
+    fn gauges_move_both_ways() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("in_flight");
+        g.add(5);
+        g.sub(2);
+        assert_eq!(g.get(), 3);
+        g.set(7);
+        assert_eq!(reg.gauge_rows(), vec![("in_flight".to_string(), 7)]);
+    }
+
+    #[test]
+    fn rows_are_name_sorted() {
+        let reg = MetricsRegistry::new();
+        reg.counter("zeta").inc();
+        reg.counter("alpha").inc();
+        reg.histogram("lat").record(10);
+        let names: Vec<String> = reg.counter_rows().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+        assert_eq!(reg.hist_rows()[0].1.count, 1);
+    }
+
+    #[test]
+    fn concurrent_handles_lose_nothing() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let reg = reg.clone();
+            handles.push(std::thread::spawn(move || {
+                let c = reg.counter("n");
+                for _ in 0..1000 {
+                    c.inc();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(reg.counter("n").get(), 8000);
+    }
+}

@@ -164,6 +164,14 @@ impl Handler {
         let dur = now_ns().saturating_sub(t0);
         self.stats.hist_for(kind).record(dur);
         server_event(trace_id, "handle", kind, &self.name, t0, dur, bytes);
+        dpfs_obs::slowlog().note(
+            dpfs_obs::Side::Server,
+            kind,
+            &self.name,
+            trace_id,
+            dur,
+            bytes,
+        );
         self.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
         resp
     }

@@ -358,14 +358,27 @@ impl Shell {
     }
 
     fn cmd_stats(&mut self, args: &[String]) -> Result<String> {
-        let usage =
-            || DpfsError::InvalidArgument("usage: stats [--watch [rounds [interval-ms]]]".into());
+        let usage = || {
+            DpfsError::InvalidArgument(
+                "usage: stats [--json | --watch [rounds [interval-ms]]]".into(),
+            )
+        };
         match args.first().map(|s| s.as_str()) {
             None => Ok(format!(
                 "{}{}",
                 Self::stats_table(&self.collect_stats()?, None),
                 self.metadata_section()
             )),
+            // Machine-readable mode: one unified cluster scrape rendered
+            // as JSON, so scripts stop parsing the human tables.
+            Some("--json") => {
+                if args.len() > 1 {
+                    return Err(usage());
+                }
+                let mut json = dpfs_cluster::scrape_cluster(&self.fs).to_json();
+                json.push('\n');
+                Ok(json)
+            }
             Some("--watch") => {
                 let rest = &args[1..];
                 if rest.len() > 2 {
@@ -704,6 +717,7 @@ DPFS shell commands:
   df                       per-server capacity and brick usage
   servers                  ping all registered servers
   stats [--watch [N [MS]]] live per-server counters and latency percentiles
+  stats --json             one unified cluster scrape as machine-readable JSON
   import <local> <dpfs> [brick-bytes]   copy a sequential file into DPFS
   export <dpfs> <local>    copy a DPFS file to a sequential file
   head <file> [bytes]      print the first bytes of a file
@@ -932,6 +946,29 @@ mod tests {
         }
         assert!(out.contains("metadata: embedded"), "{out}");
         std::fs::remove_file(tmp).unwrap();
+    }
+
+    #[test]
+    fn stats_json_emits_the_unified_scrape() {
+        let tb = Testbed::unthrottled_with_metad_shards(2, 2).unwrap();
+        let mut sh = Shell::new(tb.remote_client(0, true));
+        sh.exec("mkdir /j").unwrap();
+        sh.exec("stat /j").ok();
+        let out = sh.exec("stats --json").unwrap();
+        let json = out.trim();
+        assert!(
+            json.starts_with("{\"nodes\":[") && json.ends_with("]}"),
+            "{out}"
+        );
+        assert!(json.contains("\"role\":\"iond\""), "{out}");
+        assert!(json.contains("\"role\":\"metad\""), "{out}");
+        assert!(json.contains("\"role\":\"client\""), "{out}");
+        assert!(json.contains("\"meta.ops\":"), "{out}");
+        assert!(json.contains("\"trace.recorded\":"), "{out}");
+        // No human-table artifacts in machine mode.
+        assert!(!json.contains("p50/p95/p99"), "{out}");
+        // Extra arguments are rejected.
+        assert!(sh.exec("stats --json now").is_err());
     }
 
     #[test]

@@ -556,3 +556,101 @@ proptest! {
         }
     }
 }
+
+// ---------- cluster snapshot wire format ----------
+
+use dpfs::core::trace::{ClusterSnapshot, Histogram, NodeRole, NodeSnapshot};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A pseudo-random snapshot, pure function of `seed`: random node roles,
+/// names, counter/gauge/hist rows with arbitrary (unsorted, non-ASCII-
+/// hostile) names and values — the decoder must not care.
+fn arb_cluster_snapshot(seed: u64, n_nodes: usize) -> ClusterSnapshot {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let name = |rng: &mut StdRng, tag: &str| {
+        let mut s = format!("{tag}{}", rng.gen_range(0u64..1000));
+        if rng.gen_bool(0.2) {
+            s.push('"'); // exercise escaping-adjacent paths and UTF-8
+            s.push('λ');
+        }
+        s
+    };
+    let mut nodes = Vec::with_capacity(n_nodes);
+    for _ in 0..n_nodes {
+        let role = match rng.gen_range(0u8..3) {
+            0 => NodeRole::Iond,
+            1 => NodeRole::Metad,
+            _ => NodeRole::Client,
+        };
+        let counters = (0..rng.gen_range(0usize..4))
+            .map(|_| (name(&mut rng, "c"), rng.gen::<u64>()))
+            .collect();
+        let gauges = (0..rng.gen_range(0usize..3))
+            .map(|_| (name(&mut rng, "g"), rng.gen::<u64>()))
+            .collect();
+        let hists = (0..rng.gen_range(0usize..3))
+            .map(|_| {
+                let h = Histogram::new();
+                for _ in 0..rng.gen_range(0u32..20) {
+                    h.record(rng.gen::<u64>() >> rng.gen_range(0u32..63));
+                }
+                (name(&mut rng, "h"), h.snapshot())
+            })
+            .collect();
+        nodes.push(NodeSnapshot {
+            name: name(&mut rng, "node"),
+            role,
+            counters,
+            gauges,
+            hists,
+        });
+    }
+    ClusterSnapshot { nodes }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Encode → decode is the identity, for any node mix.
+    #[test]
+    fn cluster_snapshot_round_trips(seed in any::<u64>(), n_nodes in 0usize..6) {
+        let snap = arb_cluster_snapshot(seed, n_nodes);
+        let blob = snap.encode();
+        prop_assert_eq!(ClusterSnapshot::decode(&blob), Some(snap));
+    }
+
+    /// Any unknown version byte decodes to None (forward-compat: readers
+    /// refuse rather than misparse), matching the Stats RPC convention.
+    #[test]
+    fn cluster_snapshot_rejects_unknown_versions(seed in any::<u64>(), version in 2u8..=255u8) {
+        let mut blob = arb_cluster_snapshot(seed, 2).encode();
+        blob[0] = version;
+        prop_assert!(ClusterSnapshot::decode(&blob).is_none());
+    }
+
+    /// Every strict prefix cuts a declared section, so truncation decodes
+    /// to None — and never panics.
+    #[test]
+    fn cluster_snapshot_truncation_is_none(seed in any::<u64>(), n_nodes in 1usize..4, cut_ppm in 0u64..1000) {
+        let blob = arb_cluster_snapshot(seed, n_nodes).encode();
+        let cut = ((blob.len() - 1) as u64 * cut_ppm / 1000) as usize;
+        prop_assert!(ClusterSnapshot::decode(&blob[..cut]).is_none());
+    }
+
+    /// Arbitrary garbage never panics the decoder.
+    #[test]
+    fn cluster_snapshot_garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = ClusterSnapshot::decode(&bytes);
+    }
+
+    /// Trailing bytes after the declared sections are ignored, so newer
+    /// writers can append.
+    #[test]
+    fn cluster_snapshot_tolerates_trailing_bytes(seed in any::<u64>(), extra in proptest::collection::vec(any::<u8>(), 1..64)) {
+        let snap = arb_cluster_snapshot(seed, 2);
+        let mut blob = snap.encode();
+        blob.extend_from_slice(&extra);
+        prop_assert_eq!(ClusterSnapshot::decode(&blob), Some(snap));
+    }
+}
