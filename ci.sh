@@ -80,6 +80,49 @@ test "$(grep -c 'meta\.mkdir' target/metad-smoke/shell.out)" -eq 2
 cmp -s README.md target/metad-smoke/readme.roundtrip
 echo "metad smoke: ok"
 
+echo "==> redundancy smoke: Replica(2) import survives an iond kill byte-exact"
+rm -rf target/red-smoke
+mkdir -p target/red-smoke/ion0 target/red-smoke/ion1 target/red-smoke/ion2
+./target/release/dpfs-metad --bind 127.0.0.1:17451 --shard 0 --shards 1 \
+    >target/red-smoke/metad.log 2>&1 &
+RMETAD_PID=$!
+./target/release/dpfs-iond --root target/red-smoke/ion0 --bind 127.0.0.1:17452 \
+    >target/red-smoke/iond0.log 2>&1 &
+RION0_PID=$!
+./target/release/dpfs-iond --root target/red-smoke/ion1 --bind 127.0.0.1:17453 \
+    >target/red-smoke/iond1.log 2>&1 &
+RION1_PID=$!
+./target/release/dpfs-iond --root target/red-smoke/ion2 --bind 127.0.0.1:17454 \
+    >target/red-smoke/iond2.log 2>&1 &
+RION2_PID=$!
+trap 'kill $RMETAD_PID $RION0_PID $RION1_PID $RION2_PID 2>/dev/null || :' EXIT
+sleep 1
+printf '%s\n' \
+    'import README.md /readme.md 4096 replica:2' \
+    'stat /readme.md' \
+    | ./target/release/dpfs-sh \
+        --metad 127.0.0.1:17451 \
+        --server ion0=127.0.0.1:17452 \
+        --server ion1=127.0.0.1:17453 \
+        --server ion2=127.0.0.1:17454 \
+    >target/red-smoke/shell1.out 2>&1
+grep -q 'redundancy: replica:2' target/red-smoke/shell1.out
+# One I/O server goes dark; the export below must reconstruct its bricks
+# from the mirrors and still round-trip byte-for-byte.
+kill "$RION1_PID" 2>/dev/null || :
+printf '%s\n' \
+    'export /readme.md target/red-smoke/readme.roundtrip' \
+    | ./target/release/dpfs-sh \
+        --metad 127.0.0.1:17451 \
+        --server ion0=127.0.0.1:17452 \
+        --server ion1=127.0.0.1:17453 \
+        --server ion2=127.0.0.1:17454 \
+    >target/red-smoke/shell2.out 2>&1
+kill "$RMETAD_PID" "$RION0_PID" "$RION2_PID" 2>/dev/null || :
+trap - EXIT
+cmp -s README.md target/red-smoke/readme.roundtrip
+echo "redundancy smoke: ok"
+
 echo "==> metad sharding ablation smoke (--quick): 1/2/4-shard storm"
 cargo run --release -q -p dpfs-bench --bin metad-shards -- --quick \
     --out target/metad-shards-quick.json

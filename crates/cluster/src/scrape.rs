@@ -103,6 +103,7 @@ fn client_node_for(fs: &Dpfs, server: &str) -> Option<NodeSnapshot> {
             ("cache.misses".to_string(), t.meta_cache_misses),
             ("rpc.completed".to_string(), t.completed),
             ("rpc.degraded".to_string(), t.degraded),
+            ("rpc.reconstructs".to_string(), t.reconstructs),
             ("rpc.dials".to_string(), t.dials),
             ("rpc.disconnected".to_string(), t.disconnected),
             ("rpc.retries".to_string(), t.retries),

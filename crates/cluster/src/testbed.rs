@@ -374,6 +374,21 @@ impl Testbed {
         }
         Err(last_err)
     }
+
+    /// Restart server `idx` with an *empty* data directory — the
+    /// disk-replacement failure mode: the daemon comes back on the same
+    /// name/port but every subfile it held is gone. Pairs with
+    /// `fsck_reprotect`, which rebuilds the lost subfiles from surviving
+    /// replicas or parity.
+    pub fn restart_server_empty(&mut self, idx: usize) -> std::io::Result<()> {
+        self.servers[idx].stop();
+        let dir = self.root.join(&self.specs[idx].name);
+        if dir.exists() {
+            std::fs::remove_dir_all(&dir)?;
+        }
+        std::fs::create_dir_all(&dir)?;
+        self.restart_server(idx)
+    }
 }
 
 impl Drop for Testbed {

@@ -237,6 +237,12 @@ impl ConnPool {
         self.transport(server).note_degraded();
     }
 
+    /// Count one reconstructed per-server read against `server` (the one
+    /// that failed; its bytes were rebuilt from mirrors or peers+parity).
+    pub(crate) fn note_reconstruct(&self, server: &str) {
+        self.transport(server).note_reconstruct();
+    }
+
     /// Count one metadata-cache hit against `server` (the metadata daemon
     /// whose fetch the cache absorbed).
     pub(crate) fn note_meta_cache_hit(&self, server: &str) {

@@ -25,10 +25,10 @@ use crate::conn::{expect_chunks, expect_written, ConnPool};
 use crate::datatype::Datatype;
 use crate::error::{DpfsError, Result, SubfileOutcome};
 use crate::geometry::Region;
-use crate::hints::{FileLevel, Placement};
+use crate::hints::{FileLevel, Placement, RedundancyPolicy};
 use crate::layout::{bricks_for, BrickRun, Layout};
 use crate::placement::BrickMap;
-use crate::plan::{plan_reads, plan_writes, Granularity};
+use crate::plan::{plan_reads, plan_writes, Granularity, ReadRequest, WriteRequest};
 use crate::retry::RetryPolicy;
 use crate::trace;
 use crate::transport::DEFAULT_RPC_TIMEOUT;
@@ -103,6 +103,21 @@ pub struct ClientStats {
     pub wire_written: u64,
 }
 
+/// Subfile name of replica copy `copy` (1-based) of `path`: copy `i` of
+/// server `s`'s subfile lives on server `(s + i) % n` under this name.
+/// The scheme is purely name-derived so every client (and fsck) can find
+/// the mirrors without extra metadata rows.
+pub fn mirror_subfile(path: &str, copy: usize) -> String {
+    format!("{path}#r{copy}")
+}
+
+/// Subfile name of the XOR parity sibling of `path`, held by the last
+/// server in the file's distribution: `parity[off]` is the XOR of every
+/// data subfile's byte at `off` (absent bytes count as zero).
+pub fn parity_subfile(path: &str) -> String {
+    format!("{path}#p")
+}
+
 /// An open DPFS file.
 pub struct FileHandle {
     path: String,
@@ -115,6 +130,9 @@ pub struct FileHandle {
     layout: Layout,
     map: BrickMap,
     placement: Placement,
+    /// Per-file redundancy: mirrors / parity written alongside the data,
+    /// read back around a dead server.
+    redundancy: RedundancyPolicy,
     opts: ClientOptions,
     /// Current logical size in bytes.
     size: u64,
@@ -140,6 +158,7 @@ impl FileHandle {
         layout: Layout,
         map: BrickMap,
         placement: Placement,
+        redundancy: RedundancyPolicy,
         opts: ClientOptions,
         size: u64,
     ) -> FileHandle {
@@ -152,6 +171,7 @@ impl FileHandle {
             layout,
             map,
             placement,
+            redundancy,
             opts,
             size,
             stats: ClientStats::default(),
@@ -197,6 +217,11 @@ impl FileHandle {
     /// The server names this file is striped over.
     pub fn servers(&self) -> &[String] {
         &self.servers
+    }
+
+    /// The file's redundancy policy.
+    pub fn redundancy(&self) -> RedundancyPolicy {
+        self.redundancy
     }
 
     /// I/O statistics accumulated on this handle.
@@ -561,12 +586,12 @@ impl FileHandle {
             self.opts.rank,
         );
         // Slice each request's payload out of `data` up front, so issuing
-        // only touches owned message buffers.
-        let work: Vec<(&str, Request)> = reqs
+        // only touches owned message buffers. `Bytes` payloads are
+        // refcounted, so replica fan-out below reuses them without copying.
+        let payloads: Vec<Vec<(u64, Bytes)>> = reqs
             .iter()
             .map(|req| {
-                let ranges = req
-                    .ranges
+                req.ranges
                     .iter()
                     .map(|&(sub_off, buf_off, len)| {
                         (
@@ -576,16 +601,41 @@ impl FileHandle {
                             ),
                         )
                     })
-                    .collect();
-                (
-                    self.servers[req.server].as_str(),
-                    Request::Write {
-                        subfile: self.path.clone(),
-                        ranges,
-                    },
-                )
+                    .collect()
             })
             .collect();
+        let mut work: Vec<(&str, Request)> = Vec::with_capacity(reqs.len());
+        // `(server index, expected Written bytes)` parallel to `work`.
+        let mut expect: Vec<(usize, u64)> = Vec::with_capacity(reqs.len());
+        for (req, ranges) in reqs.iter().zip(&payloads) {
+            work.push((
+                self.servers[req.server].as_str(),
+                Request::Write {
+                    subfile: self.path.clone(),
+                    ranges: ranges.clone(),
+                },
+            ));
+            expect.push((req.server, req.wire_bytes()));
+        }
+        if let RedundancyPolicy::Replica(k) = self.redundancy {
+            // Copy `i` of server `s`'s subfile rides on server
+            // `(s + i) % n` under the mirror name, same byte offsets —
+            // one extra Write per copy in the same pipelined dispatch.
+            let n = self.servers.len();
+            for copy in 1..k {
+                for (req, ranges) in reqs.iter().zip(&payloads) {
+                    let mirror = (req.server + copy) % n;
+                    work.push((
+                        self.servers[mirror].as_str(),
+                        Request::Write {
+                            subfile: mirror_subfile(&self.path, copy),
+                            ranges: ranges.clone(),
+                        },
+                    ));
+                    expect.push((mirror, req.wire_bytes()));
+                }
+            }
+        }
         trace::client_event(
             trace_id,
             "plan",
@@ -596,18 +646,20 @@ impl FileHandle {
             data.len() as u64,
         );
         let results = issue(&self.pool, &self.opts, true, work, trace_id);
-        for (req, res) in reqs.iter().zip(results) {
+        for (&(server, expected), res) in expect.iter().zip(results) {
             self.stats.requests += 1;
             let written = expect_written(res?)?;
-            let expected = req.wire_bytes();
             if written != expected {
                 return Err(DpfsError::ShortWrite {
-                    server: self.servers[req.server].clone(),
+                    server: self.servers[server].clone(),
                     expected,
                     written,
                 });
             }
             self.stats.wire_written += expected;
+        }
+        if self.redundancy == RedundancyPolicy::XorParity {
+            self.write_parity(&reqs, trace_id)?;
         }
         trace::client_event(
             trace_id,
@@ -619,6 +671,169 @@ impl FileHandle {
             data.len() as u64,
         );
         Ok(())
+    }
+
+    /// Bring the parity subfile up to date after a data write: re-read the
+    /// freshly-written subfile-offset ranges from *every* data server
+    /// (reads past a subfile's extent come back zero-filled, so short and
+    /// absent subfiles contribute zeros), XOR them together, and write the
+    /// result to the parity server. Recomputing from the data — instead of
+    /// delta-XORing old vs new bytes — needs no read-before-write ordering
+    /// and self-heals any previously stale parity range it touches.
+    fn write_parity(&mut self, reqs: &[WriteRequest], trace_id: u64) -> Result<()> {
+        // Union of touched subfile-offset ranges across all data servers:
+        // parity[off] covers byte `off` of every data subfile, so exactly
+        // these ranges went stale.
+        let mut spans: Vec<(u64, u64)> = reqs
+            .iter()
+            .flat_map(|r| {
+                r.ranges
+                    .iter()
+                    .map(|&(sub_off, _, len)| (sub_off, sub_off + len))
+            })
+            .collect();
+        spans.sort_unstable();
+        let mut union: Vec<(u64, u64)> = Vec::new(); // (offset, len)
+        for (start, end) in spans {
+            match union.last_mut() {
+                Some((off, len)) if start <= *off + *len => {
+                    *len = (*off + *len).max(end) - *off;
+                }
+                _ => union.push((start, end - start)),
+            }
+        }
+        if union.is_empty() {
+            return Ok(());
+        }
+        let data_servers = self.servers.len() - 1;
+        let work: Vec<(&str, Request)> = self.servers[..data_servers]
+            .iter()
+            .map(|server| {
+                (
+                    server.as_str(),
+                    Request::Read {
+                        subfile: self.path.clone(),
+                        ranges: union.clone(),
+                    },
+                )
+            })
+            .collect();
+        let results = issue(&self.pool, &self.opts, true, work, trace_id);
+        let mut acc: Vec<Vec<u8>> = union
+            .iter()
+            .map(|&(_, len)| vec![0u8; len as usize])
+            .collect();
+        for (i, res) in results.into_iter().enumerate() {
+            let chunks = expect_chunks(res?, &union, &self.servers[i])?;
+            self.stats.requests += 1;
+            for (a, chunk) in acc.iter_mut().zip(&chunks) {
+                self.stats.wire_read += chunk.len() as u64;
+                for (ab, cb) in a.iter_mut().zip(chunk.iter()) {
+                    *ab ^= cb;
+                }
+            }
+        }
+        let parity_server = self.servers[data_servers].clone();
+        let expected: u64 = union.iter().map(|&(_, len)| len).sum();
+        let ranges: Vec<(u64, Bytes)> = union
+            .iter()
+            .zip(acc)
+            .map(|(&(off, _), bytes)| (off, Bytes::from(bytes)))
+            .collect();
+        let resp = self.pool.rpc(
+            &parity_server,
+            &Request::Write {
+                subfile: parity_subfile(&self.path),
+                ranges,
+            },
+        )?;
+        self.stats.requests += 1;
+        let written = expect_written(resp)?;
+        if written != expected {
+            return Err(DpfsError::ShortWrite {
+                server: parity_server,
+                expected,
+                written,
+            });
+        }
+        self.stats.wire_written += expected;
+        Ok(())
+    }
+
+    /// Re-materialize the exact bytes a lost server owed `req`, using the
+    /// file's redundancy: the first answering mirror copy under
+    /// `Replica(k)`, or the XOR of every surviving data subfile plus the
+    /// parity subfile under `XorParity`. Returns one chunk per requested
+    /// range, byte-exact.
+    fn reconstruct_ranges(&self, req: &ReadRequest, trace_id: u64) -> Result<Vec<Bytes>> {
+        let n = self.servers.len();
+        match self.redundancy {
+            RedundancyPolicy::None => Err(DpfsError::InvalidArgument(
+                "reconstruct on an unprotected file".into(),
+            )),
+            RedundancyPolicy::Replica(k) => {
+                let mut last_err = None;
+                for copy in 1..k {
+                    let mirror = &self.servers[(req.server + copy) % n];
+                    let resp = self.pool.rpc(
+                        mirror,
+                        &Request::Read {
+                            subfile: mirror_subfile(&self.path, copy),
+                            ranges: req.ranges.clone(),
+                        },
+                    );
+                    match resp.and_then(|r| expect_chunks(r, &req.ranges, mirror)) {
+                        Ok(chunks) => return Ok(chunks),
+                        Err(e) => last_err = Some(e),
+                    }
+                }
+                Err(last_err.expect("replica policy has k >= 2"))
+            }
+            RedundancyPolicy::XorParity => {
+                let data_servers = n - 1;
+                // Same byte ranges from every surviving data subfile and
+                // the parity subfile, XORed together: parity's definition
+                // solved for the missing term.
+                let peers: Vec<(&str, Request)> = (0..data_servers)
+                    .filter(|&d| d != req.server)
+                    .map(|d| {
+                        (
+                            self.servers[d].as_str(),
+                            Request::Read {
+                                subfile: self.path.clone(),
+                                ranges: req.ranges.clone(),
+                            },
+                        )
+                    })
+                    .chain(std::iter::once((
+                        self.servers[data_servers].as_str(),
+                        Request::Read {
+                            subfile: parity_subfile(&self.path),
+                            ranges: req.ranges.clone(),
+                        },
+                    )))
+                    .collect();
+                let names: Vec<usize> = (0..data_servers)
+                    .filter(|&d| d != req.server)
+                    .chain(std::iter::once(data_servers))
+                    .collect();
+                let results = issue(&self.pool, &self.opts, true, peers, trace_id);
+                let mut acc: Vec<Vec<u8>> = req
+                    .ranges
+                    .iter()
+                    .map(|&(_, len)| vec![0u8; len as usize])
+                    .collect();
+                for (&peer, res) in names.iter().zip(results) {
+                    let chunks = expect_chunks(res?, &req.ranges, &self.servers[peer])?;
+                    for (a, chunk) in acc.iter_mut().zip(&chunks) {
+                        for (ab, cb) in a.iter_mut().zip(chunk.iter()) {
+                            *ab ^= cb;
+                        }
+                    }
+                }
+                Ok(acc.into_iter().map(Bytes::from).collect())
+            }
+        }
     }
 
     fn execute_reads(&mut self, runs: &[BrickRun], buf: &mut [u8]) -> Result<()> {
@@ -688,7 +903,10 @@ impl FileHandle {
         );
         // With degraded reads on, every server must be attempted even in
         // serial mode — a failed one becomes a hole, not an early exit.
-        let stop_at_first_error = !self.opts.degraded_reads;
+        // Likewise on a redundant file, where a failed server becomes a
+        // reconstruction, not an error.
+        let stop_at_first_error =
+            !self.opts.degraded_reads && self.redundancy == RedundancyPolicy::None;
         let results = issue(&self.pool, &self.opts, stop_at_first_error, work, trace_id);
         let mut outcomes: Vec<SubfileOutcome> = Vec::new();
         for (req, res) in reqs.iter().zip(results) {
@@ -711,10 +929,81 @@ impl FileHandle {
                         }
                     }
                 }
-                // Transport-class failure after retries: zero-fill the
-                // ranges this server owed us and carry on. Application
-                // errors still fail the read — the server processed the
-                // request and said no.
+                // Transport-class failure on a redundant file: read
+                // *around* the lost server first — the surviving mirror or
+                // the XOR of peers + parity rebuilds the exact bytes, so
+                // the caller sees neither holes nor a `Degraded` outcome.
+                Err(err)
+                    if self.redundancy != RedundancyPolicy::None
+                        && RetryPolicy::retryable(&err) =>
+                {
+                    let t0 = trace::now_ns();
+                    match self.reconstruct_ranges(req, trace_id) {
+                        Ok(chunks) => {
+                            let server = &self.servers[req.server];
+                            self.stats.requests += 1;
+                            self.stats.wire_read += req.wire_bytes();
+                            let mut bytes = 0u64;
+                            for piece in &req.scatter {
+                                let chunk = &chunks[piece.chunk];
+                                let src = &chunk[piece.chunk_off as usize
+                                    ..(piece.chunk_off + piece.len) as usize];
+                                buf[piece.buf_off as usize..(piece.buf_off + piece.len) as usize]
+                                    .copy_from_slice(src);
+                                self.stats.useful_read += piece.len;
+                                bytes += piece.len;
+                            }
+                            self.pool.note_reconstruct(server);
+                            trace::client_event(
+                                trace_id,
+                                "reconstruct",
+                                "read",
+                                server,
+                                t0,
+                                trace::now_ns().saturating_sub(t0),
+                                bytes,
+                            );
+                            if let Some(cache) = &mut self.cache {
+                                for (i, &brick) in req.bricks.iter().enumerate() {
+                                    cache.insert(brick, chunks[i].clone());
+                                }
+                            }
+                        }
+                        // Reconstruction itself failed (a second server
+                        // down): fall back to the zero-fill contract if the
+                        // caller opted in, else surface the original error.
+                        Err(rec_err) if self.opts.degraded_reads => {
+                            let server = &self.servers[req.server];
+                            let mut bytes = 0u64;
+                            for piece in &req.scatter {
+                                buf[piece.buf_off as usize..(piece.buf_off + piece.len) as usize]
+                                    .fill(0);
+                                bytes += piece.len;
+                            }
+                            self.stats.requests += 1;
+                            self.pool.note_degraded(server);
+                            trace::client_event(
+                                trace_id,
+                                "degraded",
+                                "read",
+                                server,
+                                trace::now_ns(),
+                                0,
+                                bytes,
+                            );
+                            outcomes.push(SubfileOutcome {
+                                server: server.clone(),
+                                bytes,
+                                error: rec_err.to_string(),
+                            });
+                        }
+                        Err(_) => return Err(err),
+                    }
+                }
+                // Transport-class failure after retries on an unprotected
+                // file: zero-fill the ranges this server owed us and carry
+                // on. Application errors still fail the read — the server
+                // processed the request and said no.
                 Err(err) if self.opts.degraded_reads && RetryPolicy::retryable(&err) => {
                     let server = &self.servers[req.server];
                     let mut bytes = 0u64;
@@ -774,7 +1063,7 @@ impl FileHandle {
         if let Layout::Linear(lin) = &mut self.layout {
             lin.file_bytes = lin.file_bytes.max(needed * lin.brick_bytes);
         }
-        let dist: Vec<Distribution> = self
+        let mut dist: Vec<Distribution> = self
             .servers
             .iter()
             .zip(self.map.bricklists())
@@ -784,6 +1073,15 @@ impl FileHandle {
                 bricklist: bricks.iter().map(|&b| b as i64).collect(),
             })
             .collect();
+        if self.redundancy == RedundancyPolicy::XorParity {
+            // The brick map covers only the data servers; re-append the
+            // brickless parity row the zip above dropped.
+            dist.push(Distribution {
+                server: self.servers.last().expect("xor parity has servers").clone(),
+                filename: self.path.clone(),
+                bricklist: Vec::new(),
+            });
+        }
         self.meta.update_distribution(&self.path, &dist)?;
         Ok(())
     }
@@ -796,14 +1094,35 @@ impl FileHandle {
         let trace_id = trace::sampled_trace_id();
         self.last_trace_id = trace_id;
         let op_start = trace::now_ns();
-        let work: Vec<(&str, Request)> = self
-            .servers
+        // Every subfile this file materialises, per server: primaries,
+        // each server's mirror copies, and the parity sibling. (A server
+        // answers Pong for a subfile it never created.)
+        let n = self.servers.len();
+        let mut targets: Vec<(usize, String)> = Vec::new();
+        match self.redundancy {
+            RedundancyPolicy::None => {
+                targets.extend((0..n).map(|s| (s, self.path.clone())));
+            }
+            RedundancyPolicy::Replica(k) => {
+                for s in 0..n {
+                    targets.push((s, self.path.clone()));
+                    for copy in 1..k {
+                        targets.push(((s + copy) % n, mirror_subfile(&self.path, copy)));
+                    }
+                }
+            }
+            RedundancyPolicy::XorParity => {
+                targets.extend((0..n - 1).map(|s| (s, self.path.clone())));
+                targets.push((n - 1, parity_subfile(&self.path)));
+            }
+        }
+        let work: Vec<(&str, Request)> = targets
             .iter()
-            .map(|server| {
+            .map(|(server, subfile)| {
                 (
-                    server.as_str(),
+                    self.servers[*server].as_str(),
                     Request::Sync {
-                        subfile: self.path.clone(),
+                        subfile: subfile.clone(),
                     },
                 )
             })
@@ -820,11 +1139,10 @@ impl FileHandle {
         // `stop_at_first_error = false`: every server is attempted even in
         // serial mode.
         let results = issue(&self.pool, &self.opts, false, work, trace_id);
-        let failures: Vec<(String, DpfsError)> = self
-            .servers
+        let failures: Vec<(String, DpfsError)> = targets
             .iter()
             .zip(results)
-            .filter_map(|(server, res)| {
+            .filter_map(|((server, _), res)| {
                 let err = match res {
                     Ok(Response::Error { code, message }) => {
                         Some(DpfsError::Server { code, message })
@@ -832,7 +1150,7 @@ impl FileHandle {
                     Ok(_) => None,
                     Err(e) => Some(e),
                 };
-                err.map(|e| (server.clone(), e))
+                err.map(|e| (self.servers[*server].clone(), e))
             })
             .collect();
         trace::client_event(

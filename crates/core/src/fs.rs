@@ -19,9 +19,9 @@ use dpfs_proto::Request;
 
 use crate::conn::{ConnPool, Resolver};
 use crate::error::{DpfsError, Result};
-use crate::file::{ClientOptions, FileHandle};
+use crate::file::{mirror_subfile, parity_subfile, ClientOptions, FileHandle};
 use crate::geometry::Shape;
-use crate::hints::{FileLevel, Hint, HpfPattern, Placement, Striping};
+use crate::hints::{FileLevel, Hint, HpfPattern, Placement, RedundancyPolicy, Striping};
 use crate::layout::Layout;
 use crate::meta_cache::CachingMetaStore;
 use crate::placement::{greedy, round_robin, BrickMap};
@@ -179,15 +179,43 @@ impl Dpfs {
         let perf: Vec<i64> = chosen.iter().map(|s| s.performance.max(1)).collect();
 
         let layout = Layout::from_striping(&hint.striping)?;
+        // Under XOR parity the last-named server is dedicated to parity:
+        // data stripes over the remaining n - 1.
+        let data_servers = match hint.redundancy {
+            RedundancyPolicy::None => n,
+            RedundancyPolicy::Replica(k) => {
+                if k < 2 || k > n {
+                    return Err(DpfsError::InvalidArgument(format!(
+                        "replica policy needs 2 <= k <= {n} servers, got k = {k}"
+                    )));
+                }
+                n
+            }
+            RedundancyPolicy::XorParity => {
+                if n < 2 {
+                    return Err(DpfsError::InvalidArgument(
+                        "xor parity needs at least 2 servers (1 data + 1 parity)".into(),
+                    ));
+                }
+                // Byte-offset parity requires every data subfile to lay its
+                // bricks out uniformly; array-level chunks are variable.
+                if layout.level() == FileLevel::Array {
+                    return Err(DpfsError::InvalidArgument(
+                        "xor parity requires uniform bricks (linear or multidim level)".into(),
+                    ));
+                }
+                n - 1
+            }
+        };
         let num_bricks = layout.num_bricks();
         let assignment = match hint.placement {
-            Placement::RoundRobin => round_robin(num_bricks, n),
-            Placement::Greedy => greedy(num_bricks, &perf),
+            Placement::RoundRobin => round_robin(num_bricks, data_servers),
+            Placement::Greedy => greedy(num_bricks, &perf[..data_servers]),
         };
-        let map = BrickMap::from_assignment(assignment, n);
+        let map = BrickMap::from_assignment(assignment, data_servers);
 
         let attr = attr_for(&path, hint, &layout);
-        let dist: Vec<Distribution> = names
+        let mut dist: Vec<Distribution> = names
             .iter()
             .zip(map.bricklists())
             .map(|(server, bricks)| Distribution {
@@ -196,6 +224,15 @@ impl Dpfs {
                 bricklist: bricks.iter().map(|&b| b as i64).collect(),
             })
             .collect();
+        if hint.redundancy == RedundancyPolicy::XorParity {
+            // The parity server holds no bricks but must appear in the
+            // distribution so opens see the full server list.
+            dist.push(Distribution {
+                server: names[n - 1].clone(),
+                filename: path.clone(),
+                bricklist: Vec::new(),
+            });
+        }
         self.meta.create_file(&attr, &dist).map_err(|e| match e {
             dpfs_meta::MetaError::DuplicateKey(_) => DpfsError::FileExists(path.clone()),
             other => other.into(),
@@ -210,6 +247,7 @@ impl Dpfs {
             layout,
             map,
             hint.placement,
+            hint.redundancy,
             self.opts,
             attr.size as u64,
         ))
@@ -237,8 +275,20 @@ impl Dpfs {
                 "file {path} has no distribution rows"
             )));
         }
+        let redundancy = RedundancyPolicy::parse(&attr.redundancy)?;
         let names: Vec<String> = dist.iter().map(|d| d.server.clone()).collect();
-        let lists: Vec<Vec<i64>> = dist.iter().map(|d| d.bricklist.clone()).collect();
+        let mut lists: Vec<Vec<i64>> = dist.iter().map(|d| d.bricklist.clone()).collect();
+        if redundancy == RedundancyPolicy::XorParity {
+            // The last (name-ordered) row is the brickless parity server;
+            // the brick map covers only the data servers.
+            if lists.len() < 2 {
+                return Err(DpfsError::InvalidArgument(format!(
+                    "xor-parity file {path} has {} distribution rows, needs >= 2",
+                    lists.len()
+                )));
+            }
+            lists.pop();
+        }
         let map = BrickMap::from_bricklists(&lists)?;
         let mut perf = Vec::with_capacity(names.len());
         for name in &names {
@@ -262,6 +312,7 @@ impl Dpfs {
             layout,
             map,
             placement,
+            redundancy,
             opts,
             attr.size as u64,
         ))
@@ -273,18 +324,23 @@ impl Dpfs {
     /// subfile.
     pub fn unlink(&self, path: &str) -> Result<()> {
         let path = normalize_path(path)?;
+        // Redundant files carry derived subfiles under other names; note
+        // the policy before the attribute row disappears.
+        let redundancy = self
+            .meta
+            .get_file_attr(&path)?
+            .map(|a| RedundancyPolicy::parse(&a.redundancy))
+            .transpose()?
+            .unwrap_or_default();
         let dist = self.meta.delete_file(&path).map_err(|e| match e {
             dpfs_meta::MetaError::NoSuchTable(_) => DpfsError::NoSuchFile(path.clone()),
             other => other.into(),
         })?;
         for d in dist {
             // best effort: a dead server must not strand the namespace
-            let _ = self.pool.rpc(
-                &d.server,
-                &Request::Delete {
-                    subfile: path.clone(),
-                },
-            );
+            for subfile in subfile_names(&path, redundancy) {
+                let _ = self.pool.rpc(&d.server, &Request::Delete { subfile });
+            }
         }
         Ok(())
     }
@@ -351,42 +407,53 @@ impl Dpfs {
         let to_n = normalize_path(to)?;
         // Move the bytes: read whole subfiles server-side is overkill at
         // this layer; instead we re-point metadata and copy per server.
+        let redundancy = self
+            .meta
+            .get_file_attr(&from_n)?
+            .map(|a| RedundancyPolicy::parse(&a.redundancy))
+            .transpose()?
+            .unwrap_or_default();
         let dist = self.meta.get_distribution(&from_n)?;
         self.meta.rename_file(&from_n, &to_n)?;
+        let from_subs = subfile_names(&from_n, redundancy);
+        let to_subs = subfile_names(&to_n, redundancy);
         for d in &dist {
-            // copy subfile content under the new name on the same server
-            let stat = self.pool.rpc_ok(
-                &d.server,
-                &Request::Stat {
-                    subfile: from_n.clone(),
-                },
-            );
-            let size = match stat {
-                Ok(dpfs_proto::Response::Stat { exists: true, size }) => size,
-                _ => continue, // nothing written yet on this server
-            };
-            let data = self.pool.rpc_ok(
-                &d.server,
-                &Request::Read {
-                    subfile: from_n.clone(),
-                    ranges: vec![(0, size)],
-                },
-            )?;
-            if let dpfs_proto::Response::Data { chunks } = data {
-                self.pool.rpc_ok(
+            // copy subfile content (and any derived redundant subfiles)
+            // under the new name on the same server
+            for (from_sub, to_sub) in from_subs.iter().zip(&to_subs) {
+                let stat = self.pool.rpc_ok(
                     &d.server,
-                    &Request::Write {
-                        subfile: to_n.clone(),
-                        ranges: vec![(0, chunks[0].clone())],
+                    &Request::Stat {
+                        subfile: from_sub.clone(),
+                    },
+                );
+                let size = match stat {
+                    Ok(dpfs_proto::Response::Stat { exists: true, size }) => size,
+                    _ => continue, // nothing written yet on this server
+                };
+                let data = self.pool.rpc_ok(
+                    &d.server,
+                    &Request::Read {
+                        subfile: from_sub.clone(),
+                        ranges: vec![(0, size)],
                     },
                 )?;
+                if let dpfs_proto::Response::Data { chunks } = data {
+                    self.pool.rpc_ok(
+                        &d.server,
+                        &Request::Write {
+                            subfile: to_sub.clone(),
+                            ranges: vec![(0, chunks[0].clone())],
+                        },
+                    )?;
+                }
+                let _ = self.pool.rpc(
+                    &d.server,
+                    &Request::Delete {
+                        subfile: from_sub.clone(),
+                    },
+                );
             }
-            let _ = self.pool.rpc(
-                &d.server,
-                &Request::Delete {
-                    subfile: from_n.clone(),
-                },
-            );
         }
         Ok(())
     }
@@ -451,7 +518,25 @@ fn attr_for(path: &str, hint: &Hint, layout: &Layout) -> FileAttrRow {
             Placement::RoundRobin => "round_robin".to_string(),
             Placement::Greedy => "greedy".to_string(),
         },
+        redundancy: hint.redundancy.as_str(),
     }
+}
+
+/// Every subfile name a server may hold for `path` under `policy`: the
+/// primary plus any replica mirrors or the parity sibling. Namespace ops
+/// (unlink, rename) sweep all of them per server.
+fn subfile_names(path: &str, policy: RedundancyPolicy) -> Vec<String> {
+    let mut names = vec![path.to_string()];
+    match policy {
+        RedundancyPolicy::None => {}
+        RedundancyPolicy::Replica(k) => {
+            for copy in 1..k {
+                names.push(mirror_subfile(path, copy));
+            }
+        }
+        RedundancyPolicy::XorParity => names.push(parity_subfile(path)),
+    }
+    names
 }
 
 /// Reconstruct striping geometry from a catalog attribute row.

@@ -54,6 +54,15 @@ pub enum Issue {
     },
     /// Online check: a server did not respond.
     ServerUnreachable { server: String },
+    /// Online check: a redundant file's mirror or parity subfile is
+    /// missing or shorter than the data it must protect (e.g. after a
+    /// server came back with an empty disk). [`fsck_reprotect`] rebuilds
+    /// these from the surviving copies.
+    UnderProtected {
+        filename: String,
+        server: String,
+        subfile: String,
+    },
 }
 
 /// Result of a check run.
@@ -185,7 +194,15 @@ pub fn fsck_with(fs: &Dpfs, online: bool, strict: bool) -> Result<FsckReport> {
                 && matches!(layout, Layout::Linear(_))
                 && attr.size as u64 >= layout.file_bytes()
                 && attr.size > 0;
-            for (server, list) in dist.iter() {
+            let policy = crate::hints::RedundancyPolicy::parse(&attr.redundancy);
+            // Under XOR parity the last distribution row is the brickless
+            // parity holder; primary-subfile checks cover the data rows.
+            let data_rows = match policy {
+                Ok(crate::hints::RedundancyPolicy::XorParity) if dist.len() >= 2 => dist.len() - 1,
+                _ => dist.len(),
+            };
+            let mut primary_sizes: Vec<Option<u64>> = Vec::with_capacity(data_rows);
+            for (server, list) in dist.iter().take(data_rows) {
                 report.subfiles_checked += 1;
                 let max_expected: u64 = list.iter().map(|&b| layout.brick_len(b as u64)).sum();
                 match fs.pool().rpc(
@@ -212,13 +229,22 @@ pub fn fsck_with(fs: &Dpfs, online: bool, strict: bool) -> Result<FsckReport> {
                                 actual: size,
                             });
                         }
+                        primary_sizes.push(Some(if exists { size } else { 0 }));
                     }
                     Ok(_) | Err(_) => {
                         report.issues.push(Issue::ServerUnreachable {
                             server: server.clone(),
                         });
+                        primary_sizes.push(None);
                     }
                 }
+            }
+            match policy {
+                Ok(p) => check_protection(fs, filename, p, dist, &primary_sizes, &mut report),
+                Err(e) => report.issues.push(Issue::BadAttributes {
+                    filename: filename.clone(),
+                    detail: e.to_string(),
+                }),
             }
         }
     }
@@ -277,6 +303,308 @@ pub fn fsck_with(fs: &Dpfs, online: bool, strict: bool) -> Result<FsckReport> {
     }
 
     Ok(report)
+}
+
+/// Stat one subfile: `Some(size)` (0 = absent) or `None` when the server
+/// is unreachable.
+fn stat_subfile(fs: &Dpfs, server: &str, subfile: &str) -> Option<u64> {
+    match fs.pool().rpc(
+        server,
+        &Request::Stat {
+            subfile: subfile.to_string(),
+        },
+    ) {
+        Ok(dpfs_proto::Response::Stat { exists, size }) => Some(if exists { size } else { 0 }),
+        _ => None,
+    }
+}
+
+fn read_subfile(fs: &Dpfs, server: &str, subfile: &str, len: u64) -> Result<Vec<u8>> {
+    if len == 0 {
+        return Ok(Vec::new());
+    }
+    match fs.pool().rpc_ok(
+        server,
+        &Request::Read {
+            subfile: subfile.to_string(),
+            ranges: vec![(0, len)],
+        },
+    )? {
+        dpfs_proto::Response::Data { chunks } => Ok(chunks[0].to_vec()),
+        other => Err(DpfsError::InvalidArgument(format!(
+            "expected Data from {server}, got {other:?}"
+        ))),
+    }
+}
+
+fn write_subfile(fs: &Dpfs, server: &str, subfile: &str, data: Vec<u8>) -> Result<()> {
+    fs.pool().rpc_ok(
+        server,
+        &Request::Write {
+            subfile: subfile.to_string(),
+            ranges: vec![(0, bytes::Bytes::from(data))],
+        },
+    )?;
+    Ok(())
+}
+
+/// Online protection audit for one redundant file: every copy group
+/// (primary + mirrors under `Replica(k)`, data + parity under
+/// `XorParity`) must be mutually consistent in size.
+fn check_protection(
+    fs: &Dpfs,
+    filename: &str,
+    policy: crate::hints::RedundancyPolicy,
+    dist: &[(String, Vec<i64>)],
+    primary_sizes: &[Option<u64>],
+    report: &mut FsckReport,
+) {
+    use crate::file::{mirror_subfile, parity_subfile};
+    use crate::hints::RedundancyPolicy;
+    let n = dist.len();
+    match policy {
+        RedundancyPolicy::None => {}
+        RedundancyPolicy::Replica(k) => {
+            // Copies of a stripe are byte-identical by construction, so a
+            // copy smaller than the largest in its group lost data.
+            for s in 0..n {
+                let mut group: Vec<(usize, String, Option<u64>)> = vec![(
+                    s,
+                    filename.to_string(),
+                    primary_sizes.get(s).copied().flatten(),
+                )];
+                for copy in 1..k {
+                    let host = (s + copy) % n;
+                    let sub = mirror_subfile(filename, copy);
+                    report.subfiles_checked += 1;
+                    let size = stat_subfile(fs, &dist[host].0, &sub);
+                    group.push((host, sub, size));
+                }
+                let best = group.iter().filter_map(|(_, _, sz)| *sz).max().unwrap_or(0);
+                if best == 0 {
+                    continue;
+                }
+                for (host, sub, sz) in group {
+                    if sz.is_some_and(|sz| sz < best) {
+                        report.issues.push(Issue::UnderProtected {
+                            filename: filename.to_string(),
+                            server: dist[host].0.clone(),
+                            subfile: sub,
+                        });
+                    }
+                }
+            }
+        }
+        RedundancyPolicy::XorParity => {
+            if n < 2 {
+                return; // MissingDistribution / open() reject this already
+            }
+            let data_n = n - 1;
+            let psub = parity_subfile(filename);
+            report.subfiles_checked += 1;
+            let parity_size = stat_subfile(fs, &dist[data_n].0, &psub);
+            let data_max = primary_sizes[..data_n]
+                .iter()
+                .filter_map(|s| *s)
+                .max()
+                .unwrap_or(0);
+            if let Some(psize) = parity_size {
+                // Parity must cover the longest data subfile.
+                if psize < data_max {
+                    report.issues.push(Issue::UnderProtected {
+                        filename: filename.to_string(),
+                        server: dist[data_n].0.clone(),
+                        subfile: psub,
+                    });
+                }
+                // A data server with assigned bricks and nothing on disk
+                // while live parity exists has (conservatively) lost its
+                // subfile; reconstruction of a legitimately-unwritten one
+                // just rewrites its zeros.
+                if psize > 0 {
+                    for (s, (server, bricks)) in dist.iter().take(data_n).enumerate() {
+                        if primary_sizes.get(s).copied().flatten() == Some(0) && !bricks.is_empty()
+                        {
+                            report.issues.push(Issue::UnderProtected {
+                                filename: filename.to_string(),
+                                server: server.clone(),
+                                subfile: filename.to_string(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Rebuild lost redundancy after a server came back with an empty disk:
+/// for every redundant file, compare all copies of each subfile and
+/// rewrite the deficient ones from the survivors — the largest replica
+/// copy under `Replica(k)`, parity ⊕ surviving peers under `XorParity` —
+/// then bring stale parity itself up to date. Copies on unreachable
+/// servers are left alone; a data subfile whose parity is also lost is
+/// reported unfixable. Requires an embedded mount, like [`fsck`].
+pub fn fsck_reprotect(fs: &Dpfs) -> Result<RepairSummary> {
+    use crate::hints::RedundancyPolicy;
+    let catalog = fs.catalog().ok_or_else(embedded_only)?;
+    let db = catalog.db();
+    let mut summary = RepairSummary::default();
+    let files = db.execute("SELECT filename FROM dpfs_file_attr ORDER BY filename")?;
+    for row in &files.rows {
+        let filename = row[0].as_text()?.to_string();
+        let Some(attr) = catalog.get_file_attr(&filename)? else {
+            continue;
+        };
+        let Ok(policy) = RedundancyPolicy::parse(&attr.redundancy) else {
+            continue; // fsck reports BadAttributes; nothing to rebuild from
+        };
+        let dist = catalog.get_distribution(&filename)?;
+        match policy {
+            RedundancyPolicy::None => {}
+            RedundancyPolicy::Replica(k) => {
+                reprotect_replica(fs, &filename, &dist, k, &mut summary)?;
+            }
+            RedundancyPolicy::XorParity => {
+                let Ok(layout) = striping_from_attr(&attr).and_then(|s| Layout::from_striping(&s))
+                else {
+                    continue;
+                };
+                reprotect_parity(fs, &filename, &dist, &layout, &mut summary)?;
+            }
+        }
+    }
+    Ok(summary)
+}
+
+fn reprotect_replica(
+    fs: &Dpfs,
+    filename: &str,
+    dist: &[dpfs_meta::Distribution],
+    k: usize,
+    summary: &mut RepairSummary,
+) -> Result<()> {
+    use crate::file::mirror_subfile;
+    let n = dist.len();
+    for s in 0..n {
+        let mut group: Vec<(usize, String)> = vec![(s, filename.to_string())];
+        for copy in 1..k {
+            group.push(((s + copy) % n, mirror_subfile(filename, copy)));
+        }
+        let sizes: Vec<Option<u64>> = group
+            .iter()
+            .map(|(host, sub)| stat_subfile(fs, &dist[*host].server, sub))
+            .collect();
+        // The largest reachable copy is authoritative (copies are written
+        // in lockstep, so a shorter one lost its tail or everything).
+        let Some(best_idx) = (0..group.len())
+            .filter(|&i| sizes[i].is_some())
+            .max_by_key(|&i| sizes[i])
+        else {
+            continue;
+        };
+        let best = sizes[best_idx].expect("filtered to reachable");
+        if best == 0 {
+            continue;
+        }
+        let (best_host, best_sub) = &group[best_idx];
+        let data = read_subfile(fs, &dist[*best_host].server, best_sub, best)?;
+        for (i, (host, sub)) in group.iter().enumerate() {
+            if sizes[i].is_some_and(|sz| sz < best) {
+                write_subfile(fs, &dist[*host].server, sub, data.clone())?;
+                summary.fixed.push(format!(
+                    "rebuilt replica copy {sub} on {}",
+                    dist[*host].server
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn reprotect_parity(
+    fs: &Dpfs,
+    filename: &str,
+    dist: &[dpfs_meta::Distribution],
+    layout: &Layout,
+    summary: &mut RepairSummary,
+) -> Result<()> {
+    use crate::file::parity_subfile;
+    let n = dist.len();
+    if n < 2 {
+        return Ok(());
+    }
+    let data_n = n - 1;
+    let psub = parity_subfile(filename);
+    let parity_server = dist[data_n].server.clone();
+    let sizes: Vec<Option<u64>> = (0..data_n)
+        .map(|s| stat_subfile(fs, &dist[s].server, filename))
+        .collect();
+    let parity_size = stat_subfile(fs, &parity_server, &psub);
+    let target = sizes
+        .iter()
+        .filter_map(|s| *s)
+        .chain(parity_size)
+        .max()
+        .unwrap_or(0);
+    if target == 0 {
+        return Ok(());
+    }
+    // Rebuild lost data subfiles first — recomputing parity from partial
+    // data would destroy the only copy of what they held.
+    for s in 0..data_n {
+        let max_expected: u64 = dist[s]
+            .bricklist
+            .iter()
+            .map(|&b| layout.brick_len(b as u64))
+            .sum();
+        // Clamp to the server's brick allotment so the rebuilt subfile
+        // never trips the SubfileOversized check.
+        let want = target.min(max_expected);
+        let Some(have) = sizes[s] else {
+            continue; // unreachable: leave it alone
+        };
+        if have > 0 || want == 0 || dist[s].bricklist.is_empty() {
+            continue; // conservative: rebuild only empty-disk losses
+        }
+        if parity_size.is_none_or(|p| p < want) {
+            summary.unfixable.push(Issue::UnderProtected {
+                filename: filename.to_string(),
+                server: dist[s].server.clone(),
+                subfile: filename.to_string(),
+            });
+            continue;
+        }
+        // parity ⊕ surviving peers over [0, want): reads past a subfile's
+        // extent zero-fill, so short peers contribute zeros.
+        let mut acc = read_subfile(fs, &parity_server, &psub, want)?;
+        for p in (0..data_n).filter(|&p| p != s) {
+            let peer = read_subfile(fs, &dist[p].server, filename, want)?;
+            for (a, b) in acc.iter_mut().zip(&peer) {
+                *a ^= b;
+            }
+        }
+        write_subfile(fs, &dist[s].server, filename, acc)?;
+        summary.fixed.push(format!(
+            "reconstructed data subfile {filename} on {}",
+            dist[s].server
+        ));
+    }
+    // Then bring parity itself up to date.
+    if parity_size.is_some_and(|p| p < target) {
+        let mut acc = vec![0u8; target as usize];
+        for row in dist.iter().take(data_n) {
+            let peer = read_subfile(fs, &row.server, filename, target)?;
+            for (a, b) in acc.iter_mut().zip(&peer) {
+                *a ^= b;
+            }
+        }
+        write_subfile(fs, &parity_server, &psub, acc)?;
+        summary
+            .fixed
+            .push(format!("recomputed parity {psub} on {parity_server}"));
+    }
+    Ok(())
 }
 
 /// Outcome of a repair pass.

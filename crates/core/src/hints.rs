@@ -180,6 +180,62 @@ impl HpfPattern {
     }
 }
 
+/// Per-file redundancy policy (extension; ROADMAP item 2). Selected at
+/// create time, persisted in the catalog attribute row, and honored by
+/// every client that opens the file: writes fan out to the redundant
+/// subfiles, and a read aimed at a dead server is reconstructed from the
+/// survivors instead of failing or zero-filling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RedundancyPolicy {
+    /// No redundancy: one subfile per data server (the original layout).
+    #[default]
+    None,
+    /// `k` total copies of every subfile (`k >= 2`): copy `i` of server
+    /// `s`'s subfile lives on server `(s + i) mod S` under a derived
+    /// subfile name. Survives any `k - 1` server losses.
+    Replica(usize),
+    /// RAID-4-style XOR parity: data stripes over the first `S - 1`
+    /// servers (name order) and the last server holds one parity subfile
+    /// whose every byte is the XOR of the data subfiles at that offset.
+    /// Survives any single server loss at `1/(S-1)` space overhead.
+    XorParity,
+}
+
+impl RedundancyPolicy {
+    /// Catalog/wire string: `""`, `"replica:K"`, or `"xor"`.
+    pub fn as_str(self) -> String {
+        match self {
+            RedundancyPolicy::None => String::new(),
+            RedundancyPolicy::Replica(k) => format!("replica:{k}"),
+            RedundancyPolicy::XorParity => "xor".to_string(),
+        }
+    }
+
+    /// Parse the catalog string (empty = [`RedundancyPolicy::None`]).
+    pub fn parse(s: &str) -> Result<RedundancyPolicy> {
+        if s.is_empty() {
+            return Ok(RedundancyPolicy::None);
+        }
+        if s == "xor" {
+            return Ok(RedundancyPolicy::XorParity);
+        }
+        if let Some(k) = s.strip_prefix("replica:") {
+            let k: usize = k
+                .parse()
+                .map_err(|_| DpfsError::InvalidArgument(format!("bad replica count in {s:?}")))?;
+            if k < 2 {
+                return Err(DpfsError::InvalidArgument(format!(
+                    "replica policy needs k >= 2, got {k}"
+                )));
+            }
+            return Ok(RedundancyPolicy::Replica(k));
+        }
+        Err(DpfsError::InvalidArgument(format!(
+            "unknown redundancy policy {s:?}"
+        )))
+    }
+}
+
 /// Placement (striping) algorithm choice (paper §4.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Placement {
@@ -236,6 +292,8 @@ pub struct Hint {
     pub owner: String,
     /// Permission bits recorded in the catalog.
     pub permission: i64,
+    /// Redundancy policy applied to every subfile of the file.
+    pub redundancy: RedundancyPolicy,
 }
 
 impl Hint {
@@ -250,6 +308,7 @@ impl Hint {
             placement: Placement::RoundRobin,
             owner: "dpfs".into(),
             permission: 0o644,
+            redundancy: RedundancyPolicy::None,
         }
     }
 
@@ -266,6 +325,7 @@ impl Hint {
             placement: Placement::RoundRobin,
             owner: "dpfs".into(),
             permission: 0o644,
+            redundancy: RedundancyPolicy::None,
         }
     }
 
@@ -281,6 +341,7 @@ impl Hint {
             placement: Placement::RoundRobin,
             owner: "dpfs".into(),
             permission: 0o644,
+            redundancy: RedundancyPolicy::None,
         }
     }
 
@@ -299,6 +360,12 @@ impl Hint {
     /// Set the owner.
     pub fn with_owner(mut self, owner: &str) -> Hint {
         self.owner = owner.to_string();
+        self
+    }
+
+    /// Set the redundancy policy.
+    pub fn with_redundancy(mut self, r: RedundancyPolicy) -> Hint {
+        self.redundancy = r;
         self
     }
 }

@@ -122,6 +122,9 @@ pub struct TransportStats {
     /// Per-server read requests that failed terminally and were
     /// zero-filled under [`crate::file::ClientOptions::degraded_reads`].
     pub degraded: u64,
+    /// Per-server read requests that failed terminally and were rebuilt
+    /// byte-exact from this server's mirrors or XOR peers + parity.
+    pub reconstructs: u64,
     /// Metadata lookups served from the client-side attr/layout cache
     /// instead of a full fetch from this (metadata) server.
     pub meta_cache_hits: u64,
@@ -145,6 +148,7 @@ struct Counters {
     in_flight_peak: AtomicU64,
     retries: AtomicU64,
     degraded: AtomicU64,
+    reconstructs: AtomicU64,
     meta_cache_hits: AtomicU64,
     meta_cache_misses: AtomicU64,
     hist_read: Histogram,
@@ -324,6 +328,7 @@ impl Transport {
             in_flight_peak: self.counters.in_flight_peak.load(Ordering::Relaxed),
             retries: self.counters.retries.load(Ordering::Relaxed),
             degraded: self.counters.degraded.load(Ordering::Relaxed),
+            reconstructs: self.counters.reconstructs.load(Ordering::Relaxed),
             meta_cache_hits: self.counters.meta_cache_hits.load(Ordering::Relaxed),
             meta_cache_misses: self.counters.meta_cache_misses.load(Ordering::Relaxed),
             read_latency: self.counters.hist_read.snapshot(),
@@ -341,6 +346,11 @@ impl Transport {
     /// Count one degraded (zero-filled) per-server read completion.
     pub fn note_degraded(&self) {
         self.counters.degraded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one reconstructed (redundancy-rebuilt) per-server read.
+    pub fn note_reconstruct(&self) {
+        self.counters.reconstructs.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Count one metadata lookup served from the client-side cache.

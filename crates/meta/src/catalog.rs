@@ -96,6 +96,8 @@ pub struct FileAttrRow {
     pub pattern: String,
     /// Striping algorithm used at creation: `"round_robin"` or `"greedy"`.
     pub placement: String,
+    /// Redundancy policy: `""` (none), `"replica:K"`, or `"xor"`.
+    pub redundancy: String,
 }
 
 /// Typed facade over the four DPFS metadata tables.
@@ -139,7 +141,8 @@ impl Catalog {
                 stripe_dims INTLIST NOT NULL,
                 stripe_size INT NOT NULL,
                 pattern TEXT NOT NULL,
-                placement TEXT NOT NULL)",
+                placement TEXT NOT NULL,
+                redundancy TEXT NOT NULL)",
         )?;
         db.execute(
             "CREATE TABLE IF NOT EXISTS dpfs_file_tags (
@@ -915,12 +918,13 @@ fn attr_from_row(r: &[Value]) -> Result<FileAttrRow> {
         stripe_size: r[8].as_int()?,
         pattern: r[9].as_text()?.to_string(),
         placement: r[10].as_text()?.to_string(),
+        redundancy: r[11].as_text()?.to_string(),
     })
 }
 
 fn insert_attr_txn(txn: &Txn<'_>, attr: &FileAttrRow) -> Result<()> {
     txn.execute(&format!(
-        "INSERT INTO dpfs_file_attr VALUES ('{}', '{}', {}, {}, '{}', {}, {}, {}, {}, '{}', '{}')",
+        "INSERT INTO dpfs_file_attr VALUES ('{}', '{}', {}, {}, '{}', {}, {}, {}, {}, '{}', '{}', '{}')",
         sql_quote(&attr.filename),
         sql_quote(&attr.owner),
         attr.permission,
@@ -932,6 +936,7 @@ fn insert_attr_txn(txn: &Txn<'_>, attr: &FileAttrRow) -> Result<()> {
         attr.stripe_size,
         sql_quote(&attr.pattern),
         sql_quote(&attr.placement),
+        sql_quote(&attr.redundancy),
     ))?;
     Ok(())
 }
@@ -1010,6 +1015,7 @@ mod tests {
             stripe_size: 65536,
             pattern: String::new(),
             placement: "round_robin".into(),
+            redundancy: String::new(),
         }
     }
 

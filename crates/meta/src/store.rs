@@ -325,6 +325,7 @@ mod tests {
             stripe_size: 65536,
             pattern: String::new(),
             placement: "round_robin".into(),
+            redundancy: String::new(),
         }
     }
 
@@ -413,6 +414,7 @@ mod tests {
                         stripe_size: 65536,
                         pattern: String::new(),
                         placement: "round_robin".into(),
+                        redundancy: String::new(),
                     };
                     s.create_file(&a, &[]).unwrap();
                     if i % 3 == 0 {

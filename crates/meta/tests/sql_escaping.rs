@@ -28,6 +28,7 @@ fn attr(name: &str, owner: &str) -> FileAttrRow {
         stripe_size: 64,
         pattern: String::new(),
         placement: "round_robin".into(),
+        redundancy: String::new(),
     }
 }
 

@@ -591,6 +591,7 @@ mod tests {
             stripe_size: 65536,
             pattern: String::new(),
             placement: "round_robin".into(),
+            redundancy: String::new(),
         }
     }
 

@@ -333,6 +333,7 @@ fn put_attr(buf: &mut BytesMut, a: &FileAttrRow) {
     put_i64(buf, a.stripe_size);
     put_str(buf, &a.pattern);
     put_str(buf, &a.placement);
+    put_str(buf, &a.redundancy);
 }
 
 fn get_attr(buf: &mut Bytes) -> Result<FileAttrRow, FrameError> {
@@ -348,6 +349,7 @@ fn get_attr(buf: &mut Bytes) -> Result<FileAttrRow, FrameError> {
         stripe_size: get_i64(buf)?,
         pattern: get_str(buf)?,
         placement: get_str(buf)?,
+        redundancy: get_str(buf)?,
     })
 }
 
@@ -868,6 +870,7 @@ mod tests {
             stripe_size: 65536,
             pattern: "BLOCK,*".into(),
             placement: "greedy".into(),
+            redundancy: "replica:2".into(),
         }
     }
 

@@ -168,6 +168,9 @@ impl Shell {
         writeln!(out, "size:       {}", attr.size).unwrap();
         writeln!(out, "level:      {}", attr.filelevel).unwrap();
         writeln!(out, "placement:  {}", attr.placement).unwrap();
+        if !attr.redundancy.is_empty() {
+            writeln!(out, "redundancy: {}", attr.redundancy).unwrap();
+        }
         if attr.dims > 0 {
             writeln!(out, "dims:       {:?}", attr.dimsize).unwrap();
             writeln!(out, "stripe:     {:?}", attr.stripe_dims).unwrap();
@@ -446,6 +449,7 @@ impl Shell {
             },
             owner: attr.owner.clone(),
             permission: attr.permission,
+            redundancy: dpfs_core::RedundancyPolicy::parse(&attr.redundancy)?,
         };
         let mut out = self.fs.create(&dst, &hint)?;
         match FileLevel::parse(&attr.filelevel)? {
@@ -468,23 +472,24 @@ impl Shell {
     }
 
     fn cmd_import(&mut self, args: &[String]) -> Result<String> {
-        // import <local> <dpfs> [brick_bytes]
-        let (local, dpfs_path, brick) = match args {
-            [l, d] => (l.as_str(), d.as_str(), DEFAULT_IMPORT_BRICK),
-            [l, d, b] => (
-                l.as_str(),
-                d.as_str(),
-                b.parse::<u64>()
-                    .map_err(|_| DpfsError::InvalidArgument(format!("bad brick size {b:?}")))?,
-            ),
+        // import <local> <dpfs> [brick_bytes] [replica:K|xor]
+        let parse_brick = |b: &String| {
+            b.parse::<u64>()
+                .map_err(|_| DpfsError::InvalidArgument(format!("bad brick size {b:?}")))
+        };
+        let (local, dpfs_path, brick, redundancy) = match args {
+            [l, d] => (l.as_str(), d.as_str(), DEFAULT_IMPORT_BRICK, String::new()),
+            [l, d, b] => (l.as_str(), d.as_str(), parse_brick(b)?, String::new()),
+            [l, d, b, r] => (l.as_str(), d.as_str(), parse_brick(b)?, r.clone()),
             _ => {
                 return Err(DpfsError::InvalidArgument(
-                    "usage: import <local-file> <dpfs-file> [brick-bytes]".into(),
+                    "usage: import <local-file> <dpfs-file> [brick-bytes] [replica:K|xor]".into(),
                 ))
             }
         };
         let data = std::fs::read(local)?;
-        let hint = Hint::linear(brick, data.len() as u64);
+        let hint = Hint::linear(brick, data.len() as u64)
+            .with_redundancy(dpfs_core::RedundancyPolicy::parse(&redundancy)?);
         let dst = resolve_path(&self.cwd, dpfs_path);
         let mut f = self.fs.create(&dst, &hint)?;
         f.write_bytes(0, &data)?;
@@ -718,7 +723,9 @@ DPFS shell commands:
   servers                  ping all registered servers
   stats [--watch [N [MS]]] live per-server counters and latency percentiles
   stats --json             one unified cluster scrape as machine-readable JSON
-  import <local> <dpfs> [brick-bytes]   copy a sequential file into DPFS
+  import <local> <dpfs> [brick-bytes] [replica:K|xor]
+                           copy a sequential file into DPFS, optionally
+                           replicated K-way or XOR-parity protected
   export <dpfs> <local>    copy a DPFS file to a sequential file
   head <file> [bytes]      print the first bytes of a file
   du [dir]                 recursive directory sizes

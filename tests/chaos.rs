@@ -20,7 +20,7 @@ use std::time::Duration;
 
 use dpfs::cluster::{FaultProxy, Testbed};
 use dpfs::core::trace::{export_jsonl, ring};
-use dpfs::core::{ClientOptions, Dpfs, Hint, RetryPolicy};
+use dpfs::core::{ClientOptions, Dpfs, DpfsError, Hint, RedundancyPolicy, RetryPolicy};
 
 /// A retry policy tuned for chaos: more attempts, tight backoffs so the
 /// whole schedule stays inside the CI time budget.
@@ -277,4 +277,299 @@ fn concurrent_clients_survive_kill_restart_schedule() {
         let back = f.read_bytes(0, TOTAL as u64).unwrap();
         assert!(back == data, "client {i} not byte-exact after recovery");
     }
+}
+
+// ------------------------------------------------- redundancy matrix
+
+/// Tight retries for reconstruction tests: a killed server refuses
+/// connections immediately, so two quick attempts suffice before the
+/// read falls over to reconstruction.
+fn fast_retry() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 2,
+        base_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(4),
+        ..RetryPolicy::default()
+    }
+}
+
+/// ISSUE acceptance scenario, parameterized over the policy: 4 servers, a
+/// 4 MiB redundant file, one server killed — the whole file reads back
+/// byte-exact with *zero* `Degraded` outcomes, every lost range
+/// reconstructed (counted in transport stats and traced as `reconstruct`
+/// spans).
+fn killed_server_reads_byte_exact(policy: RedundancyPolicy, path: &str, victim: usize) {
+    let mut tb = Testbed::unthrottled(4).unwrap();
+    let client = tb.client_opts(ClientOptions {
+        retry: fast_retry(),
+        ..ClientOptions::default()
+    });
+
+    const TOTAL: usize = 4 << 20; // 4 MiB
+    const SLICE: usize = 256 << 10;
+    let mut f = client
+        .create(
+            path,
+            &Hint::linear(64 << 10, TOTAL as u64).with_redundancy(policy),
+        )
+        .unwrap();
+    let data: Vec<u8> = (0..TOTAL).map(pat).collect();
+    for (i, chunk) in data.chunks(SLICE).enumerate() {
+        f.write_bytes((i * SLICE) as u64, chunk).unwrap();
+    }
+    f.sync().unwrap();
+
+    let victim_name = format!("ion{victim:02}");
+    tb.kill_server(victim);
+
+    let cursor = ring().cursor();
+    let mut back = Vec::with_capacity(TOTAL);
+    for i in 0..TOTAL / SLICE {
+        back.extend_from_slice(&f.read_bytes((i * SLICE) as u64, SLICE as u64).unwrap());
+    }
+    assert!(
+        back == data,
+        "reconstructed read differs from what was written"
+    );
+
+    // Zero Degraded outcomes anywhere; reconstructions recorded against
+    // the victim.
+    for i in 0..4 {
+        let stats = client
+            .pool()
+            .transport_stats(&format!("ion{i:02}"))
+            .unwrap_or_default();
+        assert_eq!(stats.degraded, 0, "ion{i:02} degraded: {stats:?}");
+    }
+    let stats = client.pool().transport_stats(&victim_name).unwrap();
+    assert!(
+        stats.reconstructs >= 1,
+        "no reconstruction recorded against {victim_name}: {stats:?}"
+    );
+    // And the reconstructions are visible as trace spans.
+    let spans = ring()
+        .events_since(cursor)
+        .into_iter()
+        .filter(|e| e.phase == "reconstruct")
+        .count();
+    assert!(spans >= 1, "no reconstruct spans recorded");
+    export_trace_slice(cursor);
+}
+
+#[test]
+fn killed_server_replica2_reads_byte_exact() {
+    killed_server_reads_byte_exact(RedundancyPolicy::Replica(2), "/rep2", 1);
+}
+
+#[test]
+fn killed_server_xor_parity_reads_byte_exact() {
+    killed_server_reads_byte_exact(RedundancyPolicy::XorParity, "/xor", 1);
+}
+
+/// Sever-mid-flight against a Replica(2) mount: partway through, the
+/// proxy starts dropping *every* frame to ion01 — effectively a dead
+/// server mid-connection — and reads stay byte-exact with zero
+/// `Degraded`, each lost range served by the surviving mirror.
+#[test]
+fn severed_server_replica2_reads_byte_exact() {
+    let tb = Testbed::unthrottled(3).unwrap();
+    let proxy = FaultProxy::start(tb.server_addr(1)).unwrap();
+    let mut resolver = tb.resolver();
+    resolver.alias("ion01", &proxy.addr().to_string());
+    let client = Dpfs::mount(
+        tb.db(),
+        resolver,
+        ClientOptions {
+            retry: fast_retry(),
+            ..ClientOptions::default()
+        },
+    )
+    .unwrap();
+
+    const TOTAL: usize = 1 << 20;
+    let mut f = client
+        .create(
+            "/sever-rep",
+            &Hint::linear(32 << 10, TOTAL as u64).with_redundancy(RedundancyPolicy::Replica(2)),
+        )
+        .unwrap();
+    let data: Vec<u8> = (0..TOTAL).map(pat).collect();
+    f.write_bytes(0, &data).unwrap();
+    f.sync().unwrap();
+
+    // From here on every frame through the proxy dies, including the
+    // in-flight ones.
+    proxy.knobs().cut_every_frames.store(1, Ordering::Relaxed);
+    proxy.sever_all();
+
+    let back = f.read_bytes(0, TOTAL as u64).unwrap();
+    assert!(back == data, "severed-server read not byte-exact");
+    for name in ["ion00", "ion01", "ion02"] {
+        let stats = client.pool().transport_stats(name).unwrap_or_default();
+        assert_eq!(stats.degraded, 0, "{name} degraded: {stats:?}");
+    }
+    assert!(
+        client.pool().transport_stats("ion01").unwrap().reconstructs >= 1,
+        "no reconstruction recorded against the severed server"
+    );
+}
+
+/// Kill-then-restart against an XorParity mount: reads are byte-exact
+/// *during* the outage (reconstructed) and *after* the restart (served
+/// from the surviving on-disk subfile), through the same handle.
+#[test]
+fn kill_restart_xor_parity_byte_exact_throughout() {
+    let mut tb = Testbed::unthrottled(4).unwrap();
+    let client = tb.client_opts(ClientOptions {
+        retry: fast_retry(),
+        ..ClientOptions::default()
+    });
+
+    const TOTAL: usize = 1 << 20;
+    let mut f = client
+        .create(
+            "/xor-phoenix",
+            &Hint::linear(64 << 10, TOTAL as u64).with_redundancy(RedundancyPolicy::XorParity),
+        )
+        .unwrap();
+    let data: Vec<u8> = (0..TOTAL).map(pat).collect();
+    f.write_bytes(0, &data).unwrap();
+    f.sync().unwrap();
+
+    tb.kill_server(2);
+    let during = f.read_bytes(0, TOTAL as u64).unwrap();
+    assert!(during == data, "read during outage not byte-exact");
+
+    tb.restart_server(2).unwrap();
+    let after = f.read_bytes(0, TOTAL as u64).unwrap();
+    assert!(after == data, "read after restart not byte-exact");
+    for i in 0..4 {
+        let stats = client
+            .pool()
+            .transport_stats(&format!("ion{i:02}"))
+            .unwrap_or_default();
+        assert_eq!(stats.degraded, 0, "ion{i:02} degraded: {stats:?}");
+    }
+}
+
+/// The pre-redundancy contract still holds: an unprotected file read
+/// through a killed server zero-fills its holes under `degraded_reads`
+/// and surfaces `Degraded` — no reconstruction, no silent wrong bytes.
+#[test]
+fn unprotected_file_still_zero_fills_degraded() {
+    let mut tb = Testbed::unthrottled(3).unwrap();
+    let client = tb.client_opts(ClientOptions {
+        retry: fast_retry(),
+        degraded_reads: true,
+        ..ClientOptions::default()
+    });
+
+    const BRICK: usize = 4096;
+    const TOTAL: usize = 96 << 10;
+    let mut f = client
+        .create("/plain", &Hint::linear(BRICK as u64, TOTAL as u64))
+        .unwrap();
+    let data: Vec<u8> = (0..TOTAL).map(pat).collect();
+    f.write_bytes(0, &data).unwrap();
+    f.sync().unwrap();
+
+    tb.kill_server(1);
+    match f.read_bytes(0, TOTAL as u64) {
+        Err(DpfsError::Degraded {
+            data: holed,
+            outcomes,
+            ..
+        }) => {
+            assert_eq!(outcomes.len(), 1, "exactly one server should fail");
+            assert_eq!(outcomes[0].server, "ion01");
+            // Bricks are round-robined: brick b lives on server b % 3.
+            for (i, &b) in holed.iter().enumerate() {
+                let expected = if (i / BRICK) % 3 == 1 { 0 } else { pat(i) };
+                assert_eq!(b, expected, "byte {i} wrong in degraded read");
+            }
+        }
+        other => panic!("expected Degraded, got {other:?}"),
+    }
+    let stats = client.pool().transport_stats("ion01").unwrap();
+    assert!(stats.degraded >= 1, "degraded not counted: {stats:?}");
+    assert_eq!(
+        stats.reconstructs, 0,
+        "unprotected file must not reconstruct"
+    );
+}
+
+/// ISSUE satellite: a server comes back with an *empty disk* (lost
+/// subfiles); `fsck` flags the file under-protected, `fsck_reprotect`
+/// rebuilds the lost copies from the survivors, and a subsequent kill of
+/// a *different* server still reads byte-exact.
+fn reprotect_after_empty_restart(policy: RedundancyPolicy, path: &str) {
+    use dpfs::core::fsck::{fsck_reprotect, fsck_with, Issue};
+
+    let mut tb = Testbed::unthrottled(4).unwrap();
+    let client = tb.client_opts(ClientOptions {
+        retry: fast_retry(),
+        ..ClientOptions::default()
+    });
+
+    const TOTAL: usize = 512 << 10;
+    let mut f = client
+        .create(
+            path,
+            &Hint::linear(16 << 10, TOTAL as u64).with_redundancy(policy),
+        )
+        .unwrap();
+    let data: Vec<u8> = (0..TOTAL).map(pat).collect();
+    f.write_bytes(0, &data).unwrap();
+    f.sync().unwrap();
+    f.close().unwrap();
+
+    // Disk replacement: ion01 loses everything it held.
+    tb.kill_server(1);
+    tb.restart_server_empty(1).unwrap();
+
+    let report = fsck_with(&client, true, false).unwrap();
+    assert!(
+        report
+            .issues
+            .iter()
+            .any(|i| matches!(i, Issue::UnderProtected { .. })),
+        "fsck missed the under-protection: {:?}",
+        report.issues
+    );
+
+    let summary = fsck_reprotect(&client).unwrap();
+    assert!(
+        !summary.fixed.is_empty(),
+        "re-protect rebuilt nothing: {summary:?}"
+    );
+    assert!(summary.unfixable.is_empty(), "unfixable: {summary:?}");
+    let report = fsck_with(&client, true, false).unwrap();
+    assert!(
+        !report
+            .issues
+            .iter()
+            .any(|i| matches!(i, Issue::UnderProtected { .. })),
+        "still under-protected after re-protect: {:?}",
+        report.issues
+    );
+
+    // The file is whole again: a *different* single-server loss must
+    // still read byte-exact.
+    tb.kill_server(2);
+    let mut f = client.open(path).unwrap();
+    let back = f.read_bytes(0, TOTAL as u64).unwrap();
+    assert!(
+        back == data,
+        "not byte-exact after re-protect + second kill"
+    );
+}
+
+#[test]
+fn fsck_reprotects_replica2_after_empty_restart() {
+    reprotect_after_empty_restart(RedundancyPolicy::Replica(2), "/reprotect-rep");
+}
+
+#[test]
+fn fsck_reprotects_xor_parity_after_empty_restart() {
+    reprotect_after_empty_restart(RedundancyPolicy::XorParity, "/reprotect-xor");
 }
