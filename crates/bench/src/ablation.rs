@@ -405,6 +405,55 @@ pub fn metadata_ablation(scale: FigScale) -> Vec<Point> {
     out
 }
 
+/// List-I/O ablation: one client reading the whole striped file at exact
+/// granularity. Client-side enumeration must keep one range per brick —
+/// each range is its own framed chunk, and the bricks a server holds land
+/// at non-adjacent buffer positions — so every brick pays a simulated
+/// seek. The pattern descriptor coalesces ranges adjacent in *subfile*
+/// space regardless of buffer layout, so each server does one seek and
+/// one stream per round.
+pub fn list_io_ablation(scale: FigScale) -> Vec<Point> {
+    let n = scale.array_side();
+    let servers = 4usize;
+    let bricks_per_server = 16u64;
+    let brick = (n * n / 8 / (servers as u64 * bricks_per_server)).max(64);
+    let file_bytes = brick * servers as u64 * bricks_per_server;
+    let model = PerfModel {
+        request_latency: Duration::from_micros(500),
+        bandwidth: 200 << 20,
+        seek_latency: Duration::from_millis(2),
+    };
+    let specs: Vec<NodeSpec> = (0..servers)
+        .map(|i| NodeSpec::with_model(i, model))
+        .collect();
+    let mut out = Vec::new();
+    for (label, list_io) in [
+        ("list-io (pattern descriptor)", true),
+        ("enumerated ranges (combined)", false),
+    ] {
+        let tb = Testbed::start(&specs).unwrap();
+        let client = tb.client_opts(ClientOptions {
+            list_io,
+            granularity: Granularity::Exact,
+            ..ClientOptions::default()
+        });
+        client
+            .create("/list", &Hint::linear(brick, file_bytes))
+            .unwrap();
+        let mut f = client.open("/list").unwrap();
+        f.write_bytes(0, &vec![3u8; file_bytes as usize]).unwrap();
+        let rounds = 3u64;
+        let start = Instant::now();
+        let mut bytes = 0u64;
+        for _ in 0..rounds {
+            bytes += f.read_bytes(0, file_bytes).unwrap().len() as u64;
+        }
+        let mbps = bytes as f64 / 1e6 / start.elapsed().as_secs_f64();
+        out.push((label.to_string(), mbps));
+    }
+    out
+}
+
 /// Render a list of points as an aligned table.
 pub fn print_points(title: &str, points: &[Point]) {
     println!("{title}");
@@ -472,6 +521,18 @@ mod tests {
             pts[2].1 > pts[1].1,
             "cached remote {} ops/s must beat uncached remote {} ops/s",
             pts[2].1,
+            pts[1].1
+        );
+    }
+
+    #[test]
+    fn list_io_ablation_pattern_wins() {
+        let pts = list_io_ablation(FigScale::Quick);
+        assert_eq!(pts.len(), 2);
+        assert!(
+            pts[0].1 > pts[1].1,
+            "list I/O {} MB/s must beat enumerated ranges {} MB/s",
+            pts[0].1,
             pts[1].1
         );
     }

@@ -57,6 +57,11 @@ fn main() {
         "Ablation 8: metadata placement on an open/stat-heavy workload",
         &metadata,
     );
+    let list_io = list_io_ablation(scale);
+    print_points(
+        "Ablation 9: server-side list I/O vs enumerated ranges (exact-granularity read)",
+        &list_io,
+    );
 
     // Per-phase latency table from the spans the run just recorded. The
     // global ring keeps the last 65536 events, so at full scale this is
@@ -108,6 +113,10 @@ fn main() {
         check(
             "metadata client cache must beat the uncached remote mount",
             metadata[2].1 > metadata[1].1,
+        );
+        check(
+            "server-side list I/O must beat client-side enumeration",
+            list_io[0].1 > list_io[1].1,
         );
         if failures.is_empty() {
             println!("quick smoke checks: all passed");

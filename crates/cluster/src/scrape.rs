@@ -12,15 +12,18 @@
 //!
 //! Metric names are dotted, stable, and documented here:
 //! - iond counters: `io.requests`, `io.reads`, `io.writes`,
-//!   `io.bytes_read`, `io.bytes_written`, `io.errors`, `io.connections`,
+//!   `io.list_reads`, `io.list_writes`, `io.bytes_read`,
+//!   `io.bytes_written`, `io.errors`, `io.connections`,
 //!   `io.injected_delay_ns`, `io.subfiles_reopened`; gauge `in_flight`;
-//!   hists `lat.read`, `lat.write`, `lat.other` (service time).
+//!   hists `lat.read`, `lat.write`, `lat.other` (service time; list I/O
+//!   folds into the read/write histograms).
 //! - metad counters: `meta.requests`, `meta.ops`, `meta.errors`,
 //!   `meta.connections`; gauges `in_flight`, `generation`, `shard_id`,
 //!   `shards`; hists `meta.<op>` per op label (service time).
 //! - client (one node per peer): counters `rpc.submitted`,
 //!   `rpc.completed`, `rpc.timed_out`, `rpc.dials`, `rpc.disconnected`,
-//!   `rpc.retries`, `rpc.degraded`, `cache.hits`, `cache.misses`; gauges
+//!   `rpc.retries`, `rpc.degraded`, `rpc.list_io`, `rpc.req_bytes`,
+//!   `cache.hits`, `cache.misses`; gauges
 //!   `in_flight`, `in_flight_peak`; hists `lat.read`, `lat.write`,
 //!   `lat.other` (round trip). Plus one `client` node carrying process
 //!   observability: `trace.recorded`, `trace.dropped`, `slow_ops`.
@@ -53,6 +56,8 @@ fn iond_node(name: String, s: &StatsSnapshot) -> NodeSnapshot {
             ("io.connections".to_string(), s.connections),
             ("io.errors".to_string(), s.errors),
             ("io.injected_delay_ns".to_string(), s.injected_delay_ns),
+            ("io.list_reads".to_string(), s.list_reads),
+            ("io.list_writes".to_string(), s.list_writes),
             ("io.reads".to_string(), s.reads),
             ("io.requests".to_string(), s.requests),
             ("io.subfiles_reopened".to_string(), s.subfiles_reopened),
@@ -106,6 +111,8 @@ fn client_node_for(fs: &Dpfs, server: &str) -> Option<NodeSnapshot> {
             ("rpc.reconstructs".to_string(), t.reconstructs),
             ("rpc.dials".to_string(), t.dials),
             ("rpc.disconnected".to_string(), t.disconnected),
+            ("rpc.list_io".to_string(), t.list_io),
+            ("rpc.req_bytes".to_string(), t.req_bytes),
             ("rpc.retries".to_string(), t.retries),
             ("rpc.submitted".to_string(), t.submitted),
             ("rpc.timed_out".to_string(), t.timed_out),
@@ -212,6 +219,11 @@ mod tests {
             "servers saw traffic"
         );
         assert!(snap.counter_sum(NodeRole::Iond, "io.bytes_written") >= 8192);
+        // List-I/O counters are present on both planes (this particular
+        // traffic is single-range-per-server, so the cost model may have
+        // shipped it legacy — presence, not magnitude, is asserted here).
+        assert!(ionds[0].counter("io.list_reads").is_some());
+        assert!(ionds[0].counter("io.list_writes").is_some());
 
         let metads: Vec<_> = snap.nodes_of(NodeRole::Metad).collect();
         assert_eq!(metads.len(), 2);
@@ -223,6 +235,10 @@ mod tests {
         // Client transport rows exist for at least the I/O servers, and
         // the process node reports the trace ring.
         assert!(snap.nodes_of(NodeRole::Client).count() >= 3);
+        assert!(snap.counter_sum(NodeRole::Client, "rpc.req_bytes") > 0);
+        assert!(snap
+            .nodes_of(NodeRole::Client)
+            .any(|n| n.counter("rpc.list_io").is_some()));
         let proc = snap.node("client").unwrap();
         assert!(proc.counter("trace.recorded").unwrap() > 0);
         assert!(proc.counter("trace.dropped").is_some());

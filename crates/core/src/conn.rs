@@ -363,6 +363,32 @@ pub fn expect_chunks(
     Ok(chunks)
 }
 
+/// Interpret a response to a list read ([`Request::ReadList`]) as one
+/// coalesced payload, validating its length against the pattern's total
+/// byte count. A buggy or hostile server returning a short (or long)
+/// payload surfaces as a typed [`DpfsError::ShortRead`] instead of letting
+/// the caller's scatter copy index out of bounds and panic.
+pub fn expect_list_data(resp: Response, expected: u64, server: &str) -> Result<bytes::Bytes> {
+    match resp {
+        Response::DataList { data } => {
+            if data.len() as u64 != expected {
+                return Err(DpfsError::ShortRead {
+                    server: server.to_string(),
+                    chunk: 0,
+                    expected,
+                    got: data.len() as u64,
+                });
+            }
+            Ok(data)
+        }
+        Response::Error { code, message } => Err(DpfsError::Server { code, message }),
+        other => Err(DpfsError::Server {
+            code: ErrorCode::BadRequest,
+            message: format!("expected DataList, got {other:?}"),
+        }),
+    }
+}
+
 /// Interpret a response to a write.
 pub fn expect_written(resp: Response) -> Result<u64> {
     match resp {
@@ -395,6 +421,23 @@ mod tests {
         let err = pool.rpc("127.0.0.1:1", &Request::Ping).unwrap_err();
         assert!(matches!(err, DpfsError::Connect { .. }));
         assert!(!pool.ping("127.0.0.1:1"));
+    }
+
+    #[test]
+    fn expect_list_data_validates_length() {
+        let data = bytes::Bytes::from_static(b"12345678");
+        let got = expect_list_data(Response::DataList { data: data.clone() }, 8, "s").unwrap();
+        assert_eq!(got, data);
+        let err = expect_list_data(Response::DataList { data }, 9, "s").unwrap_err();
+        assert!(matches!(
+            err,
+            DpfsError::ShortRead {
+                expected: 9,
+                got: 8,
+                ..
+            }
+        ));
+        assert!(expect_list_data(Response::Pong, 0, "s").is_err());
     }
 
     #[test]

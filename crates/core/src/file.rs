@@ -18,17 +18,17 @@ use std::time::Duration;
 
 use bytes::Bytes;
 use dpfs_meta::{Distribution, MetaStore};
-use dpfs_proto::{Request, Response};
+use dpfs_proto::{AccessPattern, Request, Response, MAX_PATTERN_RANGES};
 
 use crate::cache::BrickCache;
-use crate::conn::{expect_chunks, expect_written, ConnPool};
+use crate::conn::{expect_chunks, expect_list_data, expect_written, ConnPool};
 use crate::datatype::Datatype;
 use crate::error::{DpfsError, Result, SubfileOutcome};
 use crate::geometry::Region;
 use crate::hints::{FileLevel, Placement, RedundancyPolicy};
 use crate::layout::{bricks_for, BrickRun, Layout};
 use crate::placement::BrickMap;
-use crate::plan::{plan_reads, plan_writes, Granularity, ReadRequest, WriteRequest};
+use crate::plan::{plan_list, plan_reads, plan_writes, Granularity, ListRequest};
 use crate::retry::RetryPolicy;
 use crate::trace;
 use crate::transport::DEFAULT_RPC_TIMEOUT;
@@ -40,6 +40,15 @@ pub struct ClientOptions {
     pub combine: bool,
     /// Read transfer granularity (whole bricks by default, as in the paper).
     pub granularity: Granularity,
+    /// Ship combined I/O as compact [`AccessPattern`] descriptors
+    /// (`ReadList`/`WriteList`): the server expands the pattern against
+    /// its own subfile geometry and one coalesced payload travels per
+    /// request, instead of an enumerated range list with per-range
+    /// framing. Engages only under `combine` (and, for reads, with the
+    /// brick cache off — cache fills need per-brick chunks); a per-request
+    /// cost model transparently falls back to the legacy shape when the
+    /// descriptor would encode no smaller than the enumerated list.
+    pub list_io: bool,
     /// This client's rank; sets the staggered schedule's starting server.
     pub rank: usize,
     /// Issue per-server requests one at a time, awaiting each response
@@ -78,6 +87,7 @@ impl Default for ClientOptions {
         ClientOptions {
             combine: true,
             granularity: Granularity::Brick,
+            list_io: true,
             rank: 0,
             serial_dispatch: false,
             lockstep_rpc: false,
@@ -578,6 +588,23 @@ impl FileHandle {
                 cache.invalidate(r.brick);
             }
         }
+        // List I/O: coalesce in subfile space and ship a pattern descriptor
+        // (or the legacy shape, per request, when the descriptor would be
+        // larger). `plan_list` declines self-overlapping runs — those keep
+        // the legacy planner's in-order overlap semantics.
+        if self.opts.combine && self.opts.list_io {
+            // Writes always use exact ranges: whole-brick granularity
+            // would clobber bytes the caller never supplied.
+            if let Some(reqs) = plan_list(
+                runs,
+                &self.map,
+                &self.layout,
+                Granularity::Exact,
+                self.opts.rank,
+            ) {
+                return self.execute_writes_list(&reqs, data, trace_id, op_start);
+            }
+        }
         let reqs = plan_writes(
             runs,
             &self.map,
@@ -659,7 +686,122 @@ impl FileHandle {
             self.stats.wire_written += expected;
         }
         if self.redundancy == RedundancyPolicy::XorParity {
-            self.write_parity(&reqs, trace_id)?;
+            let touched: Vec<(u64, u64)> = reqs
+                .iter()
+                .flat_map(|r| r.ranges.iter().map(|&(sub_off, _, len)| (sub_off, len)))
+                .collect();
+            self.write_parity(&touched, trace_id)?;
+        }
+        trace::client_event(
+            trace_id,
+            "op",
+            "write",
+            "",
+            op_start,
+            trace::now_ns().saturating_sub(op_start),
+            data.len() as u64,
+        );
+        Ok(())
+    }
+
+    /// List-I/O write path: one request per server carrying one coalesced
+    /// payload. The per-request cost model picks the wire shape —
+    /// `WriteList` with a pattern descriptor, or legacy `Write` over the
+    /// same coalesced ranges when the descriptor would be larger.
+    /// Redundancy fans the same refcounted payloads out to mirrors and
+    /// keeps parity byte-exact.
+    fn execute_writes_list(
+        &mut self,
+        reqs: &[ListRequest],
+        data: &[u8],
+        trace_id: u64,
+        op_start: u64,
+    ) -> Result<()> {
+        // Gather each request's payload out of `data` up front (the pieces
+        // map buffer bytes to payload offsets). `Bytes` payloads are
+        // refcounted: replica fan-out and legacy-shape slicing below reuse
+        // them without copying.
+        let payloads: Vec<Bytes> = reqs
+            .iter()
+            .map(|req| {
+                let mut payload = vec![0u8; req.wire_bytes() as usize];
+                for p in &req.pieces {
+                    payload[p.payload_off as usize..(p.payload_off + p.len) as usize]
+                        .copy_from_slice(&data[p.buf_off as usize..(p.buf_off + p.len) as usize]);
+                }
+                Bytes::from(payload)
+            })
+            .collect();
+        let shaped: Vec<ListShape> = reqs.iter().map(list_shape).collect();
+        let request_for =
+            |req: &ListRequest, shape: &ListShape, payload: &Bytes, subfile: String| match shape {
+                ListShape::Pattern(pattern) => Request::WriteList {
+                    subfile,
+                    pattern: pattern.clone(),
+                    payload: payload.clone(),
+                },
+                ListShape::Legacy => {
+                    let mut at = 0usize;
+                    let ranges = req
+                        .ranges
+                        .iter()
+                        .map(|&(off, len)| {
+                            let slice = payload.slice(at..at + len as usize);
+                            at += len as usize;
+                            (off, slice)
+                        })
+                        .collect();
+                    Request::Write { subfile, ranges }
+                }
+            };
+        let mut work: Vec<(&str, Request)> = Vec::with_capacity(reqs.len());
+        let mut expect: Vec<(usize, u64)> = Vec::with_capacity(reqs.len());
+        for ((req, shape), payload) in reqs.iter().zip(&shaped).zip(&payloads) {
+            work.push((
+                self.servers[req.server].as_str(),
+                request_for(req, shape, payload, self.path.clone()),
+            ));
+            expect.push((req.server, req.wire_bytes()));
+        }
+        if let RedundancyPolicy::Replica(k) = self.redundancy {
+            let n = self.servers.len();
+            for copy in 1..k {
+                for ((req, shape), payload) in reqs.iter().zip(&shaped).zip(&payloads) {
+                    let mirror = (req.server + copy) % n;
+                    work.push((
+                        self.servers[mirror].as_str(),
+                        request_for(req, shape, payload, mirror_subfile(&self.path, copy)),
+                    ));
+                    expect.push((mirror, req.wire_bytes()));
+                }
+            }
+        }
+        trace::client_event(
+            trace_id,
+            "plan",
+            "write",
+            "",
+            op_start,
+            trace::now_ns().saturating_sub(op_start),
+            data.len() as u64,
+        );
+        let results = issue(&self.pool, &self.opts, true, work, trace_id);
+        for (&(server, expected), res) in expect.iter().zip(results) {
+            self.stats.requests += 1;
+            let written = expect_written(res?)?;
+            if written != expected {
+                return Err(DpfsError::ShortWrite {
+                    server: self.servers[server].clone(),
+                    expected,
+                    written,
+                });
+            }
+            self.stats.wire_written += expected;
+        }
+        if self.redundancy == RedundancyPolicy::XorParity {
+            let touched: Vec<(u64, u64)> =
+                reqs.iter().flat_map(|r| r.ranges.iter().copied()).collect();
+            self.write_parity(&touched, trace_id)?;
         }
         trace::client_event(
             trace_id,
@@ -680,17 +822,15 @@ impl FileHandle {
     /// result to the parity server. Recomputing from the data — instead of
     /// delta-XORing old vs new bytes — needs no read-before-write ordering
     /// and self-heals any previously stale parity range it touches.
-    fn write_parity(&mut self, reqs: &[WriteRequest], trace_id: u64) -> Result<()> {
+    /// `touched` is the `(subfile_offset, len)` ranges the write dirtied,
+    /// in any order, overlap allowed.
+    fn write_parity(&mut self, touched: &[(u64, u64)], trace_id: u64) -> Result<()> {
         // Union of touched subfile-offset ranges across all data servers:
         // parity[off] covers byte `off` of every data subfile, so exactly
         // these ranges went stale.
-        let mut spans: Vec<(u64, u64)> = reqs
+        let mut spans: Vec<(u64, u64)> = touched
             .iter()
-            .flat_map(|r| {
-                r.ranges
-                    .iter()
-                    .map(|&(sub_off, _, len)| (sub_off, sub_off + len))
-            })
+            .map(|&(sub_off, len)| (sub_off, sub_off + len))
             .collect();
         spans.sort_unstable();
         let mut union: Vec<(u64, u64)> = Vec::new(); // (offset, len)
@@ -760,12 +900,18 @@ impl FileHandle {
         Ok(())
     }
 
-    /// Re-materialize the exact bytes a lost server owed `req`, using the
-    /// file's redundancy: the first answering mirror copy under
+    /// Re-materialize the exact bytes lost `server` owed for `ranges`,
+    /// using the file's redundancy: the first answering mirror copy under
     /// `Replica(k)`, or the XOR of every surviving data subfile plus the
-    /// parity subfile under `XorParity`. Returns one chunk per requested
-    /// range, byte-exact.
-    fn reconstruct_ranges(&self, req: &ReadRequest, trace_id: u64) -> Result<Vec<Bytes>> {
+    /// parity subfile under `XorParity`. Always speaks legacy `Read` —
+    /// reconstruction wants one chunk per range back, byte-exact, and the
+    /// degraded path is not the one to optimize wire bytes on.
+    fn reconstruct_ranges(
+        &self,
+        server: usize,
+        ranges: &[(u64, u64)],
+        trace_id: u64,
+    ) -> Result<Vec<Bytes>> {
         let n = self.servers.len();
         match self.redundancy {
             RedundancyPolicy::None => Err(DpfsError::InvalidArgument(
@@ -774,15 +920,15 @@ impl FileHandle {
             RedundancyPolicy::Replica(k) => {
                 let mut last_err = None;
                 for copy in 1..k {
-                    let mirror = &self.servers[(req.server + copy) % n];
+                    let mirror = &self.servers[(server + copy) % n];
                     let resp = self.pool.rpc(
                         mirror,
                         &Request::Read {
                             subfile: mirror_subfile(&self.path, copy),
-                            ranges: req.ranges.clone(),
+                            ranges: ranges.to_vec(),
                         },
                     );
-                    match resp.and_then(|r| expect_chunks(r, &req.ranges, mirror)) {
+                    match resp.and_then(|r| expect_chunks(r, ranges, mirror)) {
                         Ok(chunks) => return Ok(chunks),
                         Err(e) => last_err = Some(e),
                     }
@@ -795,13 +941,13 @@ impl FileHandle {
                 // the parity subfile, XORed together: parity's definition
                 // solved for the missing term.
                 let peers: Vec<(&str, Request)> = (0..data_servers)
-                    .filter(|&d| d != req.server)
+                    .filter(|&d| d != server)
                     .map(|d| {
                         (
                             self.servers[d].as_str(),
                             Request::Read {
                                 subfile: self.path.clone(),
-                                ranges: req.ranges.clone(),
+                                ranges: ranges.to_vec(),
                             },
                         )
                     })
@@ -809,22 +955,21 @@ impl FileHandle {
                         self.servers[data_servers].as_str(),
                         Request::Read {
                             subfile: parity_subfile(&self.path),
-                            ranges: req.ranges.clone(),
+                            ranges: ranges.to_vec(),
                         },
                     )))
                     .collect();
                 let names: Vec<usize> = (0..data_servers)
-                    .filter(|&d| d != req.server)
+                    .filter(|&d| d != server)
                     .chain(std::iter::once(data_servers))
                     .collect();
                 let results = issue(&self.pool, &self.opts, true, peers, trace_id);
-                let mut acc: Vec<Vec<u8>> = req
-                    .ranges
+                let mut acc: Vec<Vec<u8>> = ranges
                     .iter()
                     .map(|&(_, len)| vec![0u8; len as usize])
                     .collect();
                 for (&peer, res) in names.iter().zip(results) {
-                    let chunks = expect_chunks(res?, &req.ranges, &self.servers[peer])?;
+                    let chunks = expect_chunks(res?, ranges, &self.servers[peer])?;
                     for (a, chunk) in acc.iter_mut().zip(&chunks) {
                         for (ab, cb) in a.iter_mut().zip(chunk.iter()) {
                             *ab ^= cb;
@@ -869,6 +1014,21 @@ impl FileHandle {
             remaining.extend_from_slice(runs);
         }
         let runs = remaining.as_slice();
+        // List I/O: ship the access pattern, not the brick list. Gated on
+        // the cache being off — cache fills need the per-brick chunks only
+        // the legacy shape returns — and declined by `plan_list` for
+        // self-overlapping runs.
+        if self.opts.combine && self.opts.list_io && self.cache.is_none() {
+            if let Some(reqs) = plan_list(
+                runs,
+                &self.map,
+                &self.layout,
+                self.opts.granularity,
+                self.opts.rank,
+            ) {
+                return self.execute_reads_list(&reqs, buf, trace_id, op_start);
+            }
+        }
         let reqs = plan_reads(
             runs,
             &self.map,
@@ -938,7 +1098,7 @@ impl FileHandle {
                         && RetryPolicy::retryable(&err) =>
                 {
                     let t0 = trace::now_ns();
-                    match self.reconstruct_ranges(req, trace_id) {
+                    match self.reconstruct_ranges(req.server, &req.ranges, trace_id) {
                         Ok(chunks) => {
                             let server = &self.servers[req.server];
                             self.stats.requests += 1;
@@ -1044,6 +1204,163 @@ impl FileHandle {
             Ok(())
         } else {
             // The byte-returning wrappers attach the holed buffer.
+            Err(DpfsError::Degraded {
+                op: "read",
+                data: Vec::new(),
+                outcomes,
+            })
+        }
+    }
+
+    /// List-I/O read path: one request per server, answered with one
+    /// coalesced payload that the pieces scatter into `buf`. Wire shape
+    /// per the cost model; reconstruction and degraded holes match the
+    /// legacy path byte-for-byte.
+    fn execute_reads_list(
+        &mut self,
+        reqs: &[ListRequest],
+        buf: &mut [u8],
+        trace_id: u64,
+        op_start: u64,
+    ) -> Result<()> {
+        let shaped: Vec<ListShape> = reqs.iter().map(list_shape).collect();
+        let work: Vec<(&str, Request)> = reqs
+            .iter()
+            .zip(&shaped)
+            .map(|(req, shape)| {
+                let r = match shape {
+                    ListShape::Pattern(pattern) => Request::ReadList {
+                        subfile: self.path.clone(),
+                        pattern: pattern.clone(),
+                    },
+                    ListShape::Legacy => Request::Read {
+                        subfile: self.path.clone(),
+                        ranges: req.ranges.clone(),
+                    },
+                };
+                (self.servers[req.server].as_str(), r)
+            })
+            .collect();
+        trace::client_event(
+            trace_id,
+            "plan",
+            "read",
+            "",
+            op_start,
+            trace::now_ns().saturating_sub(op_start),
+            buf.len() as u64,
+        );
+        let stop_at_first_error =
+            !self.opts.degraded_reads && self.redundancy == RedundancyPolicy::None;
+        let results = issue(&self.pool, &self.opts, stop_at_first_error, work, trace_id);
+        let mut outcomes: Vec<SubfileOutcome> = Vec::new();
+        for ((req, shape), res) in reqs.iter().zip(&shaped).zip(results) {
+            match res {
+                Ok(resp) => {
+                    let server = &self.servers[req.server];
+                    match shape {
+                        ListShape::Pattern(_) => {
+                            let data = expect_list_data(resp, req.wire_bytes(), server)?;
+                            for p in &req.pieces {
+                                let src =
+                                    &data[p.payload_off as usize..(p.payload_off + p.len) as usize];
+                                buf[p.buf_off as usize..(p.buf_off + p.len) as usize]
+                                    .copy_from_slice(src);
+                            }
+                        }
+                        ListShape::Legacy => {
+                            let chunks = expect_chunks(resp, &req.ranges, server)?;
+                            scatter_list_pieces(req, &chunks, buf);
+                        }
+                    }
+                    self.stats.requests += 1;
+                    self.stats.wire_read += req.wire_bytes();
+                    self.stats.useful_read += req.useful_bytes();
+                }
+                // Transport-class failure on a redundant file: rebuild the
+                // lost server's ranges from mirrors / XOR peers + parity
+                // (over legacy `Read`) and scatter as if it had answered.
+                Err(err)
+                    if self.redundancy != RedundancyPolicy::None
+                        && RetryPolicy::retryable(&err) =>
+                {
+                    let t0 = trace::now_ns();
+                    match self.reconstruct_ranges(req.server, &req.ranges, trace_id) {
+                        Ok(chunks) => {
+                            let server = &self.servers[req.server];
+                            scatter_list_pieces(req, &chunks, buf);
+                            self.stats.requests += 1;
+                            self.stats.wire_read += req.wire_bytes();
+                            self.stats.useful_read += req.useful_bytes();
+                            self.pool.note_reconstruct(server);
+                            trace::client_event(
+                                trace_id,
+                                "reconstruct",
+                                "read",
+                                server,
+                                t0,
+                                trace::now_ns().saturating_sub(t0),
+                                req.useful_bytes(),
+                            );
+                        }
+                        Err(rec_err) if self.opts.degraded_reads => {
+                            let server = &self.servers[req.server];
+                            let bytes = zero_fill_list_pieces(req, buf);
+                            self.stats.requests += 1;
+                            self.pool.note_degraded(server);
+                            trace::client_event(
+                                trace_id,
+                                "degraded",
+                                "read",
+                                server,
+                                trace::now_ns(),
+                                0,
+                                bytes,
+                            );
+                            outcomes.push(SubfileOutcome {
+                                server: server.clone(),
+                                bytes,
+                                error: rec_err.to_string(),
+                            });
+                        }
+                        Err(_) => return Err(err),
+                    }
+                }
+                Err(err) if self.opts.degraded_reads && RetryPolicy::retryable(&err) => {
+                    let server = &self.servers[req.server];
+                    let bytes = zero_fill_list_pieces(req, buf);
+                    self.stats.requests += 1;
+                    self.pool.note_degraded(server);
+                    trace::client_event(
+                        trace_id,
+                        "degraded",
+                        "read",
+                        server,
+                        trace::now_ns(),
+                        0,
+                        bytes,
+                    );
+                    outcomes.push(SubfileOutcome {
+                        server: server.clone(),
+                        bytes,
+                        error: err.to_string(),
+                    });
+                }
+                Err(err) => return Err(err),
+            }
+        }
+        trace::client_event(
+            trace_id,
+            "op",
+            "read",
+            "",
+            op_start,
+            trace::now_ns().saturating_sub(op_start),
+            buf.len() as u64,
+        );
+        if outcomes.is_empty() {
+            Ok(())
+        } else {
             Err(DpfsError::Degraded {
                 op: "read",
                 data: Vec::new(),
@@ -1296,6 +1613,61 @@ fn issue(
     }
 }
 
+/// The wire shape the cost model picked for one list request.
+enum ListShape {
+    /// Compact descriptor: `ReadList` / `WriteList`.
+    Pattern(AccessPattern),
+    /// Irregular access — the descriptor would encode no smaller than the
+    /// enumerated range list; ship legacy `Read` / `Write` over the same
+    /// coalesced ranges.
+    Legacy,
+}
+
+/// The cost model: a pattern descriptor pays off iff it encodes smaller
+/// than the legacy enumerated range list (`u32` count + 16 bytes per
+/// range).
+fn list_shape(req: &ListRequest) -> ListShape {
+    if req.ranges.len() > MAX_PATTERN_RANGES {
+        return ListShape::Legacy;
+    }
+    let pattern = AccessPattern::from_runs(&req.ranges);
+    if pattern.encoded_len() < 4 + 16 * req.ranges.len() {
+        ListShape::Pattern(pattern)
+    } else {
+        ListShape::Legacy
+    }
+}
+
+/// Scatter legacy per-range chunks through a list request's pieces. Each
+/// piece lies within exactly one coalesced range (payload offsets never
+/// cross range boundaries by construction), so the owning chunk is found
+/// by payload-offset prefix sums.
+fn scatter_list_pieces(req: &ListRequest, chunks: &[Bytes], buf: &mut [u8]) {
+    let mut prefix = Vec::with_capacity(req.ranges.len());
+    let mut at = 0u64;
+    for &(_, len) in &req.ranges {
+        prefix.push(at);
+        at += len;
+    }
+    for p in &req.pieces {
+        let idx = prefix.partition_point(|&q| q <= p.payload_off) - 1;
+        let off = (p.payload_off - prefix[idx]) as usize;
+        let src = &chunks[idx][off..off + p.len as usize];
+        buf[p.buf_off as usize..(p.buf_off + p.len) as usize].copy_from_slice(src);
+    }
+}
+
+/// Zero-fill a list request's useful bytes in `buf` (degraded hole);
+/// returns the byte count holed.
+fn zero_fill_list_pieces(req: &ListRequest, buf: &mut [u8]) -> u64 {
+    let mut bytes = 0u64;
+    for p in &req.pieces {
+        buf[p.buf_off as usize..(p.buf_off + p.len) as usize].fill(0);
+        bytes += p.len;
+    }
+    bytes
+}
+
 /// Attach the (zero-holed) buffer to a [`DpfsError::Degraded`] bubbling
 /// out of `execute_reads`, so callers that opted in can keep the bytes
 /// that did arrive. Other errors pass through untouched.
@@ -1326,5 +1698,61 @@ fn retry_if_transient(
             pool.retry_after(server, req, trace_id, err, opts.retry)
         }
         other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(ranges: Vec<(u64, u64)>) -> ListRequest {
+        ListRequest {
+            server: 0,
+            ranges,
+            pieces: vec![],
+        }
+    }
+
+    /// The cost-model crossover: a pattern ships iff its descriptor
+    /// encodes strictly smaller than the enumerated range list
+    /// (`u32` count + 16 bytes per range).
+    #[test]
+    fn cost_model_crossover() {
+        // A single range never pays: one Run segment (21 bytes) beats a
+        // one-range enumeration (20 bytes) nowhere.
+        assert!(matches!(
+            list_shape(&req(vec![(0, 4096)])),
+            ListShape::Legacy
+        ));
+
+        // Regular strides compress to one Vector segment (29 bytes
+        // total), so the descriptor wins from two ranges up...
+        for count in 2u64..32 {
+            let ranges: Vec<(u64, u64)> = (0..count).map(|i| (i * 64, 16)).collect();
+            let shape = list_shape(&req(ranges.clone()));
+            let ListShape::Pattern(p) = shape else {
+                panic!("strided {count}-range access should ship as a pattern");
+            };
+            assert!(p.encoded_len() < 4 + 16 * ranges.len());
+            assert_eq!(p.expand(), ranges);
+        }
+
+        // ...while fully irregular runs (distinct lengths — no arithmetic
+        // structure to exploit) cost 17 bytes per Run segment against 16
+        // enumerated, so they always fall back.
+        for count in 1u64..16 {
+            let ranges: Vec<(u64, u64)> = (0..count).map(|i| (i * i * 97 + i, i + 1)).collect();
+            assert!(
+                matches!(list_shape(&req(ranges)), ListShape::Legacy),
+                "irregular {count}-range access should ship legacy"
+            );
+        }
+
+        // Over the per-pattern range cap, always legacy (the descriptor
+        // would be rejected server-side).
+        let huge: Vec<(u64, u64)> = (0..=MAX_PATTERN_RANGES as u64)
+            .map(|i| (i * 64, 16))
+            .collect();
+        assert!(matches!(list_shape(&req(huge)), ListShape::Legacy));
     }
 }

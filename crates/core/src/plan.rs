@@ -93,6 +93,157 @@ impl WriteRequest {
     }
 }
 
+/// One payload-byte ↔ user-buffer mapping within a [`ListRequest`].
+///
+/// A list request's wire payload is the concatenation of its ranges'
+/// bytes in order. Each piece names a slice of that payload and where it
+/// lives in the user's buffer: for reads the slice scatters *to*
+/// `buf_off`, for writes it gathers *from* `buf_off`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ListPiece {
+    /// Byte offset within the concatenated payload.
+    pub payload_off: u64,
+    /// Byte offset within the user's buffer.
+    pub buf_off: u64,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+/// One list-I/O request bound for one server: the subfile ranges the
+/// server will touch, plus the payload↔buffer mapping. Unlike legacy
+/// planning there is no per-range framing — whether the ranges travel as
+/// a compact [`dpfs_proto::AccessPattern`] or as an enumerated list is
+/// the transport cost model's call, made per request in `file.rs`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ListRequest {
+    /// Target server index (into the file's server list).
+    pub server: usize,
+    /// Sorted, disjoint `(subfile_offset, len)` ranges, coalesced where
+    /// adjacent in *subfile* space. Legacy Exact planning also demands
+    /// buffer adjacency before merging (each range is its own framed
+    /// chunk, so a merged range must scatter contiguously); here the
+    /// payload is one blob and the pieces carry the buffer mapping, so
+    /// subfile adjacency alone suffices — strictly more coalescing.
+    pub ranges: Vec<(u64, u64)>,
+    /// Payload bytes useful to the caller.
+    pub pieces: Vec<ListPiece>,
+}
+
+impl ListRequest {
+    /// Total bytes this request transfers over the wire (payload length).
+    pub fn wire_bytes(&self) -> u64 {
+        self.ranges.iter().map(|(_, l)| l).sum()
+    }
+
+    /// Bytes actually placed in (or taken from) the user's buffer.
+    pub fn useful_bytes(&self) -> u64 {
+        self.pieces.iter().map(|p| p.len).sum()
+    }
+}
+
+/// Append `(off, len)` to a sorted range list, merging with the last range
+/// when exactly adjacent in subfile space. Returns the payload offset at
+/// which this range's bytes begin, or `None` when the range overlaps (or
+/// precedes) the previous one — the caller falls back to legacy planning,
+/// which tolerates overlap.
+fn append_list_range(
+    ranges: &mut Vec<(u64, u64)>,
+    payload_len: &mut u64,
+    off: u64,
+    len: u64,
+) -> Option<u64> {
+    match ranges.last_mut() {
+        Some((prev_off, prev_len)) if *prev_off + *prev_len == off => *prev_len += len,
+        Some((prev_off, prev_len)) if *prev_off + *prev_len > off => return None,
+        _ => ranges.push((off, len)),
+    }
+    let at = *payload_len;
+    *payload_len += len;
+    Some(at)
+}
+
+/// Plan list-I/O requests for `runs`: one request per touched server,
+/// staggered from `start_server` (the list path always combines — shipping
+/// one descriptor per brick would defeat its purpose).
+///
+/// Reads pass the configured `granularity` (Brick fetches whole bricks and
+/// the pieces skip the discard bytes); writes must pass
+/// [`Granularity::Exact`] — writing whole bricks would clobber bytes the
+/// caller never supplied.
+///
+/// Returns `None` when the runs touch overlapping subfile bytes within one
+/// server (possible with self-overlapping datatypes); the caller falls
+/// back to legacy planning, which preserves in-order overlap semantics.
+pub fn plan_list(
+    runs: &[BrickRun],
+    map: &BrickMap,
+    layout: &Layout,
+    granularity: Granularity,
+    start_server: usize,
+) -> Option<Vec<ListRequest>> {
+    let by_brick = runs_by_brick(runs);
+    let mut by_server: BTreeMap<usize, Vec<u64>> = BTreeMap::new();
+    for &brick in by_brick.keys() {
+        by_server
+            .entry(map.server_of(brick))
+            .or_default()
+            .push(brick);
+    }
+    // within a server, subfile order == slot order
+    for bricks in by_server.values_mut() {
+        bricks.sort_by_key(|&b| map.slot_of(b));
+    }
+    let mut out = Vec::with_capacity(by_server.len());
+    for server in rotated_servers(by_server.keys().copied(), map.num_servers(), start_server) {
+        let mut ranges: Vec<(u64, u64)> = Vec::new();
+        let mut pieces: Vec<ListPiece> = Vec::new();
+        let mut payload_len: u64 = 0;
+        for &brick in &by_server[&server] {
+            let base = map.subfile_offset(brick, layout);
+            match granularity {
+                Granularity::Brick => {
+                    let at = append_list_range(
+                        &mut ranges,
+                        &mut payload_len,
+                        base,
+                        layout.brick_len(brick),
+                    )?;
+                    for r in &by_brick[&brick] {
+                        pieces.push(ListPiece {
+                            payload_off: at + r.brick_off,
+                            buf_off: r.buf_off,
+                            len: r.len,
+                        });
+                    }
+                }
+                Granularity::Exact => {
+                    let mut sorted: Vec<&BrickRun> = by_brick[&brick].iter().collect();
+                    sorted.sort_by_key(|r| r.brick_off);
+                    for r in sorted {
+                        let at = append_list_range(
+                            &mut ranges,
+                            &mut payload_len,
+                            base + r.brick_off,
+                            r.len,
+                        )?;
+                        pieces.push(ListPiece {
+                            payload_off: at,
+                            buf_off: r.buf_off,
+                            len: r.len,
+                        });
+                    }
+                }
+            }
+        }
+        out.push(ListRequest {
+            server,
+            ranges,
+            pieces,
+        });
+    }
+    Some(out)
+}
+
 /// Group runs by brick, preserving run order within each brick.
 fn runs_by_brick(runs: &[BrickRun]) -> BTreeMap<u64, Vec<BrickRun>> {
     let mut by_brick: BTreeMap<u64, Vec<BrickRun>> = BTreeMap::new();
@@ -517,5 +668,93 @@ mod tests {
         let (layout, map) = fig3();
         assert!(plan_reads(&[], &map, &layout, true, Granularity::Brick, 0).is_empty());
         assert!(plan_writes(&[], &map, &layout, false, 0).is_empty());
+        assert!(plan_list(&[], &map, &layout, Granularity::Exact, 0)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn list_plan_coalesces_on_subfile_adjacency_alone() {
+        let (layout, map) = fig3();
+        // Bricks 0 and 4 live at server 0 slots 0 and 1 — adjacent in the
+        // subfile but far apart in the buffer. Legacy write planning keeps
+        // them as two ranges (`writes_use_exact_ranges_and_combine`); the
+        // list planner merges them and lets the pieces carry the mapping.
+        let runs = whole_brick_runs(&layout, 0, 8);
+        let reqs = plan_list(&runs, &map, &layout, Granularity::Exact, 0).unwrap();
+        assert_eq!(reqs.len(), 4);
+        assert_eq!(reqs[0].server, 0);
+        assert_eq!(reqs[0].ranges, vec![(0, 128)]); // bricks 0+4 merged
+        assert_eq!(
+            reqs[0].pieces,
+            vec![
+                ListPiece {
+                    payload_off: 0,
+                    buf_off: 0,
+                    len: 64
+                },
+                ListPiece {
+                    payload_off: 64,
+                    buf_off: 4 * 64,
+                    len: 64
+                },
+            ]
+        );
+        assert_eq!(reqs[0].wire_bytes(), 128);
+        assert_eq!(reqs[0].useful_bytes(), 128);
+    }
+
+    #[test]
+    fn list_plan_brick_granularity_marks_discard_bytes() {
+        let (layout, map) = fig3();
+        let runs = vec![BrickRun {
+            brick: 0,
+            brick_off: 10,
+            buf_off: 0,
+            len: 2,
+        }];
+        let reqs = plan_list(&runs, &map, &layout, Granularity::Brick, 0).unwrap();
+        assert_eq!(reqs[0].ranges, vec![(0, 64)]); // whole brick on the wire
+        assert_eq!(
+            reqs[0].pieces,
+            vec![ListPiece {
+                payload_off: 10,
+                buf_off: 0,
+                len: 2
+            }]
+        );
+        assert_eq!(reqs[0].useful_bytes(), 2);
+    }
+
+    #[test]
+    fn list_plan_staggers_like_legacy() {
+        let (layout, map) = fig3();
+        let runs = whole_brick_runs(&layout, 0, 8);
+        for rank in 0..4usize {
+            let reqs = plan_list(&runs, &map, &layout, Granularity::Exact, rank).unwrap();
+            assert_eq!(reqs[0].server, rank);
+        }
+    }
+
+    #[test]
+    fn list_plan_rejects_overlapping_runs() {
+        let (layout, map) = fig3();
+        let runs = vec![
+            BrickRun {
+                brick: 0,
+                brick_off: 0,
+                buf_off: 0,
+                len: 8,
+            },
+            BrickRun {
+                brick: 0,
+                brick_off: 4, // overlaps the first run's bytes 4..8
+                buf_off: 8,
+                len: 8,
+            },
+        ];
+        assert!(plan_list(&runs, &map, &layout, Granularity::Exact, 0).is_none());
+        // legacy planning still accepts them
+        assert!(!plan_writes(&runs, &map, &layout, true, 0).is_empty());
     }
 }

@@ -130,6 +130,13 @@ pub struct TransportStats {
     pub meta_cache_hits: u64,
     /// Metadata lookups that had to fetch from this (metadata) server.
     pub meta_cache_misses: u64,
+    /// List-I/O RPCs submitted (`ReadList`/`WriteList`: one access-pattern
+    /// descriptor on the wire instead of an enumerated range list).
+    pub list_io: u64,
+    /// Total encoded request bytes written to this server (wire payloads,
+    /// excluding frame headers). The denominator of the list-I/O request
+    /// shrink ratio.
+    pub req_bytes: u64,
     /// Round-trip latency of completed `Read` RPCs (submit → response).
     pub read_latency: HistSnapshot,
     /// Round-trip latency of completed `Write` RPCs.
@@ -151,6 +158,8 @@ struct Counters {
     reconstructs: AtomicU64,
     meta_cache_hits: AtomicU64,
     meta_cache_misses: AtomicU64,
+    list_io: AtomicU64,
+    req_bytes: AtomicU64,
     hist_read: Histogram,
     hist_write: Histogram,
     hist_other: Histogram,
@@ -161,8 +170,8 @@ impl Counters {
     /// [`Request::kind_str`]).
     fn hist_for(&self, kind: &str) -> &Histogram {
         match kind {
-            "read" => &self.hist_read,
-            "write" => &self.hist_write,
+            "read" | "read_list" => &self.hist_read,
+            "write" | "write_list" => &self.hist_write,
             _ => &self.hist_other,
         }
     }
@@ -272,12 +281,19 @@ impl Transport {
                 .in_flight_peak
                 .fetch_max(depth, Ordering::Relaxed);
         }
+        // Scatter-gather framing: `encode_parts` hands back the header and
+        // (for `WriteList`) the caller's refcounted payload as separate
+        // slices, which the vectored frame writers push to the socket
+        // without gluing them into one intermediate buffer.
+        let parts = req.encode_parts();
+        let part_refs: Vec<&[u8]> = parts.iter().map(|p| &p[..]).collect();
+        let wire_len: u64 = parts.iter().map(|p| p.len() as u64).sum();
         let wrote = {
             let mut w = conn.writer.lock();
             if trace_id != 0 {
-                frame::write_frame_v3(&mut *w, id, trace_id, &req.encode())
+                frame::write_frame_v3_parts(&mut *w, id, trace_id, &part_refs)
             } else {
-                frame::write_frame_v2(&mut *w, id, &req.encode())
+                frame::write_frame_v2_parts(&mut *w, id, &part_refs)
             }
         };
         if let Err(e) = wrote {
@@ -286,6 +302,13 @@ impl Transport {
             return Err(e.into());
         }
         self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .req_bytes
+            .fetch_add(wire_len, Ordering::Relaxed);
+        let kind = req.kind_str();
+        if kind == "read_list" || kind == "write_list" {
+            self.counters.list_io.fetch_add(1, Ordering::Relaxed);
+        }
         Ok(Pending {
             server: self.server.clone(),
             id,
@@ -293,7 +316,7 @@ impl Transport {
             conn,
             counters: self.counters.clone(),
             trace_id,
-            kind: req.kind_str(),
+            kind,
             bytes: req.payload_bytes(),
             submitted_ns: trace::now_ns(),
         })
@@ -331,6 +354,8 @@ impl Transport {
             reconstructs: self.counters.reconstructs.load(Ordering::Relaxed),
             meta_cache_hits: self.counters.meta_cache_hits.load(Ordering::Relaxed),
             meta_cache_misses: self.counters.meta_cache_misses.load(Ordering::Relaxed),
+            list_io: self.counters.list_io.load(Ordering::Relaxed),
+            req_bytes: self.counters.req_bytes.load(Ordering::Relaxed),
             read_latency: self.counters.hist_read.snapshot(),
             write_latency: self.counters.hist_write.snapshot(),
             other_latency: self.counters.hist_other.snapshot(),

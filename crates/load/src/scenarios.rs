@@ -14,13 +14,14 @@ use rand::Rng;
 use crate::{timed, Harness, ScenarioOutcome, Zipf};
 
 /// Names of every scenario, in run order.
-pub const SCENARIO_NAMES: [&str; 6] = [
+pub const SCENARIO_NAMES: [&str; 7] = [
     "small_file_read_storm",
     "stat_epoch",
     "checkpoint_burst",
     "create_rename_storm",
     "zipfian_mixed",
     "degraded_read_storm",
+    "strided_column_scan",
 ];
 
 /// Run one scenario by name (`quick` shrinks it to CI scale).
@@ -32,6 +33,7 @@ pub fn run(name: &str, quick: bool) -> ScenarioOutcome {
         "create_rename_storm" => create_rename_storm(quick),
         "zipfian_mixed" => zipfian_mixed(quick),
         "degraded_read_storm" => degraded_read_storm(quick),
+        "strided_column_scan" => strided_column_scan(quick),
         other => panic!("unknown scenario {other}"),
     }
 }
@@ -291,6 +293,56 @@ pub fn degraded_read_storm(quick: bool) -> ScenarioOutcome {
     })
 }
 
+const COLUMN_ROWS: u64 = 256;
+const COLUMN_COLS: u64 = 64;
+const COLUMN_ELEM: u64 = 16;
+
+/// Strided column scan: a shared row-major matrix file, every simulated
+/// client reading whole columns through a vector datatype at exact
+/// granularity. Each column read is a dense stride (one 16-byte element
+/// per kilobyte row), the shape the list-I/O wire path exists for: the
+/// client ships one `AccessPattern` descriptor per server instead of
+/// enumerating all 256 ranges, and each server returns one coalesced
+/// payload. Reads are verified byte-exact against the seeded matrix.
+pub fn strided_column_scan(quick: bool) -> ScenarioOutcome {
+    let sim_clients = if quick { 100 } else { 400 };
+    let scans_each = if quick { 2 } else { 5 };
+    let h = Harness::new(ClientOptions {
+        granularity: dpfs_core::Granularity::Exact,
+        ..ClientOptions::default()
+    });
+    let row_bytes = COLUMN_COLS * COLUMN_ELEM;
+    let file_bytes = COLUMN_ROWS * row_bytes;
+    let data: Vec<u8> = (0..file_bytes).map(|i| (i % 251) as u8 + 1).collect();
+    {
+        let mut f =
+            h.fs.create("/matrix", &Hint::linear(32 * 1024, file_bytes))
+                .expect("matrix create");
+        f.write_bytes(0, &data).expect("matrix seed write");
+        f.sync().expect("matrix seed sync");
+    }
+    h.storm("strided_column_scan", sim_clients, |id, _rng, fs, hist| {
+        let (mut ops, mut bytes) = (0u64, 0u64);
+        for k in 0..scans_each {
+            let col = (id + k) as u64 % COLUMN_COLS;
+            let base = col * COLUMN_ELEM;
+            let dt = dpfs_core::Datatype::vector(COLUMN_ROWS, COLUMN_ELEM, row_bytes);
+            let back = timed(hist, || {
+                let mut f = fs.open("/matrix").expect("column open");
+                f.read_datatype(base, &dt).expect("column read")
+            });
+            for (j, &b) in back.iter().enumerate() {
+                let row = j as u64 / COLUMN_ELEM;
+                let src = row * row_bytes + base + j as u64 % COLUMN_ELEM;
+                assert_eq!(b, (src % 251) as u8 + 1, "column {col} byte {j} corrupt");
+            }
+            ops += 1;
+            bytes += back.len() as u64;
+        }
+        (ops, bytes)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -325,6 +377,21 @@ mod tests {
         assert_eq!(out.ops, 100 * 2);
         assert_eq!(out.bytes, out.ops * DEGRADED_FILE_BYTES);
         assert!(out.client_lat.count >= out.ops);
+    }
+
+    #[test]
+    fn quick_strided_column_scan_ships_patterns() {
+        let out = strided_column_scan(true);
+        assert_eq!(out.name, "strided_column_scan");
+        assert_eq!(out.ops, 100 * 2);
+        assert_eq!(out.bytes, out.ops * COLUMN_ROWS * COLUMN_ELEM);
+        // The scrape proves the wire shape: the client's transport rows
+        // counted pattern-shaped submissions.
+        assert!(
+            out.snapshot.counter_sum(NodeRole::Client, "rpc.list_io") > 0,
+            "strided columns should ride ReadList"
+        );
+        assert!(out.snapshot.counter_sum(NodeRole::Iond, "io.list_reads") > 0);
     }
 
     #[test]

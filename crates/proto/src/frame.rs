@@ -85,10 +85,12 @@ impl From<std::io::Error> for FrameError {
     }
 }
 
-/// CRC-32 (IEEE) over `data`.
-pub fn crc32(data: &[u8]) -> u32 {
+/// Fold `data` into a running CRC-32 (IEEE) state. Start from
+/// `u32::MAX`, finish with a bitwise NOT — or use [`crc32`] for the
+/// one-shot case. The incremental form lets the vectored frame writers
+/// checksum a payload spread over several slices without gluing them.
+pub fn crc32_update(mut crc: u32, data: &[u8]) -> u32 {
     const POLY: u32 = 0xEDB8_8320;
-    let mut crc = u32::MAX;
     for &b in data {
         crc ^= b as u32;
         for _ in 0..8 {
@@ -96,7 +98,66 @@ pub fn crc32(data: &[u8]) -> u32 {
             crc = (crc >> 1) ^ (POLY & mask);
         }
     }
-    !crc
+    crc
+}
+
+/// CRC-32 (IEEE) over `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    !crc32_update(u32::MAX, data)
+}
+
+/// CRC-32 (IEEE) over the concatenation of `parts`.
+fn crc32_parts(parts: &[&[u8]]) -> u32 {
+    !parts.iter().fold(u32::MAX, |crc, p| crc32_update(crc, p))
+}
+
+/// Write every byte of `bufs`, preferring one `write_vectored` syscall
+/// per pass so header and payload slices leave in a single gathered
+/// write. Falls back to resubmitting the remainder on a short write.
+fn write_all_vectored<W: Write>(w: &mut W, bufs: &[&[u8]]) -> std::io::Result<()> {
+    let mut idx = 0usize; // first buffer not fully written
+    let mut off = 0usize; // bytes of bufs[idx] already written
+    while idx < bufs.len() {
+        if off >= bufs[idx].len() {
+            idx += 1;
+            off = 0;
+            continue;
+        }
+        let slices: Vec<std::io::IoSlice> = std::iter::once(&bufs[idx][off..])
+            .chain(bufs[idx + 1..].iter().copied())
+            .filter(|s| !s.is_empty())
+            .map(std::io::IoSlice::new)
+            .collect();
+        let mut n = w.write_vectored(&slices)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::WriteZero,
+                "failed to write whole frame",
+            ));
+        }
+        while n > 0 && idx < bufs.len() {
+            let rem = bufs[idx].len() - off;
+            if n >= rem {
+                n -= rem;
+                idx += 1;
+                off = 0;
+            } else {
+                off += n;
+                n = 0;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Total length of a multi-part payload, bounds-checked against
+/// [`MAX_FRAME_LEN`].
+fn parts_len(parts: &[&[u8]]) -> Result<usize, FrameError> {
+    let len: usize = parts.iter().map(|p| p.len()).sum();
+    if len > MAX_FRAME_LEN {
+        return Err(FrameError::Oversized(len));
+    }
+    Ok(len)
 }
 
 /// Write one v1 frame containing `payload`.
@@ -116,16 +177,29 @@ pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), FrameError
 
 /// Write one v2 frame carrying `corr_id` and `payload`.
 pub fn write_frame_v2<W: Write>(w: &mut W, corr_id: u64, payload: &[u8]) -> Result<(), FrameError> {
-    if payload.len() > MAX_FRAME_LEN {
-        return Err(FrameError::Oversized(payload.len()));
-    }
+    write_frame_v2_parts(w, corr_id, &[payload])
+}
+
+/// Write one v2 frame whose payload is the concatenation of `parts` —
+/// the scatter-gather send path. The CRC streams across the slices and
+/// header + parts leave through one gathered `write_vectored`, so a
+/// message split into (header, payload) parts hits the wire without ever
+/// being copied into a contiguous buffer.
+pub fn write_frame_v2_parts<W: Write>(
+    w: &mut W,
+    corr_id: u64,
+    parts: &[&[u8]],
+) -> Result<(), FrameError> {
+    let len = parts_len(parts)?;
     let mut header = [0u8; 20];
     header[..4].copy_from_slice(&MAGIC_V2);
     header[4..12].copy_from_slice(&corr_id.to_le_bytes());
-    header[12..16].copy_from_slice(&(payload.len() as u32).to_le_bytes());
-    header[16..20].copy_from_slice(&crc32(payload).to_le_bytes());
-    w.write_all(&header)?;
-    w.write_all(payload)?;
+    header[12..16].copy_from_slice(&(len as u32).to_le_bytes());
+    header[16..20].copy_from_slice(&crc32_parts(parts).to_le_bytes());
+    let mut bufs: Vec<&[u8]> = Vec::with_capacity(parts.len() + 1);
+    bufs.push(&header);
+    bufs.extend_from_slice(parts);
+    write_all_vectored(w, &bufs)?;
     w.flush()?;
     Ok(())
 }
@@ -137,17 +211,28 @@ pub fn write_frame_v3<W: Write>(
     trace_id: u64,
     payload: &[u8],
 ) -> Result<(), FrameError> {
-    if payload.len() > MAX_FRAME_LEN {
-        return Err(FrameError::Oversized(payload.len()));
-    }
+    write_frame_v3_parts(w, corr_id, trace_id, &[payload])
+}
+
+/// [`write_frame_v2_parts`] with a trace ID: the traced scatter-gather
+/// send path.
+pub fn write_frame_v3_parts<W: Write>(
+    w: &mut W,
+    corr_id: u64,
+    trace_id: u64,
+    parts: &[&[u8]],
+) -> Result<(), FrameError> {
+    let len = parts_len(parts)?;
     let mut header = [0u8; 28];
     header[..4].copy_from_slice(&MAGIC_V3);
     header[4..12].copy_from_slice(&corr_id.to_le_bytes());
     header[12..20].copy_from_slice(&trace_id.to_le_bytes());
-    header[20..24].copy_from_slice(&(payload.len() as u32).to_le_bytes());
-    header[24..28].copy_from_slice(&crc32(payload).to_le_bytes());
-    w.write_all(&header)?;
-    w.write_all(payload)?;
+    header[20..24].copy_from_slice(&(len as u32).to_le_bytes());
+    header[24..28].copy_from_slice(&crc32_parts(parts).to_le_bytes());
+    let mut bufs: Vec<&[u8]> = Vec::with_capacity(parts.len() + 1);
+    bufs.push(&header);
+    bufs.extend_from_slice(parts);
+    write_all_vectored(w, &bufs)?;
     w.flush()?;
     Ok(())
 }
@@ -591,6 +676,83 @@ mod tests {
             decode_slice(&buf),
             Err(FrameError::BadChecksum { .. })
         ));
+    }
+
+    #[test]
+    fn parts_writers_match_contiguous_writers() {
+        let payload = b"header|body-bytes|tail".to_vec();
+        let parts: Vec<&[u8]> = vec![b"header|", b"", b"body-bytes|", b"tail"];
+        let mut whole = Vec::new();
+        write_frame_v2(&mut whole, 42, &payload).unwrap();
+        let mut split = Vec::new();
+        write_frame_v2_parts(&mut split, 42, &parts).unwrap();
+        assert_eq!(whole, split);
+        let mut whole = Vec::new();
+        write_frame_v3(&mut whole, 42, 77, &payload).unwrap();
+        let mut split = Vec::new();
+        write_frame_v3_parts(&mut split, 42, 77, &parts).unwrap();
+        assert_eq!(whole, split);
+        // and the result still reads back as one frame
+        let frame = read_frame_any(&mut Cursor::new(&split)).unwrap();
+        assert_eq!((frame.corr_id, frame.trace_id), (Some(42), 77));
+        assert_eq!(&frame.payload[..], &payload[..]);
+    }
+
+    #[test]
+    fn parts_writer_enforces_total_length_cap() {
+        let big = vec![0u8; MAX_FRAME_LEN / 2 + 1];
+        let parts: Vec<&[u8]> = vec![&big, &big];
+        let mut out = Vec::new();
+        assert!(matches!(
+            write_frame_v2_parts(&mut out, 1, &parts),
+            Err(FrameError::Oversized(_))
+        ));
+    }
+
+    /// A writer that accepts at most `cap` bytes per call, exercising the
+    /// partial-progress resubmission in `write_all_vectored`.
+    struct Dribble {
+        out: Vec<u8>,
+        cap: usize,
+    }
+
+    impl Write for Dribble {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            let n = buf.len().min(self.cap);
+            self.out.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+        fn write_vectored(&mut self, bufs: &[std::io::IoSlice<'_>]) -> std::io::Result<usize> {
+            let mut budget = self.cap;
+            let mut wrote = 0usize;
+            for b in bufs {
+                if budget == 0 {
+                    break;
+                }
+                let n = b.len().min(budget);
+                self.out.extend_from_slice(&b[..n]);
+                budget -= n;
+                wrote += n;
+            }
+            Ok(wrote)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn parts_writer_survives_short_writes() {
+        let parts: Vec<&[u8]> = vec![b"alpha", b"beta-beta", b"g"];
+        for cap in 1..8 {
+            let mut d = Dribble {
+                out: Vec::new(),
+                cap,
+            };
+            write_frame_v2_parts(&mut d, 9, &parts).unwrap();
+            let frame = read_frame_any(&mut Cursor::new(&d.out)).unwrap();
+            assert_eq!(&frame.payload[..], b"alphabeta-betag", "cap {cap}");
+        }
     }
 
     #[test]

@@ -39,10 +39,12 @@
 pub mod frame;
 pub mod message;
 pub mod meta;
+pub mod pattern;
 
 pub use frame::{
-    read_frame, read_frame_any, write_frame, write_frame_v2, write_frame_v3, Frame, FrameError,
-    MAX_FRAME_LEN,
+    read_frame, read_frame_any, write_frame, write_frame_v2, write_frame_v2_parts, write_frame_v3,
+    write_frame_v3_parts, Frame, FrameError, MAX_FRAME_LEN,
 };
 pub use message::{ErrorCode, Request, Response};
 pub use meta::{MetaOp, MetaResult};
+pub use pattern::{AccessPattern, PatternSeg, MAX_PATTERN_RANGES};

@@ -4,6 +4,7 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::frame::FrameError;
 use crate::meta::{MetaOp, MetaResult};
+use crate::pattern::AccessPattern;
 
 /// Error codes carried in [`Response::Error`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,6 +93,25 @@ pub enum Request {
     /// Rides the same framed envelope, so metadata traffic inherits
     /// correlation IDs, trace IDs, deadlines and retries unchanged.
     Meta { op: MetaOp },
+    /// List-I/O read: one compact [`AccessPattern`] instead of an
+    /// enumerated range list. The server expands the pattern against its
+    /// local subfile and answers [`Response::DataList`] — one coalesced
+    /// payload, not per-range chunks.
+    ReadList {
+        subfile: String,
+        pattern: AccessPattern,
+    },
+    /// List-I/O write: the pattern names where the bytes land and
+    /// `payload` carries them gathered back to back in pattern order
+    /// (`payload.len()` must equal `pattern.total_bytes()`). One
+    /// refcounted payload instead of per-range copies, which is what
+    /// lets mirror fan-out reuse it and the transport send it with a
+    /// vectored write.
+    WriteList {
+        subfile: String,
+        pattern: AccessPattern,
+        payload: Bytes,
+    },
 }
 
 impl Request {
@@ -108,6 +128,8 @@ impl Request {
             Request::Shutdown => "shutdown",
             Request::Stats => "stats",
             Request::Meta { op } => op.op_str(),
+            Request::ReadList { .. } => "read_list",
+            Request::WriteList { .. } => "write_list",
         }
     }
 }
@@ -149,6 +171,11 @@ pub enum Response {
         gen: u64,
         result: MetaResult,
     },
+    /// Reply to [`Request::ReadList`]: the pattern's ranges coalesced
+    /// into one payload, in pattern order. No per-chunk length prefixes
+    /// — the client already knows the pattern it sent, so it scatters
+    /// straight from this buffer into the caller's.
+    DataList { data: Bytes },
 }
 
 // ---- codec helpers ----
@@ -255,8 +282,48 @@ impl Request {
                 buf.put_u8(10);
                 op.encode_into(&mut buf);
             }
+            Request::ReadList { subfile, pattern } => {
+                buf.put_u8(11);
+                put_str(&mut buf, subfile);
+                pattern.encode_into(&mut buf);
+            }
+            Request::WriteList {
+                subfile,
+                pattern,
+                payload,
+            } => {
+                buf.put_u8(12);
+                put_str(&mut buf, subfile);
+                pattern.encode_into(&mut buf);
+                buf.put_u64_le(payload.len() as u64);
+                buf.put_slice(payload);
+            }
         }
         buf.freeze()
+    }
+
+    /// Encode as a list of byte slices whose concatenation equals
+    /// [`Request::encode`]. For `WriteList` the gathered payload comes
+    /// back as its own (refcounted) part, untouched — the transport hands
+    /// all parts to one `write_vectored` frame write, so the payload is
+    /// never copied into a message buffer on the hot path. Everything
+    /// else is a single part.
+    pub fn encode_parts(&self) -> Vec<Bytes> {
+        match self {
+            Request::WriteList {
+                subfile,
+                pattern,
+                payload,
+            } => {
+                let mut head = BytesMut::new();
+                head.put_u8(12);
+                put_str(&mut head, subfile);
+                pattern.encode_into(&mut head);
+                head.put_u64_le(payload.len() as u64);
+                vec![head.freeze(), payload.clone()]
+            }
+            other => vec![other.encode()],
+        }
     }
 
     /// Decode from a frame payload.
@@ -302,6 +369,27 @@ impl Request {
             10 => Request::Meta {
                 op: MetaOp::decode_from(&mut buf)?,
             },
+            11 => Request::ReadList {
+                subfile: get_str(&mut buf)?,
+                pattern: AccessPattern::decode_from(&mut buf)?,
+            },
+            12 => {
+                let subfile = get_str(&mut buf)?;
+                let pattern = AccessPattern::decode_from(&mut buf)?;
+                let payload = get_bytes(&mut buf)?;
+                if payload.len() as u64 != pattern.total_bytes() {
+                    return Err(FrameError::BadMessage(format!(
+                        "write-list payload of {} bytes for a pattern of {}",
+                        payload.len(),
+                        pattern.total_bytes()
+                    )));
+                }
+                Request::WriteList {
+                    subfile,
+                    pattern,
+                    payload,
+                }
+            }
             other => return Err(FrameError::BadMessage(format!("bad request tag {other}"))),
         };
         ensure_done(&buf)?;
@@ -314,6 +402,8 @@ impl Request {
         match self {
             Request::Write { ranges, .. } => ranges.iter().map(|(_, d)| d.len() as u64).sum(),
             Request::Read { ranges, .. } => ranges.iter().map(|(_, l)| *l).sum(),
+            Request::ReadList { pattern, .. } => pattern.total_bytes(),
+            Request::WriteList { payload, .. } => payload.len() as u64,
             _ => 0,
         }
     }
@@ -363,6 +453,11 @@ impl Response {
                 buf.put_u64_le(*gen);
                 result.encode_into(&mut buf);
             }
+            Response::DataList { data } => {
+                buf.put_u8(10);
+                buf.put_u64_le(data.len() as u64);
+                buf.put_slice(data);
+            }
         }
         buf.freeze()
     }
@@ -402,6 +497,9 @@ impl Response {
                 shard: get_u32(&mut buf)?,
                 gen: get_u64(&mut buf)?,
                 result: MetaResult::decode_from(&mut buf)?,
+            },
+            10 => Response::DataList {
+                data: get_bytes(&mut buf)?,
             },
             other => return Err(FrameError::BadMessage(format!("bad response tag {other}"))),
         };
@@ -452,6 +550,119 @@ mod tests {
         });
         round_trip_req(Request::Shutdown);
         round_trip_req(Request::Stats);
+    }
+
+    fn strided_pattern() -> AccessPattern {
+        AccessPattern::from_runs(&(0..16).map(|i| (i * 256, 32)).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn list_requests_round_trip() {
+        round_trip_req(Request::ReadList {
+            subfile: "/data/dpfs.test".into(),
+            pattern: strided_pattern(),
+        });
+        round_trip_req(Request::WriteList {
+            subfile: "f".into(),
+            pattern: strided_pattern(),
+            payload: Bytes::from(vec![7u8; 16 * 32]),
+        });
+        round_trip_resp(Response::DataList {
+            data: Bytes::from_static(b"coalesced"),
+        });
+        round_trip_resp(Response::DataList { data: Bytes::new() });
+    }
+
+    #[test]
+    fn list_kind_strs_and_payload_bytes() {
+        let r = Request::ReadList {
+            subfile: "f".into(),
+            pattern: strided_pattern(),
+        };
+        assert_eq!(r.kind_str(), "read_list");
+        assert_eq!(r.payload_bytes(), 16 * 32);
+        let w = Request::WriteList {
+            subfile: "f".into(),
+            pattern: strided_pattern(),
+            payload: Bytes::from(vec![0u8; 16 * 32]),
+        };
+        assert_eq!(w.kind_str(), "write_list");
+        assert_eq!(w.payload_bytes(), 16 * 32);
+    }
+
+    #[test]
+    fn encode_parts_concatenates_to_encode() {
+        let reqs = [
+            Request::Ping,
+            Request::Read {
+                subfile: "f".into(),
+                ranges: vec![(0, 10)],
+            },
+            Request::ReadList {
+                subfile: "f".into(),
+                pattern: strided_pattern(),
+            },
+            Request::WriteList {
+                subfile: "f".into(),
+                pattern: strided_pattern(),
+                payload: Bytes::from(vec![9u8; 16 * 32]),
+            },
+        ];
+        for req in reqs {
+            let whole = req.encode();
+            let parts = req.encode_parts();
+            let glued: Vec<u8> = parts.iter().flat_map(|p| p.iter().copied()).collect();
+            assert_eq!(&glued[..], &whole[..], "parts must concatenate to encode");
+        }
+        // and the WriteList payload part is the refcounted payload itself
+        let payload = Bytes::from(vec![1u8; 64]);
+        let req = Request::WriteList {
+            subfile: "f".into(),
+            pattern: AccessPattern::from_runs(&[(0, 64)]),
+            payload: payload.clone(),
+        };
+        let parts = req.encode_parts();
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[1], payload);
+    }
+
+    #[test]
+    fn write_list_payload_length_mismatch_rejected() {
+        // pattern says 512 bytes, payload carries 8
+        let mut buf = BytesMut::new();
+        buf.put_u8(12);
+        put_str(&mut buf, "f");
+        strided_pattern().encode_into(&mut buf);
+        buf.put_u64_le(8);
+        buf.put_slice(&[0u8; 8]);
+        assert!(Request::decode(buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn list_requests_truncated_at_every_cut_rejected() {
+        let enc = Request::WriteList {
+            subfile: "file".into(),
+            pattern: strided_pattern(),
+            payload: Bytes::from(vec![3u8; 16 * 32]),
+        }
+        .encode();
+        for cut in 1..enc.len() {
+            assert!(
+                Request::decode(enc.slice(..cut)).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+        let enc = Request::ReadList {
+            subfile: "file".into(),
+            pattern: strided_pattern(),
+        }
+        .encode();
+        for cut in 1..enc.len() {
+            assert!(
+                Request::decode(enc.slice(..cut)).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
     }
 
     #[test]

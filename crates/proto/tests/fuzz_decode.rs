@@ -2,8 +2,23 @@
 //! the framing layer — they either parse or error.
 
 use bytes::Bytes;
-use dpfs_proto::{frame, Request, Response};
+use dpfs_proto::{frame, AccessPattern, Request, Response};
 use proptest::prelude::*;
+
+/// Sorted, disjoint, non-empty `(offset, len)` ranges — the planner's
+/// contract for [`AccessPattern::from_runs`].
+fn sorted_ranges() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    proptest::collection::vec((0u64..4096, 1u64..512), 1..32).prop_map(|gaps| {
+        let mut at = 0u64;
+        gaps.into_iter()
+            .map(|(gap, len)| {
+                let off = at + gap;
+                at = off + len;
+                (off, len)
+            })
+            .collect()
+    })
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(512))]
@@ -66,5 +81,80 @@ proptest! {
         };
         let back = Request::decode(req.encode()).unwrap();
         prop_assert_eq!(back, req);
+    }
+
+    /// List-I/O requests round-trip for any planner-shaped range list, and
+    /// the decoded pattern expands to exactly the input ranges.
+    #[test]
+    fn list_requests_round_trip(
+        subfile in "[a-zA-Z0-9/_.%-]{1,64}",
+        ranges in sorted_ranges(),
+    ) {
+        let pattern = AccessPattern::from_runs(&ranges);
+        prop_assert_eq!(&pattern.expand(), &ranges);
+
+        let read = Request::ReadList { subfile: subfile.clone(), pattern: pattern.clone() };
+        let back = Request::decode(read.encode()).unwrap();
+        prop_assert_eq!(&back, &read);
+
+        let payload = Bytes::from(vec![0xabu8; pattern.total_bytes() as usize]);
+        let write = Request::WriteList { subfile, pattern, payload };
+        let back = Request::decode(write.encode()).unwrap();
+        prop_assert_eq!(&back, &write);
+
+        // encode_parts concatenates to the contiguous encoding (the
+        // vectored framing invariant).
+        let parts = write.encode_parts();
+        let mut glued = Vec::new();
+        for p in &parts {
+            glued.extend_from_slice(p);
+        }
+        prop_assert_eq!(Bytes::from(glued), write.encode());
+    }
+
+    /// Truncating or bit-flipping a valid list request must never panic
+    /// the decoder — it parses or errors.
+    #[test]
+    fn mutated_list_requests_never_panic(
+        ranges in sorted_ranges(),
+        cut in any::<usize>(),
+        flips in proptest::collection::vec((any::<usize>(), 1u8..=255), 1..8),
+    ) {
+        let pattern = AccessPattern::from_runs(&ranges);
+        let payload = Bytes::from(vec![7u8; pattern.total_bytes() as usize]);
+        let req = Request::WriteList { subfile: "/f".into(), pattern, payload };
+        let enc = req.encode().to_vec();
+
+        let truncated = &enc[..cut % enc.len()];
+        let _ = Request::decode(Bytes::copy_from_slice(truncated));
+
+        let mut flipped = enc.clone();
+        for (pos, x) in flips {
+            let i = pos % flipped.len();
+            flipped[i] ^= x;
+        }
+        let _ = Request::decode(Bytes::from(flipped));
+    }
+
+    /// `DataList` responses survive the same treatment.
+    #[test]
+    fn mutated_list_responses_never_panic(
+        len in 0usize..2048,
+        cut in any::<usize>(),
+        pos in any::<usize>(),
+        x in any::<u8>(),
+    ) {
+        let resp = Response::DataList { data: Bytes::from(vec![1u8; len]) };
+        let enc = resp.encode().to_vec();
+        let back = Response::decode(resp.encode()).unwrap();
+        prop_assert_eq!(back, resp);
+
+        let truncated = &enc[..cut % enc.len()];
+        let _ = Response::decode(Bytes::copy_from_slice(truncated));
+
+        let mut flipped = enc;
+        let i = pos % flipped.len();
+        flipped[i] ^= x;
+        let _ = Response::decode(Bytes::from(flipped));
     }
 }

@@ -242,6 +242,73 @@ impl Handler {
             Request::Stats => Response::Stats {
                 payload: bytes::Bytes::from(self.stats_snapshot().encode()),
             },
+            // Server-side list I/O: the client shipped one compact access
+            // pattern; expand it against the local subfile and answer with
+            // one coalesced payload — no per-range request bytes in, no
+            // per-chunk framing out.
+            Request::ReadList { subfile, pattern } => {
+                let bytes = pattern.total_bytes();
+                let ranges = pattern.expand();
+                self.inject_delay(ranges.len(), bytes, trace_id, "read_list");
+                match self.store.read_ranges_coalesced(&subfile, &ranges) {
+                    Ok(data) => {
+                        self.stats.list_reads.fetch_add(1, Ordering::Relaxed);
+                        self.stats.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+                        Response::DataList { data }
+                    }
+                    // Sparse semantics, as for `Read`: an absent subfile is
+                    // all holes.
+                    Err(StoreError::NotFound) => {
+                        self.stats.list_reads.fetch_add(1, Ordering::Relaxed);
+                        self.stats.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+                        Response::DataList {
+                            data: bytes::Bytes::from(vec![0u8; bytes as usize]),
+                        }
+                    }
+                    Err(e) => self.error_response(e),
+                }
+            }
+            Request::WriteList {
+                subfile,
+                pattern,
+                payload,
+            } => {
+                // The codec already enforces payload == pattern bytes on
+                // decoded requests; re-check here so in-process callers
+                // (testbed, tests) get the same contract.
+                if payload.len() as u64 != pattern.total_bytes() {
+                    self.stats.errors.fetch_add(1, Ordering::Relaxed);
+                    return Response::Error {
+                        code: ErrorCode::BadRequest,
+                        message: format!(
+                            "write-list payload of {} bytes for a pattern of {}",
+                            payload.len(),
+                            pattern.total_bytes()
+                        ),
+                    };
+                }
+                let ranges = pattern.expand();
+                self.inject_delay(ranges.len(), payload.len() as u64, trace_id, "write_list");
+                // Scatter the gathered payload: each range gets a
+                // refcounted slice of it — no copies on the way to disk.
+                let mut at = 0usize;
+                let scatter: Vec<(u64, bytes::Bytes)> = ranges
+                    .iter()
+                    .map(|&(off, len)| {
+                        let slice = payload.slice(at..at + len as usize);
+                        at += len as usize;
+                        (off, slice)
+                    })
+                    .collect();
+                match self.store.write_ranges(&subfile, &scatter) {
+                    Ok(n) => {
+                        self.stats.list_writes.fetch_add(1, Ordering::Relaxed);
+                        self.stats.bytes_written.fetch_add(n, Ordering::Relaxed);
+                        Response::Written { bytes: n }
+                    }
+                    Err(e) => self.error_response(e),
+                }
+            }
             // I/O servers do not own the catalog; metadata belongs to
             // dpfs-metad. A client that dials the wrong port gets a clean
             // protocol error, not a hung connection.
@@ -428,6 +495,136 @@ mod tests {
             "missing handle event in {events:?}"
         );
         assert_eq!(h.stats().snapshot().read_latency.count, 1);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn list_write_then_list_read_round_trips() {
+        use dpfs_proto::AccessPattern;
+        let (h, dir) = handler();
+        // Four 8-byte blocks every 32 bytes: compresses to one Vector seg.
+        let ranges: Vec<(u64, u64)> = (0..4).map(|i| (i * 32, 8)).collect();
+        let pattern = AccessPattern::from_runs(&ranges);
+        let payload: Vec<u8> = (0..32u8).collect();
+        let resp = h.handle(Request::WriteList {
+            subfile: "/lf".into(),
+            pattern: pattern.clone(),
+            payload: Bytes::from(payload.clone()),
+        });
+        assert_eq!(resp, Response::Written { bytes: 32 });
+        let resp = h.handle(Request::ReadList {
+            subfile: "/lf".into(),
+            pattern: pattern.clone(),
+        });
+        match resp {
+            Response::DataList { data } => assert_eq!(&data[..], &payload[..]),
+            other => panic!("unexpected {other:?}"),
+        }
+        // The coalesced list read must agree with an enumerated read of the
+        // same ranges.
+        let resp = h.handle(Request::Read {
+            subfile: "/lf".into(),
+            ranges,
+        });
+        let Response::Data { chunks } = resp else {
+            panic!("expected Data");
+        };
+        let enumerated: Vec<u8> = chunks.iter().flat_map(|c| c.iter().copied()).collect();
+        assert_eq!(enumerated, payload);
+        let snap = h.stats().snapshot();
+        assert_eq!(snap.list_writes, 1);
+        assert_eq!(snap.list_reads, 1);
+        assert_eq!(snap.bytes_written, 32);
+        assert_eq!(snap.bytes_read, 64); // 32 list + 32 enumerated
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn list_read_missing_subfile_returns_zeros() {
+        use dpfs_proto::AccessPattern;
+        let (h, dir) = handler();
+        let pattern = AccessPattern::from_runs(&[(16, 4), (64, 12)]);
+        let resp = h.handle(Request::ReadList {
+            subfile: "/missing".into(),
+            pattern,
+        });
+        match resp {
+            Response::DataList { data } => assert_eq!(&data[..], &[0u8; 16]),
+            other => panic!("expected zero data, got {other:?}"),
+        }
+        let snap = h.stats().snapshot();
+        assert_eq!(snap.errors, 0);
+        assert_eq!(snap.list_reads, 1);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn list_read_past_eof_zero_fills_tail() {
+        use dpfs_proto::AccessPattern;
+        let (h, dir) = handler();
+        h.handle(Request::Write {
+            subfile: "/short".into(),
+            ranges: vec![(0, Bytes::from_static(b"abcdef"))],
+        });
+        // Second range starts inside the file and runs past EOF; third is
+        // entirely past EOF.
+        let pattern = AccessPattern::from_runs(&[(0, 2), (4, 4), (100, 3)]);
+        let resp = h.handle(Request::ReadList {
+            subfile: "/short".into(),
+            pattern,
+        });
+        match resp {
+            Response::DataList { data } => {
+                assert_eq!(&data[..], b"abef\0\0\0\0\0");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn list_write_payload_mismatch_is_bad_request() {
+        use dpfs_proto::AccessPattern;
+        let (h, dir) = handler();
+        let pattern = AccessPattern::from_runs(&[(0, 8)]);
+        let resp = h.handle(Request::WriteList {
+            subfile: "/lf".into(),
+            pattern,
+            payload: Bytes::from_static(b"tiny"),
+        });
+        match resp {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::BadRequest),
+            other => panic!("expected BadRequest, got {other:?}"),
+        }
+        let snap = h.stats().snapshot();
+        assert_eq!(snap.errors, 1);
+        assert_eq!(snap.list_writes, 0);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn list_requests_route_to_rw_histograms() {
+        use dpfs_proto::AccessPattern;
+        let (h, dir) = handler();
+        let pattern = AccessPattern::from_runs(&[(0, 4)]);
+        h.handle_traced(
+            Request::WriteList {
+                subfile: "/lf".into(),
+                pattern: pattern.clone(),
+                payload: Bytes::from_static(b"1234"),
+            },
+            0,
+        );
+        h.handle_traced(
+            Request::ReadList {
+                subfile: "/lf".into(),
+                pattern,
+            },
+            0,
+        );
+        let snap = h.stats().snapshot();
+        assert_eq!(snap.write_latency.count, 1);
+        assert_eq!(snap.read_latency.count, 1);
         std::fs::remove_dir_all(dir).unwrap();
     }
 

@@ -34,6 +34,11 @@ pub struct ServerStats {
     /// handler; the atomic here only backs snapshots built directly from
     /// `ServerStats`.
     pub subfiles_reopened: AtomicU64,
+    /// List-I/O reads handled (`ReadList`: one pattern descriptor expanded
+    /// server-side instead of an enumerated range list).
+    pub list_reads: AtomicU64,
+    /// List-I/O writes handled (`WriteList`).
+    pub list_writes: AtomicU64,
     /// Service time (dequeue → response ready) of read requests.
     pub hist_read: Histogram,
     /// Service time of write requests.
@@ -57,6 +62,10 @@ pub struct StatsSnapshot {
     pub in_flight: u64,
     /// Subfiles re-opened from surviving on-disk data (restart recovery).
     pub subfiles_reopened: u64,
+    /// List-I/O reads served (pattern descriptors expanded server-side).
+    pub list_reads: u64,
+    /// List-I/O writes served.
+    pub list_writes: u64,
     /// Service-time histogram of reads.
     pub read_latency: HistSnapshot,
     /// Service-time histogram of writes.
@@ -66,9 +75,9 @@ pub struct StatsSnapshot {
 }
 
 /// Version byte of the snapshot wire encoding. v2 added the
-/// `subfiles_reopened` counter; v1 blobs still decode (the counter reads
-/// as zero).
-const SNAPSHOT_VERSION: u8 = 2;
+/// `subfiles_reopened` counter, v3 the `list_reads`/`list_writes`
+/// counters; older blobs still decode (missing counters read as zero).
+const SNAPSHOT_VERSION: u8 = 3;
 
 impl ServerStats {
     /// Capture a consistent-enough snapshot for reporting.
@@ -84,6 +93,8 @@ impl ServerStats {
             injected_delay_ns: self.injected_delay_ns.load(Ordering::Relaxed),
             in_flight: self.in_flight.load(Ordering::Relaxed),
             subfiles_reopened: self.subfiles_reopened.load(Ordering::Relaxed),
+            list_reads: self.list_reads.load(Ordering::Relaxed),
+            list_writes: self.list_writes.load(Ordering::Relaxed),
             read_latency: self.hist_read.snapshot(),
             write_latency: self.hist_write.snapshot(),
             other_latency: self.hist_other.snapshot(),
@@ -99,20 +110,20 @@ impl ServerStats {
     /// `Request::kind_str`).
     pub fn hist_for(&self, kind: &str) -> &Histogram {
         match kind {
-            "read" => &self.hist_read,
-            "write" => &self.hist_write,
+            "read" | "read_list" => &self.hist_read,
+            "write" | "write_list" => &self.hist_write,
             _ => &self.hist_other,
         }
     }
 }
 
 impl StatsSnapshot {
-    /// Serialize for the `Stats` RPC: a version byte, the ten u64
+    /// Serialize for the `Stats` RPC: a version byte, the twelve u64
     /// counters, then the three histograms. Carried opaquely by
     /// `Response::Stats` so the layout can grow without touching the wire
     /// protocol.
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(1 + 10 * 8 + 3 * HistSnapshot::ENCODED_LEN);
+        let mut out = Vec::with_capacity(1 + 12 * 8 + 3 * HistSnapshot::ENCODED_LEN);
         out.push(SNAPSHOT_VERSION);
         for v in [
             self.requests,
@@ -125,6 +136,8 @@ impl StatsSnapshot {
             self.injected_delay_ns,
             self.in_flight,
             self.subfiles_reopened,
+            self.list_reads,
+            self.list_writes,
         ] {
             out.extend_from_slice(&v.to_le_bytes());
         }
@@ -141,9 +154,10 @@ impl StatsSnapshot {
         let n_counters = match version {
             1 => 9,
             2 => 10,
+            3 => 12,
             _ => return None,
         };
-        let mut counters = [0u64; 10];
+        let mut counters = [0u64; 12];
         for slot in counters.iter_mut().take(n_counters) {
             let (head, tail) = rest.split_at_checked(8)?;
             *slot = u64::from_le_bytes(head.try_into().unwrap());
@@ -166,6 +180,8 @@ impl StatsSnapshot {
             injected_delay_ns: counters[7],
             in_flight: counters[8],
             subfiles_reopened: counters[9],
+            list_reads: counters[10],
+            list_writes: counters[11],
             read_latency: hists[0],
             write_latency: hists[1],
             other_latency: hists[2],
@@ -240,11 +256,42 @@ mod tests {
     #[test]
     fn snapshot_decode_accepts_v1_blobs() {
         let mut blob = ServerStats::default().snapshot().encode();
-        // Rewrite as a v1 blob: version byte 1, drop the tenth counter.
+        // Rewrite as a v1 blob: version byte 1, drop counters ten
+        // through twelve.
         blob[0] = 1;
-        blob.drain(1 + 9 * 8..1 + 10 * 8);
+        blob.drain(1 + 9 * 8..1 + 12 * 8);
         let back = StatsSnapshot::decode(&blob).unwrap();
         assert_eq!(back.subfiles_reopened, 0);
+        assert_eq!(back.list_reads, 0);
+    }
+
+    #[test]
+    fn snapshot_decode_accepts_v2_blobs() {
+        let s = ServerStats::default();
+        s.add(&s.subfiles_reopened, 4);
+        let mut blob = s.snapshot().encode();
+        // Rewrite as a v2 blob: version byte 2, drop the list counters.
+        blob[0] = 2;
+        blob.drain(1 + 10 * 8..1 + 12 * 8);
+        let back = StatsSnapshot::decode(&blob).unwrap();
+        assert_eq!(back.subfiles_reopened, 4);
+        assert_eq!(back.list_reads, 0);
+        assert_eq!(back.list_writes, 0);
+    }
+
+    #[test]
+    fn list_counters_round_trip_and_hists_route() {
+        let s = ServerStats::default();
+        s.add(&s.list_reads, 3);
+        s.add(&s.list_writes, 2);
+        s.hist_for("read_list").record(100);
+        s.hist_for("write_list").record(200);
+        let snap = s.snapshot();
+        assert_eq!(snap.read_latency.count, 1);
+        assert_eq!(snap.write_latency.count, 1);
+        let back = StatsSnapshot::decode(&snap.encode()).unwrap();
+        assert_eq!(back.list_reads, 3);
+        assert_eq!(back.list_writes, 2);
     }
 
     #[test]

@@ -216,6 +216,33 @@ impl SubfileStore {
         })
     }
 
+    /// Read scatter/gather ranges into **one** coalesced buffer, in range
+    /// order — the reply shape of server-side list I/O. Ranges past EOF
+    /// come back zero-filled, like [`SubfileStore::read_ranges`], but the
+    /// result carries no per-chunk framing: one allocation, one payload.
+    pub fn read_ranges_coalesced(
+        &self,
+        subfile: &str,
+        ranges: &[(u64, u64)],
+    ) -> Result<Bytes, StoreError> {
+        let total: usize = ranges.iter().map(|&(_, len)| len as usize).sum();
+        self.with_file(subfile, false, |file| {
+            let size = file.metadata()?.len();
+            let mut buf = vec![0u8; total];
+            let mut at = 0usize;
+            for &(off, len) in ranges {
+                let dst = &mut buf[at..at + len as usize];
+                if off < size {
+                    let avail = ((size - off) as usize).min(len as usize);
+                    file.seek(SeekFrom::Start(off))?;
+                    file.read_exact(&mut dst[..avail])?;
+                }
+                at += len as usize;
+            }
+            Ok(Bytes::from(buf))
+        })
+    }
+
     /// Delete the subfile; returns whether it existed.
     pub fn delete(&self, subfile: &str) -> Result<bool, StoreError> {
         // Close the cached descriptor first, waiting out any in-flight I/O

@@ -961,6 +961,11 @@ mod tests {
         let mut sh = Shell::new(tb.remote_client(0, true));
         sh.exec("mkdir /j").unwrap();
         sh.exec("stat /j").ok();
+        let tmp = std::env::temp_dir().join(format!("dpfs-stats-json-{}", std::process::id()));
+        std::fs::write(&tmp, [5u8; 64]).unwrap();
+        sh.exec(&format!("import {} /j/f.bin", tmp.display()))
+            .unwrap();
+        std::fs::remove_file(&tmp).unwrap();
         let out = sh.exec("stats --json").unwrap();
         let json = out.trim();
         assert!(
@@ -972,6 +977,11 @@ mod tests {
         assert!(json.contains("\"role\":\"client\""), "{out}");
         assert!(json.contains("\"meta.ops\":"), "{out}");
         assert!(json.contains("\"trace.recorded\":"), "{out}");
+        // The list-I/O plane is visible on both sides of the wire.
+        assert!(json.contains("\"io.list_reads\":"), "{out}");
+        assert!(json.contains("\"io.list_writes\":"), "{out}");
+        assert!(json.contains("\"rpc.list_io\":"), "{out}");
+        assert!(json.contains("\"rpc.req_bytes\":"), "{out}");
         // No human-table artifacts in machine mode.
         assert!(!json.contains("p50/p95/p99"), "{out}");
         // Extra arguments are rejected.

@@ -1,0 +1,239 @@
+//! List-I/O equivalence: shipping a compact [`AccessPattern`] descriptor
+//! must be byte-identical to enumerating the ranges client-side, end to
+//! end through real TCP servers — for reads, writes, and redundant
+//! layouts — and the cost model must route irregular access over the
+//! legacy wire shape transparently.
+//!
+//! Also pins the headline win deterministically: for a dense strided
+//! read, the list client's request wire bytes are at least 5x smaller
+//! than the legacy enumerated client's for the same traffic.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use dpfs::cluster::Testbed;
+use dpfs::core::{ClientOptions, Datatype, Dpfs, Granularity, Hint, RedundancyPolicy, RetryPolicy};
+
+/// Exact-granularity client with the list path toggled. Exact granularity
+/// keeps strided reads strided on the wire (Brick would fetch whole
+/// bricks), which is where the descriptor shape matters.
+fn opts(list_io: bool) -> ClientOptions {
+    ClientOptions {
+        list_io,
+        granularity: Granularity::Exact,
+        ..ClientOptions::default()
+    }
+}
+
+/// `opts` plus tight retries, for tests that kill a server: a dead
+/// server refuses connections immediately, so two quick attempts
+/// suffice before the read falls over to reconstruction.
+fn fast_retry(list_io: bool) -> ClientOptions {
+    ClientOptions {
+        retry: RetryPolicy {
+            max_attempts: 2,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(4),
+            ..RetryPolicy::default()
+        },
+        ..opts(list_io)
+    }
+}
+
+/// Deterministic, zero-free payload byte (zero-free so a hole served as
+/// zeros can never masquerade as correct data).
+fn pat(i: u64, salt: u64) -> u8 {
+    ((i.wrapping_mul(31).wrapping_add(salt)) % 251) as u8 + 1
+}
+
+/// Sum a transport counter over every I/O server the client dialed.
+fn counter_sum(client: &Dpfs, n: usize, pick: fn(&dpfs::core::TransportStats) -> u64) -> u64 {
+    (0..n)
+        .filter_map(|i| client.pool().transport_stats(&format!("ion{i:02}")))
+        .map(|t| pick(&t))
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// A strided write shipped as a `WriteList` pattern lands byte-exactly
+    /// where client-side enumeration would have put it: the legacy client
+    /// reads the whole file back and agrees with the model, and the list
+    /// client's own strided read agrees with the legacy client's.
+    #[test]
+    fn strided_list_io_matches_enumeration(
+        n in 1usize..=4,
+        brick in prop_oneof![Just(512u64), Just(1000u64), Just(4096u64)],
+        count in 2u64..24,
+        blocklen in 1u64..128,
+        gap in 1u64..200,
+        base in 0u64..5000,
+        tail in 0u64..1000,
+        salt in 0u64..251,
+    ) {
+        let stride = blocklen + gap;
+        let dt = Datatype::vector(count, blocklen, stride);
+        let len = base + dt.extent() + tail;
+
+        let tb = Testbed::unthrottled(n).unwrap();
+        let list = tb.client_opts(opts(true));
+        let legacy = tb.client_opts(opts(false));
+        list.create("/lio", &Hint::linear(brick, len)).unwrap();
+
+        // Model: full-file background written legacy, strided overlay
+        // written through the list path.
+        let mut model: Vec<u8> = (0..len).map(|i| pat(i, salt)).collect();
+        {
+            let mut f = legacy.open("/lio").unwrap();
+            f.write_bytes(0, &model).unwrap();
+        }
+        let payload: Vec<u8> = (0..dt.size()).map(|i| pat(i, salt + 1)).collect();
+        {
+            let mut f = list.open("/lio").unwrap();
+            f.write_datatype(base, &dt, &payload).unwrap();
+        }
+        let mut at = 0usize;
+        for (off, run_len) in dt.flatten() {
+            let dst = (base + off) as usize;
+            model[dst..dst + run_len as usize]
+                .copy_from_slice(&payload[at..at + run_len as usize]);
+            at += run_len as usize;
+        }
+
+        // Both wire shapes read the same bytes back.
+        let mut lf = list.open("/lio").unwrap();
+        let mut gf = legacy.open("/lio").unwrap();
+        prop_assert_eq!(&lf.read_bytes(0, len).unwrap(), &model);
+        prop_assert_eq!(&gf.read_bytes(0, len).unwrap(), &model);
+        prop_assert_eq!(&lf.read_datatype(base, &dt).unwrap(), &payload);
+        prop_assert_eq!(&gf.read_datatype(base, &dt).unwrap(), &payload);
+    }
+
+    /// Redundant layouts stay byte-exact over the list path: strided
+    /// writes under `Replica(2)` and `XorParity` survive the loss of any
+    /// single server, the holes reconstructed from the surviving peers.
+    #[test]
+    fn redundancy_survives_list_writes(
+        replica in any::<bool>(),
+        n in 3usize..=4,
+        brick in prop_oneof![Just(512u64), Just(4096u64)],
+        count in 2u64..16,
+        blocklen in 1u64..96,
+        gap in 1u64..150,
+        victim_seed in 0usize..16,
+        salt in 0u64..251,
+    ) {
+        let policy = if replica {
+            RedundancyPolicy::Replica(2)
+        } else {
+            RedundancyPolicy::XorParity
+        };
+        let dt = Datatype::vector(count, blocklen, blocklen + gap);
+        let len = dt.extent() + 777;
+
+        let mut tb = Testbed::unthrottled(n).unwrap();
+        let client = tb.client_opts(fast_retry(true));
+        client
+            .create("/red", &Hint::linear(brick, len).with_redundancy(policy))
+            .unwrap();
+
+        let mut model: Vec<u8> = (0..len).map(|i| pat(i, salt)).collect();
+        let payload: Vec<u8> = (0..dt.size()).map(|i| pat(i, salt + 1)).collect();
+        {
+            let mut f = client.open("/red").unwrap();
+            f.write_bytes(0, &model).unwrap();
+            f.write_datatype(0, &dt, &payload).unwrap();
+            f.sync().unwrap();
+        }
+        let mut at = 0usize;
+        for (off, run_len) in dt.flatten() {
+            model[off as usize..(off + run_len) as usize]
+                .copy_from_slice(&payload[at..at + run_len as usize]);
+            at += run_len as usize;
+        }
+
+        tb.kill_server(victim_seed % n);
+        let reader = tb.client_opts(fast_retry(true));
+        let mut f = reader.open("/red").unwrap();
+        prop_assert_eq!(&f.read_bytes(0, len).unwrap(), &model);
+        prop_assert_eq!(&f.read_datatype(0, &dt).unwrap(), &payload);
+    }
+}
+
+/// Dense strided reads: the descriptor request is at least 5x smaller on
+/// the wire than the enumerated range list, and the list client actually
+/// used the pattern shape (`rpc.list_io` moved).
+#[test]
+fn dense_stride_shrinks_request_bytes_at_least_5x() {
+    const N: usize = 2;
+    let tb = Testbed::unthrottled(N).unwrap();
+    let list = tb.client_opts(opts(true));
+    let legacy = tb.client_opts(opts(false));
+
+    // 256 ranges of 8 bytes every 16: one Vector segment (~25 wire
+    // bytes) versus 256 enumerated ranges (~4 KiB of request framing).
+    let dt = Datatype::vector(256, 8, 16);
+    let payload: Vec<u8> = (0..dt.size()).map(|i| pat(i, 9)).collect();
+    list.create("/dense", &Hint::linear(4096, dt.extent()))
+        .unwrap();
+    {
+        let mut f = list.open("/dense").unwrap();
+        f.write_datatype(0, &dt, &payload).unwrap();
+    }
+
+    let read_request_bytes = |client: &Dpfs| {
+        let before = counter_sum(client, N, |t| t.req_bytes);
+        let mut f = client.open("/dense").unwrap();
+        assert_eq!(f.read_datatype(0, &dt).unwrap(), payload);
+        counter_sum(client, N, |t| t.req_bytes) - before
+    };
+
+    let list_bytes = read_request_bytes(&list);
+    let legacy_bytes = read_request_bytes(&legacy);
+    assert!(list_bytes > 0);
+    assert!(
+        legacy_bytes >= 5 * list_bytes,
+        "dense-stride request bytes: list={list_bytes}, legacy={legacy_bytes} (want >= 5x)"
+    );
+
+    assert!(
+        counter_sum(&list, N, |t| t.list_io) >= 2,
+        "list client should have shipped pattern-shaped requests"
+    );
+    assert_eq!(
+        counter_sum(&legacy, N, |t| t.list_io),
+        0,
+        "legacy client must never ship list requests"
+    );
+}
+
+/// Irregular indexed access (distinct lengths, no arithmetic structure)
+/// costs more as a descriptor than enumerated, so the cost model ships
+/// it legacy — transparently, with the data still round-tripping.
+#[test]
+fn irregular_indexed_access_ships_legacy_wire() {
+    const N: usize = 2;
+    let tb = Testbed::unthrottled(N).unwrap();
+    let client = tb.client_opts(opts(true));
+
+    let blocks = vec![(0, 5), (9, 12), (30, 7), (52, 23), (90, 11), (140, 2)];
+    let dt = Datatype::indexed(blocks).unwrap();
+    let payload: Vec<u8> = (0..dt.size()).map(|i| pat(i, 17)).collect();
+
+    client
+        .create("/irregular", &Hint::linear(4096, dt.extent()))
+        .unwrap();
+    {
+        let mut f = client.open("/irregular").unwrap();
+        f.write_datatype(0, &dt, &payload).unwrap();
+        assert_eq!(f.read_datatype(0, &dt).unwrap(), payload);
+    }
+
+    assert_eq!(
+        counter_sum(&client, N, |t| t.list_io),
+        0,
+        "irregular access should fall back to the enumerated shape"
+    );
+}
